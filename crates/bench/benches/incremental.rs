@@ -1,0 +1,89 @@
+//! The Section 4.3 claim: incrementally updating a query under a single edge swap is far
+//! cheaper than re-executing it from scratch.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wpinq::WeightedDataset;
+use wpinq_dataflow::DataflowInput;
+use wpinq_graph::generators;
+
+type Edge = (u32, u32);
+
+fn symmetric_edges(graph: &wpinq_graph::Graph) -> WeightedDataset<Edge> {
+    WeightedDataset::from_records(graph.directed_edges())
+}
+
+/// The TbI pipeline evaluated from scratch with the batch operators.
+fn batch_tbi(edges: &WeightedDataset<Edge>) -> f64 {
+    let paths = wpinq::operators::filter(
+        &wpinq::operators::join(edges, edges, |e| e.1, |e| e.0, |x, y| (x.0, x.1, y.1)),
+        |p| p.0 != p.2,
+    );
+    let rotated = wpinq::operators::select(&paths, |p| (p.1, p.2, p.0));
+    wpinq::operators::intersect(&rotated, &paths).norm()
+}
+
+fn bench_incremental_vs_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_vs_batch_tbi");
+    group.sample_size(10);
+    for &n in &[300usize, 800] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let graph = generators::powerlaw_cluster(n, 4, 0.5, &mut rng);
+        let edges = symmetric_edges(&graph);
+
+        // From-scratch re-execution per "step".
+        group.bench_with_input(BenchmarkId::new("batch_reexecution", n), &edges, |b, e| {
+            b.iter(|| black_box(batch_tbi(e)))
+        });
+
+        // Incremental: one edge swap's worth of deltas per step.
+        group.bench_with_input(BenchmarkId::new("incremental_swap", n), &graph, |b, g| {
+            let (input, stream) = DataflowInput::<Edge>::new();
+            let paths = stream
+                .join(&stream, |e| e.1, |e| e.0, |x, y| (x.0, x.1, y.1))
+                .filter(|p| p.0 != p.2);
+            let out = paths
+                .select(|p| (p.1, p.2, p.0))
+                .intersect(&paths)
+                .select(|_| ())
+                .collect();
+            input.push_dataset(&symmetric_edges(g));
+            let mut swap_rng = StdRng::seed_from_u64(9);
+            let mut working = g.clone();
+            b.iter(|| {
+                // Propose until a valid swap is found, apply it, push deltas, then undo it so
+                // the benchmark state stays constant across iterations.
+                loop {
+                    let Some(ab) = working.random_edge(&mut swap_rng) else { break };
+                    let Some(cd) = working.random_edge(&mut swap_rng) else { break };
+                    if let Some(swap) = working.propose_swap(ab, cd) {
+                        working.apply_swap(&swap);
+                        let deltas = vec![
+                            ((swap.remove_a.0, swap.remove_a.1), -1.0),
+                            ((swap.remove_a.1, swap.remove_a.0), -1.0),
+                            ((swap.remove_b.0, swap.remove_b.1), -1.0),
+                            ((swap.remove_b.1, swap.remove_b.0), -1.0),
+                            ((swap.insert_a.0, swap.insert_a.1), 1.0),
+                            ((swap.insert_a.1, swap.insert_a.0), 1.0),
+                            ((swap.insert_b.0, swap.insert_b.1), 1.0),
+                            ((swap.insert_b.1, swap.insert_b.0), 1.0),
+                        ];
+                        input.push(&deltas);
+                        // Undo.
+                        working.undo_swap(&swap);
+                        let inverse: Vec<((u32, u32), f64)> =
+                            deltas.iter().map(|(e, w)| (*e, -w)).collect();
+                        input.push(&inverse);
+                        break;
+                    }
+                }
+                black_box(out.total_weight())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental_vs_batch);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Benchmarks of the weight-rescaling Join (Section 2.7) and the graph queries built on it
+//! (paths, JDD, TbD, TbI), on small synthetic graphs.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wpinq::{PrivacyBudget, WeightedDataset};
+use wpinq_analyses::edges::GraphEdges;
+use wpinq_analyses::{jdd, tbi, triangles};
+use wpinq_graph::generators;
+
+fn bench_raw_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join");
+    group.sample_size(15);
+    for &n in &[1_000usize, 4_000] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let graph = generators::barabasi_albert(n, 4, &mut rng);
+        let edges: WeightedDataset<(u32, u32)> =
+            WeightedDataset::from_records(graph.directed_edges());
+        group.bench_with_input(BenchmarkId::new("length_two_paths", n), &edges, |b, e| {
+            b.iter(|| {
+                black_box(wpinq::operators::join(
+                    e,
+                    e,
+                    |x| x.1,
+                    |y| y.0,
+                    |x, y| (x.0, x.1, y.1),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_queries");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(2);
+    let graph = generators::powerlaw_cluster(800, 4, 0.5, &mut rng);
+    let edges = GraphEdges::new(&graph, PrivacyBudget::unlimited());
+    group.bench_function("jdd_query_800", |b| {
+        b.iter(|| black_box(jdd::jdd_query(&edges.queryable()).inspect().len()))
+    });
+    group.bench_function("tbd_query_800", |b| {
+        b.iter(|| black_box(triangles::tbd_query(&edges.queryable()).inspect().len()))
+    });
+    group.bench_function("tbi_query_800", |b| {
+        b.iter(|| black_box(tbi::tbi_query(&edges.queryable()).inspect().weight(&())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_raw_join, bench_graph_queries);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! MCMC step throughput (the quantity Figure 6 plots against Σd²).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wpinq::PrivacyBudget;
+use wpinq_analyses::edges::GraphEdges;
+use wpinq_analyses::tbi::TbiMeasurement;
+use wpinq_graph::generators;
+use wpinq_mcmc::{CandidateState, GraphCandidate, MetropolisHastings};
+use wpinq_mcmc::scorers::tbi_scorer;
+
+fn bench_mcmc_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcmc_step_tbi");
+    group.sample_size(10);
+    for &n in &[300usize, 800] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let secret = generators::powerlaw_cluster(n, 4, 0.6, &mut rng);
+        let edges = GraphEdges::new(&secret, PrivacyBudget::unlimited());
+        let measurement = TbiMeasurement::measure(&edges.queryable(), 0.1, &mut rng).unwrap();
+
+        let mut seed = secret.clone();
+        let swaps = 5 * seed.num_edges();
+        generators::degree_preserving_rewire(&mut seed, swaps, &mut rng);
+        let mut candidate =
+            GraphCandidate::new(seed, |stream| vec![tbi_scorer(stream, &measurement)]);
+        let driver = MetropolisHastings::new(0.1, 10_000.0);
+        let mut step_rng = StdRng::seed_from_u64(11);
+
+        group.bench_with_input(BenchmarkId::new("nodes", n), &n, |b, _| {
+            b.iter(|| black_box(driver.step(&mut candidate, &mut step_rng)))
+        });
+        // Sanity: the incremental scorers have not drifted from a from-scratch evaluation.
+        assert!(candidate.scorer_drift() < 1e-6);
+        let _ = candidate.energy();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mcmc_step);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Micro-benchmarks of the stable transformations (Section 2) on synthetic weighted
+//! datasets of increasing size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wpinq::operators;
+use wpinq::WeightedDataset;
+
+fn dataset(n: u64) -> WeightedDataset<u64> {
+    WeightedDataset::from_pairs((0..n).map(|i| (i, 1.0 + (i % 7) as f64 * 0.25)))
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("operators");
+    group.sample_size(20);
+    for &n in &[1_000u64, 10_000] {
+        let data = dataset(n);
+        group.bench_with_input(BenchmarkId::new("select", n), &data, |b, d| {
+            b.iter(|| black_box(operators::select(d, |x| x % 64)))
+        });
+        group.bench_with_input(BenchmarkId::new("filter", n), &data, |b, d| {
+            b.iter(|| black_box(operators::filter(d, |x| x % 3 == 0)))
+        });
+        group.bench_with_input(BenchmarkId::new("select_many", n), &data, |b, d| {
+            b.iter(|| black_box(operators::select_many_unit(d, |x| vec![x % 16, x % 17])))
+        });
+        group.bench_with_input(BenchmarkId::new("group_by_count", n), &data, |b, d| {
+            b.iter(|| black_box(operators::group_by(d, |x| x % 128, |g| g.len() as u64)))
+        });
+        group.bench_with_input(BenchmarkId::new("shave_unit", n), &data, |b, d| {
+            b.iter(|| black_box(operators::shave_const(d, 1.0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_set_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_operators");
+    group.sample_size(20);
+    let a = dataset(10_000);
+    let b: WeightedDataset<u64> =
+        WeightedDataset::from_pairs((5_000..15_000u64).map(|i| (i, 2.0)));
+    group.bench_function("union_10k", |bench| {
+        bench.iter(|| black_box(operators::union(&a, &b)))
+    });
+    group.bench_function("intersect_10k", |bench| {
+        bench.iter(|| black_box(operators::intersect(&a, &b)))
+    });
+    group.bench_function("concat_10k", |bench| {
+        bench.iter(|| black_box(operators::concat(&a, &b)))
+    });
+    group.bench_function("except_10k", |bench| {
+        bench.iter(|| black_box(operators::except(&a, &b)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators, bench_set_ops);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Section 3.1: private degree sequences — raw noisy measurements, Hay et al.'s isotonic
+//! regression, and wPINQ's joint CCDF + degree-sequence grid fit.
+//!
+//! The harness reports the RMSE of each estimator against the true degree sequence for a
+//! sweep of ε values, on the GrQc stand-in.
+
+use bench::report::{fmt_f, heading, Table};
+use bench::{smallsets, HarnessArgs};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wpinq::PrivacyBudget;
+use wpinq_analyses::baselines::hay::{hay_degree_sequence, noisy_degree_sequence};
+use wpinq_analyses::degree::DegreeMeasurements;
+use wpinq_analyses::edges::GraphEdges;
+use wpinq_analyses::postprocess::sequence_rmse;
+use wpinq_graph::stats;
+use wpinq_mcmc::seed::fit_seed_degree_sequence;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    heading("Section 3.1 — degree-sequence estimators (RMSE vs true sequence)");
+
+    let graph = if args.full_scale {
+        wpinq_datasets::ca_grqc()
+    } else {
+        smallsets::grqc_small()
+    };
+    let truth = stats::degree_sequence(&graph);
+    println!(
+        "Graph: {} nodes, {} edges, max degree {}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        stats::max_degree(&graph)
+    );
+    println!();
+
+    let mut table = Table::new([
+        "epsilon",
+        "raw noisy sequence",
+        "Hay et al. (PAVA, |V| public)",
+        "wPINQ grid fit (CCDF + sequence, |V| private)",
+    ]);
+    for epsilon in [0.05, 0.1, 0.5, 1.0] {
+        let mut rng = StdRng::seed_from_u64(args.seed);
+
+        // Baselines operating directly on the true sequence (|V| public).
+        let raw = noisy_degree_sequence(&graph, epsilon, &mut rng);
+        let raw_rounded: Vec<usize> = raw.iter().map(|v| v.round().max(0.0) as usize).collect();
+        let hay = hay_degree_sequence(&graph, epsilon, &mut rng);
+        let hay_rounded: Vec<usize> = hay.iter().map(|v| v.round().max(0.0) as usize).collect();
+
+        // wPINQ measurements + joint grid fit (|V| itself only measured noisily).
+        let edges = GraphEdges::new(&graph, PrivacyBudget::new(3.0 * epsilon + 1e-9));
+        let measurements = DegreeMeasurements::measure(&edges.queryable(), epsilon, &mut rng)
+            .expect("budget suffices");
+        let fitted = fit_seed_degree_sequence(&measurements);
+
+        table.row([
+            fmt_f(epsilon, 2),
+            fmt_f(sequence_rmse(&raw_rounded, &truth), 2),
+            fmt_f(sequence_rmse(&hay_rounded, &truth), 2),
+            fmt_f(sequence_rmse(&fitted, &truth), 2),
+        ]);
+    }
+    table.print();
+    println!();
+    println!("Shape check: both post-processed estimators beat the raw noisy sequence, and the");
+    println!("joint grid fit is competitive with Hay et al. without assuming the node count is public.");
+}

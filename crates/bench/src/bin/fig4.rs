@@ -1,0 +1,56 @@
+//! Figure 4: triangle-count trajectories of TbI-driven MCMC on real graphs vs their
+//! degree-matched random counterparts.
+//!
+//! Paper parameters: ε = 0.1 (total cost 7ε), 5×10⁵ steps. Defaults here: reduced-scale
+//! stand-ins, 60 000 steps, trajectory recorded every 6 000 steps.
+
+use bench::report::{fmt_count, heading, Table};
+use bench::{smallsets, HarnessArgs};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wpinq_graph::stats;
+use wpinq_mcmc::{SynthesisConfig, SynthesisResult, TriangleQuery};
+
+fn run(graph: &wpinq_graph::Graph, seed: u64, steps: u64, epsilon: f64) -> SynthesisResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = SynthesisConfig {
+        epsilon,
+        pow: 10_000.0,
+        mcmc_steps: steps,
+        record_every: (steps / 10).max(1),
+        triangle_query: TriangleQuery::TbI,
+        score_degrees: false,
+    };
+    wpinq_mcmc::synthesis::synthesize(graph, &config, &mut rng).expect("synthesis within budget")
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let steps = args.steps_or(60_000);
+    let epsilon = args.epsilon_or(0.1);
+    heading(&format!(
+        "Figure 4 — triangles vs MCMC steps, TbI, real vs Random(X) (epsilon = {epsilon}, {steps} steps)"
+    ));
+
+    for (index, (name, graph)) in smallsets::figure4_graphs(args.full_scale).into_iter().enumerate() {
+        let random = smallsets::randomized(&graph, 1000 + index as u64);
+        let truth_real = stats::triangle_count(&graph);
+        let truth_random = stats::triangle_count(&random);
+        let real = run(&graph, args.seed + index as u64, steps, epsilon);
+        let rand_run = run(&random, args.seed + 100 + index as u64, steps, epsilon);
+
+        println!("{name}: original graph has {} triangles; Random({name}) has {}", truth_real, truth_random);
+        let mut table = Table::new(["step", "triangles (real input)", "triangles (random input)"]);
+        for (a, b) in real.trajectory.iter().zip(rand_run.trajectory.iter()) {
+            table.row([
+                fmt_count(a.step),
+                fmt_count(a.triangles),
+                fmt_count(b.triangles),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+    println!("Shape check: the series driven by measurements of the real graph climbs well above");
+    println!("the series driven by measurements of the degree-matched random graph.");
+}

@@ -1,0 +1,92 @@
+//! Section 3.2: the wPINQ joint-degree-distribution query vs Sala et al.'s bespoke
+//! mechanism.
+//!
+//! The paper's analytical conclusion is that wPINQ's automatically-certified query has an
+//! effective noise amplitude of `8 + 8·d_a + 8·d_b` against Sala et al.'s `4·max(d_a, d_b)`
+//! — worse by a factor between two and four. The harness checks that conclusion empirically
+//! on the GrQc stand-in by measuring the average absolute error of both mechanisms over the
+//! edges of each degree pair.
+
+use std::collections::HashMap;
+
+use bench::report::{fmt_f, heading, Table};
+use bench::{smallsets, HarnessArgs};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wpinq::PrivacyBudget;
+use wpinq_analyses::baselines::sala::{sala_jdd_full, sala_noise_scale, wpinq_vs_sala_noise_ratio};
+use wpinq_analyses::edges::GraphEdges;
+use wpinq_analyses::jdd::JddMeasurement;
+use wpinq_graph::stats;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let epsilon = args.epsilon_or(0.1);
+    heading(&format!(
+        "Section 3.2 — JDD: wPINQ (cost 4·epsilon) vs Sala et al. (epsilon = {epsilon})"
+    ));
+
+    let graph = if args.full_scale {
+        wpinq_datasets::ca_grqc()
+    } else {
+        smallsets::grqc_small()
+    };
+    let truth = stats::joint_degree_distribution(&graph);
+
+    // wPINQ measurement (cost 4ε).
+    let edges = GraphEdges::new(&graph, PrivacyBudget::new(4.0 * epsilon + 1e-9));
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let wpinq_measurement =
+        JddMeasurement::measure(&edges.queryable(), epsilon, &mut rng).expect("budget suffices");
+
+    // Sala et al. baseline: to compare like with like, give it the same total privacy cost
+    // by running it at 4ε.
+    let sala = sala_jdd_full(&graph, 4.0 * epsilon, &mut rng);
+
+    // Compare mean absolute error over the degree pairs that actually occur, grouped by
+    // max(d_a, d_b) so the degree dependence is visible.
+    let mut buckets: HashMap<usize, (f64, f64, usize)> = HashMap::new();
+    for ((da, db), count) in &truth {
+        // wPINQ estimates directed pairs; convert to undirected edge counts.
+        let directed = if da == db { 2.0 * *count as f64 } else { *count as f64 };
+        let wpinq_est = wpinq_measurement.estimated_edges(*da as u64, *db as u64);
+        let wpinq_err = (wpinq_est - directed).abs() / if da == db { 2.0 } else { 1.0 };
+        let sala_est = sala.get(&(*da, *db)).copied().unwrap_or(0.0);
+        let sala_err = (sala_est - *count as f64).abs();
+        let bucket = (da.max(db) / 10) * 10;
+        let entry = buckets.entry(bucket).or_insert((0.0, 0.0, 0));
+        entry.0 += wpinq_err;
+        entry.1 += sala_err;
+        entry.2 += 1;
+    }
+
+    let mut table = Table::new([
+        "max degree bucket",
+        "pairs",
+        "wPINQ mean |error|",
+        "Sala mean |error|",
+        "analytic noise ratio (wPINQ/Sala)",
+    ]);
+    let mut keys: Vec<usize> = buckets.keys().copied().collect();
+    keys.sort_unstable();
+    for key in keys {
+        let (wpinq_err, sala_err, count) = buckets[&key];
+        let d = (key + 5).max(1);
+        table.row([
+            format!("{key}-{}", key + 9),
+            count.to_string(),
+            fmt_f(wpinq_err / count as f64, 2),
+            fmt_f(sala_err / count as f64, 2),
+            fmt_f(wpinq_vs_sala_noise_ratio(d, d), 2),
+        ]);
+    }
+    table.print();
+    println!();
+    println!(
+        "Example analytic scales at degree 30: wPINQ {:.0}/epsilon vs Sala {:.0}/epsilon",
+        8.0 + 8.0 * 30.0 + 8.0 * 30.0,
+        sala_noise_scale(30, 30, 1.0)
+    );
+    println!("Shape check: wPINQ's error is a small constant factor (2–4x) above Sala et al.'s");
+    println!("hand-tuned mechanism, in exchange for a fully automatic privacy proof.");
+}

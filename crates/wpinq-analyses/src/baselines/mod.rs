@@ -1,0 +1,13 @@
+//! Baseline mechanisms the paper compares against.
+//!
+//! * [`hay`] — Hay et al. (ICDM'09): noisy degree sequences post-processed by isotonic
+//!   regression, requiring the number of nodes to be public.
+//! * [`sala`] — Sala et al. (IMC'11): joint degree distribution released with bespoke
+//!   `4·max(dᵢ, dⱼ)/ε` Laplace noise (Claim 6 / Appendix C).
+//! * [`worst_case`] — the PINQ-style worst-case-sensitivity approach to triangle counting
+//!   that Figure 1 motivates against: noise proportional to `|V| − 2` regardless of the
+//!   actual graph.
+
+pub mod hay;
+pub mod sala;
+pub mod worst_case;

@@ -1,0 +1,126 @@
+//! Worst-case-sensitivity triangle counting — the strawman of Figure 1.
+//!
+//! Under edge differential privacy, adding one edge to an `n`-node graph can create up to
+//! `n − 2` triangles (the left graph of Figure 1), so a mechanism that releases the global
+//! triangle count with noise calibrated to worst-case sensitivity must add
+//! `Laplace((n − 2)/ε)` — regardless of whether the actual graph is anywhere near that
+//! worst case. wPINQ's TbD/TbI queries instead scale down the weight of troublesome
+//! triangles and keep the noise constant.
+
+use rand::Rng;
+
+use wpinq::noise::Laplace;
+use wpinq_graph::{stats, Graph};
+
+/// The worst-case (global) sensitivity of the triangle count under single-edge changes:
+/// `max(|V| − 2, 1)`.
+pub fn triangle_count_sensitivity(graph: &Graph) -> f64 {
+    (graph.num_nodes().saturating_sub(2)).max(1) as f64
+}
+
+/// The local sensitivity of the triangle count at this specific graph: the largest number
+/// of triangles any single present-or-absent edge participates in (i.e. the largest number
+/// of common neighbours over all node pairs). Included for comparison with
+/// instance-dependent approaches such as smooth sensitivity.
+pub fn triangle_count_local_sensitivity(graph: &Graph) -> f64 {
+    let n = graph.num_nodes() as u32;
+    let mut worst = 0usize;
+    for a in 0..n {
+        for b in (a + 1)..n {
+            worst = worst.max(graph.common_neighbors(a, b).len());
+        }
+    }
+    worst.max(1) as f64
+}
+
+/// A released worst-case-sensitivity triangle count: `Δ + Laplace((|V| − 2)/ε)`.
+pub fn worst_case_triangle_count<R: Rng + ?Sized>(
+    graph: &Graph,
+    epsilon: f64,
+    rng: &mut R,
+) -> f64 {
+    let scale = triangle_count_sensitivity(graph) / epsilon;
+    stats::triangle_count(graph) as f64 + Laplace::new(scale).sample(rng)
+}
+
+/// The expected absolute error of the worst-case mechanism (the Laplace mean absolute
+/// deviation equals its scale).
+pub fn worst_case_expected_error(graph: &Graph, epsilon: f64) -> f64 {
+    triangle_count_sensitivity(graph) / epsilon
+}
+
+/// The expected absolute error of estimating the total triangle count by dividing wPINQ's
+/// TbD measurement for degree triple `(x, y, z)` by its per-triangle weight: the Laplace
+/// noise of scale `1/ε` is amplified by `(x² + y² + z²)/3`.
+pub fn tbd_expected_error_for_triple(x: u64, y: u64, z: u64, epsilon: f64) -> f64 {
+    ((x * x + y * y + z * z) as f64 / 3.0) / epsilon
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wpinq_graph::generators;
+
+    /// The right-hand graph of Figure 1: a long cycle (constant degree 2, no triangles is
+    /// avoided by adding chords to make constant-degree triangles).
+    fn bounded_degree_triangle_graph(n: u32) -> Graph {
+        // A "triangle chain": triangles (3i, 3i+1, 3i+2) — every node has degree 2.
+        let mut g = Graph::new(n as usize);
+        let mut v = 0;
+        while v + 2 < n {
+            g.add_edge(v, v + 1);
+            g.add_edge(v + 1, v + 2);
+            g.add_edge(v, v + 2);
+            v += 3;
+        }
+        g
+    }
+
+    #[test]
+    fn sensitivity_scales_with_node_count_not_structure() {
+        let small = bounded_degree_triangle_graph(30);
+        let large = bounded_degree_triangle_graph(300);
+        assert_eq!(triangle_count_sensitivity(&small), 28.0);
+        assert_eq!(triangle_count_sensitivity(&large), 298.0);
+        // But the local sensitivity of these bounded-degree graphs is constant.
+        assert_eq!(triangle_count_local_sensitivity(&small), 1.0);
+        assert_eq!(triangle_count_local_sensitivity(&large), 1.0);
+    }
+
+    #[test]
+    fn worst_case_noise_drowns_small_counts_on_large_graphs() {
+        // On the benign bounded-degree graph, the worst-case mechanism's expected error
+        // (≈ n/ε) exceeds the true triangle count (n/3), while wPINQ's per-triple error for
+        // the constant-degree triple (2,2,2) is constant.
+        let g = bounded_degree_triangle_graph(900);
+        let eps = 0.5;
+        let truth = stats::triangle_count(&g) as f64;
+        assert!(worst_case_expected_error(&g, eps) > truth);
+        assert!(tbd_expected_error_for_triple(2, 2, 2, eps) < 10.0);
+    }
+
+    #[test]
+    fn released_count_is_unbiased_at_high_epsilon() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = bounded_degree_triangle_graph(90);
+        let released = worst_case_triangle_count(&g, 1e6, &mut rng);
+        assert!((released - 30.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn local_sensitivity_detects_the_figure1_worst_case() {
+        // The left graph of Figure 1: adding edge (0,1) would create |V| − 2 triangles, and
+        // the local sensitivity reflects it even before the edge exists.
+        let mut g = Graph::new(50);
+        for v in 2..50 {
+            g.add_edge(0, v);
+            g.add_edge(1, v);
+        }
+        assert_eq!(triangle_count_local_sensitivity(&g), 48.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let hub_graph = generators::barabasi_albert(100, 3, &mut rng);
+        assert!(triangle_count_local_sensitivity(&hub_graph) >= 1.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Degree CCDF and degree sequence queries (Section 3.1).
+//!
+//! The degree CCDF query transforms edges → source names (weight d_a per name) → unit
+//! slices → slice indices, so record `i` carries weight "number of nodes with degree > i".
+//! Shaving and re-indexing a second time transposes the axes and yields the non-increasing
+//! degree sequence. Neither query reveals the number of nodes, fixing the issue the paper
+//! identifies in Hay et al.'s requirement that |V| be public.
+
+use rand::Rng;
+
+use wpinq::{NoisyCounts, Queryable, WpinqError};
+
+use crate::edges::Edge;
+
+/// The degree-CCDF query: record `i` has weight `#{v : d_v > i}`.
+///
+/// Privacy multiplicity: 1 (the edges dataset is used once).
+pub fn degree_ccdf_query(edges: &Queryable<Edge>) -> Queryable<u64> {
+    edges
+        .select(|e| e.0)
+        .shave_const(1.0)
+        .select(|(_, i)| *i)
+}
+
+/// The degree-sequence query: record `j` has weight "degree of the node with rank `j`"
+/// (non-increasing). Obtained by transposing the CCDF with a second Shave/Select pass.
+///
+/// Privacy multiplicity: 1.
+pub fn degree_sequence_query(edges: &Queryable<Edge>) -> Queryable<u64> {
+    degree_ccdf_query(edges)
+        .shave_const(1.0)
+        .select(|(_, i)| *i)
+}
+
+/// Released degree measurements: the noisy CCDF and noisy degree sequence, both taken at
+/// the same ε (so the pair costs 2ε of the edges' budget), plus a noisy node count.
+///
+/// These are the measurements Phase 1 of the synthesis workflow consumes (Section 5.1:
+/// "degree sequence, degree CCDF, and count of number of nodes", privacy cost 3ε).
+#[derive(Debug)]
+pub struct DegreeMeasurements {
+    /// Noisy CCDF counts, indexed by degree threshold.
+    pub ccdf: NoisyCounts<u64>,
+    /// Noisy degree-sequence counts, indexed by rank.
+    pub sequence: NoisyCounts<u64>,
+    /// Noisy number of nodes (measured at weight ½ per node, already rescaled to nodes).
+    pub node_count: f64,
+    /// The ε used for each of the three measurements.
+    pub epsilon: f64,
+}
+
+impl DegreeMeasurements {
+    /// Takes the three Phase-1 measurements, charging `3ε` in total.
+    pub fn measure<R: Rng + ?Sized>(
+        edges: &Queryable<Edge>,
+        epsilon: f64,
+        rng: &mut R,
+    ) -> Result<Self, WpinqError> {
+        let ccdf = degree_ccdf_query(edges).noisy_count(epsilon, rng)?;
+        let sequence = degree_sequence_query(edges).noisy_count(epsilon, rng)?;
+        let node_count_noisy = crate::nodes::node_count_query(edges).noisy_count(epsilon, rng)?;
+        // Nodes carry weight ½ each (Section 2.8), so the unit count is doubled.
+        let node_count = 2.0 * node_count_noisy.get(&());
+        Ok(DegreeMeasurements {
+            ccdf,
+            sequence,
+            node_count,
+            epsilon,
+        })
+    }
+
+    /// The noisy CCDF as a dense vector over thresholds `0..len`.
+    pub fn ccdf_vector(&self, len: usize) -> Vec<f64> {
+        (0..len as u64).map(|i| self.ccdf.get(&i)).collect()
+    }
+
+    /// The noisy degree sequence as a dense vector over ranks `0..len`.
+    pub fn sequence_vector(&self, len: usize) -> Vec<f64> {
+        (0..len as u64).map(|i| self.sequence.get(&i)).collect()
+    }
+
+    /// The estimated number of nodes, clamped to at least 1.
+    pub fn estimated_nodes(&self) -> usize {
+        self.node_count.round().max(1.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edges::GraphEdges;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wpinq::PrivacyBudget;
+    use wpinq_graph::{stats, Graph};
+
+    fn toy_graph() -> Graph {
+        // Degrees: 3, 2, 3, 2 for nodes 0..4.
+        Graph::from_edges([(0, 1), (0, 2), (0, 3), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn ccdf_query_weights_match_exact_ccdf() {
+        let g = toy_graph();
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let q = degree_ccdf_query(&edges.queryable());
+        let exact = stats::degree_ccdf(&g);
+        for (i, count) in exact.iter().enumerate() {
+            assert!(
+                (q.inspect().weight(&(i as u64)) - *count as f64).abs() < 1e-9,
+                "ccdf[{i}]"
+            );
+        }
+        assert_eq!(q.inspect().len(), exact.len());
+        assert_eq!(q.max_multiplicity(), 1);
+    }
+
+    #[test]
+    fn degree_sequence_query_weights_match_exact_sequence() {
+        let g = toy_graph();
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let q = degree_sequence_query(&edges.queryable());
+        let exact = stats::degree_sequence(&g);
+        for (rank, d) in exact.iter().enumerate() {
+            assert!(
+                (q.inspect().weight(&(rank as u64)) - *d as f64).abs() < 1e-9,
+                "seq[{rank}] = {} want {d}",
+                q.inspect().weight(&(rank as u64))
+            );
+        }
+        assert_eq!(q.max_multiplicity(), 1);
+    }
+
+    #[test]
+    fn measurements_cost_three_epsilon() {
+        let g = toy_graph();
+        let edges = GraphEdges::new(&g, PrivacyBudget::new(1.0));
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = DegreeMeasurements::measure(&edges.queryable(), 0.1, &mut rng).unwrap();
+        assert!((edges.budget().spent() - 0.3).abs() < 1e-9);
+        assert_eq!(m.epsilon, 0.1);
+    }
+
+    #[test]
+    fn high_epsilon_measurements_recover_truth() {
+        let g = toy_graph();
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = DegreeMeasurements::measure(&edges.queryable(), 1e5, &mut rng).unwrap();
+        let ccdf = m.ccdf_vector(3);
+        let exact: Vec<f64> = stats::degree_ccdf(&g).iter().map(|c| *c as f64).collect();
+        for (got, want) in ccdf.iter().zip(exact.iter()) {
+            assert!((got - want).abs() < 0.01);
+        }
+        let seq = m.sequence_vector(4);
+        let exact_seq: Vec<f64> = stats::degree_sequence(&g).iter().map(|d| *d as f64).collect();
+        for (got, want) in seq.iter().zip(exact_seq.iter()) {
+            assert!((got - want).abs() < 0.01);
+        }
+        assert_eq!(m.estimated_nodes(), 4);
+    }
+}

@@ -1,0 +1,166 @@
+//! The joint degree distribution (JDD) query of Section 3.2.
+//!
+//! For every directed edge `(a, b)` the query produces the record `(d_a, d_b)` with weight
+//! `1 / (2 + 2·d_a + 2·d_b)`. Dividing a released noisy count by that weight gives an
+//! estimate of the number of edges incident on degrees `(d_a, d_b)` with noise proportional
+//! to `2 + 2·d_a + 2·d_b` — the data-dependent noise level the paper contrasts with Sala et
+//! al.'s bespoke `4·max(d_a, d_b)` analysis.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use wpinq::{NoisyCounts, Queryable, WpinqError};
+
+use crate::edges::Edge;
+
+/// The JDD query: records `(d_a, d_b)` (one per directed edge), each with weight
+/// [`jdd_record_weight`]`(d_a, d_b)`.
+///
+/// Privacy multiplicity: 4 (degrees once, edges once, and the self-join doubles the pair).
+pub fn jdd_query(edges: &Queryable<Edge>) -> Queryable<(u64, u64)> {
+    // (a, d_a) for each vertex a, weight ½.
+    let degrees = edges.group_by(|e| e.0, |group| group.len() as u64);
+    // ((a, b), d_a) for each directed edge (a, b), weight 1/(1 + 2 d_a).
+    let temp = degrees.join(edges, |d| d.0, |e| e.0, |d, e| (*e, d.1));
+    // (d_a, d_b) for each directed edge (a, b), weight 1/(2 + 2 d_a + 2 d_b).
+    temp.join(
+        &temp,
+        |t| t.0,
+        |t| (t.0 .1, t.0 .0),
+        |x, y| (x.1, y.1),
+    )
+}
+
+/// The weight the JDD query assigns to one directed edge with endpoint degrees `(d_a, d_b)`
+/// (equation (3) of the paper): `1 / (2 + 2 d_a + 2 d_b)`.
+pub fn jdd_record_weight(da: u64, db: u64) -> f64 {
+    1.0 / (2.0 + 2.0 * da as f64 + 2.0 * db as f64)
+}
+
+/// A released, rescaled JDD measurement.
+#[derive(Debug)]
+pub struct JddMeasurement {
+    counts: NoisyCounts<(u64, u64)>,
+    epsilon: f64,
+}
+
+impl JddMeasurement {
+    /// Measures the JDD with `NoisyCount(·, ε)`; the query uses the edges 4 times, so this
+    /// charges `4ε` of the graph's budget.
+    pub fn measure<R: Rng + ?Sized>(
+        edges: &Queryable<Edge>,
+        epsilon: f64,
+        rng: &mut R,
+    ) -> Result<Self, WpinqError> {
+        let counts = jdd_query(edges).noisy_count(epsilon, rng)?;
+        Ok(JddMeasurement { counts, epsilon })
+    }
+
+    /// The ε each count was measured with.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The raw noisy weight observed for the ordered degree pair `(d_a, d_b)`.
+    pub fn raw(&self, da: u64, db: u64) -> f64 {
+        self.counts.get(&(da, db))
+    }
+
+    /// The estimated number of *directed* edges whose endpoints have degrees `(d_a, d_b)`,
+    /// obtained by dividing the noisy weight by the per-record weight.
+    pub fn estimated_edges(&self, da: u64, db: u64) -> f64 {
+        self.raw(da, db) / jdd_record_weight(da, db)
+    }
+
+    /// Estimates over every observed degree pair, rescaled to edge counts.
+    pub fn estimates(&self) -> HashMap<(u64, u64), f64> {
+        self.counts
+            .iter_observed()
+            .map(|(&(da, db), w)| ((da, db), w / jdd_record_weight(da, db)))
+            .collect()
+    }
+
+    /// The effective noise amplitude on the rescaled estimate for `(d_a, d_b)`:
+    /// `(2 + 2 d_a + 2 d_b) / ε`.
+    pub fn noise_amplitude(&self, da: u64, db: u64) -> f64 {
+        1.0 / (jdd_record_weight(da, db) * self.epsilon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edges::GraphEdges;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wpinq::PrivacyBudget;
+    use wpinq_graph::{stats, Graph};
+
+    fn toy_graph() -> Graph {
+        Graph::from_edges([(0, 1), (0, 2), (0, 3), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn jdd_query_weight_matches_equation_three() {
+        let g = toy_graph();
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let q = jdd_query(&edges.queryable());
+        // Node degrees: d0 = 3, d1 = 2, d2 = 3, d3 = 2.
+        // Directed edges with degree pair (3, 2): (0,1), (0,3), (2,1)? no — (2,1) is edge
+        // (1,2) reversed, degrees (3, 2). Pairs realising (3,2): (0→1), (0→3), (2→1), (2→3).
+        let expected_pairs = 4.0;
+        let w = q.inspect().weight(&(3, 2));
+        assert!(
+            (w - expected_pairs * jdd_record_weight(3, 2)).abs() < 1e-9,
+            "weight {w}"
+        );
+        // And the (3,3) pair comes from edge (0,2) in both directions.
+        let w33 = q.inspect().weight(&(3, 3));
+        assert!((w33 - 2.0 * jdd_record_weight(3, 3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jdd_query_costs_four_uses() {
+        let g = toy_graph();
+        let edges = GraphEdges::new(&g, PrivacyBudget::new(1.0));
+        let q = jdd_query(&edges.queryable());
+        assert_eq!(q.multiplicity_of(edges.protected().id()), 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        q.noisy_count(0.1, &mut rng).unwrap();
+        assert!((edges.budget().spent() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rescaled_estimates_recover_directed_edge_counts_at_high_epsilon() {
+        let g = toy_graph();
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = JddMeasurement::measure(&edges.queryable(), 1e6, &mut rng).unwrap();
+
+        // Exact JDD (undirected) from the graph substrate, converted to directed pair counts.
+        let exact = stats::joint_degree_distribution(&g);
+        for ((da, db), undirected_count) in exact {
+            let directed: f64 = if da == db {
+                2.0 * undirected_count as f64
+            } else {
+                undirected_count as f64
+            };
+            let est = m.estimated_edges(da as u64, db as u64);
+            assert!(
+                (est - directed).abs() < 0.01,
+                "pair ({da},{db}): estimate {est} vs exact {directed}"
+            );
+        }
+    }
+
+    #[test]
+    fn noise_amplitude_grows_with_degrees() {
+        let g = toy_graph();
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = JddMeasurement::measure(&edges.queryable(), 0.5, &mut rng).unwrap();
+        assert!(m.noise_amplitude(10, 10) > m.noise_amplitude(2, 2));
+        assert!((m.noise_amplitude(2, 3) - (2.0 + 4.0 + 6.0) / 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,167 @@
+//! Generalised motif queries (Section 3.5).
+//!
+//! The triangle and square analyses follow one pattern: build annotated paths, then `Join`
+//! (or `Intersect`) rotations of them to tease out the target subgraph. This module exposes
+//! the reusable pieces of that pattern: arbitrary-length path queries, cycle queries built
+//! by closing a path, and star counts by degree.
+
+use wpinq::Queryable;
+
+use crate::edges::Edge;
+use crate::triangles::length_two_paths_query;
+
+/// Length-`k` paths (with `k ≥ 1` edges) as vertex vectors, built by repeatedly joining the
+/// edge dataset onto the path frontier and discarding immediate backtracking
+/// (`v_{i+1} ≠ v_{i-1}`). Weights shrink with the degrees of interior vertices exactly as
+/// the stability rule dictates.
+///
+/// Privacy multiplicity: `k`.
+pub fn length_k_paths_query(edges: &Queryable<Edge>, k: usize) -> Queryable<Vec<u32>> {
+    assert!(k >= 1, "paths need at least one edge");
+    let mut paths: Queryable<Vec<u32>> = edges.select(|&(a, b)| vec![a, b]);
+    for _ in 1..k {
+        paths = paths.join(
+            edges,
+            |p| *p.last().expect("paths are non-empty"),
+            |e| e.0,
+            |p, e| {
+                let mut extended = p.clone();
+                extended.push(e.1);
+                extended
+            },
+        );
+        // Discard immediate backtracking (… x, y, x …), mirroring the `a != c` filters in
+        // the triangle and square queries.
+        paths = paths.filter(|p| {
+            let n = p.len();
+            n < 3 || p[n - 3] != p[n - 1]
+        });
+    }
+    paths
+}
+
+/// Cycles of length `k ∈ {3, 4}` detected by intersecting length-`(k−1)` paths with their
+/// rotation, reported as a single aggregate record `()` (the TbI pattern generalised).
+///
+/// Privacy multiplicity: `2·(k − 1)`.
+pub fn cycle_query(edges: &Queryable<Edge>, k: usize) -> Queryable<()> {
+    assert!((3..=4).contains(&k), "only triangle and square cycles are supported");
+    let paths: Queryable<Vec<u32>> = if k == 3 {
+        length_two_paths_query(edges).select(|p| vec![p.0, p.1, p.2])
+    } else {
+        length_k_paths_query(edges, 3).filter(|p| p[0] != p[3])
+    };
+    let rotated = paths.select(|p| {
+        let mut r = p[1..].to_vec();
+        r.push(p[0]);
+        r
+    });
+    rotated.intersect(&paths).select(|_| ())
+}
+
+/// `k`-star counts by centre degree: record `(d, #k-subsets)` for each vertex of degree
+/// `d ≥ k`, produced with the `GroupBy` + `SelectMany` pattern and weight ½ per vertex.
+///
+/// Privacy multiplicity: 1.
+pub fn star_count_query(edges: &Queryable<Edge>, k: u64) -> Queryable<(u64, u64)> {
+    assert!(k >= 1);
+    edges
+        .group_by(|e| e.0, |group| group.len() as u64)
+        .select(move |(_, d)| (*d, binomial(*d, k)))
+        .filter(move |(d, _)| *d >= k)
+}
+
+fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u64 = 1;
+    for i in 0..k {
+        result = result * (n - i) / (i + 1);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edges::GraphEdges;
+    use crate::tbi::tbi_query;
+    use wpinq::PrivacyBudget;
+    use wpinq_graph::Graph;
+
+    fn triangle_with_tail() -> Graph {
+        Graph::from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+    }
+
+    #[test]
+    fn length_one_paths_are_just_edges() {
+        let g = triangle_with_tail();
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let p = length_k_paths_query(&edges.queryable(), 1);
+        assert_eq!(p.inspect().len(), 2 * g.num_edges());
+        assert_eq!(p.inspect().weight(&vec![0, 1]), 1.0);
+        assert_eq!(p.max_multiplicity(), 1);
+    }
+
+    #[test]
+    fn length_two_paths_match_the_dedicated_query() {
+        let g = triangle_with_tail();
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let generic = length_k_paths_query(&edges.queryable(), 2);
+        let dedicated = length_two_paths_query(&edges.queryable());
+        assert_eq!(generic.inspect().len(), dedicated.inspect().len());
+        for (p, w) in dedicated.inspect().iter() {
+            let as_vec = vec![p.0, p.1, p.2];
+            assert!(
+                (generic.inspect().weight(&as_vec) - w).abs() < 1e-9,
+                "path {p:?}"
+            );
+        }
+        assert_eq!(generic.max_multiplicity(), 2);
+    }
+
+    #[test]
+    fn triangle_cycle_query_matches_tbi() {
+        let g = triangle_with_tail();
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let via_motif = cycle_query(&edges.queryable(), 3);
+        let via_tbi = tbi_query(&edges.queryable());
+        assert!(
+            (via_motif.inspect().weight(&()) - via_tbi.inspect().weight(&())).abs() < 1e-9
+        );
+        assert_eq!(via_motif.max_multiplicity(), 4);
+    }
+
+    #[test]
+    fn square_cycle_query_detects_squares() {
+        let square = Graph::from_edges([(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let path = Graph::from_edges([(0, 1), (1, 2), (2, 3)]);
+        let sq_edges = GraphEdges::new(&square, PrivacyBudget::unlimited());
+        let path_edges = GraphEdges::new(&path, PrivacyBudget::unlimited());
+        let on_square = cycle_query(&sq_edges.queryable(), 4);
+        let on_path = cycle_query(&path_edges.queryable(), 4);
+        assert!(on_square.inspect().weight(&()) > 0.0);
+        assert_eq!(on_path.inspect().weight(&()), 0.0);
+        assert_eq!(on_square.max_multiplicity(), 6);
+    }
+
+    #[test]
+    fn star_counts_report_binomial_coefficients() {
+        let g = Graph::from_edges([(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let stars = star_count_query(&edges.queryable(), 2);
+        // Centre node 0 has degree 4 → C(4,2) = 6 two-stars; weight ½ from GroupBy.
+        assert!((stars.inspect().weight(&(4, 6)) - 0.5).abs() < 1e-9);
+        // Leaves have degree 1 < 2 and are filtered out.
+        assert_eq!(stars.inspect().len(), 1);
+    }
+
+    #[test]
+    fn binomial_helper() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(3, 0), 1);
+        assert_eq!(binomial(2, 5), 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! The edges → nodes transformation of Section 2.8.
+//!
+//! Each unit-weight directed edge `(a, b)` contributes weight ½ to each endpoint, so a node
+//! of degree `d` accumulates weight `d` (over the symmetric edge set). Shaving at ½ and
+//! keeping only slice 0 leaves every present node with weight exactly ½ — the most weight a
+//! stable transformation can give a node, since one edge identifies two nodes.
+
+use wpinq::Queryable;
+
+use crate::edges::Edge;
+
+/// The node dataset: each node that appears on some edge, with weight ½.
+///
+/// Privacy multiplicity: 1.
+pub fn nodes_query(edges: &Queryable<Edge>) -> Queryable<u32> {
+    edges
+        .select_many_unit(|&(a, b)| [a, b])
+        .shave_const(0.5)
+        .filter(|(_, i)| *i == 0)
+        .select(|(v, _)| *v)
+}
+
+/// The node-count query: a single record `()` whose weight is ½ × (number of non-isolated
+/// nodes). Callers double the released value to estimate |V|.
+///
+/// Privacy multiplicity: 1.
+pub fn node_count_query(edges: &Queryable<Edge>) -> Queryable<()> {
+    nodes_query(edges).select(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edges::GraphEdges;
+    use wpinq::PrivacyBudget;
+    use wpinq_graph::Graph;
+
+    #[test]
+    fn every_touched_node_gets_weight_half() {
+        let g = Graph::from_edges([(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let nodes = nodes_query(&edges.queryable());
+        for v in 0..4u32 {
+            assert!(
+                (nodes.inspect().weight(&v) - 0.5).abs() < 1e-9,
+                "node {v} should have weight 0.5"
+            );
+        }
+        assert_eq!(nodes.inspect().len(), 4);
+        assert_eq!(nodes.max_multiplicity(), 1);
+    }
+
+    #[test]
+    fn isolated_nodes_do_not_appear() {
+        let mut g = Graph::new(10);
+        g.add_edge(0, 1);
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let nodes = nodes_query(&edges.queryable());
+        assert_eq!(nodes.inspect().len(), 2);
+    }
+
+    #[test]
+    fn node_count_is_half_the_number_of_nodes() {
+        let g = Graph::from_edges([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]);
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let count = node_count_query(&edges.queryable());
+        assert!((count.inspect().weight(&()) - 2.5).abs() < 1e-9);
+    }
+}

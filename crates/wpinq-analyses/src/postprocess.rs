@@ -1,0 +1,205 @@
+//! Post-processing of noisy degree measurements (Section 3.1).
+//!
+//! Two estimators are provided:
+//!
+//! * [`pava_non_increasing`] — isotonic regression by the Pool-Adjacent-Violators Algorithm,
+//!   the post-processing Hay et al. apply to a noisy degree sequence.
+//! * [`fit_degree_sequence`] — the paper's joint fit: view a non-increasing degree sequence
+//!   as a monotone staircase path on the integer grid and find the lowest-cost path that
+//!   simultaneously agrees with the noisy "vertical" degree-sequence measurements and the
+//!   noisy "horizontal" CCDF measurements (equation (2)).
+
+/// Isotonic regression onto non-increasing sequences (Pool Adjacent Violators).
+///
+/// Returns the least-squares non-increasing fit to `values`.
+pub fn pava_non_increasing(values: &[f64]) -> Vec<f64> {
+    // Classic PAVA on the reversed (non-decreasing) problem: maintain blocks of (sum, count)
+    // and merge while the monotonicity constraint is violated.
+    let mut blocks: Vec<(f64, usize)> = Vec::with_capacity(values.len());
+    for &v in values {
+        blocks.push((v, 1));
+        while blocks.len() >= 2 {
+            let last = blocks[blocks.len() - 1];
+            let prev = blocks[blocks.len() - 2];
+            // Non-increasing fit: a later block's mean must not exceed an earlier block's.
+            if last.0 / last.1 as f64 > prev.0 / prev.1 as f64 {
+                blocks.pop();
+                let merged = (prev.0 + last.0, prev.1 + last.1);
+                let idx = blocks.len() - 1;
+                blocks[idx] = merged;
+            } else {
+                break;
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(values.len());
+    for (sum, count) in blocks {
+        let mean = sum / count as f64;
+        out.extend(std::iter::repeat(mean).take(count));
+    }
+    out
+}
+
+/// The paper's joint degree-sequence fit (Section 3.1).
+///
+/// `seq_noisy[x]` is the noisy "vertical" measurement of the degree of the rank-`x` node
+/// and `ccdf_noisy[y]` the noisy "horizontal" measurement of the number of nodes with
+/// degree > `y`. The fit finds the monotone staircase (a path from `(0, y_max)` to
+/// `(x_max, 0)` taking only right/down steps) minimising
+/// `Σ_{(x,y)∈P} |seq[x] − y| + |ccdf[y] − x|`, and returns the fitted (integer,
+/// non-increasing) degree sequence `degree[x]`.
+pub fn fit_degree_sequence(ccdf_noisy: &[f64], seq_noisy: &[f64]) -> Vec<usize> {
+    let width = seq_noisy.len(); // number of ranks (x axis)
+    let height = ccdf_noisy.len(); // number of degree thresholds (y axis)
+    if width == 0 {
+        return Vec::new();
+    }
+    let h = height + 1; // y takes values 0..=height
+
+    // cost_right(x, y): committing rank x to degree y.
+    let cost_right = |x: usize, y: usize| (seq_noisy[x] - y as f64).abs();
+    // cost_down(x, y): asserting that exactly x nodes have degree > y − 1, i.e. stepping
+    // from y down to y − 1 at horizontal position x.
+    let cost_down = |x: usize, y: usize| (ccdf_noisy[y - 1] - x as f64).abs();
+
+    // DP over the grid: dist[x][y] = cheapest cost to reach (x, y) from (0, height).
+    let mut dist = vec![f64::INFINITY; (width + 1) * h];
+    let idx = |x: usize, y: usize| x * h + y;
+    dist[idx(0, height)] = 0.0;
+    // `step[x][y]` remembers whether we arrived moving right (true) or down (false).
+    let mut came_right = vec![false; (width + 1) * h];
+
+    for x in 0..=width {
+        for y in (0..=height).rev() {
+            let d = dist[idx(x, y)];
+            if !d.is_finite() {
+                continue;
+            }
+            // Move right: commit rank x to degree y.
+            if x < width {
+                let nd = d + cost_right(x, y);
+                if nd < dist[idx(x + 1, y)] {
+                    dist[idx(x + 1, y)] = nd;
+                    came_right[idx(x + 1, y)] = true;
+                }
+            }
+            // Move down: finish the set of nodes with degree > y − 1 at count x.
+            if y > 0 {
+                let nd = d + cost_down(x, y);
+                if nd < dist[idx(x, y - 1)] {
+                    dist[idx(x, y - 1)] = nd;
+                    came_right[idx(x, y - 1)] = false;
+                }
+            }
+        }
+    }
+
+    // Trace back from (width, 0): every right-step at height y assigns degree y to one rank.
+    let mut degrees = vec![0usize; width];
+    let (mut x, mut y) = (width, 0usize);
+    while x > 0 || y < height {
+        if x > 0 && came_right[idx(x, y)] {
+            x -= 1;
+            degrees[x] = y;
+        } else if y < height {
+            y += 1;
+        } else {
+            break;
+        }
+    }
+    degrees
+}
+
+/// Root-mean-square error between a fitted sequence and the true degree sequence, the
+/// accuracy metric the degree experiments report.
+pub fn sequence_rmse(fitted: &[usize], truth: &[usize]) -> f64 {
+    let n = fitted.len().max(truth.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..n {
+        let f = fitted.get(i).copied().unwrap_or(0) as f64;
+        let t = truth.get(i).copied().unwrap_or(0) as f64;
+        total += (f - t) * (f - t);
+    }
+    (total / n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wpinq::noise::Laplace;
+    use wpinq_graph::{generators, stats};
+
+    #[test]
+    fn pava_returns_input_when_already_monotone() {
+        let v = vec![5.0, 4.0, 4.0, 1.0];
+        assert_eq!(pava_non_increasing(&v), v);
+    }
+
+    #[test]
+    fn pava_pools_violators() {
+        let v = vec![3.0, 5.0, 1.0];
+        let fit = pava_non_increasing(&v);
+        assert_eq!(fit, vec![4.0, 4.0, 1.0]);
+        // Output is non-increasing.
+        assert!(fit.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+    }
+
+    #[test]
+    fn pava_on_constant_and_empty_inputs() {
+        assert!(pava_non_increasing(&[]).is_empty());
+        assert_eq!(pava_non_increasing(&[2.0, 2.0]), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn grid_fit_recovers_exact_sequence_from_noise_free_inputs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::barabasi_albert(200, 3, &mut rng);
+        let truth = stats::degree_sequence(&g);
+        let ccdf: Vec<f64> = stats::degree_ccdf(&g).iter().map(|c| *c as f64).collect();
+        let seq: Vec<f64> = truth.iter().map(|d| *d as f64).collect();
+        let fitted = fit_degree_sequence(&ccdf, &seq);
+        assert_eq!(fitted.len(), truth.len());
+        assert!(
+            sequence_rmse(&fitted, &truth) < 1e-9,
+            "noise-free fit should be exact"
+        );
+    }
+
+    #[test]
+    fn grid_fit_output_is_non_increasing_and_beats_raw_noise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = generators::barabasi_albert(300, 3, &mut rng);
+        let truth = stats::degree_sequence(&g);
+        let epsilon = 0.5;
+        let laplace = Laplace::from_epsilon(epsilon);
+        let ccdf: Vec<f64> = stats::degree_ccdf(&g)
+            .iter()
+            .map(|c| *c as f64 + laplace.sample(&mut rng))
+            .collect();
+        let seq: Vec<f64> = truth
+            .iter()
+            .map(|d| *d as f64 + laplace.sample(&mut rng))
+            .collect();
+        let fitted = fit_degree_sequence(&ccdf, &seq);
+        assert!(fitted.windows(2).all(|w| w[0] >= w[1]));
+
+        let raw_rounded: Vec<usize> = seq.iter().map(|v| v.round().max(0.0) as usize).collect();
+        let fit_err = sequence_rmse(&fitted, &truth);
+        let raw_err = sequence_rmse(&raw_rounded, &truth);
+        assert!(
+            fit_err <= raw_err + 1e-9,
+            "joint fit ({fit_err}) should not be worse than raw noisy sequence ({raw_err})"
+        );
+    }
+
+    #[test]
+    fn rmse_handles_length_mismatch() {
+        assert!((sequence_rmse(&[2, 2], &[2]) - (4.0f64 / 2.0).sqrt()).abs() < 1e-12);
+        assert_eq!(sequence_rmse(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Squares-by-Degree (SbD): Section 3.4 and Theorem 3.
+//!
+//! Length-three paths are formed by joining annotated length-two paths with themselves,
+//! then matched against their double rotation to discover 4-cycles together with all four
+//! vertex degrees. The edges dataset is used 12 times.
+
+use rand::Rng;
+
+use wpinq::{NoisyCounts, Queryable, WpinqError};
+
+use crate::edges::Edge;
+use crate::triangles::paths_with_middle_degree_query;
+
+/// Length-three paths `(a, b, c, d)` (with `a ≠ d`) annotated with the two interior degrees:
+/// records `((a, b, c, d), d_b, d_c)` with weight `1 / (2·(d_b²(d_c − 1) + d_c²(d_b − 1)))`
+/// (equation (5)).
+///
+/// Privacy multiplicity: 6.
+pub fn length_three_paths_query(
+    edges: &Queryable<Edge>,
+) -> Queryable<((u32, u32, u32, u32), u64, u64)> {
+    let abc = paths_with_middle_degree_query(edges, 1);
+    abc.join(
+        &abc,
+        |x| (x.0 .1, x.0 .2),
+        |y| (y.0 .0, y.0 .1),
+        |x, y| ((x.0 .0, x.0 .1, x.0 .2, y.0 .2), x.1, y.1),
+    )
+    .filter(|(p, _, _)| p.0 != p.3)
+}
+
+/// The Squares-by-Degree query: sorted degree quadruples of the vertices of every 4-cycle.
+///
+/// Privacy multiplicity: 12.
+pub fn sbd_query(edges: &Queryable<Edge>) -> Queryable<(u64, u64, u64, u64)> {
+    let abcd = length_three_paths_query(edges);
+    // Double rotation (a,b,c,d) → (c,d,a,b); the attached degrees stay with the original
+    // interior vertices, which become the outer vertices of the rotated path.
+    let cdab = abcd.select(|(p, db, dc)| ((p.2, p.3, p.0, p.1), *db, *dc));
+    let squares = abcd.join(&cdab, |x| x.0, |y| y.0, |x, y| (y.1, y.2, x.1, x.2));
+    squares.select(|(d1, d2, d3, d4)| {
+        let mut q = [*d1, *d2, *d3, *d4];
+        q.sort_unstable();
+        (q[0], q[1], q[2], q[3])
+    })
+}
+
+/// Equation (6): the weight of one *discovery* of a square whose vertices, in path order
+/// `a-b-c-d`, have the given degrees.
+pub fn sbd_discovery_weight(da: u64, db: u64, dc: u64, dd: u64) -> f64 {
+    let (da, db, dc, dd) = (da as f64, db as f64, dc as f64, dd as f64);
+    1.0 / (2.0 * (da * da * (dd - 1.0) + dd * dd * (da - 1.0) + db * db * (dc - 1.0) + dc * dc * (db - 1.0)))
+}
+
+/// The total weight a square contributes to its sorted degree quadruple: the sum of
+/// [`sbd_discovery_weight`] over its eight discoveries (four rotations in each direction).
+pub fn sbd_square_weight(da: u64, db: u64, dc: u64, dd: u64) -> f64 {
+    // Discoveries traverse the cycle a-b-c-d-a starting at each vertex, in both directions.
+    let cycle = [da, db, dc, dd];
+    let mut total = 0.0;
+    for start in 0..4 {
+        let fwd = [
+            cycle[start],
+            cycle[(start + 1) % 4],
+            cycle[(start + 2) % 4],
+            cycle[(start + 3) % 4],
+        ];
+        let bwd = [
+            cycle[start],
+            cycle[(start + 3) % 4],
+            cycle[(start + 2) % 4],
+            cycle[(start + 1) % 4],
+        ];
+        total += sbd_discovery_weight(fwd[0], fwd[1], fwd[2], fwd[3]);
+        total += sbd_discovery_weight(bwd[0], bwd[1], bwd[2], bwd[3]);
+    }
+    total
+}
+
+/// The noise amplitude Theorem 3 attaches to the released count for degree quadruple
+/// `(v, x, y, z)`: `6·(v·x·(v + x) + y·z·(y + z)) / ε`.
+pub fn theorem3_noise_amplitude(v: u64, x: u64, y: u64, z: u64, epsilon: f64) -> f64 {
+    let (v, x, y, z) = (v as f64, x as f64, y as f64, z as f64);
+    6.0 * (v * x * (v + x) + y * z * (y + z)) / epsilon
+}
+
+/// A released SbD measurement.
+#[derive(Debug)]
+pub struct SbdMeasurement {
+    counts: NoisyCounts<(u64, u64, u64, u64)>,
+    epsilon: f64,
+}
+
+impl SbdMeasurement {
+    /// Measures the SbD with `NoisyCount(·, ε)`, charging `12ε`.
+    pub fn measure<R: Rng + ?Sized>(
+        edges: &Queryable<Edge>,
+        epsilon: f64,
+        rng: &mut R,
+    ) -> Result<Self, WpinqError> {
+        let counts = sbd_query(edges).noisy_count(epsilon, rng)?;
+        Ok(SbdMeasurement { counts, epsilon })
+    }
+
+    /// The ε of the measurement.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The noisy weight observed for a sorted degree quadruple.
+    pub fn raw(&self, quad: (u64, u64, u64, u64)) -> f64 {
+        self.counts.get(&quad)
+    }
+
+    /// The underlying noisy counts.
+    pub fn counts(&self) -> &NoisyCounts<(u64, u64, u64, u64)> {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edges::GraphEdges;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wpinq::PrivacyBudget;
+    use wpinq_graph::{stats, Graph};
+
+    fn cycle4() -> Graph {
+        Graph::from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+    }
+
+    fn complete4() -> Graph {
+        Graph::from_edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn length_three_paths_weight_matches_equation_five() {
+        let g = cycle4();
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let abcd = length_three_paths_query(&edges.queryable());
+        // All degrees are 2, so equation (5) gives 1 / (2·(4·1 + 4·1)) = 1/16.
+        let w = abcd.inspect().weight(&((0, 1, 2, 3), 2, 2));
+        assert!((w - 1.0 / 16.0).abs() < 1e-9, "weight {w}");
+        assert_eq!(abcd.max_multiplicity(), 6);
+    }
+
+    #[test]
+    fn sbd_weight_on_the_four_cycle() {
+        let g = cycle4();
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let sbd = sbd_query(&edges.queryable());
+        // One square, all degrees 2: eight discoveries of weight 1/32 each → 1/4.
+        let w = sbd.inspect().weight(&(2, 2, 2, 2));
+        assert!((w - 0.25).abs() < 1e-9, "weight {w}");
+        assert!((sbd_square_weight(2, 2, 2, 2) - 0.25).abs() < 1e-12);
+        assert_eq!(sbd.inspect().len(), 1);
+    }
+
+    #[test]
+    fn sbd_weight_on_the_complete_graph() {
+        let g = complete4();
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let sbd = sbd_query(&edges.queryable());
+        // K4 has 3 squares, all degrees 3. Discovery weight: 1/(2·(9·2 + 9·2 + 9·2 + 9·2)) = 1/144.
+        let expected = 3.0 * 8.0 / 144.0;
+        let w = sbd.inspect().weight(&(3, 3, 3, 3));
+        assert!((w - expected).abs() < 1e-9, "weight {w} vs {expected}");
+        assert!((sbd_square_weight(3, 3, 3, 3) - 8.0 / 144.0).abs() < 1e-12);
+        assert_eq!(stats::square_count(&g), 3);
+    }
+
+    #[test]
+    fn sbd_costs_twelve_uses() {
+        let g = cycle4();
+        let edges = GraphEdges::new(&g, PrivacyBudget::new(2.0));
+        let q = sbd_query(&edges.queryable());
+        assert_eq!(q.multiplicity_of(edges.protected().id()), 12);
+        let mut rng = StdRng::seed_from_u64(0);
+        q.noisy_count(0.1, &mut rng).unwrap();
+        assert!((edges.budget().spent() - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangle_free_square_free_graph_has_empty_sbd() {
+        let g = Graph::from_edges([(0, 1), (1, 2), (2, 3)]);
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        assert!(sbd_query(&edges.queryable()).inspect().is_empty());
+    }
+
+    #[test]
+    fn measurement_recovers_square_signal_at_high_epsilon() {
+        let g = cycle4();
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = SbdMeasurement::measure(&edges.queryable(), 1e6, &mut rng).unwrap();
+        assert!((m.raw((2, 2, 2, 2)) - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn theorem3_amplitude_formula() {
+        let amp = theorem3_noise_amplitude(2, 3, 4, 5, 0.5);
+        let expected = 6.0 * (2.0 * 3.0 * 5.0 + 4.0 * 5.0 * 9.0) / 0.5;
+        assert!((amp - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,253 @@
+//! Triangles-by-Degree (TbD): Section 3.3 and Theorem 2.
+//!
+//! For every triangle on vertices of degrees `(d_a, d_b, d_c)` the query adds weight
+//! `3 / (d_a² + d_b² + d_c²)` to the sorted degree triple. The edges dataset is used 9
+//! times (3 path rotations, each built from paths + degrees), so measuring with ε charges
+//! `9ε` — the cost quoted for the Figure 3 experiments.
+
+use rand::Rng;
+
+use wpinq::{NoisyCounts, Queryable, WpinqError};
+
+use crate::edges::Edge;
+
+/// Length-two paths `(a, b, c)` (with `a ≠ c`), each weighted `1 / (2·d_b)`.
+///
+/// Privacy multiplicity: 2 (a self-join of the edges).
+pub fn length_two_paths_query(edges: &Queryable<Edge>) -> Queryable<(u32, u32, u32)> {
+    edges
+        .join(edges, |x| x.1, |y| y.0, |x, y| (x.0, x.1, y.1))
+        .filter(|p| p.0 != p.2)
+}
+
+/// The degree lookup `(v, d_v)` at weight ½ used by the triangle and square queries.
+///
+/// Privacy multiplicity: 1. The optional bucketing divides the reported degree by `k`
+/// (Section 5.2) without changing any weights.
+pub fn degrees_query(edges: &Queryable<Edge>, bucket: u64) -> Queryable<(u32, u64)> {
+    assert!(bucket >= 1, "bucket size must be at least 1");
+    edges.group_by(|e| e.0, move |group| group.len() as u64 / bucket)
+}
+
+/// Length-two paths annotated with the degree of their middle vertex:
+/// `((a, b, c), d_b)` with weight `1 / (2·d_b²)`.
+///
+/// Privacy multiplicity: 3.
+pub fn paths_with_middle_degree_query(
+    edges: &Queryable<Edge>,
+    bucket: u64,
+) -> Queryable<((u32, u32, u32), u64)> {
+    let paths = length_two_paths_query(edges);
+    let degrees = degrees_query(edges, bucket);
+    paths.join(&degrees, |p| p.1, |d| d.0, |p, d| (*p, d.1))
+}
+
+/// The Triangles-by-Degree query: sorted degree triples `(d₁ ≤ d₂ ≤ d₃)`, where each
+/// triangle on degrees `(d_a, d_b, d_c)` contributes weight `3 / (d_a² + d_b² + d_c²)`.
+///
+/// Privacy multiplicity: 9.
+pub fn tbd_query(edges: &Queryable<Edge>) -> Queryable<(u64, u64, u64)> {
+    tbd_query_bucketed(edges, 1)
+}
+
+/// [`tbd_query`] with degrees bucketed by `k` (each reported degree is `d / k`), the
+/// remedy Section 5.2 applies so that low-signal degree triples pool their weight.
+pub fn tbd_query_bucketed(edges: &Queryable<Edge>, bucket: u64) -> Queryable<(u64, u64, u64)> {
+    let abc = paths_with_middle_degree_query(edges, bucket);
+    // Rotating the path leaves the weight untouched; the attached degree stays with the
+    // original middle vertex, which is the first vertex of the rotated path.
+    let bca = abc.select(|(p, d)| ((p.1, p.2, p.0), *d));
+    let cab = bca.select(|(p, d)| ((p.1, p.2, p.0), *d));
+    let tris = abc
+        .join(&bca, |x| x.0, |y| y.0, |x, y| (x.0, x.1, y.1))
+        .join(&cab, |x| x.0, |y| y.0, |x, y| (y.1, x.1, x.2));
+    tris.select(|(d1, d2, d3)| {
+        let mut t = [*d1, *d2, *d3];
+        t.sort_unstable();
+        (t[0], t[1], t[2])
+    })
+}
+
+/// The weight one triangle on degrees `(x, y, z)` contributes to its sorted degree triple:
+/// `3 / (x² + y² + z²)` (equation (4) summed over the six path discoveries).
+pub fn tbd_record_weight(x: u64, y: u64, z: u64) -> f64 {
+    3.0 / ((x * x + y * y + z * z) as f64)
+}
+
+/// The noise amplitude Theorem 2 attaches to the released count for degree triple
+/// `(x, y, z)`: `6·(x² + y² + z²) / ε`.
+pub fn theorem2_noise_amplitude(x: u64, y: u64, z: u64, epsilon: f64) -> f64 {
+    6.0 * ((x * x + y * y + z * z) as f64) / epsilon
+}
+
+/// A released TbD measurement (optionally bucketed).
+#[derive(Debug)]
+pub struct TbdMeasurement {
+    counts: NoisyCounts<(u64, u64, u64)>,
+    epsilon: f64,
+    bucket: u64,
+}
+
+impl TbdMeasurement {
+    /// Measures the (bucketed) TbD with `NoisyCount(·, ε)`, charging `9ε`.
+    pub fn measure<R: Rng + ?Sized>(
+        edges: &Queryable<Edge>,
+        epsilon: f64,
+        bucket: u64,
+        rng: &mut R,
+    ) -> Result<Self, WpinqError> {
+        let counts = tbd_query_bucketed(edges, bucket).noisy_count(epsilon, rng)?;
+        Ok(TbdMeasurement {
+            counts,
+            epsilon,
+            bucket,
+        })
+    }
+
+    /// The ε of the measurement.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The bucket size the degrees were divided by.
+    pub fn bucket(&self) -> u64 {
+        self.bucket
+    }
+
+    /// The noisy weight observed for a (bucketed) sorted degree triple.
+    pub fn raw(&self, triple: (u64, u64, u64)) -> f64 {
+        self.counts.get(&triple)
+    }
+
+    /// For unbucketed measurements, the estimated number of triangles with the given sorted
+    /// degree triple, obtained by dividing the raw weight by [`tbd_record_weight`].
+    pub fn estimated_triangles(&self, triple: (u64, u64, u64)) -> f64 {
+        self.raw(triple) / tbd_record_weight(triple.0, triple.1, triple.2)
+    }
+
+    /// The underlying noisy counts, e.g. for feeding the MCMC scorer.
+    pub fn counts(&self) -> &NoisyCounts<(u64, u64, u64)> {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edges::GraphEdges;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wpinq::PrivacyBudget;
+    use wpinq_graph::{stats, Graph};
+
+    fn triangle_with_tail() -> Graph {
+        Graph::from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+    }
+
+    fn complete4() -> Graph {
+        Graph::from_edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn paths_have_weight_one_over_twice_middle_degree() {
+        let g = triangle_with_tail();
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let paths = length_two_paths_query(&edges.queryable());
+        // Path (0, 1, 2): middle vertex 1 has degree 2 → weight 1/4.
+        assert!((paths.inspect().weight(&(0, 1, 2)) - 0.25).abs() < 1e-9);
+        // Path (0, 2, 3): middle vertex 2 has degree 3 → weight 1/6.
+        assert!((paths.inspect().weight(&(0, 2, 3)) - 1.0 / 6.0).abs() < 1e-9);
+        // Length-two cycles are filtered out.
+        assert_eq!(paths.inspect().weight(&(0, 1, 0)), 0.0);
+        assert_eq!(paths.max_multiplicity(), 2);
+    }
+
+    #[test]
+    fn annotated_paths_have_weight_one_over_two_degree_squared() {
+        let g = triangle_with_tail();
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let abc = paths_with_middle_degree_query(&edges.queryable(), 1);
+        assert!((abc.inspect().weight(&((0, 1, 2), 2)) - 1.0 / 8.0).abs() < 1e-9);
+        assert!((abc.inspect().weight(&((0, 2, 3), 3)) - 1.0 / 18.0).abs() < 1e-9);
+        assert_eq!(abc.max_multiplicity(), 3);
+    }
+
+    #[test]
+    fn tbd_weight_matches_equation_four_on_triangle_with_tail() {
+        let g = triangle_with_tail();
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let tbd = tbd_query(&edges.queryable());
+        // One triangle with degrees (2, 2, 3): weight 3 / (4 + 4 + 9) = 3/17.
+        let w = tbd.inspect().weight(&(2, 2, 3));
+        assert!((w - tbd_record_weight(2, 2, 3)).abs() < 1e-9, "weight {w}");
+        // No other degree triple receives weight.
+        assert_eq!(tbd.inspect().len(), 1);
+    }
+
+    #[test]
+    fn tbd_weight_matches_on_complete_graph() {
+        let g = complete4();
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let tbd = tbd_query(&edges.queryable());
+        // Four triangles, all with degrees (3, 3, 3): total weight 4 · 3/27 = 4/9.
+        let w = tbd.inspect().weight(&(3, 3, 3));
+        assert!((w - 4.0 * tbd_record_weight(3, 3, 3)).abs() < 1e-9, "weight {w}");
+    }
+
+    #[test]
+    fn tbd_matches_exact_triangles_by_degree_on_random_graph() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = wpinq_graph::generators::powerlaw_cluster(60, 3, 0.6, &mut rng);
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let tbd = tbd_query(&edges.queryable());
+        let exact = stats::triangles_by_degree(&g);
+        for ((x, y, z), count) in &exact {
+            let expected = *count as f64 * tbd_record_weight(*x as u64, *y as u64, *z as u64);
+            let got = tbd.inspect().weight(&(*x as u64, *y as u64, *z as u64));
+            assert!(
+                (got - expected).abs() < 1e-6,
+                "triple ({x},{y},{z}): got {got}, want {expected}"
+            );
+        }
+        // Total number of weighted records matches the number of distinct triples.
+        assert_eq!(tbd.inspect().len(), exact.len());
+    }
+
+    #[test]
+    fn tbd_costs_nine_uses() {
+        let g = triangle_with_tail();
+        let edges = GraphEdges::new(&g, PrivacyBudget::new(1.0));
+        let q = tbd_query(&edges.queryable());
+        assert_eq!(q.multiplicity_of(edges.protected().id()), 9);
+        let mut rng = StdRng::seed_from_u64(0);
+        q.noisy_count(0.1, &mut rng).unwrap();
+        assert!((edges.budget().spent() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucketing_pools_weight_into_coarser_triples() {
+        let g = complete4();
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let bucketed = tbd_query_bucketed(&edges.queryable(), 2);
+        // Degrees 3 bucket to 1; the pooled weight equals the unbucketed total.
+        let w = bucketed.inspect().weight(&(1, 1, 1));
+        assert!((w - 4.0 * tbd_record_weight(3, 3, 3)).abs() < 1e-9);
+        assert_eq!(bucketed.inspect().len(), 1);
+    }
+
+    #[test]
+    fn estimated_triangles_recovers_truth_at_high_epsilon() {
+        let g = complete4();
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = TbdMeasurement::measure(&edges.queryable(), 1e6, 1, &mut rng).unwrap();
+        assert!((m.estimated_triangles((3, 3, 3)) - 4.0).abs() < 0.01);
+        assert_eq!(m.bucket(), 1);
+    }
+
+    #[test]
+    fn theorem2_amplitude_formula() {
+        assert!((theorem2_noise_amplitude(1, 2, 3, 0.5) - 6.0 * 14.0 / 0.5).abs() < 1e-9);
+        assert!(theorem2_noise_amplitude(10, 10, 10, 1.0) > theorem2_noise_amplitude(2, 2, 2, 1.0));
+    }
+}

@@ -1,0 +1,37 @@
+//! # wpinq-dataflow — incremental query evaluation for wPINQ
+//!
+//! Section 4.3 of the paper describes the engine that makes MCMC-based probabilistic
+//! inference practical: every wPINQ query is compiled into a data-parallel dataflow whose
+//! operators respond to *small changes* in their inputs by emitting small changes in their
+//! outputs, so an MCMC step (one edge swap in a candidate graph) costs a delta-update
+//! rather than a from-scratch re-execution.
+//!
+//! This crate provides:
+//!
+//! * [`Delta`] — a `(record, ±weight)` change, plus helpers to consolidate batches of them.
+//! * [`operators`] — incremental implementations of every wPINQ transformation. Stateless
+//!   operators (`Select`, `Where`, `SelectMany`, `Concat`, `Except`) map deltas directly;
+//!   keyed stateful operators (`Join`, `GroupBy`, `Shave`, `Union`, `Intersect`) index
+//!   their inputs by key and recompute only the affected keys, exactly the "data-parallel,
+//!   only changed parts are reprocessed" strategy of Appendix B.
+//! * [`stream`] — a small push-based dataflow builder ([`Stream`]) that wires those
+//!   operators into a DAG mirroring a wPINQ query, with [`CollectedOutput`] sinks and
+//!   [`L1Scorer`] sinks that maintain `‖Q(A) − m‖₁` incrementally (the quantity the MCMC
+//!   acceptance test needs).
+//!
+//! Correctness contract: pushing any sequence of deltas through a dataflow leaves every
+//! sink equal to the corresponding *batch* operator applied to the accumulated input. The
+//! property tests in `tests/equivalence.rs` check this against the `wpinq` crate for every
+//! operator and for composed pipelines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delta;
+pub mod operators;
+pub mod scorer;
+pub mod stream;
+
+pub use delta::{consolidate, diff_datasets, Delta};
+pub use scorer::L1Scorer;
+pub use stream::{CollectedOutput, DataflowInput, ScorerHandle, Stream};

@@ -1,0 +1,523 @@
+//! Incremental implementations of the wPINQ operators.
+//!
+//! Stateless operators are linear in the record weights, so a weight delta maps directly to
+//! an output delta. Stateful operators keep their inputs indexed by key (or by record) and,
+//! when deltas arrive, recompute *only the affected keys* by calling the corresponding
+//! batch operator from the `wpinq` crate on the key's restriction — this guarantees the
+//! incremental semantics agree with the batch semantics exactly, which the equivalence
+//! property tests rely on.
+
+use std::collections::HashMap;
+
+use wpinq::operators as batch;
+use wpinq::{Record, WeightedDataset};
+
+use crate::delta::{consolidate, diff_datasets, Delta};
+
+// ---------------------------------------------------------------------------------------
+// Stateless (linear) operators
+// ---------------------------------------------------------------------------------------
+
+/// Incremental `Select`: each input delta becomes one output delta.
+pub fn inc_select<T, U, F>(f: &F, deltas: &[Delta<T>]) -> Vec<Delta<U>>
+where
+    T: Record,
+    U: Record,
+    F: Fn(&T) -> U,
+{
+    consolidate(deltas.iter().map(|(r, w)| (f(r), *w)).collect())
+}
+
+/// Incremental `Where`: deltas for records failing the predicate are dropped.
+pub fn inc_filter<T, P>(predicate: &P, deltas: &[Delta<T>]) -> Vec<Delta<T>>
+where
+    T: Record,
+    P: Fn(&T) -> bool,
+{
+    consolidate(
+        deltas
+            .iter()
+            .filter(|(r, _)| predicate(r))
+            .cloned()
+            .collect(),
+    )
+}
+
+/// Incremental `SelectMany`: the operator is linear in the input weight, so each delta is
+/// expanded through the (normalised) production of its record.
+pub fn inc_select_many<T, U, F>(f: &F, deltas: &[Delta<T>]) -> Vec<Delta<U>>
+where
+    T: Record,
+    U: Record,
+    F: Fn(&T) -> WeightedDataset<U>,
+{
+    let mut out = Vec::new();
+    for (record, weight) in deltas {
+        let produced = f(record);
+        let norm = produced.norm();
+        if norm == 0.0 {
+            continue;
+        }
+        let scale = weight / norm.max(1.0);
+        for (u, w) in produced.iter() {
+            out.push((u.clone(), w * scale));
+        }
+    }
+    consolidate(out)
+}
+
+/// Incremental `SelectMany` where each produced record has unit weight.
+pub fn inc_select_many_unit<T, U, I, F>(f: &F, deltas: &[Delta<T>]) -> Vec<Delta<U>>
+where
+    T: Record,
+    U: Record,
+    I: IntoIterator<Item = U>,
+    F: Fn(&T) -> I,
+{
+    inc_select_many(
+        &|record: &T| WeightedDataset::from_records(f(record)),
+        deltas,
+    )
+}
+
+/// Incremental `Concat`: deltas from either input pass straight through.
+pub fn inc_concat<T: Record>(deltas: &[Delta<T>]) -> Vec<Delta<T>> {
+    consolidate(deltas.to_vec())
+}
+
+/// Incremental `Except`, right input: deltas pass through with their sign flipped.
+pub fn inc_negate<T: Record>(deltas: &[Delta<T>]) -> Vec<Delta<T>> {
+    consolidate(deltas.iter().map(|(r, w)| (r.clone(), -w)).collect())
+}
+
+// ---------------------------------------------------------------------------------------
+// Stateful keyed operators
+// ---------------------------------------------------------------------------------------
+
+/// Incremental `Join` (equation (1)): inputs are indexed by key; a delta on either side
+/// triggers a recomputation of exactly the keys it touches, including the renormalisation
+/// of every match under those keys (the paper notes this is the one place wPINQ's join is
+/// more expensive than a relational incremental join).
+pub struct IncrementalJoin<A, B, K, R, KA, KB, RF>
+where
+    A: Record,
+    B: Record,
+    K: Record,
+    R: Record,
+    KA: Fn(&A) -> K,
+    KB: Fn(&B) -> K,
+    RF: Fn(&A, &B) -> R,
+{
+    left: HashMap<K, WeightedDataset<A>>,
+    right: HashMap<K, WeightedDataset<B>>,
+    key_left: KA,
+    key_right: KB,
+    result: RF,
+}
+
+impl<A, B, K, R, KA, KB, RF> IncrementalJoin<A, B, K, R, KA, KB, RF>
+where
+    A: Record,
+    B: Record,
+    K: Record,
+    R: Record,
+    KA: Fn(&A) -> K,
+    KB: Fn(&B) -> K,
+    RF: Fn(&A, &B) -> R,
+{
+    /// Creates an empty join with the given key selectors and result selector.
+    pub fn new(key_left: KA, key_right: KB, result: RF) -> Self {
+        IncrementalJoin {
+            left: HashMap::new(),
+            right: HashMap::new(),
+            key_left,
+            key_right,
+            result,
+        }
+    }
+
+    /// Number of distinct keys currently indexed (left and right), a proxy for the state
+    /// size the paper's scalability discussion tracks.
+    pub fn state_keys(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
+
+    /// Total number of `(key, record)` entries held in the operator state.
+    pub fn state_records(&self) -> usize {
+        self.left.values().map(|d| d.len()).sum::<usize>()
+            + self.right.values().map(|d| d.len()).sum::<usize>()
+    }
+
+    fn recompute_key(&self, key: &K) -> WeightedDataset<R> {
+        let empty_a = WeightedDataset::new();
+        let empty_b = WeightedDataset::new();
+        let a = self.left.get(key).unwrap_or(&empty_a);
+        let b = self.right.get(key).unwrap_or(&empty_b);
+        batch::join(a, b, &self.key_left, &self.key_right, &self.result)
+    }
+
+    /// Feeds deltas into the left input, returning the induced output deltas.
+    pub fn push_left(&mut self, deltas: &[Delta<A>]) -> Vec<Delta<R>> {
+        let mut by_key: HashMap<K, Vec<Delta<A>>> = HashMap::new();
+        for (record, weight) in deltas {
+            by_key
+                .entry((self.key_left)(record))
+                .or_default()
+                .push((record.clone(), *weight));
+        }
+        let mut out = Vec::new();
+        for (key, key_deltas) in by_key {
+            let before = self.recompute_key(&key);
+            let part = self.left.entry(key.clone()).or_default();
+            for (record, weight) in key_deltas {
+                part.add_weight(record, weight);
+            }
+            if part.is_empty() {
+                self.left.remove(&key);
+            }
+            let after = self.recompute_key(&key);
+            out.extend(diff_datasets(&after, &before));
+        }
+        consolidate(out)
+    }
+
+    /// Feeds deltas into the right input, returning the induced output deltas.
+    pub fn push_right(&mut self, deltas: &[Delta<B>]) -> Vec<Delta<R>> {
+        let mut by_key: HashMap<K, Vec<Delta<B>>> = HashMap::new();
+        for (record, weight) in deltas {
+            by_key
+                .entry((self.key_right)(record))
+                .or_default()
+                .push((record.clone(), *weight));
+        }
+        let mut out = Vec::new();
+        for (key, key_deltas) in by_key {
+            let before = self.recompute_key(&key);
+            let part = self.right.entry(key.clone()).or_default();
+            for (record, weight) in key_deltas {
+                part.add_weight(record, weight);
+            }
+            if part.is_empty() {
+                self.right.remove(&key);
+            }
+            let after = self.recompute_key(&key);
+            out.extend(diff_datasets(&after, &before));
+        }
+        consolidate(out)
+    }
+}
+
+/// Incremental `GroupBy`: groups are indexed by key and re-reduced when any member changes.
+pub struct IncrementalGroupBy<T, K, R, KF, RF>
+where
+    T: Record,
+    K: Record,
+    R: Record,
+    KF: Fn(&T) -> K,
+    RF: Fn(&[T]) -> R,
+{
+    parts: HashMap<K, WeightedDataset<T>>,
+    key: KF,
+    reduce: RF,
+}
+
+impl<T, K, R, KF, RF> IncrementalGroupBy<T, K, R, KF, RF>
+where
+    T: Record,
+    K: Record,
+    R: Record,
+    KF: Fn(&T) -> K,
+    RF: Fn(&[T]) -> R,
+{
+    /// Creates an empty incremental `GroupBy`.
+    pub fn new(key: KF, reduce: RF) -> Self {
+        IncrementalGroupBy {
+            parts: HashMap::new(),
+            key,
+            reduce,
+        }
+    }
+
+    fn recompute_key(&self, key: &K) -> WeightedDataset<(K, R)> {
+        match self.parts.get(key) {
+            Some(part) => batch::group_by(part, &self.key, &self.reduce),
+            None => WeightedDataset::new(),
+        }
+    }
+
+    /// Feeds deltas into the grouped input, returning the induced output deltas.
+    pub fn push(&mut self, deltas: &[Delta<T>]) -> Vec<Delta<(K, R)>> {
+        let mut by_key: HashMap<K, Vec<Delta<T>>> = HashMap::new();
+        for (record, weight) in deltas {
+            by_key
+                .entry((self.key)(record))
+                .or_default()
+                .push((record.clone(), *weight));
+        }
+        let mut out = Vec::new();
+        for (key, key_deltas) in by_key {
+            let before = self.recompute_key(&key);
+            let part = self.parts.entry(key.clone()).or_default();
+            for (record, weight) in key_deltas {
+                part.add_weight(record, weight);
+            }
+            if part.is_empty() {
+                self.parts.remove(&key);
+            }
+            let after = self.recompute_key(&key);
+            out.extend(diff_datasets(&after, &before));
+        }
+        consolidate(out)
+    }
+
+    /// Number of groups currently indexed.
+    pub fn state_keys(&self) -> usize {
+        self.parts.len()
+    }
+}
+
+/// Incremental `Shave`: each record's weight is tracked so that a change re-slices only
+/// that record's output.
+pub struct IncrementalShave<T, F, I>
+where
+    T: Record,
+    F: Fn(&T) -> I,
+    I: IntoIterator<Item = f64>,
+{
+    current: WeightedDataset<T>,
+    schedule: F,
+}
+
+impl<T, F, I> IncrementalShave<T, F, I>
+where
+    T: Record,
+    F: Fn(&T) -> I,
+    I: IntoIterator<Item = f64>,
+{
+    /// Creates an empty incremental `Shave` with the given weight schedule.
+    pub fn new(schedule: F) -> Self {
+        IncrementalShave {
+            current: WeightedDataset::new(),
+            schedule,
+        }
+    }
+
+    fn slice_record(&self, record: &T, weight: f64) -> WeightedDataset<(T, u64)> {
+        if weight <= 0.0 {
+            return WeightedDataset::new();
+        }
+        let single = WeightedDataset::from_pairs([(record.clone(), weight)]);
+        batch::shave(&single, &self.schedule)
+    }
+
+    /// Feeds deltas into the shaved input, returning the induced output deltas.
+    pub fn push(&mut self, deltas: &[Delta<T>]) -> Vec<Delta<(T, u64)>> {
+        let mut out = Vec::new();
+        for (record, weight) in consolidate(deltas.to_vec()) {
+            let old_weight = self.current.weight(&record);
+            let before = self.slice_record(&record, old_weight);
+            self.current.add_weight(record.clone(), weight);
+            let after = self.slice_record(&record, self.current.weight(&record));
+            out.extend(diff_datasets(&after, &before));
+        }
+        consolidate(out)
+    }
+}
+
+/// Incremental `Union` / `Intersect`: both inputs' weights are tracked per record, and a
+/// delta on either side re-evaluates the element-wise max/min for that record.
+pub struct IncrementalMinMax<T: Record> {
+    left: WeightedDataset<T>,
+    right: WeightedDataset<T>,
+    /// `true` for Union (max), `false` for Intersect (min).
+    take_max: bool,
+}
+
+impl<T: Record> IncrementalMinMax<T> {
+    /// Creates an incremental `Union` (element-wise maximum).
+    pub fn union() -> Self {
+        IncrementalMinMax {
+            left: WeightedDataset::new(),
+            right: WeightedDataset::new(),
+            take_max: true,
+        }
+    }
+
+    /// Creates an incremental `Intersect` (element-wise minimum).
+    pub fn intersect() -> Self {
+        IncrementalMinMax {
+            left: WeightedDataset::new(),
+            right: WeightedDataset::new(),
+            take_max: false,
+        }
+    }
+
+    fn combine(&self, record: &T) -> f64 {
+        let l = self.left.weight(record);
+        let r = self.right.weight(record);
+        if self.take_max {
+            l.max(r)
+        } else {
+            l.min(r)
+        }
+    }
+
+    fn push(&mut self, deltas: &[Delta<T>], is_left: bool) -> Vec<Delta<T>> {
+        let mut out = Vec::new();
+        for (record, weight) in consolidate(deltas.to_vec()) {
+            let before = self.combine(&record);
+            if is_left {
+                self.left.add_weight(record.clone(), weight);
+            } else {
+                self.right.add_weight(record.clone(), weight);
+            }
+            let after = self.combine(&record);
+            let change = after - before;
+            if change != 0.0 {
+                out.push((record, change));
+            }
+        }
+        consolidate(out)
+    }
+
+    /// Feeds deltas into the left input.
+    pub fn push_left(&mut self, deltas: &[Delta<T>]) -> Vec<Delta<T>> {
+        self.push(deltas, true)
+    }
+
+    /// Feeds deltas into the right input.
+    pub fn push_right(&mut self, deltas: &[Delta<T>]) -> Vec<Delta<T>> {
+        self.push(deltas, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stateless_operators_map_deltas_directly() {
+        let deltas = vec![(3u32, 1.0), (4, 2.0), (3, 0.5)];
+        assert_eq!(inc_select(&|x: &u32| x % 2, &deltas), vec![(1u32, 1.5), (0, 2.0)]);
+        assert_eq!(inc_filter(&|x: &u32| *x > 3, &deltas), vec![(4u32, 2.0)]);
+        assert_eq!(inc_negate(&deltas), vec![(3u32, -1.5), (4, -2.0)]);
+        assert_eq!(inc_concat(&deltas), vec![(3u32, 1.5), (4, 2.0)]);
+    }
+
+    #[test]
+    fn inc_select_many_normalises_per_record() {
+        let deltas = vec![(4u32, 2.0)];
+        let out = inc_select_many_unit(&|x: &u32| (0..*x).collect::<Vec<_>>(), &deltas);
+        assert_eq!(out.len(), 4);
+        for (_, w) in &out {
+            assert!((w - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn incremental_join_matches_batch_on_insert_and_remove() {
+        let key = |x: &u32| x % 2;
+        let mut inc = IncrementalJoin::new(key, key, |a: &u32, b: &u32| (*a, *b));
+        let mut left = WeightedDataset::new();
+        let mut right = WeightedDataset::new();
+        let mut output = WeightedDataset::new();
+
+        let steps: Vec<(bool, u32, f64)> = vec![
+            (true, 1, 1.0),
+            (false, 3, 2.0),
+            (true, 5, 1.0),
+            (false, 2, 1.0),
+            (true, 1, -1.0),
+            (false, 3, -0.5),
+        ];
+        for (is_left, record, weight) in steps {
+            let deltas = vec![(record, weight)];
+            let out = if is_left {
+                left.add_weight(record, weight);
+                inc.push_left(&deltas)
+            } else {
+                right.add_weight(record, weight);
+                inc.push_right(&deltas)
+            };
+            for (r, w) in out {
+                output.add_weight(r, w);
+            }
+            let expected = batch::join(&left, &right, key, key, |a, b| (*a, *b));
+            assert!(
+                output.approx_eq(&expected, 1e-9),
+                "divergence after ({is_left}, {record}, {weight})"
+            );
+        }
+        assert!(inc.state_keys() > 0);
+        assert!(inc.state_records() > 0);
+    }
+
+    #[test]
+    fn incremental_group_by_matches_batch() {
+        let key = |x: &u32| x % 3;
+        let reduce = |g: &[u32]| g.len() as u64;
+        let mut inc = IncrementalGroupBy::new(key, reduce);
+        let mut input = WeightedDataset::new();
+        let mut output = WeightedDataset::new();
+        for (record, weight) in [(1u32, 1.0), (4, 1.0), (7, 1.0), (2, 1.0), (4, -1.0)] {
+            input.add_weight(record, weight);
+            for delta in inc.push(&[(record, weight)]) {
+                output.add_weight(delta.0, delta.1);
+            }
+            let expected = batch::group_by(&input, key, reduce);
+            assert!(output.approx_eq(&expected, 1e-9));
+        }
+        assert_eq!(inc.state_keys(), 2);
+    }
+
+    #[test]
+    fn incremental_shave_matches_batch() {
+        let mut inc = IncrementalShave::new(|_: &&str| std::iter::repeat(1.0));
+        let mut input = WeightedDataset::new();
+        let mut output = WeightedDataset::new();
+        for (record, weight) in [("a", 2.5), ("b", 1.0), ("a", -1.0), ("b", 0.25)] {
+            input.add_weight(record, weight);
+            for delta in inc.push(&[(record, weight)]) {
+                output.add_weight(delta.0, delta.1);
+            }
+            let expected = batch::shave_const(&input, 1.0);
+            assert!(output.approx_eq(&expected, 1e-9), "after ({record}, {weight})");
+        }
+    }
+
+    #[test]
+    fn incremental_union_and_intersect_match_batch() {
+        let mut union = IncrementalMinMax::union();
+        let mut inter = IncrementalMinMax::intersect();
+        let mut left = WeightedDataset::new();
+        let mut right = WeightedDataset::new();
+        let mut union_out = WeightedDataset::new();
+        let mut inter_out = WeightedDataset::new();
+        let steps: Vec<(bool, &str, f64)> = vec![
+            (true, "x", 1.0),
+            (false, "x", 3.0),
+            (true, "y", 2.0),
+            (false, "y", 0.5),
+            (true, "x", -1.0),
+            (false, "z", 4.0),
+        ];
+        for (is_left, record, weight) in steps {
+            let deltas = vec![(record, weight)];
+            let (u_deltas, i_deltas) = if is_left {
+                left.add_weight(record, weight);
+                (union.push_left(&deltas), inter.push_left(&deltas))
+            } else {
+                right.add_weight(record, weight);
+                (union.push_right(&deltas), inter.push_right(&deltas))
+            };
+            for (r, w) in u_deltas {
+                union_out.add_weight(r, w);
+            }
+            for (r, w) in i_deltas {
+                inter_out.add_weight(r, w);
+            }
+            assert!(union_out.approx_eq(&batch::union(&left, &right), 1e-9));
+            assert!(inter_out.approx_eq(&batch::intersect(&left, &right), 1e-9));
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! The dataset registry: every evaluation graph, its published Table 1 / Table 3 statistics,
+//! and the generator for its synthetic stand-in.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wpinq_graph::{generators, Graph};
+
+/// The statistics the paper publishes for a dataset (Table 1 / Table 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperStats {
+    /// Number of nodes reported in the paper.
+    pub nodes: usize,
+    /// Number of edges reported in the paper.
+    pub edges: usize,
+    /// Maximum degree reported in the paper.
+    pub max_degree: usize,
+    /// Triangle count Δ reported in the paper.
+    pub triangles: u64,
+    /// Assortativity r reported in the paper.
+    pub assortativity: f64,
+}
+
+/// One dataset of the evaluation: its name, published statistics, the scale of our
+/// stand-in, and its generator.
+pub struct DatasetEntry {
+    /// Dataset name as used in the paper.
+    pub name: &'static str,
+    /// The statistics Table 1 reports for the real dataset.
+    pub paper: PaperStats,
+    /// Human-readable note on how the stand-in is scaled relative to the original.
+    pub scale_note: &'static str,
+    /// Generator for the synthetic stand-in.
+    pub generate: fn() -> Graph,
+}
+
+impl DatasetEntry {
+    /// Generates the stand-in graph.
+    pub fn graph(&self) -> Graph {
+        (self.generate)()
+    }
+}
+
+/// The Table 1 datasets, in the paper's order.
+pub fn registry() -> Vec<DatasetEntry> {
+    vec![
+        DatasetEntry {
+            name: "CA-GrQc",
+            paper: PaperStats {
+                nodes: 5_242,
+                edges: 28_980,
+                max_degree: 81,
+                triangles: 48_260,
+                assortativity: 0.66,
+            },
+            scale_note: "full scale",
+            generate: crate::ca_grqc,
+        },
+        DatasetEntry {
+            name: "CA-HepPh",
+            paper: PaperStats {
+                nodes: 12_008,
+                edges: 237_010,
+                max_degree: 491,
+                triangles: 3_358_499,
+                assortativity: 0.63,
+            },
+            scale_note: "quarter scale (3k nodes / ~60k edges)",
+            generate: crate::ca_hepph,
+        },
+        DatasetEntry {
+            name: "CA-HepTh",
+            paper: PaperStats {
+                nodes: 9_877,
+                edges: 51_971,
+                max_degree: 65,
+                triangles: 28_339,
+                assortativity: 0.27,
+            },
+            scale_note: "full scale",
+            generate: crate::ca_hepth,
+        },
+        DatasetEntry {
+            name: "Caltech",
+            paper: PaperStats {
+                nodes: 769,
+                edges: 33_312,
+                max_degree: 248,
+                triangles: 119_563,
+                assortativity: -0.06,
+            },
+            scale_note: "full scale",
+            generate: crate::caltech,
+        },
+        DatasetEntry {
+            name: "Epinions",
+            paper: PaperStats {
+                nodes: 75_879,
+                edges: 1_017_674,
+                max_degree: 3_079,
+                triangles: 1_624_481,
+                assortativity: -0.01,
+            },
+            scale_note: "eighth scale (9.5k nodes / ~125k edges)",
+            generate: crate::epinions,
+        },
+    ]
+}
+
+/// The published statistics of the `Random(X)` rows of Table 1, keyed like [`registry`].
+pub fn random_paper_stats() -> Vec<(&'static str, PaperStats)> {
+    vec![
+        (
+            "Random(GrQc)",
+            PaperStats {
+                nodes: 5_242,
+                edges: 28_992,
+                max_degree: 81,
+                triangles: 586,
+                assortativity: 0.00,
+            },
+        ),
+        (
+            "Random(HepPh)",
+            PaperStats {
+                nodes: 11_996,
+                edges: 237_190,
+                max_degree: 504,
+                triangles: 323_867,
+                assortativity: 0.04,
+            },
+        ),
+        (
+            "Random(HepTh)",
+            PaperStats {
+                nodes: 9_870,
+                edges: 52_056,
+                max_degree: 66,
+                triangles: 322,
+                assortativity: 0.05,
+            },
+        ),
+        (
+            "Random(Caltech)",
+            PaperStats {
+                nodes: 771,
+                edges: 33_368,
+                max_degree: 238,
+                triangles: 50_269,
+                assortativity: 0.17,
+            },
+        ),
+        (
+            "Random(Epinion)",
+            PaperStats {
+                nodes: 75_882,
+                edges: 1_018_060,
+                max_degree: 3_085,
+                triangles: 1_059_864,
+                assortativity: 0.00,
+            },
+        ),
+    ]
+}
+
+/// One graph of the Table 3 Barabási–Albert suite.
+pub struct BarabasiEntry {
+    /// The dynamical exponent β of the preferential attachment.
+    pub beta: f64,
+    /// The paper's statistics at full scale (100k nodes / 2M edges).
+    pub paper: PaperStats,
+    /// The paper's Σd² at full scale.
+    pub paper_sum_degree_squares: u64,
+    /// The generated (scaled) stand-in.
+    pub graph: Graph,
+}
+
+/// The Table 3 suite at a configurable scale. `nodes` and `edges_per_node` default to
+/// 10 000 and 20 in [`barabasi_suite`] (a tenth of the paper's 100k nodes / 2M edges).
+pub fn barabasi_suite_scaled(nodes: usize, edges_per_node: usize) -> Vec<BarabasiEntry> {
+    let paper_rows = [
+        (0.50, 377, 16_091, 71_859_718u64),
+        (0.55, 475, 18_515, 77_819_452),
+        (0.60, 573, 22_209, 86_576_336),
+        (0.65, 751, 28_241, 99_641_108),
+        (0.70, 965, 35_741, 119_340_328),
+    ];
+    paper_rows
+        .iter()
+        .enumerate()
+        .map(|(i, &(beta, dmax, triangles, sum_sq))| {
+            let mut rng = StdRng::seed_from_u64(0xba00 + i as u64);
+            let graph = generators::barabasi_albert_beta(nodes, edges_per_node, beta, &mut rng);
+            BarabasiEntry {
+                beta,
+                paper: PaperStats {
+                    nodes: 100_000,
+                    edges: 2_000_000,
+                    max_degree: dmax,
+                    triangles,
+                    assortativity: 0.0,
+                },
+                paper_sum_degree_squares: sum_sq,
+                graph,
+            }
+        })
+        .collect()
+}
+
+/// The Table 3 suite at the default tenth scale (10k nodes, ~200k edges).
+pub fn barabasi_suite() -> Vec<BarabasiEntry> {
+    barabasi_suite_scaled(10_000, 20)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wpinq_graph::stats;
+
+    #[test]
+    fn registry_lists_the_five_table1_graphs() {
+        let entries = registry();
+        assert_eq!(entries.len(), 5);
+        let names: Vec<&str> = entries.iter().map(|e| e.name).collect();
+        assert_eq!(
+            names,
+            vec!["CA-GrQc", "CA-HepPh", "CA-HepTh", "Caltech", "Epinions"]
+        );
+        assert_eq!(random_paper_stats().len(), 5);
+    }
+
+    #[test]
+    fn paper_stats_match_table1_values() {
+        let entries = registry();
+        assert_eq!(entries[0].paper.triangles, 48_260);
+        assert_eq!(entries[3].paper.edges, 33_312);
+        assert!((entries[1].paper.assortativity - 0.63).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_barabasi_suite_shows_increasing_skew() {
+        // A small-scale version of the Table 3 trend: larger β ⇒ larger d_max and Σd².
+        let suite = barabasi_suite_scaled(1_500, 8);
+        assert_eq!(suite.len(), 5);
+        let sums: Vec<u64> = suite
+            .iter()
+            .map(|e| stats::sum_degree_squares(&e.graph))
+            .collect();
+        assert!(
+            sums.last().unwrap() > sums.first().unwrap(),
+            "sum of degree squares should grow with beta: {sums:?}"
+        );
+        let betas: Vec<f64> = suite.iter().map(|e| e.beta).collect();
+        assert_eq!(betas, vec![0.50, 0.55, 0.60, 0.65, 0.70]);
+        // Paper-side constants are carried through for the harness to print.
+        assert_eq!(suite[0].paper_sum_degree_squares, 71_859_718);
+    }
+
+    #[test]
+    fn registry_graphs_can_be_generated() {
+        // Generate the two cheap full-scale graphs through the registry interface.
+        let entries = registry();
+        let caltech = entries.iter().find(|e| e.name == "Caltech").unwrap().graph();
+        assert_eq!(caltech.num_nodes(), 769);
+        let grqc = entries.iter().find(|e| e.name == "CA-GrQc").unwrap().graph();
+        assert!(grqc.num_edges() > 15_000);
+    }
+}

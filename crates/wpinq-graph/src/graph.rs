@@ -1,0 +1,391 @@
+//! An undirected simple graph with integer node identifiers.
+
+use std::collections::{HashMap, HashSet};
+
+/// Canonical form of an undirected edge: endpoints sorted ascending.
+#[inline]
+pub(crate) fn canonical(a: u32, b: u32) -> (u32, u32) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// An undirected simple graph over node ids `0..num_nodes()`.
+///
+/// The representation keeps an adjacency set per node (O(1) edge queries), a dense edge
+/// list (O(1) uniform edge sampling for the MCMC random walk) and an edge → position index
+/// (O(1) edge removal). Self-loops and parallel edges are rejected.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    adjacency: Vec<HashSet<u32>>,
+    edges: Vec<(u32, u32)>,
+    edge_index: HashMap<(u32, u32), usize>,
+}
+
+/// A proposed double-edge swap: replace `(a, b)` and `(c, d)` by `(a, d)` and `(c, b)`.
+///
+/// This is the degree-preserving move the paper's MCMC random walk uses (Section 5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeSwap {
+    /// First removed edge.
+    pub remove_a: (u32, u32),
+    /// Second removed edge.
+    pub remove_b: (u32, u32),
+    /// First inserted edge.
+    pub insert_a: (u32, u32),
+    /// Second inserted edge.
+    pub insert_b: (u32, u32),
+}
+
+impl Graph {
+    /// Creates an empty graph with `num_nodes` isolated nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Graph {
+            adjacency: vec![HashSet::new(); num_nodes],
+            edges: Vec::new(),
+            edge_index: HashMap::new(),
+        }
+    }
+
+    /// Builds a graph from an edge iterator, growing the node set as needed and ignoring
+    /// self-loops and duplicate edges.
+    pub fn from_edges<I: IntoIterator<Item = (u32, u32)>>(edges: I) -> Self {
+        let mut g = Graph::new(0);
+        for (a, b) in edges {
+            g.ensure_node(a.max(b));
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// Ensures node ids `0..=id` exist.
+    pub fn ensure_node(&mut self, id: u32) {
+        if (id as usize) >= self.adjacency.len() {
+            self.adjacency.resize(id as usize + 1, HashSet::new());
+        }
+    }
+
+    /// Number of nodes (including isolated ones).
+    pub fn num_nodes(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` when the undirected edge `{a, b}` is present.
+    pub fn has_edge(&self, a: u32, b: u32) -> bool {
+        self.adjacency
+            .get(a as usize)
+            .map(|s| s.contains(&b))
+            .unwrap_or(false)
+    }
+
+    /// Adds the undirected edge `{a, b}`. Returns `false` (and changes nothing) for
+    /// self-loops, duplicate edges, or out-of-range endpoints.
+    pub fn add_edge(&mut self, a: u32, b: u32) -> bool {
+        if a == b {
+            return false;
+        }
+        let n = self.adjacency.len() as u32;
+        if a >= n || b >= n {
+            return false;
+        }
+        if self.has_edge(a, b) {
+            return false;
+        }
+        self.adjacency[a as usize].insert(b);
+        self.adjacency[b as usize].insert(a);
+        let e = canonical(a, b);
+        self.edge_index.insert(e, self.edges.len());
+        self.edges.push(e);
+        true
+    }
+
+    /// Removes the undirected edge `{a, b}`. Returns `false` when absent.
+    pub fn remove_edge(&mut self, a: u32, b: u32) -> bool {
+        let e = canonical(a, b);
+        let Some(pos) = self.edge_index.remove(&e) else {
+            return false;
+        };
+        self.adjacency[a as usize].remove(&b);
+        self.adjacency[b as usize].remove(&a);
+        let last = self.edges.len() - 1;
+        self.edges.swap(pos, last);
+        self.edges.pop();
+        if pos < self.edges.len() {
+            self.edge_index.insert(self.edges[pos], pos);
+        }
+        true
+    }
+
+    /// Degree of node `v` (0 for out-of-range ids).
+    pub fn degree(&self, v: u32) -> usize {
+        self.adjacency
+            .get(v as usize)
+            .map(|s| s.len())
+            .unwrap_or(0)
+    }
+
+    /// Iterates over node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.adjacency.len() as u32).into_iter()
+    }
+
+    /// The neighbours of `v`.
+    pub fn neighbors(&self, v: u32) -> impl Iterator<Item = u32> + '_ {
+        self.adjacency
+            .get(v as usize)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
+    }
+
+    /// The common neighbours of `u` and `v` (iterating the smaller adjacency set).
+    pub fn common_neighbors(&self, u: u32, v: u32) -> Vec<u32> {
+        let (small, large) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(small)
+            .filter(|w| self.has_edge(*w, large))
+            .collect()
+    }
+
+    /// Iterates over undirected edges in canonical `(min, max)` form.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// The `i`-th edge of the internal edge list (stable between mutations only).
+    pub fn edge_at(&self, i: usize) -> Option<(u32, u32)> {
+        self.edges.get(i).copied()
+    }
+
+    /// Edges as a sorted vector, for deterministic output.
+    pub fn sorted_edges(&self) -> Vec<(u32, u32)> {
+        let mut e = self.edges.clone();
+        e.sort_unstable();
+        e
+    }
+
+    /// The symmetric directed edge list `(a, b)` and `(b, a)` for every undirected edge —
+    /// the form the paper's graph queries expect after `Concat(edges, transpose(edges))`.
+    pub fn directed_edges(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(self.edges.len() * 2);
+        for &(a, b) in &self.edges {
+            out.push((a, b));
+            out.push((b, a));
+        }
+        out
+    }
+
+    /// Proposes the double-edge swap replacing `(a, b), (c, d)` with `(a, d), (c, b)`,
+    /// returning `None` when the swap would create a self-loop or a parallel edge.
+    pub fn propose_swap(&self, ab: (u32, u32), cd: (u32, u32)) -> Option<EdgeSwap> {
+        let (a, b) = ab;
+        let (c, d) = cd;
+        if !self.has_edge(a, b) || !self.has_edge(c, d) {
+            return None;
+        }
+        // New edges (a, d) and (c, b).
+        if a == d || c == b {
+            return None;
+        }
+        if self.has_edge(a, d) || self.has_edge(c, b) {
+            return None;
+        }
+        // Swapping an edge with itself (or a shared endpoint making the move a no-op).
+        if canonical(a, b) == canonical(c, d) {
+            return None;
+        }
+        Some(EdgeSwap {
+            remove_a: canonical(a, b),
+            remove_b: canonical(c, d),
+            insert_a: canonical(a, d),
+            insert_b: canonical(c, b),
+        })
+    }
+
+    /// Applies a swap previously validated by [`propose_swap`](Self::propose_swap).
+    ///
+    /// Returns `false` (leaving the graph unchanged) if the swap is no longer valid.
+    pub fn apply_swap(&mut self, swap: &EdgeSwap) -> bool {
+        if !self.has_edge(swap.remove_a.0, swap.remove_a.1)
+            || !self.has_edge(swap.remove_b.0, swap.remove_b.1)
+            || self.has_edge(swap.insert_a.0, swap.insert_a.1)
+            || self.has_edge(swap.insert_b.0, swap.insert_b.1)
+        {
+            return false;
+        }
+        self.remove_edge(swap.remove_a.0, swap.remove_a.1);
+        self.remove_edge(swap.remove_b.0, swap.remove_b.1);
+        let ok_a = self.add_edge(swap.insert_a.0, swap.insert_a.1);
+        let ok_b = self.add_edge(swap.insert_b.0, swap.insert_b.1);
+        debug_assert!(ok_a && ok_b, "validated swap failed to apply");
+        true
+    }
+
+    /// Undoes a swap applied by [`apply_swap`](Self::apply_swap).
+    pub fn undo_swap(&mut self, swap: &EdgeSwap) {
+        self.remove_edge(swap.insert_a.0, swap.insert_a.1);
+        self.remove_edge(swap.insert_b.0, swap.insert_b.1);
+        self.add_edge(swap.remove_a.0, swap.remove_a.1);
+        self.add_edge(swap.remove_b.0, swap.remove_b.1);
+    }
+
+    /// Samples a uniformly random edge (canonical form), or `None` for an edgeless graph.
+    pub fn random_edge<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Option<(u32, u32)> {
+        if self.edges.is_empty() {
+            None
+        } else {
+            Some(self.edges[rng.gen_range(0..self.edges.len())])
+        }
+    }
+}
+
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_nodes() == other.num_nodes() && {
+            let mut a = self.sorted_edges();
+            let mut b = other.sorted_edges();
+            a.sort_unstable();
+            b.sort_unstable();
+            a == b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn triangle_plus_tail() -> Graph {
+        // Triangle 0-1-2 plus a tail 2-3.
+        Graph::from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+    }
+
+    #[test]
+    fn construction_and_basic_queries() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_are_rejected() {
+        let mut g = Graph::new(3);
+        assert!(!g.add_edge(1, 1));
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0));
+        assert_eq!(g.num_edges(), 1);
+        assert!(!g.add_edge(0, 7), "out-of-range endpoint rejected");
+    }
+
+    #[test]
+    fn remove_edge_keeps_indices_consistent() {
+        let mut g = triangle_plus_tail();
+        assert!(g.remove_edge(1, 0));
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.num_edges(), 3);
+        assert!(!g.has_edge(0, 1));
+        // Remaining edges still removable through the index.
+        assert!(g.remove_edge(2, 3));
+        assert!(g.remove_edge(0, 2));
+        assert!(g.remove_edge(1, 2));
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn directed_edges_doubles_the_edge_list() {
+        let g = triangle_plus_tail();
+        let d = g.directed_edges();
+        assert_eq!(d.len(), 8);
+        assert!(d.contains(&(0, 1)) && d.contains(&(1, 0)));
+    }
+
+    #[test]
+    fn common_neighbors_are_found() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.common_neighbors(0, 1), vec![2]);
+        let mut cn = g.common_neighbors(1, 3);
+        cn.sort_unstable();
+        assert_eq!(cn, vec![2]);
+        assert!(g.common_neighbors(0, 3).len() == 1);
+    }
+
+    #[test]
+    fn propose_swap_rejects_invalid_moves() {
+        let g = triangle_plus_tail();
+        // Swapping (0,1) and (0,2): new edges (0,2) exists and (0,1)-like conflicts.
+        assert!(g.propose_swap((0, 1), (0, 2)).is_none());
+        // Swapping an edge with itself is rejected.
+        assert!(g.propose_swap((0, 1), (0, 1)).is_none());
+        // Swap producing a self-loop: (0,1) and (2,0) -> (0,0) invalid.
+        assert!(g.propose_swap((0, 1), (2, 0)).is_none());
+    }
+
+    #[test]
+    fn apply_and_undo_swap_roundtrip() {
+        let mut g = Graph::from_edges([(0, 1), (2, 3)]);
+        let swap = g.propose_swap((0, 1), (2, 3)).expect("valid swap");
+        assert!(g.apply_swap(&swap));
+        assert!(g.has_edge(0, 3) && g.has_edge(2, 1));
+        assert!(!g.has_edge(0, 1) && !g.has_edge(2, 3));
+        // Degrees are preserved by construction.
+        for v in 0..4 {
+            assert_eq!(g.degree(v), 1);
+        }
+        g.undo_swap(&swap);
+        assert!(g.has_edge(0, 1) && g.has_edge(2, 3));
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn swap_preserves_degree_sequence() {
+        let mut g = triangle_plus_tail();
+        let before: Vec<usize> = (0..4).map(|v| g.degree(v)).collect();
+        let swap = g.propose_swap((0, 1), (2, 3));
+        if let Some(swap) = swap {
+            g.apply_swap(&swap);
+            let after: Vec<usize> = (0..4).map(|v| g.degree(v)).collect();
+            assert_eq!(before, after);
+        }
+    }
+
+    #[test]
+    fn random_edge_is_uniformish() {
+        let g = triangle_plus_tail();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..4000 {
+            let e = g.random_edge(&mut rng).unwrap();
+            *counts.entry(e).or_insert(0u32) += 1;
+        }
+        assert_eq!(counts.len(), 4);
+        for (_, c) in counts {
+            assert!(c > 800, "edge sampled only {c} times out of 4000");
+        }
+        assert!(Graph::new(5).random_edge(&mut rng).is_none());
+    }
+
+    #[test]
+    fn equality_ignores_edge_insertion_order() {
+        let a = Graph::from_edges([(0, 1), (1, 2)]);
+        let b = Graph::from_edges([(2, 1), (1, 0)]);
+        assert_eq!(a, b);
+        let c = Graph::from_edges([(0, 1)]);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,98 @@
+//! Plain-text edge-list serialisation (the format SNAP datasets ship in).
+
+use std::io::{self, BufRead, Write};
+
+use crate::graph::Graph;
+
+/// Parses an edge list: one `src dst` pair per line, `#`-prefixed lines and blank lines
+/// ignored, whitespace-separated. Node ids must be `u32`.
+pub fn parse_edge_list(text: &str) -> Result<Graph, String> {
+    let mut edges = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let a: u32 = parts
+            .next()
+            .ok_or_else(|| format!("line {}: missing source", lineno + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: bad source ({e})", lineno + 1))?;
+        let b: u32 = parts
+            .next()
+            .ok_or_else(|| format!("line {}: missing destination", lineno + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: bad destination ({e})", lineno + 1))?;
+        if a != b {
+            edges.push((a, b));
+        }
+    }
+    Ok(Graph::from_edges(edges))
+}
+
+/// Reads an edge list from any buffered reader (e.g. a file).
+pub fn read_edge_list<R: BufRead>(reader: R) -> io::Result<Graph> {
+    let mut text = String::new();
+    let mut reader = reader;
+    reader.read_to_string(&mut text)?;
+    parse_edge_list(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Writes the graph as a deterministic (sorted) edge list with a summary header.
+pub fn write_edge_list<W: Write>(graph: &Graph, mut writer: W) -> io::Result<()> {
+    writeln!(
+        writer,
+        "# undirected graph: {} nodes, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    )?;
+    for (a, b) in graph.sorted_edges() {
+        writeln!(writer, "{a} {b}")?;
+    }
+    Ok(())
+}
+
+/// Renders the graph to an edge-list string (convenience wrapper over [`write_edge_list`]).
+pub fn to_edge_list_string(graph: &Graph) -> String {
+    let mut buf = Vec::new();
+    write_edge_list(graph, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("edge list output is ASCII")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let g = Graph::from_edges([(0, 1), (1, 2), (0, 2)]);
+        let text = to_edge_list_string(&g);
+        let parsed = parse_edge_list(&text).unwrap();
+        assert_eq!(g, parsed);
+        assert!(text.starts_with("# undirected graph: 3 nodes, 3 edges"));
+    }
+
+    #[test]
+    fn parse_ignores_comments_blanks_and_self_loops() {
+        let text = "# header\n\n0 1\n1 1\n2 3\n";
+        let g = parse_edge_list(text).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn parse_reports_malformed_lines() {
+        assert!(parse_edge_list("0\n").is_err());
+        assert!(parse_edge_list("a b\n").is_err());
+        assert!(parse_edge_list("0 -3\n").is_err());
+    }
+
+    #[test]
+    fn read_edge_list_from_reader() {
+        let text = b"0 1\n1 2\n" as &[u8];
+        let g = read_edge_list(text).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+}

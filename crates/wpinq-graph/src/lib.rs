@@ -1,0 +1,20 @@
+//! # wpinq-graph — graph substrate for the wPINQ reproduction
+//!
+//! The paper evaluates wPINQ on social-graph analyses, so the platform needs a graph
+//! substrate: an undirected simple-graph type, exact (non-private) statistics used as
+//! ground truth in the experiments, generators for the synthetic evaluation graphs, and
+//! the edge-swap primitive that drives the MCMC random walk of Section 5.1.
+//!
+//! Nothing in this crate is privacy-sensitive by itself; it supplies the inputs that the
+//! `wpinq` language then analyses under differential privacy, and the exact statistics the
+//! experiment harness compares noisy results against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod stats;
+
+pub use graph::{EdgeSwap, Graph};

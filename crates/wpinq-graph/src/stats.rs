@@ -1,0 +1,342 @@
+//! Exact (non-private) graph statistics.
+//!
+//! These are the ground-truth quantities the paper's tables report (Table 1 and Table 3:
+//! node/edge counts, maximum degree, triangle count Δ, assortativity r, Σ_v d_v²) and the
+//! references the experiments compare differentially-private measurements against.
+
+use std::collections::HashMap;
+
+use crate::graph::Graph;
+
+/// The degree of every node, indexed by node id.
+pub fn degrees(graph: &Graph) -> Vec<usize> {
+    (0..graph.num_nodes() as u32)
+        .map(|v| graph.degree(v))
+        .collect()
+}
+
+/// Maximum degree `d_max`.
+pub fn max_degree(graph: &Graph) -> usize {
+    degrees(graph).into_iter().max().unwrap_or(0)
+}
+
+/// `Σ_v d_v²`, the quantity Figure 6 plots memory/step-rate against (it bounds the number
+/// of candidate length-two paths the incremental engine must index).
+pub fn sum_degree_squares(graph: &Graph) -> u64 {
+    degrees(graph).into_iter().map(|d| (d * d) as u64).sum()
+}
+
+/// The non-increasing degree sequence.
+pub fn degree_sequence(graph: &Graph) -> Vec<usize> {
+    let mut d = degrees(graph);
+    d.sort_unstable_by(|a, b| b.cmp(a));
+    d
+}
+
+/// The degree histogram: `hist[d]` = number of nodes of degree `d`.
+pub fn degree_histogram(graph: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; max_degree(graph) + 1];
+    for d in degrees(graph) {
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// The degree complementary cumulative density function: `ccdf[i]` = number of nodes with
+/// degree strictly greater than `i` (the quantity the paper's degree-CCDF query measures).
+pub fn degree_ccdf(graph: &Graph) -> Vec<usize> {
+    let dmax = max_degree(graph);
+    if dmax == 0 {
+        return Vec::new();
+    }
+    let hist = degree_histogram(graph);
+    let mut ccdf = vec![0usize; dmax];
+    let mut running = 0usize;
+    for d in (1..=dmax).rev() {
+        running += hist[d];
+        ccdf[d - 1] = running;
+    }
+    ccdf
+}
+
+/// The joint degree distribution: for every edge `{a, b}`, the unordered degree pair
+/// `(min(d_a, d_b), max(d_a, d_b))` mapped to the number of edges realising it.
+pub fn joint_degree_distribution(graph: &Graph) -> HashMap<(usize, usize), usize> {
+    let deg = degrees(graph);
+    let mut jdd = HashMap::new();
+    for (a, b) in graph.edges() {
+        let (da, db) = (deg[a as usize], deg[b as usize]);
+        let key = (da.min(db), da.max(db));
+        *jdd.entry(key).or_insert(0) += 1;
+    }
+    jdd
+}
+
+/// The number of triangles in the graph.
+pub fn triangle_count(graph: &Graph) -> u64 {
+    triangles_by_degree(graph).values().sum()
+}
+
+/// Triangles grouped by the sorted degree triple of their vertices — the exact version of
+/// the paper's Triangles-by-Degree (TbD) statistic of Section 3.3.
+pub fn triangles_by_degree(graph: &Graph) -> HashMap<(usize, usize, usize), u64> {
+    let deg = degrees(graph);
+    let mut out = HashMap::new();
+    for (u, v) in graph.edges() {
+        // Canonical edges have u < v; requiring w > v counts each triangle exactly once.
+        for w in graph.common_neighbors(u, v) {
+            if w > v {
+                let mut triple = [deg[u as usize], deg[v as usize], deg[w as usize]];
+                triple.sort_unstable();
+                *out.entry((triple[0], triple[1], triple[2])).or_insert(0) += 1;
+            }
+        }
+    }
+    out
+}
+
+/// The number of simple cycles of length four in the graph.
+pub fn square_count(graph: &Graph) -> u64 {
+    squares_by_degree(graph).values().sum()
+}
+
+/// Four-cycles grouped by the sorted degree quadruple of their vertices — the exact version
+/// of the paper's Squares-by-Degree (SbD) statistic of Section 3.4.
+pub fn squares_by_degree(graph: &Graph) -> HashMap<(usize, usize, usize, usize), u64> {
+    let deg = degrees(graph);
+    let n = graph.num_nodes() as u32;
+    let mut out = HashMap::new();
+    // A 4-cycle a-b-c-d has two opposite pairs {a,c} and {b,d}. Fix `a` as the minimum
+    // vertex of the cycle and enumerate its opposite vertex c plus the pair b < d of common
+    // neighbours larger than a: each cycle is counted exactly once.
+    for a in 0..n {
+        for c in (a + 1)..n {
+            let common: Vec<u32> = graph
+                .common_neighbors(a, c)
+                .into_iter()
+                .filter(|w| *w > a)
+                .collect();
+            if common.len() < 2 {
+                continue;
+            }
+            for i in 0..common.len() {
+                for j in (i + 1)..common.len() {
+                    let (b, d) = (common[i], common[j]);
+                    let mut quad = [
+                        deg[a as usize],
+                        deg[b as usize],
+                        deg[c as usize],
+                        deg[d as usize],
+                    ];
+                    quad.sort_unstable();
+                    *out.entry((quad[0], quad[1], quad[2], quad[3])).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Degree assortativity: the Pearson correlation coefficient of the degrees at either end
+/// of an edge (Newman's r, the statistic reported in Table 1).
+///
+/// Returns `0.0` for graphs where the correlation is undefined (no edges, or constant
+/// degree on every edge endpoint).
+pub fn assortativity(graph: &Graph) -> f64 {
+    let deg = degrees(graph);
+    let m = graph.num_edges() as f64;
+    if m == 0.0 {
+        return 0.0;
+    }
+    let mut sum_prod = 0.0;
+    let mut sum_mean = 0.0;
+    let mut sum_sq = 0.0;
+    for (a, b) in graph.edges() {
+        let (j, k) = (deg[a as usize] as f64, deg[b as usize] as f64);
+        sum_prod += j * k;
+        sum_mean += 0.5 * (j + k);
+        sum_sq += 0.5 * (j * j + k * k);
+    }
+    let mean = sum_mean / m;
+    let numerator = sum_prod / m - mean * mean;
+    let denominator = sum_sq / m - mean * mean;
+    if denominator.abs() < 1e-12 {
+        0.0
+    } else {
+        numerator / denominator
+    }
+}
+
+/// Global clustering coefficient: `3 × #triangles / #connected-triples`.
+pub fn clustering_coefficient(graph: &Graph) -> f64 {
+    let triples: u64 = degrees(graph)
+        .into_iter()
+        .map(|d| (d * d.saturating_sub(1) / 2) as u64)
+        .sum();
+    if triples == 0 {
+        return 0.0;
+    }
+    3.0 * triangle_count(graph) as f64 / triples as f64
+}
+
+/// A one-line summary of the statistics the paper's Table 1 / Table 3 report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSummary {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of undirected edges.
+    pub edges: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Number of triangles Δ.
+    pub triangles: u64,
+    /// Degree assortativity r.
+    pub assortativity: f64,
+    /// Σ_v d_v².
+    pub sum_degree_squares: u64,
+}
+
+/// Computes the [`GraphSummary`] of a graph.
+pub fn summary(graph: &Graph) -> GraphSummary {
+    GraphSummary {
+        nodes: graph.num_nodes(),
+        edges: graph.num_edges(),
+        max_degree: max_degree(graph),
+        triangles: triangle_count(graph),
+        assortativity: assortativity(graph),
+        sum_degree_squares: sum_degree_squares(graph),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// K4: every statistic is known in closed form.
+    fn complete4() -> Graph {
+        Graph::from_edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+    }
+
+    /// The worst-case graph from Figure 1 (left): a node 1 adjacent to everything except
+    /// node 2, and node 2 adjacent to everything except node 1.
+    fn figure1_left(n: u32) -> Graph {
+        let mut g = Graph::new(n as usize);
+        for v in 2..n {
+            g.add_edge(0, v);
+            g.add_edge(1, v);
+        }
+        g
+    }
+
+    #[test]
+    fn complete_graph_statistics() {
+        let g = complete4();
+        assert_eq!(triangle_count(&g), 4);
+        assert_eq!(square_count(&g), 3);
+        assert_eq!(max_degree(&g), 3);
+        assert_eq!(sum_degree_squares(&g), 4 * 9);
+        assert_eq!(degree_sequence(&g), vec![3, 3, 3, 3]);
+        // Every endpoint has the same degree: assortativity is degenerate → 0 by convention.
+        assert_eq!(assortativity(&g), 0.0);
+        assert!((clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_graph_statistics() {
+        let g = Graph::from_edges([(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(square_count(&g), 0);
+        assert_eq!(degree_sequence(&g), vec![2, 2, 1, 1]);
+        // A path is disassortative: ends (degree 1) attach to middles (degree 2).
+        assert!(assortativity(&g) < 0.0);
+    }
+
+    #[test]
+    fn cycle4_has_one_square() {
+        let g = Graph::from_edges([(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(square_count(&g), 1);
+        assert_eq!(triangle_count(&g), 0);
+        let sbd = squares_by_degree(&g);
+        assert_eq!(sbd.get(&(2, 2, 2, 2)), Some(&1));
+    }
+
+    #[test]
+    fn figure1_left_graph_has_no_triangles_until_the_bridge_edge() {
+        let mut g = figure1_left(12);
+        assert_eq!(triangle_count(&g), 0);
+        // Adding the single edge (0, 1) creates |V| − 2 triangles at once — the worst-case
+        // sensitivity the paper's Figure 1 illustrates.
+        g.add_edge(0, 1);
+        assert_eq!(triangle_count(&g), 10);
+    }
+
+    #[test]
+    fn triangles_by_degree_on_triangle_with_tail() {
+        let g = Graph::from_edges([(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let tbd = triangles_by_degree(&g);
+        assert_eq!(tbd.len(), 1);
+        assert_eq!(tbd.get(&(2, 2, 3)), Some(&1));
+        assert_eq!(triangle_count(&g), 1);
+    }
+
+    #[test]
+    fn degree_ccdf_matches_definition() {
+        // Degrees: 3, 1, 1, 1 (star on 4 nodes).
+        let g = Graph::from_edges([(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(degree_ccdf(&g), vec![4, 1, 1]);
+        assert_eq!(degree_histogram(&g), vec![0, 3, 0, 1]);
+    }
+
+    #[test]
+    fn degree_ccdf_and_sequence_are_transposes() {
+        // ccdf[i] = #{v : d_v > i}; seq[j] = #{i : ccdf[i] > j} recovers the degree sequence.
+        let g = complete4();
+        let ccdf = degree_ccdf(&g);
+        let seq = degree_sequence(&g);
+        let n = g.num_nodes();
+        for (j, d) in seq.iter().enumerate() {
+            let recovered = ccdf.iter().filter(|c| **c > j).count();
+            assert_eq!(recovered, *d, "transpose mismatch at rank {j} (n = {n})");
+        }
+    }
+
+    #[test]
+    fn jdd_counts_every_edge_once() {
+        let g = Graph::from_edges([(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let jdd = joint_degree_distribution(&g);
+        let total: usize = jdd.values().sum();
+        assert_eq!(total, g.num_edges());
+        assert_eq!(jdd.get(&(2, 2)), Some(&1)); // edge (0,1)
+        assert_eq!(jdd.get(&(2, 3)), Some(&2)); // edges (0,2), (1,2)
+        assert_eq!(jdd.get(&(1, 3)), Some(&1)); // edge (2,3)
+    }
+
+    #[test]
+    fn star_graph_is_strongly_disassortative() {
+        let g = Graph::from_edges([(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        assert!(assortativity(&g) <= 0.0);
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(max_degree(&g), 5);
+    }
+
+    #[test]
+    fn summary_collects_all_fields() {
+        let g = complete4();
+        let s = summary(&g);
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, 6);
+        assert_eq!(s.max_degree, 3);
+        assert_eq!(s.triangles, 4);
+        assert_eq!(s.sum_degree_squares, 36);
+    }
+
+    #[test]
+    fn empty_graph_statistics_are_zero() {
+        let g = Graph::new(5);
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(square_count(&g), 0);
+        assert_eq!(assortativity(&g), 0.0);
+        assert_eq!(clustering_coefficient(&g), 0.0);
+        assert!(degree_ccdf(&g).is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! # wpinq-mcmc — probabilistic inference over wPINQ measurements
+//!
+//! Section 4 of the paper turns released wPINQ measurements into synthetic datasets by
+//! Metropolis–Hastings sampling from the (approximate) posterior over inputs:
+//! `Pr[A | m] ∝ exp(−ε·‖Q(A) − m‖₁)`, sharpened by a `pow` exponent so the walk behaves
+//! like a guided search. This crate provides:
+//!
+//! * [`metropolis`] — a generic Metropolis–Hastings engine over any [`CandidateState`],
+//!   working in log space so large `pow` values (the paper uses 10 000) cannot overflow.
+//! * [`graph_candidate`] — the candidate-graph state driven by the paper's edge-swap random
+//!   walk, scored by incremental dataflow pipelines from `wpinq-dataflow` so each step costs
+//!   a delta update rather than a query re-execution (Section 4.3).
+//! * [`scorers`] — incremental versions of the analyses' queries (degree CCDF/sequence, TbD,
+//!   TbI, JDD) wired to [`L1Scorer`](wpinq_dataflow::L1Scorer) sinks against released
+//!   measurements.
+//! * [`seed`] — Phase 1 of the synthesis workflow (Section 5.1): fit the noisy degree
+//!   measurements and generate a random graph with that degree sequence.
+//! * [`synthesis`] — the end-to-end workflow used by the experiments: measure, seed, swap,
+//!   and record trajectories of triangle count and assortativity.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph_candidate;
+pub mod metropolis;
+pub mod scorers;
+pub mod seed;
+pub mod synthesis;
+
+pub use graph_candidate::GraphCandidate;
+pub use metropolis::{CandidateState, McmcStats, MetropolisHastings, StepOutcome};
+pub use synthesis::{SynthesisConfig, SynthesisResult, TrajectoryPoint, TriangleQuery};

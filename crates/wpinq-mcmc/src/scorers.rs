@@ -1,0 +1,253 @@
+//! Incremental query pipelines and measurement scorers for candidate graphs.
+//!
+//! Each function mirrors one of the batch queries in `wpinq-analyses` as a `wpinq-dataflow`
+//! pipeline over the candidate's symmetric directed edge stream, and attaches an
+//! [`L1Scorer`](wpinq_dataflow::L1Scorer) sink against the released noisy measurement. The
+//! sum of the sink distances is the energy `‖Q(A) − m‖₁` the MCMC acceptance test uses.
+//!
+//! The pipelines run over *public* synthetic candidates and *released* measurements only;
+//! no protected data is touched here, which is why no privacy accounting appears.
+
+use std::collections::HashMap;
+
+use wpinq::NoisyCounts;
+use wpinq::Record;
+use wpinq_analyses::jdd::jdd_record_weight;
+use wpinq_analyses::tbi::TbiMeasurement;
+use wpinq_analyses::triangles::TbdMeasurement;
+use wpinq_dataflow::{ScorerHandle, Stream};
+
+/// A directed edge record, matching `wpinq_analyses::edges::Edge`.
+pub type Edge = (u32, u32);
+
+/// Anything that reports an incrementally maintained distance to its measurement target.
+pub trait DistanceSink {
+    /// The maintained `‖Q(A) − m‖₁` for this query.
+    fn distance(&self) -> f64;
+    /// Recomputes the distance from scratch (drift guard).
+    fn recompute_distance(&self) -> f64;
+    /// A short human-readable label for reporting.
+    fn label(&self) -> &str;
+}
+
+/// A labelled [`ScorerHandle`].
+pub struct LabelledScorer<T: Record> {
+    handle: ScorerHandle<T>,
+    label: String,
+}
+
+impl<T: Record> DistanceSink for LabelledScorer<T> {
+    fn distance(&self) -> f64 {
+        self.handle.distance()
+    }
+
+    fn recompute_distance(&self) -> f64 {
+        self.handle.recompute_distance()
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+fn observed_targets<T: Record>(counts: &NoisyCounts<T>) -> HashMap<T, f64> {
+    counts
+        .iter_observed()
+        .map(|(record, weight)| (record.clone(), weight))
+        .collect()
+}
+
+/// The incremental length-two-path pipeline `(a, b, c)` with `a ≠ c` (weight `1/(2·d_b)`),
+/// shared by the triangle scorers.
+pub fn paths_stream(edges: &Stream<Edge>) -> Stream<(u32, u32, u32)> {
+    edges
+        .join(edges, |e| e.1, |e| e.0, |x, y| (x.0, x.1, y.1))
+        .filter(|p| p.0 != p.2)
+}
+
+/// Scores the candidate's degree CCDF against a released noisy CCDF.
+pub fn degree_ccdf_scorer(
+    edges: &Stream<Edge>,
+    measurement: &NoisyCounts<u64>,
+) -> Box<dyn DistanceSink> {
+    let handle = edges
+        .select(|e| e.0)
+        .shave_const(1.0)
+        .select(|(_, i)| *i)
+        .l1_scorer(observed_targets(measurement));
+    Box::new(LabelledScorer {
+        handle,
+        label: "degree-ccdf".to_string(),
+    })
+}
+
+/// Scores the candidate's (non-increasing) degree sequence against a released measurement.
+pub fn degree_sequence_scorer(
+    edges: &Stream<Edge>,
+    measurement: &NoisyCounts<u64>,
+) -> Box<dyn DistanceSink> {
+    let handle = edges
+        .select(|e| e.0)
+        .shave_const(1.0)
+        .select(|(_, i)| *i)
+        .shave_const(1.0)
+        .select(|(_, i)| *i)
+        .l1_scorer(observed_targets(measurement));
+    Box::new(LabelledScorer {
+        handle,
+        label: "degree-sequence".to_string(),
+    })
+}
+
+/// Scores the candidate's Triangles-by-Intersect signal against a released [`TbiMeasurement`].
+pub fn tbi_scorer(edges: &Stream<Edge>, measurement: &TbiMeasurement) -> Box<dyn DistanceSink> {
+    let paths = paths_stream(edges);
+    let handle = paths
+        .select(|p| (p.1, p.2, p.0))
+        .intersect(&paths)
+        .select(|_| ())
+        .l1_scorer(HashMap::from([((), measurement.noisy_signal)]));
+    Box::new(LabelledScorer {
+        handle,
+        label: "triangles-by-intersect".to_string(),
+    })
+}
+
+/// Scores the candidate's (bucketed) Triangles-by-Degree weights against a released
+/// [`TbdMeasurement`].
+pub fn tbd_scorer(edges: &Stream<Edge>, measurement: &TbdMeasurement) -> Box<dyn DistanceSink> {
+    let bucket = measurement.bucket().max(1);
+    let paths = paths_stream(edges);
+    let degrees = edges.group_by(|e| e.0, move |group| group.len() as u64 / bucket);
+    let abc = paths.join(&degrees, |p| p.1, |d| d.0, |p, d| (*p, d.1));
+    let bca = abc.select(|(p, d)| ((p.1, p.2, p.0), *d));
+    let cab = bca.select(|(p, d)| ((p.1, p.2, p.0), *d));
+    let tris = abc
+        .join(&bca, |x| x.0, |y| y.0, |x, y| (x.0, x.1, y.1))
+        .join(&cab, |x| x.0, |y| y.0, |x, y| (y.1, x.1, x.2));
+    let handle = tris
+        .select(|(d1, d2, d3)| {
+            let mut t = [*d1, *d2, *d3];
+            t.sort_unstable();
+            (t[0], t[1], t[2])
+        })
+        .l1_scorer(observed_targets(measurement.counts()));
+    Box::new(LabelledScorer {
+        handle,
+        label: "triangles-by-degree".to_string(),
+    })
+}
+
+/// Scores the candidate's joint degree distribution against released noisy JDD counts.
+pub fn jdd_scorer(
+    edges: &Stream<Edge>,
+    measurement: &NoisyCounts<(u64, u64)>,
+) -> Box<dyn DistanceSink> {
+    let degrees = edges.group_by(|e| e.0, |group| group.len() as u64);
+    let temp = degrees.join(edges, |d| d.0, |e| e.0, |d, e| (*e, d.1));
+    let handle = temp
+        .join(&temp, |t| t.0, |t| (t.0 .1, t.0 .0), |x, y| (x.1, y.1))
+        .l1_scorer(observed_targets(measurement));
+    Box::new(LabelledScorer {
+        handle,
+        label: "joint-degree-distribution".to_string(),
+    })
+}
+
+/// The expected JDD weight for a degree pair, re-exported for reporting convenience.
+pub fn jdd_target_weight(da: u64, db: u64) -> f64 {
+    jdd_record_weight(da, db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wpinq::PrivacyBudget;
+    use wpinq_analyses::degree::degree_ccdf_query;
+    use wpinq_analyses::edges::{symmetric_edge_dataset, GraphEdges};
+    use wpinq_analyses::tbi::tbi_exact_signal;
+    use wpinq_dataflow::DataflowInput;
+    use wpinq_graph::Graph;
+
+    fn toy_graph() -> Graph {
+        Graph::from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+    }
+
+    #[test]
+    fn tbi_scorer_distance_is_noise_only_when_candidate_is_the_truth() {
+        let g = toy_graph();
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let mut rng = StdRng::seed_from_u64(1);
+        let measurement = TbiMeasurement::measure(&edges.queryable(), 1e6, &mut rng).unwrap();
+
+        let (input, stream) = DataflowInput::<Edge>::new();
+        let sink = tbi_scorer(&stream, &measurement);
+        // Before loading anything the distance is the full measured signal.
+        assert!((sink.distance() - measurement.noisy_signal.abs()).abs() < 1e-9);
+        input.push_dataset(&symmetric_edge_dataset(&g));
+        // Loading the true graph leaves only the (tiny) measurement noise.
+        assert!(sink.distance() < 1e-3, "distance {}", sink.distance());
+        assert!((sink.distance() - sink.recompute_distance()).abs() < 1e-9);
+        assert_eq!(sink.label(), "triangles-by-intersect");
+        // And the exact signal matches the analyses helper.
+        assert!((tbi_exact_signal(&g) - 7.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccdf_scorer_matches_batch_query_distance() {
+        let g = toy_graph();
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let mut rng = StdRng::seed_from_u64(2);
+        let measurement = degree_ccdf_query(&edges.queryable())
+            .noisy_count(0.5, &mut rng)
+            .unwrap();
+
+        let (input, stream) = DataflowInput::<Edge>::new();
+        let sink = degree_ccdf_scorer(&stream, &measurement);
+        input.push_dataset(&symmetric_edge_dataset(&g));
+        // The candidate equals the measured graph, so the distance equals the total noise.
+        let expected = measurement.l1_distance(degree_ccdf_query(&edges.queryable()).inspect());
+        assert!(
+            (sink.distance() - expected).abs() < 1e-9,
+            "incremental {} vs batch {expected}",
+            sink.distance()
+        );
+    }
+
+    #[test]
+    fn tbd_scorer_reacts_to_edge_changes() {
+        let g = toy_graph();
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let mut rng = StdRng::seed_from_u64(3);
+        let measurement =
+            TbdMeasurement::measure(&edges.queryable(), 1e6, 1, &mut rng).unwrap();
+
+        let (input, stream) = DataflowInput::<Edge>::new();
+        let sink = tbd_scorer(&stream, &measurement);
+        input.push_dataset(&symmetric_edge_dataset(&g));
+        let with_truth = sink.distance();
+        assert!(with_truth < 1e-3);
+        // Remove the closing edge of the triangle: the distance jumps to the full signal.
+        input.push(&[((0, 2), -1.0), ((2, 0), -1.0)]);
+        assert!(sink.distance() > with_truth + 0.1);
+        assert!((sink.distance() - sink.recompute_distance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jdd_scorer_initialises_to_measured_mass() {
+        let g = toy_graph();
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let mut rng = StdRng::seed_from_u64(4);
+        let measurement = wpinq_analyses::jdd::jdd_query(&edges.queryable())
+            .noisy_count(1e6, &mut rng)
+            .unwrap();
+        let (input, stream) = DataflowInput::<Edge>::new();
+        let sink = jdd_scorer(&stream, &measurement);
+        assert!(sink.distance() > 0.0);
+        input.push_dataset(&symmetric_edge_dataset(&g));
+        assert!(sink.distance() < 1e-3);
+        assert!((jdd_target_weight(2, 3) - 1.0 / 12.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,103 @@
+//! Phase 1 of the graph-synthesis workflow (Section 5.1): fit the released degree
+//! measurements and generate a random "seed" graph with that degree sequence.
+
+use rand::Rng;
+use wpinq_analyses::degree::DegreeMeasurements;
+use wpinq_analyses::postprocess::fit_degree_sequence;
+use wpinq_graph::{generators, Graph};
+
+/// Fits an integer, non-increasing degree sequence to the released degree measurements
+/// using the joint CCDF/degree-sequence grid fit of Section 3.1.
+///
+/// The sequence length is taken from the noisy node count; the degree axis is capped at the
+/// (rounded, slack-padded) largest noisy degree.
+pub fn fit_seed_degree_sequence(measurements: &DegreeMeasurements) -> Vec<usize> {
+    let n = measurements.estimated_nodes();
+    let seq = measurements.sequence_vector(n);
+    // A generous cap on the maximum degree: the largest noisy rank-0 degree plus slack for
+    // noise, bounded by the number of nodes.
+    let max_degree_guess = seq
+        .iter()
+        .fold(0.0f64, |acc, v| acc.max(*v))
+        .round()
+        .max(1.0) as usize;
+    let cap = (max_degree_guess + 5).min(n.saturating_sub(1).max(1));
+    let ccdf = measurements.ccdf_vector(cap);
+    let mut fitted = fit_degree_sequence(&ccdf, &seq);
+    // Drop trailing zero-degree ranks: they correspond to noise beyond the true node count.
+    while fitted.last() == Some(&0) {
+        fitted.pop();
+    }
+    fitted
+}
+
+/// Generates a random simple graph whose degree sequence approximates `sequence`
+/// (Phase 1's seed generator).
+pub fn seed_graph_from_sequence<R: Rng + ?Sized>(sequence: &[usize], rng: &mut R) -> Graph {
+    generators::configuration_like(sequence, rng)
+}
+
+/// The full Phase 1: fit the degree measurements, then generate the seed graph.
+pub fn seed_graph_from_measurements<R: Rng + ?Sized>(
+    measurements: &DegreeMeasurements,
+    rng: &mut R,
+) -> Graph {
+    let sequence = fit_seed_degree_sequence(measurements);
+    seed_graph_from_sequence(&sequence, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wpinq::PrivacyBudget;
+    use wpinq_analyses::edges::GraphEdges;
+    use wpinq_graph::stats;
+
+    fn secret_graph(seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generators::powerlaw_cluster(150, 3, 0.6, &mut rng)
+    }
+
+    #[test]
+    fn noise_free_fit_recovers_the_exact_degree_sequence() {
+        let g = secret_graph(1);
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = DegreeMeasurements::measure(&edges.queryable(), 1e7, &mut rng).unwrap();
+        let fitted = fit_seed_degree_sequence(&m);
+        let truth = stats::degree_sequence(&g);
+        assert_eq!(fitted.len(), truth.len());
+        assert_eq!(fitted, truth);
+    }
+
+    #[test]
+    fn noisy_fit_is_close_to_the_true_sequence() {
+        let g = secret_graph(3);
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = DegreeMeasurements::measure(&edges.queryable(), 1.0, &mut rng).unwrap();
+        let fitted = fit_seed_degree_sequence(&m);
+        let truth = stats::degree_sequence(&g);
+        let err = wpinq_analyses::postprocess::sequence_rmse(&fitted, &truth);
+        assert!(err < 5.0, "rmse {err} too large for epsilon 1.0");
+        // The fit is a valid non-increasing sequence.
+        assert!(fitted.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn seed_graph_matches_the_fitted_sequence() {
+        let g = secret_graph(5);
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let mut rng = StdRng::seed_from_u64(6);
+        let m = DegreeMeasurements::measure(&edges.queryable(), 1e7, &mut rng).unwrap();
+        let seed = seed_graph_from_measurements(&m, &mut rng);
+        // Node and edge counts are within a few percent of the secret graph's.
+        assert!((seed.num_nodes() as f64 - g.num_nodes() as f64).abs() < 0.05 * g.num_nodes() as f64);
+        let edge_ratio = seed.num_edges() as f64 / g.num_edges() as f64;
+        assert!(edge_ratio > 0.9 && edge_ratio <= 1.01, "edge ratio {edge_ratio}");
+        // But the seed is a *random* graph: it should not reproduce the triangle richness.
+        assert!(stats::triangle_count(&seed) < stats::triangle_count(&g));
+    }
+}

@@ -1,0 +1,274 @@
+//! Differentially-private aggregations.
+//!
+//! The paper's workhorse is `NoisyCount(A, ε)`, which returns `A(x) + Laplace(1/ε)` for
+//! every record `x` in the *domain* of `A` — including records that do not appear in the
+//! data. Because the domain of a weighted dataset may be unbounded, the implementation
+//! materialises noisy weights only for records with non-zero weight, and lazily draws
+//! (then memoises) fresh noise the first time an absent record is queried, exactly as
+//! described in Section 2.2.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::WeightedDataset;
+use crate::noise::Laplace;
+use crate::record::Record;
+
+/// The result of a `NoisyCount` measurement: a dictionary of noisy record weights.
+///
+/// Weights for records absent from the measured dataset are generated on first access and
+/// memoised so that repeated queries for the same record return the same value (otherwise
+/// averaging repeated queries would wash the noise out and break the privacy guarantee).
+#[derive(Debug)]
+pub struct NoisyCounts<T: Record> {
+    epsilon: f64,
+    observed: HashMap<T, f64>,
+    /// Lazily generated noise for records with zero true weight.
+    absent: Mutex<HashMap<T, f64>>,
+    /// RNG reserved for lazily generated noise.
+    lazy_rng: Mutex<StdRng>,
+}
+
+impl<T: Record> NoisyCounts<T> {
+    /// Measures `data` with `Laplace(1/epsilon)` noise per record.
+    ///
+    /// This constructor performs **no privacy accounting**; use
+    /// [`Queryable::noisy_count`](crate::Queryable::noisy_count) for budgeted measurements.
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is not strictly positive and finite.
+    pub fn measure<R: Rng + ?Sized>(data: &WeightedDataset<T>, epsilon: f64, rng: &mut R) -> Self {
+        let laplace = Laplace::from_epsilon(epsilon);
+        let observed = data
+            .iter()
+            .map(|(record, weight)| (record.clone(), weight + laplace.sample(rng)))
+            .collect();
+        NoisyCounts {
+            epsilon,
+            observed,
+            absent: Mutex::new(HashMap::new()),
+            lazy_rng: Mutex::new(StdRng::seed_from_u64(rng.gen())),
+        }
+    }
+
+    /// The privacy parameter this measurement was taken with.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The noisy weight for `record`.
+    ///
+    /// Records absent from the measured dataset receive fresh `Laplace(1/ε)` noise on first
+    /// access, which is memoised and reproduced on subsequent accesses.
+    pub fn get(&self, record: &T) -> f64 {
+        if let Some(v) = self.observed.get(record) {
+            return *v;
+        }
+        let mut absent = self.absent.lock();
+        if let Some(v) = absent.get(record) {
+            return *v;
+        }
+        let laplace = Laplace::from_epsilon(self.epsilon);
+        let noise = laplace.sample(&mut *self.lazy_rng.lock());
+        absent.insert(record.clone(), noise);
+        noise
+    }
+
+    /// Iterates over the noisy counts of records that had non-zero true weight.
+    ///
+    /// Only these records were materialised eagerly; any other record can still be queried
+    /// through [`get`](Self::get).
+    pub fn iter_observed(&self) -> impl Iterator<Item = (&T, f64)> {
+        self.observed.iter().map(|(r, w)| (r, *w))
+    }
+
+    /// Number of eagerly materialised (non-zero-weight) records.
+    pub fn observed_len(&self) -> usize {
+        self.observed.len()
+    }
+
+    /// Sum of the noisy weights over the observed records.
+    pub fn observed_total(&self) -> f64 {
+        self.observed.values().sum()
+    }
+
+    /// Observed noisy counts sorted by record, for deterministic reporting.
+    pub fn sorted_observed(&self) -> Vec<(T, f64)> {
+        let mut v: Vec<(T, f64)> = self
+            .observed
+            .iter()
+            .map(|(r, w)| (r.clone(), *w))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// The L1 distance `‖Q(A) − m‖₁` between a candidate dataset's query output and these
+    /// noisy measurements, evaluated over the union of both supports.
+    ///
+    /// This is the quantity the MCMC scoring function of Section 4.2 uses. Records that
+    /// appear in neither the candidate output nor the observed measurements contribute
+    /// nothing (their lazily-drawn noise is not forced).
+    pub fn l1_distance(&self, candidate: &WeightedDataset<T>) -> f64 {
+        let mut total = 0.0;
+        for (record, observed) in &self.observed {
+            total += (candidate.weight(record) - observed).abs();
+        }
+        let absent = self.absent.lock();
+        for (record, weight) in candidate.iter() {
+            if !self.observed.contains_key(record) {
+                let noise = absent.get(record).copied().unwrap_or(0.0);
+                total += (weight - noise).abs();
+            }
+        }
+        total
+    }
+}
+
+/// A noisy sum of a numeric function of each record, clamped to `[-1, 1]` per unit weight.
+///
+/// `NoisySum(A, f, ε) = Σ_x clamp(f(x), -1, 1) · A(x) + Laplace(1/ε)`. Clamping keeps the
+/// query 1-Lipschitz with respect to the dataset so a single unit of weight change moves
+/// the true answer by at most one.
+pub fn noisy_sum<T, R, F>(data: &WeightedDataset<T>, f: F, epsilon: f64, rng: &mut R) -> f64
+where
+    T: Record,
+    R: Rng + ?Sized,
+    F: Fn(&T) -> f64,
+{
+    let laplace = Laplace::from_epsilon(epsilon);
+    let total: f64 = data
+        .iter()
+        .map(|(record, weight)| f(record).clamp(-1.0, 1.0) * weight)
+        .sum();
+    total + laplace.sample(rng)
+}
+
+/// A noisy average of a numeric function of each record, computed as a noisy sum divided by
+/// a noisy total weight (each taking half the privacy budget).
+pub fn noisy_average<T, R, F>(data: &WeightedDataset<T>, f: F, epsilon: f64, rng: &mut R) -> f64
+where
+    T: Record,
+    R: Rng + ?Sized,
+    F: Fn(&T) -> f64,
+{
+    let half = epsilon / 2.0;
+    let laplace = Laplace::from_epsilon(half);
+    let numerator: f64 = data
+        .iter()
+        .map(|(record, weight)| f(record).clamp(-1.0, 1.0) * weight)
+        .sum::<f64>()
+        + laplace.sample(rng);
+    let denominator: f64 = data.norm() + laplace.sample(rng);
+    if denominator.abs() < 1e-9 {
+        0.0
+    } else {
+        (numerator / denominator).clamp(-1.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_a() -> WeightedDataset<&'static str> {
+        WeightedDataset::from_pairs([("1", 0.75), ("2", 2.0), ("3", 1.0)])
+    }
+
+    #[test]
+    fn noisy_count_perturbs_every_observed_record() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let counts = NoisyCounts::measure(&sample_a(), 0.1, &mut rng);
+        assert_eq!(counts.observed_len(), 3);
+        // With ε = 0.1 the noise has scale 10; values should differ from the truth but stay
+        // in a plausible range.
+        let v = counts.get(&"2");
+        assert!(v.is_finite());
+        assert!((v - 2.0).abs() < 200.0);
+    }
+
+    #[test]
+    fn absent_records_get_memoised_noise() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let counts = NoisyCounts::measure(&sample_a(), 1.0, &mut rng);
+        let first = counts.get(&"0");
+        let second = counts.get(&"0");
+        assert_eq!(first, second, "lazy noise must be reproduced");
+        assert_ne!(first, 0.0, "absent records must still be noised");
+    }
+
+    #[test]
+    fn high_epsilon_measurements_are_accurate() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let counts = NoisyCounts::measure(&sample_a(), 1000.0, &mut rng);
+        assert!((counts.get(&"1") - 0.75).abs() < 0.1);
+        assert!((counts.get(&"2") - 2.0).abs() < 0.1);
+        assert!((counts.get(&"0") - 0.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn noise_distribution_matches_epsilon() {
+        // Empirical check that NoisyCount noise has the Laplace(1/ε) spread.
+        let mut rng = StdRng::seed_from_u64(23);
+        let data: WeightedDataset<u32> = WeightedDataset::from_pairs((0..5000).map(|i| (i, 1.0)));
+        let eps = 0.5;
+        let counts = NoisyCounts::measure(&data, eps, &mut rng);
+        let errs: Vec<f64> = (0..5000u32).map(|i| counts.get(&i) - 1.0).collect();
+        let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+        let var = errs.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / errs.len() as f64;
+        assert!(mean.abs() < 0.2, "noise mean {mean} should be near 0");
+        let expected_var = 2.0 / (eps * eps);
+        assert!(
+            (var - expected_var).abs() < expected_var * 0.2,
+            "noise variance {var} should be near {expected_var}"
+        );
+    }
+
+    #[test]
+    fn l1_distance_is_zero_for_matching_candidate_without_noise_effects() {
+        // With huge epsilon the measurement is essentially exact, so the true dataset is at
+        // (nearly) zero distance and a perturbed one is farther away.
+        let mut rng = StdRng::seed_from_u64(3);
+        let truth = sample_a();
+        let counts = NoisyCounts::measure(&truth, 1e6, &mut rng);
+        let d_truth = counts.l1_distance(&truth);
+        let mut other = truth.clone();
+        other.add_weight("2", 1.0);
+        let d_other = counts.l1_distance(&other);
+        assert!(d_truth < 1e-3);
+        assert!(d_other > 0.9);
+    }
+
+    #[test]
+    fn l1_distance_counts_candidate_only_records() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let counts = NoisyCounts::measure(&sample_a(), 1e6, &mut rng);
+        let candidate = WeightedDataset::from_pairs([("zzz", 4.0)]);
+        // "zzz" was never observed nor lazily forced, so it contributes |4 - 0|; the three
+        // observed records contribute ≈ their true weights.
+        let d = counts.l1_distance(&candidate);
+        assert!((d - (4.0 + 3.75)).abs() < 1e-2, "distance was {d}");
+    }
+
+    #[test]
+    fn noisy_sum_clamps_function_values() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let data = WeightedDataset::from_pairs([(1u32, 1.0), (2, 1.0)]);
+        // f returns 100, but clamping limits each record's contribution to 1.0 * weight.
+        let v = noisy_sum(&data, |_| 100.0, 1e6, &mut rng);
+        assert!((v - 2.0).abs() < 0.01, "clamped sum should be ~2, got {v}");
+    }
+
+    #[test]
+    fn noisy_average_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let data = WeightedDataset::from_pairs([(1u32, 1.0), (2, 3.0)]);
+        let v = noisy_average(&data, |x| *x as f64, 1e6, &mut rng);
+        assert!((-1.0..=1.0).contains(&v));
+    }
+}

@@ -1,0 +1,206 @@
+//! Privacy-budget accounting.
+//!
+//! wPINQ follows PINQ's agent model: each protected dataset is associated with a privacy
+//! budget; every differentially-private aggregation debits `k·ε` from the budget of every
+//! source it touches, where `k` is the number of times the query plan uses that source
+//! (Section 2.3 of the paper). Once the budget is exhausted, further measurements fail.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::error::BudgetError;
+
+/// A finite differential-privacy budget with running expenditure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrivacyBudget {
+    total: f64,
+    spent: f64,
+}
+
+impl PrivacyBudget {
+    /// Creates a budget allowing a total privacy cost of `total` (must be non-negative).
+    ///
+    /// # Panics
+    /// Panics if `total` is negative or non-finite.
+    pub fn new(total: f64) -> Self {
+        assert!(
+            total.is_finite() && total >= 0.0,
+            "privacy budget must be non-negative and finite, got {total}"
+        );
+        PrivacyBudget { total, spent: 0.0 }
+    }
+
+    /// An effectively unlimited budget, useful for non-private ground-truth computations
+    /// and for tests that exercise mechanics rather than accounting.
+    pub fn unlimited() -> Self {
+        PrivacyBudget {
+            total: f64::MAX,
+            spent: 0.0,
+        }
+    }
+
+    /// Total budget granted at construction.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Privacy cost spent so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Budget still available.
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent).max(0.0)
+    }
+
+    /// Returns `true` when a charge of `epsilon` would be admitted.
+    pub fn can_afford(&self, epsilon: f64) -> bool {
+        epsilon <= self.remaining() + 1e-12
+    }
+
+    /// Debits `epsilon` from the budget, failing (and charging nothing) if it is unaffordable.
+    pub fn charge(&mut self, epsilon: f64) -> Result<(), BudgetError> {
+        assert!(
+            epsilon.is_finite() && epsilon >= 0.0,
+            "privacy charge must be non-negative and finite, got {epsilon}"
+        );
+        if !self.can_afford(epsilon) {
+            return Err(BudgetError {
+                requested: epsilon,
+                remaining: self.remaining(),
+            });
+        }
+        self.spent += epsilon;
+        Ok(())
+    }
+}
+
+/// A cloneable, thread-safe handle to a shared [`PrivacyBudget`].
+///
+/// All [`Queryable`](crate::Queryable) values derived from the same
+/// [`ProtectedDataset`](crate::ProtectedDataset) share one handle, so their measurements
+/// draw from the same budget.
+#[derive(Debug, Clone)]
+pub struct BudgetHandle {
+    inner: Arc<Mutex<PrivacyBudget>>,
+    label: Arc<str>,
+}
+
+impl BudgetHandle {
+    /// Wraps a budget in a shareable handle, with a human-readable label for diagnostics.
+    pub fn new(budget: PrivacyBudget, label: impl Into<String>) -> Self {
+        BudgetHandle {
+            inner: Arc::new(Mutex::new(budget)),
+            label: Arc::from(label.into()),
+        }
+    }
+
+    /// The label supplied at construction.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Budget still available.
+    pub fn remaining(&self) -> f64 {
+        self.inner.lock().remaining()
+    }
+
+    /// Privacy cost spent so far.
+    pub fn spent(&self) -> f64 {
+        self.inner.lock().spent()
+    }
+
+    /// Total budget granted at construction.
+    pub fn total(&self) -> f64 {
+        self.inner.lock().total()
+    }
+
+    /// Returns `true` when a charge of `epsilon` would be admitted.
+    pub fn can_afford(&self, epsilon: f64) -> bool {
+        self.inner.lock().can_afford(epsilon)
+    }
+
+    /// Debits `epsilon`, failing (and charging nothing) if unaffordable.
+    pub fn charge(&self, epsilon: f64) -> Result<(), BudgetError> {
+        self.inner.lock().charge(epsilon)
+    }
+
+    /// Returns `true` when two handles refer to the same underlying budget.
+    pub fn same_budget(&self, other: &BudgetHandle) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates_and_respects_limit() {
+        let mut b = PrivacyBudget::new(1.0);
+        assert!(b.charge(0.4).is_ok());
+        assert!(b.charge(0.4).is_ok());
+        assert!(crate::weights::approx_eq(b.spent(), 0.8));
+        assert!(crate::weights::approx_eq(b.remaining(), 0.2));
+        let err = b.charge(0.5).unwrap_err();
+        assert!(crate::weights::approx_eq(err.requested, 0.5));
+        // Failed charge spends nothing.
+        assert!(crate::weights::approx_eq(b.spent(), 0.8));
+    }
+
+    #[test]
+    fn exact_exhaustion_is_allowed() {
+        let mut b = PrivacyBudget::new(1.0);
+        assert!(b.charge(1.0).is_ok());
+        assert!(b.charge(0.0).is_ok());
+        assert!(b.charge(0.01).is_err());
+    }
+
+    #[test]
+    fn sequential_composition_sums_charges() {
+        // A sequence of ε_i-DP measurements is Σε_i-DP; the budget enforces exactly that.
+        let mut b = PrivacyBudget::new(0.3);
+        for _ in 0..3 {
+            b.charge(0.1).unwrap();
+        }
+        assert!(b.charge(0.1).is_err());
+    }
+
+    #[test]
+    fn unlimited_budget_never_rejects() {
+        let mut b = PrivacyBudget::unlimited();
+        for _ in 0..100 {
+            b.charge(1e6).unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_budget_is_rejected() {
+        let _ = PrivacyBudget::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_charge_is_rejected() {
+        let mut b = PrivacyBudget::new(1.0);
+        let _ = b.charge(-0.1);
+    }
+
+    #[test]
+    fn handle_shares_budget_across_clones() {
+        let h = BudgetHandle::new(PrivacyBudget::new(1.0), "edges");
+        let h2 = h.clone();
+        h.charge(0.6).unwrap();
+        assert!(crate::weights::approx_eq(h2.spent(), 0.6));
+        assert!(h2.charge(0.6).is_err());
+        assert!(h.same_budget(&h2));
+        assert_eq!(h.label(), "edges");
+
+        let other = BudgetHandle::new(PrivacyBudget::new(1.0), "other");
+        assert!(!h.same_budget(&other));
+    }
+}

@@ -1,0 +1,382 @@
+//! [`WeightedDataset`]: the central data structure of wPINQ.
+//!
+//! A weighted dataset is a function `A : D → ℝ` assigning a real-valued weight to every
+//! record of a domain; records not stored have weight `0.0`. It generalises multisets
+//! (non-negative integer weights) and is the object the paper's differential-privacy
+//! definition is stated over, using the L1 distance `‖A − B‖ = Σ_x |A(x) − B(x)|`.
+
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::record::Record;
+use crate::weights;
+
+/// A dataset in which each record carries a real-valued weight.
+///
+/// Stored as a hash map from record to weight; records with negligible weight (see
+/// [`weights::PRUNE_THRESHOLD`]) are dropped so that "absent" and "weight zero" coincide.
+#[derive(Clone, Debug)]
+pub struct WeightedDataset<T: Record> {
+    weights: HashMap<T, f64>,
+}
+
+impl<T: Record> Default for WeightedDataset<T> {
+    fn default() -> Self {
+        WeightedDataset::new()
+    }
+}
+
+impl<T: Record> WeightedDataset<T> {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        WeightedDataset {
+            weights: HashMap::new(),
+        }
+    }
+
+    /// Creates an empty dataset with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        WeightedDataset {
+            weights: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// Builds a dataset from `(record, weight)` pairs, accumulating duplicate records.
+    pub fn from_pairs<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (T, f64)>,
+    {
+        let mut ds = WeightedDataset::new();
+        for (record, weight) in pairs {
+            ds.add_weight(record, weight);
+        }
+        ds
+    }
+
+    /// Builds a traditional (multiset-like) dataset: every listed record gets weight `1.0`,
+    /// with duplicates accumulating.
+    pub fn from_records<I>(records: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+    {
+        Self::from_pairs(records.into_iter().map(|r| (r, 1.0)))
+    }
+
+    /// The weight of `record`; `0.0` when the record is absent.
+    pub fn weight<Q>(&self, record: &Q) -> f64
+    where
+        T: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.weights.get(record).copied().unwrap_or(0.0)
+    }
+
+    /// Returns `true` when the record carries non-negligible weight.
+    pub fn contains<Q>(&self, record: &Q) -> bool
+    where
+        T: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.weights.contains_key(record)
+    }
+
+    /// Adds `delta` to the weight of `record`, pruning the record if the result is negligible.
+    pub fn add_weight(&mut self, record: T, delta: f64) {
+        use std::collections::hash_map::Entry;
+        match self.weights.entry(record) {
+            Entry::Occupied(mut entry) => {
+                let w = entry.get_mut();
+                *w += delta;
+                if weights::is_negligible(*w) {
+                    entry.remove();
+                }
+            }
+            Entry::Vacant(entry) => {
+                if !weights::is_negligible(delta) {
+                    entry.insert(delta);
+                }
+            }
+        }
+    }
+
+    /// Sets the weight of `record` to exactly `weight` (removing it when negligible).
+    pub fn set_weight(&mut self, record: T, weight: f64) {
+        if weights::is_negligible(weight) {
+            self.weights.remove(&record);
+        } else {
+            self.weights.insert(record, weight);
+        }
+    }
+
+    /// Removes a record entirely, returning its previous weight.
+    pub fn remove<Q>(&mut self, record: &Q) -> f64
+    where
+        T: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.weights.remove(record).unwrap_or(0.0)
+    }
+
+    /// Number of records with non-negligible weight.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Returns `true` when no record has non-negligible weight.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// The dataset size `‖A‖ = Σ_x |A(x)|`.
+    pub fn norm(&self) -> f64 {
+        self.weights.values().map(|w| w.abs()).sum()
+    }
+
+    /// The sum of weights `Σ_x A(x)` (signed, unlike [`norm`](Self::norm)).
+    pub fn total_weight(&self) -> f64 {
+        self.weights.values().sum()
+    }
+
+    /// The L1 dataset distance `‖A − B‖ = Σ_x |A(x) − B(x)|` from the paper's Definition 1.
+    pub fn distance(&self, other: &WeightedDataset<T>) -> f64 {
+        let mut total = 0.0;
+        for (record, w) in &self.weights {
+            total += (w - other.weight(record)).abs();
+        }
+        for (record, w) in &other.weights {
+            if !self.weights.contains_key(record) {
+                total += w.abs();
+            }
+        }
+        total
+    }
+
+    /// Iterates over `(record, weight)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, f64)> {
+        self.weights.iter().map(|(r, w)| (r, *w))
+    }
+
+    /// Iterates over records only.
+    pub fn records(&self) -> impl Iterator<Item = &T> {
+        self.weights.keys()
+    }
+
+    /// Returns `(record, weight)` pairs sorted by record, for deterministic output.
+    pub fn sorted_pairs(&self) -> Vec<(T, f64)> {
+        let mut pairs: Vec<(T, f64)> = self.weights.iter().map(|(r, w)| (r.clone(), *w)).collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        pairs
+    }
+
+    /// Multiplies every weight by `factor`.
+    pub fn scale(&mut self, factor: f64) {
+        if factor == 0.0 {
+            self.weights.clear();
+            return;
+        }
+        for w in self.weights.values_mut() {
+            *w *= factor;
+        }
+        self.prune();
+    }
+
+    /// Returns a copy of the dataset with every weight multiplied by `factor`.
+    pub fn scaled(&self, factor: f64) -> Self {
+        let mut out = self.clone();
+        out.scale(factor);
+        out
+    }
+
+    /// Removes records whose weight has become negligible.
+    pub fn prune(&mut self) {
+        self.weights.retain(|_, w| !weights::is_negligible(*w));
+    }
+
+    /// Merges another dataset into this one by element-wise addition (Concat semantics).
+    pub fn merge(&mut self, other: &WeightedDataset<T>) {
+        for (record, w) in other.iter() {
+            self.add_weight(record.clone(), w);
+        }
+    }
+
+    /// Returns `true` when both datasets assign (approximately) equal weight to every record.
+    pub fn approx_eq(&self, other: &WeightedDataset<T>, tol: f64) -> bool {
+        self.distance(other) <= tol
+    }
+}
+
+impl<T: Record> PartialEq for WeightedDataset<T> {
+    fn eq(&self, other: &Self) -> bool {
+        if self.weights.len() != other.weights.len() {
+            return false;
+        }
+        self.weights
+            .iter()
+            .all(|(r, w)| other.weight(r) == *w)
+    }
+}
+
+impl<T: Record> FromIterator<(T, f64)> for WeightedDataset<T> {
+    fn from_iter<I: IntoIterator<Item = (T, f64)>>(iter: I) -> Self {
+        Self::from_pairs(iter)
+    }
+}
+
+impl<T: Record> FromIterator<T> for WeightedDataset<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Self::from_records(iter)
+    }
+}
+
+impl<T: Record> IntoIterator for WeightedDataset<T> {
+    type Item = (T, f64);
+    type IntoIter = std::collections::hash_map::IntoIter<T, f64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.weights.into_iter()
+    }
+}
+
+impl<'a, T: Record> IntoIterator for &'a WeightedDataset<T> {
+    type Item = (&'a T, &'a f64);
+    type IntoIter = std::collections::hash_map::Iter<'a, T, f64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.weights.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The sample dataset `A` from Section 2.1 of the paper.
+    fn sample_a() -> WeightedDataset<&'static str> {
+        WeightedDataset::from_pairs([("1", 0.75), ("2", 2.0), ("3", 1.0)])
+    }
+
+    /// The sample dataset `B` from Section 2.1 of the paper.
+    fn sample_b() -> WeightedDataset<&'static str> {
+        WeightedDataset::from_pairs([("1", 3.0), ("4", 2.0)])
+    }
+
+    #[test]
+    fn absent_records_have_zero_weight() {
+        let a = sample_a();
+        assert_eq!(a.weight(&"2"), 2.0);
+        assert_eq!(a.weight(&"0"), 0.0);
+        assert!(!a.contains(&"0"));
+    }
+
+    #[test]
+    fn from_pairs_accumulates_duplicates() {
+        let ds = WeightedDataset::from_pairs([("x", 1.0), ("x", 0.5), ("y", 2.0)]);
+        assert_eq!(ds.weight(&"x"), 1.5);
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn from_records_gives_unit_weights() {
+        let ds: WeightedDataset<u32> = WeightedDataset::from_records([1, 2, 2, 3]);
+        assert_eq!(ds.weight(&1), 1.0);
+        assert_eq!(ds.weight(&2), 2.0);
+        assert_eq!(ds.weight(&3), 1.0);
+    }
+
+    #[test]
+    fn norm_is_sum_of_absolute_weights() {
+        let a = sample_a();
+        assert!(crate::weights::approx_eq(a.norm(), 3.75));
+        let mixed = WeightedDataset::from_pairs([("p", -1.0), ("q", 2.0)]);
+        assert!(crate::weights::approx_eq(mixed.norm(), 3.0));
+        assert!(crate::weights::approx_eq(mixed.total_weight(), 1.0));
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_matches_definition() {
+        let a = sample_a();
+        let b = sample_b();
+        // |0.75-3.0| + |2.0-0| + |1.0-0| + |0-2.0| = 2.25 + 2 + 1 + 2 = 7.25
+        assert!(crate::weights::approx_eq(a.distance(&b), 7.25));
+        assert!(crate::weights::approx_eq(b.distance(&a), 7.25));
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn distance_satisfies_triangle_inequality_on_samples() {
+        let a = sample_a();
+        let b = sample_b();
+        let c = WeightedDataset::from_pairs([("1", 1.0), ("5", 1.0)]);
+        assert!(a.distance(&b) <= a.distance(&c) + c.distance(&b) + 1e-9);
+    }
+
+    #[test]
+    fn add_weight_prunes_negligible_records() {
+        let mut ds = WeightedDataset::new();
+        ds.add_weight("x", 1.0);
+        ds.add_weight("x", -1.0);
+        assert!(!ds.contains(&"x"));
+        assert_eq!(ds.len(), 0);
+    }
+
+    #[test]
+    fn set_weight_overwrites_and_removes() {
+        let mut ds = sample_a();
+        ds.set_weight("1", 5.0);
+        assert_eq!(ds.weight(&"1"), 5.0);
+        ds.set_weight("1", 0.0);
+        assert!(!ds.contains(&"1"));
+    }
+
+    #[test]
+    fn scale_and_scaled_multiply_all_weights() {
+        let a = sample_a();
+        let doubled = a.scaled(2.0);
+        assert_eq!(doubled.weight(&"2"), 4.0);
+        assert_eq!(a.weight(&"2"), 2.0);
+        let zeroed = a.scaled(0.0);
+        assert!(zeroed.is_empty());
+    }
+
+    #[test]
+    fn merge_adds_element_wise() {
+        let mut a = sample_a();
+        a.merge(&sample_b());
+        assert!(crate::weights::approx_eq(a.weight(&"1"), 3.75));
+        assert!(crate::weights::approx_eq(a.weight(&"4"), 2.0));
+    }
+
+    #[test]
+    fn sorted_pairs_is_deterministic() {
+        let a = sample_a();
+        let pairs = a.sorted_pairs();
+        assert_eq!(
+            pairs.iter().map(|(r, _)| *r).collect::<Vec<_>>(),
+            vec!["1", "2", "3"]
+        );
+    }
+
+    #[test]
+    fn equality_compares_weights_exactly() {
+        let a = sample_a();
+        let mut b = sample_a();
+        assert_eq!(a, b);
+        b.add_weight("1", 0.1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn remove_returns_previous_weight() {
+        let mut a = sample_a();
+        assert_eq!(a.remove(&"2"), 2.0);
+        assert_eq!(a.remove(&"2"), 0.0);
+    }
+
+    #[test]
+    fn into_iterator_roundtrips() {
+        let a = sample_a();
+        let rebuilt: WeightedDataset<&'static str> = a.clone().into_iter().collect();
+        assert_eq!(a, rebuilt);
+    }
+}

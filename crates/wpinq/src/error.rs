@@ -1,0 +1,73 @@
+//! Error types shared across the platform.
+
+use std::fmt;
+
+/// Error raised when a differentially-private measurement would exceed the remaining budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetError {
+    /// Privacy cost the measurement requested.
+    pub requested: f64,
+    /// Privacy budget still available.
+    pub remaining: f64,
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "privacy budget exceeded: requested ε = {}, remaining ε = {}",
+            self.requested, self.remaining
+        )
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+/// Top-level error type for the wPINQ platform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WpinqError {
+    /// A measurement was rejected because it would exceed a privacy budget.
+    BudgetExceeded(BudgetError),
+    /// An operator was invoked with an invalid parameter (e.g. a non-positive ε).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for WpinqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WpinqError::BudgetExceeded(e) => write!(f, "{e}"),
+            WpinqError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WpinqError {}
+
+impl From<BudgetError> for WpinqError {
+    fn from(e: BudgetError) -> Self {
+        WpinqError::BudgetExceeded(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let be = BudgetError {
+            requested: 1.5,
+            remaining: 0.5,
+        };
+        let msg = be.to_string();
+        assert!(msg.contains("1.5"));
+        assert!(msg.contains("0.5"));
+
+        let err: WpinqError = be.into();
+        assert!(matches!(err, WpinqError::BudgetExceeded(_)));
+        assert!(err.to_string().contains("budget"));
+
+        let inv = WpinqError::InvalidParameter("epsilon must be positive".into());
+        assert!(inv.to_string().contains("epsilon"));
+    }
+}

@@ -1,0 +1,88 @@
+//! # wPINQ — weighted Privacy INtegrated Queries
+//!
+//! A Rust implementation of the differentially-private data-analysis platform described in
+//! *Calibrating Data to Sensitivity in Private Data Analysis* (Proserpio, Goldberg, McSherry,
+//! VLDB 2014).
+//!
+//! Instead of scaling **noise up** to a query's worst-case sensitivity, wPINQ works over
+//! [*weighted datasets*](WeightedDataset) and scales the **weight of troublesome records
+//! down**, so that a constant amount of Laplace noise masks the influence of any single
+//! input record. The platform consists of:
+//!
+//! * [`WeightedDataset<T>`] — a multiset generalised to real-valued record weights, with the
+//!   L1 dataset distance `‖A − B‖ = Σ_x |A(x) − B(x)|` that the paper's differential-privacy
+//!   definition is stated over.
+//! * Stable transformations ([`operators`]) — `select`, `filter` (Where), `select_many`,
+//!   `group_by`, `shave`, `join`, `union`, `intersect`, `concat`, `except` — each of which
+//!   guarantees `‖T(A) − T(A')‖ ≤ ‖A − A'‖` by rescaling output weights in a data-dependent
+//!   manner (Definition 2 / Appendix A of the paper).
+//! * Differentially-private aggregations ([`aggregation`]) — most importantly
+//!   [`NoisyCount`](aggregation::NoisyCounts), which adds `Laplace(1/ε)` noise to every
+//!   record weight and lazily memoises noise for records that are absent from the data.
+//! * Privacy accounting ([`budget`], [`protected`], [`queryable`]) — a PINQ-style front end
+//!   that tracks how many times each protected input is used by a query plan and charges
+//!   `k·ε` against its [`PrivacyBudget`](budget::PrivacyBudget) when a measurement is taken.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use wpinq::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // The two example datasets used throughout Section 2 of the paper.
+//! let a = WeightedDataset::from_pairs([("1", 0.75), ("2", 2.0), ("3", 1.0)]);
+//! let b = WeightedDataset::from_pairs([("1", 3.0), ("4", 2.0)]);
+//!
+//! // Element-wise minimum (Intersect) keeps only the common record "1".
+//! let i = operators::intersect(&a, &b);
+//! assert_eq!(i.weight(&"1"), 0.75);
+//! assert_eq!(i.len(), 1);
+//!
+//! // Protected analysis with a privacy budget.
+//! let budget = PrivacyBudget::new(1.0);
+//! let secret = ProtectedDataset::new(a, budget);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let counts = secret
+//!     .queryable()
+//!     .filter(|x: &&str| *x != "3")
+//!     .noisy_count(0.5, &mut rng)
+//!     .unwrap();
+//! // The noisy weight of "2" is 2.0 plus Laplace(1/0.5) noise.
+//! let _ = counts.get(&"2");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregation;
+pub mod budget;
+pub mod dataset;
+pub mod error;
+pub mod noise;
+pub mod operators;
+pub mod protected;
+pub mod queryable;
+pub mod record;
+pub mod weights;
+
+pub use aggregation::NoisyCounts;
+pub use budget::PrivacyBudget;
+pub use dataset::WeightedDataset;
+pub use error::{BudgetError, WpinqError};
+pub use protected::ProtectedDataset;
+pub use queryable::Queryable;
+pub use record::Record;
+
+/// Convenient glob import for downstream crates and examples.
+pub mod prelude {
+    pub use crate::aggregation::{self, NoisyCounts};
+    pub use crate::budget::PrivacyBudget;
+    pub use crate::dataset::WeightedDataset;
+    pub use crate::error::{BudgetError, WpinqError};
+    pub use crate::noise::Laplace;
+    pub use crate::operators;
+    pub use crate::protected::ProtectedDataset;
+    pub use crate::queryable::Queryable;
+    pub use crate::record::Record;
+    pub use crate::weights;
+}

@@ -1,0 +1,222 @@
+//! Noise primitives for differentially-private aggregation.
+//!
+//! The only distribution the paper needs is the Laplace distribution: `NoisyCount(A, ε)`
+//! perturbs every record weight with `Laplace(1/ε)` noise (mean 0, variance `2/ε²`).
+//! We also provide the two-sided geometric distribution (a discrete analogue, handy for
+//! integer-valued counts) and an exponential-mechanism sampler. Everything is built by
+//! inverse-CDF sampling over `rand` uniforms so no extra crates are required.
+
+use rand::Rng;
+
+/// A Laplace distribution with the given scale `b` (density `exp(-|x|/b) / 2b`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Laplace {
+    scale: f64,
+}
+
+impl Laplace {
+    /// Creates a Laplace distribution with scale `b`.
+    ///
+    /// # Panics
+    /// Panics if `scale` is not strictly positive and finite.
+    pub fn new(scale: f64) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "Laplace scale must be positive and finite, got {scale}"
+        );
+        Laplace { scale }
+    }
+
+    /// The distribution used by `NoisyCount(·, ε)`: scale `1/ε`.
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is not strictly positive and finite.
+    pub fn from_epsilon(epsilon: f64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0,
+            "epsilon must be positive and finite, got {epsilon}"
+        );
+        Laplace::new(1.0 / epsilon)
+    }
+
+    /// The scale parameter `b`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The variance `2b²`.
+    pub fn variance(&self) -> f64 {
+        2.0 * self.scale * self.scale
+    }
+
+    /// Draws one sample via the inverse CDF: with `u ~ U(-1/2, 1/2)`,
+    /// `x = -b · sgn(u) · ln(1 − 2|u|)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // gen_range never returns the upper bound, and we nudge away from u = -0.5 so that
+        // ln(1 - 2|u|) stays finite.
+        let mut u: f64 = rng.gen_range(-0.5..0.5);
+        if u == -0.5 {
+            u = -0.5 + f64::EPSILON;
+        }
+        -self.scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+    }
+
+    /// Log-density of the distribution at `x` (used by probabilistic-inference scoring).
+    pub fn log_density(&self, x: f64) -> f64 {
+        -x.abs() / self.scale - (2.0 * self.scale).ln()
+    }
+}
+
+/// Two-sided geometric ("discrete Laplace") distribution with parameter `alpha = exp(-ε)`.
+///
+/// `P[X = k] ∝ alpha^{|k|}`. Useful when measurements should remain integral.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoSidedGeometric {
+    alpha: f64,
+}
+
+impl TwoSidedGeometric {
+    /// Creates the distribution for privacy parameter `epsilon > 0`.
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is not strictly positive and finite.
+    pub fn from_epsilon(epsilon: f64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0,
+            "epsilon must be positive and finite, got {epsilon}"
+        );
+        TwoSidedGeometric {
+            alpha: (-epsilon).exp(),
+        }
+    }
+
+    /// Draws one sample as the difference of two geometric variables.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+        let g1 = self.sample_geometric(rng);
+        let g2 = self.sample_geometric(rng);
+        g1 - g2
+    }
+
+    fn sample_geometric<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+        // Number of failures before the first success with success prob (1 - alpha).
+        let u: f64 = rng.gen_range(0.0..1.0);
+        if self.alpha <= f64::MIN_POSITIVE {
+            return 0;
+        }
+        (u.ln() / self.alpha.ln()).floor().max(0.0) as i64
+    }
+}
+
+/// Samples an index from `scores` with probability proportional to `exp(ε · score / 2)`
+/// (the exponential mechanism of McSherry–Talwar for a 1-Lipschitz scoring function).
+///
+/// Returns `None` when `scores` is empty.
+pub fn exponential_mechanism<R: Rng + ?Sized>(
+    scores: &[f64],
+    epsilon: f64,
+    rng: &mut R,
+) -> Option<usize> {
+    if scores.is_empty() {
+        return None;
+    }
+    assert!(
+        epsilon.is_finite() && epsilon > 0.0,
+        "epsilon must be positive and finite, got {epsilon}"
+    );
+    // Work in log space and subtract the maximum for numerical stability.
+    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let weights: Vec<f64> = scores
+        .iter()
+        .map(|s| ((s - max) * epsilon / 2.0).exp())
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut draw = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if draw < *w {
+            return Some(i);
+        }
+        draw -= w;
+    }
+    Some(scores.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn laplace_from_epsilon_has_expected_scale() {
+        let l = Laplace::from_epsilon(0.5);
+        assert_eq!(l.scale(), 2.0);
+        assert_eq!(l.variance(), 8.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn laplace_rejects_nonpositive_epsilon() {
+        let _ = Laplace::from_epsilon(0.0);
+    }
+
+    #[test]
+    fn laplace_sample_mean_and_spread_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let l = Laplace::from_epsilon(1.0);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| l.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - 2.0).abs() < 0.2, "variance {var} too far from 2");
+    }
+
+    #[test]
+    fn laplace_samples_are_finite() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let l = Laplace::from_epsilon(10.0);
+        for _ in 0..10_000 {
+            assert!(l.sample(&mut rng).is_finite());
+        }
+    }
+
+    #[test]
+    fn laplace_log_density_peaks_at_zero() {
+        let l = Laplace::new(1.0);
+        assert!(l.log_density(0.0) > l.log_density(1.0));
+        assert!(l.log_density(1.0) > l.log_density(2.0));
+        assert!(crate::weights::approx_eq(
+            l.log_density(1.0) - l.log_density(2.0),
+            1.0
+        ));
+    }
+
+    #[test]
+    fn geometric_samples_are_integers_centred_near_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = TwoSidedGeometric::from_epsilon(0.5);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| g.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.2, "mean {mean} too far from 0");
+    }
+
+    #[test]
+    fn exponential_mechanism_prefers_high_scores() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let scores = [0.0, 0.0, 10.0];
+        let mut hits = 0;
+        for _ in 0..1000 {
+            if exponential_mechanism(&scores, 2.0, &mut rng) == Some(2) {
+                hits += 1;
+            }
+        }
+        assert!(hits > 900, "high-score option chosen only {hits}/1000 times");
+    }
+
+    #[test]
+    fn exponential_mechanism_handles_empty_and_singleton() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(exponential_mechanism(&[], 1.0, &mut rng), None);
+        assert_eq!(exponential_mechanism(&[3.0], 1.0, &mut rng), Some(0));
+    }
+}

@@ -1,0 +1,195 @@
+//! `GroupBy`: MapReduce-style grouping with the prefix-halving weight rule of Section 2.5.
+
+use std::collections::HashMap;
+
+use crate::dataset::WeightedDataset;
+use crate::record::Record;
+use crate::weights;
+
+/// Groups records by `key`, applies `reduce` to weighted prefixes of each group, and emits
+/// `(key, reduce(prefix))` records.
+///
+/// For a part `A_k` with records ordered non-increasingly by weight `x₀, x₁, …, x_{n−1}`,
+/// the prefix `{x_j : j ≤ i}` is emitted with weight `(A_k(x_i) − A_k(x_{i+1})) / 2`
+/// (taking `A_k(x_n) = 0`). When every record in the group has equal weight `w` — the usual
+/// case, since graph queries group unit-weight edges — only the full group appears, with
+/// weight `w/2`. Records with non-positive weight do not participate.
+///
+/// The halving is what buys stability: adding or removing one input record can replace one
+/// output group by another (two changed records), so each may carry at most half the input
+/// weight (Theorem 5 / Appendix A).
+pub fn group_by<T, K, R, KF, RF>(
+    data: &WeightedDataset<T>,
+    key: KF,
+    reduce: RF,
+) -> WeightedDataset<(K, R)>
+where
+    T: Record,
+    K: Record,
+    R: Record,
+    KF: Fn(&T) -> K,
+    RF: Fn(&[T]) -> R,
+{
+    group_by_with_key(data, key, |_, group| reduce(group))
+}
+
+/// [`group_by`] where the reducer also receives the group key.
+pub fn group_by_with_key<T, K, R, KF, RF>(
+    data: &WeightedDataset<T>,
+    key: KF,
+    reduce: RF,
+) -> WeightedDataset<(K, R)>
+where
+    T: Record,
+    K: Record,
+    R: Record,
+    KF: Fn(&T) -> K,
+    RF: Fn(&K, &[T]) -> R,
+{
+    // Partition by key.
+    let mut parts: HashMap<K, Vec<(T, f64)>> = HashMap::new();
+    for (record, weight) in data.iter() {
+        if weight <= 0.0 {
+            continue;
+        }
+        parts
+            .entry(key(record))
+            .or_default()
+            .push((record.clone(), weight));
+    }
+
+    let mut out = WeightedDataset::new();
+    for (k, mut members) in parts {
+        // Non-increasing weight order; ties broken by record order for determinism.
+        members.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        let mut prefix: Vec<T> = Vec::with_capacity(members.len());
+        for i in 0..members.len() {
+            prefix.push(members[i].0.clone());
+            let next_weight = members.get(i + 1).map(|m| m.1).unwrap_or(0.0);
+            let emitted = (members[i].1 - next_weight) / 2.0;
+            if emitted > 0.0 && !weights::is_negligible(emitted) {
+                out.add_weight((k.clone(), reduce(&k, &prefix)), emitted);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::approx_eq;
+
+    /// Counts the records in a group — the reducer used by the paper's degree queries.
+    fn count_reducer<T>(group: &[T]) -> u64 {
+        group.len() as u64
+    }
+
+    #[test]
+    fn group_by_parity_example_from_paper() {
+        // Section 2.5: grouping C by parity produces
+        // {("odd,{5,3,1}", 0.375), ("odd,{5,3}", 0.125), ("odd,{5}", 0.5), ("even,{2,4}", 1.0)}.
+        let c = WeightedDataset::from_pairs([
+            ("1", 0.75),
+            ("2", 2.0),
+            ("3", 1.0),
+            ("4", 2.0),
+            ("5", 2.0),
+        ]);
+        let out = group_by(
+            &c,
+            |x| x.parse::<u32>().unwrap() % 2,
+            |group| {
+                let mut members: Vec<&str> = group.to_vec();
+                members.sort_unstable();
+                members.join(",")
+            },
+        );
+        assert_eq!(out.len(), 4);
+        assert!(approx_eq(out.weight(&(1, "1,3,5".to_string())), 0.375));
+        assert!(approx_eq(out.weight(&(1, "3,5".to_string())), 0.125));
+        assert!(approx_eq(out.weight(&(1, "5".to_string())), 0.5));
+        assert!(approx_eq(out.weight(&(0, "2,4".to_string())), 1.0));
+    }
+
+    #[test]
+    fn unit_weight_groups_emit_only_the_full_group_at_half_weight() {
+        // The common case in graph queries: all inputs have weight 1.0, so each group key
+        // yields exactly one record (the whole group) with weight 0.5.
+        let edges = WeightedDataset::from_records([(1u32, 2u32), (1, 3), (1, 4), (2, 3)]);
+        let degrees = group_by(&edges, |e| e.0, count_reducer);
+        assert_eq!(degrees.len(), 2);
+        assert!(approx_eq(degrees.weight(&(1, 3)), 0.5));
+        assert!(approx_eq(degrees.weight(&(2, 1)), 0.5));
+    }
+
+    #[test]
+    fn equal_weight_groups_with_non_unit_weight() {
+        let data = WeightedDataset::from_pairs([("a", 2.0), ("b", 2.0), ("c", 2.0)]);
+        let out = group_by(&data, |_| 0u8, |g| g.len() as u64);
+        assert_eq!(out.len(), 1);
+        assert!(approx_eq(out.weight(&(0, 3)), 1.0));
+    }
+
+    #[test]
+    fn output_norm_is_half_the_heaviest_record_per_group() {
+        // The prefix weights (A_k(x_i) − A_k(x_{i+1}))/2 telescope to A_k(x_0)/2, so each
+        // group contributes exactly half its maximum record weight to the output norm.
+        let data = WeightedDataset::from_pairs([("a", 0.5), ("b", 1.5), ("c", 3.0), ("d", 1.0)]);
+        let out = group_by(&data, |_| 0u8, |g| g.len() as u64);
+        assert!(approx_eq(out.norm(), 3.0 / 2.0));
+
+        // Two groups: each contributes max/2.
+        let data2 = WeightedDataset::from_pairs([("a", 2.0), ("b", 1.0), ("x", 4.0), ("y", 0.5)]);
+        let out2 = group_by(&data2, |r| (*r > "m") as u8, |g| g.len() as u64);
+        assert!(approx_eq(out2.norm(), 2.0 / 2.0 + 4.0 / 2.0));
+    }
+
+    #[test]
+    fn non_positive_weights_are_ignored() {
+        let data = WeightedDataset::from_pairs([("a", 1.0), ("b", -4.0)]);
+        let out = group_by(&data, |_| 0u8, |g| g.len() as u64);
+        assert_eq!(out.len(), 1);
+        assert!(approx_eq(out.weight(&(0, 1)), 0.5));
+    }
+
+    #[test]
+    fn reducer_sees_prefixes_in_non_increasing_weight_order() {
+        let data = WeightedDataset::from_pairs([("light", 1.0), ("heavy", 3.0)]);
+        let out = group_by(&data, |_| 0u8, |g| g.first().cloned().unwrap());
+        // Both the singleton prefix {heavy} and the full prefix start with "heavy".
+        assert!(approx_eq(out.weight(&(0, "heavy")), 1.0 + 0.5));
+        assert_eq!(out.weight(&(0, "light")), 0.0);
+    }
+
+    #[test]
+    fn group_by_with_key_passes_the_key() {
+        let data = WeightedDataset::from_records([(1u32, 'a'), (1, 'b'), (2, 'c')]);
+        let out = group_by_with_key(&data, |r| r.0, |k, group| (*k as u64) * 10 + group.len() as u64);
+        assert!(approx_eq(out.weight(&(1, 12)), 0.5));
+        assert!(approx_eq(out.weight(&(2, 21)), 0.5));
+    }
+
+    #[test]
+    fn stability_on_specific_pair() {
+        // Replacing one unit-weight record flips one output group to another; total change
+        // is 2 · 0.5 = 1.0 = ‖A − A'‖ in the worst case, never more.
+        let a = WeightedDataset::from_records([(1u32, 'a'), (1, 'b'), (2, 'c')]);
+        let mut a2 = a.clone();
+        a2.remove(&(1u32, 'b'));
+        a2.add_weight((1u32, 'z'), 1.0);
+        let d_in = a.distance(&a2);
+        let key = |r: &(u32, char)| r.0;
+        let reduce = |g: &[(u32, char)]| {
+            let mut s: Vec<char> = g.iter().map(|r| r.1).collect();
+            s.sort_unstable();
+            s.into_iter().collect::<String>()
+        };
+        let d_out = group_by(&a, key, reduce).distance(&group_by(&a2, key, reduce));
+        assert!(d_out <= d_in + 1e-9, "{d_out} > {d_in}");
+    }
+}

@@ -1,0 +1,181 @@
+//! `Join`: the weight-rescaling equi-join of Section 2.7, the workhorse of graph analysis.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::dataset::WeightedDataset;
+use crate::record::Record;
+
+/// Matches records of `a` and `b` whose keys agree and emits `result(a, b)` for every pair,
+/// scaling the weight of every match under key `k` by `1 / (‖A_k‖ + ‖B_k‖)`:
+///
+/// `Join(A, B) = Σ_k (A_k × B_kᵀ) / (‖A_k‖ + ‖B_k‖)`   (equation (1) of the paper).
+///
+/// Unlike the standard relational join (where one record can produce unboundedly many
+/// matches and the transformation is unstable), this data-dependent rescaling makes the
+/// operator stable: `‖Join(A,B) − Join(A',B')‖ ≤ ‖A − A'‖ + ‖B − B'‖` (Theorem 4).
+pub fn join<A, B, K, R, KA, KB, RF>(
+    a: &WeightedDataset<A>,
+    b: &WeightedDataset<B>,
+    key_a: KA,
+    key_b: KB,
+    result: RF,
+) -> WeightedDataset<R>
+where
+    A: Record,
+    B: Record,
+    K: Clone + Eq + Hash,
+    R: Record,
+    KA: Fn(&A) -> K,
+    KB: Fn(&B) -> K,
+    RF: Fn(&A, &B) -> R,
+{
+    // Partition both inputs by key, tracking each part's norm ‖·‖ = Σ|w|.
+    let mut parts_a: HashMap<K, (Vec<(&A, f64)>, f64)> = HashMap::new();
+    for (record, weight) in a.iter() {
+        let entry = parts_a.entry(key_a(record)).or_insert_with(|| (Vec::new(), 0.0));
+        entry.0.push((record, weight));
+        entry.1 += weight.abs();
+    }
+    let mut parts_b: HashMap<K, (Vec<(&B, f64)>, f64)> = HashMap::new();
+    for (record, weight) in b.iter() {
+        let entry = parts_b.entry(key_b(record)).or_insert_with(|| (Vec::new(), 0.0));
+        entry.0.push((record, weight));
+        entry.1 += weight.abs();
+    }
+
+    let mut out = WeightedDataset::new();
+    for (key, (recs_a, norm_a)) in &parts_a {
+        let Some((recs_b, norm_b)) = parts_b.get(key) else {
+            continue;
+        };
+        let denominator = norm_a + norm_b;
+        if denominator <= 0.0 {
+            continue;
+        }
+        for (ra, wa) in recs_a {
+            for (rb, wb) in recs_b {
+                out.add_weight(result(ra, rb), wa * wb / denominator);
+            }
+        }
+    }
+    out
+}
+
+/// [`join`] with the identity result selector: emits `(a, b)` pairs.
+pub fn join_pairs<A, B, K, KA, KB>(
+    a: &WeightedDataset<A>,
+    b: &WeightedDataset<B>,
+    key_a: KA,
+    key_b: KB,
+) -> WeightedDataset<(A, B)>
+where
+    A: Record,
+    B: Record,
+    K: Clone + Eq + Hash,
+    KA: Fn(&A) -> K,
+    KB: Fn(&B) -> K,
+{
+    join(a, b, key_a, key_b, |ra, rb| (ra.clone(), rb.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::test_support::{sample_a, sample_b};
+    use crate::weights::approx_eq;
+
+    #[test]
+    fn join_parity_example_from_paper() {
+        // Section 2.7: joining A and B on parity. Note the paper's worked example lists
+        // A₁ = {("1", 0.5), ("3", 1.0)} (a typo for 0.75 in the prose) and normalises by
+        // ‖A₁‖ + ‖B₁‖ = 4.5; we follow the definition, so with A("1") = 0.75 the odd-key
+        // norm is 0.75 + 1.0 + 3.0 = 4.75.
+        let a = sample_a();
+        let b = sample_b();
+        let parity = |x: &&str| x.parse::<u32>().unwrap() % 2;
+        let out = join_pairs(&a, &b, parity, parity);
+        assert_eq!(out.len(), 3);
+        // Even key: {"2"} × {"4"} / (2.0 + 2.0)
+        assert!(approx_eq(out.weight(&("2", "4")), 2.0 * 2.0 / 4.0));
+        // Odd key: {"1","3"} × {"1"} / (1.75 + 3.0)
+        assert!(approx_eq(out.weight(&("1", "1")), 0.75 * 3.0 / 4.75));
+        assert!(approx_eq(out.weight(&("3", "1")), 1.0 * 3.0 / 4.75));
+    }
+
+    #[test]
+    fn join_with_exact_paper_inputs_matches_paper_numbers() {
+        // Using the dataset exactly as printed in the worked example (A("1") = 0.5), the
+        // outputs are {("⟨2,4⟩", 1.0), ("⟨1,1⟩", 0.33…), ("⟨3,1⟩", 0.66…)}.
+        let a = WeightedDataset::from_pairs([("1", 0.5), ("2", 2.0), ("3", 1.0)]);
+        let b = sample_b();
+        let parity = |x: &&str| x.parse::<u32>().unwrap() % 2;
+        let out = join_pairs(&a, &b, parity, parity);
+        assert!(approx_eq(out.weight(&("2", "4")), 1.0));
+        assert!(approx_eq(out.weight(&("1", "1")), 1.0 / 3.0));
+        assert!(approx_eq(out.weight(&("3", "1")), 2.0 / 3.0));
+    }
+
+    #[test]
+    fn keys_present_in_only_one_input_produce_nothing() {
+        let a = WeightedDataset::from_pairs([(1u32, 1.0)]);
+        let b = WeightedDataset::from_pairs([(2u32, 1.0)]);
+        let out = join_pairs(&a, &b, |x| *x, |x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn self_join_on_length_two_paths_scales_by_degree() {
+        // Section 2.7 "Join and paths": joining a symmetric edge set with itself on
+        // dst = src yields paths (a, b, c) with weight 1/(2·d_b).
+        let edges: Vec<(u32, u32)> = vec![(1, 2), (2, 1), (2, 3), (3, 2), (1, 3), (3, 1)];
+        let edges = WeightedDataset::from_records(edges);
+        let paths = join(
+            &edges,
+            &edges,
+            |e| e.1,
+            |e| e.0,
+            |x, y| (x.0, x.1, y.1),
+        );
+        // Node 2 has degree 2, so path (1, 2, 3) should have weight 1/(2·2) = 0.25.
+        assert!(approx_eq(paths.weight(&(1, 2, 3)), 0.25));
+        // Path (1, 2, 1) also exists (cycles are filtered later by the analyses).
+        assert!(approx_eq(paths.weight(&(1, 2, 1)), 0.25));
+    }
+
+    #[test]
+    fn result_selector_accumulates_collisions() {
+        // Two distinct matches mapping to the same output record accumulate weight.
+        let a = WeightedDataset::from_pairs([((1u32, 'x'), 1.0), ((1, 'y'), 1.0)]);
+        let b = WeightedDataset::from_pairs([(1u32, 2.0)]);
+        let out = join(&a, &b, |r| r.0, |r| *r, |_, rb| *rb);
+        // ‖A₁‖ = 2, ‖B₁‖ = 2 → each match has weight 1·2/4 = 0.5, and both collapse onto
+        // output record 1.
+        assert!(approx_eq(out.weight(&1), 1.0));
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn unary_stability_on_specific_pair() {
+        let a = sample_a();
+        let b = sample_b();
+        let mut a2 = a.clone();
+        a2.add_weight("3", 1.0);
+        a2.add_weight("5", 0.5);
+        let parity = |x: &&str| x.parse::<u32>().unwrap() % 2;
+        let d_in = a.distance(&a2);
+        let out = join_pairs(&a, &b, parity, parity);
+        let out2 = join_pairs(&a2, &b, parity, parity);
+        assert!(out.distance(&out2) <= d_in + 1e-9);
+    }
+
+    #[test]
+    fn output_norm_is_at_most_half_of_combined_input_norms() {
+        // For any key, ‖A_k‖·‖B_k‖ / (‖A_k‖+‖B_k‖) ≤ min(‖A_k‖, ‖B_k‖) ≤ (‖A_k‖+‖B_k‖)/2.
+        let a = sample_a();
+        let b = sample_b();
+        let parity = |x: &&str| x.parse::<u32>().unwrap() % 2;
+        let out = join_pairs(&a, &b, parity, parity);
+        assert!(out.norm() <= (a.norm() + b.norm()) / 2.0 + 1e-9);
+    }
+}

@@ -1,0 +1,40 @@
+//! Stable transformations over weighted datasets (Sections 2.3–2.8 of the paper).
+//!
+//! A transformation `T` is *stable* when `‖T(A) − T(A')‖ ≤ ‖A − A'‖` for all datasets
+//! `A, A'` (and `‖T(A,B) − T(A',B')‖ ≤ ‖A − A'‖ + ‖B − B'‖` for binary transformations).
+//! Stability lets transformations compose with differentially-private aggregations without
+//! amplifying privacy cost: if `M` is ε-DP then `M(T(·))` is ε-DP (Theorem 1).
+//!
+//! Each operator here is a free function over [`WeightedDataset`](crate::WeightedDataset)s; the
+//! [`Queryable`](crate::Queryable) front-end wraps them with privacy accounting. The
+//! stability of `Join` and `GroupBy` — the two operators whose weight rescaling is subtle —
+//! is proved in Appendix A of the paper and checked by property tests in this crate.
+
+mod group_by;
+mod join;
+mod select;
+mod select_many;
+mod set_ops;
+mod shave;
+
+pub use group_by::{group_by, group_by_with_key};
+pub use join::{join, join_pairs};
+pub use select::{filter, select};
+pub use select_many::{select_many, select_many_unit};
+pub use set_ops::{concat, except, intersect, union};
+pub use shave::{shave, shave_const};
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use crate::dataset::WeightedDataset;
+
+    /// Sample dataset `A` from Section 2.1 of the paper.
+    pub fn sample_a() -> WeightedDataset<&'static str> {
+        WeightedDataset::from_pairs([("1", 0.75), ("2", 2.0), ("3", 1.0)])
+    }
+
+    /// Sample dataset `B` from Section 2.1 of the paper.
+    pub fn sample_b() -> WeightedDataset<&'static str> {
+        WeightedDataset::from_pairs([("1", 3.0), ("4", 2.0)])
+    }
+}

@@ -1,0 +1,101 @@
+//! `Select` (per-record transformation) and `Where` (per-record filtering), Section 2.4.
+
+use crate::dataset::WeightedDataset;
+use crate::record::Record;
+
+/// Applies `f` to every record, accumulating the weights of records that map to the same
+/// output: `Select(A, f)(x) = Σ_{y : f(y) = x} A(y)`.
+///
+/// Stability: every unit of input weight becomes exactly one unit of output weight, so
+/// `‖Select(A) − Select(A')‖ ≤ ‖A − A'‖`.
+pub fn select<T, U, F>(data: &WeightedDataset<T>, f: F) -> WeightedDataset<U>
+where
+    T: Record,
+    U: Record,
+    F: Fn(&T) -> U,
+{
+    let mut out = WeightedDataset::with_capacity(data.len());
+    for (record, weight) in data.iter() {
+        out.add_weight(f(record), weight);
+    }
+    out
+}
+
+/// Keeps only the records satisfying `predicate`:
+/// `Where(A, p)(x) = p(x) · A(x)`.
+///
+/// Stability: output weights are a subset of input weights.
+pub fn filter<T, P>(data: &WeightedDataset<T>, predicate: P) -> WeightedDataset<T>
+where
+    T: Record,
+    P: Fn(&T) -> bool,
+{
+    let mut out = WeightedDataset::with_capacity(data.len());
+    for (record, weight) in data.iter() {
+        if predicate(record) {
+            out.add_weight(record.clone(), weight);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::test_support::sample_a;
+    use crate::weights::approx_eq;
+
+    #[test]
+    fn select_parity_example_from_paper() {
+        // Section 2.4: Select with f(x) = x mod 2 over A gives {("0", 2.0), ("1", 1.75)}.
+        let a = sample_a();
+        let out = select(&a, |x| {
+            let v: u32 = x.parse().unwrap();
+            (v % 2).to_string()
+        });
+        assert_eq!(out.len(), 2);
+        assert!(approx_eq(out.weight(&"0".to_string()), 2.0));
+        assert!(approx_eq(out.weight(&"1".to_string()), 1.75));
+    }
+
+    #[test]
+    fn select_preserves_total_weight() {
+        let a = sample_a();
+        let out = select(&a, |_| 0u8);
+        assert!(approx_eq(out.weight(&0u8), a.norm()));
+    }
+
+    #[test]
+    fn where_example_from_paper() {
+        // Section 2.4: Where with predicate x² < 5 keeps {("1", 0.75), ("2", 2.0)}.
+        let a = sample_a();
+        let out = filter(&a, |x| {
+            let v: i64 = x.parse().unwrap();
+            v * v < 5
+        });
+        assert_eq!(out.len(), 2);
+        assert!(approx_eq(out.weight(&"1"), 0.75));
+        assert!(approx_eq(out.weight(&"2"), 2.0));
+        assert_eq!(out.weight(&"3"), 0.0);
+    }
+
+    #[test]
+    fn filter_with_constant_predicates() {
+        let a = sample_a();
+        assert_eq!(filter(&a, |_| true), a);
+        assert!(filter(&a, |_| false).is_empty());
+    }
+
+    #[test]
+    fn select_is_stable_on_specific_pair() {
+        // ‖Select(A) − Select(A')‖ ≤ ‖A − A'‖ for a pair where records collapse together.
+        let a = sample_a();
+        let mut a2 = a.clone();
+        a2.add_weight("3", -0.5);
+        a2.add_weight("9", 1.0);
+        let f = |x: &&str| x.parse::<u32>().unwrap() % 3;
+        let d_in = a.distance(&a2);
+        let d_out = select(&a, f).distance(&select(&a2, f));
+        assert!(d_out <= d_in + 1e-9, "{d_out} > {d_in}");
+    }
+}

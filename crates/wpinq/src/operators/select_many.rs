@@ -1,0 +1,129 @@
+//! `SelectMany`: per-record one-to-many transformation (Section 2.4).
+
+use crate::dataset::WeightedDataset;
+use crate::record::Record;
+
+/// Maps every record to a weighted dataset and accumulates the results, normalising each
+/// produced dataset to at most unit norm before scaling it by the input record's weight:
+///
+/// `SelectMany(A, f) = Σ_x A(x) · f(x) / max(1, ‖f(x)‖)`.
+///
+/// Different inputs may produce different numbers of outputs; the normalisation depends on
+/// the number actually produced rather than on a worst-case bound, which is the key
+/// flexibility the paper highlights (e.g. frequent-itemset mining, edges → endpoints).
+pub fn select_many<T, U, F>(data: &WeightedDataset<T>, f: F) -> WeightedDataset<U>
+where
+    T: Record,
+    U: Record,
+    F: Fn(&T) -> WeightedDataset<U>,
+{
+    let mut out = WeightedDataset::new();
+    for (record, weight) in data.iter() {
+        let produced = f(record);
+        let norm = produced.norm();
+        if norm == 0.0 {
+            continue;
+        }
+        let scale = weight / norm.max(1.0);
+        for (u, w) in produced.iter() {
+            out.add_weight(u.clone(), w * scale);
+        }
+    }
+    out
+}
+
+/// Convenience form of [`select_many`] where `f` returns a list of records, each implicitly
+/// carrying weight `1.0` (the common case in the paper's graph queries).
+pub fn select_many_unit<T, U, F, I>(data: &WeightedDataset<T>, f: F) -> WeightedDataset<U>
+where
+    T: Record,
+    U: Record,
+    I: IntoIterator<Item = U>,
+    F: Fn(&T) -> I,
+{
+    select_many(data, |record| {
+        WeightedDataset::from_records(f(record).into_iter())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::test_support::sample_a;
+    use crate::weights::approx_eq;
+
+    #[test]
+    fn select_many_example_from_paper() {
+        // Section 2.4: f(x) = {1, 2, ..., x} with unit weights over A gives
+        // {("1", 0.75 + 1.0 + 1/3), ("2", 1.0 + 1/3), ("3", 1/3)}.
+        let a = sample_a();
+        let out = select_many_unit(&a, |x| {
+            let v: u32 = x.parse().unwrap();
+            (1..=v).collect::<Vec<_>>()
+        });
+        assert_eq!(out.len(), 3);
+        assert!(approx_eq(out.weight(&1), 0.75 + 1.0 + 1.0 / 3.0));
+        assert!(approx_eq(out.weight(&2), 1.0 + 1.0 / 3.0));
+        assert!(approx_eq(out.weight(&3), 1.0 / 3.0));
+    }
+
+    #[test]
+    fn small_outputs_are_not_scaled_up() {
+        // A record producing a dataset of norm < 1 is scaled by the record weight only
+        // (max(1, ‖f(x)‖) = 1), never scaled up.
+        let data = WeightedDataset::from_pairs([(1u32, 2.0)]);
+        let out = select_many(&data, |_| WeightedDataset::from_pairs([(9u32, 0.25)]));
+        assert!(approx_eq(out.weight(&9), 0.5));
+    }
+
+    #[test]
+    fn large_outputs_are_normalised() {
+        // A record of weight w producing n unit-weight outputs yields n outputs of weight w/n.
+        let data = WeightedDataset::from_pairs([(0u32, 3.0)]);
+        let out = select_many_unit(&data, |_| vec![10u32, 11, 12, 13]);
+        for r in 10u32..=13 {
+            assert!(approx_eq(out.weight(&r), 0.75));
+        }
+        assert!(approx_eq(out.norm(), 3.0));
+    }
+
+    #[test]
+    fn empty_production_contributes_nothing() {
+        let data = WeightedDataset::from_pairs([(0u32, 3.0)]);
+        let out: WeightedDataset<u32> = select_many_unit(&data, |_| Vec::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn output_norm_never_exceeds_input_norm_for_unit_productions() {
+        let data = WeightedDataset::from_pairs([(1u32, 1.5), (2, 0.5), (3, 2.0)]);
+        let out = select_many_unit(&data, |x| (0..*x).collect::<Vec<_>>());
+        assert!(out.norm() <= data.norm() + 1e-9);
+    }
+
+    #[test]
+    fn edges_to_endpoints_pattern() {
+        // The paper's edges → nodes first step: each unit-weight edge contributes 0.5 to each
+        // endpoint, so a node of degree d accumulates weight d/2.
+        let edges = WeightedDataset::from_records([(1u32, 2u32), (1, 3), (2, 3)]);
+        let nodes = select_many_unit(&edges, |&(a, b)| vec![a, b]);
+        assert!(approx_eq(nodes.weight(&1), 1.0));
+        assert!(approx_eq(nodes.weight(&2), 1.0));
+        assert!(approx_eq(nodes.weight(&3), 1.0));
+    }
+
+    #[test]
+    fn stability_on_specific_pair() {
+        let a = sample_a();
+        let mut a2 = a.clone();
+        a2.add_weight("2", -1.0);
+        a2.add_weight("7", 0.25);
+        let f = |x: &&str| {
+            let v: u32 = x.parse().unwrap();
+            (0..v).collect::<Vec<_>>()
+        };
+        let d_in = a.distance(&a2);
+        let d_out = select_many_unit(&a, f).distance(&select_many_unit(&a2, f));
+        assert!(d_out <= d_in + 1e-9, "{d_out} > {d_in}");
+    }
+}

@@ -1,0 +1,150 @@
+//! `Union`, `Intersect`, `Concat`, `Except`: element-wise binary transformations
+//! (Section 2.6).
+
+use crate::dataset::WeightedDataset;
+use crate::record::Record;
+
+/// Element-wise maximum: `Union(A, B)(x) = max(A(x), B(x))`.
+pub fn union<T: Record>(a: &WeightedDataset<T>, b: &WeightedDataset<T>) -> WeightedDataset<T> {
+    let mut out = WeightedDataset::with_capacity(a.len() + b.len());
+    for (record, wa) in a.iter() {
+        out.set_weight(record.clone(), wa.max(b.weight(record)));
+    }
+    for (record, wb) in b.iter() {
+        if !a.contains(record) {
+            out.set_weight(record.clone(), wb.max(0.0));
+        }
+    }
+    out
+}
+
+/// Element-wise minimum: `Intersect(A, B)(x) = min(A(x), B(x))`.
+pub fn intersect<T: Record>(a: &WeightedDataset<T>, b: &WeightedDataset<T>) -> WeightedDataset<T> {
+    let mut out = WeightedDataset::new();
+    for (record, wa) in a.iter() {
+        out.set_weight(record.clone(), wa.min(b.weight(record)));
+    }
+    for (record, wb) in b.iter() {
+        if !a.contains(record) {
+            out.set_weight(record.clone(), wb.min(0.0));
+        }
+    }
+    out
+}
+
+/// Element-wise addition: `Concat(A, B)(x) = A(x) + B(x)`.
+pub fn concat<T: Record>(a: &WeightedDataset<T>, b: &WeightedDataset<T>) -> WeightedDataset<T> {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+/// Element-wise subtraction: `Except(A, B)(x) = A(x) − B(x)`.
+pub fn except<T: Record>(a: &WeightedDataset<T>, b: &WeightedDataset<T>) -> WeightedDataset<T> {
+    let mut out = a.clone();
+    for (record, wb) in b.iter() {
+        out.add_weight(record.clone(), -wb);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::test_support::{sample_a, sample_b};
+    use crate::weights::approx_eq;
+
+    #[test]
+    fn concat_example_from_paper() {
+        // Section 2.6: Concat(A, B) = {("1", 3.75), ("2", 2.0), ("3", 1.0), ("4", 2.0)}.
+        let out = concat(&sample_a(), &sample_b());
+        assert_eq!(out.len(), 4);
+        assert!(approx_eq(out.weight(&"1"), 3.75));
+        assert!(approx_eq(out.weight(&"2"), 2.0));
+        assert!(approx_eq(out.weight(&"3"), 1.0));
+        assert!(approx_eq(out.weight(&"4"), 2.0));
+    }
+
+    #[test]
+    fn intersect_example_from_paper() {
+        // Section 2.6: Intersect(A, B) = {("1", 0.75)}.
+        let out = intersect(&sample_a(), &sample_b());
+        assert_eq!(out.len(), 1);
+        assert!(approx_eq(out.weight(&"1"), 0.75));
+    }
+
+    #[test]
+    fn union_takes_elementwise_maximum() {
+        let out = union(&sample_a(), &sample_b());
+        assert!(approx_eq(out.weight(&"1"), 3.0));
+        assert!(approx_eq(out.weight(&"2"), 2.0));
+        assert!(approx_eq(out.weight(&"3"), 1.0));
+        assert!(approx_eq(out.weight(&"4"), 2.0));
+    }
+
+    #[test]
+    fn except_subtracts_elementwise() {
+        let out = except(&sample_a(), &sample_b());
+        assert!(approx_eq(out.weight(&"1"), -2.25));
+        assert!(approx_eq(out.weight(&"2"), 2.0));
+        assert!(approx_eq(out.weight(&"4"), -2.0));
+    }
+
+    #[test]
+    fn except_then_concat_roundtrips() {
+        let a = sample_a();
+        let b = sample_b();
+        let diff = except(&a, &b);
+        let restored = concat(&diff, &b);
+        assert!(restored.approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn union_and_intersect_are_commutative() {
+        let a = sample_a();
+        let b = sample_b();
+        assert!(union(&a, &b).approx_eq(&union(&b, &a), 1e-12));
+        assert!(intersect(&a, &b).approx_eq(&intersect(&b, &a), 1e-12));
+    }
+
+    #[test]
+    fn union_with_empty_keeps_positive_weights() {
+        let a = sample_a();
+        let empty = WeightedDataset::new();
+        assert!(union(&a, &empty).approx_eq(&a, 1e-12));
+        assert!(intersect(&a, &empty).is_empty());
+    }
+
+    #[test]
+    fn intersect_with_negative_weights_takes_minimum() {
+        let a = WeightedDataset::from_pairs([("x", -1.0), ("y", 2.0)]);
+        let b = WeightedDataset::from_pairs([("x", 3.0), ("y", 1.0)]);
+        let out = intersect(&a, &b);
+        assert!(approx_eq(out.weight(&"x"), -1.0));
+        assert!(approx_eq(out.weight(&"y"), 1.0));
+        // A negative weight present only in A surfaces through min(w, 0) = w.
+        let c = WeightedDataset::from_pairs([("z", -2.0)]);
+        let out2 = intersect(&c, &b);
+        assert!(approx_eq(out2.weight(&"z"), -2.0));
+    }
+
+    #[test]
+    fn binary_stability_on_specific_pairs() {
+        // ‖T(A,B) − T(A',B)‖ ≤ ‖A − A'‖ for each of the four operators.
+        let a = sample_a();
+        let b = sample_b();
+        let mut a2 = a.clone();
+        a2.add_weight("1", 0.5);
+        a2.add_weight("9", -0.25);
+        let d_in = a.distance(&a2);
+        for (name, out, out2) in [
+            ("union", union(&a, &b), union(&a2, &b)),
+            ("intersect", intersect(&a, &b), intersect(&a2, &b)),
+            ("concat", concat(&a, &b), concat(&a2, &b)),
+            ("except", except(&a, &b), except(&a2, &b)),
+        ] {
+            let d_out = out.distance(&out2);
+            assert!(d_out <= d_in + 1e-9, "{name}: {d_out} > {d_in}");
+        }
+    }
+}

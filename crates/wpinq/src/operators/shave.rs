@@ -1,0 +1,147 @@
+//! `Shave`: decomposes one heavy record into many indexed records of smaller weight
+//! (Section 2.8).
+
+use crate::dataset::WeightedDataset;
+use crate::record::Record;
+use crate::weights;
+
+/// Breaks each record `x` of weight `A(x)` into records `(x, 0), (x, 1), …` whose weights
+/// follow the schedule `f(x) = ⟨w₀, w₁, …⟩` until the record's weight is exhausted:
+///
+/// `Shave(A, f)((x, i)) = max(0, min(f(x)ᵢ, A(x) − Σ_{j<i} f(x)ⱼ))`.
+///
+/// `Select((x, i) ↦ x)` is the functional inverse: it re-accumulates the original weights.
+/// Records with non-positive weight produce no output.
+pub fn shave<T, F, I>(data: &WeightedDataset<T>, schedule: F) -> WeightedDataset<(T, u64)>
+where
+    T: Record,
+    F: Fn(&T) -> I,
+    I: IntoIterator<Item = f64>,
+{
+    let mut out = WeightedDataset::new();
+    for (record, weight) in data.iter() {
+        if weight <= 0.0 {
+            continue;
+        }
+        let mut remaining = weight;
+        for (index, step) in schedule(record).into_iter().enumerate() {
+            if remaining <= 0.0 || weights::is_negligible(remaining) {
+                break;
+            }
+            let emitted = step.min(remaining).max(0.0);
+            if emitted > 0.0 {
+                out.add_weight((record.clone(), index as u64), emitted);
+            }
+            remaining -= step.max(0.0);
+        }
+    }
+    out
+}
+
+/// [`shave`] with the constant schedule `⟨w, w, w, …⟩` — the form every query in the paper
+/// uses (`Shave(1.0)` for degree sequences, `Shave(0.5)` for the edges → nodes conversion).
+///
+/// # Panics
+/// Panics if `step` is not strictly positive (the schedule would never exhaust a record).
+pub fn shave_const<T>(data: &WeightedDataset<T>, step: f64) -> WeightedDataset<(T, u64)>
+where
+    T: Record,
+{
+    assert!(
+        step > 0.0 && step.is_finite(),
+        "shave step must be positive and finite, got {step}"
+    );
+    shave(data, |_| std::iter::repeat(step))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::select;
+    use crate::operators::test_support::sample_a;
+    use crate::weights::approx_eq;
+
+    #[test]
+    fn shave_example_from_paper() {
+        // Section 2.8: Shave(A, ⟨1,1,1,…⟩) =
+        // {(⟨1,0⟩, 0.75), (⟨2,0⟩, 1.0), (⟨2,1⟩, 1.0), (⟨3,0⟩, 1.0)}.
+        let a = sample_a();
+        let out = shave_const(&a, 1.0);
+        assert_eq!(out.len(), 4);
+        assert!(approx_eq(out.weight(&("1", 0)), 0.75));
+        assert!(approx_eq(out.weight(&("2", 0)), 1.0));
+        assert!(approx_eq(out.weight(&("2", 1)), 1.0));
+        assert!(approx_eq(out.weight(&("3", 0)), 1.0));
+    }
+
+    #[test]
+    fn select_is_shaves_functional_inverse() {
+        let a = sample_a();
+        let shaved = shave_const(&a, 1.0);
+        let recovered = select(&shaved, |(x, _)| *x);
+        assert!(recovered.approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn fractional_step_splits_into_more_records() {
+        let data = WeightedDataset::from_pairs([("v", 1.0)]);
+        let out = shave_const(&data, 0.5);
+        assert_eq!(out.len(), 2);
+        assert!(approx_eq(out.weight(&("v", 0)), 0.5));
+        assert!(approx_eq(out.weight(&("v", 1)), 0.5));
+    }
+
+    #[test]
+    fn partial_last_record_gets_the_remainder() {
+        let data = WeightedDataset::from_pairs([("v", 1.3)]);
+        let out = shave_const(&data, 0.5);
+        assert_eq!(out.len(), 3);
+        assert!(approx_eq(out.weight(&("v", 2)), 0.3));
+        assert!(approx_eq(out.norm(), 1.3));
+    }
+
+    #[test]
+    fn custom_schedule_is_respected() {
+        let data = WeightedDataset::from_pairs([("v", 2.0)]);
+        let out = shave(&data, |_| vec![0.25, 0.75, 5.0]);
+        assert!(approx_eq(out.weight(&("v", 0)), 0.25));
+        assert!(approx_eq(out.weight(&("v", 1)), 0.75));
+        assert!(approx_eq(out.weight(&("v", 2)), 1.0));
+    }
+
+    #[test]
+    fn finite_schedule_truncates_excess_weight() {
+        // If the schedule runs out before the weight is exhausted, remaining weight is dropped
+        // (the paper's definition only emits as many terms as Σᵢ wᵢ ≤ A(x) covers).
+        let data = WeightedDataset::from_pairs([("v", 10.0)]);
+        let out = shave(&data, |_| vec![1.0, 1.0]);
+        assert!(approx_eq(out.norm(), 2.0));
+    }
+
+    #[test]
+    fn non_positive_weights_produce_nothing() {
+        let data = WeightedDataset::from_pairs([("neg", -2.0)]);
+        let out = shave_const(&data, 1.0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_step_is_rejected() {
+        let data = WeightedDataset::from_pairs([("v", 1.0)]);
+        let _ = shave_const(&data, 0.0);
+    }
+
+    #[test]
+    fn degree_ccdf_pattern() {
+        // The degree-CCDF query shaves node weights (a, d_a) into unit slices and keeps the
+        // index: record i ends up with weight = #nodes of degree > i.
+        let node_weights = WeightedDataset::from_pairs([("a", 3.0), ("b", 1.0), ("c", 2.0)]);
+        let shaved = shave_const(&node_weights, 1.0);
+        let ccdf = select(&shaved, |(_, i)| *i);
+        assert!(approx_eq(ccdf.weight(&0), 3.0)); // all three nodes have degree > 0
+        assert!(approx_eq(ccdf.weight(&1), 2.0)); // a and c have degree > 1
+        assert!(approx_eq(ccdf.weight(&2), 1.0)); // only a has degree > 2
+        assert_eq!(ccdf.weight(&3), 0.0);
+    }
+}

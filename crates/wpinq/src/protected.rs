@@ -1,0 +1,122 @@
+//! [`ProtectedDataset`]: a secret input paired with a privacy budget.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::budget::{BudgetHandle, PrivacyBudget};
+use crate::dataset::WeightedDataset;
+use crate::queryable::Queryable;
+use crate::record::Record;
+
+/// Globally unique identifier for a protected source, used to count how many times a query
+/// plan uses each source (self-joins count twice, and so on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SourceId(pub(crate) u64);
+
+static NEXT_SOURCE_ID: AtomicU64 = AtomicU64::new(0);
+
+impl SourceId {
+    fn fresh() -> Self {
+        SourceId(NEXT_SOURCE_ID.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// A sensitive weighted dataset together with the privacy budget that gates access to it.
+///
+/// Analysts never read a `ProtectedDataset` directly; they call [`queryable`](Self::queryable)
+/// to obtain a [`Queryable`] handle, transform it with stable operators, and pay for
+/// measurements out of the attached budget.
+#[derive(Debug, Clone)]
+pub struct ProtectedDataset<T: Record> {
+    data: WeightedDataset<T>,
+    budget: BudgetHandle,
+    id: SourceId,
+}
+
+impl<T: Record> ProtectedDataset<T> {
+    /// Protects `data` behind a fresh budget.
+    pub fn new(data: WeightedDataset<T>, budget: PrivacyBudget) -> Self {
+        Self::with_handle(data, BudgetHandle::new(budget, "protected-dataset"))
+    }
+
+    /// Protects `data` behind an existing (possibly shared) budget handle.
+    pub fn with_handle(data: WeightedDataset<T>, budget: BudgetHandle) -> Self {
+        ProtectedDataset {
+            data,
+            budget,
+            id: SourceId::fresh(),
+        }
+    }
+
+    /// The budget handle, for inspecting remaining/spent privacy.
+    pub fn budget(&self) -> &BudgetHandle {
+        &self.budget
+    }
+
+    /// The unique id of this source.
+    pub fn id(&self) -> SourceId {
+        self.id
+    }
+
+    /// Number of records with non-zero weight (not a private quantity — do not release).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the protected data is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Starts a query against the protected data.
+    ///
+    /// The returned [`Queryable`] records that it uses this source exactly once; operators
+    /// that reuse it (e.g. a self-join) will increase the multiplicity, and measurements
+    /// charge `multiplicity × ε` against this dataset's budget.
+    pub fn queryable(&self) -> Queryable<T> {
+        Queryable::from_source(self.data.clone(), self.id, self.budget.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_ids_are_unique() {
+        let a = ProtectedDataset::new(
+            WeightedDataset::from_records([1u32, 2, 3]),
+            PrivacyBudget::new(1.0),
+        );
+        let b = ProtectedDataset::new(
+            WeightedDataset::from_records([1u32]),
+            PrivacyBudget::new(1.0),
+        );
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn len_reflects_protected_data() {
+        let a = ProtectedDataset::new(
+            WeightedDataset::from_records([1u32, 2, 3]),
+            PrivacyBudget::new(1.0),
+        );
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn shared_budget_handles_are_supported() {
+        let handle = BudgetHandle::new(PrivacyBudget::new(2.0), "shared");
+        let a = ProtectedDataset::with_handle(
+            WeightedDataset::from_records([1u32]),
+            handle.clone(),
+        );
+        let b = ProtectedDataset::with_handle(
+            WeightedDataset::from_records([2u32]),
+            handle.clone(),
+        );
+        assert!(a.budget().same_budget(b.budget()));
+        handle.charge(1.5).unwrap();
+        assert!(a.budget().spent() > 1.0);
+    }
+}

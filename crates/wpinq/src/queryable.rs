@@ -1,0 +1,432 @@
+//! [`Queryable`]: the privacy-accounted front end over the stable operators.
+//!
+//! A `Queryable<T>` is the wPINQ analogue of PINQ's `PINQueryable`: a weighted dataset
+//! obtained from one or more protected sources through stable transformations, together
+//! with a record of *how many times* each source was used. When a differentially-private
+//! aggregation is requested with parameter `ε`, each source is charged `multiplicity × ε`
+//! against its budget — the static accounting rule of Section 2.3 ("if dataset A is used k
+//! times in a query with an ε-differentially-private aggregation, the result is kε-DP
+//! for A").
+
+use std::hash::Hash;
+
+use rand::Rng;
+
+use crate::aggregation::NoisyCounts;
+use crate::budget::BudgetHandle;
+use crate::dataset::WeightedDataset;
+use crate::error::WpinqError;
+use crate::operators;
+use crate::protected::SourceId;
+use crate::record::Record;
+
+/// How many times a particular protected source contributes to a query plan.
+#[derive(Debug, Clone)]
+struct SourceUsage {
+    id: SourceId,
+    multiplicity: u32,
+    budget: BudgetHandle,
+}
+
+/// A transformed view of one or more protected datasets, ready for further transformation
+/// or differentially-private measurement.
+#[derive(Debug, Clone)]
+pub struct Queryable<T: Record> {
+    data: WeightedDataset<T>,
+    sources: Vec<SourceUsage>,
+}
+
+impl<T: Record> Queryable<T> {
+    pub(crate) fn from_source(
+        data: WeightedDataset<T>,
+        id: SourceId,
+        budget: BudgetHandle,
+    ) -> Self {
+        Queryable {
+            data,
+            sources: vec![SourceUsage {
+                id,
+                multiplicity: 1,
+                budget,
+            }],
+        }
+    }
+
+    /// Creates a queryable over public (non-sensitive) data: it has no protected sources,
+    /// so measurements over it cost nothing. Useful for joining protected data with public
+    /// reference tables.
+    pub fn public(data: WeightedDataset<T>) -> Self {
+        Queryable {
+            data,
+            sources: Vec::new(),
+        }
+    }
+
+    fn derived<U: Record>(&self, data: WeightedDataset<U>) -> Queryable<U> {
+        Queryable {
+            data,
+            sources: self.sources.clone(),
+        }
+    }
+
+    fn merged_sources(&self, other: &Queryable<impl Record>) -> Vec<SourceUsage> {
+        let mut merged = self.sources.clone();
+        for usage in &other.sources {
+            if let Some(existing) = merged.iter_mut().find(|u| u.id == usage.id) {
+                existing.multiplicity += usage.multiplicity;
+            } else {
+                merged.push(usage.clone());
+            }
+        }
+        merged
+    }
+
+    /// The total usage multiplicity of the source with the given id (0 when unused).
+    pub fn multiplicity_of(&self, id: SourceId) -> u32 {
+        self.sources
+            .iter()
+            .find(|u| u.id == id)
+            .map(|u| u.multiplicity)
+            .unwrap_or(0)
+    }
+
+    /// The largest source multiplicity in this query plan; a measurement at `ε` costs at
+    /// most `max_multiplicity() × ε` against any single budget.
+    pub fn max_multiplicity(&self) -> u32 {
+        self.sources
+            .iter()
+            .map(|u| u.multiplicity)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Read-only access to the underlying weighted data.
+    ///
+    /// **This bypasses differential privacy** — it exists for tests, for debugging, and for
+    /// the incremental engine (which operates on the already-released measurements plus
+    /// public synthetic candidates, never on protected data). Production analyses must only
+    /// release values through [`noisy_count`](Self::noisy_count) and friends.
+    pub fn inspect(&self) -> &WeightedDataset<T> {
+        &self.data
+    }
+
+    // ---- stable transformations -------------------------------------------------------
+
+    /// Per-record transformation; weights of colliding outputs accumulate (Section 2.4).
+    pub fn select<U: Record, F: Fn(&T) -> U>(&self, f: F) -> Queryable<U> {
+        self.derived(operators::select(&self.data, f))
+    }
+
+    /// Per-record filtering (`Where`, Section 2.4).
+    pub fn filter<P: Fn(&T) -> bool>(&self, predicate: P) -> Queryable<T> {
+        self.derived(operators::filter(&self.data, predicate))
+    }
+
+    /// One-to-many transformation with data-dependent normalisation (Section 2.4).
+    pub fn select_many<U, F>(&self, f: F) -> Queryable<U>
+    where
+        U: Record,
+        F: Fn(&T) -> WeightedDataset<U>,
+    {
+        self.derived(operators::select_many(&self.data, f))
+    }
+
+    /// One-to-many transformation where each produced record carries unit weight.
+    pub fn select_many_unit<U, I, F>(&self, f: F) -> Queryable<U>
+    where
+        U: Record,
+        I: IntoIterator<Item = U>,
+        F: Fn(&T) -> I,
+    {
+        self.derived(operators::select_many_unit(&self.data, f))
+    }
+
+    /// Groups records by key and reduces each group (Section 2.5).
+    pub fn group_by<K, R, KF, RF>(&self, key: KF, reduce: RF) -> Queryable<(K, R)>
+    where
+        K: Record,
+        R: Record,
+        KF: Fn(&T) -> K,
+        RF: Fn(&[T]) -> R,
+    {
+        self.derived(operators::group_by(&self.data, key, reduce))
+    }
+
+    /// Decomposes heavy records into indexed unit-ish slices (Section 2.8).
+    pub fn shave<F, I>(&self, schedule: F) -> Queryable<(T, u64)>
+    where
+        F: Fn(&T) -> I,
+        I: IntoIterator<Item = f64>,
+    {
+        self.derived(operators::shave(&self.data, schedule))
+    }
+
+    /// [`shave`](Self::shave) with a constant per-slice weight.
+    pub fn shave_const(&self, step: f64) -> Queryable<(T, u64)> {
+        self.derived(operators::shave_const(&self.data, step))
+    }
+
+    /// The weight-rescaling equi-join of Section 2.7. Source multiplicities of both inputs
+    /// add, so a self-join doubles the privacy cost of its source.
+    pub fn join<U, K, R, KA, KB, RF>(
+        &self,
+        other: &Queryable<U>,
+        key_self: KA,
+        key_other: KB,
+        result: RF,
+    ) -> Queryable<R>
+    where
+        U: Record,
+        K: Clone + Eq + Hash,
+        R: Record,
+        KA: Fn(&T) -> K,
+        KB: Fn(&U) -> K,
+        RF: Fn(&T, &U) -> R,
+    {
+        Queryable {
+            data: operators::join(&self.data, &other.data, key_self, key_other, result),
+            sources: self.merged_sources(other),
+        }
+    }
+
+    /// Element-wise maximum (Section 2.6).
+    pub fn union(&self, other: &Queryable<T>) -> Queryable<T> {
+        Queryable {
+            data: operators::union(&self.data, &other.data),
+            sources: self.merged_sources(other),
+        }
+    }
+
+    /// Element-wise minimum (Section 2.6).
+    pub fn intersect(&self, other: &Queryable<T>) -> Queryable<T> {
+        Queryable {
+            data: operators::intersect(&self.data, &other.data),
+            sources: self.merged_sources(other),
+        }
+    }
+
+    /// Element-wise addition (Section 2.6).
+    pub fn concat(&self, other: &Queryable<T>) -> Queryable<T> {
+        Queryable {
+            data: operators::concat(&self.data, &other.data),
+            sources: self.merged_sources(other),
+        }
+    }
+
+    /// Element-wise subtraction (Section 2.6).
+    pub fn except(&self, other: &Queryable<T>) -> Queryable<T> {
+        Queryable {
+            data: operators::except(&self.data, &other.data),
+            sources: self.merged_sources(other),
+        }
+    }
+
+    // ---- measurements -----------------------------------------------------------------
+
+    /// The privacy cost that a measurement with parameter `epsilon` would charge against
+    /// the budget of the given source.
+    pub fn cost_for(&self, id: SourceId, epsilon: f64) -> f64 {
+        self.multiplicity_of(id) as f64 * epsilon
+    }
+
+    /// Takes a `NoisyCount(·, ε)` measurement (Section 2.2), charging every underlying
+    /// source `multiplicity × ε` from its budget first.
+    ///
+    /// Fails with [`WpinqError::BudgetExceeded`] — without charging anything and without
+    /// drawing noise — if any budget cannot afford its share, and with
+    /// [`WpinqError::InvalidParameter`] when `epsilon` is not strictly positive.
+    pub fn noisy_count<R: Rng + ?Sized>(
+        &self,
+        epsilon: f64,
+        rng: &mut R,
+    ) -> Result<NoisyCounts<T>, WpinqError> {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(WpinqError::InvalidParameter(format!(
+                "epsilon must be positive and finite, got {epsilon}"
+            )));
+        }
+        // All-or-nothing: verify affordability before charging anyone.
+        for usage in &self.sources {
+            let cost = usage.multiplicity as f64 * epsilon;
+            if !usage.budget.can_afford(cost) {
+                return Err(WpinqError::BudgetExceeded(crate::error::BudgetError {
+                    requested: cost,
+                    remaining: usage.budget.remaining(),
+                }));
+            }
+        }
+        for usage in &self.sources {
+            usage
+                .budget
+                .charge(usage.multiplicity as f64 * epsilon)
+                .map_err(WpinqError::BudgetExceeded)?;
+        }
+        Ok(NoisyCounts::measure(&self.data, epsilon, rng))
+    }
+
+    /// A noisy sum of `f` over the records, clamped to 1-Lipschitz contributions, with the
+    /// same accounting as [`noisy_count`](Self::noisy_count).
+    pub fn noisy_sum<R, F>(&self, f: F, epsilon: f64, rng: &mut R) -> Result<f64, WpinqError>
+    where
+        R: Rng + ?Sized,
+        F: Fn(&T) -> f64,
+    {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(WpinqError::InvalidParameter(format!(
+                "epsilon must be positive and finite, got {epsilon}"
+            )));
+        }
+        for usage in &self.sources {
+            let cost = usage.multiplicity as f64 * epsilon;
+            if !usage.budget.can_afford(cost) {
+                return Err(WpinqError::BudgetExceeded(crate::error::BudgetError {
+                    requested: cost,
+                    remaining: usage.budget.remaining(),
+                }));
+            }
+        }
+        for usage in &self.sources {
+            usage
+                .budget
+                .charge(usage.multiplicity as f64 * epsilon)
+                .map_err(WpinqError::BudgetExceeded)?;
+        }
+        Ok(crate::aggregation::noisy_sum(&self.data, f, epsilon, rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::PrivacyBudget;
+    use crate::protected::ProtectedDataset;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn protected_edges(budget: f64) -> ProtectedDataset<(u32, u32)> {
+        ProtectedDataset::new(
+            WeightedDataset::from_records([(1u32, 2u32), (2, 3), (3, 1), (1, 4)]),
+            PrivacyBudget::new(budget),
+        )
+    }
+
+    #[test]
+    fn unary_chain_keeps_multiplicity_one() {
+        let edges = protected_edges(1.0);
+        let q = edges
+            .queryable()
+            .select(|e| e.0)
+            .filter(|v| *v != 4)
+            .shave_const(1.0);
+        assert_eq!(q.multiplicity_of(edges.id()), 1);
+    }
+
+    #[test]
+    fn self_join_doubles_multiplicity() {
+        let edges = protected_edges(10.0);
+        let q = edges.queryable();
+        let paths = q.join(&q, |e| e.1, |e| e.0, |a, b| (a.0, a.1, b.1));
+        assert_eq!(paths.multiplicity_of(edges.id()), 2);
+        let again = paths.join(&q, |p| p.2, |e| e.0, |p, _| *p);
+        assert_eq!(again.multiplicity_of(edges.id()), 3);
+    }
+
+    #[test]
+    fn concat_of_same_source_accumulates() {
+        // The TbD query concatenates edges with their transpose: two uses of the source.
+        let edges = protected_edges(10.0);
+        let q = edges.queryable();
+        let sym = q.select(|e| (e.1, e.0)).concat(&q);
+        assert_eq!(sym.multiplicity_of(edges.id()), 2);
+    }
+
+    #[test]
+    fn noisy_count_charges_multiplicity_times_epsilon() {
+        let edges = protected_edges(1.0);
+        let q = edges.queryable();
+        let paths = q.join(&q, |e| e.1, |e| e.0, |a, b| (a.0, a.1, b.1));
+        let mut rng = StdRng::seed_from_u64(0);
+        paths.noisy_count(0.25, &mut rng).unwrap();
+        assert!(crate::weights::approx_eq(edges.budget().spent(), 0.5));
+    }
+
+    #[test]
+    fn budget_exhaustion_rejects_measurement_without_charging() {
+        let edges = protected_edges(0.3);
+        let q = edges.queryable();
+        let paths = q.join(&q, |e| e.1, |e| e.0, |a, b| (a.0, a.1, b.1));
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = paths.noisy_count(0.2, &mut rng).unwrap_err();
+        assert!(matches!(err, WpinqError::BudgetExceeded(_)));
+        assert_eq!(edges.budget().spent(), 0.0);
+        // A cheaper measurement still fits.
+        assert!(paths.noisy_count(0.1, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn invalid_epsilon_is_rejected() {
+        let edges = protected_edges(1.0);
+        let q = edges.queryable();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            q.noisy_count(0.0, &mut rng),
+            Err(WpinqError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            q.noisy_count(f64::NAN, &mut rng),
+            Err(WpinqError::InvalidParameter(_))
+        ));
+        assert_eq!(edges.budget().spent(), 0.0);
+    }
+
+    #[test]
+    fn public_data_costs_nothing() {
+        let edges = protected_edges(0.5);
+        let public = Queryable::public(WeightedDataset::from_records([(1u32, 1u32)]));
+        let joined = edges
+            .queryable()
+            .join(&public, |e| e.0, |p| p.0, |e, _| *e);
+        let mut rng = StdRng::seed_from_u64(0);
+        joined.noisy_count(0.5, &mut rng).unwrap();
+        assert!(crate::weights::approx_eq(edges.budget().spent(), 0.5));
+        // Measuring purely public data charges no budget at all.
+        public.noisy_count(100.0, &mut rng).unwrap();
+    }
+
+    #[test]
+    fn two_sources_are_charged_independently() {
+        let left = protected_edges(1.0);
+        let right = ProtectedDataset::new(
+            WeightedDataset::from_records([(2u32, 9u32), (3, 9)]),
+            PrivacyBudget::new(2.0),
+        );
+        let joined = left
+            .queryable()
+            .join(&right.queryable(), |e| e.0, |e| e.0, |a, b| (a.1, b.1));
+        let mut rng = StdRng::seed_from_u64(0);
+        joined.noisy_count(0.75, &mut rng).unwrap();
+        assert!(crate::weights::approx_eq(left.budget().spent(), 0.75));
+        assert!(crate::weights::approx_eq(right.budget().spent(), 0.75));
+    }
+
+    #[test]
+    fn noisy_sum_is_accounted_like_noisy_count() {
+        let edges = protected_edges(1.0);
+        let q = edges.queryable();
+        let mut rng = StdRng::seed_from_u64(0);
+        let v = q.noisy_sum(|_| 1.0, 0.4, &mut rng).unwrap();
+        assert!(v.is_finite());
+        assert!(crate::weights::approx_eq(edges.budget().spent(), 0.4));
+        assert!(q.noisy_sum(|_| 1.0, 0.7, &mut rng).is_err());
+    }
+
+    #[test]
+    fn inspect_exposes_transformed_weights() {
+        let edges = protected_edges(1.0);
+        let degrees = edges.queryable().group_by(|e| e.0, |g| g.len() as u64);
+        assert!(crate::weights::approx_eq(
+            degrees.inspect().weight(&(1, 2)),
+            0.5
+        ));
+    }
+}

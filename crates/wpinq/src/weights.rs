@@ -1,0 +1,76 @@
+//! Helpers for working with real-valued record weights.
+//!
+//! Weights are plain `f64` values. The helpers here centralise the tolerance used when
+//! comparing weights (floating-point rescaling in `Join`/`GroupBy` introduces rounding) and
+//! the pruning threshold below which a record is considered absent from a dataset.
+
+/// Records whose absolute weight falls below this threshold are dropped from datasets.
+///
+/// Incremental updates repeatedly add and subtract weights; without pruning, a dataset
+/// accumulates an unbounded residue of `~1e-17`-weight records that slow every subsequent
+/// pass and break equality-based tests.
+pub const PRUNE_THRESHOLD: f64 = 1e-12;
+
+/// Default tolerance for approximate weight comparisons in tests and invariant checks.
+pub const DEFAULT_TOLERANCE: f64 = 1e-9;
+
+/// Returns `true` when two weights are equal up to [`DEFAULT_TOLERANCE`].
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    approx_eq_tol(a, b, DEFAULT_TOLERANCE)
+}
+
+/// Returns `true` when two weights are equal up to an explicit absolute tolerance.
+#[inline]
+pub fn approx_eq_tol(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+/// Returns `true` when a weight is negligible (treated as zero / record absent).
+#[inline]
+pub fn is_negligible(w: f64) -> bool {
+    w.abs() < PRUNE_THRESHOLD
+}
+
+/// Clamps tiny negative rounding residue to exactly zero, leaving other values untouched.
+#[inline]
+pub fn snap_to_zero(w: f64) -> f64 {
+    if is_negligible(w) {
+        0.0
+    } else {
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_within_tolerance() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12));
+        assert!(!approx_eq(1.0, 1.0 + 1e-6));
+    }
+
+    #[test]
+    fn approx_eq_tol_respects_custom_tolerance() {
+        assert!(approx_eq_tol(1.0, 1.5, 0.6));
+        assert!(!approx_eq_tol(1.0, 1.5, 0.4));
+    }
+
+    #[test]
+    fn negligible_weights_are_detected() {
+        assert!(is_negligible(0.0));
+        assert!(is_negligible(1e-13));
+        assert!(is_negligible(-1e-13));
+        assert!(!is_negligible(1e-6));
+    }
+
+    #[test]
+    fn snap_to_zero_only_affects_residue() {
+        assert_eq!(snap_to_zero(1e-15), 0.0);
+        assert_eq!(snap_to_zero(-1e-15), 0.0);
+        assert_eq!(snap_to_zero(0.25), 0.25);
+        assert_eq!(snap_to_zero(-0.25), -0.25);
+    }
+}

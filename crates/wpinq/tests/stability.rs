@@ -1,0 +1,159 @@
+//! Property-based tests of the stability guarantees in Definition 2 / Appendix A.
+//!
+//! For randomly generated weighted datasets `A`, `A'`, `B`, every unary transformation `T`
+//! must satisfy `‖T(A) − T(A')‖ ≤ ‖A − A'‖`, and every binary transformation must satisfy
+//! `‖T(A,B) − T(A',B')‖ ≤ ‖A − A'‖ + ‖B − B'‖`. These are the properties that make the
+//! platform's automatic privacy accounting sound.
+
+use proptest::prelude::*;
+use wpinq::operators;
+use wpinq::WeightedDataset;
+
+const TOL: f64 = 1e-7;
+
+/// Strategy: a small weighted dataset over u8 records with weights in [0, 4].
+fn dataset() -> impl Strategy<Value = WeightedDataset<u8>> {
+    proptest::collection::vec((0u8..20, 0.0f64..4.0), 0..16)
+        .prop_map(|pairs| WeightedDataset::from_pairs(pairs.into_iter()))
+}
+
+/// Strategy: a dataset that may also contain negative weights (differences of datasets).
+fn signed_dataset() -> impl Strategy<Value = WeightedDataset<u8>> {
+    proptest::collection::vec((0u8..20, -3.0f64..3.0), 0..16)
+        .prop_map(|pairs| WeightedDataset::from_pairs(pairs.into_iter()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn select_is_stable(a in signed_dataset(), a2 in signed_dataset()) {
+        let f = |x: &u8| x % 3;
+        let d_in = a.distance(&a2);
+        let d_out = operators::select(&a, f).distance(&operators::select(&a2, f));
+        prop_assert!(d_out <= d_in + TOL, "{d_out} > {d_in}");
+    }
+
+    #[test]
+    fn filter_is_stable(a in signed_dataset(), a2 in signed_dataset()) {
+        let p = |x: &u8| x % 2 == 0;
+        let d_in = a.distance(&a2);
+        let d_out = operators::filter(&a, p).distance(&operators::filter(&a2, p));
+        prop_assert!(d_out <= d_in + TOL, "{d_out} > {d_in}");
+    }
+
+    #[test]
+    fn select_many_is_stable(a in dataset(), a2 in dataset()) {
+        let f = |x: &u8| (0..(x % 5)).collect::<Vec<u8>>();
+        let d_in = a.distance(&a2);
+        let d_out = operators::select_many_unit(&a, f)
+            .distance(&operators::select_many_unit(&a2, f));
+        prop_assert!(d_out <= d_in + TOL, "{d_out} > {d_in}");
+    }
+
+    #[test]
+    fn shave_is_stable(a in dataset(), a2 in dataset()) {
+        let d_in = a.distance(&a2);
+        let d_out = operators::shave_const(&a, 1.0)
+            .distance(&operators::shave_const(&a2, 1.0));
+        prop_assert!(d_out <= d_in + TOL, "{d_out} > {d_in}");
+    }
+
+    #[test]
+    fn shave_fractional_is_stable(a in dataset(), a2 in dataset()) {
+        let d_in = a.distance(&a2);
+        let d_out = operators::shave_const(&a, 0.5)
+            .distance(&operators::shave_const(&a2, 0.5));
+        prop_assert!(d_out <= d_in + TOL, "{d_out} > {d_in}");
+    }
+
+    #[test]
+    fn group_by_is_stable(a in dataset(), a2 in dataset()) {
+        let key = |x: &u8| x % 4;
+        let reduce = |g: &[u8]| {
+            let mut v = g.to_vec();
+            v.sort_unstable();
+            v
+        };
+        let d_in = a.distance(&a2);
+        let d_out = operators::group_by(&a, key, reduce)
+            .distance(&operators::group_by(&a2, key, reduce));
+        prop_assert!(d_out <= d_in + TOL, "{d_out} > {d_in}");
+    }
+
+    #[test]
+    fn join_is_stable_in_both_arguments(
+        a in dataset(), a2 in dataset(), b in dataset(), b2 in dataset()
+    ) {
+        let key = |x: &u8| x % 4;
+        let d_in = a.distance(&a2) + b.distance(&b2);
+        let out = operators::join_pairs(&a, &b, key, key);
+        let out2 = operators::join_pairs(&a2, &b2, key, key);
+        let d_out = out.distance(&out2);
+        prop_assert!(d_out <= d_in + TOL, "{d_out} > {d_in}");
+    }
+
+    #[test]
+    fn union_is_stable(a in dataset(), a2 in dataset(), b in dataset()) {
+        let d_in = a.distance(&a2);
+        let d_out = operators::union(&a, &b).distance(&operators::union(&a2, &b));
+        prop_assert!(d_out <= d_in + TOL, "{d_out} > {d_in}");
+    }
+
+    #[test]
+    fn intersect_is_stable(a in dataset(), a2 in dataset(), b in dataset()) {
+        let d_in = a.distance(&a2);
+        let d_out = operators::intersect(&a, &b).distance(&operators::intersect(&a2, &b));
+        prop_assert!(d_out <= d_in + TOL, "{d_out} > {d_in}");
+    }
+
+    #[test]
+    fn concat_is_stable(a in signed_dataset(), a2 in signed_dataset(), b in signed_dataset()) {
+        let d_in = a.distance(&a2);
+        let d_out = operators::concat(&a, &b).distance(&operators::concat(&a2, &b));
+        prop_assert!(d_out <= d_in + TOL, "{d_out} > {d_in}");
+    }
+
+    #[test]
+    fn except_is_stable(a in signed_dataset(), a2 in signed_dataset(), b in signed_dataset()) {
+        let d_in = a.distance(&a2);
+        let d_out = operators::except(&a, &b).distance(&operators::except(&a2, &b));
+        prop_assert!(d_out <= d_in + TOL, "{d_out} > {d_in}");
+    }
+
+    #[test]
+    fn composed_pipeline_is_stable(a in dataset(), a2 in dataset()) {
+        // Stability composes: a Select → Shave → GroupBy chain is still stable.
+        let run = |d: &WeightedDataset<u8>| {
+            let selected = operators::select(d, |x| x % 6);
+            let shaved = operators::shave_const(&selected, 1.0);
+            operators::group_by(&shaved, |(v, _)| *v, |g| g.len() as u64)
+        };
+        let d_in = a.distance(&a2);
+        let d_out = run(&a).distance(&run(&a2));
+        prop_assert!(d_out <= d_in + TOL, "{d_out} > {d_in}");
+    }
+
+    #[test]
+    fn distance_is_a_metric(a in signed_dataset(), b in signed_dataset(), c in signed_dataset()) {
+        prop_assert!(a.distance(&a) <= TOL);
+        prop_assert!((a.distance(&b) - b.distance(&a)).abs() <= TOL);
+        prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + TOL);
+    }
+
+    #[test]
+    fn select_shave_inverse_roundtrip(a in dataset()) {
+        // Select((x, i) -> x) undoes Shave (Section 2.8).
+        let shaved = operators::shave_const(&a, 1.0);
+        let recovered = operators::select(&shaved, |(x, _): &(u8, u64)| *x);
+        prop_assert!(recovered.approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn join_norm_bound(a in dataset(), b in dataset()) {
+        // ‖Join(A,B)‖ ≤ (‖A‖ + ‖B‖) / 2, since xy/(x+y) ≤ min(x,y) ≤ (x+y)/2 per key.
+        let key = |x: &u8| x % 4;
+        let out = operators::join_pairs(&a, &b, key, key);
+        prop_assert!(out.norm() <= (a.norm() + b.norm()) / 2.0 + TOL);
+    }
+}

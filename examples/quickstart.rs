@@ -1,0 +1,57 @@
+//! Quickstart: weighted datasets, stable transformations, and budgeted noisy measurements.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wpinq::prelude::*;
+
+fn main() -> Result<(), WpinqError> {
+    // 1. A weighted dataset: records with real-valued weights (Section 2.1's example data).
+    let a = WeightedDataset::from_pairs([("1", 0.75), ("2", 2.0), ("3", 1.0)]);
+    let b = WeightedDataset::from_pairs([("1", 3.0), ("4", 2.0)]);
+    println!("A = {:?}", a.sorted_pairs());
+    println!("B = {:?}", b.sorted_pairs());
+    println!("‖A − B‖ = {}", a.distance(&b));
+
+    // 2. Stable transformations compose freely (and can be used without any privacy at all).
+    let concat = operators::concat(&a, &b);
+    let evens = operators::filter(&concat, |x| x.parse::<u32>().unwrap() % 2 == 0);
+    println!("even records of Concat(A, B): {:?}", evens.sorted_pairs());
+
+    // 3. Protected analysis: the dataset sits behind a privacy budget, and measurements are
+    //    charged multiplicity × epsilon (self-joins count twice, and so on).
+    let budget = PrivacyBudget::new(1.0);
+    let protected = ProtectedDataset::new(
+        WeightedDataset::from_records([(1u32, 2u32), (2, 3), (3, 1), (1, 4)]),
+        budget,
+    );
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // Length-two paths through the tiny graph: a self-join, so the source is used twice.
+    let edges = protected.queryable();
+    let paths = edges.join(&edges, |e| e.1, |e| e.0, |x, y| (x.0, x.1, y.1));
+    println!(
+        "length-two-path query uses the protected edges {} times",
+        paths.max_multiplicity()
+    );
+
+    let counts = paths.noisy_count(0.25, &mut rng)?;
+    for (record, noisy) in counts.sorted_observed() {
+        println!("noisy weight of path {record:?}: {noisy:.3}");
+    }
+    println!(
+        "privacy spent: {:.2} of {:.2}",
+        protected.budget().spent(),
+        protected.budget().total()
+    );
+
+    // A measurement that would exceed the remaining budget is refused outright.
+    match paths.noisy_count(1.0, &mut rng) {
+        Err(WpinqError::BudgetExceeded(e)) => {
+            println!("second measurement refused as expected: {e}")
+        }
+        other => println!("unexpected outcome: {other:?}"),
+    }
+    Ok(())
+}

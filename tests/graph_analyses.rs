@@ -1,0 +1,127 @@
+//! Integration tests of the paper's headline analytical claims on non-trivial graphs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wpinq::PrivacyBudget;
+use wpinq_analyses::edges::GraphEdges;
+use wpinq_analyses::{squares, tbi, triangles};
+use wpinq_graph::{generators, stats};
+
+#[test]
+fn privacy_multiplicities_match_the_costs_quoted_in_the_paper() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let graph = generators::powerlaw_cluster(60, 3, 0.5, &mut rng);
+    let edges = GraphEdges::new(&graph, PrivacyBudget::unlimited());
+    let id = edges.protected().id();
+
+    assert_eq!(
+        wpinq_analyses::degree::degree_ccdf_query(&edges.queryable()).multiplicity_of(id),
+        1
+    );
+    assert_eq!(
+        wpinq_analyses::jdd::jdd_query(&edges.queryable()).multiplicity_of(id),
+        4,
+        "JDD should use the edges four times (Section 3.2)"
+    );
+    assert_eq!(
+        triangles::tbd_query(&edges.queryable()).multiplicity_of(id),
+        9,
+        "TbD should use the edges nine times (Section 5.2 quotes 9·epsilon)"
+    );
+    assert_eq!(
+        squares::sbd_query(&edges.queryable()).multiplicity_of(id),
+        12,
+        "SbD should use the edges twelve times (Section 3.4)"
+    );
+    assert_eq!(
+        tbi::tbi_query(&edges.queryable()).multiplicity_of(id),
+        4,
+        "TbI should use the edges four times (Section 5.3)"
+    );
+}
+
+#[test]
+fn figure1_contrast_constant_noise_for_bounded_degree_graphs() {
+    // The Figure 1 motivation, quantified: the per-triple wPINQ error on a bounded-degree
+    // triangle-rich graph stays constant as the graph grows, while worst-case noise grows
+    // linearly.
+    let make_chain = |n: u32| {
+        let mut g = wpinq_graph::Graph::new(n as usize);
+        let mut v = 0;
+        while v + 2 < n {
+            g.add_edge(v, v + 1);
+            g.add_edge(v + 1, v + 2);
+            g.add_edge(v, v + 2);
+            v += 3;
+        }
+        g
+    };
+    let small = make_chain(60);
+    let large = make_chain(600);
+    use wpinq_analyses::baselines::worst_case;
+    // Worst-case mechanism error grows with |V|.
+    assert!(
+        worst_case::worst_case_expected_error(&large, 0.1)
+            > 5.0 * worst_case::worst_case_expected_error(&small, 0.1)
+    );
+    // wPINQ's TbD weight for the (2,2,2) triple is the same for both graphs, so the error
+    // per released count does not grow.
+    let edges_small = GraphEdges::new(&small, PrivacyBudget::unlimited());
+    let edges_large = GraphEdges::new(&large, PrivacyBudget::unlimited());
+    let w_small = triangles::tbd_query(&edges_small.queryable())
+        .inspect()
+        .weight(&(2, 2, 2))
+        / stats::triangle_count(&small) as f64;
+    let w_large = triangles::tbd_query(&edges_large.queryable())
+        .inspect()
+        .weight(&(2, 2, 2))
+        / stats::triangle_count(&large) as f64;
+    assert!((w_small - w_large).abs() < 1e-9, "per-triangle weight should not depend on |V|");
+    assert!((w_small - triangles::tbd_record_weight(2, 2, 2)).abs() < 1e-9);
+}
+
+#[test]
+fn tbi_signal_separates_real_graphs_from_degree_matched_random_graphs() {
+    // The property Figures 4 and 6 rely on, checked across three generator families.
+    let mut rng = StdRng::seed_from_u64(3);
+    let cases = vec![
+        generators::powerlaw_cluster(250, 4, 0.8, &mut rng),
+        wpinq_datasets::collaboration::collaboration_graph(400, 250, 2..=7, &mut rng),
+        generators::powerlaw_cluster(400, 5, 0.8, &mut rng),
+    ];
+    for (i, graph) in cases.into_iter().enumerate() {
+        let mut random = graph.clone();
+        let swaps = 10 * random.num_edges();
+        generators::degree_preserving_rewire(&mut random, swaps, &mut rng);
+        let real_signal = tbi::tbi_exact_signal(&graph);
+        let random_signal = tbi::tbi_exact_signal(&random);
+        assert!(
+            real_signal > 1.5 * random_signal,
+            "case {i}: real signal {real_signal} should dominate random signal {random_signal}"
+        );
+    }
+}
+
+#[test]
+fn noisy_tbd_measurement_recovers_total_triangles_within_noise_bounds() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let graph = generators::powerlaw_cluster(200, 3, 0.7, &mut rng);
+    let edges = GraphEdges::new(&graph, PrivacyBudget::unlimited());
+    let epsilon = 5.0;
+    let measurement =
+        triangles::TbdMeasurement::measure(&edges.queryable(), epsilon, 1, &mut rng).unwrap();
+    // Reconstruct the total triangle count from the noisy per-triple counts.
+    let exact = stats::triangles_by_degree(&graph);
+    let mut estimate = 0.0;
+    let mut error_budget = 0.0;
+    for (x, y, z) in exact.keys() {
+        estimate += measurement.estimated_triangles((*x as u64, *y as u64, *z as u64));
+        error_budget += triangles::theorem2_noise_amplitude(*x as u64, *y as u64, *z as u64, epsilon);
+    }
+    let truth = stats::triangle_count(&graph) as f64;
+    // The summed Laplace errors are very unlikely to exceed their summed amplitudes.
+    assert!(
+        (estimate - truth).abs() < error_budget,
+        "estimate {estimate} vs truth {truth} (error budget {error_budget})"
+    );
+}

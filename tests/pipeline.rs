@@ -1,0 +1,135 @@
+//! Cross-crate integration tests: batch queries, incremental dataflow, and measurements all
+//! agree on the same graph.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wpinq::{operators, PrivacyBudget, WeightedDataset};
+use wpinq_analyses::edges::{symmetric_edge_dataset, GraphEdges};
+use wpinq_analyses::{degree, jdd, tbi, triangles};
+use wpinq_dataflow::DataflowInput;
+use wpinq_graph::{generators, stats, Graph};
+
+fn test_graph() -> Graph {
+    let mut rng = StdRng::seed_from_u64(0xfeed);
+    generators::powerlaw_cluster(120, 4, 0.6, &mut rng)
+}
+
+#[test]
+fn batch_and_incremental_evaluations_of_the_tbi_query_agree() {
+    let graph = test_graph();
+    let edges = GraphEdges::new(&graph, PrivacyBudget::unlimited());
+    let batch_signal = tbi::tbi_query(&edges.queryable()).inspect().weight(&());
+
+    // The same query as an incremental dataflow, loaded edge by edge.
+    let (input, stream) = DataflowInput::<(u32, u32)>::new();
+    let paths = stream
+        .join(&stream, |e| e.1, |e| e.0, |x, y| (x.0, x.1, y.1))
+        .filter(|p| p.0 != p.2);
+    let out = paths
+        .select(|p| (p.1, p.2, p.0))
+        .intersect(&paths)
+        .select(|_| ())
+        .collect();
+    for (record, weight) in symmetric_edge_dataset(&graph).iter() {
+        input.push(&[(*record, weight)]);
+    }
+    assert!(
+        (out.weight(&()) - batch_signal).abs() < 1e-6,
+        "incremental {} vs batch {batch_signal}",
+        out.weight(&())
+    );
+    // Both equal the closed-form signal of equation (8).
+    assert!((batch_signal - tbi::tbi_exact_signal(&graph)).abs() < 1e-6);
+}
+
+#[test]
+fn query_weights_can_be_unscaled_back_to_exact_graph_statistics() {
+    let graph = test_graph();
+    let edges = GraphEdges::new(&graph, PrivacyBudget::unlimited());
+
+    // Triangles by degree: dividing each triple's weight by the per-triangle weight
+    // recovers the exact triangle counts.
+    let tbd = triangles::tbd_query(&edges.queryable());
+    let exact = stats::triangles_by_degree(&graph);
+    let mut recovered_total = 0.0;
+    for ((x, y, z), count) in &exact {
+        let weight = tbd
+            .inspect()
+            .weight(&(*x as u64, *y as u64, *z as u64));
+        let recovered = weight / triangles::tbd_record_weight(*x as u64, *y as u64, *z as u64);
+        assert!(
+            (recovered - *count as f64).abs() < 1e-6,
+            "triple ({x},{y},{z})"
+        );
+        recovered_total += recovered;
+    }
+    assert!((recovered_total - stats::triangle_count(&graph) as f64).abs() < 1e-6);
+
+    // Joint degree distribution: same exercise.
+    let jdd_q = jdd::jdd_query(&edges.queryable());
+    for ((da, db), count) in stats::joint_degree_distribution(&graph) {
+        let directed = if da == db { 2.0 * count as f64 } else { count as f64 };
+        let weight = jdd_q.inspect().weight(&(da as u64, db as u64));
+        let recovered = weight / jdd::jdd_record_weight(da as u64, db as u64);
+        assert!((recovered - directed).abs() < 1e-6, "pair ({da},{db})");
+    }
+}
+
+#[test]
+fn degree_queries_match_exact_statistics_and_cost_one_epsilon_each() {
+    let graph = test_graph();
+    let edges = GraphEdges::new(&graph, PrivacyBudget::new(0.2));
+    let ccdf_query = degree::degree_ccdf_query(&edges.queryable());
+    let exact_ccdf = stats::degree_ccdf(&graph);
+    for (i, count) in exact_ccdf.iter().enumerate() {
+        assert!((ccdf_query.inspect().weight(&(i as u64)) - *count as f64).abs() < 1e-9);
+    }
+    // Two measurements of 0.1 exhaust the 0.2 budget; a third fails.
+    let mut rng = StdRng::seed_from_u64(5);
+    ccdf_query.noisy_count(0.1, &mut rng).unwrap();
+    degree::degree_sequence_query(&edges.queryable())
+        .noisy_count(0.1, &mut rng)
+        .unwrap();
+    assert!(ccdf_query.noisy_count(0.1, &mut rng).is_err());
+}
+
+#[test]
+fn dataflow_scorer_tracks_a_mixture_of_queries_consistently() {
+    // Push random edge deltas through a two-query dataflow and verify the maintained L1
+    // distances equal from-scratch recomputations at every step.
+    let mut rng = StdRng::seed_from_u64(77);
+    let graph = generators::erdos_renyi(40, 120, &mut rng);
+    let (input, stream) = DataflowInput::<(u32, u32)>::new();
+    let target_degrees: HashMap<u64, f64> = (0..10u64).map(|i| (i, i as f64)).collect();
+    let degree_scorer = stream
+        .select(|e| e.0)
+        .shave_const(1.0)
+        .select(|(_, i)| *i)
+        .l1_scorer(target_degrees.clone());
+    let mut accumulated: WeightedDataset<(u32, u32)> = WeightedDataset::new();
+
+    for (record, weight) in symmetric_edge_dataset(&graph).iter() {
+        input.push(&[(*record, weight)]);
+        accumulated.add_weight(*record, weight);
+
+        let expected_output = operators::select(
+            &operators::shave_const(&operators::select(&accumulated, |e| e.0), 1.0),
+            |(_, i)| *i,
+        );
+        let mut expected = 0.0;
+        for (r, m) in &target_degrees {
+            expected += (expected_output.weight(r) - m).abs();
+        }
+        for (r, w) in expected_output.iter() {
+            if !target_degrees.contains_key(r) {
+                expected += w.abs();
+            }
+        }
+        assert!(
+            (degree_scorer.distance() - expected).abs() < 1e-6,
+            "scorer drifted from batch recomputation"
+        );
+    }
+}
