@@ -54,9 +54,10 @@ fn bench_incremental_vs_batch(c: &mut Criterion) {
             b.iter(|| {
                 // Propose until a valid swap is found, apply it, push deltas, then undo it so
                 // the benchmark state stays constant across iterations.
-                loop {
-                    let Some(ab) = working.random_edge(&mut swap_rng) else { break };
-                    let Some(cd) = working.random_edge(&mut swap_rng) else { break };
+                while let Some((ab, cd)) = working
+                    .random_edge(&mut swap_rng)
+                    .zip(working.random_edge(&mut swap_rng))
+                {
                     if let Some(swap) = working.propose_swap(ab, cd) {
                         working.apply_swap(&swap);
                         let deltas = vec![

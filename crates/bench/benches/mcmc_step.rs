@@ -7,8 +7,8 @@ use wpinq::PrivacyBudget;
 use wpinq_analyses::edges::GraphEdges;
 use wpinq_analyses::tbi::TbiMeasurement;
 use wpinq_graph::generators;
-use wpinq_mcmc::{CandidateState, GraphCandidate, MetropolisHastings};
 use wpinq_mcmc::scorers::tbi_scorer;
+use wpinq_mcmc::{CandidateState, GraphCandidate, MetropolisHastings};
 
 fn bench_mcmc_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("mcmc_step_tbi");

@@ -37,8 +37,7 @@ fn bench_set_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("set_operators");
     group.sample_size(20);
     let a = dataset(10_000);
-    let b: WeightedDataset<u64> =
-        WeightedDataset::from_pairs((5_000..15_000u64).map(|i| (i, 2.0)));
+    let b: WeightedDataset<u64> = WeightedDataset::from_pairs((5_000..15_000u64).map(|i| (i, 2.0)));
     group.bench_function("union_10k", |bench| {
         bench.iter(|| black_box(operators::union(&a, &b)))
     });

@@ -65,5 +65,7 @@ fn main() {
     table.print();
     println!();
     println!("Shape check: both post-processed estimators beat the raw noisy sequence, and the");
-    println!("joint grid fit is competitive with Hay et al. without assuming the node count is public.");
+    println!(
+        "joint grid fit is competitive with Hay et al. without assuming the node count is public."
+    );
 }

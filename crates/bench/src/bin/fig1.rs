@@ -50,7 +50,11 @@ fn main() {
     ]);
     for n in [100u32, 1_000, 10_000] {
         for (name, graph, triple) in [
-            ("worst-case (left)", figure1_left(n), (2, n as u64 - 2, n as u64 - 2)),
+            (
+                "worst-case (left)",
+                figure1_left(n),
+                (2, n as u64 - 2, n as u64 - 2),
+            ),
             ("bounded-degree (right)", figure1_right(n), (2, 2, 2)),
         ] {
             table.row([

@@ -13,7 +13,13 @@ use rand::SeedableRng;
 use wpinq_graph::stats;
 use wpinq_mcmc::{SynthesisConfig, SynthesisResult, TriangleQuery};
 
-fn run(graph: &wpinq_graph::Graph, bucket: u64, seed: u64, steps: u64, epsilon: f64) -> SynthesisResult {
+fn run(
+    graph: &wpinq_graph::Graph,
+    bucket: u64,
+    seed: u64,
+    steps: u64,
+    epsilon: f64,
+) -> SynthesisResult {
     let mut rng = StdRng::seed_from_u64(seed);
     let config = SynthesisConfig {
         epsilon,

@@ -32,14 +32,20 @@ fn main() {
         "Figure 4 — triangles vs MCMC steps, TbI, real vs Random(X) (epsilon = {epsilon}, {steps} steps)"
     ));
 
-    for (index, (name, graph)) in smallsets::figure4_graphs(args.full_scale).into_iter().enumerate() {
+    for (index, (name, graph)) in smallsets::figure4_graphs(args.full_scale)
+        .into_iter()
+        .enumerate()
+    {
         let random = smallsets::randomized(&graph, 1000 + index as u64);
         let truth_real = stats::triangle_count(&graph);
         let truth_random = stats::triangle_count(&random);
         let real = run(&graph, args.seed + index as u64, steps, epsilon);
         let rand_run = run(&random, args.seed + 100 + index as u64, steps, epsilon);
 
-        println!("{name}: original graph has {} triangles; Random({name}) has {}", truth_real, truth_random);
+        println!(
+            "{name}: original graph has {} triangles; Random({name}) has {}",
+            truth_real, truth_random
+        );
         let mut table = Table::new(["step", "triangles (real input)", "triangles (random input)"]);
         for (a, b) in real.trajectory.iter().zip(rand_run.trajectory.iter()) {
             table.row([

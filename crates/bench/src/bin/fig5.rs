@@ -60,8 +60,8 @@ fn main() {
                 seeds.push(result.seed_summary.triangles as f64);
             }
             let mean = finals.iter().sum::<f64>() / finals.len() as f64;
-            let var = finals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-                / finals.len() as f64;
+            let var =
+                finals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / finals.len() as f64;
             let seed_mean = seeds.iter().sum::<f64>() / seeds.len() as f64;
             table.row([
                 fmt_f(epsilon, 2),
@@ -75,6 +75,8 @@ fn main() {
     table.print();
     println!();
     println!("Shape check: the mean recovered triangle count on the real graph is roughly flat in");
-    println!("epsilon (the TbI signal dominates the noise), with variance growing as epsilon shrinks;");
+    println!(
+        "epsilon (the TbI signal dominates the noise), with variance growing as epsilon shrinks;"
+    );
     println!("the random graph stays near its seed count at every epsilon.");
 }

@@ -22,7 +22,11 @@ fn main() {
 
     // A reduced Barabási–Albert suite so the sweep completes quickly; the paper's suite is
     // 100k nodes / 2M edges per graph.
-    let (nodes, per_node) = if args.full_scale { (10_000, 20) } else { (3_000, 10) };
+    let (nodes, per_node) = if args.full_scale {
+        (10_000, 20)
+    } else {
+        (3_000, 10)
+    };
     let suite = wpinq_datasets::registry::barabasi_suite_scaled(nodes, per_node);
 
     let mut table = Table::new([
@@ -57,8 +61,12 @@ fn main() {
     }
     table.print();
     println!();
-    println!("Shape check: as beta (and with it sum d^2) grows, the step rate falls and the memory");
-    println!("needed by the incremental join/intersect state rises — the trend of Figure 6 (left).");
+    println!(
+        "Shape check: as beta (and with it sum d^2) grows, the step rate falls and the memory"
+    );
+    println!(
+        "needed by the incremental join/intersect state rises — the trend of Figure 6 (left)."
+    );
 
     if args.epinions {
         heading("Figure 6 (right) — TbI on the Epinions stand-in vs Random(Epinions)");

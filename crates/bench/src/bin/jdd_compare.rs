@@ -48,7 +48,11 @@ fn main() {
     let mut buckets: HashMap<usize, (f64, f64, usize)> = HashMap::new();
     for ((da, db), count) in &truth {
         // wPINQ estimates directed pairs; convert to undirected edge counts.
-        let directed = if da == db { 2.0 * *count as f64 } else { *count as f64 };
+        let directed = if da == db {
+            2.0 * *count as f64
+        } else {
+            *count as f64
+        };
         let wpinq_est = wpinq_measurement.estimated_edges(*da as u64, *db as u64);
         let wpinq_err = (wpinq_est - directed).abs() / if da == db { 2.0 } else { 1.0 };
         let sala_est = sala.get(&(*da, *db)).copied().unwrap_or(0.0);

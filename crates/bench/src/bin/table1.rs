@@ -10,7 +10,13 @@ use wpinq_graph::stats;
 fn main() {
     heading("Table 1 — graph statistics (paper vs synthetic stand-in)");
     let mut table = Table::new([
-        "graph", "source", "nodes", "edges", "dmax", "triangles", "assortativity",
+        "graph",
+        "source",
+        "nodes",
+        "edges",
+        "dmax",
+        "triangles",
+        "assortativity",
     ]);
     let randoms = wpinq_datasets::registry::random_paper_stats();
 
@@ -59,8 +65,6 @@ fn main() {
     }
     table.print();
     println!();
-    println!(
-        "Shape check: every real graph holds far more triangles than its degree-matched"
-    );
+    println!("Shape check: every real graph holds far more triangles than its degree-matched");
     println!("randomisation, which is the property the Section 5 experiments rely on.");
 }

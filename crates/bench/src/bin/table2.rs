@@ -21,7 +21,13 @@ fn main() {
         "Table 2 — triangles: seed vs MCMC (TbI) vs original (epsilon = {epsilon}, {steps} steps, total privacy cost 7·epsilon)"
     ));
 
-    let mut table = Table::new(["graph", "seed", "after MCMC", "original", "paper (seed/MCMC/orig)"]);
+    let mut table = Table::new([
+        "graph",
+        "seed",
+        "after MCMC",
+        "original",
+        "paper (seed/MCMC/orig)",
+    ]);
     let paper_rows = [
         ("CA-GrQc", "643 / 35,201 / 48,260"),
         ("CA-HepTh", "222 / 16,889 / 28,339"),
@@ -29,7 +35,10 @@ fn main() {
         ("Caltech", "45,170 / 129,475 / 119,563"),
     ];
 
-    for (index, (name, graph)) in smallsets::figure4_graphs(args.full_scale).into_iter().enumerate() {
+    for (index, (name, graph)) in smallsets::figure4_graphs(args.full_scale)
+        .into_iter()
+        .enumerate()
+    {
         let mut rng = StdRng::seed_from_u64(args.seed + index as u64);
         let config = SynthesisConfig {
             epsilon,

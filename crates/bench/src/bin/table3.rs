@@ -11,13 +11,23 @@ use wpinq_graph::stats;
 
 fn main() {
     let args = HarnessArgs::from_env();
-    let (nodes, per_node) = if args.full_scale { (100_000, 20) } else { (10_000, 20) };
+    let (nodes, per_node) = if args.full_scale {
+        (100_000, 20)
+    } else {
+        (10_000, 20)
+    };
     heading(&format!(
         "Table 3 — Barabási–Albert suite (paper: 100k nodes / 2M edges; measured: {nodes} nodes)"
     ));
 
     let mut table = Table::new([
-        "beta", "source", "nodes", "edges", "dmax", "triangles", "sum d^2",
+        "beta",
+        "source",
+        "nodes",
+        "edges",
+        "dmax",
+        "triangles",
+        "sum d^2",
     ]);
     for entry in barabasi_suite_scaled(nodes, per_node) {
         let measured = stats::summary(&entry.graph);

@@ -97,9 +97,18 @@ mod tests {
     #[test]
     fn parses_known_flags_and_ignores_unknown_ones() {
         let args = HarnessArgs::parse(
-            ["--steps", "5000", "--scale", "full", "--epsilon", "0.5", "--bogus", "--epinions"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--steps",
+                "5000",
+                "--scale",
+                "full",
+                "--epsilon",
+                "0.5",
+                "--bogus",
+                "--epinions",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         assert_eq!(args.steps, Some(5000));
         assert!(args.full_scale);

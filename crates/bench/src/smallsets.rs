@@ -87,7 +87,11 @@ mod tests {
     fn randomized_counterparts_lose_triangles() {
         for (name, g) in figure4_graphs(false) {
             let r = randomized(&g, 7);
-            assert_eq!(stats::degree_sequence(&g), stats::degree_sequence(&r), "{name}");
+            assert_eq!(
+                stats::degree_sequence(&g),
+                stats::degree_sequence(&r),
+                "{name}"
+            );
             assert!(
                 stats::triangle_count(&r) < stats::triangle_count(&g),
                 "{name}: randomisation should reduce triangles"

@@ -1,0 +1,199 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the `bench` crate uses — [`Criterion`], benchmark groups,
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros —
+//! with a simple fixed-budget timing loop instead of criterion's statistical machinery.
+//! Each benchmark runs a short warm-up, then measures `sample_size` batches and reports the
+//! per-iteration mean and min to stdout. Benches must set `harness = false`, exactly as with
+//! real criterion.
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmark bodies.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// An identifier combining a function name and a parameter, e.g. `join/1000`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `{function_name}/{parameter}`.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    iters_per_sample: u64,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times to collect the configured samples.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        // Warm-up and calibration: size each sample so it takes a measurable slice of time.
+        let calibration = Instant::now();
+        black_box(routine());
+        let once = calibration.elapsed().max(Duration::from_nanos(50));
+        let target = Duration::from_millis(20);
+        self.iters_per_sample = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.results
+                .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.results.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        let min = self.results.iter().min().unwrap();
+        let total: Duration = self.results.iter().sum();
+        let mean = total / self.results.len() as u32;
+        println!(
+            "{id:<40} mean {mean:>12?}  min {min:>12?}  ({} samples x {} iters)",
+            self.results.len(),
+            self.iters_per_sample
+        );
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            iters_per_sample: 1,
+            results: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&format!("{}/{id}", self.name));
+    }
+
+    /// Benchmarks `f` under the given id.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id.to_string(), f);
+        self
+    }
+
+    /// Benchmarks `f`, passing it a reference to `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run_one(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is already done per-benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== bench group: {name} ==");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, n| {
+            b.iter(|| (0..*n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, trivial);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("join", 1000).to_string(), "join/1000");
+    }
+}

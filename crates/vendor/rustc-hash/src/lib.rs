@@ -1,0 +1,137 @@
+//! Offline stand-in for the `rustc-hash` crate: [`FxHashMap`]/[`FxHashSet`] built on a
+//! fast multiply-xor hasher.
+//!
+//! Std's default SipHash is DoS-resistant but slow for the small fixed-width keys (edge
+//! tuples, degree triples, node ids) that dominate this workspace's hot maps. This hasher
+//! folds each word into the state with a xor + rotate + odd-constant multiply — the same
+//! shape as FxHash — which benchmarks several times faster on such keys. It is **not**
+//! collision-resistant against adversarial inputs; use it only for internal state, never
+//! for attacker-controlled keys.
+
+#![forbid(unsafe_code)]
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, deterministic, non-cryptographic hasher for fixed-width keys.
+#[derive(Debug, Clone, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Final avalanche so sequential keys spread across the table.
+        let mut h = self.state;
+        h ^= h >> 32;
+        h = h.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        h ^= h >> 32;
+        h
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.fold(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.fold(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.fold(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.fold(v as u64);
+        self.fold((v >> 64) as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn hashing_is_deterministic_and_discriminating() {
+        assert_eq!(hash_of(&(1u32, 2u32)), hash_of(&(1u32, 2u32)));
+        assert_ne!(hash_of(&(1u32, 2u32)), hash_of(&(2u32, 1u32)));
+        assert_ne!(hash_of(&0u64), hash_of(&1u64));
+        assert_ne!(hash_of(&"abc"), hash_of(&"abd"));
+    }
+
+    #[test]
+    fn sequential_keys_spread_over_buckets() {
+        // The avalanche step must keep low bits varied for sequential keys, since HashMap
+        // uses the low bits for bucket selection.
+        let mut low_bits = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            low_bits.insert(hash_of(&i) & 0x3f);
+        }
+        assert!(
+            low_bits.len() > 32,
+            "only {} distinct buckets",
+            low_bits.len()
+        );
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut map: FxHashMap<(u32, u32), f64> = FxHashMap::default();
+        map.insert((1, 2), 0.5);
+        assert_eq!(map.get(&(1, 2)), Some(&0.5));
+        let mut set: FxHashSet<u32> = FxHashSet::default();
+        set.insert(7);
+        assert!(set.contains(&7));
+    }
+}

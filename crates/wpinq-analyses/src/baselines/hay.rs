@@ -28,11 +28,7 @@ pub fn noisy_degree_sequence<R: Rng + ?Sized>(
 
 /// The full Hay et al. estimator: noisy degree sequence followed by isotonic regression
 /// onto non-increasing sequences.
-pub fn hay_degree_sequence<R: Rng + ?Sized>(
-    graph: &Graph,
-    epsilon: f64,
-    rng: &mut R,
-) -> Vec<f64> {
+pub fn hay_degree_sequence<R: Rng + ?Sized>(graph: &Graph, epsilon: f64, rng: &mut R) -> Vec<f64> {
     pava_non_increasing(&noisy_degree_sequence(graph, epsilon, rng))
 }
 

@@ -34,11 +34,7 @@ pub fn triangle_count_local_sensitivity(graph: &Graph) -> f64 {
 }
 
 /// A released worst-case-sensitivity triangle count: `Δ + Laplace((|V| − 2)/ε)`.
-pub fn worst_case_triangle_count<R: Rng + ?Sized>(
-    graph: &Graph,
-    epsilon: f64,
-    rng: &mut R,
-) -> f64 {
+pub fn worst_case_triangle_count<R: Rng + ?Sized>(graph: &Graph, epsilon: f64, rng: &mut R) -> f64 {
     let scale = triangle_count_sensitivity(graph) / epsilon;
     stats::triangle_count(graph) as f64 + Laplace::new(scale).sample(rng)
 }

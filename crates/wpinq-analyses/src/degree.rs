@@ -8,28 +8,35 @@
 
 use rand::Rng;
 
-use wpinq::{NoisyCounts, Queryable, WpinqError};
+use wpinq::{NoisyCounts, Plan, Queryable, WpinqError};
 
 use crate::edges::Edge;
 
-/// The degree-CCDF query: record `i` has weight `#{v : d_v > i}`.
+/// The degree-CCDF query as a plan: record `i` has weight `#{v : d_v > i}`.
 ///
-/// Privacy multiplicity: 1 (the edges dataset is used once).
-pub fn degree_ccdf_query(edges: &Queryable<Edge>) -> Queryable<u64> {
-    edges
-        .select(|e| e.0)
-        .shave_const(1.0)
-        .select(|(_, i)| *i)
+/// This single definition serves batch measurement (via [`degree_ccdf_query`]),
+/// incremental MCMC scoring (lowered onto a candidate edge stream), and privacy
+/// accounting. Privacy multiplicity: 1 (the edges source is referenced once).
+pub fn degree_ccdf_plan(edges: &Plan<Edge>) -> Plan<u64> {
+    edges.select(|e| e.0).shave_const(1.0).select(|(_, i)| *i)
 }
 
-/// The degree-sequence query: record `j` has weight "degree of the node with rank `j`"
-/// (non-increasing). Obtained by transposing the CCDF with a second Shave/Select pass.
+/// The degree-sequence query as a plan: record `j` has weight "degree of the node with
+/// rank `j`" (non-increasing), the CCDF transposed by a second Shave/Select pass.
 ///
 /// Privacy multiplicity: 1.
+pub fn degree_sequence_plan(edges: &Plan<Edge>) -> Plan<u64> {
+    degree_ccdf_plan(edges).shave_const(1.0).select(|(_, i)| *i)
+}
+
+/// [`degree_ccdf_plan`] applied to a protected edge dataset.
+pub fn degree_ccdf_query(edges: &Queryable<Edge>) -> Queryable<u64> {
+    edges.apply(degree_ccdf_plan)
+}
+
+/// [`degree_sequence_plan`] applied to a protected edge dataset.
 pub fn degree_sequence_query(edges: &Queryable<Edge>) -> Queryable<u64> {
-    degree_ccdf_query(edges)
-        .shave_const(1.0)
-        .select(|(_, i)| *i)
+    edges.apply(degree_sequence_plan)
 }
 
 /// Released degree measurements: the noisy CCDF and noisy degree sequence, both taken at
@@ -153,7 +160,10 @@ mod tests {
             assert!((got - want).abs() < 0.01);
         }
         let seq = m.sequence_vector(4);
-        let exact_seq: Vec<f64> = stats::degree_sequence(&g).iter().map(|d| *d as f64).collect();
+        let exact_seq: Vec<f64> = stats::degree_sequence(&g)
+            .iter()
+            .map(|d| *d as f64)
+            .collect();
         for (got, want) in seq.iter().zip(exact_seq.iter()) {
             assert!((got - want).abs() < 0.01);
         }

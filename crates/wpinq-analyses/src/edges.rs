@@ -9,6 +9,8 @@
 //! SbD 12ε, TbI 4ε).
 
 use wpinq::budget::BudgetHandle;
+use wpinq::dataflow::Stream;
+use wpinq::plan::{Plan, PlanBindings, StreamBindings};
 use wpinq::{PrivacyBudget, ProtectedDataset, Queryable, WeightedDataset};
 use wpinq_graph::Graph;
 
@@ -24,6 +26,56 @@ pub fn symmetric_edge_dataset(graph: &Graph) -> WeightedDataset<Edge> {
 /// The undirected edge dataset of a graph: one canonical `(min, max)` record per edge.
 pub fn undirected_edge_dataset(graph: &Graph) -> WeightedDataset<Edge> {
     WeightedDataset::from_records(graph.edges())
+}
+
+/// The symmetric-directed-edges *source* of the paper's analyses, as a plan input.
+///
+/// Every query in this crate is a plan over one edge source; this helper owns that source
+/// and knows how to bind it to either engine: a graph's materialised edge dataset for
+/// batch evaluation, or a candidate graph's delta stream for incremental MCMC scoring.
+/// Using one `EdgeSource` for both is what guarantees the released measurement and the
+/// scorer run *the same query*.
+pub struct EdgeSource {
+    source: Plan<Edge>,
+}
+
+impl Default for EdgeSource {
+    fn default() -> Self {
+        EdgeSource::new()
+    }
+}
+
+impl EdgeSource {
+    /// Creates a fresh edge source.
+    pub fn new() -> Self {
+        EdgeSource {
+            source: Plan::source(),
+        }
+    }
+
+    /// The source plan, to be passed to the analysis plan constructors.
+    pub fn plan(&self) -> &Plan<Edge> {
+        &self.source
+    }
+
+    /// Batch bindings mapping this source to `graph`'s symmetric directed edge dataset.
+    pub fn bind_graph(&self, graph: &Graph) -> PlanBindings {
+        self.bind_dataset(symmetric_edge_dataset(graph))
+    }
+
+    /// Batch bindings mapping this source to an explicit edge dataset.
+    pub fn bind_dataset(&self, dataset: WeightedDataset<Edge>) -> PlanBindings {
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&self.source, dataset);
+        bindings
+    }
+
+    /// Stream bindings mapping this source to a candidate's edge delta stream.
+    pub fn bind_stream(&self, stream: Stream<Edge>) -> StreamBindings {
+        let mut bindings = StreamBindings::new();
+        bindings.bind(&self.source, stream.clone());
+        bindings
+    }
 }
 
 /// A graph's protected edge dataset together with its privacy budget — the starting point
@@ -89,6 +141,27 @@ mod tests {
         assert_eq!(d.len(), g.num_edges());
         assert_eq!(d.weight(&(0, 1)), 1.0);
         assert_eq!(d.weight(&(1, 0)), 0.0);
+    }
+
+    #[test]
+    fn edge_source_binds_both_engines_to_the_same_query() {
+        use crate::degree::degree_ccdf_plan;
+        use wpinq::dataflow::DataflowInput;
+
+        let g = toy_graph();
+        let source = EdgeSource::new();
+        let ccdf = degree_ccdf_plan(source.plan());
+
+        // Batch: evaluate over the graph's materialised edges.
+        let batch = ccdf.eval(&source.bind_graph(&g));
+
+        // Incremental: lower onto a delta stream and load the same edges.
+        let (input, stream) = DataflowInput::new();
+        let collected = ccdf.lower(&source.bind_stream(stream)).collect();
+        input.push_dataset(&symmetric_edge_dataset(&g));
+
+        assert!(collected.snapshot().approx_eq(&batch, 1e-9));
+        assert_eq!(ccdf.multiplicity_of(source.plan().input_id().unwrap()), 1);
     }
 
     #[test]

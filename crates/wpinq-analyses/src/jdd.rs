@@ -10,26 +10,28 @@ use std::collections::HashMap;
 
 use rand::Rng;
 
-use wpinq::{NoisyCounts, Queryable, WpinqError};
+use wpinq::{NoisyCounts, Plan, Queryable, WpinqError};
 
 use crate::edges::Edge;
 
-/// The JDD query: records `(d_a, d_b)` (one per directed edge), each with weight
+/// The JDD query as a plan: records `(d_a, d_b)` (one per directed edge), each with weight
 /// [`jdd_record_weight`]`(d_a, d_b)`.
 ///
-/// Privacy multiplicity: 4 (degrees once, edges once, and the self-join doubles the pair).
-pub fn jdd_query(edges: &Queryable<Edge>) -> Queryable<(u64, u64)> {
+/// The `temp` subplan is self-joined: both engines evaluate it once, but the source is
+/// referenced through it twice. Privacy multiplicity: 4 (degrees once, edges once, and the
+/// self-join doubles the pair).
+pub fn jdd_plan(edges: &Plan<Edge>) -> Plan<(u64, u64)> {
     // (a, d_a) for each vertex a, weight ½.
     let degrees = edges.group_by(|e| e.0, |group| group.len() as u64);
     // ((a, b), d_a) for each directed edge (a, b), weight 1/(1 + 2 d_a).
     let temp = degrees.join(edges, |d| d.0, |e| e.0, |d, e| (*e, d.1));
     // (d_a, d_b) for each directed edge (a, b), weight 1/(2 + 2 d_a + 2 d_b).
-    temp.join(
-        &temp,
-        |t| t.0,
-        |t| (t.0 .1, t.0 .0),
-        |x, y| (x.1, y.1),
-    )
+    temp.join(&temp, |t| t.0, |t| (t.0 .1, t.0 .0), |x, y| (x.1, y.1))
+}
+
+/// [`jdd_plan`] applied to a protected edge dataset.
+pub fn jdd_query(edges: &Queryable<Edge>) -> Queryable<(u64, u64)> {
+    edges.apply(jdd_plan)
 }
 
 /// The weight the JDD query assigns to one directed edge with endpoint degrees `(d_a, d_b)`

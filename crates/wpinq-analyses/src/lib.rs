@@ -3,7 +3,17 @@
 //! Section 3 of the paper expresses a family of graph statistics as short wPINQ programs
 //! whose privacy cost is certified automatically by the platform. This crate reproduces
 //! them, together with the baselines the paper compares against and the measurement
-//! post-processing of Section 3.1:
+//! post-processing of Section 3.1.
+//!
+//! Since the plan-IR refactor, each analysis is defined **once** as a
+//! [`Plan`](wpinq::plan::Plan)-building function (`degree_ccdf_plan`, `tbd_plan`,
+//! `tbi_plan`, `jdd_plan`, …) over a shared [`edges::EdgeSource`]. The `*_query` wrappers
+//! apply that plan to a protected dataset for budgeted batch measurement, and the MCMC
+//! scorers in `wpinq-mcmc` lower the *same* plan onto a candidate's delta stream for
+//! incremental scoring — batch answers, incremental scoring, and privacy accounting all
+//! flow from one definition.
+//!
+//! Modules:
 //!
 //! * [`edges`] — turning a [`Graph`](wpinq_graph::Graph) into the protected symmetric
 //!   directed edge dataset every query consumes (edge differential privacy).
@@ -34,4 +44,4 @@ pub mod squares;
 pub mod tbi;
 pub mod triangles;
 
-pub use edges::GraphEdges;
+pub use edges::{EdgeSource, GraphEdges};

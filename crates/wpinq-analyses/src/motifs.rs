@@ -45,7 +45,10 @@ pub fn length_k_paths_query(edges: &Queryable<Edge>, k: usize) -> Queryable<Vec<
 ///
 /// Privacy multiplicity: `2·(k − 1)`.
 pub fn cycle_query(edges: &Queryable<Edge>, k: usize) -> Queryable<()> {
-    assert!((3..=4).contains(&k), "only triangle and square cycles are supported");
+    assert!(
+        (3..=4).contains(&k),
+        "only triangle and square cycles are supported"
+    );
     let paths: Queryable<Vec<u32>> = if k == 3 {
         length_two_paths_query(edges).select(|p| vec![p.0, p.1, p.2])
     } else {
@@ -128,9 +131,7 @@ mod tests {
         let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
         let via_motif = cycle_query(&edges.queryable(), 3);
         let via_tbi = tbi_query(&edges.queryable());
-        assert!(
-            (via_motif.inspect().weight(&()) - via_tbi.inspect().weight(&())).abs() < 1e-9
-        );
+        assert!((via_motif.inspect().weight(&()) - via_tbi.inspect().weight(&())).abs() < 1e-9);
         assert_eq!(via_motif.max_multiplicity(), 4);
     }
 

@@ -5,14 +5,14 @@
 //! keeping only slice 0 leaves every present node with weight exactly ½ — the most weight a
 //! stable transformation can give a node, since one edge identifies two nodes.
 
-use wpinq::Queryable;
+use wpinq::{Plan, Queryable};
 
 use crate::edges::Edge;
 
-/// The node dataset: each node that appears on some edge, with weight ½.
+/// The node dataset as a plan: each node that appears on some edge, with weight ½.
 ///
 /// Privacy multiplicity: 1.
-pub fn nodes_query(edges: &Queryable<Edge>) -> Queryable<u32> {
+pub fn nodes_plan(edges: &Plan<Edge>) -> Plan<u32> {
     edges
         .select_many_unit(|&(a, b)| [a, b])
         .shave_const(0.5)
@@ -20,12 +20,22 @@ pub fn nodes_query(edges: &Queryable<Edge>) -> Queryable<u32> {
         .select(|(v, _)| *v)
 }
 
-/// The node-count query: a single record `()` whose weight is ½ × (number of non-isolated
-/// nodes). Callers double the released value to estimate |V|.
+/// The node-count query as a plan: a single record `()` whose weight is ½ × (number of
+/// non-isolated nodes). Callers double the released value to estimate |V|.
 ///
 /// Privacy multiplicity: 1.
+pub fn node_count_plan(edges: &Plan<Edge>) -> Plan<()> {
+    nodes_plan(edges).select(|_| ())
+}
+
+/// [`nodes_plan`] applied to a protected edge dataset.
+pub fn nodes_query(edges: &Queryable<Edge>) -> Queryable<u32> {
+    edges.apply(nodes_plan)
+}
+
+/// [`node_count_plan`] applied to a protected edge dataset.
 pub fn node_count_query(edges: &Queryable<Edge>) -> Queryable<()> {
-    nodes_query(edges).select(|_| ())
+    edges.apply(node_count_plan)
 }
 
 #[cfg(test)]

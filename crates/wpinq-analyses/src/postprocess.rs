@@ -35,7 +35,7 @@ pub fn pava_non_increasing(values: &[f64]) -> Vec<f64> {
     let mut out = Vec::with_capacity(values.len());
     for (sum, count) in blocks {
         let mean = sum / count as f64;
-        out.extend(std::iter::repeat(mean).take(count));
+        out.extend(std::iter::repeat_n(mean, count));
     }
     out
 }

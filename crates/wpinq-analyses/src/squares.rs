@@ -6,20 +6,22 @@
 
 use rand::Rng;
 
-use wpinq::{NoisyCounts, Queryable, WpinqError};
+use wpinq::{NoisyCounts, Plan, Queryable, WpinqError};
 
 use crate::edges::Edge;
-use crate::triangles::paths_with_middle_degree_query;
+use crate::triangles::paths_with_middle_degree_plan;
 
-/// Length-three paths `(a, b, c, d)` (with `a ≠ d`) annotated with the two interior degrees:
-/// records `((a, b, c, d), d_b, d_c)` with weight `1 / (2·(d_b²(d_c − 1) + d_c²(d_b − 1)))`
-/// (equation (5)).
+/// A length-three path `(a, b, c, d)` annotated with its two interior degrees
+/// `(d_b, d_c)`.
+pub type AnnotatedLengthThreePath = ((u32, u32, u32, u32), u64, u64);
+
+/// Length-three paths `(a, b, c, d)` (with `a ≠ d`) annotated with the two interior
+/// degrees, as a plan: records `((a, b, c, d), d_b, d_c)` with weight
+/// `1 / (2·(d_b²(d_c − 1) + d_c²(d_b − 1)))` (equation (5)).
 ///
 /// Privacy multiplicity: 6.
-pub fn length_three_paths_query(
-    edges: &Queryable<Edge>,
-) -> Queryable<((u32, u32, u32, u32), u64, u64)> {
-    let abc = paths_with_middle_degree_query(edges, 1);
+pub fn length_three_paths_plan(edges: &Plan<Edge>) -> Plan<AnnotatedLengthThreePath> {
+    let abc = paths_with_middle_degree_plan(edges, 1);
     abc.join(
         &abc,
         |x| (x.0 .1, x.0 .2),
@@ -29,11 +31,12 @@ pub fn length_three_paths_query(
     .filter(|(p, _, _)| p.0 != p.3)
 }
 
-/// The Squares-by-Degree query: sorted degree quadruples of the vertices of every 4-cycle.
+/// The Squares-by-Degree query as a plan: sorted degree quadruples of the vertices of
+/// every 4-cycle.
 ///
 /// Privacy multiplicity: 12.
-pub fn sbd_query(edges: &Queryable<Edge>) -> Queryable<(u64, u64, u64, u64)> {
-    let abcd = length_three_paths_query(edges);
+pub fn sbd_plan(edges: &Plan<Edge>) -> Plan<(u64, u64, u64, u64)> {
+    let abcd = length_three_paths_plan(edges);
     // Double rotation (a,b,c,d) → (c,d,a,b); the attached degrees stay with the original
     // interior vertices, which become the outer vertices of the rotated path.
     let cdab = abcd.select(|(p, db, dc)| ((p.2, p.3, p.0, p.1), *db, *dc));
@@ -45,11 +48,25 @@ pub fn sbd_query(edges: &Queryable<Edge>) -> Queryable<(u64, u64, u64, u64)> {
     })
 }
 
+/// [`length_three_paths_plan`] applied to a protected edge dataset.
+pub fn length_three_paths_query(edges: &Queryable<Edge>) -> Queryable<AnnotatedLengthThreePath> {
+    edges.apply(length_three_paths_plan)
+}
+
+/// [`sbd_plan`] applied to a protected edge dataset.
+pub fn sbd_query(edges: &Queryable<Edge>) -> Queryable<(u64, u64, u64, u64)> {
+    edges.apply(sbd_plan)
+}
+
 /// Equation (6): the weight of one *discovery* of a square whose vertices, in path order
 /// `a-b-c-d`, have the given degrees.
 pub fn sbd_discovery_weight(da: u64, db: u64, dc: u64, dd: u64) -> f64 {
     let (da, db, dc, dd) = (da as f64, db as f64, dc as f64, dd as f64);
-    1.0 / (2.0 * (da * da * (dd - 1.0) + dd * dd * (da - 1.0) + db * db * (dc - 1.0) + dc * dc * (db - 1.0)))
+    1.0 / (2.0
+        * (da * da * (dd - 1.0)
+            + dd * dd * (da - 1.0)
+            + db * db * (dc - 1.0)
+            + dc * dc * (db - 1.0)))
 }
 
 /// The total weight a square contributes to its sorted degree quadruple: the sum of

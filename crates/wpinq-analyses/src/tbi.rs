@@ -8,28 +8,40 @@
 
 use rand::Rng;
 
-use wpinq::{Queryable, WpinqError};
+use wpinq::{Plan, Queryable, WpinqError};
 
 use crate::edges::Edge;
-use crate::triangles::length_two_paths_query;
+use crate::triangles::length_two_paths_plan;
 
-/// The triangle records retained by the intersection: paths `(a, b, c)` whose rotation
-/// `(b, c, a)` is also a path, i.e. paths that lie on a triangle. Each carries weight
-/// `min(1/(2·d_b), 1/(2·d_c))`.
+/// The triangle records retained by the intersection, as a plan: paths `(a, b, c)` whose
+/// rotation `(b, c, a)` is also a path, i.e. paths that lie on a triangle. Each carries
+/// weight `min(1/(2·d_b), 1/(2·d_c))`.
 ///
-/// Privacy multiplicity: 4.
-pub fn triangle_paths_query(edges: &Queryable<Edge>) -> Queryable<(u32, u32, u32)> {
-    let paths = length_two_paths_query(edges);
+/// The `paths` subplan is shared between the intersection's two branches; both engines
+/// evaluate it once (the incremental lowering compiles it to a single shared join node).
+/// Privacy multiplicity: 4 — sharing does not reduce the privacy price of a reference.
+pub fn triangle_paths_plan(edges: &Plan<Edge>) -> Plan<(u32, u32, u32)> {
+    let paths = length_two_paths_plan(edges);
     paths.select(|p| (p.1, p.2, p.0)).intersect(&paths)
 }
 
-/// The TbI query: a single record `()` whose weight is
+/// The TbI query as a plan: a single record `()` whose weight is
 /// `Σ_{triangles (a,b,c)} min(1/d_a, 1/d_b) + min(1/d_a, 1/d_c) + min(1/d_b, 1/d_c)`
 /// (equation (8)).
 ///
 /// Privacy multiplicity: 4.
+pub fn tbi_plan(edges: &Plan<Edge>) -> Plan<()> {
+    triangle_paths_plan(edges).select(|_| ())
+}
+
+/// [`triangle_paths_plan`] applied to a protected edge dataset.
+pub fn triangle_paths_query(edges: &Queryable<Edge>) -> Queryable<(u32, u32, u32)> {
+    edges.apply(triangle_paths_plan)
+}
+
+/// [`tbi_plan`] applied to a protected edge dataset.
 pub fn tbi_query(edges: &Queryable<Edge>) -> Queryable<()> {
-    triangle_paths_query(edges).select(|_| ())
+    edges.apply(tbi_plan)
 }
 
 /// Equation (8) evaluated exactly on a graph: the signal the TbI query would report without
@@ -44,9 +56,8 @@ pub fn tbi_exact_signal(graph: &wpinq_graph::Graph) -> f64 {
         for w in graph.common_neighbors(u, v) {
             if w > v {
                 let (du, dv, dw) = (deg[u as usize], deg[v as usize], deg[w as usize]);
-                total += (1.0 / du).min(1.0 / dv)
-                    + (1.0 / du).min(1.0 / dw)
-                    + (1.0 / dv).min(1.0 / dw);
+                total +=
+                    (1.0 / du).min(1.0 / dv) + (1.0 / du).min(1.0 / dw) + (1.0 / dv).min(1.0 / dw);
             }
         }
     }

@@ -7,53 +7,50 @@
 
 use rand::Rng;
 
-use wpinq::{NoisyCounts, Queryable, WpinqError};
+use wpinq::{NoisyCounts, Plan, Queryable, WpinqError};
 
 use crate::edges::Edge;
 
-/// Length-two paths `(a, b, c)` (with `a ≠ c`), each weighted `1 / (2·d_b)`.
+/// Length-two paths `(a, b, c)` (with `a ≠ c`) as a plan, each weighted `1 / (2·d_b)`.
 ///
 /// Privacy multiplicity: 2 (a self-join of the edges).
-pub fn length_two_paths_query(edges: &Queryable<Edge>) -> Queryable<(u32, u32, u32)> {
+pub fn length_two_paths_plan(edges: &Plan<Edge>) -> Plan<(u32, u32, u32)> {
     edges
         .join(edges, |x| x.1, |y| y.0, |x, y| (x.0, x.1, y.1))
         .filter(|p| p.0 != p.2)
 }
 
-/// The degree lookup `(v, d_v)` at weight ½ used by the triangle and square queries.
+/// The degree lookup `(v, d_v)` at weight ½ as a plan, used by the triangle and square
+/// queries.
 ///
 /// Privacy multiplicity: 1. The optional bucketing divides the reported degree by `k`
 /// (Section 5.2) without changing any weights.
-pub fn degrees_query(edges: &Queryable<Edge>, bucket: u64) -> Queryable<(u32, u64)> {
+pub fn degrees_plan(edges: &Plan<Edge>, bucket: u64) -> Plan<(u32, u64)> {
     assert!(bucket >= 1, "bucket size must be at least 1");
     edges.group_by(|e| e.0, move |group| group.len() as u64 / bucket)
 }
 
-/// Length-two paths annotated with the degree of their middle vertex:
+/// Length-two paths annotated with the degree of their middle vertex as a plan:
 /// `((a, b, c), d_b)` with weight `1 / (2·d_b²)`.
 ///
 /// Privacy multiplicity: 3.
-pub fn paths_with_middle_degree_query(
-    edges: &Queryable<Edge>,
+pub fn paths_with_middle_degree_plan(
+    edges: &Plan<Edge>,
     bucket: u64,
-) -> Queryable<((u32, u32, u32), u64)> {
-    let paths = length_two_paths_query(edges);
-    let degrees = degrees_query(edges, bucket);
+) -> Plan<((u32, u32, u32), u64)> {
+    let paths = length_two_paths_plan(edges);
+    let degrees = degrees_plan(edges, bucket);
     paths.join(&degrees, |p| p.1, |d| d.0, |p, d| (*p, d.1))
 }
 
-/// The Triangles-by-Degree query: sorted degree triples `(d₁ ≤ d₂ ≤ d₃)`, where each
-/// triangle on degrees `(d_a, d_b, d_c)` contributes weight `3 / (d_a² + d_b² + d_c²)`.
+/// The Triangles-by-Degree query as a plan (degrees bucketed by `k`): sorted degree
+/// triples `(d₁ ≤ d₂ ≤ d₃)`, where each triangle on degrees `(d_a, d_b, d_c)` contributes
+/// weight `3 / (d_a² + d_b² + d_c²)`.
 ///
-/// Privacy multiplicity: 9.
-pub fn tbd_query(edges: &Queryable<Edge>) -> Queryable<(u64, u64, u64)> {
-    tbd_query_bucketed(edges, 1)
-}
-
-/// [`tbd_query`] with degrees bucketed by `k` (each reported degree is `d / k`), the
-/// remedy Section 5.2 applies so that low-signal degree triples pool their weight.
-pub fn tbd_query_bucketed(edges: &Queryable<Edge>, bucket: u64) -> Queryable<(u64, u64, u64)> {
-    let abc = paths_with_middle_degree_query(edges, bucket);
+/// This one definition drives the batch measurement ([`tbd_query_bucketed`]), the
+/// incremental MCMC scorer, and the 9ε accounting. Privacy multiplicity: 9.
+pub fn tbd_plan(edges: &Plan<Edge>, bucket: u64) -> Plan<(u64, u64, u64)> {
+    let abc = paths_with_middle_degree_plan(edges, bucket);
     // Rotating the path leaves the weight untouched; the attached degree stays with the
     // original middle vertex, which is the first vertex of the rotated path.
     let bca = abc.select(|(p, d)| ((p.1, p.2, p.0), *d));
@@ -66,6 +63,37 @@ pub fn tbd_query_bucketed(edges: &Queryable<Edge>, bucket: u64) -> Queryable<(u6
         t.sort_unstable();
         (t[0], t[1], t[2])
     })
+}
+
+/// [`length_two_paths_plan`] applied to a protected edge dataset.
+pub fn length_two_paths_query(edges: &Queryable<Edge>) -> Queryable<(u32, u32, u32)> {
+    edges.apply(length_two_paths_plan)
+}
+
+/// [`degrees_plan`] applied to a protected edge dataset.
+pub fn degrees_query(edges: &Queryable<Edge>, bucket: u64) -> Queryable<(u32, u64)> {
+    edges.apply(|plan| degrees_plan(plan, bucket))
+}
+
+/// [`paths_with_middle_degree_plan`] applied to a protected edge dataset.
+pub fn paths_with_middle_degree_query(
+    edges: &Queryable<Edge>,
+    bucket: u64,
+) -> Queryable<((u32, u32, u32), u64)> {
+    edges.apply(|plan| paths_with_middle_degree_plan(plan, bucket))
+}
+
+/// The Triangles-by-Degree query over a protected edge dataset.
+///
+/// Privacy multiplicity: 9.
+pub fn tbd_query(edges: &Queryable<Edge>) -> Queryable<(u64, u64, u64)> {
+    tbd_query_bucketed(edges, 1)
+}
+
+/// [`tbd_query`] with degrees bucketed by `k` (each reported degree is `d / k`), the
+/// remedy Section 5.2 applies so that low-signal degree triples pool their weight.
+pub fn tbd_query_bucketed(edges: &Queryable<Edge>, bucket: u64) -> Queryable<(u64, u64, u64)> {
+    edges.apply(|plan| tbd_plan(plan, bucket))
 }
 
 /// The weight one triangle on degrees `(x, y, z)` contributes to its sorted degree triple:
@@ -191,7 +219,10 @@ mod tests {
         let tbd = tbd_query(&edges.queryable());
         // Four triangles, all with degrees (3, 3, 3): total weight 4 · 3/27 = 4/9.
         let w = tbd.inspect().weight(&(3, 3, 3));
-        assert!((w - 4.0 * tbd_record_weight(3, 3, 3)).abs() < 1e-9, "weight {w}");
+        assert!(
+            (w - 4.0 * tbd_record_weight(3, 3, 3)).abs() < 1e-9,
+            "weight {w}"
+        );
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //! described in Section 2.2.
 
 use std::collections::HashMap;
+use std::sync::Mutex;
 
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -35,8 +35,8 @@ pub struct NoisyCounts<T: Record> {
 impl<T: Record> NoisyCounts<T> {
     /// Measures `data` with `Laplace(1/epsilon)` noise per record.
     ///
-    /// This constructor performs **no privacy accounting**; use
-    /// [`Queryable::noisy_count`](crate::Queryable::noisy_count) for budgeted measurements.
+    /// This constructor performs **no privacy accounting**; use the budgeted
+    /// `Queryable::noisy_count` front end in the `wpinq` crate for real measurements.
     ///
     /// # Panics
     /// Panics if `epsilon` is not strictly positive and finite.
@@ -67,12 +67,12 @@ impl<T: Record> NoisyCounts<T> {
         if let Some(v) = self.observed.get(record) {
             return *v;
         }
-        let mut absent = self.absent.lock();
+        let mut absent = self.absent.lock().expect("noise cache poisoned");
         if let Some(v) = absent.get(record) {
             return *v;
         }
         let laplace = Laplace::from_epsilon(self.epsilon);
-        let noise = laplace.sample(&mut *self.lazy_rng.lock());
+        let noise = laplace.sample(&mut *self.lazy_rng.lock().expect("noise rng poisoned"));
         absent.insert(record.clone(), noise);
         noise
     }
@@ -97,11 +97,7 @@ impl<T: Record> NoisyCounts<T> {
 
     /// Observed noisy counts sorted by record, for deterministic reporting.
     pub fn sorted_observed(&self) -> Vec<(T, f64)> {
-        let mut v: Vec<(T, f64)> = self
-            .observed
-            .iter()
-            .map(|(r, w)| (r.clone(), *w))
-            .collect();
+        let mut v: Vec<(T, f64)> = self.observed.iter().map(|(r, w)| (r.clone(), *w)).collect();
         v.sort_by(|a, b| a.0.cmp(&b.0));
         v
     }
@@ -117,7 +113,7 @@ impl<T: Record> NoisyCounts<T> {
         for (record, observed) in &self.observed {
             total += (candidate.weight(record) - observed).abs();
         }
-        let absent = self.absent.lock();
+        let absent = self.absent.lock().expect("noise cache poisoned");
         for (record, weight) in candidate.iter() {
             if !self.observed.contains_key(record) {
                 let noise = absent.get(record).copied().unwrap_or(0.0);

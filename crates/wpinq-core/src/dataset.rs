@@ -6,8 +6,9 @@
 //! definition is stated over, using the L1 distance `‖A − B‖ = Σ_x |A(x) − B(x)|`.
 
 use std::borrow::Borrow;
-use std::collections::HashMap;
 use std::hash::Hash;
+
+use rustc_hash::{FxBuildHasher, FxHashMap};
 
 use crate::record::Record;
 use crate::weights;
@@ -16,9 +17,11 @@ use crate::weights;
 ///
 /// Stored as a hash map from record to weight; records with negligible weight (see
 /// [`weights::PRUNE_THRESHOLD`]) are dropped so that "absent" and "weight zero" coincide.
+/// The map uses a fast non-SipHash hasher: these maps are the hottest state in the MCMC
+/// loop and their keys (edge tuples, degree triples) are internal, never attacker-chosen.
 #[derive(Clone, Debug)]
 pub struct WeightedDataset<T: Record> {
-    weights: HashMap<T, f64>,
+    weights: FxHashMap<T, f64>,
 }
 
 impl<T: Record> Default for WeightedDataset<T> {
@@ -31,14 +34,14 @@ impl<T: Record> WeightedDataset<T> {
     /// Creates an empty dataset.
     pub fn new() -> Self {
         WeightedDataset {
-            weights: HashMap::new(),
+            weights: FxHashMap::default(),
         }
     }
 
     /// Creates an empty dataset with pre-allocated capacity.
     pub fn with_capacity(capacity: usize) -> Self {
         WeightedDataset {
-            weights: HashMap::with_capacity(capacity),
+            weights: FxHashMap::with_capacity_and_hasher(capacity, FxBuildHasher::default()),
         }
     }
 
@@ -211,9 +214,7 @@ impl<T: Record> PartialEq for WeightedDataset<T> {
         if self.weights.len() != other.weights.len() {
             return false;
         }
-        self.weights
-            .iter()
-            .all(|(r, w)| other.weight(r) == *w)
+        self.weights.iter().all(|(r, w)| other.weight(r) == *w)
     }
 }
 

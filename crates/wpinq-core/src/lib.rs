@@ -1,0 +1,33 @@
+//! # wpinq-core — engine-neutral foundations of the wPINQ platform
+//!
+//! The data model and batch operator kernels shared by every execution engine:
+//!
+//! * [`WeightedDataset<T>`] and the [`Record`] bound — the weighted multiset the paper's
+//!   differential-privacy definition is stated over, with the L1 dataset distance
+//!   `‖A − B‖ = Σ_x |A(x) − B(x)|`.
+//! * [`operators`] — the batch kernels for every stable transformation (Select, Where,
+//!   SelectMany, GroupBy, Shave, Join, Union, Intersect, Concat, Except). These are *the*
+//!   reference semantics: the incremental engine in `wpinq-dataflow` recomputes affected
+//!   keys with these same kernels, and the `wpinq` plan layer's batch evaluator calls them
+//!   directly, so there is exactly one definition of each operator's weight arithmetic.
+//! * [`noise`] and [`aggregation`] — Laplace sampling and the `NoisyCount`/`NoisySum`
+//!   measurement primitives (no privacy accounting here; budgets live in `wpinq`).
+//! * [`weights`] — tolerances and the pruning threshold for real-valued record weights.
+//!
+//! Downstream layering: `wpinq-dataflow` (incremental engine) depends only on this crate;
+//! `wpinq` (privacy accounting + query-plan IR) depends on both and re-exports everything
+//! here, so analysts normally import `wpinq::prelude::*` and never see `wpinq-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregation;
+pub mod dataset;
+pub mod noise;
+pub mod operators;
+pub mod record;
+pub mod weights;
+
+pub use aggregation::NoisyCounts;
+pub use dataset::WeightedDataset;
+pub use record::Record;

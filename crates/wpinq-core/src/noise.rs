@@ -210,7 +210,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits > 900, "high-score option chosen only {hits}/1000 times");
+        assert!(
+            hits > 900,
+            "high-score option chosen only {hits}/1000 times"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! `GroupBy`: MapReduce-style grouping with the prefix-halving weight rule of Section 2.5.
 
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 use crate::dataset::WeightedDataset;
 use crate::record::Record;
@@ -47,7 +47,7 @@ where
     RF: Fn(&K, &[T]) -> R,
 {
     // Partition by key.
-    let mut parts: HashMap<K, Vec<(T, f64)>> = HashMap::new();
+    let mut parts: FxHashMap<K, Vec<(T, f64)>> = FxHashMap::default();
     for (record, weight) in data.iter() {
         if weight <= 0.0 {
             continue;
@@ -169,7 +169,11 @@ mod tests {
     #[test]
     fn group_by_with_key_passes_the_key() {
         let data = WeightedDataset::from_records([(1u32, 'a'), (1, 'b'), (2, 'c')]);
-        let out = group_by_with_key(&data, |r| r.0, |k, group| (*k as u64) * 10 + group.len() as u64);
+        let out = group_by_with_key(
+            &data,
+            |r| r.0,
+            |k, group| (*k as u64) * 10 + group.len() as u64,
+        );
         assert!(approx_eq(out.weight(&(1, 12)), 0.5));
         assert!(approx_eq(out.weight(&(2, 21)), 0.5));
     }

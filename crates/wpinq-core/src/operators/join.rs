@@ -1,7 +1,8 @@
 //! `Join`: the weight-rescaling equi-join of Section 2.7, the workhorse of graph analysis.
 
-use std::collections::HashMap;
 use std::hash::Hash;
+
+use rustc_hash::FxHashMap;
 
 use crate::dataset::WeightedDataset;
 use crate::record::Record;
@@ -31,15 +32,20 @@ where
     RF: Fn(&A, &B) -> R,
 {
     // Partition both inputs by key, tracking each part's norm ‖·‖ = Σ|w|.
-    let mut parts_a: HashMap<K, (Vec<(&A, f64)>, f64)> = HashMap::new();
+    type KeyPart<'a, T> = (Vec<(&'a T, f64)>, f64);
+    let mut parts_a: FxHashMap<K, KeyPart<'_, A>> = FxHashMap::default();
     for (record, weight) in a.iter() {
-        let entry = parts_a.entry(key_a(record)).or_insert_with(|| (Vec::new(), 0.0));
+        let entry = parts_a
+            .entry(key_a(record))
+            .or_insert_with(|| (Vec::new(), 0.0));
         entry.0.push((record, weight));
         entry.1 += weight.abs();
     }
-    let mut parts_b: HashMap<K, (Vec<(&B, f64)>, f64)> = HashMap::new();
+    let mut parts_b: FxHashMap<K, KeyPart<'_, B>> = FxHashMap::default();
     for (record, weight) in b.iter() {
-        let entry = parts_b.entry(key_b(record)).or_insert_with(|| (Vec::new(), 0.0));
+        let entry = parts_b
+            .entry(key_b(record))
+            .or_insert_with(|| (Vec::new(), 0.0));
         entry.0.push((record, weight));
         entry.1 += weight.abs();
     }
@@ -130,13 +136,7 @@ mod tests {
         // dst = src yields paths (a, b, c) with weight 1/(2·d_b).
         let edges: Vec<(u32, u32)> = vec![(1, 2), (2, 1), (2, 3), (3, 2), (1, 3), (3, 1)];
         let edges = WeightedDataset::from_records(edges);
-        let paths = join(
-            &edges,
-            &edges,
-            |e| e.1,
-            |e| e.0,
-            |x, y| (x.0, x.1, y.1),
-        );
+        let paths = join(&edges, &edges, |e| e.1, |e| e.0, |x, y| (x.0, x.1, y.1));
         // Node 2 has degree 2, so path (1, 2, 3) should have weight 1/(2·2) = 0.25.
         assert!(approx_eq(paths.weight(&(1, 2, 3)), 0.25));
         // Path (1, 2, 1) also exists (cycles are filtered later by the analyses).

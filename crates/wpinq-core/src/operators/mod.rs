@@ -6,7 +6,7 @@
 //! amplifying privacy cost: if `M` is ε-DP then `M(T(·))` is ε-DP (Theorem 1).
 //!
 //! Each operator here is a free function over [`WeightedDataset`](crate::WeightedDataset)s; the
-//! [`Queryable`](crate::Queryable) front-end wraps them with privacy accounting. The
+//! `Queryable` front-end in the `wpinq` crate wraps them with privacy accounting. The
 //! stability of `Join` and `GroupBy` — the two operators whose weight rescaling is subtle —
 //! is proved in Appendix A of the paper and checked by property tests in this crate.
 

@@ -41,9 +41,7 @@ where
     I: IntoIterator<Item = U>,
     F: Fn(&T) -> I,
 {
-    select_many(data, |record| {
-        WeightedDataset::from_records(f(record).into_iter())
-    })
+    select_many(data, |record| WeightedDataset::from_records(f(record)))
 }
 
 #[cfg(test)]

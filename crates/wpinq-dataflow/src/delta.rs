@@ -1,8 +1,8 @@
 //! Weight deltas: the unit of communication between incremental operators.
 
-use std::collections::HashMap;
+use rustc_hash::{FxBuildHasher, FxHashMap};
 
-use wpinq::{weights, Record, WeightedDataset};
+use wpinq_core::{weights, Record, WeightedDataset};
 
 /// A change to the weight of one record. Positive deltas add weight, negative deltas
 /// remove it; a record entering a dataset is `(r, +w)` and one leaving it is `(r, −w)`.
@@ -12,7 +12,8 @@ pub type Delta<T> = (T, f64);
 /// first-seen order of records for determinism.
 pub fn consolidate<T: Record>(deltas: Vec<Delta<T>>) -> Vec<Delta<T>> {
     let mut order: Vec<T> = Vec::with_capacity(deltas.len());
-    let mut acc: HashMap<T, f64> = HashMap::with_capacity(deltas.len());
+    let mut acc: FxHashMap<T, f64> =
+        FxHashMap::with_capacity_and_hasher(deltas.len(), FxBuildHasher::default());
     for (record, weight) in deltas {
         match acc.entry(record.clone()) {
             std::collections::hash_map::Entry::Occupied(mut e) => {

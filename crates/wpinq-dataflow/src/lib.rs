@@ -21,8 +21,14 @@
 //!
 //! Correctness contract: pushing any sequence of deltas through a dataflow leaves every
 //! sink equal to the corresponding *batch* operator applied to the accumulated input. The
-//! property tests in `tests/equivalence.rs` check this against the `wpinq` crate for every
-//! operator and for composed pipelines.
+//! property tests in `tests/equivalence.rs` check this against the `wpinq-core` kernels
+//! for every operator, for composed pipelines, and for random multi-operator `Plan`s from
+//! the `wpinq` IR (whose incremental lowering targets this crate's [`Stream`] graph).
+//!
+//! Layering note: this crate depends only on `wpinq-core` (data model + batch kernels).
+//! Analysts normally do not wire `Stream`s by hand; they define a `wpinq::plan::Plan`
+//! once and lower it here, which guarantees the incremental computation runs the same
+//! query the batch evaluator (and the privacy accountant) saw.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -7,10 +7,10 @@
 //! incremental semantics agree with the batch semantics exactly, which the equivalence
 //! property tests rely on.
 
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
-use wpinq::operators as batch;
-use wpinq::{Record, WeightedDataset};
+use wpinq_core::operators as batch;
+use wpinq_core::{Record, WeightedDataset};
 
 use crate::delta::{consolidate, diff_datasets, Delta};
 
@@ -108,8 +108,8 @@ where
     KB: Fn(&B) -> K,
     RF: Fn(&A, &B) -> R,
 {
-    left: HashMap<K, WeightedDataset<A>>,
-    right: HashMap<K, WeightedDataset<B>>,
+    left: FxHashMap<K, WeightedDataset<A>>,
+    right: FxHashMap<K, WeightedDataset<B>>,
     key_left: KA,
     key_right: KB,
     result: RF,
@@ -128,8 +128,8 @@ where
     /// Creates an empty join with the given key selectors and result selector.
     pub fn new(key_left: KA, key_right: KB, result: RF) -> Self {
         IncrementalJoin {
-            left: HashMap::new(),
-            right: HashMap::new(),
+            left: FxHashMap::default(),
+            right: FxHashMap::default(),
             key_left,
             key_right,
             result,
@@ -158,7 +158,7 @@ where
 
     /// Feeds deltas into the left input, returning the induced output deltas.
     pub fn push_left(&mut self, deltas: &[Delta<A>]) -> Vec<Delta<R>> {
-        let mut by_key: HashMap<K, Vec<Delta<A>>> = HashMap::new();
+        let mut by_key: FxHashMap<K, Vec<Delta<A>>> = FxHashMap::default();
         for (record, weight) in deltas {
             by_key
                 .entry((self.key_left)(record))
@@ -183,7 +183,7 @@ where
 
     /// Feeds deltas into the right input, returning the induced output deltas.
     pub fn push_right(&mut self, deltas: &[Delta<B>]) -> Vec<Delta<R>> {
-        let mut by_key: HashMap<K, Vec<Delta<B>>> = HashMap::new();
+        let mut by_key: FxHashMap<K, Vec<Delta<B>>> = FxHashMap::default();
         for (record, weight) in deltas {
             by_key
                 .entry((self.key_right)(record))
@@ -216,7 +216,7 @@ where
     KF: Fn(&T) -> K,
     RF: Fn(&[T]) -> R,
 {
-    parts: HashMap<K, WeightedDataset<T>>,
+    parts: FxHashMap<K, WeightedDataset<T>>,
     key: KF,
     reduce: RF,
 }
@@ -232,7 +232,7 @@ where
     /// Creates an empty incremental `GroupBy`.
     pub fn new(key: KF, reduce: RF) -> Self {
         IncrementalGroupBy {
-            parts: HashMap::new(),
+            parts: FxHashMap::default(),
             key,
             reduce,
         }
@@ -247,7 +247,7 @@ where
 
     /// Feeds deltas into the grouped input, returning the induced output deltas.
     pub fn push(&mut self, deltas: &[Delta<T>]) -> Vec<Delta<(K, R)>> {
-        let mut by_key: HashMap<K, Vec<Delta<T>>> = HashMap::new();
+        let mut by_key: FxHashMap<K, Vec<Delta<T>>> = FxHashMap::default();
         for (record, weight) in deltas {
             by_key
                 .entry((self.key)(record))
@@ -398,7 +398,10 @@ mod tests {
     #[test]
     fn stateless_operators_map_deltas_directly() {
         let deltas = vec![(3u32, 1.0), (4, 2.0), (3, 0.5)];
-        assert_eq!(inc_select(&|x: &u32| x % 2, &deltas), vec![(1u32, 1.5), (0, 2.0)]);
+        assert_eq!(
+            inc_select(&|x: &u32| x % 2, &deltas),
+            vec![(1u32, 1.5), (0, 2.0)]
+        );
         assert_eq!(inc_filter(&|x: &u32| *x > 3, &deltas), vec![(4u32, 2.0)]);
         assert_eq!(inc_negate(&deltas), vec![(3u32, -1.5), (4, -2.0)]);
         assert_eq!(inc_concat(&deltas), vec![(3u32, 1.5), (4, 2.0)]);
@@ -481,7 +484,10 @@ mod tests {
                 output.add_weight(delta.0, delta.1);
             }
             let expected = batch::shave_const(&input, 1.0);
-            assert!(output.approx_eq(&expected, 1e-9), "after ({record}, {weight})");
+            assert!(
+                output.approx_eq(&expected, 1e-9),
+                "after ({record}, {weight})"
+            );
         }
     }
 

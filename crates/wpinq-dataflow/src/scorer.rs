@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use wpinq::{NoisyCounts, Record, WeightedDataset};
+use wpinq_core::{NoisyCounts, Record, WeightedDataset};
 
 use crate::delta::Delta;
 

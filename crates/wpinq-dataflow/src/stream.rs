@@ -13,12 +13,12 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use wpinq::{Record, WeightedDataset};
+use wpinq_core::{Record, WeightedDataset};
 
 use crate::delta::Delta;
 use crate::operators::{
-    inc_concat, inc_filter, inc_negate, inc_select, inc_select_many_unit, IncrementalGroupBy,
-    IncrementalJoin, IncrementalMinMax, IncrementalShave,
+    inc_concat, inc_filter, inc_negate, inc_select, inc_select_many, inc_select_many_unit,
+    IncrementalGroupBy, IncrementalJoin, IncrementalMinMax, IncrementalShave,
 };
 use crate::scorer::L1Scorer;
 
@@ -30,7 +30,9 @@ struct NodeInner<T: Record> {
 
 impl<T: Record> NodeInner<T> {
     fn new() -> Rc<RefCell<Self>> {
-        Rc::new(RefCell::new(NodeInner { listeners: Vec::new() }))
+        Rc::new(RefCell::new(NodeInner {
+            listeners: Vec::new(),
+        }))
     }
 }
 
@@ -53,10 +55,7 @@ impl<T: Record> DataflowInput<T> {
     /// Creates an input and the stream carrying its deltas.
     pub fn new() -> (DataflowInput<T>, Stream<T>) {
         let node = NodeInner::new();
-        (
-            DataflowInput { node: node.clone() },
-            Stream { node },
-        )
+        (DataflowInput { node: node.clone() }, Stream { node })
     }
 
     /// Pushes a batch of deltas into the dataflow.
@@ -119,6 +118,20 @@ impl<T: Record> Stream<T> {
         stream
     }
 
+    /// Incremental `SelectMany` with the paper's data-dependent normalisation: each
+    /// record's production is scaled to at most unit norm before being weighted.
+    pub fn select_many<U, F>(&self, f: F) -> Stream<U>
+    where
+        U: Record,
+        F: Fn(&T) -> WeightedDataset<U> + 'static,
+    {
+        let (node, stream) = Self::child::<U>();
+        self.add_listener(move |deltas| {
+            broadcast(&node, &inc_select_many(&f, deltas));
+        });
+        stream
+    }
+
     /// Incremental `SelectMany` where each produced record carries unit weight.
     pub fn select_many_unit<U, I, F>(&self, f: F) -> Stream<U>
     where
@@ -133,18 +146,28 @@ impl<T: Record> Stream<T> {
         stream
     }
 
-    /// Incremental `Shave` with a constant per-slice weight.
-    pub fn shave_const(&self, step: f64) -> Stream<(T, u64)> {
-        assert!(step > 0.0 && step.is_finite(), "shave step must be positive");
+    /// Incremental `Shave` with an arbitrary per-record weight schedule.
+    pub fn shave<F, I>(&self, schedule: F) -> Stream<(T, u64)>
+    where
+        F: Fn(&T) -> I + 'static,
+        I: IntoIterator<Item = f64> + 'static,
+    {
         let (node, stream) = Self::child::<(T, u64)>();
-        let op = RefCell::new(IncrementalShave::new(move |_: &T| {
-            std::iter::repeat(step)
-        }));
+        let op = RefCell::new(IncrementalShave::new(schedule));
         self.add_listener(move |deltas| {
             let out = op.borrow_mut().push(deltas);
             broadcast(&node, &out);
         });
         stream
+    }
+
+    /// Incremental `Shave` with a constant per-slice weight.
+    pub fn shave_const(&self, step: f64) -> Stream<(T, u64)> {
+        assert!(
+            step > 0.0 && step.is_finite(),
+            "shave step must be positive"
+        );
+        self.shave(move |_: &T| std::iter::repeat(step))
     }
 
     /// Incremental `GroupBy`.
@@ -181,7 +204,9 @@ impl<T: Record> Stream<T> {
         RF: Fn(&T, &U) -> R + 'static,
     {
         let (node, stream) = Self::child::<R>();
-        let op = Rc::new(RefCell::new(IncrementalJoin::new(key_self, key_other, result)));
+        let op = Rc::new(RefCell::new(IncrementalJoin::new(
+            key_self, key_other, result,
+        )));
 
         let left_op = op.clone();
         let left_node = node.clone();
@@ -336,7 +361,7 @@ impl<T: Record> ScorerHandle<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wpinq::operators as batch;
+    use wpinq_core::operators as batch;
 
     #[test]
     fn linear_pipeline_matches_batch() {
@@ -346,7 +371,7 @@ mod tests {
         let mut accumulated = WeightedDataset::new();
         let updates: Vec<Delta<u32>> = vec![(1, 1.0), (5, 2.0), (3, 1.0), (7, 1.0), (5, -2.0)];
         for delta in updates {
-            input.push(&[delta.clone()]);
+            input.push(&[delta]);
             accumulated.add_weight(delta.0, delta.1);
             let expected = batch::filter(&batch::select(&accumulated, |x| x % 4), |x| *x != 3);
             assert!(out.snapshot().approx_eq(&expected, 1e-9));
@@ -373,7 +398,7 @@ mod tests {
             ((3, 1), -1.0),
         ];
         for delta in edge_updates {
-            input.push(&[delta.clone()]);
+            input.push(&[delta]);
             accumulated.add_weight(delta.0, delta.1);
             let expected = batch::join(
                 &accumulated,
@@ -409,14 +434,16 @@ mod tests {
         ];
         for (to_a, delta) in updates {
             if to_a {
-                in_a.push(&[delta.clone()]);
+                in_a.push(&[delta]);
                 da.add_weight(delta.0, delta.1);
             } else {
-                in_b.push(&[delta.clone()]);
+                in_b.push(&[delta]);
                 db.add_weight(delta.0, delta.1);
             }
             assert!(union.snapshot().approx_eq(&batch::union(&da, &db), 1e-9));
-            assert!(inter.snapshot().approx_eq(&batch::intersect(&da, &db), 1e-9));
+            assert!(inter
+                .snapshot()
+                .approx_eq(&batch::intersect(&da, &db), 1e-9));
             assert!(concat.snapshot().approx_eq(&batch::concat(&da, &db), 1e-9));
             assert!(except.snapshot().approx_eq(&batch::except(&da, &db), 1e-9));
         }
@@ -437,7 +464,7 @@ mod tests {
             ((1, 3), -1.0),
         ];
         for delta in updates {
-            input.push(&[delta.clone()]);
+            input.push(&[delta]);
             accumulated.add_weight(delta.0, delta.1);
             let expected_deg = batch::group_by(&accumulated, |e| e.0, |g| g.len() as u64);
             let expected_shave = batch::shave_const(&batch::select(&accumulated, |e| e.0), 1.0);

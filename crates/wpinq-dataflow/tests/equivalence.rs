@@ -4,11 +4,19 @@
 //! sink must equal the corresponding batch operator applied to the accumulated input. This
 //! is the correctness contract that lets the MCMC engine trust delta updates instead of
 //! re-running queries from scratch (Section 4.3).
+//!
+//! Two layers are exercised:
+//!
+//! * the hand-built `Stream` combinators (the original tests below), and
+//! * random multi-operator [`Plan`]s from the `wpinq` IR, where the *same* plan value is
+//!   batch-evaluated and incrementally lowered — the end-to-end contract the plan layer
+//!   gives every consumer (see `random_plans_agree_between_batch_and_incremental`).
 
 use std::collections::HashMap;
 
 use proptest::prelude::*;
 use wpinq::operators as batch;
+use wpinq::plan::{Plan, PlanBindings, StreamBindings};
 use wpinq::WeightedDataset;
 use wpinq_dataflow::{DataflowInput, Delta};
 
@@ -33,6 +41,122 @@ fn accumulate(deltas: &[Delta<u32>]) -> WeightedDataset<u32> {
         d.add_weight(*r, *w);
     }
     d
+}
+
+// ---------------------------------------------------------------------------------------
+// Random multi-operator plans
+// ---------------------------------------------------------------------------------------
+
+/// One instruction of the random plan builder. A program is interpreted over a stack of
+/// `Plan<u32>` values seeded with the source plan, so random programs produce arbitrarily
+/// shaped operator DAGs — including *shared* subplans (via `Dup`) and self-joins — while
+/// every intermediate stays at record type `u32`.
+#[derive(Debug, Clone)]
+enum PlanOp {
+    /// Push another reference to the source (multiplicities beyond 1).
+    PushSource,
+    /// Push a duplicate of the top plan (shared-subplan DAGs).
+    Dup,
+    Select(u32),
+    Filter(u32),
+    SelectMany(u32),
+    GroupBy(u32),
+    Shave,
+    Join(u32),
+    Union,
+    Intersect,
+    Concat,
+    Except,
+}
+
+fn plan_op() -> impl Strategy<Value = PlanOp> {
+    (0u8..12, 1u32..6).prop_map(|(op, k)| match op {
+        0 => PlanOp::PushSource,
+        1 => PlanOp::Dup,
+        2 => PlanOp::Select(k),
+        3 => PlanOp::Filter(k),
+        4 => PlanOp::SelectMany(k),
+        5 => PlanOp::GroupBy(k),
+        6 => PlanOp::Shave,
+        7 => PlanOp::Join(k),
+        8 => PlanOp::Union,
+        9 => PlanOp::Intersect,
+        10 => PlanOp::Concat,
+        _ => PlanOp::Except,
+    })
+}
+
+/// Builds a `Plan<u32>` from a random program. Binary instructions are skipped when the
+/// stack holds a single plan; the final plan is the top of the stack.
+fn build_plan(source: &Plan<u32>, program: &[PlanOp]) -> Plan<u32> {
+    let mut stack: Vec<Plan<u32>> = vec![source.clone()];
+    for op in program {
+        match op {
+            PlanOp::PushSource => stack.push(source.clone()),
+            PlanOp::Dup => {
+                let top = stack.last().expect("stack never empties").clone();
+                stack.push(top);
+            }
+            PlanOp::Select(k) => {
+                let m = 2 + *k;
+                let top = stack.pop().unwrap();
+                stack.push(top.select(move |x| x % m));
+            }
+            PlanOp::Filter(k) => {
+                let m = 1 + *k;
+                let top = stack.pop().unwrap();
+                stack.push(top.filter(move |x| x % m != 0));
+            }
+            PlanOp::SelectMany(k) => {
+                let m = 1 + *k % 4;
+                let top = stack.pop().unwrap();
+                stack.push(top.select_many_unit(move |x| (0..(x % m)).collect::<Vec<_>>()));
+            }
+            PlanOp::GroupBy(k) => {
+                let m = 1 + *k;
+                let top = stack.pop().unwrap();
+                stack.push(
+                    top.group_by(move |x| x % m, |g| g.len() as u64)
+                        .select(|(key, count)| key.wrapping_mul(31).wrapping_add(*count as u32)),
+                );
+            }
+            PlanOp::Shave => {
+                let top = stack.pop().unwrap();
+                stack.push(
+                    top.shave_const(1.0)
+                        .select(|(x, i)| x.wrapping_mul(17).wrapping_add(*i as u32)),
+                );
+            }
+            PlanOp::Join(k) => {
+                if stack.len() < 2 {
+                    continue;
+                }
+                let m = 1 + *k;
+                let right = stack.pop().unwrap();
+                let left = stack.pop().unwrap();
+                stack.push(left.join(
+                    &right,
+                    move |x| x % m,
+                    move |y| y % m,
+                    |x, y| x.wrapping_mul(7).wrapping_add(*y),
+                ));
+            }
+            PlanOp::Union | PlanOp::Intersect | PlanOp::Concat | PlanOp::Except => {
+                if stack.len() < 2 {
+                    continue;
+                }
+                let right = stack.pop().unwrap();
+                let left = stack.pop().unwrap();
+                stack.push(match op {
+                    PlanOp::Union => left.union(&right),
+                    PlanOp::Intersect => left.intersect(&right),
+                    PlanOp::Concat => left.concat(&right),
+                    _ => left.except(&right),
+                });
+            }
+        }
+    }
+    stack.pop().expect("stack never empties")
 }
 
 proptest! {
@@ -163,6 +287,73 @@ proptest! {
         let batch_rotated = batch::select(&batch_paths, |p| (p.1, p.2, p.0));
         let expected = batch::intersect(&batch_rotated, &batch_paths);
         prop_assert!(triangles.snapshot().approx_eq(&expected, 1e-6));
+    }
+
+    #[test]
+    fn random_plans_agree_between_batch_and_incremental(
+        program in proptest::collection::vec(plan_op(), 1..10),
+        deltas in delta_sequence(),
+    ) {
+        let source = Plan::<u32>::source();
+        let plan = build_plan(&source, &program);
+
+        // Incremental: lower the plan onto a delta stream and feed deltas one at a time.
+        let (input, stream) = DataflowInput::<u32>::new();
+        let mut streams = StreamBindings::new();
+        streams.bind(&source, stream);
+        let lowered = plan.lower(&streams).collect();
+        for d in &deltas {
+            input.push(std::slice::from_ref(d));
+        }
+
+        // Batch: evaluate the very same plan value over the accumulated input.
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&source, accumulate(&deltas));
+        let expected = plan.eval(&bindings);
+
+        prop_assert!(
+            lowered.snapshot().approx_eq(&expected, 1e-6),
+            "plan {program:?} diverged: incremental norm {} vs batch norm {}",
+            lowered.snapshot().norm(),
+            expected.norm()
+        );
+    }
+
+    #[test]
+    fn random_plan_scorers_track_batch_distance(
+        program in proptest::collection::vec(plan_op(), 1..8),
+        deltas in delta_sequence(),
+    ) {
+        let source = Plan::<u32>::source();
+        let plan = build_plan(&source, &program);
+        let targets: HashMap<u32, f64> = (0u32..6).map(|i| (i, i as f64 / 2.0)).collect();
+
+        let (input, stream) = DataflowInput::<u32>::new();
+        let mut streams = StreamBindings::new();
+        streams.bind(&source, stream);
+        let scorer = plan.lower(&streams).l1_scorer(targets.clone());
+        for d in &deltas {
+            input.push(std::slice::from_ref(d));
+        }
+        prop_assert!((scorer.distance() - scorer.recompute_distance()).abs() < 1e-6);
+
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&source, accumulate(&deltas));
+        let q = plan.eval(&bindings);
+        let mut expected = 0.0;
+        for (r, m) in &targets {
+            expected += (q.weight(r) - m).abs();
+        }
+        for (r, w) in q.iter() {
+            if !targets.contains_key(r) {
+                expected += w.abs();
+            }
+        }
+        prop_assert!(
+            (scorer.distance() - expected).abs() < 1e-6,
+            "plan {program:?}: scorer {} vs batch distance {expected}",
+            scorer.distance()
+        );
     }
 
     #[test]

@@ -259,9 +259,17 @@ mod tests {
     fn registry_graphs_can_be_generated() {
         // Generate the two cheap full-scale graphs through the registry interface.
         let entries = registry();
-        let caltech = entries.iter().find(|e| e.name == "Caltech").unwrap().graph();
+        let caltech = entries
+            .iter()
+            .find(|e| e.name == "Caltech")
+            .unwrap()
+            .graph();
         assert_eq!(caltech.num_nodes(), 769);
-        let grqc = entries.iter().find(|e| e.name == "CA-GrQc").unwrap().graph();
+        let grqc = entries
+            .iter()
+            .find(|e| e.name == "CA-GrQc")
+            .unwrap()
+            .graph();
         assert!(grqc.num_edges() > 15_000);
     }
 }

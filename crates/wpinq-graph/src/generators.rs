@@ -117,7 +117,10 @@ pub fn powerlaw_cluster<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Graph {
     assert!(m >= 1 && n > m, "need n > m >= 1");
-    assert!((0.0..=1.0).contains(&p_triangle), "p_triangle must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&p_triangle),
+        "p_triangle must be a probability"
+    );
     let mut g = Graph::new(n);
     let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * m);
     for a in 0..=(m as u32) {
@@ -139,8 +142,10 @@ pub fn powerlaw_cluster<R: Rng + ?Sized>(
                 if rng.gen::<f64>() < p_triangle {
                     // Sort so the choice does not depend on hash-set iteration order, which
                     // would make the generator non-deterministic across runs.
-                    let mut neighbours: Vec<u32> =
-                        g.neighbors(prev).filter(|w| *w != v && !g.has_edge(v, *w)).collect();
+                    let mut neighbours: Vec<u32> = g
+                        .neighbors(prev)
+                        .filter(|w| *w != v && !g.has_edge(v, *w))
+                        .collect();
                     neighbours.sort_unstable();
                     if let Some(&w) = neighbours.as_slice().choose(rng) {
                         if g.add_edge(v, w) {
@@ -226,8 +231,12 @@ pub fn degree_preserving_rewire<R: Rng + ?Sized>(
     let max_attempts = swaps.saturating_mul(20).max(100);
     while applied < swaps && attempts < max_attempts {
         attempts += 1;
-        let Some(ab) = graph.random_edge(rng) else { break };
-        let Some(cd) = graph.random_edge(rng) else { break };
+        let Some(ab) = graph.random_edge(rng) else {
+            break;
+        };
+        let Some(cd) = graph.random_edge(rng) else {
+            break;
+        };
         // Randomise the orientation of the second edge so both pairings are reachable.
         let cd = if rng.gen::<bool>() { cd } else { (cd.1, cd.0) };
         if let Some(swap) = graph.propose_swap(ab, cd) {
@@ -268,7 +277,10 @@ mod tests {
         // Roughly n·m edges (minus the seed clique adjustment).
         assert!(g.num_edges() > 450 * 4 && g.num_edges() <= 500 * 4 + 20);
         let dmax = stats::max_degree(&g);
-        assert!(dmax > 20, "preferential attachment should create hubs, dmax = {dmax}");
+        assert!(
+            dmax > 20,
+            "preferential attachment should create hubs, dmax = {dmax}"
+        );
     }
 
     #[test]
@@ -286,7 +298,10 @@ mod tests {
             dmaxes[1] > dmaxes[0],
             "beta 0.7 should produce a larger hub than beta 0.5: {dmaxes:?}"
         );
-        assert!(sums[1] > sums[0], "sum of degree squares should grow with beta: {sums:?}");
+        assert!(
+            sums[1] > sums[0],
+            "sum of degree squares should grow with beta: {sums:?}"
+        );
     }
 
     #[test]

@@ -125,15 +125,12 @@ impl Graph {
 
     /// Degree of node `v` (0 for out-of-range ids).
     pub fn degree(&self, v: u32) -> usize {
-        self.adjacency
-            .get(v as usize)
-            .map(|s| s.len())
-            .unwrap_or(0)
+        self.adjacency.get(v as usize).map(|s| s.len()).unwrap_or(0)
     }
 
     /// Iterates over node ids.
     pub fn nodes(&self) -> impl Iterator<Item = u32> + '_ {
-        (0..self.adjacency.len() as u32).into_iter()
+        0..self.adjacency.len() as u32
     }
 
     /// The neighbours of `v`.

@@ -139,7 +139,10 @@ mod tests {
             .noisy_count(epsilon, &mut rng)
             .unwrap();
         GraphCandidate::new(seed, |stream| {
-            vec![tbi_scorer(stream, &tbi), degree_sequence_scorer(stream, &seq)]
+            vec![
+                tbi_scorer(stream, &tbi),
+                degree_sequence_scorer(stream, &seq),
+            ]
         })
     }
 

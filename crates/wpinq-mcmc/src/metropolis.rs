@@ -82,7 +82,10 @@ pub struct MetropolisHastings {
 impl MetropolisHastings {
     /// Creates a driver with the given ε and focusing exponent.
     pub fn new(epsilon: f64, pow: f64) -> Self {
-        assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
+        assert!(
+            epsilon > 0.0 && epsilon.is_finite(),
+            "epsilon must be positive"
+        );
         assert!(pow > 0.0 && pow.is_finite(), "pow must be positive");
         MetropolisHastings { epsilon, pow }
     }

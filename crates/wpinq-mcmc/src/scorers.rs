@@ -1,20 +1,28 @@
-//! Incremental query pipelines and measurement scorers for candidate graphs.
+//! Measurement scorers for candidate graphs, built from the analyses' *plan* definitions.
 //!
-//! Each function mirrors one of the batch queries in `wpinq-analyses` as a `wpinq-dataflow`
-//! pipeline over the candidate's symmetric directed edge stream, and attaches an
-//! [`L1Scorer`](wpinq_dataflow::L1Scorer) sink against the released noisy measurement. The
-//! sum of the sink distances is the energy `‖Q(A) − m‖₁` the MCMC acceptance test uses.
+//! Each scorer takes the very plan that produced the released measurement (degree CCDF /
+//! sequence, TbD, TbI, JDD from `wpinq-analyses`), lowers it onto the candidate's
+//! symmetric directed edge stream through the plan IR's incremental compiler, and attaches
+//! an [`L1Scorer`](wpinq_dataflow::L1Scorer) sink against the released values. The sum of
+//! the sink distances is the energy `‖Q(A) − m‖₁` the MCMC acceptance test uses.
+//!
+//! Before the plan IR existed this module hand-wired a second copy of every query as a
+//! `Stream` pipeline; now batch measurement, incremental scoring, and privacy accounting
+//! all flow from the single definition in `wpinq-analyses`.
 //!
 //! The pipelines run over *public* synthetic candidates and *released* measurements only;
 //! no protected data is touched here, which is why no privacy accounting appears.
 
 use std::collections::HashMap;
 
+use wpinq::plan::Plan;
 use wpinq::NoisyCounts;
 use wpinq::Record;
-use wpinq_analyses::jdd::jdd_record_weight;
-use wpinq_analyses::tbi::TbiMeasurement;
-use wpinq_analyses::triangles::TbdMeasurement;
+use wpinq_analyses::degree::{degree_ccdf_plan, degree_sequence_plan};
+use wpinq_analyses::edges::EdgeSource;
+use wpinq_analyses::jdd::{jdd_plan, jdd_record_weight};
+use wpinq_analyses::tbi::{tbi_plan, TbiMeasurement};
+use wpinq_analyses::triangles::{tbd_plan, TbdMeasurement};
 use wpinq_dataflow::{ScorerHandle, Stream};
 
 /// A directed edge record, matching `wpinq_analyses::edges::Edge`.
@@ -57,12 +65,26 @@ fn observed_targets<T: Record>(counts: &NoisyCounts<T>) -> HashMap<T, f64> {
         .collect()
 }
 
-/// The incremental length-two-path pipeline `(a, b, c)` with `a ≠ c` (weight `1/(2·d_b)`),
-/// shared by the triangle scorers.
-pub fn paths_stream(edges: &Stream<Edge>) -> Stream<(u32, u32, u32)> {
-    edges
-        .join(edges, |e| e.1, |e| e.0, |x, y| (x.0, x.1, y.1))
-        .filter(|p| p.0 != p.2)
+/// Lowers an analysis plan onto the candidate's edge stream and scores it against explicit
+/// measurement targets.
+fn plan_scorer<T, F>(
+    edges: &Stream<Edge>,
+    epsilon: f64,
+    targets: HashMap<T, f64>,
+    build: F,
+    label: &str,
+) -> Box<dyn DistanceSink>
+where
+    T: Record,
+    F: FnOnce(&Plan<Edge>) -> Plan<T>,
+{
+    let source = EdgeSource::new();
+    let measurement = build(source.plan()).noisy_count(epsilon);
+    let handle = measurement.lower_scorer_targets(&source.bind_stream(edges.clone()), targets);
+    Box::new(LabelledScorer {
+        handle,
+        label: label.to_string(),
+    })
 }
 
 /// Scores the candidate's degree CCDF against a released noisy CCDF.
@@ -70,15 +92,13 @@ pub fn degree_ccdf_scorer(
     edges: &Stream<Edge>,
     measurement: &NoisyCounts<u64>,
 ) -> Box<dyn DistanceSink> {
-    let handle = edges
-        .select(|e| e.0)
-        .shave_const(1.0)
-        .select(|(_, i)| *i)
-        .l1_scorer(observed_targets(measurement));
-    Box::new(LabelledScorer {
-        handle,
-        label: "degree-ccdf".to_string(),
-    })
+    plan_scorer(
+        edges,
+        measurement.epsilon(),
+        observed_targets(measurement),
+        degree_ccdf_plan,
+        "degree-ccdf",
+    )
 }
 
 /// Scores the candidate's (non-increasing) degree sequence against a released measurement.
@@ -86,56 +106,37 @@ pub fn degree_sequence_scorer(
     edges: &Stream<Edge>,
     measurement: &NoisyCounts<u64>,
 ) -> Box<dyn DistanceSink> {
-    let handle = edges
-        .select(|e| e.0)
-        .shave_const(1.0)
-        .select(|(_, i)| *i)
-        .shave_const(1.0)
-        .select(|(_, i)| *i)
-        .l1_scorer(observed_targets(measurement));
-    Box::new(LabelledScorer {
-        handle,
-        label: "degree-sequence".to_string(),
-    })
+    plan_scorer(
+        edges,
+        measurement.epsilon(),
+        observed_targets(measurement),
+        degree_sequence_plan,
+        "degree-sequence",
+    )
 }
 
 /// Scores the candidate's Triangles-by-Intersect signal against a released [`TbiMeasurement`].
 pub fn tbi_scorer(edges: &Stream<Edge>, measurement: &TbiMeasurement) -> Box<dyn DistanceSink> {
-    let paths = paths_stream(edges);
-    let handle = paths
-        .select(|p| (p.1, p.2, p.0))
-        .intersect(&paths)
-        .select(|_| ())
-        .l1_scorer(HashMap::from([((), measurement.noisy_signal)]));
-    Box::new(LabelledScorer {
-        handle,
-        label: "triangles-by-intersect".to_string(),
-    })
+    plan_scorer(
+        edges,
+        measurement.epsilon,
+        HashMap::from([((), measurement.noisy_signal)]),
+        tbi_plan,
+        "triangles-by-intersect",
+    )
 }
 
 /// Scores the candidate's (bucketed) Triangles-by-Degree weights against a released
 /// [`TbdMeasurement`].
 pub fn tbd_scorer(edges: &Stream<Edge>, measurement: &TbdMeasurement) -> Box<dyn DistanceSink> {
     let bucket = measurement.bucket().max(1);
-    let paths = paths_stream(edges);
-    let degrees = edges.group_by(|e| e.0, move |group| group.len() as u64 / bucket);
-    let abc = paths.join(&degrees, |p| p.1, |d| d.0, |p, d| (*p, d.1));
-    let bca = abc.select(|(p, d)| ((p.1, p.2, p.0), *d));
-    let cab = bca.select(|(p, d)| ((p.1, p.2, p.0), *d));
-    let tris = abc
-        .join(&bca, |x| x.0, |y| y.0, |x, y| (x.0, x.1, y.1))
-        .join(&cab, |x| x.0, |y| y.0, |x, y| (y.1, x.1, x.2));
-    let handle = tris
-        .select(|(d1, d2, d3)| {
-            let mut t = [*d1, *d2, *d3];
-            t.sort_unstable();
-            (t[0], t[1], t[2])
-        })
-        .l1_scorer(observed_targets(measurement.counts()));
-    Box::new(LabelledScorer {
-        handle,
-        label: "triangles-by-degree".to_string(),
-    })
+    plan_scorer(
+        edges,
+        measurement.epsilon(),
+        observed_targets(measurement.counts()),
+        |source| tbd_plan(source, bucket),
+        "triangles-by-degree",
+    )
 }
 
 /// Scores the candidate's joint degree distribution against released noisy JDD counts.
@@ -143,15 +144,13 @@ pub fn jdd_scorer(
     edges: &Stream<Edge>,
     measurement: &NoisyCounts<(u64, u64)>,
 ) -> Box<dyn DistanceSink> {
-    let degrees = edges.group_by(|e| e.0, |group| group.len() as u64);
-    let temp = degrees.join(edges, |d| d.0, |e| e.0, |d, e| (*e, d.1));
-    let handle = temp
-        .join(&temp, |t| t.0, |t| (t.0 .1, t.0 .0), |x, y| (x.1, y.1))
-        .l1_scorer(observed_targets(measurement));
-    Box::new(LabelledScorer {
-        handle,
-        label: "joint-degree-distribution".to_string(),
-    })
+    plan_scorer(
+        edges,
+        measurement.epsilon(),
+        observed_targets(measurement),
+        jdd_plan,
+        "joint-degree-distribution",
+    )
 }
 
 /// The expected JDD weight for a degree pair, re-exported for reporting convenience.
@@ -221,8 +220,7 @@ mod tests {
         let g = toy_graph();
         let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
         let mut rng = StdRng::seed_from_u64(3);
-        let measurement =
-            TbdMeasurement::measure(&edges.queryable(), 1e6, 1, &mut rng).unwrap();
+        let measurement = TbdMeasurement::measure(&edges.queryable(), 1e6, 1, &mut rng).unwrap();
 
         let (input, stream) = DataflowInput::<Edge>::new();
         let sink = tbd_scorer(&stream, &measurement);
@@ -249,5 +247,22 @@ mod tests {
         input.push_dataset(&symmetric_edge_dataset(&g));
         assert!(sink.distance() < 1e-3);
         assert!((jdd_target_weight(2, 3) - 1.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scorer_epsilon_annotation_matches_the_released_measurement() {
+        // The Measurement sink carries the ε the release was taken at, so the scorer and
+        // the accountant agree on the measurement's identity.
+        let g = toy_graph();
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let mut rng = StdRng::seed_from_u64(5);
+        let released = degree_ccdf_query(&edges.queryable())
+            .noisy_count(0.25, &mut rng)
+            .unwrap();
+        assert_eq!(released.epsilon(), 0.25);
+        let source = EdgeSource::new();
+        let measurement = degree_ccdf_plan(source.plan()).noisy_count(released.epsilon());
+        let id = source.plan().input_id().unwrap();
+        assert!((measurement.cost_for(id) - 0.25).abs() < 1e-12);
     }
 }

@@ -94,9 +94,14 @@ mod tests {
         let m = DegreeMeasurements::measure(&edges.queryable(), 1e7, &mut rng).unwrap();
         let seed = seed_graph_from_measurements(&m, &mut rng);
         // Node and edge counts are within a few percent of the secret graph's.
-        assert!((seed.num_nodes() as f64 - g.num_nodes() as f64).abs() < 0.05 * g.num_nodes() as f64);
+        assert!(
+            (seed.num_nodes() as f64 - g.num_nodes() as f64).abs() < 0.05 * g.num_nodes() as f64
+        );
         let edge_ratio = seed.num_edges() as f64 / g.num_edges() as f64;
-        assert!(edge_ratio > 0.9 && edge_ratio <= 1.01, "edge ratio {edge_ratio}");
+        assert!(
+            edge_ratio > 0.9 && edge_ratio <= 1.01,
+            "edge ratio {edge_ratio}"
+        );
         // But the seed is a *random* graph: it should not reproduce the triangle richness.
         assert!(stats::triangle_count(&seed) < stats::triangle_count(&g));
     }

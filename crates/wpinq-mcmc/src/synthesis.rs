@@ -135,8 +135,7 @@ pub fn synthesize<R: Rng + ?Sized>(
     let edges = GraphEdges::new(secret, budget);
 
     // Phase 1: degree measurements and seed graph (3ε).
-    let degree_measurements =
-        DegreeMeasurements::measure(&edges.queryable(), config.epsilon, rng)?;
+    let degree_measurements = DegreeMeasurements::measure(&edges.queryable(), config.epsilon, rng)?;
     let seed = seed_graph_from_measurements(&degree_measurements, rng);
 
     // Phase 2 measurement: the triangle query.
@@ -168,7 +167,10 @@ pub fn synthesize<R: Rng + ?Sized>(
             TriangleMeasurement::TbI(m) => sinks.push(scorers::tbi_scorer(stream, m)),
         }
         if score_degrees {
-            sinks.push(scorers::degree_ccdf_scorer(stream, &degree_measurements.ccdf));
+            sinks.push(scorers::degree_ccdf_scorer(
+                stream,
+                &degree_measurements.ccdf,
+            ));
             sinks.push(scorers::degree_sequence_scorer(
                 stream,
                 &degree_measurements.sequence,
@@ -207,8 +209,7 @@ pub fn run_mcmc<R: Rng + ?Sized>(
             StepOutcome::Accepted => accepted += 1,
             StepOutcome::Rejected | StepOutcome::NoProposal => rejected += 1,
         }
-        if config.record_every > 0 && step % config.record_every == 0 && step != config.mcmc_steps
-        {
+        if config.record_every > 0 && step % config.record_every == 0 && step != config.mcmc_steps {
             trajectory.push(TrajectoryPoint {
                 step,
                 triangles: stats::triangle_count(candidate.graph()),
@@ -304,7 +305,10 @@ mod tests {
         assert!(result.accepted > 0);
         // The edge-swap walk preserves the seed's degree structure.
         assert_eq!(result.final_summary.edges, result.seed_summary.edges);
-        assert_eq!(result.final_summary.max_degree, result.seed_summary.max_degree);
+        assert_eq!(
+            result.final_summary.max_degree,
+            result.seed_summary.max_degree
+        );
         assert_eq!(
             result.final_summary.sum_degree_squares,
             result.seed_summary.sum_degree_squares

@@ -5,15 +5,12 @@
 //! source it touches, where `k` is the number of times the query plan uses that source
 //! (Section 2.3 of the paper). Once the budget is exhausted, further measurements fail.
 
-use std::sync::Arc;
-
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex};
 
 use crate::error::BudgetError;
 
 /// A finite differential-privacy budget with running expenditure.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PrivacyBudget {
     total: f64,
     spent: f64,
@@ -105,27 +102,30 @@ impl BudgetHandle {
 
     /// Budget still available.
     pub fn remaining(&self) -> f64 {
-        self.inner.lock().remaining()
+        self.inner.lock().expect("budget poisoned").remaining()
     }
 
     /// Privacy cost spent so far.
     pub fn spent(&self) -> f64 {
-        self.inner.lock().spent()
+        self.inner.lock().expect("budget poisoned").spent()
     }
 
     /// Total budget granted at construction.
     pub fn total(&self) -> f64 {
-        self.inner.lock().total()
+        self.inner.lock().expect("budget poisoned").total()
     }
 
     /// Returns `true` when a charge of `epsilon` would be admitted.
     pub fn can_afford(&self, epsilon: f64) -> bool {
-        self.inner.lock().can_afford(epsilon)
+        self.inner
+            .lock()
+            .expect("budget poisoned")
+            .can_afford(epsilon)
     }
 
     /// Debits `epsilon`, failing (and charging nothing) if unaffordable.
     pub fn charge(&self, epsilon: f64) -> Result<(), BudgetError> {
-        self.inner.lock().charge(epsilon)
+        self.inner.lock().expect("budget poisoned").charge(epsilon)
     }
 
     /// Returns `true` when two handles refer to the same underlying budget.

@@ -22,6 +22,10 @@
 //! * Privacy accounting ([`budget`], [`protected`], [`queryable`]) — a PINQ-style front end
 //!   that tracks how many times each protected input is used by a query plan and charges
 //!   `k·ε` against its [`PrivacyBudget`](budget::PrivacyBudget) when a measurement is taken.
+//! * The query-plan IR ([`plan`]) — a typed [`Plan<T>`](plan::Plan) DAG expressing a query
+//!   **once**, with a batch evaluator, an incremental lowering onto the `wpinq-dataflow`
+//!   engine, and structural `k·ε` accounting. [`Queryable`] is a budget-aware wrapper over
+//!   it, and the analyses/MCMC crates share their query definitions through it.
 //!
 //! ## Quick example
 //!
@@ -54,21 +58,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod aggregation;
+pub use wpinq_core::{aggregation, dataset, noise, operators, record, weights};
+
+/// The incremental execution engine, re-exported so plan consumers can name its types
+/// (e.g. [`dataflow::Stream`] when binding a plan source to a delta stream).
+pub use wpinq_dataflow as dataflow;
+
 pub mod budget;
-pub mod dataset;
 pub mod error;
-pub mod noise;
-pub mod operators;
+pub mod plan;
 pub mod protected;
 pub mod queryable;
-pub mod record;
-pub mod weights;
 
 pub use aggregation::NoisyCounts;
 pub use budget::PrivacyBudget;
 pub use dataset::WeightedDataset;
 pub use error::{BudgetError, WpinqError};
+pub use plan::{Plan, PlanBindings, StreamBindings};
 pub use protected::ProtectedDataset;
 pub use queryable::Queryable;
 pub use record::Record;
@@ -81,6 +87,7 @@ pub mod prelude {
     pub use crate::error::{BudgetError, WpinqError};
     pub use crate::noise::Laplace;
     pub use crate::operators;
+    pub use crate::plan::{Plan, PlanBindings, StreamBindings};
     pub use crate::protected::ProtectedDataset;
     pub use crate::queryable::Queryable;
     pub use crate::record::Record;

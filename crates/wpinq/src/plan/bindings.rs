@@ -1,0 +1,123 @@
+//! Bindings from plan sources to concrete inputs of the two engines.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use wpinq_core::dataset::WeightedDataset;
+use wpinq_core::record::Record;
+use wpinq_dataflow::Stream;
+
+use super::{InputId, Plan};
+
+fn input_id_of<T: Record>(source: &Plan<T>, what: &str) -> InputId {
+    source
+        .input_id()
+        .unwrap_or_else(|| panic!("{what} can only bind source plans (Plan::source())"))
+}
+
+/// Maps plan sources to the [`WeightedDataset`]s the batch evaluator reads.
+///
+/// Datasets are stored behind `Rc`, so cloning bindings (as the plan-backed
+/// [`Queryable`](crate::Queryable) does when merging two query branches) never copies
+/// record data.
+#[derive(Clone, Default)]
+pub struct PlanBindings {
+    datasets: HashMap<InputId, Rc<dyn Any>>,
+}
+
+impl PlanBindings {
+    /// Creates an empty binding set.
+    pub fn new() -> Self {
+        PlanBindings::default()
+    }
+
+    /// Binds `source` (which must be a [`Plan::source`]) to `data`.
+    ///
+    /// # Panics
+    /// Panics if `source` is not a source plan.
+    pub fn bind<T: Record>(&mut self, source: &Plan<T>, data: WeightedDataset<T>) {
+        self.bind_shared(source, Rc::new(data));
+    }
+
+    /// Binds `source` to an already-shared dataset without copying it.
+    ///
+    /// # Panics
+    /// Panics if `source` is not a source plan.
+    pub fn bind_shared<T: Record>(&mut self, source: &Plan<T>, data: Rc<WeightedDataset<T>>) {
+        let id = input_id_of(source, "PlanBindings");
+        self.datasets.insert(id, data);
+    }
+
+    /// Returns `true` when the given input already has a dataset bound.
+    pub fn is_bound(&self, id: InputId) -> bool {
+        self.datasets.contains_key(&id)
+    }
+
+    /// Merges another binding set into this one (right side wins on conflicts, which only
+    /// arise when both sides bound the very same input — necessarily to the same data).
+    pub fn merge(&mut self, other: &PlanBindings) {
+        for (id, data) in &other.datasets {
+            self.datasets.insert(*id, data.clone());
+        }
+    }
+
+    pub(crate) fn get<T: Record>(&self, id: InputId) -> Rc<WeightedDataset<T>> {
+        let entry = self
+            .datasets
+            .get(&id)
+            .unwrap_or_else(|| panic!("unbound plan source {id:?}"))
+            .clone();
+        entry
+            .downcast::<WeightedDataset<T>>()
+            .unwrap_or_else(|_| panic!("plan source {id:?} bound at a different record type"))
+    }
+}
+
+impl std::fmt::Debug for PlanBindings {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PlanBindings({} sources)", self.datasets.len())
+    }
+}
+
+/// Maps plan sources to the dataflow [`Stream`]s the incremental lowering consumes.
+#[derive(Default)]
+pub struct StreamBindings {
+    streams: HashMap<InputId, Box<dyn Any>>,
+}
+
+impl StreamBindings {
+    /// Creates an empty binding set.
+    pub fn new() -> Self {
+        StreamBindings::default()
+    }
+
+    /// Binds `source` (which must be a [`Plan::source`]) to a delta stream.
+    ///
+    /// # Panics
+    /// Panics if `source` is not a source plan.
+    pub fn bind<T: Record>(&mut self, source: &Plan<T>, stream: Stream<T>) {
+        let id = input_id_of(source, "StreamBindings");
+        self.streams.insert(id, Box::new(stream));
+    }
+
+    /// Returns `true` when the given input already has a stream bound.
+    pub fn is_bound(&self, id: InputId) -> bool {
+        self.streams.contains_key(&id)
+    }
+
+    pub(crate) fn get<T: Record>(&self, id: InputId) -> Stream<T> {
+        self.streams
+            .get(&id)
+            .unwrap_or_else(|| panic!("unbound plan source {id:?}"))
+            .downcast_ref::<Stream<T>>()
+            .unwrap_or_else(|| panic!("plan source {id:?} bound at a different record type"))
+            .clone()
+    }
+}
+
+impl std::fmt::Debug for StreamBindings {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StreamBindings({} sources)", self.streams.len())
+    }
+}

@@ -1,0 +1,521 @@
+//! The wPINQ query-plan IR: one query definition, two execution engines.
+//!
+//! Historically this repository implemented the paper's operator algebra twice — once as
+//! batch kernels over [`WeightedDataset`] and once as hand-wired incremental
+//! [`Stream`](wpinq_dataflow::Stream) pipelines inside the MCMC engine — held consistent
+//! only by property tests. This module replaces that duplication with a single typed IR:
+//!
+//! * [`Plan<T>`] — an immutable DAG of operator nodes (`Select`, `Where`, `SelectMany`,
+//!   `GroupBy`, `Shave`, `Join`, `Union`, `Intersect`, `Concat`, `Except`) rooted at one or
+//!   more [`Plan::source`] inputs, producing records of type `T`.
+//! * A **batch evaluator** ([`Plan::eval`]): bind each source to a [`WeightedDataset`]
+//!   through [`PlanBindings`] and fold the DAG through the batch kernels in
+//!   [`wpinq_core::operators`].
+//! * An **incremental lowering** ([`Plan::lower`]): bind each source to a dataflow
+//!   [`Stream`](wpinq_dataflow::Stream) through [`StreamBindings`] and compile the DAG into
+//!   the `wpinq-dataflow` operator graph, so deltas pushed at the inputs propagate to the
+//!   lowered output stream (and to any [`L1Scorer`](wpinq_dataflow::L1Scorer) sinks hung
+//!   off it).
+//! * **Privacy accounting from the IR** ([`Plan::multiplicities`]): the number of times a
+//!   plan references each source — the `k` in PINQ's `k·ε` accounting rule — is computed
+//!   structurally, so the [`Queryable`](crate::Queryable) front end, the analyses, and the
+//!   MCMC scorers all charge budgets from the same definition they execute.
+//! * [`Measurement<T>`] — a `NoisyCount` sink with its per-node `ε` annotation, evaluable
+//!   as a batch [`NoisyCounts`](crate::NoisyCounts) release or lowerable as an incremental
+//!   L1 scorer against an already-released measurement.
+//!
+//! Shared subplans are evaluated once and lowered once: nodes are memoised by identity, so
+//! a plan that uses the same subquery twice (e.g. the length-two-path query intersected
+//! with its own rotation) produces a shared dataflow node exactly like the former
+//! hand-wired graphs did. Source *references*, by contrast, are counted once per use, which
+//! is what makes a self-join cost `2ε` per measurement (Section 2.3 of the paper).
+//!
+//! ```
+//! use wpinq::plan::{Plan, PlanBindings};
+//! use wpinq::WeightedDataset;
+//!
+//! // One definition…
+//! let edges = Plan::<(u32, u32)>::source();
+//! let degrees = edges.select(|e| e.0).shave_const(1.0).select(|(_, i)| *i);
+//!
+//! // …evaluated in batch:
+//! let mut bindings = PlanBindings::new();
+//! bindings.bind(&edges, WeightedDataset::from_records([(0u32, 1u32), (0, 2), (1, 2)]));
+//! let ccdf = degrees.eval(&bindings);
+//! assert_eq!(ccdf.weight(&0), 2.0); // two distinct sources: node 0 (twice) and node 1
+//!
+//! // …and the same definition lowers onto an incremental dataflow (see
+//! // `StreamBindings`), which is how the MCMC scorers consume it.
+//! assert_eq!(degrees.multiplicities().values().sum::<u32>(), 1);
+//! ```
+
+mod bindings;
+mod measurement;
+mod nodes;
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use wpinq_core::dataset::WeightedDataset;
+use wpinq_core::record::Record;
+use wpinq_dataflow::Stream;
+
+pub use bindings::{PlanBindings, StreamBindings};
+pub use measurement::Measurement;
+
+use nodes::{
+    BatchCtx, BinaryKind, BinaryNode, FilterNode, GroupByNode, InputNode, JoinNode, LowerCtx,
+    MultCtx, PlanNode, SelectManyNode, SelectNode, ShaveNode,
+};
+
+/// Identifies one source (input) of a plan.
+///
+/// Every [`Plan::source`] call mints a fresh id; bindings and privacy accounting are keyed
+/// by it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InputId(u64);
+
+static NEXT_INPUT_ID: AtomicU64 = AtomicU64::new(0);
+
+impl InputId {
+    fn fresh() -> Self {
+        InputId(NEXT_INPUT_ID.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// A typed wPINQ query plan producing records of type `T`.
+///
+/// Plans are cheap to clone (shared-node DAG) and immutable; every operator method returns
+/// a new plan referencing its parents. See the [module docs](self) for the big picture.
+pub struct Plan<T: Record> {
+    node: Rc<dyn PlanNode<T>>,
+}
+
+impl<T: Record> Clone for Plan<T> {
+    fn clone(&self) -> Self {
+        Plan {
+            node: self.node.clone(),
+        }
+    }
+}
+
+impl<T: Record> std::fmt::Debug for Plan<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Plan<{}>({})",
+            std::any::type_name::<T>(),
+            self.node.describe()
+        )
+    }
+}
+
+impl<T: Record> Plan<T> {
+    fn from_node(node: Rc<dyn PlanNode<T>>) -> Self {
+        Plan { node }
+    }
+
+    /// The identity key of the root node, used for evaluation memoisation.
+    pub(crate) fn node_key(&self) -> usize {
+        Rc::as_ptr(&self.node) as *const () as usize
+    }
+
+    // ---- sources ----------------------------------------------------------------------
+
+    /// Creates a fresh source (input) plan. Bind it to a dataset with
+    /// [`PlanBindings::bind`] before batch evaluation, or to a stream with
+    /// [`StreamBindings::bind`] before lowering.
+    pub fn source() -> Plan<T> {
+        Plan::from_node(Rc::new(InputNode::new(InputId::fresh())))
+    }
+
+    /// The input id when this plan is a bare source, `None` otherwise.
+    pub fn input_id(&self) -> Option<InputId> {
+        self.node.as_input()
+    }
+
+    // ---- stable transformations -------------------------------------------------------
+
+    /// Per-record transformation; weights of colliding outputs accumulate (Section 2.4).
+    pub fn select<U, F>(&self, f: F) -> Plan<U>
+    where
+        U: Record,
+        F: Fn(&T) -> U + 'static,
+    {
+        Plan::from_node(Rc::new(SelectNode::new(self.clone(), f)))
+    }
+
+    /// Per-record filtering (`Where`, Section 2.4).
+    pub fn filter<P>(&self, predicate: P) -> Plan<T>
+    where
+        P: Fn(&T) -> bool + 'static,
+    {
+        Plan::from_node(Rc::new(FilterNode::new(self.clone(), predicate)))
+    }
+
+    /// One-to-many transformation with data-dependent normalisation (Section 2.4).
+    pub fn select_many<U, F>(&self, f: F) -> Plan<U>
+    where
+        U: Record,
+        F: Fn(&T) -> WeightedDataset<U> + 'static,
+    {
+        Plan::from_node(Rc::new(SelectManyNode::new(self.clone(), f)))
+    }
+
+    /// One-to-many transformation where each produced record carries unit weight.
+    pub fn select_many_unit<U, I, F>(&self, f: F) -> Plan<U>
+    where
+        U: Record,
+        I: IntoIterator<Item = U>,
+        F: Fn(&T) -> I + 'static,
+    {
+        self.select_many(move |record| WeightedDataset::from_records(f(record)))
+    }
+
+    /// Groups records by key and reduces each group with the prefix-halving weight rule
+    /// (Section 2.5).
+    pub fn group_by<K, R, KF, RF>(&self, key: KF, reduce: RF) -> Plan<(K, R)>
+    where
+        K: Record,
+        R: Record,
+        KF: Fn(&T) -> K + 'static,
+        RF: Fn(&[T]) -> R + 'static,
+    {
+        Plan::from_node(Rc::new(GroupByNode::new(self.clone(), key, reduce)))
+    }
+
+    /// Decomposes heavy records into indexed slices following a per-record weight schedule
+    /// (Section 2.8).
+    pub fn shave<F, I>(&self, schedule: F) -> Plan<(T, u64)>
+    where
+        F: Fn(&T) -> I + 'static,
+        I: IntoIterator<Item = f64>,
+        I::IntoIter: 'static,
+    {
+        Plan::from_node(Rc::new(ShaveNode::new(self.clone(), move |record: &T| {
+            Box::new(schedule(record).into_iter()) as Box<dyn Iterator<Item = f64>>
+        })))
+    }
+
+    /// [`shave`](Self::shave) with a constant per-slice weight.
+    ///
+    /// # Panics
+    /// Panics if `step` is not strictly positive and finite.
+    pub fn shave_const(&self, step: f64) -> Plan<(T, u64)> {
+        assert!(
+            step > 0.0 && step.is_finite(),
+            "shave step must be positive and finite, got {step}"
+        );
+        self.shave(move |_| std::iter::repeat(step))
+    }
+
+    /// The weight-rescaling equi-join of Section 2.7. Source multiplicities of both inputs
+    /// add, so a self-join doubles the privacy cost of its source.
+    pub fn join<U, K, R, KA, KB, RF>(
+        &self,
+        other: &Plan<U>,
+        key_self: KA,
+        key_other: KB,
+        result: RF,
+    ) -> Plan<R>
+    where
+        U: Record,
+        K: Record,
+        R: Record,
+        KA: Fn(&T) -> K + 'static,
+        KB: Fn(&U) -> K + 'static,
+        RF: Fn(&T, &U) -> R + 'static,
+    {
+        Plan::from_node(Rc::new(JoinNode::new(
+            self.clone(),
+            other.clone(),
+            key_self,
+            key_other,
+            result,
+        )))
+    }
+
+    /// Element-wise maximum (Section 2.6).
+    pub fn union(&self, other: &Plan<T>) -> Plan<T> {
+        Plan::from_node(Rc::new(BinaryNode::new(
+            self.clone(),
+            other.clone(),
+            BinaryKind::Union,
+        )))
+    }
+
+    /// Element-wise minimum (Section 2.6).
+    pub fn intersect(&self, other: &Plan<T>) -> Plan<T> {
+        Plan::from_node(Rc::new(BinaryNode::new(
+            self.clone(),
+            other.clone(),
+            BinaryKind::Intersect,
+        )))
+    }
+
+    /// Element-wise addition (Section 2.6).
+    pub fn concat(&self, other: &Plan<T>) -> Plan<T> {
+        Plan::from_node(Rc::new(BinaryNode::new(
+            self.clone(),
+            other.clone(),
+            BinaryKind::Concat,
+        )))
+    }
+
+    /// Element-wise subtraction (Section 2.6).
+    pub fn except(&self, other: &Plan<T>) -> Plan<T> {
+        Plan::from_node(Rc::new(BinaryNode::new(
+            self.clone(),
+            other.clone(),
+            BinaryKind::Except,
+        )))
+    }
+
+    // ---- sinks ------------------------------------------------------------------------
+
+    /// Annotates this plan with a `NoisyCount(·, ε)` measurement sink.
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is not strictly positive and finite.
+    pub fn noisy_count(&self, epsilon: f64) -> Measurement<T> {
+        Measurement::new(self.clone(), epsilon)
+    }
+
+    // ---- evaluation -------------------------------------------------------------------
+
+    /// Evaluates the plan in batch over the bound source datasets.
+    ///
+    /// Shared subplans are computed once. The result is freshly computed on every call;
+    /// callers that evaluate repeatedly should cache (as [`Queryable`](crate::Queryable)
+    /// does).
+    ///
+    /// # Panics
+    /// Panics if a source reached by the plan is unbound or bound at a different record
+    /// type.
+    pub fn eval(&self, bindings: &PlanBindings) -> WeightedDataset<T> {
+        let shared = self.eval_shared(bindings);
+        // The memo table is gone by now, so for any non-source root this is the only
+        // reference and the dataset moves out without a copy.
+        Rc::try_unwrap(shared).unwrap_or_else(|rc| (*rc).clone())
+    }
+
+    /// [`eval`](Self::eval) returning a shared handle, for callers that keep the result
+    /// alongside the bindings (avoids copying the dataset of source-rooted plans).
+    pub fn eval_shared(&self, bindings: &PlanBindings) -> Rc<WeightedDataset<T>> {
+        let mut ctx = BatchCtx::new(bindings);
+        self.eval_node(&mut ctx)
+    }
+
+    pub(crate) fn eval_node(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<T>> {
+        if let Some(hit) = ctx.lookup::<T>(self.node_key()) {
+            return hit;
+        }
+        let computed = self.node.eval_batch(ctx);
+        ctx.store::<T>(self.node_key(), computed.clone());
+        computed
+    }
+
+    /// Compiles the plan into the incremental dataflow graph rooted at the bound source
+    /// streams, returning the output stream.
+    ///
+    /// Shared subplans lower to shared dataflow nodes. Deltas subsequently pushed into the
+    /// source streams propagate through the compiled operators to the returned stream.
+    ///
+    /// # Panics
+    /// Panics if a source reached by the plan is unbound or bound at a different record
+    /// type.
+    pub fn lower(&self, bindings: &StreamBindings) -> Stream<T> {
+        let mut ctx = LowerCtx::new(bindings);
+        self.lower_node(&mut ctx)
+    }
+
+    pub(crate) fn lower_node(&self, ctx: &mut LowerCtx<'_>) -> Stream<T> {
+        if let Some(hit) = ctx.lookup::<T>(self.node_key()) {
+            return hit;
+        }
+        let lowered = self.node.lower(ctx);
+        ctx.store::<T>(self.node_key(), lowered.clone());
+        lowered
+    }
+
+    /// How many times this plan references each source — the `k` of the `k·ε` accounting
+    /// rule. Shared subplans are *not* deduplicated: every reference along every path
+    /// counts, so a self-join contributes 2.
+    pub fn multiplicities(&self) -> BTreeMap<InputId, u32> {
+        let mut ctx = MultCtx::new();
+        (*self.mult_node(&mut ctx)).clone()
+    }
+
+    /// The multiplicity of one source (0 when the plan never touches it).
+    pub fn multiplicity_of(&self, id: InputId) -> u32 {
+        self.multiplicities().get(&id).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn mult_node(&self, ctx: &mut MultCtx) -> Rc<BTreeMap<InputId, u32>> {
+        if let Some(hit) = ctx.lookup(self.node_key()) {
+            return hit;
+        }
+        let computed = Rc::new(self.node.multiplicities(ctx));
+        ctx.store(self.node_key(), computed.clone());
+        computed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use wpinq_core::operators as batch;
+    use wpinq_dataflow::DataflowInput;
+
+    fn edge_data() -> WeightedDataset<(u32, u32)> {
+        WeightedDataset::from_records([
+            (1u32, 2u32),
+            (2, 1),
+            (2, 3),
+            (3, 2),
+            (1, 3),
+            (3, 1),
+            (3, 4),
+            (4, 3),
+        ])
+    }
+
+    /// The paper's length-two-paths query as a plan over a symmetric edge source.
+    fn paths_plan(edges: &Plan<(u32, u32)>) -> Plan<(u32, u32, u32)> {
+        edges
+            .join(edges, |e| e.1, |e| e.0, |x, y| (x.0, x.1, y.1))
+            .filter(|p| p.0 != p.2)
+    }
+
+    #[test]
+    fn batch_evaluation_matches_direct_operator_calls() {
+        let edges = Plan::<(u32, u32)>::source();
+        let plan = paths_plan(&edges);
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&edges, edge_data());
+        let via_plan = plan.eval(&bindings);
+        let direct = batch::filter(
+            &batch::join(
+                &edge_data(),
+                &edge_data(),
+                |e| e.1,
+                |e| e.0,
+                |x, y| (x.0, x.1, y.1),
+            ),
+            |p| p.0 != p.2,
+        );
+        assert!(via_plan.approx_eq(&direct, 1e-12));
+    }
+
+    #[test]
+    fn lowering_matches_batch_after_loading_the_dataset() {
+        let edges = Plan::<(u32, u32)>::source();
+        let paths = paths_plan(&edges);
+        let tbi = paths.select(|p| (p.1, p.2, p.0)).intersect(&paths);
+
+        let (input, stream) = DataflowInput::new();
+        let mut streams = StreamBindings::new();
+        streams.bind(&edges, stream);
+        let out = tbi.lower(&streams).collect();
+        input.push_dataset(&edge_data());
+
+        let mut data = PlanBindings::new();
+        data.bind(&edges, edge_data());
+        assert!(out.snapshot().approx_eq(&tbi.eval(&data), 1e-9));
+    }
+
+    #[test]
+    fn multiplicities_count_every_source_reference() {
+        let edges = Plan::<(u32, u32)>::source();
+        let id = edges.input_id().unwrap();
+        let paths = paths_plan(&edges);
+        assert_eq!(paths.multiplicity_of(id), 2);
+        // TbI: paths intersected with their own rotation → 4 references.
+        let tbi = paths.select(|p| (p.1, p.2, p.0)).intersect(&paths);
+        assert_eq!(tbi.multiplicity_of(id), 4);
+        // Unary chains keep multiplicity.
+        let chain = edges.select(|e| e.0).shave_const(1.0).select(|(_, i)| *i);
+        assert_eq!(chain.multiplicity_of(id), 1);
+        // Unrelated sources do not appear.
+        let other = Plan::<(u32, u32)>::source();
+        assert_eq!(paths.multiplicity_of(other.input_id().unwrap()), 0);
+    }
+
+    #[test]
+    fn two_source_plans_track_both_inputs() {
+        let left = Plan::<u32>::source();
+        let right = Plan::<u32>::source();
+        let joined = left.join(&right, |x| *x % 2, |y| *y % 2, |x, y| (*x, *y));
+        let mults = joined.multiplicities();
+        assert_eq!(mults.len(), 2);
+        assert!(mults.values().all(|m| *m == 1));
+
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&left, WeightedDataset::from_records([1u32, 2, 3]));
+        bindings.bind(&right, WeightedDataset::from_records([4u32, 5]));
+        let out = joined.eval(&bindings);
+        assert!(out.contains(&(2, 4)));
+        assert!(out.contains(&(1, 5)));
+        assert!(!out.contains(&(1, 4)));
+    }
+
+    #[test]
+    fn shared_subplans_lower_to_a_shared_dataflow_node() {
+        // If the shared `paths` subplan were lowered twice, each delta would reach the
+        // intersect sink through two copies of the join and double-count. Equality with the
+        // batch result (checked in `lowering_matches_batch_after_loading_the_dataset`)
+        // rules that out; here we additionally check the memoisation is exercised.
+        let edges = Plan::<(u32, u32)>::source();
+        let paths = paths_plan(&edges);
+        let rotated = paths.select(|p| (p.1, p.2, p.0));
+        assert_eq!(paths.node_key(), paths.clone().node_key());
+        assert_ne!(paths.node_key(), rotated.node_key());
+    }
+
+    #[test]
+    fn select_many_and_group_by_round_trip_through_both_engines() {
+        let source = Plan::<u32>::source();
+        let plan = source
+            .select_many_unit(|x| (0..(*x % 4)).collect::<Vec<_>>())
+            .group_by(|x| x % 2, |g| g.len() as u64);
+
+        let data: WeightedDataset<u32> = WeightedDataset::from_records([3u32, 5, 6, 9]);
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&source, data.clone());
+        let batch_out = plan.eval(&bindings);
+
+        let (input, stream) = DataflowInput::new();
+        let mut streams = StreamBindings::new();
+        streams.bind(&source, stream);
+        let collected = plan.lower(&streams).collect();
+        for (r, w) in data.iter() {
+            input.push(&[(*r, w)]);
+        }
+        assert!(collected.snapshot().approx_eq(&batch_out, 1e-9));
+    }
+
+    #[test]
+    fn scorer_lowering_tracks_measurement_distance() {
+        let source = Plan::<u32>::source();
+        let plan = source.select(|x| x % 2);
+        let (input, stream) = DataflowInput::new();
+        let mut streams = StreamBindings::new();
+        streams.bind(&source, stream);
+        let scorer = plan
+            .lower(&streams)
+            .l1_scorer(HashMap::from([(0u32, 2.0), (1, 1.0)]));
+        assert!((scorer.distance() - 3.0).abs() < 1e-12);
+        input.push(&[(4, 1.0), (6, 1.0), (3, 1.0)]);
+        assert!(scorer.distance().abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound plan source")]
+    fn evaluating_with_missing_binding_panics() {
+        let source = Plan::<u32>::source();
+        let plan = source.select(|x| *x);
+        plan.eval(&PlanBindings::new());
+    }
+}

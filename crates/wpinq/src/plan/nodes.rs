@@ -1,0 +1,507 @@
+//! Operator nodes of the plan IR and the per-evaluation contexts.
+//!
+//! Each node stores its parent plan(s) and the operator's closures, and knows how to
+//! execute itself under both engines: `eval_batch` calls the batch kernels in
+//! [`wpinq_core::operators`], `lower` emits the corresponding `wpinq-dataflow` operator.
+//! Memoisation by node identity lives in [`Plan`](super::Plan)'s `eval_node` /
+//! `lower_node` / `mult_node`, so node implementations here simply recurse through their
+//! parents.
+
+use std::any::Any;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+use wpinq_core::dataset::WeightedDataset;
+use wpinq_core::operators as batch;
+use wpinq_core::record::Record;
+use wpinq_dataflow::Stream;
+
+use super::bindings::{PlanBindings, StreamBindings};
+use super::{InputId, Plan};
+
+/// A shared one-to-many production function (the `SelectMany` payload).
+type ProduceFn<T, U> = Rc<dyn Fn(&T) -> WeightedDataset<U>>;
+/// A shared group reducer (the `GroupBy` payload).
+type ReduceFn<T, R> = Rc<dyn Fn(&[T]) -> R>;
+/// A shared per-record weight schedule (the `Shave` payload).
+type ScheduleFn<T> = Rc<dyn Fn(&T) -> Box<dyn Iterator<Item = f64>>>;
+/// A shared join result selector.
+type JoinResultFn<A, B, R> = Rc<dyn Fn(&A, &B) -> R>;
+
+/// Behaviour of one plan node, dispatched through `Rc<dyn PlanNode<T>>`.
+pub(crate) trait PlanNode<T: Record> {
+    /// Evaluates this node in batch (parents via `Plan::eval_node` for memoisation).
+    ///
+    /// Returns a shared dataset so source nodes can hand out their binding without
+    /// copying and evaluation results can be memoised by reference.
+    fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<T>>;
+
+    /// Lowers this node onto the incremental dataflow graph.
+    fn lower(&self, ctx: &mut LowerCtx<'_>) -> Stream<T>;
+
+    /// Sums the source multiplicities of this node's parents (one per reference).
+    fn multiplicities(&self, ctx: &mut MultCtx) -> BTreeMap<InputId, u32>;
+
+    /// The input id when this node is a source, `None` otherwise.
+    fn as_input(&self) -> Option<InputId> {
+        None
+    }
+
+    /// Operator name for diagnostics.
+    fn describe(&self) -> &'static str;
+}
+
+// ---------------------------------------------------------------------------------------
+// Evaluation contexts (identity-keyed memo tables)
+// ---------------------------------------------------------------------------------------
+
+/// Context of one batch evaluation: source bindings plus a memo of already-evaluated
+/// nodes (`Rc<WeightedDataset<T>>`, type-erased).
+pub(crate) struct BatchCtx<'a> {
+    bindings: &'a PlanBindings,
+    memo: HashMap<usize, Box<dyn Any>>,
+}
+
+impl<'a> BatchCtx<'a> {
+    pub(crate) fn new(bindings: &'a PlanBindings) -> Self {
+        BatchCtx {
+            bindings,
+            memo: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn lookup<T: Record>(&self, key: usize) -> Option<Rc<WeightedDataset<T>>> {
+        self.memo.get(&key).map(|any| {
+            any.downcast_ref::<Rc<WeightedDataset<T>>>()
+                .expect("plan memo entry has the node's record type")
+                .clone()
+        })
+    }
+
+    pub(crate) fn store<T: Record>(&mut self, key: usize, value: Rc<WeightedDataset<T>>) {
+        self.memo.insert(key, Box::new(value));
+    }
+
+    fn input<T: Record>(&self, id: InputId) -> Rc<WeightedDataset<T>> {
+        self.bindings.get::<T>(id)
+    }
+}
+
+/// Context of one lowering: source streams plus a memo of already-lowered nodes.
+pub(crate) struct LowerCtx<'a> {
+    bindings: &'a StreamBindings,
+    memo: HashMap<usize, Box<dyn Any>>,
+}
+
+impl<'a> LowerCtx<'a> {
+    pub(crate) fn new(bindings: &'a StreamBindings) -> Self {
+        LowerCtx {
+            bindings,
+            memo: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn lookup<T: Record>(&self, key: usize) -> Option<Stream<T>> {
+        self.memo.get(&key).map(|any| {
+            any.downcast_ref::<Stream<T>>()
+                .expect("plan memo entry has the node's record type")
+                .clone()
+        })
+    }
+
+    pub(crate) fn store<T: Record>(&mut self, key: usize, value: Stream<T>) {
+        self.memo.insert(key, Box::new(value));
+    }
+
+    fn input<T: Record>(&self, id: InputId) -> Stream<T> {
+        self.bindings.get::<T>(id)
+    }
+}
+
+/// Context of one multiplicity computation.
+pub(crate) struct MultCtx {
+    memo: HashMap<usize, Rc<BTreeMap<InputId, u32>>>,
+}
+
+impl MultCtx {
+    pub(crate) fn new() -> Self {
+        MultCtx {
+            memo: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn lookup(&self, key: usize) -> Option<Rc<BTreeMap<InputId, u32>>> {
+        self.memo.get(&key).cloned()
+    }
+
+    pub(crate) fn store(&mut self, key: usize, value: Rc<BTreeMap<InputId, u32>>) {
+        self.memo.insert(key, value);
+    }
+}
+
+fn merge_mults(
+    mut left: BTreeMap<InputId, u32>,
+    right: &BTreeMap<InputId, u32>,
+) -> BTreeMap<InputId, u32> {
+    for (id, count) in right {
+        *left.entry(*id).or_insert(0) += count;
+    }
+    left
+}
+
+// ---------------------------------------------------------------------------------------
+// Nodes
+// ---------------------------------------------------------------------------------------
+
+/// A source: records arrive from a bound dataset (batch) or stream (incremental).
+pub(crate) struct InputNode<T: Record> {
+    id: InputId,
+    _record: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Record> InputNode<T> {
+    pub(crate) fn new(id: InputId) -> Self {
+        InputNode {
+            id,
+            _record: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: Record> PlanNode<T> for InputNode<T> {
+    fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<T>> {
+        ctx.input::<T>(self.id)
+    }
+
+    fn lower(&self, ctx: &mut LowerCtx<'_>) -> Stream<T> {
+        ctx.input::<T>(self.id)
+    }
+
+    fn multiplicities(&self, _ctx: &mut MultCtx) -> BTreeMap<InputId, u32> {
+        BTreeMap::from([(self.id, 1)])
+    }
+
+    fn as_input(&self) -> Option<InputId> {
+        Some(self.id)
+    }
+
+    fn describe(&self) -> &'static str {
+        "Source"
+    }
+}
+
+/// `Select` (Section 2.4).
+pub(crate) struct SelectNode<T: Record, U: Record> {
+    parent: Plan<T>,
+    f: Rc<dyn Fn(&T) -> U>,
+}
+
+impl<T: Record, U: Record> SelectNode<T, U> {
+    pub(crate) fn new(parent: Plan<T>, f: impl Fn(&T) -> U + 'static) -> Self {
+        SelectNode {
+            parent,
+            f: Rc::new(f),
+        }
+    }
+}
+
+impl<T: Record, U: Record> PlanNode<U> for SelectNode<T, U> {
+    fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<U>> {
+        Rc::new(batch::select(&self.parent.eval_node(ctx), &*self.f))
+    }
+
+    fn lower(&self, ctx: &mut LowerCtx<'_>) -> Stream<U> {
+        let f = self.f.clone();
+        self.parent.lower_node(ctx).select(move |r| f(r))
+    }
+
+    fn multiplicities(&self, ctx: &mut MultCtx) -> BTreeMap<InputId, u32> {
+        (*self.parent.mult_node(ctx)).clone()
+    }
+
+    fn describe(&self) -> &'static str {
+        "Select"
+    }
+}
+
+/// `Where` (Section 2.4).
+pub(crate) struct FilterNode<T: Record> {
+    parent: Plan<T>,
+    predicate: Rc<dyn Fn(&T) -> bool>,
+}
+
+impl<T: Record> FilterNode<T> {
+    pub(crate) fn new(parent: Plan<T>, predicate: impl Fn(&T) -> bool + 'static) -> Self {
+        FilterNode {
+            parent,
+            predicate: Rc::new(predicate),
+        }
+    }
+}
+
+impl<T: Record> PlanNode<T> for FilterNode<T> {
+    fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<T>> {
+        Rc::new(batch::filter(&self.parent.eval_node(ctx), &*self.predicate))
+    }
+
+    fn lower(&self, ctx: &mut LowerCtx<'_>) -> Stream<T> {
+        let predicate = self.predicate.clone();
+        self.parent.lower_node(ctx).filter(move |r| predicate(r))
+    }
+
+    fn multiplicities(&self, ctx: &mut MultCtx) -> BTreeMap<InputId, u32> {
+        (*self.parent.mult_node(ctx)).clone()
+    }
+
+    fn describe(&self) -> &'static str {
+        "Where"
+    }
+}
+
+/// `SelectMany` (Section 2.4) with the data-dependent unit-norm rescaling.
+pub(crate) struct SelectManyNode<T: Record, U: Record> {
+    parent: Plan<T>,
+    f: ProduceFn<T, U>,
+}
+
+impl<T: Record, U: Record> SelectManyNode<T, U> {
+    pub(crate) fn new(parent: Plan<T>, f: impl Fn(&T) -> WeightedDataset<U> + 'static) -> Self {
+        SelectManyNode {
+            parent,
+            f: Rc::new(f),
+        }
+    }
+}
+
+impl<T: Record, U: Record> PlanNode<U> for SelectManyNode<T, U> {
+    fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<U>> {
+        Rc::new(batch::select_many(&self.parent.eval_node(ctx), &*self.f))
+    }
+
+    fn lower(&self, ctx: &mut LowerCtx<'_>) -> Stream<U> {
+        let f = self.f.clone();
+        self.parent.lower_node(ctx).select_many(move |r| f(r))
+    }
+
+    fn multiplicities(&self, ctx: &mut MultCtx) -> BTreeMap<InputId, u32> {
+        (*self.parent.mult_node(ctx)).clone()
+    }
+
+    fn describe(&self) -> &'static str {
+        "SelectMany"
+    }
+}
+
+/// `GroupBy` (Section 2.5).
+pub(crate) struct GroupByNode<T: Record, K: Record, R: Record> {
+    parent: Plan<T>,
+    key: Rc<dyn Fn(&T) -> K>,
+    reduce: ReduceFn<T, R>,
+}
+
+impl<T: Record, K: Record, R: Record> GroupByNode<T, K, R> {
+    pub(crate) fn new(
+        parent: Plan<T>,
+        key: impl Fn(&T) -> K + 'static,
+        reduce: impl Fn(&[T]) -> R + 'static,
+    ) -> Self {
+        GroupByNode {
+            parent,
+            key: Rc::new(key),
+            reduce: Rc::new(reduce),
+        }
+    }
+}
+
+impl<T: Record, K: Record, R: Record> PlanNode<(K, R)> for GroupByNode<T, K, R> {
+    fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<(K, R)>> {
+        Rc::new(batch::group_by(
+            &self.parent.eval_node(ctx),
+            &*self.key,
+            &*self.reduce,
+        ))
+    }
+
+    fn lower(&self, ctx: &mut LowerCtx<'_>) -> Stream<(K, R)> {
+        let key = self.key.clone();
+        let reduce = self.reduce.clone();
+        self.parent
+            .lower_node(ctx)
+            .group_by(move |r| key(r), move |g| reduce(g))
+    }
+
+    fn multiplicities(&self, ctx: &mut MultCtx) -> BTreeMap<InputId, u32> {
+        (*self.parent.mult_node(ctx)).clone()
+    }
+
+    fn describe(&self) -> &'static str {
+        "GroupBy"
+    }
+}
+
+/// `Shave` (Section 2.8) with a boxed-iterator weight schedule.
+pub(crate) struct ShaveNode<T: Record> {
+    parent: Plan<T>,
+    schedule: ScheduleFn<T>,
+}
+
+impl<T: Record> ShaveNode<T> {
+    pub(crate) fn new(
+        parent: Plan<T>,
+        schedule: impl Fn(&T) -> Box<dyn Iterator<Item = f64>> + 'static,
+    ) -> Self {
+        ShaveNode {
+            parent,
+            schedule: Rc::new(schedule),
+        }
+    }
+}
+
+impl<T: Record> PlanNode<(T, u64)> for ShaveNode<T> {
+    fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<(T, u64)>> {
+        Rc::new(batch::shave(&self.parent.eval_node(ctx), &*self.schedule))
+    }
+
+    fn lower(&self, ctx: &mut LowerCtx<'_>) -> Stream<(T, u64)> {
+        let schedule = self.schedule.clone();
+        self.parent.lower_node(ctx).shave(move |r| schedule(r))
+    }
+
+    fn multiplicities(&self, ctx: &mut MultCtx) -> BTreeMap<InputId, u32> {
+        (*self.parent.mult_node(ctx)).clone()
+    }
+
+    fn describe(&self) -> &'static str {
+        "Shave"
+    }
+}
+
+/// The weight-rescaling equi-`Join` (Section 2.7).
+pub(crate) struct JoinNode<A: Record, B: Record, K: Record, R: Record> {
+    left: Plan<A>,
+    right: Plan<B>,
+    key_left: Rc<dyn Fn(&A) -> K>,
+    key_right: Rc<dyn Fn(&B) -> K>,
+    result: JoinResultFn<A, B, R>,
+}
+
+impl<A: Record, B: Record, K: Record, R: Record> JoinNode<A, B, K, R> {
+    pub(crate) fn new(
+        left: Plan<A>,
+        right: Plan<B>,
+        key_left: impl Fn(&A) -> K + 'static,
+        key_right: impl Fn(&B) -> K + 'static,
+        result: impl Fn(&A, &B) -> R + 'static,
+    ) -> Self {
+        JoinNode {
+            left,
+            right,
+            key_left: Rc::new(key_left),
+            key_right: Rc::new(key_right),
+            result: Rc::new(result),
+        }
+    }
+}
+
+impl<A: Record, B: Record, K: Record, R: Record> PlanNode<R> for JoinNode<A, B, K, R> {
+    fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<R>> {
+        let left = self.left.eval_node(ctx);
+        let right = self.right.eval_node(ctx);
+        Rc::new(batch::join(
+            &left,
+            &right,
+            &*self.key_left,
+            &*self.key_right,
+            &*self.result,
+        ))
+    }
+
+    fn lower(&self, ctx: &mut LowerCtx<'_>) -> Stream<R> {
+        let left = self.left.lower_node(ctx);
+        let right = self.right.lower_node(ctx);
+        let key_left = self.key_left.clone();
+        let key_right = self.key_right.clone();
+        let result = self.result.clone();
+        left.join(
+            &right,
+            move |a| key_left(a),
+            move |b| key_right(b),
+            move |a, b| result(a, b),
+        )
+    }
+
+    fn multiplicities(&self, ctx: &mut MultCtx) -> BTreeMap<InputId, u32> {
+        let left = self.left.mult_node(ctx);
+        let right = self.right.mult_node(ctx);
+        merge_mults((*left).clone(), &right)
+    }
+
+    fn describe(&self) -> &'static str {
+        "Join"
+    }
+}
+
+/// Which element-wise binary transformation a [`BinaryNode`] performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BinaryKind {
+    /// Element-wise maximum.
+    Union,
+    /// Element-wise minimum.
+    Intersect,
+    /// Element-wise addition.
+    Concat,
+    /// Element-wise subtraction.
+    Except,
+}
+
+/// `Union` / `Intersect` / `Concat` / `Except` (Section 2.6).
+pub(crate) struct BinaryNode<T: Record> {
+    left: Plan<T>,
+    right: Plan<T>,
+    kind: BinaryKind,
+}
+
+impl<T: Record> BinaryNode<T> {
+    pub(crate) fn new(left: Plan<T>, right: Plan<T>, kind: BinaryKind) -> Self {
+        BinaryNode { left, right, kind }
+    }
+}
+
+impl<T: Record> PlanNode<T> for BinaryNode<T> {
+    fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<T>> {
+        let left = self.left.eval_node(ctx);
+        let right = self.right.eval_node(ctx);
+        Rc::new(match self.kind {
+            BinaryKind::Union => batch::union(&left, &right),
+            BinaryKind::Intersect => batch::intersect(&left, &right),
+            BinaryKind::Concat => batch::concat(&left, &right),
+            BinaryKind::Except => batch::except(&left, &right),
+        })
+    }
+
+    fn lower(&self, ctx: &mut LowerCtx<'_>) -> Stream<T> {
+        let left = self.left.lower_node(ctx);
+        let right = self.right.lower_node(ctx);
+        match self.kind {
+            BinaryKind::Union => left.union(&right),
+            BinaryKind::Intersect => left.intersect(&right),
+            BinaryKind::Concat => left.concat(&right),
+            BinaryKind::Except => left.except(&right),
+        }
+    }
+
+    fn multiplicities(&self, ctx: &mut MultCtx) -> BTreeMap<InputId, u32> {
+        let left = self.left.mult_node(ctx);
+        let right = self.right.mult_node(ctx);
+        merge_mults((*left).clone(), &right)
+    }
+
+    fn describe(&self) -> &'static str {
+        match self.kind {
+            BinaryKind::Union => "Union",
+            BinaryKind::Intersect => "Intersect",
+            BinaryKind::Concat => "Concat",
+            BinaryKind::Except => "Except",
+        }
+    }
+}

@@ -107,14 +107,10 @@ mod tests {
     #[test]
     fn shared_budget_handles_are_supported() {
         let handle = BudgetHandle::new(PrivacyBudget::new(2.0), "shared");
-        let a = ProtectedDataset::with_handle(
-            WeightedDataset::from_records([1u32]),
-            handle.clone(),
-        );
-        let b = ProtectedDataset::with_handle(
-            WeightedDataset::from_records([2u32]),
-            handle.clone(),
-        );
+        let a =
+            ProtectedDataset::with_handle(WeightedDataset::from_records([1u32]), handle.clone());
+        let b =
+            ProtectedDataset::with_handle(WeightedDataset::from_records([2u32]), handle.clone());
         assert!(a.budget().same_budget(b.budget()));
         handle.charge(1.5).unwrap();
         assert!(a.budget().spent() > 1.0);

@@ -1,14 +1,20 @@
-//! [`Queryable`]: the privacy-accounted front end over the stable operators.
+//! [`Queryable`]: the privacy-accounted front end over the query-plan IR.
 //!
-//! A `Queryable<T>` is the wPINQ analogue of PINQ's `PINQueryable`: a weighted dataset
-//! obtained from one or more protected sources through stable transformations, together
-//! with a record of *how many times* each source was used. When a differentially-private
-//! aggregation is requested with parameter `ε`, each source is charged `multiplicity × ε`
-//! against its budget — the static accounting rule of Section 2.3 ("if dataset A is used k
-//! times in a query with an ε-differentially-private aggregation, the result is kε-DP
-//! for A").
+//! A `Queryable<T>` is the wPINQ analogue of PINQ's `PINQueryable`. Since the plan-IR
+//! refactor it is a thin, budget-aware wrapper around a [`Plan<T>`](crate::plan::Plan):
+//! every operator method extends the plan; the source datasets stay bound in a
+//! [`PlanBindings`]; and the *multiplicity* of each protected source — the `k` in the
+//! static accounting rule of Section 2.3 ("if dataset A is used k times in a query with an
+//! ε-differentially-private aggregation, the result is kε-DP for A") — is derived
+//! structurally from the IR instead of being threaded through every operator by hand.
+//!
+//! Evaluation is lazy: nothing is materialised until a measurement (or [`inspect`]
+//! (Queryable::inspect)) forces it, and the result is cached, so building a deep query
+//! costs nothing and measuring it evaluates each shared subplan exactly once.
 
-use std::hash::Hash;
+use std::cell::OnceCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
 
 use rand::Rng;
 
@@ -16,24 +22,37 @@ use crate::aggregation::NoisyCounts;
 use crate::budget::BudgetHandle;
 use crate::dataset::WeightedDataset;
 use crate::error::WpinqError;
-use crate::operators;
+use crate::plan::{InputId, Plan, PlanBindings};
 use crate::protected::SourceId;
 use crate::record::Record;
 
-/// How many times a particular protected source contributes to a query plan.
+/// One protected source feeding the query plan.
 #[derive(Debug, Clone)]
-struct SourceUsage {
-    id: SourceId,
-    multiplicity: u32,
+struct SourceBinding {
+    input: InputId,
+    source: SourceId,
     budget: BudgetHandle,
 }
 
 /// A transformed view of one or more protected datasets, ready for further transformation
 /// or differentially-private measurement.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Queryable<T: Record> {
-    data: WeightedDataset<T>,
-    sources: Vec<SourceUsage>,
+    plan: Plan<T>,
+    bindings: PlanBindings,
+    sources: Vec<SourceBinding>,
+    materialized: OnceCell<Rc<WeightedDataset<T>>>,
+}
+
+impl<T: Record> std::fmt::Debug for Queryable<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Queryable({:?}, {} protected sources)",
+            self.plan,
+            self.sources.len()
+        )
+    }
 }
 
 impl<T: Record> Queryable<T> {
@@ -42,13 +61,19 @@ impl<T: Record> Queryable<T> {
         id: SourceId,
         budget: BudgetHandle,
     ) -> Self {
+        let plan = Plan::<T>::source();
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&plan, data);
+        let input = plan.input_id().expect("Plan::source is a source");
         Queryable {
-            data,
-            sources: vec![SourceUsage {
-                id,
-                multiplicity: 1,
+            plan,
+            bindings,
+            sources: vec![SourceBinding {
+                input,
+                source: id,
                 budget,
             }],
+            materialized: OnceCell::new(),
         }
     }
 
@@ -56,79 +81,151 @@ impl<T: Record> Queryable<T> {
     /// so measurements over it cost nothing. Useful for joining protected data with public
     /// reference tables.
     pub fn public(data: WeightedDataset<T>) -> Self {
+        let plan = Plan::<T>::source();
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&plan, data);
         Queryable {
-            data,
+            plan,
+            bindings,
             sources: Vec::new(),
+            materialized: OnceCell::new(),
         }
     }
 
-    fn derived<U: Record>(&self, data: WeightedDataset<U>) -> Queryable<U> {
+    /// The underlying query plan (sources already bound; see [`Queryable::apply`] for
+    /// deriving further queryables from plan-level definitions).
+    pub fn plan(&self) -> &Plan<T> {
+        &self.plan
+    }
+
+    fn derived<U: Record>(&self, plan: Plan<U>) -> Queryable<U> {
         Queryable {
-            data,
+            plan,
+            bindings: self.bindings.clone(),
             sources: self.sources.clone(),
+            materialized: OnceCell::new(),
         }
     }
 
-    fn merged_sources(&self, other: &Queryable<impl Record>) -> Vec<SourceUsage> {
-        let mut merged = self.sources.clone();
-        for usage in &other.sources {
-            if let Some(existing) = merged.iter_mut().find(|u| u.id == usage.id) {
-                existing.multiplicity += usage.multiplicity;
-            } else {
-                merged.push(usage.clone());
+    fn combined<U: Record>(&self, other: &Queryable<impl Record>, plan: Plan<U>) -> Queryable<U> {
+        let mut bindings = self.bindings.clone();
+        bindings.merge(&other.bindings);
+        let mut sources = self.sources.clone();
+        for binding in &other.sources {
+            if !sources.iter().any(|s| s.input == binding.input) {
+                sources.push(binding.clone());
             }
         }
-        merged
+        Queryable {
+            plan,
+            bindings,
+            sources,
+            materialized: OnceCell::new(),
+        }
     }
 
-    /// The total usage multiplicity of the source with the given id (0 when unused).
+    /// Derives a new queryable by transforming the underlying plan — the bridge between
+    /// plan-level query definitions (as the analyses crate provides) and budgeted
+    /// execution:
+    ///
+    /// ```
+    /// use wpinq::prelude::*;
+    ///
+    /// let secret = ProtectedDataset::new(
+    ///     WeightedDataset::from_records([(1u32, 2u32), (2, 1)]),
+    ///     PrivacyBudget::new(1.0),
+    /// );
+    /// // A reusable plan-level query definition…
+    /// fn sources(edges: &Plan<(u32, u32)>) -> Plan<u32> {
+    ///     edges.select(|e| e.0)
+    /// }
+    /// // …applied to a protected dataset with accounting intact.
+    /// let q = secret.queryable().apply(sources);
+    /// assert_eq!(q.max_multiplicity(), 1);
+    /// ```
+    pub fn apply<U: Record, F: FnOnce(&Plan<T>) -> Plan<U>>(&self, build: F) -> Queryable<U> {
+        self.derived(build(&self.plan))
+    }
+
+    /// Per-source multiplicities, summed per protected source id.
+    fn source_multiplicities(&self) -> Vec<(SourceId, BudgetHandle, u32)> {
+        let by_input: BTreeMap<InputId, u32> = self.plan.multiplicities();
+        let mut out: Vec<(SourceId, BudgetHandle, u32)> = Vec::new();
+        for binding in &self.sources {
+            let mult = by_input.get(&binding.input).copied().unwrap_or(0);
+            if mult == 0 {
+                continue;
+            }
+            if let Some(entry) = out.iter_mut().find(|(id, _, _)| *id == binding.source) {
+                entry.2 += mult;
+            } else {
+                out.push((binding.source, binding.budget.clone(), mult));
+            }
+        }
+        out
+    }
+
+    /// The total usage multiplicity of the source with the given id (0 when unused),
+    /// derived from the query plan's structure.
     pub fn multiplicity_of(&self, id: SourceId) -> u32 {
-        self.sources
+        self.source_multiplicities()
             .iter()
-            .find(|u| u.id == id)
-            .map(|u| u.multiplicity)
+            .find(|(source, _, _)| *source == id)
+            .map(|(_, _, mult)| *mult)
             .unwrap_or(0)
     }
 
     /// The largest source multiplicity in this query plan; a measurement at `ε` costs at
     /// most `max_multiplicity() × ε` against any single budget.
     pub fn max_multiplicity(&self) -> u32 {
-        self.sources
+        self.source_multiplicities()
             .iter()
-            .map(|u| u.multiplicity)
+            .map(|(_, _, mult)| *mult)
             .max()
             .unwrap_or(0)
     }
 
-    /// Read-only access to the underlying weighted data.
+    fn materialize(&self) -> &Rc<WeightedDataset<T>> {
+        self.materialized
+            .get_or_init(|| self.plan.eval_shared(&self.bindings))
+    }
+
+    /// Read-only access to the underlying weighted data, evaluated on first use and cached.
     ///
     /// **This bypasses differential privacy** — it exists for tests, for debugging, and for
     /// the incremental engine (which operates on the already-released measurements plus
     /// public synthetic candidates, never on protected data). Production analyses must only
     /// release values through [`noisy_count`](Self::noisy_count) and friends.
     pub fn inspect(&self) -> &WeightedDataset<T> {
-        &self.data
+        self.materialize()
     }
 
     // ---- stable transformations -------------------------------------------------------
 
     /// Per-record transformation; weights of colliding outputs accumulate (Section 2.4).
-    pub fn select<U: Record, F: Fn(&T) -> U>(&self, f: F) -> Queryable<U> {
-        self.derived(operators::select(&self.data, f))
+    pub fn select<U, F>(&self, f: F) -> Queryable<U>
+    where
+        U: Record,
+        F: Fn(&T) -> U + 'static,
+    {
+        self.derived(self.plan.select(f))
     }
 
     /// Per-record filtering (`Where`, Section 2.4).
-    pub fn filter<P: Fn(&T) -> bool>(&self, predicate: P) -> Queryable<T> {
-        self.derived(operators::filter(&self.data, predicate))
+    pub fn filter<P>(&self, predicate: P) -> Queryable<T>
+    where
+        P: Fn(&T) -> bool + 'static,
+    {
+        self.derived(self.plan.filter(predicate))
     }
 
     /// One-to-many transformation with data-dependent normalisation (Section 2.4).
     pub fn select_many<U, F>(&self, f: F) -> Queryable<U>
     where
         U: Record,
-        F: Fn(&T) -> WeightedDataset<U>,
+        F: Fn(&T) -> WeightedDataset<U> + 'static,
     {
-        self.derived(operators::select_many(&self.data, f))
+        self.derived(self.plan.select_many(f))
     }
 
     /// One-to-many transformation where each produced record carries unit weight.
@@ -136,9 +233,9 @@ impl<T: Record> Queryable<T> {
     where
         U: Record,
         I: IntoIterator<Item = U>,
-        F: Fn(&T) -> I,
+        F: Fn(&T) -> I + 'static,
     {
-        self.derived(operators::select_many_unit(&self.data, f))
+        self.derived(self.plan.select_many_unit(f))
     }
 
     /// Groups records by key and reduces each group (Section 2.5).
@@ -146,24 +243,25 @@ impl<T: Record> Queryable<T> {
     where
         K: Record,
         R: Record,
-        KF: Fn(&T) -> K,
-        RF: Fn(&[T]) -> R,
+        KF: Fn(&T) -> K + 'static,
+        RF: Fn(&[T]) -> R + 'static,
     {
-        self.derived(operators::group_by(&self.data, key, reduce))
+        self.derived(self.plan.group_by(key, reduce))
     }
 
     /// Decomposes heavy records into indexed unit-ish slices (Section 2.8).
     pub fn shave<F, I>(&self, schedule: F) -> Queryable<(T, u64)>
     where
-        F: Fn(&T) -> I,
+        F: Fn(&T) -> I + 'static,
         I: IntoIterator<Item = f64>,
+        I::IntoIter: 'static,
     {
-        self.derived(operators::shave(&self.data, schedule))
+        self.derived(self.plan.shave(schedule))
     }
 
     /// [`shave`](Self::shave) with a constant per-slice weight.
     pub fn shave_const(&self, step: f64) -> Queryable<(T, u64)> {
-        self.derived(operators::shave_const(&self.data, step))
+        self.derived(self.plan.shave_const(step))
     }
 
     /// The weight-rescaling equi-join of Section 2.7. Source multiplicities of both inputs
@@ -177,48 +275,36 @@ impl<T: Record> Queryable<T> {
     ) -> Queryable<R>
     where
         U: Record,
-        K: Clone + Eq + Hash,
+        K: Record,
         R: Record,
-        KA: Fn(&T) -> K,
-        KB: Fn(&U) -> K,
-        RF: Fn(&T, &U) -> R,
+        KA: Fn(&T) -> K + 'static,
+        KB: Fn(&U) -> K + 'static,
+        RF: Fn(&T, &U) -> R + 'static,
     {
-        Queryable {
-            data: operators::join(&self.data, &other.data, key_self, key_other, result),
-            sources: self.merged_sources(other),
-        }
+        self.combined(
+            other,
+            self.plan.join(&other.plan, key_self, key_other, result),
+        )
     }
 
     /// Element-wise maximum (Section 2.6).
     pub fn union(&self, other: &Queryable<T>) -> Queryable<T> {
-        Queryable {
-            data: operators::union(&self.data, &other.data),
-            sources: self.merged_sources(other),
-        }
+        self.combined(other, self.plan.union(&other.plan))
     }
 
     /// Element-wise minimum (Section 2.6).
     pub fn intersect(&self, other: &Queryable<T>) -> Queryable<T> {
-        Queryable {
-            data: operators::intersect(&self.data, &other.data),
-            sources: self.merged_sources(other),
-        }
+        self.combined(other, self.plan.intersect(&other.plan))
     }
 
     /// Element-wise addition (Section 2.6).
     pub fn concat(&self, other: &Queryable<T>) -> Queryable<T> {
-        Queryable {
-            data: operators::concat(&self.data, &other.data),
-            sources: self.merged_sources(other),
-        }
+        self.combined(other, self.plan.concat(&other.plan))
     }
 
     /// Element-wise subtraction (Section 2.6).
     pub fn except(&self, other: &Queryable<T>) -> Queryable<T> {
-        Queryable {
-            data: operators::except(&self.data, &other.data),
-            sources: self.merged_sources(other),
-        }
+        self.combined(other, self.plan.except(&other.plan))
     }
 
     // ---- measurements -----------------------------------------------------------------
@@ -227,6 +313,42 @@ impl<T: Record> Queryable<T> {
     /// the budget of the given source.
     pub fn cost_for(&self, id: SourceId, epsilon: f64) -> f64 {
         self.multiplicity_of(id) as f64 * epsilon
+    }
+
+    /// Charges every source `multiplicity × epsilon`, all-or-nothing.
+    ///
+    /// Several protected sources may share one underlying budget (see
+    /// [`ProtectedDataset::with_handle`](crate::ProtectedDataset::with_handle)), so costs
+    /// are summed *per budget handle* before the affordability check — otherwise a
+    /// rejected measurement could leave a shared budget partially debited.
+    fn charge_all(&self, epsilon: f64) -> Result<(), WpinqError> {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(WpinqError::InvalidParameter(format!(
+                "epsilon must be positive and finite, got {epsilon}"
+            )));
+        }
+        let mut per_budget: Vec<(BudgetHandle, f64)> = Vec::new();
+        for (_, budget, mult) in self.source_multiplicities() {
+            let cost = mult as f64 * epsilon;
+            if let Some(entry) = per_budget.iter_mut().find(|(h, _)| h.same_budget(&budget)) {
+                entry.1 += cost;
+            } else {
+                per_budget.push((budget, cost));
+            }
+        }
+        // Verify affordability before charging anyone.
+        for (budget, cost) in &per_budget {
+            if !budget.can_afford(*cost) {
+                return Err(WpinqError::BudgetExceeded(crate::error::BudgetError {
+                    requested: *cost,
+                    remaining: budget.remaining(),
+                }));
+            }
+        }
+        for (budget, cost) in &per_budget {
+            budget.charge(*cost).map_err(WpinqError::BudgetExceeded)?;
+        }
+        Ok(())
     }
 
     /// Takes a `NoisyCount(·, ε)` measurement (Section 2.2), charging every underlying
@@ -240,28 +362,12 @@ impl<T: Record> Queryable<T> {
         epsilon: f64,
         rng: &mut R,
     ) -> Result<NoisyCounts<T>, WpinqError> {
-        if !(epsilon.is_finite() && epsilon > 0.0) {
-            return Err(WpinqError::InvalidParameter(format!(
-                "epsilon must be positive and finite, got {epsilon}"
-            )));
-        }
-        // All-or-nothing: verify affordability before charging anyone.
-        for usage in &self.sources {
-            let cost = usage.multiplicity as f64 * epsilon;
-            if !usage.budget.can_afford(cost) {
-                return Err(WpinqError::BudgetExceeded(crate::error::BudgetError {
-                    requested: cost,
-                    remaining: usage.budget.remaining(),
-                }));
-            }
-        }
-        for usage in &self.sources {
-            usage
-                .budget
-                .charge(usage.multiplicity as f64 * epsilon)
-                .map_err(WpinqError::BudgetExceeded)?;
-        }
-        Ok(NoisyCounts::measure(&self.data, epsilon, rng))
+        // Evaluate before charging: if evaluation panics (unbound source, panicking user
+        // closure), no budget has been consumed. Nothing is released until the charge
+        // below succeeds, so the ordering is privacy-neutral.
+        let data = self.materialize().clone();
+        self.charge_all(epsilon)?;
+        Ok(NoisyCounts::measure(&data, epsilon, rng))
     }
 
     /// A noisy sum of `f` over the records, clamped to 1-Lipschitz contributions, with the
@@ -271,27 +377,9 @@ impl<T: Record> Queryable<T> {
         R: Rng + ?Sized,
         F: Fn(&T) -> f64,
     {
-        if !(epsilon.is_finite() && epsilon > 0.0) {
-            return Err(WpinqError::InvalidParameter(format!(
-                "epsilon must be positive and finite, got {epsilon}"
-            )));
-        }
-        for usage in &self.sources {
-            let cost = usage.multiplicity as f64 * epsilon;
-            if !usage.budget.can_afford(cost) {
-                return Err(WpinqError::BudgetExceeded(crate::error::BudgetError {
-                    requested: cost,
-                    remaining: usage.budget.remaining(),
-                }));
-            }
-        }
-        for usage in &self.sources {
-            usage
-                .budget
-                .charge(usage.multiplicity as f64 * epsilon)
-                .map_err(WpinqError::BudgetExceeded)?;
-        }
-        Ok(crate::aggregation::noisy_sum(&self.data, f, epsilon, rng))
+        let data = self.materialize().clone();
+        self.charge_all(epsilon)?;
+        Ok(crate::aggregation::noisy_sum(&data, f, epsilon, rng))
     }
 }
 
@@ -383,9 +471,7 @@ mod tests {
     fn public_data_costs_nothing() {
         let edges = protected_edges(0.5);
         let public = Queryable::public(WeightedDataset::from_records([(1u32, 1u32)]));
-        let joined = edges
-            .queryable()
-            .join(&public, |e| e.0, |p| p.0, |e, _| *e);
+        let joined = edges.queryable().join(&public, |e| e.0, |p| p.0, |e, _| *e);
         let mut rng = StdRng::seed_from_u64(0);
         joined.noisy_count(0.5, &mut rng).unwrap();
         assert!(crate::weights::approx_eq(edges.budget().spent(), 0.5));
@@ -410,6 +496,37 @@ mod tests {
     }
 
     #[test]
+    fn shared_budget_rejection_charges_nothing() {
+        // Two protected sources drawing from ONE budget: affordability must be checked on
+        // the summed cost, otherwise the first charge would land before the second fails.
+        use crate::budget::BudgetHandle;
+        let handle = BudgetHandle::new(PrivacyBudget::new(1.0), "shared");
+        let left = ProtectedDataset::with_handle(
+            WeightedDataset::from_records([(1u32, 2u32)]),
+            handle.clone(),
+        );
+        let right = ProtectedDataset::with_handle(
+            WeightedDataset::from_records([(1u32, 3u32)]),
+            handle.clone(),
+        );
+        let joined = left
+            .queryable()
+            .join(&right.queryable(), |e| e.0, |e| e.0, |a, b| (a.1, b.1));
+        let mut rng = StdRng::seed_from_u64(0);
+        // Per-source cost 0.6 is affordable; the summed cost 1.2 is not.
+        let err = joined.noisy_count(0.6, &mut rng).unwrap_err();
+        assert!(matches!(err, WpinqError::BudgetExceeded(_)));
+        assert_eq!(
+            handle.spent(),
+            0.0,
+            "rejected measurement must charge nothing"
+        );
+        // The summed cost 1.0 exactly fits and is charged once.
+        joined.noisy_count(0.5, &mut rng).unwrap();
+        assert!(crate::weights::approx_eq(handle.spent(), 1.0));
+    }
+
+    #[test]
     fn noisy_sum_is_accounted_like_noisy_count() {
         let edges = protected_edges(1.0);
         let q = edges.queryable();
@@ -428,5 +545,24 @@ mod tests {
             degrees.inspect().weight(&(1, 2)),
             0.5
         ));
+    }
+
+    #[test]
+    fn apply_preserves_accounting() {
+        let edges = protected_edges(1.0);
+        let q = edges.queryable().apply(|plan| {
+            let paths = plan.join(plan, |e| e.1, |e| e.0, |a, b| (a.0, a.1, b.1));
+            paths.select(|p| (p.1, p.2, p.0)).intersect(&paths)
+        });
+        assert_eq!(q.multiplicity_of(edges.id()), 4);
+    }
+
+    #[test]
+    fn inspect_is_cached_and_lazy() {
+        let edges = protected_edges(1.0);
+        let q = edges.queryable().select(|e| e.0);
+        let first = q.inspect() as *const _;
+        let second = q.inspect() as *const _;
+        assert_eq!(first, second, "inspect must evaluate once and cache");
     }
 }

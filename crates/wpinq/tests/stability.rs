@@ -13,14 +13,12 @@ const TOL: f64 = 1e-7;
 
 /// Strategy: a small weighted dataset over u8 records with weights in [0, 4].
 fn dataset() -> impl Strategy<Value = WeightedDataset<u8>> {
-    proptest::collection::vec((0u8..20, 0.0f64..4.0), 0..16)
-        .prop_map(|pairs| WeightedDataset::from_pairs(pairs.into_iter()))
+    proptest::collection::vec((0u8..20, 0.0f64..4.0), 0..16).prop_map(WeightedDataset::from_pairs)
 }
 
 /// Strategy: a dataset that may also contain negative weights (differences of datasets).
 fn signed_dataset() -> impl Strategy<Value = WeightedDataset<u8>> {
-    proptest::collection::vec((0u8..20, -3.0f64..3.0), 0..16)
-        .prop_map(|pairs| WeightedDataset::from_pairs(pairs.into_iter()))
+    proptest::collection::vec((0u8..20, -3.0f64..3.0), 0..16).prop_map(WeightedDataset::from_pairs)
 }
 
 proptest! {
@@ -36,7 +34,7 @@ proptest! {
 
     #[test]
     fn filter_is_stable(a in signed_dataset(), a2 in signed_dataset()) {
-        let p = |x: &u8| x % 2 == 0;
+        let p = |x: &u8| x.is_multiple_of(2);
         let d_in = a.distance(&a2);
         let d_out = operators::filter(&a, p).distance(&operators::filter(&a2, p));
         prop_assert!(d_out <= d_in + TOL, "{d_out} > {d_in}");

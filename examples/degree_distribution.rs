@@ -55,10 +55,9 @@ fn main() {
     );
 
     println!("\nfirst ten ranks (true / fitted):");
-    for rank in 0..10.min(truth.len()) {
+    for (rank, true_degree) in truth.iter().enumerate().take(10) {
         println!(
-            "  rank {rank:>2}: true {:>4}   fitted {:>4}",
-            truth[rank],
+            "  rank {rank:>2}: true {true_degree:>4}   fitted {:>4}",
             fitted.get(rank).copied().unwrap_or(0)
         );
     }

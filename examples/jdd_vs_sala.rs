@@ -16,8 +16,7 @@ use wpinq_graph::stats;
 fn main() {
     let epsilon = 0.5;
     let mut gen_rng = StdRng::seed_from_u64(9);
-    let graph =
-        wpinq_datasets::collaboration::collaboration_graph(1_500, 900, 2..=7, &mut gen_rng);
+    let graph = wpinq_datasets::collaboration::collaboration_graph(1_500, 900, 2..=7, &mut gen_rng);
     println!(
         "graph: {} nodes, {} edges, max degree {}",
         graph.num_nodes(),
@@ -48,12 +47,10 @@ fn main() {
     rows.sort_by_key(|(_, count)| std::cmp::Reverse(*count));
     println!("\nmost common degree pairs (true edge count / wPINQ estimate / Sala estimate):");
     for ((da, db), count) in rows.into_iter().take(8) {
-        let wpinq_est = wpinq_jdd.estimated_edges(da as u64, db as u64)
-            / if da == db { 2.0 } else { 1.0 };
+        let wpinq_est =
+            wpinq_jdd.estimated_edges(da as u64, db as u64) / if da == db { 2.0 } else { 1.0 };
         let sala_est = sala.get(&(da, db)).copied().unwrap_or(0.0);
-        println!(
-            "  ({da:>3}, {db:>3}): {count:>6}   {wpinq_est:>9.1}   {sala_est:>9.1}"
-        );
+        println!("  ({da:>3}, {db:>3}): {count:>6}   {wpinq_est:>9.1}   {sala_est:>9.1}");
     }
     println!(
         "\nprivacy spent on the wPINQ side: {:.2} (multiplicity 4 × epsilon {:.2})",

@@ -1,0 +1,8 @@
+//! Root crate of the wPINQ reproduction workspace.
+//!
+//! Carries no code of its own — it exists so the cross-crate integration tests in
+//! `tests/` and the runnable examples in `examples/` have a package to live in. The
+//! implementation is split across the `crates/` workspace members; start at the
+//! `wpinq` crate (language + plan IR) and `wpinq-mcmc` (synthesis workflow).
+
+#![forbid(unsafe_code)]

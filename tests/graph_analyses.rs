@@ -76,7 +76,10 @@ fn figure1_contrast_constant_noise_for_bounded_degree_graphs() {
         .inspect()
         .weight(&(2, 2, 2))
         / stats::triangle_count(&large) as f64;
-    assert!((w_small - w_large).abs() < 1e-9, "per-triangle weight should not depend on |V|");
+    assert!(
+        (w_small - w_large).abs() < 1e-9,
+        "per-triangle weight should not depend on |V|"
+    );
     assert!((w_small - triangles::tbd_record_weight(2, 2, 2)).abs() < 1e-9);
 }
 
@@ -116,7 +119,8 @@ fn noisy_tbd_measurement_recovers_total_triangles_within_noise_bounds() {
     let mut error_budget = 0.0;
     for (x, y, z) in exact.keys() {
         estimate += measurement.estimated_triangles((*x as u64, *y as u64, *z as u64));
-        error_budget += triangles::theorem2_noise_amplitude(*x as u64, *y as u64, *z as u64, epsilon);
+        error_budget +=
+            triangles::theorem2_noise_amplitude(*x as u64, *y as u64, *z as u64, epsilon);
     }
     let truth = stats::triangle_count(&graph) as f64;
     // The summed Laplace errors are very unlikely to exceed their summed amplitudes.

@@ -38,7 +38,10 @@ fn tbi_synthesis_moves_triangles_towards_the_secret_graph() {
     // Energy decreases (or at worst stays flat) along the trajectory endpoints.
     let first = result.trajectory.first().unwrap().energy;
     let last = result.trajectory.last().unwrap().energy;
-    assert!(last <= first + 1e-9, "energy should not increase: {first} -> {last}");
+    assert!(
+        last <= first + 1e-9,
+        "energy should not increase: {first} -> {last}"
+    );
 }
 
 #[test]
@@ -91,7 +94,10 @@ fn the_edge_swap_walk_preserves_degree_structure() {
     let mut rng = StdRng::seed_from_u64(6);
     let result = wpinq_mcmc::synthesis::synthesize(&secret, &config, &mut rng).unwrap();
     assert_eq!(result.final_summary.edges, result.seed_summary.edges);
-    assert_eq!(result.final_summary.max_degree, result.seed_summary.max_degree);
+    assert_eq!(
+        result.final_summary.max_degree,
+        result.seed_summary.max_degree
+    );
     assert_eq!(
         result.final_summary.sum_degree_squares,
         result.seed_summary.sum_degree_squares

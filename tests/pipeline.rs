@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use wpinq::{operators, PrivacyBudget, WeightedDataset};
-use wpinq_analyses::edges::{symmetric_edge_dataset, GraphEdges};
+use wpinq_analyses::edges::{symmetric_edge_dataset, EdgeSource, GraphEdges};
 use wpinq_analyses::{degree, jdd, tbi, triangles};
 use wpinq_dataflow::DataflowInput;
 use wpinq_graph::{generators, stats, Graph};
@@ -17,21 +17,19 @@ fn test_graph() -> Graph {
 }
 
 #[test]
-fn batch_and_incremental_evaluations_of_the_tbi_query_agree() {
+fn one_tbi_plan_definition_serves_batch_and_incremental_execution() {
+    // The acceptance test of the plan-IR refactor: a *single* plan value produces
+    // identical results through the batch evaluator and the incremental lowering.
     let graph = test_graph();
-    let edges = GraphEdges::new(&graph, PrivacyBudget::unlimited());
-    let batch_signal = tbi::tbi_query(&edges.queryable()).inspect().weight(&());
+    let source = EdgeSource::new();
+    let plan = tbi::tbi_plan(source.plan());
 
-    // The same query as an incremental dataflow, loaded edge by edge.
+    // Batch evaluation over the materialised edge dataset.
+    let batch_signal = plan.eval(&source.bind_graph(&graph)).weight(&());
+
+    // Incremental lowering onto a delta stream, loaded edge by edge.
     let (input, stream) = DataflowInput::<(u32, u32)>::new();
-    let paths = stream
-        .join(&stream, |e| e.1, |e| e.0, |x, y| (x.0, x.1, y.1))
-        .filter(|p| p.0 != p.2);
-    let out = paths
-        .select(|p| (p.1, p.2, p.0))
-        .intersect(&paths)
-        .select(|_| ())
-        .collect();
+    let out = plan.lower(&source.bind_stream(stream)).collect();
     for (record, weight) in symmetric_edge_dataset(&graph).iter() {
         input.push(&[(*record, weight)]);
     }
@@ -40,8 +38,32 @@ fn batch_and_incremental_evaluations_of_the_tbi_query_agree() {
         "incremental {} vs batch {batch_signal}",
         out.weight(&())
     );
-    // Both equal the closed-form signal of equation (8).
+    // Both equal the closed-form signal of equation (8)…
     assert!((batch_signal - tbi::tbi_exact_signal(&graph)).abs() < 1e-6);
+    // …and the budgeted front end runs the very same definition.
+    let edges = GraphEdges::new(&graph, PrivacyBudget::unlimited());
+    let via_queryable = tbi::tbi_query(&edges.queryable()).inspect().weight(&());
+    assert!((via_queryable - batch_signal).abs() < 1e-9);
+}
+
+#[test]
+fn one_tbd_plan_definition_serves_batch_and_incremental_execution() {
+    let graph = test_graph();
+    let source = EdgeSource::new();
+    let plan = triangles::tbd_plan(source.plan(), 2);
+
+    let batch_out = plan.eval(&source.bind_graph(&graph));
+
+    let (input, stream) = DataflowInput::<(u32, u32)>::new();
+    let collected = plan.lower(&source.bind_stream(stream)).collect();
+    input.push_dataset(&symmetric_edge_dataset(&graph));
+
+    assert!(
+        collected.snapshot().approx_eq(&batch_out, 1e-6),
+        "incremental and batch TbD outputs diverged"
+    );
+    // The 9ε accounting comes from the same definition too.
+    assert_eq!(plan.multiplicity_of(source.plan().input_id().unwrap()), 9);
 }
 
 #[test]
@@ -55,9 +77,7 @@ fn query_weights_can_be_unscaled_back_to_exact_graph_statistics() {
     let exact = stats::triangles_by_degree(&graph);
     let mut recovered_total = 0.0;
     for ((x, y, z), count) in &exact {
-        let weight = tbd
-            .inspect()
-            .weight(&(*x as u64, *y as u64, *z as u64));
+        let weight = tbd.inspect().weight(&(*x as u64, *y as u64, *z as u64));
         let recovered = weight / triangles::tbd_record_weight(*x as u64, *y as u64, *z as u64);
         assert!(
             (recovered - *count as f64).abs() < 1e-6,
@@ -70,7 +90,11 @@ fn query_weights_can_be_unscaled_back_to_exact_graph_statistics() {
     // Joint degree distribution: same exercise.
     let jdd_q = jdd::jdd_query(&edges.queryable());
     for ((da, db), count) in stats::joint_degree_distribution(&graph) {
-        let directed = if da == db { 2.0 * count as f64 } else { count as f64 };
+        let directed = if da == db {
+            2.0 * count as f64
+        } else {
+            count as f64
+        };
         let weight = jdd_q.inspect().weight(&(da as u64, db as u64));
         let recovered = weight / jdd::jdd_record_weight(da as u64, db as u64);
         assert!((recovered - directed).abs() < 1e-6, "pair ({da},{db})");
