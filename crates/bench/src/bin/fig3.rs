@@ -19,6 +19,7 @@ fn run(
     seed: u64,
     steps: u64,
     epsilon: f64,
+    threads: usize,
 ) -> SynthesisResult {
     let mut rng = StdRng::seed_from_u64(seed);
     let config = SynthesisConfig {
@@ -28,6 +29,7 @@ fn run(
         record_every: (steps / 8).max(1),
         triangle_query: TriangleQuery::TbD { bucket },
         score_degrees: false,
+        threads,
     };
     wpinq_mcmc::synthesis::synthesize(graph, &config, &mut rng).expect("synthesis within budget")
 }
@@ -57,8 +59,22 @@ fn main() {
 
     for (label, bucket) in [("no bucketing (k = 1)", 1u64), ("bucketed (k = 20)", 20)] {
         println!("-- {label} --");
-        let real = run(&grqc, bucket, args.seed, steps, epsilon);
-        let rand_run = run(&random, bucket, args.seed + 1, steps, epsilon);
+        let real = run(
+            &grqc,
+            bucket,
+            args.seed,
+            steps,
+            epsilon,
+            args.threads_or_env(),
+        );
+        let rand_run = run(
+            &random,
+            bucket,
+            args.seed + 1,
+            steps,
+            epsilon,
+            args.threads_or_env(),
+        );
         let mut table = Table::new([
             "step",
             "triangles (real)",

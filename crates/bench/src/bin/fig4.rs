@@ -11,7 +11,13 @@ use rand::SeedableRng;
 use wpinq_graph::stats;
 use wpinq_mcmc::{SynthesisConfig, SynthesisResult, TriangleQuery};
 
-fn run(graph: &wpinq_graph::Graph, seed: u64, steps: u64, epsilon: f64) -> SynthesisResult {
+fn run(
+    graph: &wpinq_graph::Graph,
+    seed: u64,
+    steps: u64,
+    epsilon: f64,
+    threads: usize,
+) -> SynthesisResult {
     let mut rng = StdRng::seed_from_u64(seed);
     let config = SynthesisConfig {
         epsilon,
@@ -20,6 +26,7 @@ fn run(graph: &wpinq_graph::Graph, seed: u64, steps: u64, epsilon: f64) -> Synth
         record_every: (steps / 10).max(1),
         triangle_query: TriangleQuery::TbI,
         score_degrees: false,
+        threads,
     };
     wpinq_mcmc::synthesis::synthesize(graph, &config, &mut rng).expect("synthesis within budget")
 }
@@ -39,8 +46,20 @@ fn main() {
         let random = smallsets::randomized(&graph, 1000 + index as u64);
         let truth_real = stats::triangle_count(&graph);
         let truth_random = stats::triangle_count(&random);
-        let real = run(&graph, args.seed + index as u64, steps, epsilon);
-        let rand_run = run(&random, args.seed + 100 + index as u64, steps, epsilon);
+        let real = run(
+            &graph,
+            args.seed + index as u64,
+            steps,
+            epsilon,
+            args.threads_or_env(),
+        );
+        let rand_run = run(
+            &random,
+            args.seed + 100 + index as u64,
+            steps,
+            epsilon,
+            args.threads_or_env(),
+        );
 
         println!(
             "{name}: original graph has {} triangles; Random({name}) has {}",

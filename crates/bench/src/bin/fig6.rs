@@ -46,6 +46,7 @@ fn main() {
             record_every: 0,
             triangle_query: TriangleQuery::TbI,
             score_degrees: false,
+            threads: args.threads_or_env(),
         };
         let (result, growth) = measure_growth(|| {
             wpinq_mcmc::synthesis::synthesize(&entry.graph, &config, &mut rng)
@@ -86,6 +87,7 @@ fn main() {
                 record_every: (steps.max(20_000) / 10).max(1),
                 triangle_query: TriangleQuery::TbI,
                 score_degrees: false,
+                threads: args.threads_or_env(),
             };
             wpinq_mcmc::synthesis::synthesize(graph, &config, &mut rng)
                 .expect("synthesis within budget")

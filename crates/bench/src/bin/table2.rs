@@ -47,6 +47,7 @@ fn main() {
             record_every: 0,
             triangle_query: TriangleQuery::TbI,
             score_degrees: false,
+            threads: args.threads_or_env(),
         };
         let result = wpinq_mcmc::synthesis::synthesize(&graph, &config, &mut rng)
             .expect("synthesis within budget");

@@ -13,7 +13,7 @@ pub mod smallsets;
 /// Minimal command-line options shared by the experiment binaries.
 ///
 /// Recognised flags: `--steps N`, `--scale small|full`, `--epsilon X`, `--seed N`,
-/// `--epinions`. Unknown arguments are ignored so binaries stay forgiving.
+/// `--threads N`, `--epinions`. Unknown arguments are ignored so binaries stay forgiving.
 #[derive(Debug, Clone)]
 pub struct HarnessArgs {
     /// Number of MCMC steps (binaries pick their own defaults).
@@ -24,6 +24,10 @@ pub struct HarnessArgs {
     pub epsilon: Option<f64>,
     /// RNG seed for the run.
     pub seed: u64,
+    /// Worker-thread count for batch plan evaluation (`--threads N`). `None` leaves the
+    /// `WPINQ_THREADS` environment variable in charge; binaries pass
+    /// [`threads_or_env`](Self::threads_or_env) into `SynthesisConfig::threads`.
+    pub threads: Option<usize>,
     /// Run the optional Epinions panel (Figure 6, right).
     pub epinions: bool,
 }
@@ -35,6 +39,7 @@ impl Default for HarnessArgs {
             full_scale: false,
             epsilon: None,
             seed: 42,
+            threads: None,
             epinions: false,
         }
     }
@@ -72,6 +77,11 @@ impl HarnessArgs {
                         parsed.seed = v.parse().unwrap_or(42);
                     }
                 }
+                "--threads" => {
+                    if let Some(v) = iter.next() {
+                        parsed.threads = v.parse().ok();
+                    }
+                }
                 "--epinions" => parsed.epinions = true,
                 _ => {}
             }
@@ -87,6 +97,12 @@ impl HarnessArgs {
     /// The ε to use, with a binary-specific default.
     pub fn epsilon_or(&self, default: f64) -> f64 {
         self.epsilon.unwrap_or(default)
+    }
+
+    /// The `SynthesisConfig::threads` value for this invocation: the explicit `--threads`
+    /// flag, or `0` (= defer to the `WPINQ_THREADS` environment variable).
+    pub fn threads_or_env(&self) -> usize {
+        self.threads.unwrap_or(0)
     }
 }
 
@@ -105,6 +121,8 @@ mod tests {
                 "--epsilon",
                 "0.5",
                 "--bogus",
+                "--threads",
+                "4",
                 "--epinions",
             ]
             .iter()
@@ -113,6 +131,7 @@ mod tests {
         assert_eq!(args.steps, Some(5000));
         assert!(args.full_scale);
         assert_eq!(args.epsilon, Some(0.5));
+        assert_eq!(args.threads, Some(4));
         assert!(args.epinions);
         assert_eq!(args.seed, 42);
     }

@@ -35,6 +35,12 @@ pub struct NoisyCounts<T: Record> {
 impl<T: Record> NoisyCounts<T> {
     /// Measures `data` with `Laplace(1/epsilon)` noise per record.
     ///
+    /// Noise is assigned in **sorted record order**, so for a fixed RNG state the released
+    /// values are a function of the dataset's contents alone — independent of the hash-map
+    /// insertion order the executor happened to produce. Together with the executors'
+    /// bitwise-identical evaluation this makes whole releases reproducible across
+    /// sequential and sharded execution.
+    ///
     /// This constructor performs **no privacy accounting**; use the budgeted
     /// `Queryable::noisy_count` front end in the `wpinq` crate for real measurements.
     ///
@@ -43,8 +49,9 @@ impl<T: Record> NoisyCounts<T> {
     pub fn measure<R: Rng + ?Sized>(data: &WeightedDataset<T>, epsilon: f64, rng: &mut R) -> Self {
         let laplace = Laplace::from_epsilon(epsilon);
         let observed = data
-            .iter()
-            .map(|(record, weight)| (record.clone(), weight + laplace.sample(rng)))
+            .sorted_pairs()
+            .into_iter()
+            .map(|(record, weight)| (record, weight + laplace.sample(rng)))
             .collect();
         NoisyCounts {
             epsilon,
@@ -128,7 +135,9 @@ impl<T: Record> NoisyCounts<T> {
 ///
 /// `NoisySum(A, f, ε) = Σ_x clamp(f(x), -1, 1) · A(x) + Laplace(1/ε)`. Clamping keeps the
 /// query 1-Lipschitz with respect to the dataset so a single unit of weight change moves
-/// the true answer by at most one.
+/// the true answer by at most one. The sum is accumulated in the canonical order of
+/// [`crate::accumulate`], so the release is independent of dataset iteration order (and
+/// therefore of the executor that produced the dataset).
 pub fn noisy_sum<T, R, F>(data: &WeightedDataset<T>, f: F, epsilon: f64, rng: &mut R) -> f64
 where
     T: Record,
@@ -136,11 +145,11 @@ where
     F: Fn(&T) -> f64,
 {
     let laplace = Laplace::from_epsilon(epsilon);
-    let total: f64 = data
+    let mut terms: Vec<f64> = data
         .iter()
         .map(|(record, weight)| f(record).clamp(-1.0, 1.0) * weight)
-        .sum();
-    total + laplace.sample(rng)
+        .collect();
+    crate::accumulate::canonical_sum(&mut terms) + laplace.sample(rng)
 }
 
 /// A noisy average of a numeric function of each record, computed as a noisy sum divided by
@@ -153,12 +162,13 @@ where
 {
     let half = epsilon / 2.0;
     let laplace = Laplace::from_epsilon(half);
-    let numerator: f64 = data
+    let mut terms: Vec<f64> = data
         .iter()
         .map(|(record, weight)| f(record).clamp(-1.0, 1.0) * weight)
-        .sum::<f64>()
-        + laplace.sample(rng);
-    let denominator: f64 = data.norm() + laplace.sample(rng);
+        .collect();
+    let numerator = crate::accumulate::canonical_sum(&mut terms) + laplace.sample(rng);
+    let denominator: f64 =
+        crate::accumulate::canonical_norm(data.iter().map(|(_, w)| w)) + laplace.sample(rng);
     if denominator.abs() < 1e-9 {
         0.0
     } else {
@@ -174,6 +184,24 @@ mod tests {
 
     fn sample_a() -> WeightedDataset<&'static str> {
         WeightedDataset::from_pairs([("1", 0.75), ("2", 2.0), ("3", 1.0)])
+    }
+
+    #[test]
+    fn noise_assignment_is_independent_of_insertion_order() {
+        // Two datasets with identical contents but different hash-map insertion orders
+        // (as the sequential and sharded executors produce) must release identical
+        // values for identical RNG state — noise is assigned in sorted record order.
+        let pairs = [("d", 1.5), ("a", 0.25), ("c", -2.0), ("b", 7.0)];
+        let forward = WeightedDataset::from_pairs(pairs);
+        let reverse = WeightedDataset::from_pairs(pairs.iter().rev().copied());
+        let m1 = NoisyCounts::measure(&forward, 0.5, &mut StdRng::seed_from_u64(3));
+        let m2 = NoisyCounts::measure(&reverse, 0.5, &mut StdRng::seed_from_u64(3));
+        for (record, value) in m1.sorted_observed() {
+            assert_eq!(value.to_bits(), m2.get(&record).to_bits());
+        }
+        let s1 = noisy_sum(&forward, |_| 1.0, 0.5, &mut StdRng::seed_from_u64(4));
+        let s2 = noisy_sum(&reverse, |_| 1.0, 0.5, &mut StdRng::seed_from_u64(4));
+        assert_eq!(s1.to_bits(), s2.to_bits());
     }
 
     #[test]

@@ -197,10 +197,32 @@ impl<T: Record> WeightedDataset<T> {
     }
 
     /// Merges another dataset into this one by element-wise addition (Concat semantics).
+    ///
+    /// Merging **two** datasets is deterministic (one addition per record). Folding three
+    /// or more parts through repeated `merge` calls is *not* order-insensitive — float
+    /// addition is non-associative — so shard merges and other N-way aggregations should
+    /// use [`merge_canonical`](Self::merge_canonical) instead.
     pub fn merge(&mut self, other: &WeightedDataset<T>) {
         for (record, w) in other.iter() {
             self.add_weight(record.clone(), w);
         }
+    }
+
+    /// Element-wise sum of any number of parts with each record's contributions
+    /// accumulated in the canonical order of [`crate::accumulate`]: the result is bitwise
+    /// identical for any permutation of `parts` (and of the records inside them), which
+    /// makes shard merges exactly reproducible.
+    pub fn merge_canonical<'a, I>(parts: I) -> WeightedDataset<T>
+    where
+        I: IntoIterator<Item = &'a WeightedDataset<T>>,
+    {
+        let mut acc = crate::accumulate::Contributions::new();
+        for part in parts {
+            for (record, weight) in part.iter() {
+                acc.push(record.clone(), weight);
+            }
+        }
+        acc.into_dataset()
     }
 
     /// Returns `true` when both datasets assign (approximately) equal weight to every record.
@@ -346,6 +368,33 @@ mod tests {
         a.merge(&sample_b());
         assert!(crate::weights::approx_eq(a.weight(&"1"), 3.75));
         assert!(crate::weights::approx_eq(a.weight(&"4"), 2.0));
+    }
+
+    #[test]
+    fn merge_canonical_is_permutation_invariant_bitwise() {
+        // Weights chosen so left-to-right folds disagree between orderings.
+        let p1 = WeightedDataset::from_pairs([("x", 1e16), ("y", 0.1)]);
+        let p2 = WeightedDataset::from_pairs([("x", 1.0), ("y", 0.2)]);
+        let p3 = WeightedDataset::from_pairs([("x", -1e16), ("y", 0.3)]);
+        let orders: [[&WeightedDataset<&str>; 3]; 3] =
+            [[&p1, &p2, &p3], [&p3, &p1, &p2], [&p2, &p3, &p1]];
+        let reference = WeightedDataset::merge_canonical(orders[0]);
+        for order in &orders[1..] {
+            let merged = WeightedDataset::merge_canonical(order.iter().copied());
+            assert_eq!(merged.len(), reference.len());
+            for (record, w) in reference.iter() {
+                assert_eq!(
+                    w.to_bits(),
+                    merged.weight(record).to_bits(),
+                    "canonical merge differs for {record:?}"
+                );
+            }
+        }
+        // Sequential folds of the same parts need not agree bitwise — that is the
+        // nondeterminism merge_canonical exists to remove (canonical order fixes the
+        // rounding, it does not improve it: here the ascending sum absorbs x's 1.0 into
+        // the 1e16 cancellation, deterministically).
+        assert!(crate::weights::approx_eq(reference.weight(&"y"), 0.6));
     }
 
     #[test]

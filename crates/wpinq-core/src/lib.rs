@@ -10,6 +10,10 @@
 //!   reference semantics: the incremental engine in `wpinq-dataflow` recomputes affected
 //!   keys with these same kernels, and the `wpinq` plan layer's batch evaluator calls them
 //!   directly, so there is exactly one definition of each operator's weight arithmetic.
+//! * [`shard`] — hash-partitioned [`ShardedDataset`]s plus shard-parallel variants of every
+//!   batch kernel (`std::thread::scope` workers, exchanges at GroupBy/Join boundaries),
+//!   bitwise-identical to the sequential kernels thanks to the canonical accumulation
+//!   order in [`accumulate`].
 //! * [`noise`] and [`aggregation`] — Laplace sampling and the `NoisyCount`/`NoisySum`
 //!   measurement primitives (no privacy accounting here; budgets live in `wpinq`).
 //! * [`weights`] — tolerances and the pruning threshold for real-valued record weights.
@@ -21,13 +25,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod accumulate;
 pub mod aggregation;
 pub mod dataset;
 pub mod noise;
 pub mod operators;
 pub mod record;
+pub mod shard;
 pub mod weights;
 
 pub use aggregation::NoisyCounts;
 pub use dataset::WeightedDataset;
 pub use record::Record;
+pub use shard::ShardedDataset;

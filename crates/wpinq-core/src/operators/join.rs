@@ -12,6 +12,10 @@ use crate::record::Record;
 ///
 /// `Join(A, B) = Σ_k (A_k × B_kᵀ) / (‖A_k‖ + ‖B_k‖)`   (equation (1) of the paper).
 ///
+/// Both the per-key norms and the accumulation of colliding output contributions use the
+/// canonical summation order of [`crate::accumulate`], so the result is bitwise
+/// independent of input iteration order — the property the sharded executor relies on.
+///
 /// Unlike the standard relational join (where one record can produce unboundedly many
 /// matches and the transformation is unstable), this data-dependent rescaling makes the
 /// operator stable: `‖Join(A,B) − Join(A',B')‖ ≤ ‖A − A'‖ + ‖B − B'‖` (Theorem 4).
@@ -31,41 +35,39 @@ where
     KB: Fn(&B) -> K,
     RF: Fn(&A, &B) -> R,
 {
-    // Partition both inputs by key, tracking each part's norm ‖·‖ = Σ|w|.
-    type KeyPart<'a, T> = (Vec<(&'a T, f64)>, f64);
-    let mut parts_a: FxHashMap<K, KeyPart<'_, A>> = FxHashMap::default();
+    // Partition both inputs by key; norms are computed canonically per part.
+    let mut parts_a: FxHashMap<K, Vec<(&A, f64)>> = FxHashMap::default();
     for (record, weight) in a.iter() {
-        let entry = parts_a
+        parts_a
             .entry(key_a(record))
-            .or_insert_with(|| (Vec::new(), 0.0));
-        entry.0.push((record, weight));
-        entry.1 += weight.abs();
+            .or_default()
+            .push((record, weight));
     }
-    let mut parts_b: FxHashMap<K, KeyPart<'_, B>> = FxHashMap::default();
+    let mut parts_b: FxHashMap<K, Vec<(&B, f64)>> = FxHashMap::default();
     for (record, weight) in b.iter() {
-        let entry = parts_b
+        parts_b
             .entry(key_b(record))
-            .or_insert_with(|| (Vec::new(), 0.0));
-        entry.0.push((record, weight));
-        entry.1 += weight.abs();
+            .or_default()
+            .push((record, weight));
     }
 
-    let mut out = WeightedDataset::new();
-    for (key, (recs_a, norm_a)) in &parts_a {
-        let Some((recs_b, norm_b)) = parts_b.get(key) else {
+    let mut out = crate::accumulate::Contributions::new();
+    for (key, recs_a) in &parts_a {
+        let Some(recs_b) = parts_b.get(key) else {
             continue;
         };
-        let denominator = norm_a + norm_b;
+        let denominator = crate::accumulate::canonical_norm(recs_a.iter().map(|(_, w)| *w))
+            + crate::accumulate::canonical_norm(recs_b.iter().map(|(_, w)| *w));
         if denominator <= 0.0 {
             continue;
         }
         for (ra, wa) in recs_a {
             for (rb, wb) in recs_b {
-                out.add_weight(result(ra, rb), wa * wb / denominator);
+                out.push(result(ra, rb), wa * wb / denominator);
             }
         }
     }
-    out
+    out.into_dataset()
 }
 
 /// [`join`] with the identity result selector: emits `(a, b)` pairs.

@@ -1,10 +1,15 @@
 //! `Select` (per-record transformation) and `Where` (per-record filtering), Section 2.4.
 
+use crate::accumulate::Contributions;
 use crate::dataset::WeightedDataset;
 use crate::record::Record;
 
 /// Applies `f` to every record, accumulating the weights of records that map to the same
 /// output: `Select(A, f)(x) = Σ_{y : f(y) = x} A(y)`.
+///
+/// Colliding contributions are summed in the canonical order of [`crate::accumulate`], so
+/// the result is bitwise independent of the input's iteration order (and of how a sharded
+/// evaluation interleaves them).
 ///
 /// Stability: every unit of input weight becomes exactly one unit of output weight, so
 /// `‖Select(A) − Select(A')‖ ≤ ‖A − A'‖`.
@@ -14,11 +19,11 @@ where
     U: Record,
     F: Fn(&T) -> U,
 {
-    let mut out = WeightedDataset::with_capacity(data.len());
+    let mut out = Contributions::with_capacity(data.len());
     for (record, weight) in data.iter() {
-        out.add_weight(f(record), weight);
+        out.push(f(record), weight);
     }
-    out
+    out.into_dataset()
 }
 
 /// Keeps only the records satisfying `predicate`:

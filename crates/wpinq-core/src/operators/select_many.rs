@@ -17,7 +17,7 @@ where
     U: Record,
     F: Fn(&T) -> WeightedDataset<U>,
 {
-    let mut out = WeightedDataset::new();
+    let mut out = crate::accumulate::Contributions::new();
     for (record, weight) in data.iter() {
         let produced = f(record);
         let norm = produced.norm();
@@ -26,10 +26,10 @@ where
         }
         let scale = weight / norm.max(1.0);
         for (u, w) in produced.iter() {
-            out.add_weight(u.clone(), w * scale);
+            out.push(u.clone(), w * scale);
         }
     }
-    out
+    out.into_dataset()
 }
 
 /// Convenience form of [`select_many`] where `f` returns a list of records, each implicitly

@@ -1,0 +1,565 @@
+//! Hash-sharded datasets and shard-parallel batch kernels.
+//!
+//! [`ShardedDataset<T>`] splits a [`WeightedDataset`] into `n` shards by a stable hash of
+//! the record, with the invariant that **every record lives in the shard
+//! `shard_of(record, n)` with its full, exactly-accumulated weight**. Each operator here
+//! mirrors one sequential kernel in [`crate::operators`], evaluating shard-wise on
+//! `std::thread::scope` workers and *exchanging* (re-routing) records only where the
+//! operator requires it:
+//!
+//! * `Where` preserves record identity, so it runs shard-local with no exchange.
+//! * The element-wise binary operators (`Union`, `Intersect`, `Concat`, `Except`) consume
+//!   two datasets co-partitioned by the same record hash, so they also run shard-local.
+//! * `Select`, `SelectMany` and `Shave` change the record, so their outputs are routed to
+//!   the output record's shard.
+//! * `GroupBy` and `Join` are the true exchange boundaries: inputs are first re-routed by
+//!   *key* hash so each worker sees every record of its keys, then outputs are routed by
+//!   output-record hash.
+//!
+//! Where contributions from different shards can collide on one output record (`Select`,
+//! `SelectMany`, `Join`), they are resolved through the canonical accumulation order of
+//! [`crate::accumulate`], and the sequential kernels use the same canonicalisation — so a
+//! sharded evaluation is **bitwise identical** to a sequential one, for every shard count.
+//! This is checked operator-by-operator by the tests below and end-to-end by the plan
+//! property tests in the `wpinq` crate.
+
+use std::hash::{Hash, Hasher};
+
+use rustc_hash::FxHasher;
+
+use crate::accumulate::{canonical_norm, Contributions};
+use crate::dataset::WeightedDataset;
+use crate::operators as batch;
+use crate::record::Record;
+
+/// The shard index of a value under a stable (seedless) hash.
+///
+/// Uses the deterministic `FxHasher`, so the assignment is reproducible across runs,
+/// threads and machines of the same endianness/width.
+pub fn shard_of<T: Hash + ?Sized>(value: &T, nshards: usize) -> usize {
+    debug_assert!(nshards > 0, "shard_of requires at least one shard");
+    let mut hasher = FxHasher::default();
+    value.hash(&mut hasher);
+    (hasher.finish() % nshards as u64) as usize
+}
+
+/// A weighted dataset hash-partitioned into `n` record-disjoint shards.
+///
+/// Invariant: record `r` appears only in shard [`shard_of`]`(r, n)`, carrying the same
+/// weight it would carry in the unsharded dataset. [`merged`](Self::merged) is therefore a
+/// lossless inverse of [`partition`](Self::partition).
+#[derive(Debug, Clone)]
+pub struct ShardedDataset<T: Record> {
+    shards: Vec<WeightedDataset<T>>,
+}
+
+impl<T: Record> ShardedDataset<T> {
+    /// Partitions a dataset into `nshards` (clamped to at least 1) record-hash shards.
+    pub fn partition(data: &WeightedDataset<T>, nshards: usize) -> Self {
+        let n = nshards.max(1);
+        let mut shards = vec![WeightedDataset::new(); n];
+        for (record, weight) in data.iter() {
+            shards[shard_of(record, n)].set_weight(record.clone(), weight);
+        }
+        ShardedDataset { shards }
+    }
+
+    fn from_shards(shards: Vec<WeightedDataset<T>>) -> Self {
+        debug_assert!(!shards.is_empty());
+        ShardedDataset { shards }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards, indexed by [`shard_of`].
+    pub fn shards(&self) -> &[WeightedDataset<T>] {
+        &self.shards
+    }
+
+    /// Total number of records across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(WeightedDataset::len).sum()
+    }
+
+    /// Returns `true` when no shard holds any record.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(WeightedDataset::is_empty)
+    }
+
+    /// Reassembles the single-map dataset (shards are record-disjoint, so no weight
+    /// arithmetic happens here — weights are moved bit-for-bit).
+    pub fn merged(&self) -> WeightedDataset<T> {
+        let mut out = WeightedDataset::with_capacity(self.len());
+        for shard in &self.shards {
+            for (record, weight) in shard.iter() {
+                out.set_weight(record.clone(), weight);
+            }
+        }
+        out
+    }
+
+    /// [`merged`](Self::merged), consuming the shards to avoid cloning records.
+    pub fn into_merged(self) -> WeightedDataset<T> {
+        let mut out = WeightedDataset::with_capacity(self.len());
+        for shard in self.shards {
+            for (record, weight) in shard {
+                out.set_weight(record, weight);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Worker scaffolding
+// ---------------------------------------------------------------------------------------
+
+/// Runs `f(shard_index, input)` for every input on scoped worker threads, returning the
+/// results in shard order. Single-shard calls run inline to skip the spawn cost.
+fn map_shards<I: Send, R: Send>(inputs: Vec<I>, f: impl Fn(usize, I) -> R + Sync) -> Vec<R> {
+    if inputs.len() == 1 {
+        let input = inputs.into_iter().next().expect("one input");
+        return vec![f(0, input)];
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = inputs
+            .into_iter()
+            .enumerate()
+            .map(|(index, input)| scope.spawn(move || f(index, input)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("shard worker panicked"))
+            .collect()
+    })
+}
+
+/// Runs `f(shard_index)` for `0..n` on scoped worker threads.
+fn for_each_shard<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    map_shards((0..n).collect::<Vec<_>>(), |_, index| f(index))
+}
+
+/// Routing buffers produced by one worker: one `(record, weight)` bucket per destination.
+type Routed<T> = Vec<Vec<(T, f64)>>;
+
+fn empty_routes<T>(n: usize) -> Routed<T> {
+    (0..n).map(|_| Vec::new()).collect()
+}
+
+/// Transposes per-producer routing buffers and canonically accumulates each destination
+/// shard in parallel. Collisions between contributions (same output record reached from
+/// several producers, or several times from one) are resolved in canonical order.
+fn exchange<U: Record>(routed: Vec<Routed<U>>) -> ShardedDataset<U> {
+    let n = routed.first().map(Vec::len).expect("at least one producer");
+    let mut by_dest: Vec<Vec<Vec<(U, f64)>>> = (0..n).map(|_| Vec::new()).collect();
+    for producer in routed {
+        debug_assert_eq!(producer.len(), n);
+        for (dest, bucket) in producer.into_iter().enumerate() {
+            by_dest[dest].push(bucket);
+        }
+    }
+    let shards = map_shards(by_dest, |_, buckets| {
+        let mut acc = Contributions::new();
+        for bucket in buckets {
+            for (record, weight) in bucket {
+                acc.push(record, weight);
+            }
+        }
+        acc.into_dataset()
+    });
+    ShardedDataset::from_shards(shards)
+}
+
+/// Routes a locally-computed dataset to destination buckets by output-record hash.
+fn route_dataset<U: Record>(data: WeightedDataset<U>, n: usize) -> Routed<U> {
+    let mut routes = empty_routes(n);
+    for (record, weight) in data {
+        routes[shard_of(&record, n)].push((record, weight));
+    }
+    routes
+}
+
+// ---------------------------------------------------------------------------------------
+// Sharded operator kernels
+// ---------------------------------------------------------------------------------------
+
+/// Shard-parallel `Select` (see [`batch::select`]).
+pub fn select<T, U, F>(data: &ShardedDataset<T>, f: &F) -> ShardedDataset<U>
+where
+    T: Record,
+    U: Record,
+    F: Fn(&T) -> U + Sync + ?Sized,
+{
+    let n = data.num_shards();
+    let routed = for_each_shard(n, |index| {
+        let mut routes = empty_routes(n);
+        for (record, weight) in data.shards[index].iter() {
+            let out = f(record);
+            routes[shard_of(&out, n)].push((out, weight));
+        }
+        routes
+    });
+    exchange(routed)
+}
+
+/// Shard-parallel `Where` (see [`batch::filter`]); record identity is preserved, so the
+/// partitioning survives and no exchange happens.
+pub fn filter<T, P>(data: &ShardedDataset<T>, predicate: &P) -> ShardedDataset<T>
+where
+    T: Record,
+    P: Fn(&T) -> bool + Sync + ?Sized,
+{
+    let shards = for_each_shard(data.num_shards(), |index| {
+        batch::filter(&data.shards[index], predicate)
+    });
+    ShardedDataset::from_shards(shards)
+}
+
+/// Shard-parallel `SelectMany` (see [`batch::select_many`]).
+pub fn select_many<T, U, F>(data: &ShardedDataset<T>, f: &F) -> ShardedDataset<U>
+where
+    T: Record,
+    U: Record,
+    F: Fn(&T) -> WeightedDataset<U> + Sync + ?Sized,
+{
+    let n = data.num_shards();
+    let routed = for_each_shard(n, |index| {
+        let mut routes = empty_routes(n);
+        for (record, weight) in data.shards[index].iter() {
+            let produced = f(record);
+            let norm = produced.norm();
+            if norm == 0.0 {
+                continue;
+            }
+            let scale = weight / norm.max(1.0);
+            for (out, w) in produced.iter() {
+                routes[shard_of(out, n)].push((out.clone(), w * scale));
+            }
+        }
+        routes
+    });
+    exchange(routed)
+}
+
+/// Shard-parallel `Shave` (see [`batch::shave`]). Outputs `(record, index)` are unique per
+/// input record, so the exchange only re-routes — no cross-shard collisions exist.
+pub fn shave<T, F, I>(data: &ShardedDataset<T>, schedule: &F) -> ShardedDataset<(T, u64)>
+where
+    T: Record,
+    F: Fn(&T) -> I + Sync + ?Sized,
+    I: IntoIterator<Item = f64>,
+{
+    let n = data.num_shards();
+    let routed = for_each_shard(n, |index| {
+        route_dataset(batch::shave(&data.shards[index], schedule), n)
+    });
+    exchange(routed)
+}
+
+/// Shard-parallel `GroupBy` (see [`batch::group_by`]): records are exchanged by **key**
+/// hash so each worker owns complete groups, then each worker runs the sequential kernel
+/// (whose within-group order is already canonical) and routes its outputs.
+pub fn group_by<T, K, R, KF, RF>(
+    data: &ShardedDataset<T>,
+    key: &KF,
+    reduce: &RF,
+) -> ShardedDataset<(K, R)>
+where
+    T: Record,
+    K: Record,
+    R: Record,
+    KF: Fn(&T) -> K + Sync + ?Sized,
+    RF: Fn(&[T]) -> R + Sync + ?Sized,
+{
+    let n = data.num_shards();
+    // Exchange inputs by key hash (each record moves with its exact weight; records are
+    // globally unique, so no accumulation happens).
+    let routed = for_each_shard(n, |index| {
+        let mut routes = empty_routes(n);
+        for (record, weight) in data.shards[index].iter() {
+            routes[shard_of(&key(record), n)].push((record.clone(), weight));
+        }
+        routes
+    });
+    let mut by_dest: Vec<Vec<(T, f64)>> = (0..n).map(|_| Vec::new()).collect();
+    for producer in routed {
+        for (dest, bucket) in producer.into_iter().enumerate() {
+            by_dest[dest].extend(bucket);
+        }
+    }
+    // Each worker reduces its complete key groups, then routes outputs by record hash.
+    let produced = map_shards(by_dest, |_, records| {
+        let part = WeightedDataset::from_pairs(records);
+        route_dataset(batch::group_by(&part, key, reduce), n)
+    });
+    exchange(produced)
+}
+
+/// Shard-parallel weight-rescaling `Join` (see [`batch::join`]): both inputs are exchanged
+/// by key hash, each worker joins its complete key groups with canonically-ordered
+/// normalising denominators, and the output contributions are exchanged by record hash.
+pub fn join<A, B, K, R, KA, KB, RF>(
+    a: &ShardedDataset<A>,
+    b: &ShardedDataset<B>,
+    key_a: &KA,
+    key_b: &KB,
+    result: &RF,
+) -> ShardedDataset<R>
+where
+    A: Record,
+    B: Record,
+    K: Clone + Eq + Hash,
+    R: Record,
+    KA: Fn(&A) -> K + Sync + ?Sized,
+    KB: Fn(&B) -> K + Sync + ?Sized,
+    RF: Fn(&A, &B) -> R + Sync + ?Sized,
+{
+    let n = a.num_shards();
+    assert_eq!(
+        n,
+        b.num_shards(),
+        "join requires co-sharded inputs (same shard count)"
+    );
+
+    fn route_by_key<T: Record, K, KF>(
+        data: &ShardedDataset<T>,
+        key: &KF,
+        n: usize,
+    ) -> Vec<Vec<(T, f64)>>
+    where
+        KF: Fn(&T) -> K + Sync + ?Sized,
+        K: Hash,
+    {
+        let routed = for_each_shard(n, |index| {
+            let mut routes = empty_routes(n);
+            for (record, weight) in data.shards[index].iter() {
+                routes[shard_of(&key(record), n)].push((record.clone(), weight));
+            }
+            routes
+        });
+        let mut by_dest: Vec<Vec<(T, f64)>> = (0..n).map(|_| Vec::new()).collect();
+        for producer in routed {
+            for (dest, bucket) in producer.into_iter().enumerate() {
+                by_dest[dest].extend(bucket);
+            }
+        }
+        by_dest
+    }
+
+    let a_by_key = route_by_key(a, key_a, n);
+    let b_by_key = route_by_key(b, key_b, n);
+
+    let produced = map_shards(
+        a_by_key.into_iter().zip(b_by_key).collect::<Vec<_>>(),
+        |_, (recs_a, recs_b)| {
+            use rustc_hash::FxHashMap;
+            let mut parts_a: FxHashMap<K, Vec<(A, f64)>> = FxHashMap::default();
+            for (record, weight) in recs_a {
+                parts_a
+                    .entry(key_a(&record))
+                    .or_default()
+                    .push((record, weight));
+            }
+            let mut parts_b: FxHashMap<K, Vec<(B, f64)>> = FxHashMap::default();
+            for (record, weight) in recs_b {
+                parts_b
+                    .entry(key_b(&record))
+                    .or_default()
+                    .push((record, weight));
+            }
+            let mut routes = empty_routes(n);
+            for (key, part_a) in &parts_a {
+                let Some(part_b) = parts_b.get(key) else {
+                    continue;
+                };
+                let denominator = canonical_norm(part_a.iter().map(|(_, w)| *w))
+                    + canonical_norm(part_b.iter().map(|(_, w)| *w));
+                if denominator <= 0.0 {
+                    continue;
+                }
+                for (ra, wa) in part_a {
+                    for (rb, wb) in part_b {
+                        let out = result(ra, rb);
+                        routes[shard_of(&out, n)].push((out, wa * wb / denominator));
+                    }
+                }
+            }
+            routes
+        },
+    );
+    exchange(produced)
+}
+
+/// Shard-parallel element-wise `Union` (co-sharded inputs, shard-local, no exchange).
+pub fn union<T: Record>(a: &ShardedDataset<T>, b: &ShardedDataset<T>) -> ShardedDataset<T> {
+    binary(a, b, batch::union)
+}
+
+/// Shard-parallel element-wise `Intersect` (co-sharded inputs, shard-local, no exchange).
+pub fn intersect<T: Record>(a: &ShardedDataset<T>, b: &ShardedDataset<T>) -> ShardedDataset<T> {
+    binary(a, b, batch::intersect)
+}
+
+/// Shard-parallel element-wise `Concat` (co-sharded inputs, shard-local, no exchange).
+pub fn concat<T: Record>(a: &ShardedDataset<T>, b: &ShardedDataset<T>) -> ShardedDataset<T> {
+    binary(a, b, batch::concat)
+}
+
+/// Shard-parallel element-wise `Except` (co-sharded inputs, shard-local, no exchange).
+pub fn except<T: Record>(a: &ShardedDataset<T>, b: &ShardedDataset<T>) -> ShardedDataset<T> {
+    binary(a, b, batch::except)
+}
+
+fn binary<T: Record>(
+    a: &ShardedDataset<T>,
+    b: &ShardedDataset<T>,
+    op: impl Fn(&WeightedDataset<T>, &WeightedDataset<T>) -> WeightedDataset<T> + Sync,
+) -> ShardedDataset<T> {
+    assert_eq!(
+        a.num_shards(),
+        b.num_shards(),
+        "element-wise operators require co-sharded inputs (same shard count)"
+    );
+    let shards = for_each_shard(a.num_shards(), |index| {
+        op(&a.shards[index], &b.shards[index])
+    });
+    ShardedDataset::from_shards(shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WeightedDataset<(u32, u32)> {
+        WeightedDataset::from_pairs(
+            (0u32..40)
+                .flat_map(|i| (0u32..(i % 7)).map(move |j| ((i, j), 0.25 + (i + j) as f64 * 0.5))),
+        )
+    }
+
+    fn assert_bitwise_eq<T: Record>(sharded: &ShardedDataset<T>, sequential: &WeightedDataset<T>) {
+        let merged = sharded.merged();
+        assert_eq!(merged.len(), sequential.len(), "record sets differ");
+        for (record, weight) in sequential.iter() {
+            assert_eq!(
+                weight.to_bits(),
+                merged.weight(record).to_bits(),
+                "weight of {record:?} differs bitwise"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_and_merge_round_trip_exactly() {
+        let data = sample();
+        for n in [1, 2, 3, 8] {
+            let sharded = ShardedDataset::partition(&data, n);
+            assert_eq!(sharded.num_shards(), n);
+            assert_eq!(sharded.len(), data.len());
+            assert_bitwise_eq(&sharded, &data);
+            // Every record sits in its hash shard.
+            for (index, shard) in sharded.shards().iter().enumerate() {
+                for (record, _) in shard.iter() {
+                    assert_eq!(shard_of(record, n), index);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let sharded = ShardedDataset::partition(&sample(), 0);
+        assert_eq!(sharded.num_shards(), 1);
+    }
+
+    #[test]
+    fn select_matches_sequential_bitwise() {
+        let data = sample();
+        // Deliberately collapse many records onto few outputs to force collisions.
+        let f = |r: &(u32, u32)| r.0 % 5;
+        let sequential = batch::select(&data, f);
+        for n in [1, 2, 8] {
+            let sharded = select(&ShardedDataset::partition(&data, n), &f);
+            assert_bitwise_eq(&sharded, &sequential);
+        }
+    }
+
+    #[test]
+    fn filter_matches_sequential_bitwise() {
+        let data = sample();
+        let p = |r: &(u32, u32)| !(r.0 + r.1).is_multiple_of(3);
+        let sequential = batch::filter(&data, p);
+        for n in [1, 2, 8] {
+            let sharded = filter(&ShardedDataset::partition(&data, n), &p);
+            assert_bitwise_eq(&sharded, &sequential);
+        }
+    }
+
+    #[test]
+    fn select_many_matches_sequential_bitwise() {
+        let data = sample();
+        let f =
+            |r: &(u32, u32)| WeightedDataset::from_records((0..(r.0 % 4)).map(|k| (r.0 + k) % 9));
+        let sequential = batch::select_many(&data, f);
+        for n in [1, 2, 8] {
+            let sharded = select_many(&ShardedDataset::partition(&data, n), &f);
+            assert_bitwise_eq(&sharded, &sequential);
+        }
+    }
+
+    #[test]
+    fn shave_matches_sequential_bitwise() {
+        let data = sample();
+        let schedule = |_: &(u32, u32)| std::iter::repeat(0.4);
+        let sequential = batch::shave(&data, schedule);
+        for n in [1, 2, 8] {
+            let sharded = shave(&ShardedDataset::partition(&data, n), &schedule);
+            assert_bitwise_eq(&sharded, &sequential);
+        }
+    }
+
+    #[test]
+    fn group_by_matches_sequential_bitwise() {
+        let data = sample();
+        let key = |r: &(u32, u32)| r.0 % 6;
+        let reduce = |group: &[(u32, u32)]| group.len() as u64;
+        let sequential = batch::group_by(&data, key, reduce);
+        for n in [1, 2, 8] {
+            let sharded = group_by(&ShardedDataset::partition(&data, n), &key, &reduce);
+            assert_bitwise_eq(&sharded, &sequential);
+        }
+    }
+
+    #[test]
+    fn join_matches_sequential_bitwise() {
+        let data = sample();
+        let ka = |r: &(u32, u32)| r.0 % 8;
+        let kb = |r: &(u32, u32)| (r.0 + r.1) % 8;
+        // Collapse outputs so contributions collide across keys.
+        let res = |x: &(u32, u32), y: &(u32, u32)| (x.1 % 3, y.1 % 3);
+        let sequential = batch::join(&data, &data, ka, kb, res);
+        for n in [1, 2, 8] {
+            let sharded_data = ShardedDataset::partition(&data, n);
+            let sharded = join(&sharded_data, &sharded_data, &ka, &kb, &res);
+            assert_bitwise_eq(&sharded, &sequential);
+        }
+    }
+
+    #[test]
+    fn set_operators_match_sequential_bitwise() {
+        let a = sample();
+        let b = batch::select(&a, |r: &(u32, u32)| ((r.0 + 1) % 13, r.1));
+        for n in [1, 2, 8] {
+            let sa = ShardedDataset::partition(&a, n);
+            let sb = ShardedDataset::partition(&b, n);
+            assert_bitwise_eq(&union(&sa, &sb), &batch::union(&a, &b));
+            assert_bitwise_eq(&intersect(&sa, &sb), &batch::intersect(&a, &b));
+            assert_bitwise_eq(&concat(&sa, &sb), &batch::concat(&a, &b));
+            assert_bitwise_eq(&except(&sa, &sb), &batch::except(&a, &b));
+        }
+    }
+}

@@ -64,6 +64,11 @@ pub struct SynthesisConfig {
     /// Whether to also score the degree sequence and CCDF during MCMC (harmless — the walk
     /// preserves degrees — but useful when experimenting with other random walks).
     pub score_degrees: bool,
+    /// Worker-thread count for the measurement phase's batch evaluation: `0` defers to the
+    /// `WPINQ_THREADS` environment variable, `1` forces the sequential executor, `n > 1`
+    /// evaluates on an `n`-way [`ShardedExecutor`](wpinq::plan::ShardedExecutor). Every
+    /// setting produces bitwise-identical measurements (given the same RNG state).
+    pub threads: usize,
 }
 
 impl Default for SynthesisConfig {
@@ -75,11 +80,19 @@ impl Default for SynthesisConfig {
             record_every: 5_000,
             triangle_query: TriangleQuery::TbI,
             score_degrees: false,
+            threads: 0,
         }
     }
 }
 
 impl SynthesisConfig {
+    /// Builder-style override of the measurement-phase worker-thread count (see
+    /// [`threads`](Self::threads)).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// The total privacy cost of the workflow: 3ε for the seed measurements plus the
     /// triangle query's multiplicity times ε (7ε for TbI, 12ε for TbD — the paper's 0.7 and
     /// 1.2 at ε = 0.1).
@@ -133,9 +146,13 @@ pub fn synthesize<R: Rng + ?Sized>(
 ) -> Result<SynthesisResult, WpinqError> {
     let budget = PrivacyBudget::new(config.total_privacy_cost() + 1e-9);
     let edges = GraphEdges::new(secret, budget);
+    // The thread knob selects the batch execution strategy for the measurement phase;
+    // every strategy computes bitwise-identical data, so this cannot perturb releases.
+    let executor = wpinq::plan::executor_for_threads(config.threads);
+    let queryable = edges.queryable().with_executor(executor);
 
     // Phase 1: degree measurements and seed graph (3ε).
-    let degree_measurements = DegreeMeasurements::measure(&edges.queryable(), config.epsilon, rng)?;
+    let degree_measurements = DegreeMeasurements::measure(&queryable, config.epsilon, rng)?;
     let seed = seed_graph_from_measurements(&degree_measurements, rng);
 
     // Phase 2 measurement: the triangle query.
@@ -145,16 +162,14 @@ pub fn synthesize<R: Rng + ?Sized>(
     }
     let triangle_measurement = match config.triangle_query {
         TriangleQuery::TbD { bucket } => TriangleMeasurement::TbD(TbdMeasurement::measure(
-            &edges.queryable(),
+            &queryable,
             config.epsilon,
             bucket,
             rng,
         )?),
-        TriangleQuery::TbI => TriangleMeasurement::TbI(TbiMeasurement::measure(
-            &edges.queryable(),
-            config.epsilon,
-            rng,
-        )?),
+        TriangleQuery::TbI => {
+            TriangleMeasurement::TbI(TbiMeasurement::measure(&queryable, config.epsilon, rng)?)
+        }
     };
     let privacy_cost = edges.budget().spent();
 
@@ -283,6 +298,7 @@ mod tests {
             record_every: 2_000,
             triangle_query: TriangleQuery::TbI,
             score_degrees: false,
+            threads: 0,
         };
         let result = synthesize(&secret, &config, &mut rng).unwrap();
         // The privacy cost is exactly what the configuration promised.
@@ -326,6 +342,7 @@ mod tests {
             record_every: 500,
             triangle_query: TriangleQuery::TbD { bucket: 4 },
             score_degrees: true,
+            threads: 0,
         };
         let result = synthesize(&secret, &config, &mut rng).unwrap();
         assert!((result.privacy_cost - 12.0).abs() < 1e-9);

@@ -87,7 +87,10 @@ pub mod prelude {
     pub use crate::error::{BudgetError, WpinqError};
     pub use crate::noise::Laplace;
     pub use crate::operators;
-    pub use crate::plan::{Plan, PlanBindings, StreamBindings};
+    pub use crate::plan::{
+        default_executor, executor_for_threads, Executor, Plan, PlanBindings, SequentialExecutor,
+        ShardedExecutor, StreamBindings,
+    };
     pub use crate::protected::ProtectedDataset;
     pub use crate::queryable::Queryable;
     pub use crate::record::Record;

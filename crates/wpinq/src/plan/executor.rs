@@ -1,0 +1,160 @@
+//! The pluggable executor layer: *how* a plan is evaluated, separated from *what* it
+//! computes.
+//!
+//! A [`Plan`](super::Plan) is pure IR; privacy accounting flows from its structure and is
+//! independent of the engine that folds it over data (compare ProvSQL's split between
+//! semiring annotation and evaluation). [`Executor`] is the seam where an execution
+//! strategy plugs in:
+//!
+//! * [`SequentialExecutor`] — the reference strategy: fold the DAG single-threaded through
+//!   the batch kernels in `wpinq_core::operators`.
+//! * [`ShardedExecutor`] — key-hash-partition every source into `n` shards and evaluate
+//!   the kernels shard-wise on `std::thread::scope` workers (`wpinq_core::shard`),
+//!   exchanging records only at GroupBy/Join boundaries. Results are **bitwise identical**
+//!   to sequential evaluation for every shard count, so callers can switch strategies
+//!   freely — including mid-experiment — without perturbing released measurements.
+//!
+//! [`Queryable`](crate::Queryable) threads an `Arc<dyn Executor>` through evaluation (the
+//! default comes from the `WPINQ_THREADS` environment variable via [`default_executor`]),
+//! so analyses and budget accounting never mention an execution strategy. Future backends
+//! named by the ROADMAP — a timely/differential-style incremental sharded engine, a
+//! persisted/off-core state store — land behind this same trait.
+
+use std::sync::Arc;
+
+/// Environment variable selecting the default shard/thread count (`1` = sequential).
+pub const THREADS_ENV: &str = "WPINQ_THREADS";
+
+/// A batch execution strategy for plans.
+///
+/// The trait is object-safe so front ends can hold `Arc<dyn Executor>`; the plan walker
+/// dispatches on [`shard_count`](Executor::shard_count) (1 = the sequential fold, n > 1 =
+/// the shard-parallel path). Strategies that cannot be expressed as a shard count will
+/// extend this trait when they land; today the shard count *is* the strategy.
+pub trait Executor: std::fmt::Debug + Send + Sync {
+    /// How many hash shards (= worker threads) this executor evaluates over.
+    fn shard_count(&self) -> usize;
+
+    /// Short human-readable strategy name for logs and diagnostics.
+    fn name(&self) -> &'static str;
+}
+
+/// The single-threaded reference strategy: folds the operator DAG through the sequential
+/// batch kernels, one node at a time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialExecutor;
+
+impl Executor for SequentialExecutor {
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+}
+
+/// The shard-parallel strategy: hash-partitions sources into `n` shards and evaluates
+/// every operator on `n` scoped worker threads, producing bitwise-identical results to
+/// [`SequentialExecutor`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedExecutor {
+    shards: usize,
+}
+
+/// Upper bound on shard counts ([`ShardedExecutor::new`] clamps to it). Each shard is an
+/// OS thread per operator stage, so a typo like `WPINQ_THREADS=200000` must degrade to a
+/// large-but-survivable fan-out instead of aborting at the OS thread limit. Deliberate
+/// oversharding (more shards than cores, as the equivalence tests do) stays possible.
+pub const MAX_SHARDS: usize = 256;
+
+impl ShardedExecutor {
+    /// Creates an executor with the given shard count (clamped to `1..=`[`MAX_SHARDS`]).
+    pub fn new(shards: usize) -> Self {
+        ShardedExecutor {
+            shards: shards.clamp(1, MAX_SHARDS),
+        }
+    }
+
+    /// Reads the shard count from [`THREADS_ENV`], following the same opt-in policy as
+    /// [`default_executor`]: when the variable is unset or unparsable the count is 1 (a
+    /// single-shard evaluation — parallelism never switches on silently). Callers that
+    /// explicitly want every core can pass [`available_threads`] to [`new`](Self::new).
+    pub fn from_env() -> Self {
+        ShardedExecutor::new(threads_from_env().unwrap_or(1))
+    }
+
+    /// The configured shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+}
+
+impl Executor for ShardedExecutor {
+    fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+}
+
+fn threads_from_env() -> Option<usize> {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|raw| raw.trim().parse::<usize>().ok())
+        .map(|n| n.max(1))
+}
+
+/// The machine's available hardware parallelism (1 when it cannot be determined).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The process-default executor: [`ShardedExecutor`] with `WPINQ_THREADS` shards when the
+/// variable requests more than one, [`SequentialExecutor`] otherwise (including when the
+/// variable is unset — parallelism is opt-in so single-measurement workloads never pay
+/// thread-spawn overhead silently).
+pub fn default_executor() -> Arc<dyn Executor> {
+    match threads_from_env() {
+        Some(n) if n > 1 => Arc::new(ShardedExecutor::new(n)),
+        _ => Arc::new(SequentialExecutor),
+    }
+}
+
+/// An executor for an explicit thread-count knob: `0` defers to [`default_executor`]
+/// (i.e. `WPINQ_THREADS`), `1` is sequential, `n > 1` is `n`-way sharded.
+pub fn executor_for_threads(threads: usize) -> Arc<dyn Executor> {
+    match threads {
+        0 => default_executor(),
+        1 => Arc::new(SequentialExecutor),
+        n => Arc::new(ShardedExecutor::new(n)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_counts_are_clamped_and_reported() {
+        assert_eq!(SequentialExecutor.shard_count(), 1);
+        assert_eq!(ShardedExecutor::new(0).shard_count(), 1);
+        assert_eq!(ShardedExecutor::new(8).shard_count(), 8);
+        assert_eq!(ShardedExecutor::new(8).name(), "sharded");
+        // A fat-fingered thread count degrades instead of exhausting OS threads.
+        assert_eq!(ShardedExecutor::new(200_000).shard_count(), MAX_SHARDS);
+    }
+
+    #[test]
+    fn explicit_thread_knob_maps_to_strategies() {
+        assert_eq!(executor_for_threads(1).shard_count(), 1);
+        assert_eq!(executor_for_threads(4).shard_count(), 4);
+        assert_eq!(executor_for_threads(4).name(), "sharded");
+        // 0 defers to the environment; whatever it resolves to is a valid executor.
+        assert!(executor_for_threads(0).shard_count() >= 1);
+    }
+}

@@ -60,6 +60,22 @@ impl<T: Record> Measurement<T> {
         NoisyCounts::measure(&self.plan.eval_shared(bindings), self.epsilon, rng)
     }
 
+    /// [`release`](Self::release) under an explicit [`Executor`] strategy. Every executor
+    /// evaluates to bitwise-identical data, so given the same `rng` state the released
+    /// measurement is identical too.
+    pub fn release_with<R: Rng + ?Sized>(
+        &self,
+        bindings: &PlanBindings,
+        executor: &dyn crate::plan::Executor,
+        rng: &mut R,
+    ) -> NoisyCounts<T> {
+        NoisyCounts::measure(
+            &self.plan.eval_shared_with(bindings, executor),
+            self.epsilon,
+            rng,
+        )
+    }
+
     /// Lowers the plan onto the bound candidate streams and attaches an incremental L1
     /// scorer against the observed part of a released measurement.
     pub fn lower_scorer(
@@ -144,5 +160,40 @@ mod tests {
     #[should_panic]
     fn non_positive_epsilon_is_rejected() {
         let _ = Plan::<u32>::source().noisy_count(0.0);
+    }
+
+    #[test]
+    fn release_is_identical_under_every_executor() {
+        use crate::plan::{SequentialExecutor, ShardedExecutor};
+        let source = Plan::<u32>::source();
+        let plan = source
+            .select(|x| x % 5)
+            .shave_const(0.5)
+            .select(|(x, _)| *x);
+        let measurement = plan.noisy_count(0.75);
+        let mut bindings = PlanBindings::new();
+        bindings.bind(
+            &source,
+            WeightedDataset::from_records((0u32..40).flat_map(|i| (0..(i % 5)).map(move |_| i))),
+        );
+        let reference = measurement.release_with(
+            &bindings,
+            &SequentialExecutor,
+            &mut StdRng::seed_from_u64(7),
+        );
+        for shards in [1usize, 2, 8] {
+            let released = measurement.release_with(
+                &bindings,
+                &ShardedExecutor::new(shards),
+                &mut StdRng::seed_from_u64(7),
+            );
+            for (record, value) in reference.sorted_observed() {
+                assert_eq!(
+                    value.to_bits(),
+                    released.get(&record).to_bits(),
+                    "{shards}-shard release differs at {record:?}"
+                );
+            }
+        }
     }
 }

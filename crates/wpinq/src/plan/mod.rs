@@ -10,7 +10,10 @@
 //!   more [`Plan::source`] inputs, producing records of type `T`.
 //! * A **batch evaluator** ([`Plan::eval`]): bind each source to a [`WeightedDataset`]
 //!   through [`PlanBindings`] and fold the DAG through the batch kernels in
-//!   [`wpinq_core::operators`].
+//!   [`wpinq_core::operators`]. *How* the fold runs is a pluggable [`Executor`]
+//!   ([`Plan::eval_with`]): the [`SequentialExecutor`] single-threaded reference, or the
+//!   [`ShardedExecutor`] which hash-partitions sources and evaluates shard-parallel with
+//!   bitwise-identical results (see the [`executor`](self) seam docs).
 //! * An **incremental lowering** ([`Plan::lower`]): bind each source to a dataflow
 //!   [`Stream`](wpinq_dataflow::Stream) through [`StreamBindings`] and compile the DAG into
 //!   the `wpinq-dataflow` operator graph, so deltas pushed at the inputs propagate to the
@@ -50,6 +53,7 @@
 //! ```
 
 mod bindings;
+mod executor;
 mod measurement;
 mod nodes;
 
@@ -59,14 +63,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use wpinq_core::dataset::WeightedDataset;
 use wpinq_core::record::Record;
+use wpinq_core::shard::ShardedDataset;
 use wpinq_dataflow::Stream;
 
 pub use bindings::{PlanBindings, StreamBindings};
+pub use executor::{
+    available_threads, default_executor, executor_for_threads, Executor, SequentialExecutor,
+    ShardedExecutor, MAX_SHARDS, THREADS_ENV,
+};
 pub use measurement::Measurement;
 
 use nodes::{
     BatchCtx, BinaryKind, BinaryNode, FilterNode, GroupByNode, InputNode, JoinNode, LowerCtx,
-    MultCtx, PlanNode, SelectManyNode, SelectNode, ShaveNode,
+    MultCtx, PlanNode, SelectManyNode, SelectNode, ShardCtx, ShaveNode,
 };
 
 /// Identifies one source (input) of a plan.
@@ -141,7 +150,7 @@ impl<T: Record> Plan<T> {
     pub fn select<U, F>(&self, f: F) -> Plan<U>
     where
         U: Record,
-        F: Fn(&T) -> U + 'static,
+        F: Fn(&T) -> U + Send + Sync + 'static,
     {
         Plan::from_node(Rc::new(SelectNode::new(self.clone(), f)))
     }
@@ -149,7 +158,7 @@ impl<T: Record> Plan<T> {
     /// Per-record filtering (`Where`, Section 2.4).
     pub fn filter<P>(&self, predicate: P) -> Plan<T>
     where
-        P: Fn(&T) -> bool + 'static,
+        P: Fn(&T) -> bool + Send + Sync + 'static,
     {
         Plan::from_node(Rc::new(FilterNode::new(self.clone(), predicate)))
     }
@@ -158,7 +167,7 @@ impl<T: Record> Plan<T> {
     pub fn select_many<U, F>(&self, f: F) -> Plan<U>
     where
         U: Record,
-        F: Fn(&T) -> WeightedDataset<U> + 'static,
+        F: Fn(&T) -> WeightedDataset<U> + Send + Sync + 'static,
     {
         Plan::from_node(Rc::new(SelectManyNode::new(self.clone(), f)))
     }
@@ -168,7 +177,7 @@ impl<T: Record> Plan<T> {
     where
         U: Record,
         I: IntoIterator<Item = U>,
-        F: Fn(&T) -> I + 'static,
+        F: Fn(&T) -> I + Send + Sync + 'static,
     {
         self.select_many(move |record| WeightedDataset::from_records(f(record)))
     }
@@ -179,8 +188,8 @@ impl<T: Record> Plan<T> {
     where
         K: Record,
         R: Record,
-        KF: Fn(&T) -> K + 'static,
-        RF: Fn(&[T]) -> R + 'static,
+        KF: Fn(&T) -> K + Send + Sync + 'static,
+        RF: Fn(&[T]) -> R + Send + Sync + 'static,
     {
         Plan::from_node(Rc::new(GroupByNode::new(self.clone(), key, reduce)))
     }
@@ -189,7 +198,7 @@ impl<T: Record> Plan<T> {
     /// (Section 2.8).
     pub fn shave<F, I>(&self, schedule: F) -> Plan<(T, u64)>
     where
-        F: Fn(&T) -> I + 'static,
+        F: Fn(&T) -> I + Send + Sync + 'static,
         I: IntoIterator<Item = f64>,
         I::IntoIter: 'static,
     {
@@ -223,9 +232,9 @@ impl<T: Record> Plan<T> {
         U: Record,
         K: Record,
         R: Record,
-        KA: Fn(&T) -> K + 'static,
-        KB: Fn(&U) -> K + 'static,
-        RF: Fn(&T, &U) -> R + 'static,
+        KA: Fn(&T) -> K + Send + Sync + 'static,
+        KB: Fn(&U) -> K + Send + Sync + 'static,
+        RF: Fn(&T, &U) -> R + Send + Sync + 'static,
     {
         Plan::from_node(Rc::new(JoinNode::new(
             self.clone(),
@@ -284,7 +293,8 @@ impl<T: Record> Plan<T> {
 
     // ---- evaluation -------------------------------------------------------------------
 
-    /// Evaluates the plan in batch over the bound source datasets.
+    /// Evaluates the plan in batch over the bound source datasets with the sequential
+    /// reference executor. See [`eval_with`](Self::eval_with) to choose a strategy.
     ///
     /// Shared subplans are computed once. The result is freshly computed on every call;
     /// callers that evaluate repeatedly should cache (as [`Queryable`](crate::Queryable)
@@ -294,10 +304,32 @@ impl<T: Record> Plan<T> {
     /// Panics if a source reached by the plan is unbound or bound at a different record
     /// type.
     pub fn eval(&self, bindings: &PlanBindings) -> WeightedDataset<T> {
-        let shared = self.eval_shared(bindings);
-        // The memo table is gone by now, so for any non-source root this is the only
-        // reference and the dataset moves out without a copy.
-        Rc::try_unwrap(shared).unwrap_or_else(|rc| (*rc).clone())
+        self.eval_with(bindings, &SequentialExecutor)
+    }
+
+    /// Evaluates the plan in batch under the given [`Executor`] strategy.
+    ///
+    /// Every executor produces **bitwise identical** results (the canonical accumulation
+    /// order in `wpinq_core::accumulate` removes float-summation order from the
+    /// semantics), so the choice only affects wall-clock time and memory layout.
+    pub fn eval_with(
+        &self,
+        bindings: &PlanBindings,
+        executor: &dyn Executor,
+    ) -> WeightedDataset<T> {
+        let shards = executor.shard_count();
+        if shards <= 1 {
+            let shared = self.eval_shared(bindings);
+            // The memo table is gone by now, so for any non-source root this is the only
+            // reference and the dataset moves out without a copy.
+            return Rc::try_unwrap(shared).unwrap_or_else(|rc| (*rc).clone());
+        }
+        let mut ctx = ShardCtx::new(bindings, shards);
+        let sharded = self.eval_shards_node(&mut ctx);
+        drop(ctx);
+        Rc::try_unwrap(sharded)
+            .map(ShardedDataset::into_merged)
+            .unwrap_or_else(|rc| rc.merged())
     }
 
     /// [`eval`](Self::eval) returning a shared handle, for callers that keep the result
@@ -307,11 +339,32 @@ impl<T: Record> Plan<T> {
         self.eval_node(&mut ctx)
     }
 
+    /// [`eval_with`](Self::eval_with) returning a shared handle.
+    pub fn eval_shared_with(
+        &self,
+        bindings: &PlanBindings,
+        executor: &dyn Executor,
+    ) -> Rc<WeightedDataset<T>> {
+        if executor.shard_count() <= 1 {
+            return self.eval_shared(bindings);
+        }
+        Rc::new(self.eval_with(bindings, executor))
+    }
+
     pub(crate) fn eval_node(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<T>> {
         if let Some(hit) = ctx.lookup::<T>(self.node_key()) {
             return hit;
         }
         let computed = self.node.eval_batch(ctx);
+        ctx.store::<T>(self.node_key(), computed.clone());
+        computed
+    }
+
+    pub(crate) fn eval_shards_node(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<T>> {
+        if let Some(hit) = ctx.lookup::<T>(self.node_key()) {
+            return hit;
+        }
+        let computed = self.node.eval_shards(ctx);
         ctx.store::<T>(self.node_key(), computed.clone());
         computed
     }
@@ -424,6 +477,27 @@ mod tests {
         let mut data = PlanBindings::new();
         data.bind(&edges, edge_data());
         assert!(out.snapshot().approx_eq(&tbi.eval(&data), 1e-9));
+    }
+
+    #[test]
+    fn sharded_execution_is_bitwise_identical_to_sequential() {
+        let edges = Plan::<(u32, u32)>::source();
+        let paths = paths_plan(&edges);
+        let tbi = paths.select(|p| (p.1, p.2, p.0)).intersect(&paths);
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&edges, edge_data());
+        let sequential = tbi.eval_with(&bindings, &SequentialExecutor);
+        for shards in [1usize, 2, 3, 8] {
+            let sharded = tbi.eval_with(&bindings, &ShardedExecutor::new(shards));
+            assert_eq!(sharded.len(), sequential.len());
+            for (record, weight) in sequential.iter() {
+                assert_eq!(
+                    weight.to_bits(),
+                    sharded.weight(record).to_bits(),
+                    "{shards}-shard weight of {record:?} differs from sequential"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,32 +1,38 @@
 //! Operator nodes of the plan IR and the per-evaluation contexts.
 //!
 //! Each node stores its parent plan(s) and the operator's closures, and knows how to
-//! execute itself under both engines: `eval_batch` calls the batch kernels in
-//! [`wpinq_core::operators`], `lower` emits the corresponding `wpinq-dataflow` operator.
+//! execute itself under every engine: `eval_batch` calls the sequential batch kernels in
+//! [`wpinq_core::operators`], `eval_shards` calls the shard-parallel kernels in
+//! [`wpinq_core::shard`], and `lower` emits the corresponding `wpinq-dataflow` operator.
 //! Memoisation by node identity lives in [`Plan`](super::Plan)'s `eval_node` /
-//! `lower_node` / `mult_node`, so node implementations here simply recurse through their
-//! parents.
+//! `eval_shards_node` / `lower_node` / `mult_node`, so node implementations here simply
+//! recurse through their parents.
+//!
+//! Closures are stored as `Arc<dyn Fn … + Send + Sync>` so the sharded executor can call
+//! them from `std::thread::scope` workers by reference.
 
 use std::any::Any;
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
+use std::sync::Arc;
 
 use wpinq_core::dataset::WeightedDataset;
 use wpinq_core::operators as batch;
 use wpinq_core::record::Record;
+use wpinq_core::shard::{self, ShardedDataset};
 use wpinq_dataflow::Stream;
 
 use super::bindings::{PlanBindings, StreamBindings};
 use super::{InputId, Plan};
 
 /// A shared one-to-many production function (the `SelectMany` payload).
-type ProduceFn<T, U> = Rc<dyn Fn(&T) -> WeightedDataset<U>>;
+type ProduceFn<T, U> = Arc<dyn Fn(&T) -> WeightedDataset<U> + Send + Sync>;
 /// A shared group reducer (the `GroupBy` payload).
-type ReduceFn<T, R> = Rc<dyn Fn(&[T]) -> R>;
+type ReduceFn<T, R> = Arc<dyn Fn(&[T]) -> R + Send + Sync>;
 /// A shared per-record weight schedule (the `Shave` payload).
-type ScheduleFn<T> = Rc<dyn Fn(&T) -> Box<dyn Iterator<Item = f64>>>;
+type ScheduleFn<T> = Arc<dyn Fn(&T) -> Box<dyn Iterator<Item = f64>> + Send + Sync>;
 /// A shared join result selector.
-type JoinResultFn<A, B, R> = Rc<dyn Fn(&A, &B) -> R>;
+type JoinResultFn<A, B, R> = Arc<dyn Fn(&A, &B) -> R + Send + Sync>;
 
 /// Behaviour of one plan node, dispatched through `Rc<dyn PlanNode<T>>`.
 pub(crate) trait PlanNode<T: Record> {
@@ -35,6 +41,9 @@ pub(crate) trait PlanNode<T: Record> {
     /// Returns a shared dataset so source nodes can hand out their binding without
     /// copying and evaluation results can be memoised by reference.
     fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<T>>;
+
+    /// Evaluates this node shard-parallel (parents via `Plan::eval_shards_node`).
+    fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<T>>;
 
     /// Lowers this node onto the incremental dataflow graph.
     fn lower(&self, ctx: &mut LowerCtx<'_>) -> Stream<T>;
@@ -84,6 +93,44 @@ impl<'a> BatchCtx<'a> {
 
     fn input<T: Record>(&self, id: InputId) -> Rc<WeightedDataset<T>> {
         self.bindings.get::<T>(id)
+    }
+}
+
+/// Context of one sharded evaluation: source bindings, the shard count, and a memo of
+/// already-evaluated nodes (`Rc<ShardedDataset<T>>`, type-erased). All intermediate
+/// results of one evaluation are co-partitioned over the same `nshards`.
+pub(crate) struct ShardCtx<'a> {
+    bindings: &'a PlanBindings,
+    nshards: usize,
+    memo: HashMap<usize, Box<dyn Any>>,
+}
+
+impl<'a> ShardCtx<'a> {
+    pub(crate) fn new(bindings: &'a PlanBindings, nshards: usize) -> Self {
+        ShardCtx {
+            bindings,
+            nshards: nshards.max(1),
+            memo: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn lookup<T: Record>(&self, key: usize) -> Option<Rc<ShardedDataset<T>>> {
+        self.memo.get(&key).map(|any| {
+            any.downcast_ref::<Rc<ShardedDataset<T>>>()
+                .expect("plan memo entry has the node's record type")
+                .clone()
+        })
+    }
+
+    pub(crate) fn store<T: Record>(&mut self, key: usize, value: Rc<ShardedDataset<T>>) {
+        self.memo.insert(key, Box::new(value));
+    }
+
+    fn input<T: Record>(&self, id: InputId) -> Rc<ShardedDataset<T>> {
+        Rc::new(ShardedDataset::partition(
+            &self.bindings.get::<T>(id),
+            self.nshards,
+        ))
     }
 }
 
@@ -173,6 +220,12 @@ impl<T: Record> PlanNode<T> for InputNode<T> {
         ctx.input::<T>(self.id)
     }
 
+    fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<T>> {
+        // Partitioning is memoised per node by `Plan::eval_shards_node`, so each source is
+        // sharded once per evaluation regardless of how many times the plan references it.
+        ctx.input::<T>(self.id)
+    }
+
     fn lower(&self, ctx: &mut LowerCtx<'_>) -> Stream<T> {
         ctx.input::<T>(self.id)
     }
@@ -193,14 +246,14 @@ impl<T: Record> PlanNode<T> for InputNode<T> {
 /// `Select` (Section 2.4).
 pub(crate) struct SelectNode<T: Record, U: Record> {
     parent: Plan<T>,
-    f: Rc<dyn Fn(&T) -> U>,
+    f: Arc<dyn Fn(&T) -> U + Send + Sync>,
 }
 
 impl<T: Record, U: Record> SelectNode<T, U> {
-    pub(crate) fn new(parent: Plan<T>, f: impl Fn(&T) -> U + 'static) -> Self {
+    pub(crate) fn new(parent: Plan<T>, f: impl Fn(&T) -> U + Send + Sync + 'static) -> Self {
         SelectNode {
             parent,
-            f: Rc::new(f),
+            f: Arc::new(f),
         }
     }
 }
@@ -208,6 +261,10 @@ impl<T: Record, U: Record> SelectNode<T, U> {
 impl<T: Record, U: Record> PlanNode<U> for SelectNode<T, U> {
     fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<U>> {
         Rc::new(batch::select(&self.parent.eval_node(ctx), &*self.f))
+    }
+
+    fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<U>> {
+        Rc::new(shard::select(&self.parent.eval_shards_node(ctx), &*self.f))
     }
 
     fn lower(&self, ctx: &mut LowerCtx<'_>) -> Stream<U> {
@@ -227,14 +284,17 @@ impl<T: Record, U: Record> PlanNode<U> for SelectNode<T, U> {
 /// `Where` (Section 2.4).
 pub(crate) struct FilterNode<T: Record> {
     parent: Plan<T>,
-    predicate: Rc<dyn Fn(&T) -> bool>,
+    predicate: Arc<dyn Fn(&T) -> bool + Send + Sync>,
 }
 
 impl<T: Record> FilterNode<T> {
-    pub(crate) fn new(parent: Plan<T>, predicate: impl Fn(&T) -> bool + 'static) -> Self {
+    pub(crate) fn new(
+        parent: Plan<T>,
+        predicate: impl Fn(&T) -> bool + Send + Sync + 'static,
+    ) -> Self {
         FilterNode {
             parent,
-            predicate: Rc::new(predicate),
+            predicate: Arc::new(predicate),
         }
     }
 }
@@ -242,6 +302,13 @@ impl<T: Record> FilterNode<T> {
 impl<T: Record> PlanNode<T> for FilterNode<T> {
     fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<T>> {
         Rc::new(batch::filter(&self.parent.eval_node(ctx), &*self.predicate))
+    }
+
+    fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<T>> {
+        Rc::new(shard::filter(
+            &self.parent.eval_shards_node(ctx),
+            &*self.predicate,
+        ))
     }
 
     fn lower(&self, ctx: &mut LowerCtx<'_>) -> Stream<T> {
@@ -265,10 +332,13 @@ pub(crate) struct SelectManyNode<T: Record, U: Record> {
 }
 
 impl<T: Record, U: Record> SelectManyNode<T, U> {
-    pub(crate) fn new(parent: Plan<T>, f: impl Fn(&T) -> WeightedDataset<U> + 'static) -> Self {
+    pub(crate) fn new(
+        parent: Plan<T>,
+        f: impl Fn(&T) -> WeightedDataset<U> + Send + Sync + 'static,
+    ) -> Self {
         SelectManyNode {
             parent,
-            f: Rc::new(f),
+            f: Arc::new(f),
         }
     }
 }
@@ -276,6 +346,13 @@ impl<T: Record, U: Record> SelectManyNode<T, U> {
 impl<T: Record, U: Record> PlanNode<U> for SelectManyNode<T, U> {
     fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<U>> {
         Rc::new(batch::select_many(&self.parent.eval_node(ctx), &*self.f))
+    }
+
+    fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<U>> {
+        Rc::new(shard::select_many(
+            &self.parent.eval_shards_node(ctx),
+            &*self.f,
+        ))
     }
 
     fn lower(&self, ctx: &mut LowerCtx<'_>) -> Stream<U> {
@@ -295,20 +372,20 @@ impl<T: Record, U: Record> PlanNode<U> for SelectManyNode<T, U> {
 /// `GroupBy` (Section 2.5).
 pub(crate) struct GroupByNode<T: Record, K: Record, R: Record> {
     parent: Plan<T>,
-    key: Rc<dyn Fn(&T) -> K>,
+    key: Arc<dyn Fn(&T) -> K + Send + Sync>,
     reduce: ReduceFn<T, R>,
 }
 
 impl<T: Record, K: Record, R: Record> GroupByNode<T, K, R> {
     pub(crate) fn new(
         parent: Plan<T>,
-        key: impl Fn(&T) -> K + 'static,
-        reduce: impl Fn(&[T]) -> R + 'static,
+        key: impl Fn(&T) -> K + Send + Sync + 'static,
+        reduce: impl Fn(&[T]) -> R + Send + Sync + 'static,
     ) -> Self {
         GroupByNode {
             parent,
-            key: Rc::new(key),
-            reduce: Rc::new(reduce),
+            key: Arc::new(key),
+            reduce: Arc::new(reduce),
         }
     }
 }
@@ -317,6 +394,14 @@ impl<T: Record, K: Record, R: Record> PlanNode<(K, R)> for GroupByNode<T, K, R> 
     fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<(K, R)>> {
         Rc::new(batch::group_by(
             &self.parent.eval_node(ctx),
+            &*self.key,
+            &*self.reduce,
+        ))
+    }
+
+    fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<(K, R)>> {
+        Rc::new(shard::group_by(
+            &self.parent.eval_shards_node(ctx),
             &*self.key,
             &*self.reduce,
         ))
@@ -348,11 +433,11 @@ pub(crate) struct ShaveNode<T: Record> {
 impl<T: Record> ShaveNode<T> {
     pub(crate) fn new(
         parent: Plan<T>,
-        schedule: impl Fn(&T) -> Box<dyn Iterator<Item = f64>> + 'static,
+        schedule: impl Fn(&T) -> Box<dyn Iterator<Item = f64>> + Send + Sync + 'static,
     ) -> Self {
         ShaveNode {
             parent,
-            schedule: Rc::new(schedule),
+            schedule: Arc::new(schedule),
         }
     }
 }
@@ -360,6 +445,13 @@ impl<T: Record> ShaveNode<T> {
 impl<T: Record> PlanNode<(T, u64)> for ShaveNode<T> {
     fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<(T, u64)>> {
         Rc::new(batch::shave(&self.parent.eval_node(ctx), &*self.schedule))
+    }
+
+    fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<(T, u64)>> {
+        Rc::new(shard::shave(
+            &self.parent.eval_shards_node(ctx),
+            &*self.schedule,
+        ))
     }
 
     fn lower(&self, ctx: &mut LowerCtx<'_>) -> Stream<(T, u64)> {
@@ -380,8 +472,8 @@ impl<T: Record> PlanNode<(T, u64)> for ShaveNode<T> {
 pub(crate) struct JoinNode<A: Record, B: Record, K: Record, R: Record> {
     left: Plan<A>,
     right: Plan<B>,
-    key_left: Rc<dyn Fn(&A) -> K>,
-    key_right: Rc<dyn Fn(&B) -> K>,
+    key_left: Arc<dyn Fn(&A) -> K + Send + Sync>,
+    key_right: Arc<dyn Fn(&B) -> K + Send + Sync>,
     result: JoinResultFn<A, B, R>,
 }
 
@@ -389,16 +481,16 @@ impl<A: Record, B: Record, K: Record, R: Record> JoinNode<A, B, K, R> {
     pub(crate) fn new(
         left: Plan<A>,
         right: Plan<B>,
-        key_left: impl Fn(&A) -> K + 'static,
-        key_right: impl Fn(&B) -> K + 'static,
-        result: impl Fn(&A, &B) -> R + 'static,
+        key_left: impl Fn(&A) -> K + Send + Sync + 'static,
+        key_right: impl Fn(&B) -> K + Send + Sync + 'static,
+        result: impl Fn(&A, &B) -> R + Send + Sync + 'static,
     ) -> Self {
         JoinNode {
             left,
             right,
-            key_left: Rc::new(key_left),
-            key_right: Rc::new(key_right),
-            result: Rc::new(result),
+            key_left: Arc::new(key_left),
+            key_right: Arc::new(key_right),
+            result: Arc::new(result),
         }
     }
 }
@@ -408,6 +500,18 @@ impl<A: Record, B: Record, K: Record, R: Record> PlanNode<R> for JoinNode<A, B, 
         let left = self.left.eval_node(ctx);
         let right = self.right.eval_node(ctx);
         Rc::new(batch::join(
+            &left,
+            &right,
+            &*self.key_left,
+            &*self.key_right,
+            &*self.result,
+        ))
+    }
+
+    fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<R>> {
+        let left = self.left.eval_shards_node(ctx);
+        let right = self.right.eval_shards_node(ctx);
+        Rc::new(shard::join(
             &left,
             &right,
             &*self.key_left,
@@ -476,6 +580,17 @@ impl<T: Record> PlanNode<T> for BinaryNode<T> {
             BinaryKind::Intersect => batch::intersect(&left, &right),
             BinaryKind::Concat => batch::concat(&left, &right),
             BinaryKind::Except => batch::except(&left, &right),
+        })
+    }
+
+    fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<T>> {
+        let left = self.left.eval_shards_node(ctx);
+        let right = self.right.eval_shards_node(ctx);
+        Rc::new(match self.kind {
+            BinaryKind::Union => shard::union(&left, &right),
+            BinaryKind::Intersect => shard::intersect(&left, &right),
+            BinaryKind::Concat => shard::concat(&left, &right),
+            BinaryKind::Except => shard::except(&left, &right),
         })
     }
 

@@ -15,6 +15,7 @@
 use std::cell::OnceCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::Rng;
 
@@ -22,7 +23,7 @@ use crate::aggregation::NoisyCounts;
 use crate::budget::BudgetHandle;
 use crate::dataset::WeightedDataset;
 use crate::error::WpinqError;
-use crate::plan::{InputId, Plan, PlanBindings};
+use crate::plan::{default_executor, Executor, InputId, Plan, PlanBindings};
 use crate::protected::SourceId;
 use crate::record::Record;
 
@@ -36,11 +37,18 @@ struct SourceBinding {
 
 /// A transformed view of one or more protected datasets, ready for further transformation
 /// or differentially-private measurement.
+///
+/// Evaluation strategy is a property of the queryable, not of the query: the executor
+/// handle (defaulting to [`default_executor`], i.e. the `WPINQ_THREADS` environment
+/// variable) is threaded through every derived queryable, and every strategy produces
+/// bitwise-identical data — so budgets, measurements and released values are entirely
+/// executor-agnostic.
 #[derive(Clone)]
 pub struct Queryable<T: Record> {
     plan: Plan<T>,
     bindings: PlanBindings,
     sources: Vec<SourceBinding>,
+    executor: Arc<dyn Executor>,
     materialized: OnceCell<Rc<WeightedDataset<T>>>,
 }
 
@@ -73,6 +81,7 @@ impl<T: Record> Queryable<T> {
                 source: id,
                 budget,
             }],
+            executor: default_executor(),
             materialized: OnceCell::new(),
         }
     }
@@ -88,6 +97,7 @@ impl<T: Record> Queryable<T> {
             plan,
             bindings,
             sources: Vec::new(),
+            executor: default_executor(),
             materialized: OnceCell::new(),
         }
     }
@@ -98,11 +108,26 @@ impl<T: Record> Queryable<T> {
         &self.plan
     }
 
+    /// Replaces the evaluation strategy of this queryable (dropping any cached
+    /// materialisation). Every executor computes bitwise-identical data, so this never
+    /// changes measurement semantics — only how the work is scheduled.
+    pub fn with_executor(mut self, executor: Arc<dyn Executor>) -> Self {
+        self.executor = executor;
+        self.materialized = OnceCell::new();
+        self
+    }
+
+    /// The evaluation strategy this queryable (and everything derived from it) uses.
+    pub fn executor(&self) -> &Arc<dyn Executor> {
+        &self.executor
+    }
+
     fn derived<U: Record>(&self, plan: Plan<U>) -> Queryable<U> {
         Queryable {
             plan,
             bindings: self.bindings.clone(),
             sources: self.sources.clone(),
+            executor: self.executor.clone(),
             materialized: OnceCell::new(),
         }
     }
@@ -120,6 +145,7 @@ impl<T: Record> Queryable<T> {
             plan,
             bindings,
             sources,
+            executor: self.executor.clone(),
             materialized: OnceCell::new(),
         }
     }
@@ -187,7 +213,7 @@ impl<T: Record> Queryable<T> {
 
     fn materialize(&self) -> &Rc<WeightedDataset<T>> {
         self.materialized
-            .get_or_init(|| self.plan.eval_shared(&self.bindings))
+            .get_or_init(|| self.plan.eval_shared_with(&self.bindings, &*self.executor))
     }
 
     /// Read-only access to the underlying weighted data, evaluated on first use and cached.
@@ -206,7 +232,7 @@ impl<T: Record> Queryable<T> {
     pub fn select<U, F>(&self, f: F) -> Queryable<U>
     where
         U: Record,
-        F: Fn(&T) -> U + 'static,
+        F: Fn(&T) -> U + Send + Sync + 'static,
     {
         self.derived(self.plan.select(f))
     }
@@ -214,7 +240,7 @@ impl<T: Record> Queryable<T> {
     /// Per-record filtering (`Where`, Section 2.4).
     pub fn filter<P>(&self, predicate: P) -> Queryable<T>
     where
-        P: Fn(&T) -> bool + 'static,
+        P: Fn(&T) -> bool + Send + Sync + 'static,
     {
         self.derived(self.plan.filter(predicate))
     }
@@ -223,7 +249,7 @@ impl<T: Record> Queryable<T> {
     pub fn select_many<U, F>(&self, f: F) -> Queryable<U>
     where
         U: Record,
-        F: Fn(&T) -> WeightedDataset<U> + 'static,
+        F: Fn(&T) -> WeightedDataset<U> + Send + Sync + 'static,
     {
         self.derived(self.plan.select_many(f))
     }
@@ -233,7 +259,7 @@ impl<T: Record> Queryable<T> {
     where
         U: Record,
         I: IntoIterator<Item = U>,
-        F: Fn(&T) -> I + 'static,
+        F: Fn(&T) -> I + Send + Sync + 'static,
     {
         self.derived(self.plan.select_many_unit(f))
     }
@@ -243,8 +269,8 @@ impl<T: Record> Queryable<T> {
     where
         K: Record,
         R: Record,
-        KF: Fn(&T) -> K + 'static,
-        RF: Fn(&[T]) -> R + 'static,
+        KF: Fn(&T) -> K + Send + Sync + 'static,
+        RF: Fn(&[T]) -> R + Send + Sync + 'static,
     {
         self.derived(self.plan.group_by(key, reduce))
     }
@@ -252,7 +278,7 @@ impl<T: Record> Queryable<T> {
     /// Decomposes heavy records into indexed unit-ish slices (Section 2.8).
     pub fn shave<F, I>(&self, schedule: F) -> Queryable<(T, u64)>
     where
-        F: Fn(&T) -> I + 'static,
+        F: Fn(&T) -> I + Send + Sync + 'static,
         I: IntoIterator<Item = f64>,
         I::IntoIter: 'static,
     {
@@ -277,9 +303,9 @@ impl<T: Record> Queryable<T> {
         U: Record,
         K: Record,
         R: Record,
-        KA: Fn(&T) -> K + 'static,
-        KB: Fn(&U) -> K + 'static,
-        RF: Fn(&T, &U) -> R + 'static,
+        KA: Fn(&T) -> K + Send + Sync + 'static,
+        KB: Fn(&U) -> K + Send + Sync + 'static,
+        RF: Fn(&T, &U) -> R + Send + Sync + 'static,
     {
         self.combined(
             other,

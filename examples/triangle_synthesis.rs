@@ -35,6 +35,7 @@ fn main() {
         record_every: steps / 8,
         triangle_query: TriangleQuery::TbI,
         score_degrees: false,
+        threads: 0,
     };
     println!(
         "measuring with epsilon = {} (total privacy cost {:.1}), then running {} MCMC steps…",

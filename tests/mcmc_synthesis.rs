@@ -20,6 +20,7 @@ fn tbi_synthesis_moves_triangles_towards_the_secret_graph() {
         record_every: 2_000,
         triangle_query: TriangleQuery::TbI,
         score_degrees: false,
+        threads: 0,
     };
     let mut rng = StdRng::seed_from_u64(2);
     let result = wpinq_mcmc::synthesis::synthesize(&secret, &config, &mut rng).unwrap();
@@ -61,6 +62,7 @@ fn synthesis_on_a_random_graph_does_not_hallucinate_triangles() {
         record_every: 0,
         triangle_query: TriangleQuery::TbI,
         score_degrees: false,
+        threads: 0,
     };
     let real = wpinq_mcmc::synthesis::synthesize(&secret, &config, &mut rng).unwrap();
     let control = wpinq_mcmc::synthesis::synthesize(&random, &config, &mut rng).unwrap();
@@ -90,6 +92,7 @@ fn the_edge_swap_walk_preserves_degree_structure() {
         record_every: 0,
         triangle_query: TriangleQuery::TbI,
         score_degrees: true,
+        threads: 0,
     };
     let mut rng = StdRng::seed_from_u64(6);
     let result = wpinq_mcmc::synthesis::synthesize(&secret, &config, &mut rng).unwrap();
@@ -116,6 +119,7 @@ fn bucketed_tbd_synthesis_runs_end_to_end() {
         record_every: 500,
         triangle_query: TriangleQuery::TbD { bucket: 10 },
         score_degrees: false,
+        threads: 0,
     };
     let mut rng = StdRng::seed_from_u64(8);
     let result = wpinq_mcmc::synthesis::synthesize(&secret, &config, &mut rng).unwrap();
