@@ -1,0 +1,302 @@
+//! Bench-regression gate: compares a fresh `BENCH_parallel.json` against the committed
+//! baseline and fails (exit code 1) when any workload regressed beyond the threshold.
+//!
+//! Usage: `cargo run --release -p bench --bin gate -- --baseline BENCH_parallel.json
+//! --fresh BENCH_fresh.json`.
+//!
+//! Rows are matched by `(workload, executor, shards)` and compared on `wall_ms`.
+//! Because CI runners and the machine that recorded the baseline differ in raw speed
+//! *and core count* (sharded rows scale with cores, sequential rows don't), the default
+//! comparison is **relative per group**: each row's fresh/baseline ratio is divided by
+//! the median ratio of its `(executor, shards)` group, so machine speed and parallelism
+//! differences cancel and only a workload that regressed *relative to its peers* trips
+//! the gate. To avoid being blind to a *uniform* slowdown (every row regressing
+//! together, which relative normalisation alone would cancel), the overall median ratio
+//! is also bounded: it may not exceed `BENCH_GATE_MEDIAN_LIMIT` (default `3.0`,
+//! generous headroom for a slower runner than the baseline machine). Rows whose
+//! baseline wall time is below `BENCH_GATE_MIN_MS` (default `20`) are reported but
+//! neither gated nor counted into any median — a percentage threshold on a
+//! millisecond-scale row measures scheduler noise, and letting such rows vote on the
+//! normalisation scale would smear that noise onto the well-measured rows.
+//! Set `BENCH_GATE_MODE=absolute` for the plain per-row ratio (useful on the machine
+//! that recorded the baseline), and `BENCH_GATE_THRESHOLD_PCT` (default `25`) for the
+//! tolerated per-row regression. Rows present in only one file are reported but never
+//! fail the gate (workloads come and go across PRs).
+//!
+//! The JSON format is the fixed single-line-per-row layout `bench --bin parallel`
+//! emits; the parser here is deliberately a few string splits rather than a vendored
+//! JSON crate.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One parsed benchmark row, keyed by `(workload, executor, shards)`.
+#[derive(Debug, Clone, PartialEq)]
+struct Row {
+    wall_ms: f64,
+}
+
+type RowKey = (String, String, u64);
+
+/// Extracts the string value of `"field": "..."` from a JSON row line.
+fn string_field(line: &str, field: &str) -> Option<String> {
+    let marker = format!("\"{field}\": \"");
+    let start = line.find(&marker)? + marker.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extracts the numeric value of `"field": 123` / `"field": 1.5` from a JSON row line.
+fn number_field(line: &str, field: &str) -> Option<f64> {
+    let marker = format!("\"{field}\": ");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses the rows of a `BENCH_parallel.json` report.
+fn parse_report(path: &str) -> Result<BTreeMap<RowKey, Row>, String> {
+    let text = std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))?;
+    let mut rows = BTreeMap::new();
+    for line in text.lines() {
+        if !line.trim_start().starts_with("{\"workload\"") {
+            continue;
+        }
+        let workload =
+            string_field(line, "workload").ok_or_else(|| format!("{path}: bad row {line:?}"))?;
+        let executor =
+            string_field(line, "executor").ok_or_else(|| format!("{path}: bad row {line:?}"))?;
+        let shards =
+            number_field(line, "shards").ok_or_else(|| format!("{path}: bad row {line:?}"))? as u64;
+        let wall_ms =
+            number_field(line, "wall_ms").ok_or_else(|| format!("{path}: bad row {line:?}"))?;
+        rows.insert((workload, executor, shards), Row { wall_ms });
+    }
+    if rows.is_empty() {
+        return Err(format!("{path}: no benchmark rows found"));
+    }
+    Ok(rows)
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_unstable_by(f64::total_cmp);
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        // Midpoint of the middle pair: in a small group where half the rows regressed,
+        // the upper-middle element alone would *be* a regressed ratio and normalise the
+        // regression away.
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+struct GateArgs {
+    baseline: String,
+    fresh: String,
+}
+
+fn parse_args() -> GateArgs {
+    let mut baseline = "BENCH_parallel.json".to_string();
+    let mut fresh = "BENCH_fresh.json".to_string();
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                if let Some(v) = iter.next() {
+                    baseline = v;
+                }
+            }
+            "--fresh" => {
+                if let Some(v) = iter.next() {
+                    fresh = v;
+                }
+            }
+            _ => {}
+        }
+    }
+    GateArgs { baseline, fresh }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let threshold_pct: f64 = std::env::var("BENCH_GATE_THRESHOLD_PCT")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(25.0);
+    let relative = !matches!(
+        std::env::var("BENCH_GATE_MODE").as_deref(),
+        Ok("absolute") | Ok("ABSOLUTE")
+    );
+
+    let (baseline, fresh) = match (parse_report(&args.baseline), parse_report(&args.fresh)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(err), _) | (_, Err(err)) => {
+            eprintln!("bench gate: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Rows whose baseline is too fast to time reliably are reported but not gated: a
+    // 25% threshold on a 1.5 ms measurement is scheduler noise, not signal.
+    let min_ms: f64 = std::env::var("BENCH_GATE_MIN_MS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(20.0);
+
+    // Only rows whose baseline clears the floor participate in gating AND in the
+    // median normalisation: a 1.5 ms row's jitter would otherwise skew the scale every
+    // well-measured row is judged against.
+    let mut ratios: Vec<(RowKey, f64)> = Vec::new();
+    let mut ungated: Vec<(RowKey, f64)> = Vec::new();
+    for (key, fresh_row) in &fresh {
+        if let Some(base_row) = baseline.get(key) {
+            if base_row.wall_ms > 0.0 {
+                let ratio = fresh_row.wall_ms / base_row.wall_ms;
+                if base_row.wall_ms >= min_ms {
+                    ratios.push((key.clone(), ratio));
+                } else {
+                    ungated.push((key.clone(), ratio));
+                }
+            }
+        } else {
+            println!("note: {key:?} has no baseline row (new workload?) — skipped");
+        }
+    }
+    for key in baseline.keys() {
+        if !fresh.contains_key(key) {
+            println!("note: baseline row {key:?} missing from fresh run — skipped");
+        }
+    }
+    if ratios.is_empty() {
+        eprintln!(
+            "bench gate: no comparable rows with baseline wall time >= {min_ms} ms — \
+             nothing can be gated (lower BENCH_GATE_MIN_MS or record a slower-mode \
+             baseline)"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut all: Vec<f64> = ratios.iter().map(|(_, r)| *r).collect();
+    let overall = median(&mut all);
+    let median_limit: f64 = std::env::var("BENCH_GATE_MEDIAN_LIMIT")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(3.0);
+    if relative && overall > median_limit {
+        eprintln!(
+            "bench gate: uniform slowdown — the median fresh/baseline ratio is \
+             {overall:.3}x, above the {median_limit}x machine-speed allowance \
+             (BENCH_GATE_MEDIAN_LIMIT). Every workload regressed together."
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Machine-speed normalisation is computed per (executor, shards) group, not
+    // globally: the baseline may come from a machine with a different core count, and
+    // sharded rows scale with cores while sequential rows don't. Within a group all
+    // rows share the same parallelism, so a single regressing workload still stands
+    // out against its peers.
+    let mut group_scale: BTreeMap<(String, u64), f64> = BTreeMap::new();
+    if relative {
+        let mut groups: BTreeMap<(String, u64), Vec<f64>> = BTreeMap::new();
+        for ((_, executor, shards), ratio) in &ratios {
+            groups
+                .entry((executor.clone(), *shards))
+                .or_default()
+                .push(*ratio);
+        }
+        for (group, mut members) in groups {
+            let scale = median(&mut members);
+            // A whole group regressing together would otherwise normalise itself away;
+            // its median gets the same absolute allowance as the overall one. (A
+            // group-wide regression *below* the allowance is the residual tolerance
+            // this cross-machine mode accepts; use BENCH_GATE_MODE=absolute on the
+            // baseline machine for a tight bound.)
+            if scale > median_limit {
+                eprintln!(
+                    "bench gate: the {group:?} group regressed together — its median \
+                     fresh/baseline ratio is {scale:.3}x, above the {median_limit}x \
+                     machine-speed allowance (BENCH_GATE_MEDIAN_LIMIT)."
+                );
+                return ExitCode::FAILURE;
+            }
+            group_scale.insert(group, scale);
+        }
+    }
+
+    let limit = 1.0 + threshold_pct / 100.0;
+    println!(
+        "bench gate: {} rows, mode = {}, threshold = {threshold_pct}%, min baseline {min_ms} ms \
+         (overall machine-speed ratio {overall:.3})",
+        ratios.len(),
+        if relative { "relative" } else { "absolute" },
+    );
+
+    let mut regressed = false;
+    println!(
+        "{:<16} {:<12} {:>6} {:>14} {:>14} {:>10}",
+        "workload", "executor", "shards", "baseline ms", "fresh ms", "ratio"
+    );
+    for ((workload, executor, shards), ratio) in &ratios {
+        let key = (workload.clone(), executor.clone(), *shards);
+        let scale = group_scale
+            .get(&(executor.clone(), *shards))
+            .copied()
+            .unwrap_or(1.0);
+        let normalised = ratio / scale;
+        let flag = if normalised > limit {
+            regressed = true;
+            "  << REGRESSED"
+        } else {
+            ""
+        };
+        println!(
+            "{:<16} {:<12} {:>6} {:>14.3} {:>14.3} {:>9.3}x{flag}",
+            workload, executor, shards, baseline[&key].wall_ms, fresh[&key].wall_ms, normalised
+        );
+    }
+    for ((workload, executor, shards), ratio) in &ungated {
+        let key = (workload.clone(), executor.clone(), *shards);
+        println!(
+            "{:<16} {:<12} {:>6} {:>14.3} {:>14.3} {:>9.3}x  (under min ms, not gated)",
+            workload, executor, shards, baseline[&key].wall_ms, fresh[&key].wall_ms, ratio
+        );
+    }
+
+    if regressed {
+        eprintln!(
+            "bench gate: at least one workload regressed by more than {threshold_pct}% \
+             — see rows marked REGRESSED"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench gate: OK — no workload regressed beyond {threshold_pct}%");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fields_parse_from_report_lines() {
+        let line = "    {\"workload\": \"paths\", \"executor\": \"sharded\", \"shards\": 4, \
+                    \"wall_ms\": 71.303, \"peak_rss_bytes\": 217526272, \
+                    \"speedup_vs_sequential\": 0.611},";
+        assert_eq!(string_field(line, "workload").as_deref(), Some("paths"));
+        assert_eq!(string_field(line, "executor").as_deref(), Some("sharded"));
+        assert_eq!(number_field(line, "shards"), Some(4.0));
+        assert_eq!(number_field(line, "wall_ms"), Some(71.303));
+    }
+
+    #[test]
+    fn median_is_order_insensitive_and_averages_even_middles() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [1.0, 9.0]), 5.0);
+        assert_eq!(median(&mut [1.0, 1.0, 2.0, 2.0]), 1.5);
+    }
+}

@@ -13,7 +13,8 @@ pub mod smallsets;
 /// Minimal command-line options shared by the experiment binaries.
 ///
 /// Recognised flags: `--steps N`, `--scale small|full`, `--epsilon X`, `--seed N`,
-/// `--threads N`, `--epinions`. Unknown arguments are ignored so binaries stay forgiving.
+/// `--threads N`, `--epinions`, `--out PATH`. Unknown arguments are ignored so binaries
+/// stay forgiving.
 #[derive(Debug, Clone)]
 pub struct HarnessArgs {
     /// Number of MCMC steps (binaries pick their own defaults).
@@ -30,6 +31,10 @@ pub struct HarnessArgs {
     pub threads: Option<usize>,
     /// Run the optional Epinions panel (Figure 6, right).
     pub epinions: bool,
+    /// Override the output path of binaries that write a report file (`--out PATH`).
+    /// CI uses this to write a fresh `BENCH_parallel.json` next to — not over — the
+    /// committed baseline the regression gate compares against.
+    pub out: Option<String>,
 }
 
 impl Default for HarnessArgs {
@@ -41,6 +46,7 @@ impl Default for HarnessArgs {
             seed: 42,
             threads: None,
             epinions: false,
+            out: None,
         }
     }
 }
@@ -83,6 +89,9 @@ impl HarnessArgs {
                     }
                 }
                 "--epinions" => parsed.epinions = true,
+                "--out" => {
+                    parsed.out = iter.next();
+                }
                 _ => {}
             }
         }

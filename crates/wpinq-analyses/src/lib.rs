@@ -26,6 +26,9 @@
 //! * [`tbi`] — Triangles-by-Intersect (Section 5.3), the single-count query used in the
 //!   headline experiments.
 //! * [`motifs`] — the path-join pattern generalised to longer paths and cycles (Section 3.5).
+//! * [`workload`] — merging independently-authored query requests into one plan, so the
+//!   optimizer's common-subplan extraction + idempotent collapse charge duplicated
+//!   requests once (`Plan::explain()` certifies the ε saving).
 //! * [`postprocess`] — PAVA isotonic regression and the joint CCDF/degree-sequence grid fit.
 //! * [`baselines`] — Hay et al. degree sequences, Sala et al. JDD noise, and the
 //!   worst-case-sensitivity triangle count that Figure 1 motivates against.
@@ -43,5 +46,6 @@ pub mod postprocess;
 pub mod squares;
 pub mod tbi;
 pub mod triangles;
+pub mod workload;
 
 pub use edges::{EdgeSource, GraphEdges};

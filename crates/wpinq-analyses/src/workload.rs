@@ -1,0 +1,162 @@
+//! Measurement workloads: merging independently-authored query requests before paying
+//! for them.
+//!
+//! A measurement service fronting a protected graph receives query requests from callers
+//! that do not coordinate — two dashboard panels, two analysts, a retry loop — and the
+//! requests routinely re-derive the same statistic from scratch. Expressed naively, the
+//! combined workload references the protected edges once per request and a `NoisyCount`
+//! pays `k·ε` for `k` requests of the *same* answer.
+//!
+//! This module expresses the combined workload as one plan (requests merged by
+//! element-wise maximum, [`Plan::union`]) and leans on the plan optimizer: structural
+//! common-subplan extraction makes duplicate requests pointer-identical, the idempotent
+//! collapse `Union(X, X) → X` then removes the redundant branch, and the measurement is
+//! charged for the deduplicated plan while releasing exactly the bytes the naive plan
+//! would have released. `Plan::explain()` shows the saving:
+//!
+//! ```
+//! use wpinq::plan::{OptimizeLevel, Plan};
+//! use wpinq_analyses::workload::degree_workload_plan;
+//!
+//! let edges = Plan::source();
+//! let workload = degree_workload_plan(&edges);
+//! let report = workload.explain_at(OptimizeLevel::Full);
+//! assert_eq!(report.total_before(), 2); // two requests, 2ε as authored…
+//! assert_eq!(report.total_after(), 1); // …1ε after optimization, same bytes.
+//! assert!(report.epsilon_saved());
+//! ```
+
+use wpinq::plan::Plan;
+use wpinq::{Queryable, Record};
+
+use crate::degree::degree_ccdf_plan;
+use crate::edges::Edge;
+use crate::tbi::triangle_paths_plan;
+
+/// Merges same-typed query requests into one plan by element-wise maximum.
+///
+/// The merged plan answers every request at once (each request's records are dominated
+/// by the union). As authored it costs the *sum* of the requests' multiplicities; under
+/// the optimizer, requests that are structurally equal collapse and are paid for once.
+///
+/// # Panics
+/// Panics when `requests` is empty — there is nothing to measure.
+pub fn merge_requests<T, I>(requests: I) -> Plan<T>
+where
+    T: Record,
+    I: IntoIterator<Item = Plan<T>>,
+{
+    let mut requests = requests.into_iter();
+    let first = requests
+        .next()
+        .expect("merge_requests needs at least one request");
+    requests.fold(first, |merged, next| merged.union(&next))
+}
+
+/// The double-request degree workload: two independently-authored requests for the
+/// degree CCDF (each its own [`degree_ccdf_plan`] instantiation), merged.
+///
+/// Privacy multiplicity as authored: 2. After optimization: 1 — the optimizer proves the
+/// requests identical and one release answers both.
+pub fn degree_workload_plan(edges: &Plan<Edge>) -> Plan<u64> {
+    merge_requests([degree_ccdf_plan(edges), degree_ccdf_plan(edges)])
+}
+
+/// The double-request triangle workload: two independently-authored requests for the
+/// triangle-supporting paths of [`triangle_paths_plan`], merged.
+///
+/// Privacy multiplicity as authored: 8 (two 4ε TbI path queries). After optimization: 4.
+pub fn triangle_workload_plan(edges: &Plan<Edge>) -> Plan<(u32, u32, u32)> {
+    merge_requests([triangle_paths_plan(edges), triangle_paths_plan(edges)])
+}
+
+/// [`degree_workload_plan`] applied to a protected edge dataset.
+pub fn degree_workload_query(edges: &Queryable<Edge>) -> Queryable<u64> {
+    edges.apply(degree_workload_plan)
+}
+
+/// [`triangle_workload_plan`] applied to a protected edge dataset.
+pub fn triangle_workload_query(edges: &Queryable<Edge>) -> Queryable<(u32, u32, u32)> {
+    edges.apply(triangle_workload_plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edges::GraphEdges;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wpinq::plan::{OptimizeLevel, PlanBindings, SequentialExecutor};
+    use wpinq::PrivacyBudget;
+    use wpinq_graph::Graph;
+
+    fn toy_graph() -> Graph {
+        Graph::from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+    }
+
+    #[test]
+    fn degree_workload_explain_shows_strictly_lower_multiplicity() {
+        let edges = Plan::<Edge>::source();
+        let id = edges.input_id().unwrap();
+        let workload = degree_workload_plan(&edges);
+        let report = workload.explain_at(OptimizeLevel::Full);
+        assert_eq!(report.before.get(&id), Some(&2));
+        assert_eq!(report.after.get(&id), Some(&1));
+        assert!(report.epsilon_saved());
+        assert!(report.nodes_after < report.nodes_before);
+    }
+
+    #[test]
+    fn triangle_workload_explain_shows_strictly_lower_multiplicity() {
+        let edges = Plan::<Edge>::source();
+        let id = edges.input_id().unwrap();
+        let workload = triangle_workload_plan(&edges);
+        assert_eq!(workload.multiplicity_of(id), 8);
+        let report = workload.explain_at(OptimizeLevel::Full);
+        assert_eq!(report.total_before(), 8);
+        assert_eq!(report.total_after(), 4);
+        assert!(report.epsilon_saved());
+    }
+
+    #[test]
+    fn merged_workload_evaluates_bitwise_like_the_naive_plan() {
+        let source = crate::edges::EdgeSource::new();
+        let workload = triangle_workload_plan(source.plan());
+        let bindings: PlanBindings = source.bind_graph(&toy_graph());
+        let naive = workload.eval_opt(&bindings, &SequentialExecutor, OptimizeLevel::None);
+        let optimized = workload.eval_opt(&bindings, &SequentialExecutor, OptimizeLevel::Full);
+        assert_eq!(naive.len(), optimized.len());
+        for (record, weight) in naive.iter() {
+            assert_eq!(weight.to_bits(), optimized.weight(record).to_bits());
+        }
+    }
+
+    #[test]
+    fn degree_workload_query_charges_one_epsilon_when_optimized() {
+        let graph_edges = GraphEdges::new(&toy_graph(), PrivacyBudget::new(1.0));
+        let q = degree_workload_query(&graph_edges.queryable())
+            .with_optimize_level(OptimizeLevel::Full);
+        assert_eq!(q.multiplicity_of(graph_edges.protected().id()), 1);
+        let mut rng = StdRng::seed_from_u64(7);
+        q.noisy_count(0.25, &mut rng).unwrap();
+        assert!((graph_edges.budget().spent() - 0.25).abs() < 1e-12);
+
+        // The unoptimized baseline pays for both requests.
+        let baseline = degree_workload_query(&graph_edges.queryable())
+            .with_optimize_level(OptimizeLevel::None);
+        assert_eq!(baseline.multiplicity_of(graph_edges.protected().id()), 2);
+    }
+
+    #[test]
+    fn merge_requests_folds_many_plans() {
+        let edges = Plan::<Edge>::source();
+        let id = edges.input_id().unwrap();
+        let merged = merge_requests((0..4).map(|_| degree_ccdf_plan(&edges)));
+        assert_eq!(merged.multiplicity_of(id), 4);
+        // All four requests are identical: the whole fold collapses to one chain.
+        assert_eq!(
+            merged.optimize_at(OptimizeLevel::Full).multiplicity_of(id),
+            1
+        );
+    }
+}

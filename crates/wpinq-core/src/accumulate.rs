@@ -61,8 +61,8 @@ impl Contribution {
 }
 
 /// An order-insensitive weight accumulator: collects every `(record, weight)` contribution
-/// and resolves each record's total in canonical order on [`into_dataset`]
-/// (Contributions::into_dataset).
+/// and resolves each record's total in canonical order on
+/// [`into_dataset`](Contributions::into_dataset).
 ///
 /// Feeding the same contributions in any order yields a bitwise-identical dataset, which
 /// is what lets the sharded executor guarantee exact equality with sequential evaluation.

@@ -8,7 +8,11 @@
 //!
 //! Before the plan IR existed this module hand-wired a second copy of every query as a
 //! `Stream` pipeline; now batch measurement, incremental scoring, and privacy accounting
-//! all flow from the single definition in `wpinq-analyses`.
+//! all flow from the single definition in `wpinq-analyses`. Lowering runs through the
+//! plan optimizer (`wpinq::plan::OptimizeLevel`, default from `WPINQ_OPTIMIZE`), so
+//! structurally duplicated subqueries — even ones built by separate plan-constructor
+//! calls — compile to *one* shared dataflow node and every candidate edge delta is
+//! processed once per distinct operator instead of once per authored copy.
 //!
 //! The pipelines run over *public* synthetic candidates and *released* measurements only;
 //! no protected data is touched here, which is why no privacy accounting appears.
@@ -247,6 +251,41 @@ mod tests {
         input.push_dataset(&symmetric_edge_dataset(&g));
         assert!(sink.distance() < 1e-3);
         assert!((jdd_target_weight(2, 3) - 1.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimized_lowering_scores_identically_to_the_unoptimized_lowering() {
+        use wpinq::plan::OptimizeLevel;
+        use wpinq_analyses::tbi::tbi_plan;
+
+        let g = toy_graph();
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let mut rng = StdRng::seed_from_u64(11);
+        let measurement = TbiMeasurement::measure(&edges.queryable(), 1e4, &mut rng).unwrap();
+        let targets = HashMap::from([((), measurement.noisy_signal)]);
+
+        let mut handles = Vec::new();
+        let mut inputs = Vec::new();
+        for level in [OptimizeLevel::None, OptimizeLevel::Full] {
+            let source = EdgeSource::new();
+            let annotated = tbi_plan(source.plan()).noisy_count(measurement.epsilon);
+            let (input, stream) = DataflowInput::<Edge>::new();
+            let handle = annotated
+                .plan()
+                .lower_opt(&source.bind_stream(stream), level)
+                .l1_scorer(targets.clone());
+            handles.push(handle);
+            inputs.push(input);
+        }
+        for input in &inputs {
+            input.push_dataset(&symmetric_edge_dataset(&g));
+        }
+        // The optimizer may reshape the lowered graph but never its maintained distance.
+        assert!((handles[0].distance() - handles[1].distance()).abs() < 1e-12);
+        assert!(
+            (handles[1].distance() - handles[1].recompute_distance()).abs() < 1e-9,
+            "optimized lowering drifted from its own recomputation"
+        );
     }
 
     #[test]

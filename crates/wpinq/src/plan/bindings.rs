@@ -24,6 +24,9 @@ fn input_id_of<T: Record>(source: &Plan<T>, what: &str) -> InputId {
 #[derive(Clone, Default)]
 pub struct PlanBindings {
     datasets: HashMap<InputId, Rc<dyn Any>>,
+    /// Record counts per bound source, captured at bind time (the datasets themselves are
+    /// type-erased). The optimizer's join-ordering heuristic reads these.
+    sizes: HashMap<InputId, usize>,
 }
 
 impl PlanBindings {
@@ -46,6 +49,7 @@ impl PlanBindings {
     /// Panics if `source` is not a source plan.
     pub fn bind_shared<T: Record>(&mut self, source: &Plan<T>, data: Rc<WeightedDataset<T>>) {
         let id = input_id_of(source, "PlanBindings");
+        self.sizes.insert(id, data.len());
         self.datasets.insert(id, data);
     }
 
@@ -60,6 +64,14 @@ impl PlanBindings {
         for (id, data) in &other.datasets {
             self.datasets.insert(*id, data.clone());
         }
+        for (id, size) in &other.sizes {
+            self.sizes.insert(*id, *size);
+        }
+    }
+
+    /// Record counts per bound source (the optimizer's join-ordering statistics).
+    pub(crate) fn source_sizes(&self) -> &HashMap<InputId, usize> {
+        &self.sizes
     }
 
     pub(crate) fn get<T: Record>(&self, id: InputId) -> Rc<WeightedDataset<T>> {

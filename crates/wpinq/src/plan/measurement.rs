@@ -60,7 +60,8 @@ impl<T: Record> Measurement<T> {
         NoisyCounts::measure(&self.plan.eval_shared(bindings), self.epsilon, rng)
     }
 
-    /// [`release`](Self::release) under an explicit [`Executor`] strategy. Every executor
+    /// [`release`](Self::release) under an explicit [`Executor`](crate::plan::Executor)
+    /// strategy. Every executor
     /// evaluates to bitwise-identical data, so given the same `rng` state the released
     /// measurement is identical too.
     pub fn release_with<R: Rng + ?Sized>(
@@ -74,6 +75,28 @@ impl<T: Record> Measurement<T> {
             self.epsilon,
             rng,
         )
+    }
+
+    /// [`release_with`](Self::release_with) at an explicit
+    /// [`OptimizeLevel`](crate::plan::OptimizeLevel) — the A/B knob behind the guarantee
+    /// that optimized and unoptimized releases are byte-identical for a fixed seed.
+    pub fn release_opt<R: Rng + ?Sized>(
+        &self,
+        bindings: &PlanBindings,
+        executor: &dyn crate::plan::Executor,
+        level: crate::plan::OptimizeLevel,
+        rng: &mut R,
+    ) -> NoisyCounts<T> {
+        NoisyCounts::measure(
+            &self.plan.eval_shared_opt(bindings, executor, level),
+            self.epsilon,
+            rng,
+        )
+    }
+
+    /// The optimizer's report for the measured plan (see [`Plan::explain`]).
+    pub fn explain(&self) -> crate::plan::PlanExplain {
+        self.plan.explain()
     }
 
     /// Lowers the plan onto the bound candidate streams and attaches an incremental L1

@@ -2,7 +2,7 @@
 //!
 //! Historically this repository implemented the paper's operator algebra twice — once as
 //! batch kernels over [`WeightedDataset`] and once as hand-wired incremental
-//! [`Stream`](wpinq_dataflow::Stream) pipelines inside the MCMC engine — held consistent
+//! [`Stream`] pipelines inside the MCMC engine — held consistent
 //! only by property tests. This module replaces that duplication with a single typed IR:
 //!
 //! * [`Plan<T>`] — an immutable DAG of operator nodes (`Select`, `Where`, `SelectMany`,
@@ -15,7 +15,7 @@
 //!   [`ShardedExecutor`] which hash-partitions sources and evaluates shard-parallel with
 //!   bitwise-identical results (see the [`executor`](self) seam docs).
 //! * An **incremental lowering** ([`Plan::lower`]): bind each source to a dataflow
-//!   [`Stream`](wpinq_dataflow::Stream) through [`StreamBindings`] and compile the DAG into
+//!   [`Stream`] through [`StreamBindings`] and compile the DAG into
 //!   the `wpinq-dataflow` operator graph, so deltas pushed at the inputs propagate to the
 //!   lowered output stream (and to any [`L1Scorer`](wpinq_dataflow::L1Scorer) sinks hung
 //!   off it).
@@ -56,6 +56,7 @@ mod bindings;
 mod executor;
 mod measurement;
 mod nodes;
+mod optimize;
 
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -72,11 +73,13 @@ pub use executor::{
     ShardedExecutor, MAX_SHARDS, THREADS_ENV,
 };
 pub use measurement::Measurement;
+pub use optimize::{OptimizeLevel, PlanExplain, OPTIMIZE_ENV};
 
 use nodes::{
     BatchCtx, BinaryKind, BinaryNode, FilterNode, GroupByNode, InputNode, JoinNode, LowerCtx,
-    MultCtx, PlanNode, SelectManyNode, SelectNode, ShardCtx, ShaveNode,
+    MultCtx, PlanNode, PredFn, SelectManyNode, SelectNode, ShardCtx, ShaveNode,
 };
+use optimize::{ClosureId, RefCounts, RewriteCtx};
 
 /// Identifies one source (input) of a plan.
 ///
@@ -209,6 +212,10 @@ impl<T: Record> Plan<T> {
 
     /// [`shave`](Self::shave) with a constant per-slice weight.
     ///
+    /// Unlike a hand-written schedule closure, equal-step `shave_const` nodes are
+    /// recognised as identical by the optimizer's common-subplan extraction no matter
+    /// where they were built.
+    ///
     /// # Panics
     /// Panics if `step` is not strictly positive and finite.
     pub fn shave_const(&self, step: f64) -> Plan<(T, u64)> {
@@ -216,7 +223,11 @@ impl<T: Record> Plan<T> {
             step > 0.0 && step.is_finite(),
             "shave step must be positive and finite, got {step}"
         );
-        self.shave(move |_| std::iter::repeat(step))
+        Plan::from_node(Rc::new(ShaveNode::with_const_id(
+            self.clone(),
+            move |_: &T| Box::new(std::iter::repeat(step)) as Box<dyn Iterator<Item = f64>>,
+            step,
+        )))
     }
 
     /// The weight-rescaling equi-join of Section 2.7. Source multiplicities of both inputs
@@ -296,9 +307,11 @@ impl<T: Record> Plan<T> {
     /// Evaluates the plan in batch over the bound source datasets with the sequential
     /// reference executor. See [`eval_with`](Self::eval_with) to choose a strategy.
     ///
-    /// Shared subplans are computed once. The result is freshly computed on every call;
-    /// callers that evaluate repeatedly should cache (as [`Queryable`](crate::Queryable)
-    /// does).
+    /// The plan is first rewritten by the optimizer at the process-default
+    /// [`OptimizeLevel`] (the `WPINQ_OPTIMIZE` environment variable); every level
+    /// evaluates to bitwise-identical data. Shared subplans are computed once. The result
+    /// is freshly computed on every call; callers that evaluate repeatedly should cache
+    /// (as [`Queryable`](crate::Queryable) does).
     ///
     /// # Panics
     /// Panics if a source reached by the plan is unbound or bound at a different record
@@ -307,25 +320,39 @@ impl<T: Record> Plan<T> {
         self.eval_with(bindings, &SequentialExecutor)
     }
 
-    /// Evaluates the plan in batch under the given [`Executor`] strategy.
+    /// Evaluates the plan in batch under the given [`Executor`] strategy, after running
+    /// the optimizer at the process-default [`OptimizeLevel`].
     ///
-    /// Every executor produces **bitwise identical** results (the canonical accumulation
-    /// order in `wpinq_core::accumulate` removes float-summation order from the
-    /// semantics), so the choice only affects wall-clock time and memory layout.
+    /// Every executor and every optimize level produces **bitwise identical** results
+    /// (the canonical accumulation order in `wpinq_core::accumulate` removes
+    /// float-summation order from the semantics, and every rewrite preserves each
+    /// record's contribution multiset), so the choices only affect wall-clock time and
+    /// memory layout.
     pub fn eval_with(
         &self,
         bindings: &PlanBindings,
         executor: &dyn Executor,
     ) -> WeightedDataset<T> {
+        self.eval_opt(bindings, executor, OptimizeLevel::from_env())
+    }
+
+    /// [`eval_with`](Self::eval_with) at an explicit [`OptimizeLevel`] (the A/B knob).
+    pub fn eval_opt(
+        &self,
+        bindings: &PlanBindings,
+        executor: &dyn Executor,
+        level: OptimizeLevel,
+    ) -> WeightedDataset<T> {
+        let plan = self.optimize_for_bindings(level, bindings);
         let shards = executor.shard_count();
         if shards <= 1 {
-            let shared = self.eval_shared(bindings);
+            let shared = plan.eval_shared_raw(bindings);
             // The memo table is gone by now, so for any non-source root this is the only
             // reference and the dataset moves out without a copy.
             return Rc::try_unwrap(shared).unwrap_or_else(|rc| (*rc).clone());
         }
         let mut ctx = ShardCtx::new(bindings, shards);
-        let sharded = self.eval_shards_node(&mut ctx);
+        let sharded = plan.eval_shards_node(&mut ctx);
         drop(ctx);
         Rc::try_unwrap(sharded)
             .map(ShardedDataset::into_merged)
@@ -335,8 +362,7 @@ impl<T: Record> Plan<T> {
     /// [`eval`](Self::eval) returning a shared handle, for callers that keep the result
     /// alongside the bindings (avoids copying the dataset of source-rooted plans).
     pub fn eval_shared(&self, bindings: &PlanBindings) -> Rc<WeightedDataset<T>> {
-        let mut ctx = BatchCtx::new(bindings);
-        self.eval_node(&mut ctx)
+        self.eval_shared_opt(bindings, &SequentialExecutor, OptimizeLevel::from_env())
     }
 
     /// [`eval_with`](Self::eval_with) returning a shared handle.
@@ -345,10 +371,29 @@ impl<T: Record> Plan<T> {
         bindings: &PlanBindings,
         executor: &dyn Executor,
     ) -> Rc<WeightedDataset<T>> {
+        self.eval_shared_opt(bindings, executor, OptimizeLevel::from_env())
+    }
+
+    /// [`eval_opt`](Self::eval_opt) returning a shared handle.
+    pub fn eval_shared_opt(
+        &self,
+        bindings: &PlanBindings,
+        executor: &dyn Executor,
+        level: OptimizeLevel,
+    ) -> Rc<WeightedDataset<T>> {
         if executor.shard_count() <= 1 {
-            return self.eval_shared(bindings);
+            return self
+                .optimize_for_bindings(level, bindings)
+                .eval_shared_raw(bindings);
         }
-        Rc::new(self.eval_with(bindings, executor))
+        Rc::new(self.eval_opt(bindings, executor, level))
+    }
+
+    /// The un-optimized sequential fold (internal: callers go through the `*_opt`
+    /// surface, which rewrites first).
+    fn eval_shared_raw(&self, bindings: &PlanBindings) -> Rc<WeightedDataset<T>> {
+        let mut ctx = BatchCtx::new(bindings);
+        self.eval_node(&mut ctx)
     }
 
     pub(crate) fn eval_node(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<T>> {
@@ -372,15 +417,24 @@ impl<T: Record> Plan<T> {
     /// Compiles the plan into the incremental dataflow graph rooted at the bound source
     /// streams, returning the output stream.
     ///
-    /// Shared subplans lower to shared dataflow nodes. Deltas subsequently pushed into the
-    /// source streams propagate through the compiled operators to the returned stream.
+    /// The optimizer runs first (process-default [`OptimizeLevel`]): structurally equal
+    /// subplans hash-cons onto one node, so they lower to one shared dataflow node even
+    /// when built separately. Deltas subsequently pushed into the source streams
+    /// propagate through the compiled operators to the returned stream.
     ///
     /// # Panics
     /// Panics if a source reached by the plan is unbound or bound at a different record
     /// type.
     pub fn lower(&self, bindings: &StreamBindings) -> Stream<T> {
+        self.lower_opt(bindings, OptimizeLevel::from_env())
+    }
+
+    /// [`lower`](Self::lower) at an explicit [`OptimizeLevel`] (the A/B knob). Join input
+    /// ordering never applies here — cardinalities are a batch-bindings notion.
+    pub fn lower_opt(&self, bindings: &StreamBindings, level: OptimizeLevel) -> Stream<T> {
+        let plan = optimize::rewrite_plan(self, level, None);
         let mut ctx = LowerCtx::new(bindings);
-        self.lower_node(&mut ctx)
+        plan.lower_node(&mut ctx)
     }
 
     pub(crate) fn lower_node(&self, ctx: &mut LowerCtx<'_>) -> Stream<T> {
@@ -390,6 +444,99 @@ impl<T: Record> Plan<T> {
         let lowered = self.node.lower(ctx);
         ctx.store::<T>(self.node_key(), lowered.clone());
         lowered
+    }
+
+    // ---- optimizer --------------------------------------------------------------------
+
+    /// Rewrites the plan at the process-default [`OptimizeLevel`] (the `WPINQ_OPTIMIZE`
+    /// environment variable). See [`OptimizeLevel`] for the rewrite catalogue; every
+    /// rewrite preserves evaluated data bitwise.
+    pub fn optimize(&self) -> Plan<T> {
+        self.optimize_at(OptimizeLevel::from_env())
+    }
+
+    /// Rewrites the plan at an explicit [`OptimizeLevel`].
+    pub fn optimize_at(&self, level: OptimizeLevel) -> Plan<T> {
+        optimize::rewrite_plan(self, level, None)
+    }
+
+    /// Rewrites the plan for batch evaluation over `bindings`: like
+    /// [`optimize_at`](Self::optimize_at), plus join input ordering from the bound source
+    /// cardinalities.
+    pub(crate) fn optimize_for_bindings(
+        &self,
+        level: OptimizeLevel,
+        bindings: &PlanBindings,
+    ) -> Plan<T> {
+        optimize::rewrite_plan(self, level, Some(bindings.source_sizes()))
+    }
+
+    /// The optimizer's debug report at the process-default [`OptimizeLevel`]: node counts
+    /// and per-source multiplicities before and after rewriting. A strictly lower "after"
+    /// multiplicity means a measurement over this plan charges strictly less ε for the
+    /// same released bits.
+    pub fn explain(&self) -> PlanExplain {
+        self.explain_at(OptimizeLevel::from_env())
+    }
+
+    /// [`explain`](Self::explain) at an explicit [`OptimizeLevel`].
+    pub fn explain_at(&self, level: OptimizeLevel) -> PlanExplain {
+        let optimized = self.optimize_at(level);
+        PlanExplain {
+            level,
+            nodes_before: self.node_count(),
+            nodes_after: optimized.node_count(),
+            before: self.multiplicities(),
+            after: optimized.multiplicities(),
+        }
+    }
+
+    /// The number of distinct nodes in the plan DAG (shared subplans count once).
+    pub fn node_count(&self) -> usize {
+        let mut refs = RefCounts::new();
+        self.count_refs_node(&mut refs);
+        refs.distinct()
+    }
+
+    pub(crate) fn count_refs_node(&self, ctx: &mut RefCounts) {
+        if ctx.reference(self.node_key()) {
+            self.node.count_refs(ctx);
+        }
+    }
+
+    pub(crate) fn rewrite_node(&self, ctx: &mut RewriteCtx<'_>) -> Plan<T> {
+        if let Some(hit) = ctx.memo_lookup::<T>(self.node_key()) {
+            return hit;
+        }
+        let rewritten = self.node.rewrite(self, ctx);
+        ctx.memo_store::<T>(self.node_key(), rewritten.clone());
+        rewritten
+    }
+
+    /// Rewrites this plan with a `Where(pred)` arriving from directly above it, sinking
+    /// the predicate as deep as the bitwise-preservation rules allow. Pushdown stops at
+    /// nodes with more than one consumer (it would duplicate their work) and at operators
+    /// that renormalise.
+    pub(crate) fn rewrite_with_filter(
+        &self,
+        pred: &PredFn<T>,
+        pred_id: &ClosureId,
+        ctx: &mut RewriteCtx<'_>,
+    ) -> Plan<T> {
+        if ctx.level().pushdown() && ctx.consumers(self.node_key()) <= 1 {
+            if let Some(pushed) = self.node.absorb_filter(pred, pred_id, ctx) {
+                return pushed;
+            }
+        }
+        let parent = self.rewrite_node(ctx);
+        nodes::cons_filter(ctx, parent, pred.clone(), pred_id.clone())
+    }
+
+    /// Whether a filter pushed at this plan would actually sink somewhere useful (see
+    /// `PlanNode::sinks_filters`); shared nodes never sink (pushdown would duplicate
+    /// their work for the other consumers).
+    pub(crate) fn sinks_filters(&self, ctx: &RewriteCtx<'_>) -> bool {
+        ctx.consumers(self.node_key()) <= 1 && self.node.sinks_filters(ctx)
     }
 
     /// How many times this plan references each source — the `k` of the `k·ε` accounting

@@ -23,6 +23,7 @@ use wpinq_core::shard::{self, ShardedDataset};
 use wpinq_dataflow::Stream;
 
 use super::bindings::{PlanBindings, StreamBindings};
+use super::optimize::{ClosureId, NodeShape, OpTag, RefCounts, RewriteCtx};
 use super::{InputId, Plan};
 
 /// A shared one-to-many production function (the `SelectMany` payload).
@@ -33,6 +34,16 @@ type ReduceFn<T, R> = Arc<dyn Fn(&[T]) -> R + Send + Sync>;
 type ScheduleFn<T> = Arc<dyn Fn(&T) -> Box<dyn Iterator<Item = f64>> + Send + Sync>;
 /// A shared join result selector.
 type JoinResultFn<A, B, R> = Arc<dyn Fn(&A, &B) -> R + Send + Sync>;
+/// A shared record selector (the `Select` payload).
+type MapFn<T, U> = Arc<dyn Fn(&T) -> U + Send + Sync>;
+/// A shared filter predicate (the `Where` payload).
+pub(crate) type PredFn<T> = Arc<dyn Fn(&T) -> bool + Send + Sync>;
+/// A shared join key extractor.
+type KeyFn<T, K> = Arc<dyn Fn(&T) -> K + Send + Sync>;
+
+/// Crude fan-out factor for the cardinality estimate of `SelectMany` and `Shave` outputs
+/// (join-ordering heuristic only; never affects results).
+const FANOUT_ESTIMATE: f64 = 4.0;
 
 /// Behaviour of one plan node, dispatched through `Rc<dyn PlanNode<T>>`.
 pub(crate) trait PlanNode<T: Record> {
@@ -50,6 +61,39 @@ pub(crate) trait PlanNode<T: Record> {
 
     /// Sums the source multiplicities of this node's parents (one per reference).
     fn multiplicities(&self, ctx: &mut MultCtx) -> BTreeMap<InputId, u32>;
+
+    /// Records one reference per parent and recurses into first-seen parents (via
+    /// `Plan::count_refs_node`); the counts drive the optimizer's sharing guard.
+    fn count_refs(&self, ctx: &mut RefCounts);
+
+    /// Rewrites this node for the optimizer: rewrite parents (via `Plan::rewrite_node`),
+    /// apply any local rule, and hash-cons the result. `this` is the plan wrapping this
+    /// node, so unchanged subgraphs can be returned without reallocation.
+    fn rewrite(&self, this: &Plan<T>, ctx: &mut RewriteCtx<'_>) -> Plan<T>;
+
+    /// Pushdown hook: absorb a `Where` predicate arriving from directly above this node,
+    /// returning the rewritten subplan with the predicate sunk as deep as it provably
+    /// (bitwise) goes. `None` means the operator cannot absorb filters; the caller then
+    /// leaves the filter in place. Only called when this node has a single consumer.
+    fn absorb_filter(
+        &self,
+        _pred: &PredFn<T>,
+        _pred_id: &ClosureId,
+        _ctx: &mut RewriteCtx<'_>,
+    ) -> Option<Plan<T>> {
+        None
+    }
+
+    /// Whether sinking a filter into this node gains anything: `true` for operators that
+    /// consume predicates directly (`Where` fuses, the element-wise binaries distribute)
+    /// and for `Select`s whose own input sinks further. Used as a peek by
+    /// `SelectNode::absorb_filter` so a filter is only rewritten *through* a select when
+    /// it lands somewhere useful — pushing it just below (onto a source, join, group-by,
+    /// …) would re-evaluate the selector per record and materialise a near-input-sized
+    /// filtered copy the authored plan never builds.
+    fn sinks_filters(&self, _ctx: &RewriteCtx<'_>) -> bool {
+        false
+    }
 
     /// The input id when this node is a source, `None` otherwise.
     fn as_input(&self) -> Option<InputId> {
@@ -196,6 +240,26 @@ fn merge_mults(
     left
 }
 
+/// Hash-conses a `Where` node over an already-rewritten parent (the pushdown fallback:
+/// the predicate could not sink any further, so it lands here).
+pub(crate) fn cons_filter<T: Record>(
+    ctx: &mut RewriteCtx<'_>,
+    parent: Plan<T>,
+    pred: PredFn<T>,
+    pred_id: ClosureId,
+) -> Plan<T> {
+    let card = ctx.card_of(parent.node_key());
+    let shape = NodeShape::new::<T>(
+        OpTag::Where,
+        vec![parent.node_key()],
+        vec![pred_id.clone()],
+        0,
+    );
+    ctx.cons::<T>(shape, card, move || {
+        Plan::from_node(Rc::new(FilterNode::from_parts(parent, pred, pred_id)))
+    })
+}
+
 // ---------------------------------------------------------------------------------------
 // Nodes
 // ---------------------------------------------------------------------------------------
@@ -234,6 +298,15 @@ impl<T: Record> PlanNode<T> for InputNode<T> {
         BTreeMap::from([(self.id, 1)])
     }
 
+    fn count_refs(&self, _ctx: &mut RefCounts) {}
+
+    fn rewrite(&self, this: &Plan<T>, ctx: &mut RewriteCtx<'_>) -> Plan<T> {
+        let shape = NodeShape::new::<T>(OpTag::Source, Vec::new(), Vec::new(), self.id.0);
+        let card = ctx.source_size(self.id);
+        let original = this.clone();
+        ctx.cons::<T>(shape, card, move || original)
+    }
+
     fn as_input(&self) -> Option<InputId> {
         Some(self.id)
     }
@@ -246,15 +319,44 @@ impl<T: Record> PlanNode<T> for InputNode<T> {
 /// `Select` (Section 2.4).
 pub(crate) struct SelectNode<T: Record, U: Record> {
     parent: Plan<T>,
-    f: Arc<dyn Fn(&T) -> U + Send + Sync>,
+    f: MapFn<T, U>,
+    f_id: ClosureId,
 }
 
 impl<T: Record, U: Record> SelectNode<T, U> {
-    pub(crate) fn new(parent: Plan<T>, f: impl Fn(&T) -> U + Send + Sync + 'static) -> Self {
-        SelectNode {
-            parent,
-            f: Arc::new(f),
-        }
+    pub(crate) fn new<F>(parent: Plan<T>, f: F) -> Self
+    where
+        F: Fn(&T) -> U + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let f_id = ClosureId::of(&f);
+        SelectNode { parent, f, f_id }
+    }
+
+    fn from_parts(parent: Plan<T>, f: MapFn<T, U>, f_id: ClosureId) -> Self {
+        SelectNode { parent, f, f_id }
+    }
+
+    /// Hash-conses a select of `self`'s selector over an already-rewritten parent.
+    fn cons_over(
+        &self,
+        parent: Plan<T>,
+        original: Option<Plan<U>>,
+        ctx: &mut RewriteCtx<'_>,
+    ) -> Plan<U> {
+        let card = ctx.card_of(parent.node_key());
+        let shape = NodeShape::new::<U>(
+            OpTag::Select,
+            vec![parent.node_key()],
+            vec![self.f_id.clone()],
+            0,
+        );
+        let (f, f_id) = (self.f.clone(), self.f_id.clone());
+        ctx.cons::<U>(shape, card, move || {
+            original.unwrap_or_else(|| {
+                Plan::from_node(Rc::new(SelectNode::from_parts(parent, f, f_id)))
+            })
+        })
     }
 }
 
@@ -276,6 +378,45 @@ impl<T: Record, U: Record> PlanNode<U> for SelectNode<T, U> {
         (*self.parent.mult_node(ctx)).clone()
     }
 
+    fn count_refs(&self, ctx: &mut RefCounts) {
+        self.parent.count_refs_node(ctx);
+    }
+
+    fn rewrite(&self, this: &Plan<U>, ctx: &mut RewriteCtx<'_>) -> Plan<U> {
+        let parent = self.parent.rewrite_node(ctx);
+        let original = (parent.node_key() == self.parent.node_key()).then(|| this.clone());
+        self.cons_over(parent, original, ctx)
+    }
+
+    fn absorb_filter(
+        &self,
+        pred: &PredFn<U>,
+        pred_id: &ClosureId,
+        ctx: &mut RewriteCtx<'_>,
+    ) -> Option<Plan<U>> {
+        // Where(Select(x, f), p) = Select(Where(x, p ∘ f), f): the predicate depends only
+        // on the output record, so whole collision groups pass or fail together and the
+        // surviving groups keep their exact contribution multisets (bitwise identical).
+        //
+        // Only worth doing when the fused predicate keeps sinking (reaches another
+        // filter to fuse with, or a binary to distribute into): parked directly below
+        // this select it would re-run `f` per input record and materialise a filtered
+        // copy of the input the authored plan never builds.
+        if !self.parent.sinks_filters(ctx) {
+            return None;
+        }
+        let f = self.f.clone();
+        let p = pred.clone();
+        let fused: PredFn<T> = Arc::new(move |x| p(&f(x)));
+        let fused_id = ClosureId::derived("where∘select", vec![pred_id.clone(), self.f_id.clone()]);
+        let inner = self.parent.rewrite_with_filter(&fused, &fused_id, ctx);
+        Some(self.cons_over(inner, None, ctx))
+    }
+
+    fn sinks_filters(&self, ctx: &RewriteCtx<'_>) -> bool {
+        self.parent.sinks_filters(ctx)
+    }
+
     fn describe(&self) -> &'static str {
         "Select"
     }
@@ -284,17 +425,29 @@ impl<T: Record, U: Record> PlanNode<U> for SelectNode<T, U> {
 /// `Where` (Section 2.4).
 pub(crate) struct FilterNode<T: Record> {
     parent: Plan<T>,
-    predicate: Arc<dyn Fn(&T) -> bool + Send + Sync>,
+    predicate: PredFn<T>,
+    pred_id: ClosureId,
 }
 
 impl<T: Record> FilterNode<T> {
-    pub(crate) fn new(
-        parent: Plan<T>,
-        predicate: impl Fn(&T) -> bool + Send + Sync + 'static,
-    ) -> Self {
+    pub(crate) fn new<P>(parent: Plan<T>, predicate: P) -> Self
+    where
+        P: Fn(&T) -> bool + Send + Sync + 'static,
+    {
+        let predicate = Arc::new(predicate);
+        let pred_id = ClosureId::of(&predicate);
         FilterNode {
             parent,
-            predicate: Arc::new(predicate),
+            predicate,
+            pred_id,
+        }
+    }
+
+    pub(crate) fn from_parts(parent: Plan<T>, predicate: PredFn<T>, pred_id: ClosureId) -> Self {
+        FilterNode {
+            parent,
+            predicate,
+            pred_id,
         }
     }
 }
@@ -320,6 +473,35 @@ impl<T: Record> PlanNode<T> for FilterNode<T> {
         (*self.parent.mult_node(ctx)).clone()
     }
 
+    fn count_refs(&self, ctx: &mut RefCounts) {
+        self.parent.count_refs_node(ctx);
+    }
+
+    fn rewrite(&self, _this: &Plan<T>, ctx: &mut RewriteCtx<'_>) -> Plan<T> {
+        self.parent
+            .rewrite_with_filter(&self.predicate, &self.pred_id, ctx)
+    }
+
+    fn absorb_filter(
+        &self,
+        pred: &PredFn<T>,
+        pred_id: &ClosureId,
+        ctx: &mut RewriteCtx<'_>,
+    ) -> Option<Plan<T>> {
+        // Where(Where(x, p), q) = Where(x, p ∧ q): weights pass through filters
+        // untouched, so fusing only changes how many map scans happen.
+        let p = self.predicate.clone();
+        let q = pred.clone();
+        let fused: PredFn<T> = Arc::new(move |t| p(t) && q(t));
+        let fused_id =
+            ClosureId::derived("where∧where", vec![self.pred_id.clone(), pred_id.clone()]);
+        Some(self.parent.rewrite_with_filter(&fused, &fused_id, ctx))
+    }
+
+    fn sinks_filters(&self, _ctx: &RewriteCtx<'_>) -> bool {
+        true
+    }
+
     fn describe(&self) -> &'static str {
         "Where"
     }
@@ -329,17 +511,21 @@ impl<T: Record> PlanNode<T> for FilterNode<T> {
 pub(crate) struct SelectManyNode<T: Record, U: Record> {
     parent: Plan<T>,
     f: ProduceFn<T, U>,
+    f_id: ClosureId,
 }
 
 impl<T: Record, U: Record> SelectManyNode<T, U> {
-    pub(crate) fn new(
-        parent: Plan<T>,
-        f: impl Fn(&T) -> WeightedDataset<U> + Send + Sync + 'static,
-    ) -> Self {
-        SelectManyNode {
-            parent,
-            f: Arc::new(f),
-        }
+    pub(crate) fn new<F>(parent: Plan<T>, f: F) -> Self
+    where
+        F: Fn(&T) -> WeightedDataset<U> + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let f_id = ClosureId::of(&f);
+        SelectManyNode { parent, f, f_id }
+    }
+
+    fn from_parts(parent: Plan<T>, f: ProduceFn<T, U>, f_id: ClosureId) -> Self {
+        SelectManyNode { parent, f, f_id }
     }
 }
 
@@ -364,6 +550,31 @@ impl<T: Record, U: Record> PlanNode<U> for SelectManyNode<T, U> {
         (*self.parent.mult_node(ctx)).clone()
     }
 
+    fn count_refs(&self, ctx: &mut RefCounts) {
+        self.parent.count_refs_node(ctx);
+    }
+
+    // No `absorb_filter`: SelectMany rescales each production by the norm of the
+    // *unfiltered* produced dataset, so filtering inside the production would change
+    // every surviving weight.
+    fn rewrite(&self, this: &Plan<U>, ctx: &mut RewriteCtx<'_>) -> Plan<U> {
+        let parent = self.parent.rewrite_node(ctx);
+        let card = ctx.card_of(parent.node_key()) * FANOUT_ESTIMATE;
+        let shape = NodeShape::new::<U>(
+            OpTag::SelectMany,
+            vec![parent.node_key()],
+            vec![self.f_id.clone()],
+            0,
+        );
+        let original = (parent.node_key() == self.parent.node_key()).then(|| this.clone());
+        let (f, f_id) = (self.f.clone(), self.f_id.clone());
+        ctx.cons::<U>(shape, card, move || {
+            original.unwrap_or_else(|| {
+                Plan::from_node(Rc::new(SelectManyNode::from_parts(parent, f, f_id)))
+            })
+        })
+    }
+
     fn describe(&self) -> &'static str {
         "SelectMany"
     }
@@ -372,20 +583,44 @@ impl<T: Record, U: Record> PlanNode<U> for SelectManyNode<T, U> {
 /// `GroupBy` (Section 2.5).
 pub(crate) struct GroupByNode<T: Record, K: Record, R: Record> {
     parent: Plan<T>,
-    key: Arc<dyn Fn(&T) -> K + Send + Sync>,
+    key: KeyFn<T, K>,
     reduce: ReduceFn<T, R>,
+    key_id: ClosureId,
+    reduce_id: ClosureId,
 }
 
 impl<T: Record, K: Record, R: Record> GroupByNode<T, K, R> {
-    pub(crate) fn new(
+    pub(crate) fn new<KF, RF>(parent: Plan<T>, key: KF, reduce: RF) -> Self
+    where
+        KF: Fn(&T) -> K + Send + Sync + 'static,
+        RF: Fn(&[T]) -> R + Send + Sync + 'static,
+    {
+        let key = Arc::new(key);
+        let key_id = ClosureId::of(&key);
+        let reduce = Arc::new(reduce);
+        let reduce_id = ClosureId::of(&reduce);
+        GroupByNode {
+            parent,
+            key,
+            reduce,
+            key_id,
+            reduce_id,
+        }
+    }
+
+    fn from_parts(
         parent: Plan<T>,
-        key: impl Fn(&T) -> K + Send + Sync + 'static,
-        reduce: impl Fn(&[T]) -> R + Send + Sync + 'static,
+        key: KeyFn<T, K>,
+        reduce: ReduceFn<T, R>,
+        key_id: ClosureId,
+        reduce_id: ClosureId,
     ) -> Self {
         GroupByNode {
             parent,
-            key: Arc::new(key),
-            reduce: Arc::new(reduce),
+            key,
+            reduce,
+            key_id,
+            reduce_id,
         }
     }
 }
@@ -419,6 +654,31 @@ impl<T: Record, K: Record, R: Record> PlanNode<(K, R)> for GroupByNode<T, K, R> 
         (*self.parent.mult_node(ctx)).clone()
     }
 
+    fn count_refs(&self, ctx: &mut RefCounts) {
+        self.parent.count_refs_node(ctx);
+    }
+
+    fn rewrite(&self, this: &Plan<(K, R)>, ctx: &mut RewriteCtx<'_>) -> Plan<(K, R)> {
+        let parent = self.parent.rewrite_node(ctx);
+        let card = ctx.card_of(parent.node_key());
+        let shape = NodeShape::new::<(K, R)>(
+            OpTag::GroupBy,
+            vec![parent.node_key()],
+            vec![self.key_id.clone(), self.reduce_id.clone()],
+            0,
+        );
+        let original = (parent.node_key() == self.parent.node_key()).then(|| this.clone());
+        let (key, reduce) = (self.key.clone(), self.reduce.clone());
+        let (key_id, reduce_id) = (self.key_id.clone(), self.reduce_id.clone());
+        ctx.cons::<(K, R)>(shape, card, move || {
+            original.unwrap_or_else(|| {
+                Plan::from_node(Rc::new(GroupByNode::from_parts(
+                    parent, key, reduce, key_id, reduce_id,
+                )))
+            })
+        })
+    }
+
     fn describe(&self) -> &'static str {
         "GroupBy"
     }
@@ -428,16 +688,43 @@ impl<T: Record, K: Record, R: Record> PlanNode<(K, R)> for GroupByNode<T, K, R> 
 pub(crate) struct ShaveNode<T: Record> {
     parent: Plan<T>,
     schedule: ScheduleFn<T>,
+    schedule_id: ClosureId,
 }
 
 impl<T: Record> ShaveNode<T> {
-    pub(crate) fn new(
-        parent: Plan<T>,
-        schedule: impl Fn(&T) -> Box<dyn Iterator<Item = f64>> + Send + Sync + 'static,
-    ) -> Self {
+    pub(crate) fn new<F>(parent: Plan<T>, schedule: F) -> Self
+    where
+        F: Fn(&T) -> Box<dyn Iterator<Item = f64>> + Send + Sync + 'static,
+    {
+        let schedule = Arc::new(schedule);
+        let schedule_id = ClosureId::of(&schedule);
         ShaveNode {
             parent,
-            schedule: Arc::new(schedule),
+            schedule,
+            schedule_id,
+        }
+    }
+
+    /// A shave node whose schedule identity is a known constant — `shave_const(step)`
+    /// behaves identically for equal steps no matter which call site built it, so two
+    /// such nodes hash-cons together even though their closures capture state.
+    pub(crate) fn with_const_id<F>(parent: Plan<T>, schedule: F, step: f64) -> Self
+    where
+        F: Fn(&T) -> Box<dyn Iterator<Item = f64>> + Send + Sync + 'static,
+    {
+        let schedule = Arc::new(schedule);
+        ShaveNode {
+            parent,
+            schedule,
+            schedule_id: ClosureId::constant("shave-const", step.to_bits()),
+        }
+    }
+
+    fn from_parts(parent: Plan<T>, schedule: ScheduleFn<T>, schedule_id: ClosureId) -> Self {
+        ShaveNode {
+            parent,
+            schedule,
+            schedule_id,
         }
     }
 }
@@ -463,6 +750,32 @@ impl<T: Record> PlanNode<(T, u64)> for ShaveNode<T> {
         (*self.parent.mult_node(ctx)).clone()
     }
 
+    fn count_refs(&self, ctx: &mut RefCounts) {
+        self.parent.count_refs_node(ctx);
+    }
+
+    fn rewrite(&self, this: &Plan<(T, u64)>, ctx: &mut RewriteCtx<'_>) -> Plan<(T, u64)> {
+        let parent = self.parent.rewrite_node(ctx);
+        let card = ctx.card_of(parent.node_key()) * FANOUT_ESTIMATE;
+        let shape = NodeShape::new::<(T, u64)>(
+            OpTag::Shave,
+            vec![parent.node_key()],
+            vec![self.schedule_id.clone()],
+            0,
+        );
+        let original = (parent.node_key() == self.parent.node_key()).then(|| this.clone());
+        let (schedule, schedule_id) = (self.schedule.clone(), self.schedule_id.clone());
+        ctx.cons::<(T, u64)>(shape, card, move || {
+            original.unwrap_or_else(|| {
+                Plan::from_node(Rc::new(ShaveNode::from_parts(
+                    parent,
+                    schedule,
+                    schedule_id,
+                )))
+            })
+        })
+    }
+
     fn describe(&self) -> &'static str {
         "Shave"
     }
@@ -472,25 +785,65 @@ impl<T: Record> PlanNode<(T, u64)> for ShaveNode<T> {
 pub(crate) struct JoinNode<A: Record, B: Record, K: Record, R: Record> {
     left: Plan<A>,
     right: Plan<B>,
-    key_left: Arc<dyn Fn(&A) -> K + Send + Sync>,
-    key_right: Arc<dyn Fn(&B) -> K + Send + Sync>,
+    key_left: KeyFn<A, K>,
+    key_right: KeyFn<B, K>,
     result: JoinResultFn<A, B, R>,
+    key_left_id: ClosureId,
+    key_right_id: ClosureId,
+    result_id: ClosureId,
 }
 
 impl<A: Record, B: Record, K: Record, R: Record> JoinNode<A, B, K, R> {
-    pub(crate) fn new(
+    pub(crate) fn new<KA, KB, RF>(
         left: Plan<A>,
         right: Plan<B>,
-        key_left: impl Fn(&A) -> K + Send + Sync + 'static,
-        key_right: impl Fn(&B) -> K + Send + Sync + 'static,
-        result: impl Fn(&A, &B) -> R + Send + Sync + 'static,
+        key_left: KA,
+        key_right: KB,
+        result: RF,
+    ) -> Self
+    where
+        KA: Fn(&A) -> K + Send + Sync + 'static,
+        KB: Fn(&B) -> K + Send + Sync + 'static,
+        RF: Fn(&A, &B) -> R + Send + Sync + 'static,
+    {
+        let key_left = Arc::new(key_left);
+        let key_left_id = ClosureId::of(&key_left);
+        let key_right = Arc::new(key_right);
+        let key_right_id = ClosureId::of(&key_right);
+        let result = Arc::new(result);
+        let result_id = ClosureId::of(&result);
+        JoinNode {
+            left,
+            right,
+            key_left,
+            key_right,
+            result,
+            key_left_id,
+            key_right_id,
+            result_id,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn from_parts(
+        left: Plan<A>,
+        right: Plan<B>,
+        key_left: KeyFn<A, K>,
+        key_right: KeyFn<B, K>,
+        result: JoinResultFn<A, B, R>,
+        key_left_id: ClosureId,
+        key_right_id: ClosureId,
+        result_id: ClosureId,
     ) -> Self {
         JoinNode {
             left,
             right,
-            key_left: Arc::new(key_left),
-            key_right: Arc::new(key_right),
-            result: Arc::new(result),
+            key_left,
+            key_right,
+            result,
+            key_left_id,
+            key_right_id,
+            result_id,
         }
     }
 }
@@ -540,6 +893,78 @@ impl<A: Record, B: Record, K: Record, R: Record> PlanNode<R> for JoinNode<A, B, 
         merge_mults((*left).clone(), &right)
     }
 
+    fn count_refs(&self, ctx: &mut RefCounts) {
+        self.left.count_refs_node(ctx);
+        self.right.count_refs_node(ctx);
+    }
+
+    fn rewrite(&self, this: &Plan<R>, ctx: &mut RewriteCtx<'_>) -> Plan<R> {
+        let left = self.left.rewrite_node(ctx);
+        let right = self.right.rewrite_node(ctx);
+        let (card_l, card_r) = (ctx.card_of(left.node_key()), ctx.card_of(right.node_key()));
+        let card = card_l + card_r;
+
+        // Join input ordering: iterate the smaller estimated input's key groups. The
+        // kernel computes `w_a·w_b / (‖A_k‖ + ‖B_k‖)` — both float ops commutative — and
+        // accumulates canonically, so the swap is bitwise neutral.
+        if ctx.level().reorder() && card_r < card_l {
+            let shape = NodeShape::new::<R>(
+                OpTag::Join,
+                vec![right.node_key(), left.node_key()],
+                vec![
+                    self.key_right_id.clone(),
+                    self.key_left_id.clone(),
+                    ClosureId::derived("join-swap", vec![self.result_id.clone()]),
+                ],
+                0,
+            );
+            let (key_left, key_right) = (self.key_left.clone(), self.key_right.clone());
+            let (kl_id, kr_id) = (self.key_left_id.clone(), self.key_right_id.clone());
+            let result = self.result.clone();
+            let result_id = self.result_id.clone();
+            return ctx.cons::<R>(shape, card, move || {
+                let swapped: JoinResultFn<B, A, R> = {
+                    let result = result.clone();
+                    Arc::new(move |b, a| result(a, b))
+                };
+                Plan::from_node(Rc::new(JoinNode::from_parts(
+                    right,
+                    left,
+                    key_right,
+                    key_left,
+                    swapped,
+                    kr_id,
+                    kl_id,
+                    ClosureId::derived("join-swap", vec![result_id]),
+                )))
+            });
+        }
+
+        let shape = NodeShape::new::<R>(
+            OpTag::Join,
+            vec![left.node_key(), right.node_key()],
+            vec![
+                self.key_left_id.clone(),
+                self.key_right_id.clone(),
+                self.result_id.clone(),
+            ],
+            0,
+        );
+        let unchanged =
+            left.node_key() == self.left.node_key() && right.node_key() == self.right.node_key();
+        let original = unchanged.then(|| this.clone());
+        let (key_left, key_right) = (self.key_left.clone(), self.key_right.clone());
+        let (kl_id, kr_id) = (self.key_left_id.clone(), self.key_right_id.clone());
+        let (result, result_id) = (self.result.clone(), self.result_id.clone());
+        ctx.cons::<R>(shape, card, move || {
+            original.unwrap_or_else(|| {
+                Plan::from_node(Rc::new(JoinNode::from_parts(
+                    left, right, key_left, key_right, result, kl_id, kr_id, result_id,
+                )))
+            })
+        })
+    }
+
     fn describe(&self) -> &'static str {
         "Join"
     }
@@ -558,6 +983,24 @@ pub(crate) enum BinaryKind {
     Except,
 }
 
+impl BinaryKind {
+    fn op_tag(self) -> OpTag {
+        match self {
+            BinaryKind::Union => OpTag::Union,
+            BinaryKind::Intersect => OpTag::Intersect,
+            BinaryKind::Concat => OpTag::Concat,
+            BinaryKind::Except => OpTag::Except,
+        }
+    }
+
+    /// `op(X, X) = X` holds for the element-wise maximum and minimum (`max(w, w) =
+    /// min(w, w) = w`, and the kernels never renormalise), so such nodes collapse onto
+    /// their shared input — halving the privacy multiplicity charged through them.
+    fn idempotent(self) -> bool {
+        matches!(self, BinaryKind::Union | BinaryKind::Intersect)
+    }
+}
+
 /// `Union` / `Intersect` / `Concat` / `Except` (Section 2.6).
 pub(crate) struct BinaryNode<T: Record> {
     left: Plan<T>,
@@ -568,6 +1011,36 @@ pub(crate) struct BinaryNode<T: Record> {
 impl<T: Record> BinaryNode<T> {
     pub(crate) fn new(left: Plan<T>, right: Plan<T>, kind: BinaryKind) -> Self {
         BinaryNode { left, right, kind }
+    }
+
+    /// Hash-conses a binary of this kind over rewritten inputs, applying the idempotent
+    /// collapse first.
+    fn cons_over(
+        &self,
+        left: Plan<T>,
+        right: Plan<T>,
+        original: Option<Plan<T>>,
+        ctx: &mut RewriteCtx<'_>,
+    ) -> Plan<T> {
+        if ctx.level().collapse() && self.kind.idempotent() && left.node_key() == right.node_key() {
+            return left;
+        }
+        let (card_l, card_r) = (ctx.card_of(left.node_key()), ctx.card_of(right.node_key()));
+        let card = match self.kind {
+            BinaryKind::Intersect => card_l.min(card_r),
+            BinaryKind::Except => card_l,
+            BinaryKind::Union | BinaryKind::Concat => card_l + card_r,
+        };
+        let shape = NodeShape::new::<T>(
+            self.kind.op_tag(),
+            vec![left.node_key(), right.node_key()],
+            Vec::new(),
+            0,
+        );
+        let kind = self.kind;
+        ctx.cons::<T>(shape, card, move || {
+            original.unwrap_or_else(|| Plan::from_node(Rc::new(BinaryNode::new(left, right, kind))))
+        })
     }
 }
 
@@ -609,6 +1082,44 @@ impl<T: Record> PlanNode<T> for BinaryNode<T> {
         let left = self.left.mult_node(ctx);
         let right = self.right.mult_node(ctx);
         merge_mults((*left).clone(), &right)
+    }
+
+    fn count_refs(&self, ctx: &mut RefCounts) {
+        self.left.count_refs_node(ctx);
+        self.right.count_refs_node(ctx);
+    }
+
+    fn rewrite(&self, this: &Plan<T>, ctx: &mut RewriteCtx<'_>) -> Plan<T> {
+        let left = self.left.rewrite_node(ctx);
+        let right = self.right.rewrite_node(ctx);
+        let unchanged =
+            left.node_key() == self.left.node_key() && right.node_key() == self.right.node_key();
+        let original = unchanged.then(|| this.clone());
+        self.cons_over(left, right, original, ctx)
+    }
+
+    fn absorb_filter(
+        &self,
+        pred: &PredFn<T>,
+        pred_id: &ClosureId,
+        ctx: &mut RewriteCtx<'_>,
+    ) -> Option<Plan<T>> {
+        // All four set operations are element-wise on weights, so a filter above them
+        // distributes into both inputs: per surviving record the kernel sees the exact
+        // same weights, and filtered-out records are dropped either way. Only worth
+        // doing when at least one branch keeps sinking the predicate — parked on both
+        // branches it would run once per input record instead of once per (deduplicated)
+        // output record, and the idempotent collapse fires in `rewrite` regardless.
+        if !self.left.sinks_filters(ctx) && !self.right.sinks_filters(ctx) {
+            return None;
+        }
+        let left = self.left.rewrite_with_filter(pred, pred_id, ctx);
+        let right = self.right.rewrite_with_filter(pred, pred_id, ctx);
+        Some(self.cons_over(left, right, None, ctx))
+    }
+
+    fn sinks_filters(&self, ctx: &RewriteCtx<'_>) -> bool {
+        self.left.sinks_filters(ctx) || self.right.sinks_filters(ctx)
     }
 
     fn describe(&self) -> &'static str {

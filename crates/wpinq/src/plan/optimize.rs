@@ -1,0 +1,800 @@
+//! The plan-level optimizer: rewrites that cut ε cost and evaluation work without
+//! changing a single released bit.
+//!
+//! Because privacy accounting flows structurally from the [`Plan`] DAG (the `k` of the
+//! `k·ε` rule is the per-source reference count), plan rewrites are a *privacy* tool, not
+//! just a performance tool: any rewrite that removes a redundant source reference lowers
+//! the ε charged for the same answer. This mirrors how provenance systems (ProvSQL-style
+//! semiring annotation) push their annotations through query transformations instead of
+//! re-deriving them after execution — here the "annotation" is the wPINQ weight, and every
+//! rewrite must preserve it **bitwise**.
+//!
+//! ## The rewrite catalogue
+//!
+//! All rewrites preserve the evaluated [`WeightedDataset`](wpinq_core::WeightedDataset)
+//! bit-for-bit under every executor, extending the sharded-executor guarantee (canonical
+//! float accumulation in `wpinq_core::accumulate`) to rewritten DAGs:
+//!
+//! 1. **Structural common-subplan extraction** (hash-consing, [`OptimizeLevel::Cse`] and
+//!    up). Nodes are keyed by *shape* — operator kind, canonicalised input identities, and
+//!    closure identity ([`ClosureId`]) — so structurally equal subplans built separately
+//!    (two calls of the same analysis constructor) collapse onto one shared node, beyond
+//!    today's pointer-identity sharing. Sharing is trivially bitwise-safe and is what
+//!    enables rewrite 2.
+//! 2. **Idempotent-binary collapse** ([`OptimizeLevel::Full`]). `Union(X, X) → X` and
+//!    `Intersect(X, X) → X` whenever both inputs are (post-CSE) the *same* node. Bitwise
+//!    safe because `max(w, w) = min(w, w) = w` and the set-op kernels never renormalise.
+//!    This is the ε-cutting rewrite: the collapsed plan references every source through
+//!    `X` once instead of twice, and it is privacy-*sound* because `Union(f(A), f(A))`
+//!    is literally the function `f(A)`, whose stability is that of one branch, not two.
+//! 3. **Where pushdown** ([`OptimizeLevel::Full`]). Filters fuse with adjacent filters,
+//!    push through `Select` (composing the predicate with the selector), and distribute
+//!    into both inputs of the element-wise binaries (`Union`/`Intersect`/`Concat`/
+//!    `Except`). All of these leave every surviving record's contribution multiset
+//!    untouched, so canonical accumulation yields identical bits. Pushdown stops at
+//!    shared nodes (it would duplicate their work for other consumers), sinks through a
+//!    `Select` only when the fused predicate keeps sinking — another filter to fuse
+//!    with, or a binary to distribute into; parked directly below a select it would
+//!    just re-run the selector and materialise a filtered input copy — and never
+//!    crosses operators where it would change weights: `SelectMany` renormalises by the
+//!    norm of the *unfiltered* production and the equi-`Join` rescales by per-key input
+//!    norms, so pushing a predicate below either would change released values; with
+//!    opaque Rust closures there is no sound key-preservation check that could license
+//!    it.
+//! 4. **Join input ordering** ([`OptimizeLevel::Full`], batch evaluation only). When
+//!    source cardinalities are known from the bindings, the smaller estimated input
+//!    becomes the join's outer (iterated) side, shrinking the per-key probe loop. The
+//!    join kernels compute `w_a·w_b / (‖A_k‖ + ‖B_k‖)` — IEEE multiplication and
+//!    addition are commutative — and accumulate canonically, so swapping the inputs is
+//!    bitwise neutral.
+//!
+//! Rewrites that regroup float additions (e.g. fusing `Select∘Select`, or distributing
+//! `Select` over `Concat`) are deliberately **excluded**: `Select` sums colliding
+//! contributions, and regrouping a canonical sum changes its bits even though the real
+//! value is equal.
+//!
+//! ## Knobs
+//!
+//! The pass runs by default in [`Plan::eval_with`](Plan::eval_with), the incremental
+//! lowering ([`Plan::lower`](Plan::lower)), and the plan-backed
+//! [`Queryable`](crate::Queryable). The `WPINQ_OPTIMIZE` environment variable
+//! ([`OPTIMIZE_ENV`]) selects the process default ([`OptimizeLevel::from_env`]); the
+//! `*_opt` method variants and [`Queryable::with_optimize_level`]
+//! (crate::Queryable::with_optimize_level) pin a level explicitly for A/B comparisons.
+//! [`Plan::explain`](Plan::explain) reports before/after node counts and per-source
+//! multiplicities.
+
+use std::any::{Any, TypeId};
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use wpinq_core::record::Record;
+
+use super::{InputId, Plan};
+
+/// Environment variable selecting the default [`OptimizeLevel`]
+/// (`0`/`none`/`off` → [`OptimizeLevel::None`], `cse` → [`OptimizeLevel::Cse`], anything
+/// else including unset → [`OptimizeLevel::Full`]).
+pub const OPTIMIZE_ENV: &str = "WPINQ_OPTIMIZE";
+
+/// How aggressively a plan is rewritten before execution.
+///
+/// Every level evaluates to **bitwise identical** data; levels only trade optimization
+/// effort against evaluation work and, at [`Full`](OptimizeLevel::Full), the ε charged
+/// for redundantly expressed queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum OptimizeLevel {
+    /// No rewriting: the plan executes exactly as authored (the A/B baseline).
+    None,
+    /// Structural common-subplan extraction only (pure sharing, no semantic rewrites).
+    Cse,
+    /// Everything: CSE, idempotent-binary collapse, Where pushdown, join ordering.
+    #[default]
+    Full,
+}
+
+impl OptimizeLevel {
+    /// The process-default level from the `WPINQ_OPTIMIZE` environment variable.
+    ///
+    /// The knob affects how much ε a measurement is charged (never the released bytes),
+    /// so a typo must not silently pass for an A/B setting: unrecognised values resolve
+    /// to the [`Full`](OptimizeLevel::Full) default but print a one-time warning to
+    /// stderr naming the value and the accepted spellings.
+    pub fn from_env() -> OptimizeLevel {
+        match std::env::var(OPTIMIZE_ENV) {
+            Ok(raw) => match raw.trim().to_ascii_lowercase().as_str() {
+                "0" | "none" | "off" | "false" => OptimizeLevel::None,
+                "cse" => OptimizeLevel::Cse,
+                "1" | "full" | "on" | "true" => OptimizeLevel::Full,
+                _ => {
+                    static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                    WARN_ONCE.call_once(|| {
+                        eprintln!(
+                            "warning: unrecognised {OPTIMIZE_ENV}={raw:?} — using the \
+                             'full' default (accepted: 0/none/off/false, cse, \
+                             1/full/on/true)"
+                        );
+                    });
+                    OptimizeLevel::Full
+                }
+            },
+            Err(_) => OptimizeLevel::Full,
+        }
+    }
+
+    pub(crate) fn cse(self) -> bool {
+        self >= OptimizeLevel::Cse
+    }
+
+    pub(crate) fn collapse(self) -> bool {
+        self >= OptimizeLevel::Full
+    }
+
+    pub(crate) fn pushdown(self) -> bool {
+        self >= OptimizeLevel::Full
+    }
+
+    pub(crate) fn reorder(self) -> bool {
+        self >= OptimizeLevel::Full
+    }
+}
+
+impl std::fmt::Display for OptimizeLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            OptimizeLevel::None => "none",
+            OptimizeLevel::Cse => "cse",
+            OptimizeLevel::Full => "full",
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Closure identity
+// ---------------------------------------------------------------------------------------
+
+/// Conservative identity of an operator closure, the piece of a node's shape that Rust's
+/// opaque function values would otherwise hide.
+///
+/// Two closures compare equal only when they provably compute the same function:
+///
+/// * a zero-sized closure captures no state, so its `TypeId` (one per closure literal,
+///   stable across calls of the enclosing function) fully determines its behaviour;
+/// * a capturing closure is identified by its allocation — equal only to itself. (All
+///   compared closures are kept alive by the DAG under rewrite, so addresses cannot be
+///   reused while they matter.)
+/// * known adapters (`shave_const`) are identified by their constant parameters, and
+///   optimizer-built closures (fused predicates, swapped join selectors) by the
+///   identities they were derived from.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) enum ClosureId {
+    /// A zero-sized closure: behaviour fully determined by its type.
+    Stateless(TypeId),
+    /// A capturing closure: identified by its (live) `Arc` allocation.
+    Opaque(usize),
+    /// A known adapter parameterised by a constant (e.g. `shave_const`'s step bits).
+    Const(&'static str, u64),
+    /// A closure the optimizer derived from others (fused predicate, swapped selector).
+    Derived(&'static str, Rc<Vec<ClosureId>>),
+}
+
+impl ClosureId {
+    /// The identity of a just-allocated closure (call before unsizing the `Arc`).
+    pub(crate) fn of<F: 'static>(arc: &Arc<F>) -> ClosureId {
+        if std::mem::size_of::<F>() == 0 {
+            ClosureId::Stateless(TypeId::of::<F>())
+        } else {
+            ClosureId::Opaque(Arc::as_ptr(arc) as *const () as usize)
+        }
+    }
+
+    /// The identity of a known adapter with a constant parameter.
+    pub(crate) fn constant(tag: &'static str, bits: u64) -> ClosureId {
+        ClosureId::Const(tag, bits)
+    }
+
+    /// The identity of an optimizer-derived closure.
+    pub(crate) fn derived(tag: &'static str, parts: Vec<ClosureId>) -> ClosureId {
+        ClosureId::Derived(tag, Rc::new(parts))
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Node shapes (hash-consing keys)
+// ---------------------------------------------------------------------------------------
+
+/// The operator kind of a node shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum OpTag {
+    Source,
+    Select,
+    Where,
+    SelectMany,
+    GroupBy,
+    Shave,
+    Join,
+    Union,
+    Intersect,
+    Concat,
+    Except,
+}
+
+/// The structural identity of one rewritten node: operator kind, output record type,
+/// canonical identities of the rewritten inputs, closure identities, and any constant
+/// parameter (the source id for `Source` nodes). Two nodes with equal shapes compute
+/// identical datasets, so the rewriter keeps exactly one node per shape.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct NodeShape {
+    pub(crate) op: OpTag,
+    pub(crate) out: TypeId,
+    pub(crate) children: Vec<usize>,
+    pub(crate) closures: Vec<ClosureId>,
+    pub(crate) extra: u64,
+}
+
+impl NodeShape {
+    pub(crate) fn new<T: Record>(
+        op: OpTag,
+        children: Vec<usize>,
+        closures: Vec<ClosureId>,
+        extra: u64,
+    ) -> NodeShape {
+        NodeShape {
+            op,
+            out: TypeId::of::<T>(),
+            children,
+            closures,
+            extra,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Reference counting (pushdown sharing guard + node counts)
+// ---------------------------------------------------------------------------------------
+
+/// Per-node reference counts of a plan DAG: how many parents (plus the root) reference
+/// each node. Pushdown refuses to rewrite through nodes with more than one consumer, and
+/// [`Plan::node_count`] reports the number of distinct nodes.
+#[derive(Debug, Default)]
+pub(crate) struct RefCounts {
+    counts: HashMap<usize, u32>,
+}
+
+impl RefCounts {
+    pub(crate) fn new() -> Self {
+        RefCounts::default()
+    }
+
+    /// Records one reference to `key`; returns `true` on the first visit (recurse then).
+    pub(crate) fn reference(&mut self, key: usize) -> bool {
+        let count = self.counts.entry(key).or_insert(0);
+        *count += 1;
+        *count == 1
+    }
+
+    pub(crate) fn consumers(&self, key: usize) -> u32 {
+        self.counts.get(&key).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// The rewrite context
+// ---------------------------------------------------------------------------------------
+
+/// State of one optimization pass: the level, optional source cardinalities (for join
+/// ordering), the original DAG's reference counts (pushdown guard), a memo of rewritten
+/// nodes keyed by original identity, the hash-cons table keyed by [`NodeShape`], and
+/// cardinality estimates for rewritten nodes.
+pub(crate) struct RewriteCtx<'a> {
+    level: OptimizeLevel,
+    sizes: Option<&'a HashMap<InputId, usize>>,
+    refs: RefCounts,
+    memo: HashMap<usize, Box<dyn Any>>,
+    cons: HashMap<NodeShape, Box<dyn Any>>,
+    card: HashMap<usize, f64>,
+}
+
+impl<'a> RewriteCtx<'a> {
+    fn new(
+        level: OptimizeLevel,
+        sizes: Option<&'a HashMap<InputId, usize>>,
+        refs: RefCounts,
+    ) -> Self {
+        RewriteCtx {
+            level,
+            sizes,
+            refs,
+            memo: HashMap::new(),
+            cons: HashMap::new(),
+            card: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn level(&self) -> OptimizeLevel {
+        self.level
+    }
+
+    /// Consumer count of an *original* node (root references included).
+    pub(crate) fn consumers(&self, old_key: usize) -> u32 {
+        self.refs.consumers(old_key)
+    }
+
+    /// Bound cardinality of a source, when bindings were provided.
+    pub(crate) fn source_size(&self, id: InputId) -> f64 {
+        self.sizes
+            .and_then(|sizes| sizes.get(&id))
+            .map(|n| *n as f64)
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// Estimated cardinality of a rewritten node (infinite when unknown).
+    pub(crate) fn card_of(&self, new_key: usize) -> f64 {
+        self.card.get(&new_key).copied().unwrap_or(f64::INFINITY)
+    }
+
+    pub(crate) fn memo_lookup<T: Record>(&self, old_key: usize) -> Option<Plan<T>> {
+        self.memo.get(&old_key).map(|any| {
+            any.downcast_ref::<Plan<T>>()
+                .expect("rewrite memo entry has the node's record type")
+                .clone()
+        })
+    }
+
+    pub(crate) fn memo_store<T: Record>(&mut self, old_key: usize, plan: Plan<T>) {
+        self.memo.insert(old_key, Box::new(plan));
+    }
+
+    /// Returns the canonical node for `shape`, building (and registering) it on first
+    /// sight. `card` is the cardinality estimate recorded for the canonical node.
+    pub(crate) fn cons<T: Record>(
+        &mut self,
+        shape: NodeShape,
+        card: f64,
+        build: impl FnOnce() -> Plan<T>,
+    ) -> Plan<T> {
+        if self.level.cse() {
+            if let Some(existing) = self.cons.get(&shape) {
+                return existing
+                    .downcast_ref::<Plan<T>>()
+                    .expect("cons table entry has the shape's record type")
+                    .clone();
+            }
+        }
+        let built = build();
+        self.card.insert(built.node_key(), card);
+        if self.level.cse() {
+            self.cons.insert(shape, Box::new(built.clone()));
+        }
+        built
+    }
+}
+
+/// Optimizes `plan` at `level`, with optional source cardinalities enabling join input
+/// ordering. [`OptimizeLevel::None`] returns the plan unchanged.
+///
+/// [`OptimizeLevel::Full`] runs **two phases**: a CSE-only pass first, then the full
+/// rule set over the consed DAG. The pushdown sharing guard reads consumer counts from
+/// the DAG it rewrites, so sharing that CSE itself discovers (two structurally equal
+/// subplans merging into one node) must be materialised *before* pushdown decides —
+/// otherwise a filter could sink into one of two equal copies, make them structurally
+/// different, and defeat the very merge that shares their work.
+pub(crate) fn rewrite_plan<T: Record>(
+    plan: &Plan<T>,
+    level: OptimizeLevel,
+    sizes: Option<&HashMap<InputId, usize>>,
+) -> Plan<T> {
+    if level == OptimizeLevel::None {
+        return plan.clone();
+    }
+    let consed = rewrite_pass(plan, OptimizeLevel::Cse, sizes);
+    if level == OptimizeLevel::Cse {
+        return consed;
+    }
+    rewrite_pass(&consed, level, sizes)
+}
+
+/// One bottom-up rewrite pass over the DAG.
+fn rewrite_pass<T: Record>(
+    plan: &Plan<T>,
+    level: OptimizeLevel,
+    sizes: Option<&HashMap<InputId, usize>>,
+) -> Plan<T> {
+    let mut refs = RefCounts::new();
+    plan.count_refs_node(&mut refs);
+    let mut ctx = RewriteCtx::new(level, sizes, refs);
+    plan.rewrite_node(&mut ctx)
+}
+
+// ---------------------------------------------------------------------------------------
+// Explain
+// ---------------------------------------------------------------------------------------
+
+/// The optimizer's debug report: node counts and per-source multiplicities before and
+/// after rewriting, from which the ε saving of a measurement follows directly (a
+/// `NoisyCount(·, ε)` over the plan charges `multiplicity × ε` per source).
+#[derive(Debug, Clone)]
+pub struct PlanExplain {
+    /// The level the report was produced at.
+    pub level: OptimizeLevel,
+    /// Distinct nodes in the plan as authored.
+    pub nodes_before: usize,
+    /// Distinct nodes after rewriting.
+    pub nodes_after: usize,
+    /// Per-source reference counts (the `k` of `k·ε`) as authored.
+    pub before: BTreeMap<InputId, u32>,
+    /// Per-source reference counts after rewriting.
+    pub after: BTreeMap<InputId, u32>,
+}
+
+impl PlanExplain {
+    /// Total source multiplicity as authored (the summed ε multiplier of a measurement).
+    pub fn total_before(&self) -> u32 {
+        self.before.values().sum()
+    }
+
+    /// Total source multiplicity after rewriting.
+    pub fn total_after(&self) -> u32 {
+        self.after.values().sum()
+    }
+
+    /// `true` when rewriting strictly lowered the total source multiplicity, i.e. a
+    /// measurement over the optimized plan charges strictly less ε for the same bits.
+    pub fn epsilon_saved(&self) -> bool {
+        self.total_after() < self.total_before()
+    }
+}
+
+impl std::fmt::Display for PlanExplain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "plan optimizer report (level = {})", self.level)?;
+        writeln!(f, "  nodes: {} -> {}", self.nodes_before, self.nodes_after)?;
+        for (id, before) in &self.before {
+            let after = self.after.get(id).copied().unwrap_or(0);
+            writeln!(
+                f,
+                "  source {id:?}: multiplicity {before} -> {after} \
+                 (measurement at epsilon costs {before}e -> {after}e)"
+            )?;
+        }
+        write!(
+            f,
+            "  total source multiplicity: {} -> {}",
+            self.total_before(),
+            self.total_after()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanBindings;
+    use wpinq_core::dataset::WeightedDataset;
+
+    fn edge_data() -> WeightedDataset<(u32, u32)> {
+        WeightedDataset::from_records([(1u32, 2u32), (2, 1), (2, 3), (3, 2), (1, 3), (3, 1)])
+    }
+
+    /// A structurally duplicated chain: the same stateless closures from two separate
+    /// builder calls must hash-cons onto one node.
+    fn degree_chain(edges: &Plan<(u32, u32)>) -> Plan<u64> {
+        edges.select(|e| e.0).shave_const(1.0).select(|(_, i)| *i)
+    }
+
+    #[test]
+    fn level_parses_and_orders() {
+        assert!(OptimizeLevel::None < OptimizeLevel::Cse);
+        assert!(OptimizeLevel::Cse < OptimizeLevel::Full);
+        assert_eq!(OptimizeLevel::default(), OptimizeLevel::Full);
+        assert_eq!(OptimizeLevel::Full.to_string(), "full");
+    }
+
+    #[test]
+    fn cse_merges_separately_built_identical_chains() {
+        let edges = Plan::<(u32, u32)>::source();
+        let concatenated = degree_chain(&edges).concat(&degree_chain(&edges));
+        let before = concatenated.node_count();
+        let optimized = concatenated.optimize_at(OptimizeLevel::Cse);
+        // Two 3-node chains share one source; CSE folds them into one chain + concat.
+        assert_eq!(before, 8);
+        assert_eq!(optimized.node_count(), 5);
+        // Multiplicity accounting is per reference, so sharing alone changes nothing.
+        let id = edges.input_id().unwrap();
+        assert_eq!(optimized.multiplicity_of(id), 2);
+
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&edges, edge_data());
+        let raw = concatenated.eval_opt(
+            &bindings,
+            &crate::plan::SequentialExecutor,
+            OptimizeLevel::None,
+        );
+        let opt = optimized.eval_opt(
+            &bindings,
+            &crate::plan::SequentialExecutor,
+            OptimizeLevel::None,
+        );
+        assert_eq!(raw, opt);
+    }
+
+    #[test]
+    fn idempotent_union_of_duplicated_subplan_halves_multiplicity() {
+        let edges = Plan::<(u32, u32)>::source();
+        let id = edges.input_id().unwrap();
+        let merged = degree_chain(&edges).union(&degree_chain(&edges));
+        assert_eq!(merged.multiplicity_of(id), 2);
+        let optimized = merged.optimize_at(OptimizeLevel::Full);
+        assert_eq!(optimized.multiplicity_of(id), 1);
+
+        let explain = merged.explain_at(OptimizeLevel::Full);
+        assert!(explain.epsilon_saved());
+        assert_eq!(explain.total_before(), 2);
+        assert_eq!(explain.total_after(), 1);
+        assert!(explain.to_string().contains("multiplicity 2 -> 1"));
+
+        // The collapsed plan releases the very same bits.
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&edges, edge_data());
+        let raw = merged.eval_opt(
+            &bindings,
+            &crate::plan::SequentialExecutor,
+            OptimizeLevel::None,
+        );
+        let opt = merged.eval_opt(
+            &bindings,
+            &crate::plan::SequentialExecutor,
+            OptimizeLevel::Full,
+        );
+        assert_eq!(raw.len(), opt.len());
+        for (record, weight) in raw.iter() {
+            assert_eq!(weight.to_bits(), opt.weight(record).to_bits());
+        }
+    }
+
+    #[test]
+    fn intersect_of_identical_branches_collapses_too() {
+        let edges = Plan::<(u32, u32)>::source();
+        let id = edges.input_id().unwrap();
+        let merged = degree_chain(&edges).intersect(&degree_chain(&edges));
+        assert_eq!(
+            merged.optimize_at(OptimizeLevel::Full).multiplicity_of(id),
+            1
+        );
+        // Concat is *not* idempotent (X + X = 2X): no collapse, multiplicity stays 2.
+        let doubled = degree_chain(&edges).concat(&degree_chain(&edges));
+        assert_eq!(
+            doubled.optimize_at(OptimizeLevel::Full).multiplicity_of(id),
+            2
+        );
+    }
+
+    #[test]
+    fn filters_fuse_but_stay_above_a_select_over_a_source() {
+        let source = Plan::<u32>::source();
+        let plan = source
+            .select(|x| x / 2)
+            .filter(|x| x % 3 != 0)
+            .filter(|x| *x < 100);
+        assert_eq!(plan.node_count(), 4);
+        let optimized = plan.optimize_at(OptimizeLevel::Full);
+        // The two filters fuse, but the fused predicate does NOT sink through the select
+        // (below it sits only the source): that would re-run the selector per record and
+        // materialise a filtered input copy for no gain. Source -> Select -> Where.
+        assert_eq!(optimized.node_count(), 3);
+        assert!(format!("{optimized:?}").contains("Where"));
+
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&source, WeightedDataset::from_records(0u32..60));
+        let raw = plan.eval_opt(
+            &bindings,
+            &crate::plan::SequentialExecutor,
+            OptimizeLevel::None,
+        );
+        let opt = plan.eval_opt(
+            &bindings,
+            &crate::plan::SequentialExecutor,
+            OptimizeLevel::Full,
+        );
+        assert_eq!(raw.len(), opt.len());
+        for (record, weight) in raw.iter() {
+            assert_eq!(weight.to_bits(), opt.weight(record).to_bits());
+        }
+    }
+
+    #[test]
+    fn filters_sink_through_selects_to_fuse_with_a_lower_filter() {
+        let source = Plan::<u32>::source();
+        let plan = source
+            .filter(|x| x % 2 == 0)
+            .select(|x| x / 2)
+            .filter(|x| x % 3 != 0);
+        assert_eq!(plan.node_count(), 4);
+        let optimized = plan.optimize_at(OptimizeLevel::Full);
+        // The upper filter composes with the selector, sinks through the select, and
+        // fuses with the lower filter: Source -> Where(fused) -> Select.
+        assert_eq!(optimized.node_count(), 3);
+        assert!(format!("{optimized:?}").contains("Select"));
+
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&source, WeightedDataset::from_records(0u32..60));
+        let raw = plan.eval_opt(
+            &bindings,
+            &crate::plan::SequentialExecutor,
+            OptimizeLevel::None,
+        );
+        let opt = plan.eval_opt(
+            &bindings,
+            &crate::plan::SequentialExecutor,
+            OptimizeLevel::Full,
+        );
+        assert_eq!(raw.len(), opt.len());
+        for (record, weight) in raw.iter() {
+            assert_eq!(weight.to_bits(), opt.weight(record).to_bits());
+        }
+    }
+
+    #[test]
+    fn pushdown_stops_at_shared_nodes() {
+        let source = Plan::<u32>::source();
+        let shared = source.select(|x| x / 2);
+        // `shared` feeds both a filter and a concat: pushing the filter through it would
+        // duplicate its work for the other consumer, so the filter must stay above.
+        let plan = shared.filter(|x| x % 2 == 0).concat(&shared);
+        let optimized = plan.optimize_at(OptimizeLevel::Full);
+        assert_eq!(optimized.node_count(), plan.node_count());
+
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&source, WeightedDataset::from_records(0u32..40));
+        let raw = plan.eval_opt(
+            &bindings,
+            &crate::plan::SequentialExecutor,
+            OptimizeLevel::None,
+        );
+        let opt = plan.eval_opt(
+            &bindings,
+            &crate::plan::SequentialExecutor,
+            OptimizeLevel::Full,
+        );
+        assert_eq!(raw, opt);
+    }
+
+    #[test]
+    fn filter_distributes_into_binary_branches() {
+        let source = Plan::<u32>::source();
+        let left = source.filter(|x| x % 7 != 0);
+        let right = source.filter(|x| x % 5 != 0);
+        let plan = left.concat(&right).filter(|x| x % 2 == 1);
+        assert_eq!(plan.node_count(), 5);
+        let optimized = plan.optimize_at(OptimizeLevel::Full);
+        // Both branches end in filters, so the outer filter distributes and fuses with
+        // each: the root becomes the concat and one node disappears.
+        assert!(format!("{optimized:?}").contains("Concat"));
+        assert_eq!(optimized.node_count(), 4);
+
+        // When neither branch can sink the predicate, distribution would only duplicate
+        // predicate work — the filter stays above the binary.
+        let parked = source
+            .select(|x| x % 7)
+            .concat(&source.select(|x| x % 5))
+            .filter(|x| x % 2 == 1);
+        let parked_opt = parked.optimize_at(OptimizeLevel::Full);
+        assert!(format!("{parked_opt:?}").contains("Where"));
+
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&source, WeightedDataset::from_records(0u32..70));
+        let raw = plan.eval_opt(
+            &bindings,
+            &crate::plan::SequentialExecutor,
+            OptimizeLevel::None,
+        );
+        let opt = plan.eval_opt(
+            &bindings,
+            &crate::plan::SequentialExecutor,
+            OptimizeLevel::Full,
+        );
+        assert_eq!(raw, opt);
+        for (record, weight) in raw.iter() {
+            assert_eq!(weight.to_bits(), opt.weight(record).to_bits());
+        }
+    }
+
+    #[test]
+    fn join_inputs_reorder_bitwise_neutrally() {
+        let big = Plan::<u32>::source();
+        let small = Plan::<u32>::source();
+        let joined = big.join(&small, |x| x % 4, |y| y % 4, |x, y| (*x, *y));
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&big, WeightedDataset::from_records(0u32..200));
+        bindings.bind(&small, WeightedDataset::from_records(0u32..8));
+        let raw = joined.eval_opt(
+            &bindings,
+            &crate::plan::SequentialExecutor,
+            OptimizeLevel::None,
+        );
+        let opt = joined.eval_opt(
+            &bindings,
+            &crate::plan::SequentialExecutor,
+            OptimizeLevel::Full,
+        );
+        assert_eq!(raw.len(), opt.len());
+        for (record, weight) in raw.iter() {
+            assert_eq!(weight.to_bits(), opt.weight(record).to_bits());
+        }
+    }
+
+    #[test]
+    fn capturing_closures_never_falsely_unify() {
+        // Two closures with the same type but different captured state must stay distinct.
+        fn modular(edges: &Plan<u32>, m: u32) -> Plan<u32> {
+            edges.select(move |x| x % m)
+        }
+        let source = Plan::<u32>::source();
+        let plan = modular(&source, 3).concat(&modular(&source, 5));
+        let optimized = plan.optimize_at(OptimizeLevel::Full);
+        assert_eq!(optimized.node_count(), plan.node_count());
+
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&source, WeightedDataset::from_records(0u32..30));
+        let raw = plan.eval_opt(
+            &bindings,
+            &crate::plan::SequentialExecutor,
+            OptimizeLevel::None,
+        );
+        let opt = plan.eval_opt(
+            &bindings,
+            &crate::plan::SequentialExecutor,
+            OptimizeLevel::Full,
+        );
+        assert_eq!(raw, opt);
+    }
+
+    #[test]
+    fn pushdown_respects_sharing_discovered_by_cse() {
+        // Two structurally equal chains, one of them carrying an extra filter: the
+        // CSE-first phase merges the chains, so the Full phase sees the merged node's
+        // two consumers and refuses to sink the filter into it — sinking would make the
+        // copies structurally different again and undo the merge.
+        fn chain(source: &Plan<u32>) -> Plan<u32> {
+            source.filter(|x| x % 2 == 0).select(|x| x / 2)
+        }
+        let source = Plan::<u32>::source();
+        let plan = chain(&source).filter(|x| x % 3 != 0).union(&chain(&source));
+        assert_eq!(plan.node_count(), 7);
+        let optimized = plan.optimize_at(OptimizeLevel::Full);
+        // Source + shared Where + shared Select + parked Where(p) + Union.
+        assert_eq!(optimized.node_count(), 5);
+
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&source, WeightedDataset::from_records(0u32..50));
+        let raw = plan.eval_opt(
+            &bindings,
+            &crate::plan::SequentialExecutor,
+            OptimizeLevel::None,
+        );
+        let opt = plan.eval_opt(
+            &bindings,
+            &crate::plan::SequentialExecutor,
+            OptimizeLevel::Full,
+        );
+        assert_eq!(raw.len(), opt.len());
+        for (record, weight) in raw.iter() {
+            assert_eq!(weight.to_bits(), opt.weight(record).to_bits());
+        }
+    }
+
+    #[test]
+    fn optimization_is_idempotent() {
+        let edges = Plan::<(u32, u32)>::source();
+        let merged = degree_chain(&edges).union(&degree_chain(&edges));
+        let once = merged.optimize_at(OptimizeLevel::Full);
+        let twice = once.optimize_at(OptimizeLevel::Full);
+        assert_eq!(once.node_count(), twice.node_count());
+        assert_eq!(once.multiplicities(), twice.multiplicities());
+    }
+}

@@ -8,9 +8,9 @@
 //! ε-differentially-private aggregation, the result is kε-DP for A") — is derived
 //! structurally from the IR instead of being threaded through every operator by hand.
 //!
-//! Evaluation is lazy: nothing is materialised until a measurement (or [`inspect`]
-//! (Queryable::inspect)) forces it, and the result is cached, so building a deep query
-//! costs nothing and measuring it evaluates each shared subplan exactly once.
+//! Evaluation is lazy: nothing is materialised until a measurement (or
+//! [`inspect`](Queryable::inspect)) forces it, and the result is cached, so building a
+//! deep query costs nothing and measuring it evaluates each shared subplan exactly once.
 
 use std::cell::OnceCell;
 use std::collections::BTreeMap;
@@ -23,7 +23,9 @@ use crate::aggregation::NoisyCounts;
 use crate::budget::BudgetHandle;
 use crate::dataset::WeightedDataset;
 use crate::error::WpinqError;
-use crate::plan::{default_executor, Executor, InputId, Plan, PlanBindings};
+use crate::plan::{
+    default_executor, Executor, InputId, OptimizeLevel, Plan, PlanBindings, PlanExplain,
+};
 use crate::protected::SourceId;
 use crate::record::Record;
 
@@ -49,6 +51,8 @@ pub struct Queryable<T: Record> {
     bindings: PlanBindings,
     sources: Vec<SourceBinding>,
     executor: Arc<dyn Executor>,
+    optimize: OptimizeLevel,
+    optimized: OnceCell<Plan<T>>,
     materialized: OnceCell<Rc<WeightedDataset<T>>>,
 }
 
@@ -82,6 +86,8 @@ impl<T: Record> Queryable<T> {
                 budget,
             }],
             executor: default_executor(),
+            optimize: OptimizeLevel::from_env(),
+            optimized: OnceCell::new(),
             materialized: OnceCell::new(),
         }
     }
@@ -98,6 +104,8 @@ impl<T: Record> Queryable<T> {
             bindings,
             sources: Vec::new(),
             executor: default_executor(),
+            optimize: OptimizeLevel::from_env(),
+            optimized: OnceCell::new(),
             materialized: OnceCell::new(),
         }
     }
@@ -122,12 +130,51 @@ impl<T: Record> Queryable<T> {
         &self.executor
     }
 
+    /// Replaces the [`OptimizeLevel`] of this queryable and everything derived from it
+    /// (default: the `WPINQ_OPTIMIZE` environment variable). Both evaluation *and*
+    /// privacy accounting go through the optimized plan, so at
+    /// [`OptimizeLevel::Full`] a redundantly expressed query (e.g. the union of two
+    /// identical requests) is charged for the deduplicated plan while releasing exactly
+    /// the bytes the unoptimized plan would; [`OptimizeLevel::None`] is the A/B
+    /// baseline. When two queryables with different levels are combined (join, union,
+    /// …), the result keeps the **lower** of the two — an explicit opt-out on either
+    /// side survives composition.
+    pub fn with_optimize_level(mut self, level: OptimizeLevel) -> Self {
+        self.optimize = level;
+        self.optimized = OnceCell::new();
+        self.materialized = OnceCell::new();
+        self
+    }
+
+    /// The optimize level this queryable (and everything derived from it) uses.
+    pub fn optimize_level(&self) -> OptimizeLevel {
+        self.optimize
+    }
+
+    /// The optimizer's report for the underlying plan at this queryable's level (see
+    /// [`Plan::explain`]): node counts and per-source ε multiplicities before/after.
+    pub fn explain(&self) -> PlanExplain {
+        self.plan.explain_at(self.optimize)
+    }
+
+    /// The rewritten plan that both accounting and evaluation run against, computed once
+    /// per queryable. The rewrite includes the bindings-aware join ordering (which never
+    /// changes multiplicities), so one pass serves both consumers.
+    fn optimized_plan(&self) -> &Plan<T> {
+        self.optimized.get_or_init(|| {
+            self.plan
+                .optimize_for_bindings(self.optimize, &self.bindings)
+        })
+    }
+
     fn derived<U: Record>(&self, plan: Plan<U>) -> Queryable<U> {
         Queryable {
             plan,
             bindings: self.bindings.clone(),
             sources: self.sources.clone(),
             executor: self.executor.clone(),
+            optimize: self.optimize,
+            optimized: OnceCell::new(),
             materialized: OnceCell::new(),
         }
     }
@@ -146,13 +193,24 @@ impl<T: Record> Queryable<T> {
             bindings,
             sources,
             executor: self.executor.clone(),
+            // Reconcile conservatively: if either side was pinned to a lower level
+            // (e.g. the documented `OptimizeLevel::None` A/B baseline), the combined
+            // query keeps it — silently adopting the left side's higher level would
+            // charge the optimized (lower) ε for a branch the user explicitly opted
+            // out of optimizing.
+            optimize: self.optimize.min(other.optimize),
+            optimized: OnceCell::new(),
             materialized: OnceCell::new(),
         }
     }
 
     /// Derives a new queryable by transforming the underlying plan — the bridge between
     /// plan-level query definitions (as the analyses crate provides) and budgeted
-    /// execution:
+    /// execution. The optimizer pass runs over the result by default (this queryable's
+    /// [`OptimizeLevel`]): both the privacy accounting and the evaluation of the derived
+    /// queryable go through the rewritten plan, with
+    /// [`with_optimize_level`](Self::with_optimize_level)`(OptimizeLevel::None)` as the
+    /// A/B opt-out.
     ///
     /// ```
     /// use wpinq::prelude::*;
@@ -174,8 +232,13 @@ impl<T: Record> Queryable<T> {
     }
 
     /// Per-source multiplicities, summed per protected source id.
+    ///
+    /// Computed over the *optimized* plan: a rewrite that removes a redundant source
+    /// reference (e.g. collapsing the union of two structurally identical subqueries)
+    /// directly lowers the ε a measurement charges, while the released bytes stay
+    /// identical to the unoptimized plan's.
     fn source_multiplicities(&self) -> Vec<(SourceId, BudgetHandle, u32)> {
-        let by_input: BTreeMap<InputId, u32> = self.plan.multiplicities();
+        let by_input: BTreeMap<InputId, u32> = self.optimized_plan().multiplicities();
         let mut out: Vec<(SourceId, BudgetHandle, u32)> = Vec::new();
         for binding in &self.sources {
             let mult = by_input.get(&binding.input).copied().unwrap_or(0);
@@ -212,8 +275,15 @@ impl<T: Record> Queryable<T> {
     }
 
     fn materialize(&self) -> &Rc<WeightedDataset<T>> {
-        self.materialized
-            .get_or_init(|| self.plan.eval_shared_with(&self.bindings, &*self.executor))
+        self.materialized.get_or_init(|| {
+            // The cached plan is already fully rewritten (bindings included), so
+            // evaluate it as-is instead of paying a second optimizer pass.
+            self.optimized_plan().eval_shared_opt(
+                &self.bindings,
+                &*self.executor,
+                OptimizeLevel::None,
+            )
+        })
     }
 
     /// Read-only access to the underlying weighted data, evaluated on first use and cached.
@@ -581,6 +651,69 @@ mod tests {
             paths.select(|p| (p.1, p.2, p.0)).intersect(&paths)
         });
         assert_eq!(q.multiplicity_of(edges.id()), 4);
+    }
+
+    #[test]
+    fn redundant_union_is_charged_for_the_deduplicated_plan() {
+        use crate::plan::OptimizeLevel;
+
+        // Two independently-built copies of the same degree chain, merged by union —
+        // the "two dashboard panels requesting the same query" workload shape.
+        fn chain(plan: &Plan<(u32, u32)>) -> Plan<u64> {
+            plan.select(|e| e.0).shave_const(1.0).select(|(_, i)| *i)
+        }
+        let edges = protected_edges(1.0);
+        let q = edges
+            .queryable()
+            .apply(|plan| chain(plan).union(&chain(plan)));
+
+        let optimized = q.clone().with_optimize_level(OptimizeLevel::Full);
+        let baseline = q.clone().with_optimize_level(OptimizeLevel::None);
+        assert_eq!(baseline.multiplicity_of(edges.id()), 2);
+        assert_eq!(optimized.multiplicity_of(edges.id()), 1);
+        assert!(optimized.explain().epsilon_saved());
+
+        // Same released values (inspect is pre-noise data: must agree bitwise)…
+        for (record, weight) in baseline.inspect().iter() {
+            assert_eq!(
+                weight.to_bits(),
+                optimized.inspect().weight(record).to_bits()
+            );
+        }
+        // …but the optimized measurement charges half the budget.
+        let mut rng = StdRng::seed_from_u64(9);
+        optimized.noisy_count(0.25, &mut rng).unwrap();
+        assert!(crate::weights::approx_eq(edges.budget().spent(), 0.25));
+    }
+
+    #[test]
+    fn optimize_level_propagates_to_derived_queryables() {
+        use crate::plan::OptimizeLevel;
+        let edges = protected_edges(1.0);
+        let q = edges
+            .queryable()
+            .with_optimize_level(OptimizeLevel::None)
+            .select(|e| e.0);
+        assert_eq!(q.optimize_level(), OptimizeLevel::None);
+        let combined = q.union(&q);
+        assert_eq!(combined.optimize_level(), OptimizeLevel::None);
+    }
+
+    #[test]
+    fn combining_mixed_levels_keeps_the_more_conservative_one() {
+        use crate::plan::OptimizeLevel;
+        let edges = protected_edges(1.0);
+        let full = edges
+            .queryable()
+            .with_optimize_level(OptimizeLevel::Full)
+            .select(|e| e.0);
+        let baseline = edges
+            .queryable()
+            .with_optimize_level(OptimizeLevel::None)
+            .select(|e| e.0);
+        // An explicit A/B opt-out survives composition from either side.
+        assert_eq!(full.union(&baseline).optimize_level(), OptimizeLevel::None);
+        assert_eq!(baseline.union(&full).optimize_level(), OptimizeLevel::None);
     }
 
     #[test]

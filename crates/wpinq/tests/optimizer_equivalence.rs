@@ -1,0 +1,309 @@
+//! Property tests: optimized evaluation ≡ unoptimized evaluation, **bitwise**, under
+//! every executor.
+//!
+//! The optimizer promises that rewriting is invisible in the data: hash-consing shares
+//! identical work, `Union/Intersect(X, X)` collapse onto `X`, filters sink through
+//! selects and set operations, and join inputs reorder by estimated cardinality — but
+//! every record of every evaluation keeps its exact bits, because no rewrite regroups a
+//! float accumulation. This file drives the same random stack-program plans as
+//! `executor_equivalence.rs` (including `Dup` + `Union`, which exercises the idempotent
+//! collapse, and filters stacked over selects, which exercises pushdown) and asserts
+//! exact dataset equality between [`OptimizeLevel::None`] and [`OptimizeLevel::Full`]
+//! across shard counts {sequential, 2, 8}.
+//!
+//! A second property pins the whole *release*: a seeded `NoisyCount` measurement emits
+//! byte-identical values whether or not the plan was optimized — noise is assigned in
+//! sorted record order over datasets that match bitwise, so the sampled stream lines up
+//! exactly. This is what makes `WPINQ_OPTIMIZE` safe to flip on any deployment without
+//! perturbing a single released measurement.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wpinq::plan::{OptimizeLevel, Plan, PlanBindings, SequentialExecutor, ShardedExecutor};
+use wpinq::WeightedDataset;
+
+/// Shard counts every property is checked against.
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// A random delta-bound dataset (mirrors `executor_equivalence.rs`).
+fn delta_dataset() -> impl Strategy<Value = WeightedDataset<u32>> {
+    proptest::collection::vec((0u32..16, -2.0f64..2.0), 1..50).prop_map(|deltas| {
+        let mut data = WeightedDataset::new();
+        for (record, delta) in deltas {
+            data.add_weight(record, delta);
+        }
+        data
+    })
+}
+
+/// One instruction of the random plan builder. Compared to the executor-equivalence
+/// variant, `Dup` + binary ops are the interesting cases here: they produce the
+/// identical-branch unions/intersects the collapse rewrite fires on, and stacked
+/// `Filter`s over `Select`s exercise fusion and pushdown.
+#[derive(Debug, Clone)]
+enum PlanOp {
+    PushSource,
+    Dup,
+    Select(u32),
+    Filter(u32),
+    SelectMany(u32),
+    GroupBy(u32),
+    Shave,
+    Join(u32),
+    Union,
+    Intersect,
+    Concat,
+    Except,
+}
+
+fn plan_op() -> impl Strategy<Value = PlanOp> {
+    (0u8..12, 1u32..6).prop_map(|(op, k)| match op {
+        0 => PlanOp::PushSource,
+        1 => PlanOp::Dup,
+        2 => PlanOp::Select(k),
+        3 => PlanOp::Filter(k),
+        4 => PlanOp::SelectMany(k),
+        5 => PlanOp::GroupBy(k),
+        6 => PlanOp::Shave,
+        7 => PlanOp::Join(k),
+        8 => PlanOp::Union,
+        9 => PlanOp::Intersect,
+        10 => PlanOp::Concat,
+        _ => PlanOp::Except,
+    })
+}
+
+/// Builds a `Plan<u32>` from a random program over a stack of plans.
+fn build_plan(source: &Plan<u32>, program: &[PlanOp]) -> Plan<u32> {
+    let mut stack: Vec<Plan<u32>> = vec![source.clone()];
+    for op in program {
+        match op {
+            PlanOp::PushSource => stack.push(source.clone()),
+            PlanOp::Dup => {
+                let top = stack.last().expect("stack never empties").clone();
+                stack.push(top);
+            }
+            PlanOp::Select(k) => {
+                let m = 2 + *k;
+                let top = stack.pop().unwrap();
+                stack.push(top.select(move |x| x % m));
+            }
+            PlanOp::Filter(k) => {
+                let m = 1 + *k;
+                let top = stack.pop().unwrap();
+                stack.push(top.filter(move |x| x % m != 0));
+            }
+            PlanOp::SelectMany(k) => {
+                let m = 1 + *k % 4;
+                let top = stack.pop().unwrap();
+                stack.push(top.select_many_unit(move |x| (0..(x % m)).collect::<Vec<_>>()));
+            }
+            PlanOp::GroupBy(k) => {
+                let m = 1 + *k;
+                let top = stack.pop().unwrap();
+                stack.push(
+                    top.group_by(move |x| x % m, |g| g.len() as u64)
+                        .select(|(key, count)| key.wrapping_mul(31).wrapping_add(*count as u32)),
+                );
+            }
+            PlanOp::Shave => {
+                let top = stack.pop().unwrap();
+                stack.push(
+                    top.shave_const(1.0)
+                        .select(|(x, i)| x.wrapping_mul(17).wrapping_add(*i as u32)),
+                );
+            }
+            PlanOp::Join(k) => {
+                if stack.len() < 2 {
+                    continue;
+                }
+                let m = 1 + *k;
+                let right = stack.pop().unwrap();
+                let left = stack.pop().unwrap();
+                stack.push(left.join(
+                    &right,
+                    move |x| x % m,
+                    move |y| y % m,
+                    |x, y| x.wrapping_mul(7).wrapping_add(*y),
+                ));
+            }
+            PlanOp::Union | PlanOp::Intersect | PlanOp::Concat | PlanOp::Except => {
+                if stack.len() < 2 {
+                    continue;
+                }
+                let right = stack.pop().unwrap();
+                let left = stack.pop().unwrap();
+                stack.push(match op {
+                    PlanOp::Union => left.union(&right),
+                    PlanOp::Intersect => left.intersect(&right),
+                    PlanOp::Concat => left.concat(&right),
+                    _ => left.except(&right),
+                });
+            }
+        }
+    }
+    stack.pop().expect("stack never empties")
+}
+
+/// Asserts bitwise dataset equality with a per-record diagnostic.
+fn assert_bitwise_eq(
+    optimized: &WeightedDataset<u32>,
+    reference: &WeightedDataset<u32>,
+    what: &str,
+) {
+    assert_eq!(
+        optimized.len(),
+        reference.len(),
+        "{what}: optimized evaluation has a different record set"
+    );
+    for (record, weight) in reference.iter() {
+        assert_eq!(
+            weight.to_bits(),
+            optimized.weight(record).to_bits(),
+            "{what}: weight of record {record} differs from the unoptimized reference \
+             ({} vs {weight})",
+            optimized.weight(record),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random multi-operator plans evaluate bitwise-identically at every optimize level
+    /// under every shard count.
+    #[test]
+    fn random_plans_are_bitwise_identical_across_optimize_levels(
+        program in proptest::collection::vec(plan_op(), 1..10),
+        data in delta_dataset(),
+    ) {
+        let source = Plan::<u32>::source();
+        let plan = build_plan(&source, &program);
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&source, data);
+        let reference = plan.eval_opt(&bindings, &SequentialExecutor, OptimizeLevel::None);
+        for level in [OptimizeLevel::Cse, OptimizeLevel::Full] {
+            let sequential = plan.eval_opt(&bindings, &SequentialExecutor, level);
+            assert_bitwise_eq(&sequential, &reference, "sequential");
+            for n in SHARD_COUNTS {
+                let sharded = plan.eval_opt(&bindings, &ShardedExecutor::new(n), level);
+                assert_bitwise_eq(&sharded, &reference, &format!("{n}-shard at {level}"));
+            }
+        }
+    }
+
+    /// Two asymmetric sources joined (the join-ordering case) plus a random tail stay
+    /// bitwise identical across levels and executors.
+    #[test]
+    fn asymmetric_joins_reorder_bitwise_neutrally(
+        small in proptest::collection::vec(0u32..8, 1..6),
+        large in proptest::collection::vec(0u32..64, 30..80),
+        tail in proptest::collection::vec(plan_op(), 0..5),
+        modulus in 1u32..8,
+    ) {
+        let a = Plan::<u32>::source();
+        let b = Plan::<u32>::source();
+        let joined = a.join(
+            &b,
+            move |x| x % modulus,
+            move |y| y % modulus,
+            |x, y| x.wrapping_mul(13).wrapping_add(*y),
+        );
+        let plan = build_plan(&joined, &tail);
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&a, WeightedDataset::from_records(large));
+        bindings.bind(&b, WeightedDataset::from_records(small));
+        let reference = plan.eval_opt(&bindings, &SequentialExecutor, OptimizeLevel::None);
+        for n in SHARD_COUNTS {
+            let sharded = plan.eval_opt(&bindings, &ShardedExecutor::new(n), OptimizeLevel::Full);
+            assert_bitwise_eq(&sharded, &reference, &format!("{n}-shard full"));
+        }
+    }
+
+    /// Seeded releases are byte-identical between `WPINQ_OPTIMIZE=0` and `=1`: same
+    /// record set, same noisy value bits, under every executor.
+    #[test]
+    fn seeded_releases_are_byte_identical_across_optimize_levels(
+        program in proptest::collection::vec(plan_op(), 1..8),
+        data in delta_dataset(),
+        seed in 0u64..32,
+    ) {
+        let source = Plan::<u32>::source();
+        let plan = build_plan(&source, &program);
+        let measurement = plan.noisy_count(0.5);
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&source, data);
+        let reference = measurement.release_opt(
+            &bindings,
+            &SequentialExecutor,
+            OptimizeLevel::None,
+            &mut StdRng::seed_from_u64(seed),
+        );
+        for n in SHARD_COUNTS {
+            let released = measurement.release_opt(
+                &bindings,
+                &ShardedExecutor::new(n),
+                OptimizeLevel::Full,
+                &mut StdRng::seed_from_u64(seed),
+            );
+            for (record, value) in reference.sorted_observed() {
+                assert_eq!(
+                    value.to_bits(),
+                    released.get(&record).to_bits(),
+                    "optimized {n}-shard release differs at {record:?}"
+                );
+            }
+        }
+    }
+}
+
+/// The pinned acceptance check: a seeded release of a built-in analysis workload (the
+/// duplicated degree-CCDF request) is byte-identical between the unoptimized and the
+/// fully optimized plan, even though the optimized plan charges half the ε.
+#[test]
+fn workload_release_bytes_are_pinned_across_levels() {
+    let edges = Plan::<(u32, u32)>::source();
+    let id = edges.input_id().unwrap();
+    fn ccdf(edges: &Plan<(u32, u32)>) -> Plan<u64> {
+        edges.select(|e| e.0).shave_const(1.0).select(|(_, i)| *i)
+    }
+    let workload = ccdf(&edges).union(&ccdf(&edges));
+    assert_eq!(workload.multiplicity_of(id), 2);
+    assert_eq!(
+        workload
+            .optimize_at(OptimizeLevel::Full)
+            .multiplicity_of(id),
+        1
+    );
+
+    let measurement = workload.noisy_count(0.5);
+    let mut bindings = PlanBindings::new();
+    bindings.bind(
+        &edges,
+        WeightedDataset::from_records([(1u32, 2u32), (2, 1), (2, 3), (3, 2), (1, 3), (3, 1)]),
+    );
+    let raw = measurement.release_opt(
+        &bindings,
+        &SequentialExecutor,
+        OptimizeLevel::None,
+        &mut StdRng::seed_from_u64(2024),
+    );
+    let optimized = measurement.release_opt(
+        &bindings,
+        &SequentialExecutor,
+        OptimizeLevel::Full,
+        &mut StdRng::seed_from_u64(2024),
+    );
+    let raw_rows: Vec<_> = raw.sorted_observed();
+    let opt_rows: Vec<_> = optimized.sorted_observed();
+    assert_eq!(raw_rows.len(), opt_rows.len());
+    for ((r1, v1), (r2, v2)) in raw_rows.iter().zip(opt_rows.iter()) {
+        assert_eq!(r1, r2);
+        assert_eq!(
+            v1.to_bits(),
+            v2.to_bits(),
+            "release differs at record {r1:?}"
+        );
+    }
+}
