@@ -8,7 +8,7 @@
 
 use rand::Rng;
 
-use wpinq::{NoisyCounts, Plan, Queryable, WpinqError};
+use wpinq::{Expr, NoisyCounts, Plan, Queryable, WpinqError};
 
 use crate::edges::Edge;
 
@@ -21,12 +21,29 @@ pub fn degree_ccdf_plan(edges: &Plan<Edge>) -> Plan<u64> {
     edges.select(|e| e.0).shave_const(1.0).select(|(_, i)| *i)
 }
 
+/// [`degree_ccdf_plan`] in expression form: the same query (byte-identical releases for
+/// the same seed), but serializable to a [`PlanSpec`](wpinq::PlanSpec) and shippable to
+/// a measurement service.
+pub fn degree_ccdf_plan_expr(edges: &Plan<Edge>) -> Plan<u64> {
+    edges
+        .select_expr::<u32>(Expr::input().field(0))
+        .shave_const(1.0)
+        .select_expr::<u64>(Expr::input().field(1))
+}
+
 /// The degree-sequence query as a plan: record `j` has weight "degree of the node with
 /// rank `j`" (non-increasing), the CCDF transposed by a second Shave/Select pass.
 ///
 /// Privacy multiplicity: 1.
 pub fn degree_sequence_plan(edges: &Plan<Edge>) -> Plan<u64> {
     degree_ccdf_plan(edges).shave_const(1.0).select(|(_, i)| *i)
+}
+
+/// [`degree_sequence_plan`] in expression form (serializable; byte-identical releases).
+pub fn degree_sequence_plan_expr(edges: &Plan<Edge>) -> Plan<u64> {
+    degree_ccdf_plan_expr(edges)
+        .shave_const(1.0)
+        .select_expr::<u64>(Expr::input().field(1))
 }
 
 /// [`degree_ccdf_plan`] applied to a protected edge dataset.
@@ -136,6 +153,60 @@ mod tests {
             );
         }
         assert_eq!(q.max_multiplicity(), 1);
+    }
+
+    #[test]
+    fn expr_form_matches_closure_form_and_serializes() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use wpinq::plan::{plan_from_spec, OptimizeLevel};
+        use wpinq::plan::{PlanBindings, SequentialExecutor};
+
+        let g = toy_graph();
+        let source = Plan::<Edge>::source_expr("edges");
+        let closure_plan = degree_ccdf_plan(&source);
+        let expr_plan = degree_ccdf_plan_expr(&source);
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&source, crate::edges::symmetric_edge_dataset(&g));
+
+        // Same weights, bitwise.
+        let a = closure_plan.eval(&bindings);
+        let b = expr_plan.eval(&bindings);
+        assert_eq!(a.len(), b.len());
+        for (record, weight) in a.iter() {
+            assert_eq!(weight.to_bits(), b.weight(record).to_bits());
+        }
+
+        // The closure form cannot serialize; the expr form round-trips and evaluates to
+        // the same data dynamically.
+        assert!(closure_plan.to_spec().is_none());
+        let spec = expr_plan.to_spec().expect("expr plan serializes");
+        let reparsed = wpinq::PlanSpec::from_json(&spec.to_json_string()).unwrap();
+        assert_eq!(reparsed, spec);
+        let dyn_plan = plan_from_spec(&reparsed).unwrap();
+        let mut dyn_bindings = PlanBindings::new();
+        dyn_bindings.bind(
+            &dyn_plan.sources[0].plan,
+            wpinq::plan::dataset_to_values(&crate::edges::symmetric_edge_dataset(&g)),
+        );
+        let seq_plan = degree_sequence_plan_expr(&source);
+        assert!(seq_plan.to_spec().is_some());
+        let dynamic =
+            dyn_plan
+                .plan
+                .eval_opt(&dyn_bindings, &SequentialExecutor, OptimizeLevel::Full);
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let mut rng_b = StdRng::seed_from_u64(5);
+        let typed_release = wpinq::NoisyCounts::measure(&b, 1.0, &mut rng_a);
+        let dyn_release = wpinq::NoisyCounts::measure(&dynamic, 1.0, &mut rng_b);
+        for (record, value) in typed_release.sorted_observed() {
+            use wpinq::ExprRecord;
+            assert_eq!(
+                value.to_bits(),
+                dyn_release.get(&record.to_value()).to_bits(),
+                "dynamic release differs at {record:?}"
+            );
+        }
     }
 
     #[test]

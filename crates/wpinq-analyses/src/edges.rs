@@ -11,11 +11,28 @@
 use wpinq::budget::BudgetHandle;
 use wpinq::dataflow::Stream;
 use wpinq::plan::{Plan, PlanBindings, StreamBindings};
-use wpinq::{PrivacyBudget, ProtectedDataset, Queryable, WeightedDataset};
+use wpinq::{Expr, PrivacyBudget, ProtectedDataset, Queryable, WeightedDataset};
 use wpinq_graph::Graph;
 
 /// A directed edge record: `(source, destination)`.
 pub type Edge = (u32, u32);
+
+/// The canonical dataset name the symmetric-directed-edges source carries on the wire
+/// (what a measurement service registers the protected edge dataset under).
+pub const EDGES_DATASET: &str = "edges";
+
+/// The directed-edge-count query as a plan: one record `()` whose weight is the number
+/// of directed edges (2·|E| over the symmetric dataset).
+///
+/// Privacy multiplicity: 1.
+pub fn edge_count_plan(edges: &Plan<Edge>) -> Plan<()> {
+    edges.select(|_| ())
+}
+
+/// [`edge_count_plan`] in expression form (serializable; byte-identical releases).
+pub fn edge_count_plan_expr(edges: &Plan<Edge>) -> Plan<()> {
+    edges.select_expr::<()>(Expr::unit())
+}
 
 /// The symmetric directed edge dataset of a graph: records `(a, b)` and `(b, a)` with
 /// weight 1.0 for every undirected edge.
@@ -50,6 +67,15 @@ impl EdgeSource {
     pub fn new() -> Self {
         EdgeSource {
             source: Plan::source(),
+        }
+    }
+
+    /// Creates a fresh **named** edge source (the [`EDGES_DATASET`] wire identity):
+    /// expression-form queries over it serialize to complete, shippable
+    /// [`PlanSpec`](wpinq::PlanSpec)s that a measurement service resolves by name.
+    pub fn named() -> Self {
+        EdgeSource {
+            source: Plan::source_expr(EDGES_DATASET),
         }
     }
 
@@ -162,6 +188,21 @@ mod tests {
 
         assert!(collected.snapshot().approx_eq(&batch, 1e-9));
         assert_eq!(ccdf.multiplicity_of(source.plan().input_id().unwrap()), 1);
+    }
+
+    #[test]
+    fn edge_count_forms_agree_and_expr_serializes() {
+        let g = toy_graph();
+        let source = EdgeSource::named();
+        let bindings = source.bind_graph(&g);
+        let a = edge_count_plan(source.plan()).eval(&bindings);
+        let b = edge_count_plan_expr(source.plan()).eval(&bindings);
+        assert_eq!(a.weight(&()).to_bits(), b.weight(&()).to_bits());
+        assert_eq!(a.weight(&()), 2.0 * g.num_edges() as f64);
+        let spec = edge_count_plan_expr(source.plan()).to_spec().unwrap();
+        assert_eq!(spec.sources()[0].0, EDGES_DATASET);
+        // The closure form over the same named source does not serialize.
+        assert!(edge_count_plan(source.plan()).to_spec().is_none());
     }
 
     #[test]

@@ -13,6 +13,14 @@
 //! incremental scoring — batch answers, incremental scoring, and privacy accounting all
 //! flow from one definition.
 //!
+//! The degree, edges, nodes, and triangles workloads additionally exist in
+//! **expression form** (`degree_ccdf_plan_expr`, `edge_count_plan_expr`,
+//! `nodes_plan_expr`, `tbd_plan_expr`, …): the same queries built from the `wpinq-expr`
+//! first-order expression language instead of Rust closures. They evaluate
+//! byte-identically to the closure forms, but serialize to the `PlanSpec` wire format —
+//! over an [`edges::EdgeSource::named`] source they can be shipped to a `wpinq-service`
+//! measurement server (PINQ's agent model across processes).
+//!
 //! Modules:
 //!
 //! * [`edges`] — turning a [`Graph`](wpinq_graph::Graph) into the protected symmetric

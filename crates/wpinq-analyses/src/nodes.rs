@@ -5,7 +5,7 @@
 //! keeping only slice 0 leaves every present node with weight exactly ½ — the most weight a
 //! stable transformation can give a node, since one edge identifies two nodes.
 
-use wpinq::{Plan, Queryable};
+use wpinq::{Expr, Plan, Queryable};
 
 use crate::edges::Edge;
 
@@ -20,12 +20,28 @@ pub fn nodes_plan(edges: &Plan<Edge>) -> Plan<u32> {
         .select(|(v, _)| *v)
 }
 
+/// [`nodes_plan`] in expression form: the same query (byte-identical releases), but
+/// serializable and shippable to a measurement service.
+pub fn nodes_plan_expr(edges: &Plan<Edge>) -> Plan<u32> {
+    let x = Expr::input();
+    edges
+        .select_many_unit_expr::<u32>(vec![x.clone().field(0), x.clone().field(1)])
+        .shave_const(0.5)
+        .filter_expr(x.clone().field(1).eq(Expr::u64(0)))
+        .select_expr::<u32>(x.field(0))
+}
+
 /// The node-count query as a plan: a single record `()` whose weight is ½ × (number of
 /// non-isolated nodes). Callers double the released value to estimate |V|.
 ///
 /// Privacy multiplicity: 1.
 pub fn node_count_plan(edges: &Plan<Edge>) -> Plan<()> {
     nodes_plan(edges).select(|_| ())
+}
+
+/// [`node_count_plan`] in expression form (serializable; byte-identical releases).
+pub fn node_count_plan_expr(edges: &Plan<Edge>) -> Plan<()> {
+    nodes_plan_expr(edges).select_expr::<()>(Expr::unit())
 }
 
 /// [`nodes_plan`] applied to a protected edge dataset.
@@ -58,6 +74,26 @@ mod tests {
         }
         assert_eq!(nodes.inspect().len(), 4);
         assert_eq!(nodes.max_multiplicity(), 1);
+    }
+
+    #[test]
+    fn expr_form_matches_closure_form_bitwise() {
+        use wpinq::plan::PlanBindings;
+        let g = Graph::from_edges([(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let source = Plan::<Edge>::source_expr("edges");
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&source, crate::edges::symmetric_edge_dataset(&g));
+        let a = nodes_plan(&source).eval(&bindings);
+        let b = nodes_plan_expr(&source).eval(&bindings);
+        assert_eq!(a.len(), b.len());
+        for (record, weight) in a.iter() {
+            assert_eq!(weight.to_bits(), b.weight(record).to_bits());
+        }
+        assert!(nodes_plan_expr(&source).to_spec().is_some());
+        assert!(node_count_plan_expr(&source).to_spec().is_some());
+        let c = node_count_plan(&source).eval(&bindings);
+        let d = node_count_plan_expr(&source).eval(&bindings);
+        assert_eq!(c.weight(&()).to_bits(), d.weight(&()).to_bits());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use rand::Rng;
 
-use wpinq::{NoisyCounts, Plan, Queryable, WpinqError};
+use wpinq::{Expr, NoisyCounts, Plan, Queryable, ReduceSpec, WpinqError};
 
 use crate::edges::Edge;
 
@@ -63,6 +63,96 @@ pub fn tbd_plan(edges: &Plan<Edge>, bucket: u64) -> Plan<(u64, u64, u64)> {
         t.sort_unstable();
         (t[0], t[1], t[2])
     })
+}
+
+/// A length-two path record with the middle vertex's (bucketed) degree attached.
+type AnnotatedPath = ((u32, u32, u32), u64);
+/// A path triple with two attached degrees (intermediate of the triangle join).
+type PathTwoDegrees = ((u32, u32, u32), u64, u64);
+
+/// [`length_two_paths_plan`] in expression form (serializable; byte-identical releases).
+pub fn length_two_paths_plan_expr(edges: &Plan<Edge>) -> Plan<(u32, u32, u32)> {
+    let x = Expr::input();
+    edges
+        .join_expr::<Edge, u32, (u32, u32, u32)>(
+            edges,
+            x.clone().field(1),
+            x.clone().field(0),
+            Expr::tuple(vec![
+                x.clone().field(0).field(0),
+                x.clone().field(0).field(1),
+                x.clone().field(1).field(1),
+            ]),
+        )
+        .filter_expr(x.clone().field(0).ne(x.field(2)))
+}
+
+/// [`degrees_plan`] in expression form (serializable; byte-identical releases).
+///
+/// Unlike the closure form — whose bucket parameter is captured state the optimizer
+/// cannot see, so two separately built `degrees_plan(·, k)` calls never unify — the
+/// expression form's reducer carries the bucket as a constant in its canonical
+/// serialization, so equal-bucket degree lookups hash-cons together across call sites
+/// and processes.
+pub fn degrees_plan_expr(edges: &Plan<Edge>, bucket: u64) -> Plan<(u32, u64)> {
+    assert!(bucket >= 1, "bucket size must be at least 1");
+    edges.group_by_expr::<u32, u64>(
+        Expr::input().field(0),
+        ReduceSpec::CountThen(Expr::input().div(Expr::u64(bucket))),
+    )
+}
+
+/// [`paths_with_middle_degree_plan`] in expression form (serializable).
+pub fn paths_with_middle_degree_plan_expr(edges: &Plan<Edge>, bucket: u64) -> Plan<AnnotatedPath> {
+    let paths = length_two_paths_plan_expr(edges);
+    let degrees = degrees_plan_expr(edges, bucket);
+    let x = Expr::input();
+    paths.join_expr::<(u32, u64), u32, AnnotatedPath>(
+        &degrees,
+        x.clone().field(1),
+        x.clone().field(0),
+        Expr::tuple(vec![x.clone().field(0), x.field(1).field(1)]),
+    )
+}
+
+/// [`tbd_plan`] in expression form: the full 9-multiplicity Triangles-by-Degree query as
+/// pure data — three rotations, two triangle joins, and the sorted-triple projection via
+/// the expression language's `sort` — shippable to a measurement service.
+pub fn tbd_plan_expr(edges: &Plan<Edge>, bucket: u64) -> Plan<(u64, u64, u64)> {
+    let x = Expr::input();
+    let rotate = Expr::tuple(vec![
+        Expr::tuple(vec![
+            x.clone().field(0).field(1),
+            x.clone().field(0).field(2),
+            x.clone().field(0).field(0),
+        ]),
+        x.clone().field(1),
+    ]);
+    let abc = paths_with_middle_degree_plan_expr(edges, bucket);
+    let bca = abc.select_expr::<AnnotatedPath>(rotate.clone());
+    let cab = bca.select_expr::<AnnotatedPath>(rotate);
+    let tris = abc
+        .join_expr::<AnnotatedPath, (u32, u32, u32), PathTwoDegrees>(
+            &bca,
+            x.clone().field(0),
+            x.clone().field(0),
+            Expr::tuple(vec![
+                x.clone().field(0).field(0),
+                x.clone().field(0).field(1),
+                x.clone().field(1).field(1),
+            ]),
+        )
+        .join_expr::<AnnotatedPath, (u32, u32, u32), (u64, u64, u64)>(
+            &cab,
+            x.clone().field(0),
+            x.clone().field(0),
+            Expr::tuple(vec![
+                x.clone().field(1).field(1),
+                x.clone().field(0).field(1),
+                x.clone().field(0).field(2),
+            ]),
+        );
+    tris.select_expr::<(u64, u64, u64)>(x.sort())
 }
 
 /// [`length_two_paths_plan`] applied to a protected edge dataset.
@@ -242,6 +332,71 @@ mod tests {
         }
         // Total number of weighted records matches the number of distinct triples.
         assert_eq!(tbd.inspect().len(), exact.len());
+    }
+
+    #[test]
+    fn tbd_expr_form_matches_closure_form_bitwise() {
+        use wpinq::plan::PlanBindings;
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = wpinq_graph::generators::powerlaw_cluster(30, 3, 0.5, &mut rng);
+        let source = Plan::<Edge>::source_expr("edges");
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&source, crate::edges::symmetric_edge_dataset(&g));
+        for bucket in [1u64, 2] {
+            let a = tbd_plan(&source, bucket).eval(&bindings);
+            let b = tbd_plan_expr(&source, bucket).eval(&bindings);
+            assert_eq!(a.len(), b.len(), "bucket {bucket}");
+            for (record, weight) in a.iter() {
+                assert_eq!(
+                    weight.to_bits(),
+                    b.weight(record).to_bits(),
+                    "bucket {bucket}, triple {record:?}"
+                );
+            }
+        }
+        // The expr form serializes; its multiplicity is the quoted 9ε.
+        let expr_plan = tbd_plan_expr(&source, 1);
+        assert!(expr_plan.to_spec().is_some());
+        assert_eq!(
+            expr_plan.multiplicity_of(source.input_id().unwrap()),
+            9,
+            "TbD uses the edges source nine times"
+        );
+    }
+
+    #[test]
+    fn expr_degree_lookups_unify_across_call_sites_unlike_closures() {
+        // Join-key/payload equivalence detection: the closure form's bucket is captured
+        // state (opaque — two builds never unify); the expr form's reducer serializes the
+        // bucket, so two separately built degree lookups hash-cons onto one subplan and
+        // the idempotent-union collapse halves the charged multiplicity.
+        use wpinq::plan::OptimizeLevel;
+        let source = Plan::<Edge>::source_expr("edges");
+        let id = source.input_id().unwrap();
+
+        let closure_merged = degrees_plan(&source, 2).union(&degrees_plan(&source, 2));
+        assert_eq!(
+            closure_merged
+                .optimize_at(OptimizeLevel::Full)
+                .multiplicity_of(id),
+            2,
+            "opaque captured buckets cannot be proven equal"
+        );
+
+        let expr_merged = degrees_plan_expr(&source, 2).union(&degrees_plan_expr(&source, 2));
+        assert_eq!(
+            expr_merged
+                .optimize_at(OptimizeLevel::Full)
+                .multiplicity_of(id),
+            1,
+            "expression-built lookups with equal buckets unify and collapse"
+        );
+        // Different buckets must stay distinct.
+        let mixed = degrees_plan_expr(&source, 2).union(&degrees_plan_expr(&source, 3));
+        assert_eq!(
+            mixed.optimize_at(OptimizeLevel::Full).multiplicity_of(id),
+            2
+        );
     }
 
     #[test]

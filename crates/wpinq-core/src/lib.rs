@@ -32,9 +32,11 @@ pub mod noise;
 pub mod operators;
 pub mod record;
 pub mod shard;
+pub mod value;
 pub mod weights;
 
 pub use aggregation::NoisyCounts;
 pub use dataset::WeightedDataset;
 pub use record::Record;
 pub use shard::ShardedDataset;
+pub use value::{ExprRecord, Value, ValueType};

@@ -1,0 +1,312 @@
+//! Dynamic record values: the bridge between typed Rust records and the first-order
+//! expression language.
+//!
+//! The `wpinq-expr` crate defines a serializable expression language whose interpreter
+//! must work on records whose Rust type is not known at compile time (a measurement
+//! service receives a wire-format plan, not a monomorphised `Plan<T>`). [`Value`] is the
+//! dynamic record representation that interpreter runs on, [`ValueType`] is its shape
+//! descriptor, and [`ExprRecord`] is the field-access trait that converts every concrete
+//! record type used by the analyses (unsigned/signed integers, `bool`, `()`, and nested
+//! tuples thereof) to and from `Value`.
+//!
+//! Two invariants make dynamic evaluation interchangeable with typed evaluation:
+//!
+//! * **Injectivity**: `to_value` is injective per type and `from_value(to_value(x)) == x`,
+//!   so a dataset converted to `Value` records has exactly the same support and weights.
+//! * **Order preservation**: for any `T: ExprRecord`, `a < b ⇔ a.to_value() < b.to_value()`
+//!   (integers map to their numeric value, tuples map element-wise), so the sorted record
+//!   order that seeded noise assignment relies on is identical before and after
+//!   conversion — a typed release and a dynamic release of the same plan are
+//!   byte-identical for the same RNG state.
+
+use std::fmt;
+
+use crate::record::Record;
+
+/// A dynamically typed record value.
+///
+/// `Value` satisfies the [`Record`] bound itself (it is `Clone + Eq + Hash + Ord + Debug +
+/// Send + Sync`), so a `WeightedDataset<Value>` flows through every operator kernel exactly
+/// like a typed dataset. Floats are deliberately absent: record payloads in wPINQ plans are
+/// discrete (weights live outside the record), and keeping `Value` float-free keeps `Eq`
+/// and `Ord` total without bit-pattern caveats.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// The unit record `()`.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer (all of `u8`/`u16`/`u32`/`u64` map here).
+    U64(u64),
+    /// A signed integer (all of `i8`/`i16`/`i32`/`i64` map here).
+    I64(i64),
+    /// A tuple of values (tuples map element-wise).
+    Tuple(Vec<Value>),
+}
+
+impl Value {
+    /// The shape of this value.
+    pub fn type_of(&self) -> ValueType {
+        match self {
+            Value::Unit => ValueType::Unit,
+            Value::Bool(_) => ValueType::Bool,
+            Value::U64(_) => ValueType::U64,
+            Value::I64(_) => ValueType::I64,
+            Value::Tuple(items) => ValueType::Tuple(items.iter().map(Value::type_of).collect()),
+        }
+    }
+
+    /// Projects field `index` of a tuple value.
+    ///
+    /// # Panics
+    /// Panics when the value is not a tuple with more than `index` fields; the expression
+    /// type checker rejects such accesses before evaluation.
+    pub fn field(&self, index: usize) -> &Value {
+        match self {
+            Value::Tuple(items) => items
+                .get(index)
+                .unwrap_or_else(|| panic!("tuple of {} fields has no field {index}", items.len())),
+            other => panic!("field access .{index} on non-tuple value {other:?}"),
+        }
+    }
+
+    /// The boolean payload.
+    ///
+    /// # Panics
+    /// Panics when the value is not a boolean (predicates are type-checked to `bool`).
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            other => panic!("expected a boolean value, got {other:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::U64(n) => write!(f, "{n}"),
+            Value::I64(n) => write!(f, "{n}"),
+            Value::Tuple(items) => {
+                write!(f, "(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// The shape of a [`Value`]: what the wire format declares for plan sources and what the
+/// expression type checker infers for every operator payload.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    /// The unit type `()`.
+    Unit,
+    /// Booleans.
+    Bool,
+    /// Unsigned integers.
+    U64,
+    /// Signed integers.
+    I64,
+    /// Tuples, element-wise.
+    Tuple(Vec<ValueType>),
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueType::Unit => write!(f, "unit"),
+            ValueType::Bool => write!(f, "bool"),
+            ValueType::U64 => write!(f, "u64"),
+            ValueType::I64 => write!(f, "i64"),
+            ValueType::Tuple(items) => {
+                write!(f, "(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Record types the expression language can evaluate over: conversion to and from the
+/// dynamic [`Value`] representation plus a static shape descriptor.
+///
+/// Implemented for `()`, `bool`, the unsigned and signed fixed-width integers, and tuples
+/// (up to arity 4) of `ExprRecord` types — which covers every record type the built-in
+/// analyses use. Both conversions preserve ordering (see the module docs), which is what
+/// licenses swapping a typed evaluation for a dynamic one without perturbing a single
+/// released byte.
+pub trait ExprRecord: Record {
+    /// The shape of this record type.
+    fn value_type() -> ValueType;
+
+    /// Converts this record to its dynamic representation.
+    fn to_value(&self) -> Value;
+
+    /// Converts a dynamic value back; `None` when the value does not fit the type.
+    fn from_value(value: &Value) -> Option<Self>;
+}
+
+macro_rules! unsigned_expr_record {
+    ($($ty:ty),*) => {$(
+        impl ExprRecord for $ty {
+            fn value_type() -> ValueType {
+                ValueType::U64
+            }
+            fn to_value(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+            fn from_value(value: &Value) -> Option<Self> {
+                match value {
+                    Value::U64(n) => <$ty>::try_from(*n).ok(),
+                    _ => None,
+                }
+            }
+        }
+    )*};
+}
+unsigned_expr_record!(u8, u16, u32, u64);
+
+macro_rules! signed_expr_record {
+    ($($ty:ty),*) => {$(
+        impl ExprRecord for $ty {
+            fn value_type() -> ValueType {
+                ValueType::I64
+            }
+            fn to_value(&self) -> Value {
+                Value::I64(i64::from(*self))
+            }
+            fn from_value(value: &Value) -> Option<Self> {
+                match value {
+                    Value::I64(n) => <$ty>::try_from(*n).ok(),
+                    _ => None,
+                }
+            }
+        }
+    )*};
+}
+signed_expr_record!(i8, i16, i32, i64);
+
+impl ExprRecord for bool {
+    fn value_type() -> ValueType {
+        ValueType::Bool
+    }
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+    fn from_value(value: &Value) -> Option<Self> {
+        match value {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl ExprRecord for () {
+    fn value_type() -> ValueType {
+        ValueType::Unit
+    }
+    fn to_value(&self) -> Value {
+        Value::Unit
+    }
+    fn from_value(value: &Value) -> Option<Self> {
+        match value {
+            Value::Unit => Some(()),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! tuple_expr_record {
+    ($(($($name:ident : $idx:tt),+)),*) => {$(
+        impl<$($name: ExprRecord),+> ExprRecord for ($($name,)+) {
+            fn value_type() -> ValueType {
+                ValueType::Tuple(vec![$($name::value_type()),+])
+            }
+            fn to_value(&self) -> Value {
+                Value::Tuple(vec![$(self.$idx.to_value()),+])
+            }
+            fn from_value(value: &Value) -> Option<Self> {
+                match value {
+                    Value::Tuple(items) => {
+                        let expected = [$(stringify!($name)),+].len();
+                        if items.len() != expected {
+                            return None;
+                        }
+                        Some(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    _ => None,
+                }
+            }
+        }
+    )*};
+}
+tuple_expr_record!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_preserve_records() {
+        let record: ((u32, u32, u32), u64) = ((1, 2, 3), 9);
+        let value = record.to_value();
+        assert_eq!(
+            <((u32, u32, u32), u64)>::from_value(&value),
+            Some(record),
+            "from_value ∘ to_value must be the identity"
+        );
+        assert_eq!(
+            value.type_of(),
+            <((u32, u32, u32), u64)>::value_type(),
+            "runtime shape must match the static descriptor"
+        );
+    }
+
+    #[test]
+    fn conversion_preserves_record_ordering() {
+        let mut typed: Vec<(u32, u64)> = vec![(3, 0), (1, 9), (1, 2), (2, 5), (0, 0)];
+        let mut dynamic: Vec<Value> = typed.iter().map(ExprRecord::to_value).collect();
+        typed.sort();
+        dynamic.sort();
+        let converted: Vec<Value> = typed.iter().map(ExprRecord::to_value).collect();
+        assert_eq!(dynamic, converted, "sorted orders must agree");
+    }
+
+    #[test]
+    fn from_value_rejects_mismatched_shapes() {
+        assert_eq!(u32::from_value(&Value::I64(1)), None);
+        assert_eq!(u8::from_value(&Value::U64(300)), None, "range check");
+        assert_eq!(<(u32, u32)>::from_value(&Value::U64(1)), None);
+        assert_eq!(
+            <(u32, u32)>::from_value(&Value::Tuple(vec![Value::U64(1)])),
+            None,
+            "arity check"
+        );
+    }
+
+    #[test]
+    fn field_access_and_display() {
+        let v = Value::Tuple(vec![Value::U64(7), Value::Bool(true), Value::Unit]);
+        assert_eq!(v.field(0), &Value::U64(7));
+        assert!(v.field(1).as_bool());
+        assert_eq!(v.to_string(), "(7, true, ())");
+        assert_eq!(v.type_of().to_string(), "(u64, bool, unit)");
+    }
+}

@@ -1,0 +1,819 @@
+//! The first-order expression language: inspectable, serializable operator payloads.
+//!
+//! A [`Expr`] is a small pure function of one record (`x`, the input): tuple projection,
+//! integer arithmetic, comparisons, boolean connectives, constants, tuple construction and
+//! tuple sorting. Unlike an opaque Rust closure it can be
+//!
+//! * **interpreted** over dynamic [`Value`]s ([`Expr::eval`]), so a measurement service
+//!   can execute a wire-format plan without the analyst's compiled code;
+//! * **type-checked** ([`Expr::infer`]) against the source's declared [`ValueType`], so a
+//!   malformed plan is rejected before anything runs;
+//! * **serialized** ([`Expr::to_json`] / [`Expr::from_json`]) into the `PlanSpec` wire
+//!   format, and given a canonical byte string ([`Expr::canonical`]) that the optimizer
+//!   uses as a *stable closure identity* — two processes that author the same expression
+//!   build plan nodes the common-subplan extraction recognises as equal;
+//! * **analysed** ([`Expr::compose`], [`Expr::factor_through`]), which is what licenses
+//!   the Where-into-Join/SelectMany pushdowns: a predicate provably factoring through the
+//!   join key can be applied to whole key groups on both inputs without perturbing a
+//!   single weight.
+//!
+//! Arithmetic is total: integer operations wrap on overflow and division/remainder by
+//! zero yield zero, so a type-correct expression can never fail at evaluation time.
+
+use wpinq_core::value::{Value, ValueType};
+
+use crate::json::Json;
+use crate::WireError;
+
+/// A binary operator of the expression language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition (same-type integers).
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Division; division by zero yields zero.
+    Div,
+    /// Remainder; remainder by zero yields zero.
+    Rem,
+    /// Equality (any equal types).
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than (any equal types; tuples compare lexicographically).
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Boolean conjunction.
+    And,
+    /// Boolean disjunction.
+    Or,
+}
+
+impl BinOp {
+    fn tag(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::Eq => "eq",
+            BinOp::Ne => "ne",
+            BinOp::Lt => "lt",
+            BinOp::Le => "le",
+            BinOp::Gt => "gt",
+            BinOp::Ge => "ge",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+        }
+    }
+
+    fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+
+    fn is_arith(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem
+        )
+    }
+
+    fn is_cmp(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+const ALL_BIN_OPS: [BinOp; 13] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Rem,
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::Lt,
+    BinOp::Le,
+    BinOp::Gt,
+    BinOp::Ge,
+    BinOp::And,
+    BinOp::Or,
+];
+
+/// A first-order expression over one input record.
+///
+/// Build expressions with the constructor/combinator methods:
+///
+/// ```
+/// use wpinq_expr::Expr;
+///
+/// let x = Expr::input();
+/// // the paper's "no length-two cycles" predicate: p.0 != p.2
+/// let pred = x.clone().field(0).ne(x.field(2));
+/// assert_eq!(pred.to_string(), "(x.0 != x.2)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// The input record, `x`.
+    Input,
+    /// Tuple projection `e.i`.
+    Field(Box<Expr>, usize),
+    /// The unit constant `()`.
+    Unit,
+    /// A boolean constant.
+    Bool(bool),
+    /// An unsigned integer constant.
+    U64(u64),
+    /// A signed integer constant.
+    I64(i64),
+    /// Tuple construction `(e₁, …, eₙ)`.
+    Tuple(Vec<Expr>),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Boolean negation.
+    Not(Box<Expr>),
+    /// Sorts the fields of a homogeneous tuple ascending.
+    Sort(Box<Expr>),
+}
+
+impl Expr {
+    // ---- builders ---------------------------------------------------------------------
+
+    /// The input record, `x`.
+    pub fn input() -> Expr {
+        Expr::Input
+    }
+
+    /// An unsigned integer constant.
+    pub fn u64(n: u64) -> Expr {
+        Expr::U64(n)
+    }
+
+    /// A signed integer constant.
+    pub fn i64(n: i64) -> Expr {
+        Expr::I64(n)
+    }
+
+    /// The unit constant.
+    pub fn unit() -> Expr {
+        Expr::Unit
+    }
+
+    /// A boolean constant.
+    pub fn bool(b: bool) -> Expr {
+        Expr::Bool(b)
+    }
+
+    /// Tuple construction.
+    pub fn tuple(items: Vec<Expr>) -> Expr {
+        Expr::Tuple(items)
+    }
+
+    /// Tuple projection `self.i`.
+    pub fn field(self, index: usize) -> Expr {
+        Expr::Field(Box::new(self), index)
+    }
+
+    /// Sorts the fields of a homogeneous tuple ascending.
+    pub fn sort(self) -> Expr {
+        Expr::Sort(Box::new(self))
+    }
+
+    /// Boolean negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// A binary operation.
+    pub fn bin(op: BinOp, left: Expr, right: Expr) -> Expr {
+        Expr::Bin(op, Box::new(left), Box::new(right))
+    }
+
+    // ---- evaluation -------------------------------------------------------------------
+
+    /// Evaluates the expression with `x` bound to `input`.
+    ///
+    /// # Panics
+    /// Panics on a type error (field access on a non-tuple, arithmetic on mismatched
+    /// types, …); run [`infer`](Self::infer) first to reject ill-typed expressions.
+    pub fn eval(&self, input: &Value) -> Value {
+        match self {
+            Expr::Input => input.clone(),
+            Expr::Field(e, i) => e.eval(input).field(*i).clone(),
+            Expr::Unit => Value::Unit,
+            Expr::Bool(b) => Value::Bool(*b),
+            Expr::U64(n) => Value::U64(*n),
+            Expr::I64(n) => Value::I64(*n),
+            Expr::Tuple(items) => Value::Tuple(items.iter().map(|e| e.eval(input)).collect()),
+            Expr::Not(e) => Value::Bool(!e.eval(input).as_bool()),
+            Expr::Sort(e) => match e.eval(input) {
+                Value::Tuple(mut items) => {
+                    items.sort();
+                    Value::Tuple(items)
+                }
+                other => panic!("sort on non-tuple value {other:?}"),
+            },
+            Expr::Bin(op, l, r) => {
+                // Short-circuit the connectives, mirroring `&&`/`||` in authored closures.
+                if *op == BinOp::And {
+                    return Value::Bool(l.eval(input).as_bool() && r.eval(input).as_bool());
+                }
+                if *op == BinOp::Or {
+                    return Value::Bool(l.eval(input).as_bool() || r.eval(input).as_bool());
+                }
+                let left = l.eval(input);
+                let right = r.eval(input);
+                if op.is_cmp() {
+                    let ord = left.cmp(&right);
+                    return Value::Bool(match op {
+                        BinOp::Eq => ord.is_eq(),
+                        BinOp::Ne => ord.is_ne(),
+                        BinOp::Lt => ord.is_lt(),
+                        BinOp::Le => ord.is_le(),
+                        BinOp::Gt => ord.is_gt(),
+                        BinOp::Ge => ord.is_ge(),
+                        _ => unreachable!(),
+                    });
+                }
+                match (left, right) {
+                    (Value::U64(a), Value::U64(b)) => Value::U64(match op {
+                        BinOp::Add => a.wrapping_add(b),
+                        BinOp::Sub => a.wrapping_sub(b),
+                        BinOp::Mul => a.wrapping_mul(b),
+                        BinOp::Div => a.checked_div(b).unwrap_or(0),
+                        BinOp::Rem => a.checked_rem(b).unwrap_or(0),
+                        _ => unreachable!(),
+                    }),
+                    (Value::I64(a), Value::I64(b)) => Value::I64(match op {
+                        BinOp::Add => a.wrapping_add(b),
+                        BinOp::Sub => a.wrapping_sub(b),
+                        BinOp::Mul => a.wrapping_mul(b),
+                        BinOp::Div => a.checked_div(b).unwrap_or(0),
+                        BinOp::Rem => a.checked_rem(b).unwrap_or(0),
+                        _ => unreachable!(),
+                    }),
+                    (l, r) => panic!("arithmetic {op:?} on non-integer values {l:?}, {r:?}"),
+                }
+            }
+        }
+    }
+
+    /// Evaluates a predicate expression with `x` bound to `input`.
+    ///
+    /// # Panics
+    /// Panics when the expression does not evaluate to a boolean.
+    pub fn eval_bool(&self, input: &Value) -> bool {
+        self.eval(input).as_bool()
+    }
+
+    // ---- type checking ----------------------------------------------------------------
+
+    /// Infers the output type given the input record type, rejecting ill-typed
+    /// expressions. A type-correct expression never panics in [`eval`](Self::eval).
+    pub fn infer(&self, input: &ValueType) -> Result<ValueType, WireError> {
+        match self {
+            Expr::Input => Ok(input.clone()),
+            Expr::Field(e, i) => match e.infer(input)? {
+                ValueType::Tuple(items) => items.get(*i).cloned().ok_or_else(|| {
+                    WireError::new(format!("field .{i} out of range for {}-tuple", items.len()))
+                }),
+                other => Err(WireError::new(format!(
+                    "field access .{i} on non-tuple type {other}"
+                ))),
+            },
+            Expr::Unit => Ok(ValueType::Unit),
+            Expr::Bool(_) => Ok(ValueType::Bool),
+            Expr::U64(_) => Ok(ValueType::U64),
+            Expr::I64(_) => Ok(ValueType::I64),
+            Expr::Tuple(items) => Ok(ValueType::Tuple(
+                items
+                    .iter()
+                    .map(|e| e.infer(input))
+                    .collect::<Result<_, _>>()?,
+            )),
+            Expr::Not(e) => match e.infer(input)? {
+                ValueType::Bool => Ok(ValueType::Bool),
+                other => Err(WireError::new(format!("not on non-boolean type {other}"))),
+            },
+            Expr::Sort(e) => match e.infer(input)? {
+                ValueType::Tuple(items) => {
+                    if items.windows(2).all(|w| w[0] == w[1]) {
+                        Ok(ValueType::Tuple(items))
+                    } else {
+                        Err(WireError::new("sort on a non-homogeneous tuple"))
+                    }
+                }
+                other => Err(WireError::new(format!("sort on non-tuple type {other}"))),
+            },
+            Expr::Bin(op, l, r) => {
+                let left = l.infer(input)?;
+                let right = r.infer(input)?;
+                if op.is_arith() {
+                    match (&left, &right) {
+                        (ValueType::U64, ValueType::U64) => Ok(ValueType::U64),
+                        (ValueType::I64, ValueType::I64) => Ok(ValueType::I64),
+                        _ => Err(WireError::new(format!(
+                            "arithmetic '{}' needs matching integer operands, got {left} and {right}",
+                            op.symbol()
+                        ))),
+                    }
+                } else if op.is_cmp() {
+                    if left == right {
+                        Ok(ValueType::Bool)
+                    } else {
+                        Err(WireError::new(format!(
+                            "comparison '{}' on mismatched types {left} and {right}",
+                            op.symbol()
+                        )))
+                    }
+                } else {
+                    match (&left, &right) {
+                        (ValueType::Bool, ValueType::Bool) => Ok(ValueType::Bool),
+                        _ => Err(WireError::new(format!(
+                            "connective '{}' on non-boolean types {left} and {right}",
+                            op.symbol()
+                        ))),
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- analysis ---------------------------------------------------------------------
+
+    /// Substitutes `inner` for the input: `self.compose(g)` is `self ∘ g`, the expression
+    /// computing `self(g(x))`.
+    pub fn compose(&self, inner: &Expr) -> Expr {
+        match self {
+            Expr::Input => inner.clone(),
+            Expr::Field(e, i) => Expr::Field(Box::new(e.compose(inner)), *i),
+            Expr::Unit | Expr::Bool(_) | Expr::U64(_) | Expr::I64(_) => self.clone(),
+            Expr::Tuple(items) => Expr::Tuple(items.iter().map(|e| e.compose(inner)).collect()),
+            Expr::Bin(op, l, r) => {
+                Expr::Bin(*op, Box::new(l.compose(inner)), Box::new(r.compose(inner)))
+            }
+            Expr::Not(e) => Expr::Not(Box::new(e.compose(inner))),
+            Expr::Sort(e) => Expr::Sort(Box::new(e.compose(inner))),
+        }
+    }
+
+    /// Structural simplification: recursively rewrites `Field(Tuple(e₁…eₙ), i)` to
+    /// `eᵢ₊₁`. Semantics-preserving for every input (expressions are pure and total), and
+    /// essential before [`factor_through`](Self::factor_through): composing a predicate
+    /// with a tuple-building result selector produces exactly these redexes, and the
+    /// factoring match is structural.
+    pub fn simplify(&self) -> Expr {
+        match self {
+            Expr::Input | Expr::Unit | Expr::Bool(_) | Expr::U64(_) | Expr::I64(_) => self.clone(),
+            Expr::Field(e, i) => match e.simplify() {
+                Expr::Tuple(items) if items.len() > *i => items[*i].clone(),
+                simplified => Expr::Field(Box::new(simplified), *i),
+            },
+            Expr::Tuple(items) => Expr::Tuple(items.iter().map(Expr::simplify).collect()),
+            Expr::Bin(op, l, r) => Expr::Bin(*op, Box::new(l.simplify()), Box::new(r.simplify())),
+            Expr::Not(e) => Expr::Not(Box::new(e.simplify())),
+            Expr::Sort(e) => Expr::Sort(Box::new(e.simplify())),
+        }
+    }
+
+    /// Whether the expression reads the input at all.
+    pub fn reads_input(&self) -> bool {
+        match self {
+            Expr::Input => true,
+            Expr::Unit | Expr::Bool(_) | Expr::U64(_) | Expr::I64(_) => false,
+            Expr::Field(e, _) | Expr::Not(e) | Expr::Sort(e) => e.reads_input(),
+            Expr::Tuple(items) => items.iter().any(Expr::reads_input),
+            Expr::Bin(_, l, r) => l.reads_input() || r.reads_input(),
+        }
+    }
+
+    /// The key-preservation analysis behind the Where-into-Join pushdown.
+    ///
+    /// Attempts to write `self` as `q ∘ k` for one of the given `patterns` `k`: every
+    /// subexpression structurally equal to a pattern becomes the input of the returned
+    /// `q`, and the factorisation succeeds only when nothing else reads the input. When
+    /// `Some(q)` is returned, `self(x) == q(k(x))` for every record `x` — so a predicate
+    /// over a join's output that factors through the (lifted) key expressions depends
+    /// only on the join key, and may be applied to whole key groups on either input.
+    pub fn factor_through(&self, patterns: &[&Expr]) -> Option<Expr> {
+        if patterns.contains(&self) {
+            return Some(Expr::Input);
+        }
+        match self {
+            // A read of the input not matched by any pattern: the expression depends on
+            // more than the key.
+            Expr::Input => None,
+            Expr::Unit | Expr::Bool(_) | Expr::U64(_) | Expr::I64(_) => Some(self.clone()),
+            Expr::Field(e, i) => Some(Expr::Field(Box::new(e.factor_through(patterns)?), *i)),
+            Expr::Not(e) => Some(Expr::Not(Box::new(e.factor_through(patterns)?))),
+            Expr::Sort(e) => Some(Expr::Sort(Box::new(e.factor_through(patterns)?))),
+            Expr::Tuple(items) => Some(Expr::Tuple(
+                items
+                    .iter()
+                    .map(|e| e.factor_through(patterns))
+                    .collect::<Option<_>>()?,
+            )),
+            Expr::Bin(op, l, r) => Some(Expr::Bin(
+                *op,
+                Box::new(l.factor_through(patterns)?),
+                Box::new(r.factor_through(patterns)?),
+            )),
+        }
+    }
+
+    /// The canonical byte string of this expression — the stable closure identity used by
+    /// the optimizer's hash-consing. Structurally equal expressions produce equal strings
+    /// in every process, which is what lets common-subplan extraction deduplicate plans
+    /// authored on different machines (or shipped over the wire).
+    pub fn canonical(&self) -> String {
+        self.to_json().to_compact()
+    }
+
+    // ---- serialization ----------------------------------------------------------------
+
+    /// The wire encoding of this expression (a tagged JSON array).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Expr::Input => Json::Arr(vec![Json::str("in")]),
+            Expr::Field(e, i) => Json::Arr(vec![Json::str("field"), e.to_json(), Json::num(i)]),
+            Expr::Unit => Json::Arr(vec![Json::str("unit")]),
+            Expr::Bool(b) => Json::Arr(vec![Json::str("bool"), Json::Bool(*b)]),
+            Expr::U64(n) => Json::Arr(vec![Json::str("u64"), Json::num(n)]),
+            Expr::I64(n) => Json::Arr(vec![Json::str("i64"), Json::num(n)]),
+            Expr::Tuple(items) => {
+                let mut arr = vec![Json::str("tuple")];
+                arr.extend(items.iter().map(Expr::to_json));
+                Json::Arr(arr)
+            }
+            Expr::Bin(op, l, r) => Json::Arr(vec![Json::str(op.tag()), l.to_json(), r.to_json()]),
+            Expr::Not(e) => Json::Arr(vec![Json::str("not"), e.to_json()]),
+            Expr::Sort(e) => Json::Arr(vec![Json::str("sort"), e.to_json()]),
+        }
+    }
+
+    /// Decodes the wire encoding.
+    pub fn from_json(json: &Json) -> Result<Expr, WireError> {
+        let arr = json
+            .as_arr()
+            .ok_or_else(|| WireError::new("expression must be a JSON array"))?;
+        let tag = arr
+            .first()
+            .and_then(Json::as_str)
+            .ok_or_else(|| WireError::new("expression array must start with a string tag"))?;
+        let arity = |n: usize| {
+            if arr.len() == n + 1 {
+                Ok(())
+            } else {
+                Err(WireError::new(format!(
+                    "expression '{tag}' expects {n} argument(s), got {}",
+                    arr.len() - 1
+                )))
+            }
+        };
+        match tag {
+            "in" => {
+                arity(0)?;
+                Ok(Expr::Input)
+            }
+            "unit" => {
+                arity(0)?;
+                Ok(Expr::Unit)
+            }
+            "bool" => {
+                arity(1)?;
+                Ok(Expr::Bool(arr[1].as_bool().ok_or_else(|| {
+                    WireError::new("'bool' expects a boolean")
+                })?))
+            }
+            "u64" => {
+                arity(1)?;
+                Ok(Expr::U64(arr[1].as_u64().ok_or_else(|| {
+                    WireError::new("'u64' expects an unsigned integer")
+                })?))
+            }
+            "i64" => {
+                arity(1)?;
+                Ok(Expr::I64(arr[1].as_i64().ok_or_else(|| {
+                    WireError::new("'i64' expects a signed integer")
+                })?))
+            }
+            "field" => {
+                arity(2)?;
+                let e = Expr::from_json(&arr[1])?;
+                let i = arr[2]
+                    .as_u64()
+                    .and_then(|n| usize::try_from(n).ok())
+                    .ok_or_else(|| WireError::new("'field' expects an index"))?;
+                Ok(Expr::Field(Box::new(e), i))
+            }
+            "tuple" => Ok(Expr::Tuple(
+                arr[1..]
+                    .iter()
+                    .map(Expr::from_json)
+                    .collect::<Result<_, _>>()?,
+            )),
+            "not" => {
+                arity(1)?;
+                Ok(Expr::Not(Box::new(Expr::from_json(&arr[1])?)))
+            }
+            "sort" => {
+                arity(1)?;
+                Ok(Expr::Sort(Box::new(Expr::from_json(&arr[1])?)))
+            }
+            other => {
+                for op in ALL_BIN_OPS {
+                    if op.tag() == other {
+                        arity(2)?;
+                        return Ok(Expr::Bin(
+                            op,
+                            Box::new(Expr::from_json(&arr[1])?),
+                            Box::new(Expr::from_json(&arr[2])?),
+                        ));
+                    }
+                }
+                Err(WireError::new(format!("unknown expression tag '{other}'")))
+            }
+        }
+    }
+}
+
+macro_rules! bin_op_method {
+    ($($(#[$doc:meta])* $name:ident => $op:ident),*) => {$(
+        impl Expr {
+            $(#[$doc])*
+            #[allow(clippy::should_implement_trait)]
+            pub fn $name(self, other: Expr) -> Expr {
+                Expr::bin(BinOp::$op, self, other)
+            }
+        }
+    )*};
+}
+bin_op_method!(
+    /// Wrapping addition.
+    add => Add,
+    /// Wrapping subtraction.
+    sub => Sub,
+    /// Wrapping multiplication.
+    mul => Mul,
+    /// Division (by zero yields zero).
+    div => Div,
+    /// Remainder (by zero yields zero).
+    rem => Rem,
+    /// Equality.
+    eq => Eq,
+    /// Inequality.
+    ne => Ne,
+    /// Less-than.
+    lt => Lt,
+    /// Less-or-equal.
+    le => Le,
+    /// Greater-than.
+    gt => Gt,
+    /// Greater-or-equal.
+    ge => Ge,
+    /// Conjunction.
+    and => And,
+    /// Disjunction.
+    or => Or
+);
+
+impl std::fmt::Display for Expr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expr::Input => write!(f, "x"),
+            Expr::Field(e, i) => write!(f, "{e}.{i}"),
+            Expr::Unit => write!(f, "()"),
+            Expr::Bool(b) => write!(f, "{b}"),
+            Expr::U64(n) => write!(f, "{n}"),
+            Expr::I64(n) => write!(f, "{n}i"),
+            Expr::Tuple(items) => {
+                write!(f, "(")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Bin(op, l, r) => write!(f, "({l} {} {r})", op.symbol()),
+            Expr::Not(e) => write!(f, "!{e}"),
+            Expr::Sort(e) => write!(f, "sort{e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(a: u64, b: u64) -> Value {
+        Value::Tuple(vec![Value::U64(a), Value::U64(b)])
+    }
+
+    #[test]
+    fn projection_arithmetic_and_comparison() {
+        let x = Expr::input();
+        let swap = Expr::tuple(vec![x.clone().field(1), x.clone().field(0)]);
+        assert_eq!(swap.eval(&pair(3, 9)), pair(9, 3));
+
+        let sum = x.clone().field(0).add(x.clone().field(1));
+        assert_eq!(sum.eval(&pair(3, 9)), Value::U64(12));
+
+        let pred = x.clone().field(0).rem(Expr::u64(2)).eq(Expr::u64(0));
+        assert!(pred.eval_bool(&pair(4, 1)));
+        assert!(!pred.eval_bool(&pair(3, 1)));
+
+        let both = pred.clone().and(x.field(1).lt(Expr::u64(5)));
+        assert!(both.eval_bool(&pair(4, 1)));
+        assert!(!both.eval_bool(&pair(4, 9)));
+    }
+
+    #[test]
+    fn sort_orders_tuple_fields() {
+        let sorted = Expr::input().sort();
+        let v = Value::Tuple(vec![Value::U64(9), Value::U64(1), Value::U64(4)]);
+        assert_eq!(
+            sorted.eval(&v),
+            Value::Tuple(vec![Value::U64(1), Value::U64(4), Value::U64(9)])
+        );
+    }
+
+    #[test]
+    fn arithmetic_is_total() {
+        let div = Expr::input().div(Expr::u64(0));
+        assert_eq!(div.eval(&Value::U64(7)), Value::U64(0));
+        let wrap = Expr::input().add(Expr::u64(1));
+        assert_eq!(wrap.eval(&Value::U64(u64::MAX)), Value::U64(0));
+    }
+
+    #[test]
+    fn inference_accepts_good_and_rejects_bad() {
+        let edge = ValueType::Tuple(vec![ValueType::U64, ValueType::U64]);
+        let x = Expr::input();
+        assert_eq!(x.clone().field(0).infer(&edge).unwrap(), ValueType::U64);
+        assert_eq!(
+            x.clone()
+                .field(0)
+                .ne(x.clone().field(1))
+                .infer(&edge)
+                .unwrap(),
+            ValueType::Bool
+        );
+        assert!(x.clone().field(2).infer(&edge).is_err(), "index range");
+        assert!(x.clone().field(0).infer(&ValueType::U64).is_err());
+        assert!(x.clone().field(0).add(Expr::i64(1)).infer(&edge).is_err());
+        assert!(x.clone().not().infer(&edge).is_err());
+        assert!(
+            Expr::tuple(vec![x.clone(), Expr::u64(0)])
+                .sort()
+                .infer(&ValueType::U64)
+                .unwrap()
+                == ValueType::Tuple(vec![ValueType::U64, ValueType::U64])
+        );
+        assert!(Expr::tuple(vec![x.clone(), Expr::bool(true)])
+            .sort()
+            .infer(&ValueType::U64)
+            .is_err());
+    }
+
+    #[test]
+    fn simplify_reduces_projections_of_built_tuples() {
+        let x = Expr::input;
+        // pred ∘ tuple-building-selector: the shape the join pushdown analysis sees.
+        let selector = Expr::tuple(vec![x().field(0).field(0), x().field(0).field(1)]);
+        let pred = x().field(1).eq(Expr::u64(5));
+        let composed = pred.compose(&selector);
+        assert_eq!(composed.simplify(), x().field(0).field(1).eq(Expr::u64(5)));
+        // Out-of-range projections (ill-typed anyway) are left alone, not dropped.
+        let weird = Expr::tuple(vec![Expr::u64(1)]).field(4);
+        assert_eq!(weird.simplify(), weird);
+        // Simplification preserves evaluation on well-typed expressions.
+        let v = Value::Tuple(vec![pair(7, 5), Value::U64(9)]);
+        assert_eq!(composed.eval(&v), composed.simplify().eval(&v));
+    }
+
+    #[test]
+    fn compose_substitutes_the_input() {
+        let x = Expr::input();
+        let pred = x.clone().rem(Expr::u64(3)).ne(Expr::u64(0));
+        let selector = x.field(1);
+        let fused = pred.compose(&selector);
+        assert!(fused.eval_bool(&pair(0, 4)));
+        assert!(!fused.eval_bool(&pair(4, 3)));
+    }
+
+    #[test]
+    fn factoring_recognises_key_determined_predicates() {
+        // Join-output predicate over ((a, b), (c, d)) that reads only the key a.1 == b.0.
+        let x = Expr::input();
+        let key_left_lifted = x.clone().field(0).field(1);
+        let key_right_lifted = x.clone().field(1).field(0);
+        let pred = key_left_lifted
+            .clone()
+            .rem(Expr::u64(4))
+            .eq(Expr::u64(1))
+            .and(key_right_lifted.clone().lt(Expr::u64(100)));
+        let q = pred
+            .factor_through(&[&key_left_lifted, &key_right_lifted])
+            .expect("predicate factors through the key");
+        // q over the key value k: (k % 4 == 1) && (k < 100).
+        assert!(q.eval_bool(&Value::U64(5)));
+        assert!(!q.eval_bool(&Value::U64(6)));
+        assert!(!q.eval_bool(&Value::U64(401)));
+
+        // A predicate reading a non-key field must not factor.
+        let bad = pred.and(x.field(0).field(0).eq(Expr::u64(0)));
+        assert!(bad
+            .factor_through(&[&key_left_lifted, &key_right_lifted])
+            .is_none());
+    }
+
+    #[test]
+    fn json_round_trips_every_construct() {
+        let x = Expr::input();
+        let exprs = [
+            Expr::Unit,
+            Expr::bool(true),
+            Expr::u64(u64::MAX),
+            Expr::i64(-42),
+            x.clone().field(3),
+            Expr::tuple(vec![x.clone(), Expr::u64(1)]).sort(),
+            x.clone().field(0).ne(x.clone().field(2)).not(),
+            x.clone().add(Expr::u64(1)).mul(x.clone().sub(Expr::u64(2))),
+            x.clone().div(Expr::u64(3)).le(x.clone().rem(Expr::u64(7))),
+            x.clone().lt(Expr::u64(1)).or(x.clone().ge(Expr::u64(2))),
+            x.clone().gt(Expr::u64(5)).and(x.eq(Expr::u64(6))),
+        ];
+        for expr in exprs {
+            let json = expr.to_json();
+            let back = Expr::from_json(&Json::parse(&json.to_compact()).unwrap()).unwrap();
+            assert_eq!(back, expr);
+            assert_eq!(back.canonical(), expr.canonical());
+        }
+    }
+
+    #[test]
+    fn canonical_strings_are_stable_identities() {
+        let a = Expr::input().field(1).eq(Expr::u64(5));
+        let b = Expr::input().field(1).eq(Expr::u64(5));
+        let c = Expr::input().field(1).eq(Expr::u64(6));
+        assert_eq!(a.canonical(), b.canonical());
+        assert_ne!(a.canonical(), c.canonical());
+        // Signed and unsigned constants must not collide.
+        assert_ne!(Expr::u64(3).canonical(), Expr::i64(3).canonical());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let x = Expr::input();
+        let e = x.clone().field(0).ne(x.field(2));
+        assert_eq!(e.to_string(), "(x.0 != x.2)");
+        assert_eq!(Expr::input().sort().to_string(), "sortx");
+        assert_eq!(
+            Expr::tuple(vec![Expr::input().field(1), Expr::u64(2)]).to_string(),
+            "(x.1, 2)"
+        );
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        for text in [
+            "{}",
+            "[]",
+            "[3]",
+            "[\"nope\"]",
+            "[\"field\",[\"in\"]]",
+            "[\"u64\",true]",
+            "[\"add\",[\"in\"]]",
+        ] {
+            let json = Json::parse(text).unwrap();
+            assert!(Expr::from_json(&json).is_err(), "{text} should be rejected");
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The analyst-side client: typed plans in, typed noisy releases out, with **only JSON
+//! text** crossing the boundary in between.
+//!
+//! [`ServiceClient::measure`] serializes a typed expression-built [`Plan<T>`] to its
+//! [`PlanSpec`] wire form, submits the request through the service's JSON front door
+//! ([`MeasurementService::handle_json`] — the same code path a network transport would
+//! call), and decodes the response back into typed records. Running the round trip
+//! through strings in-process is deliberate: every test that passes here would pass
+//! unchanged over a socket.
+
+use rand::Rng;
+
+use wpinq::value::ExprRecord;
+use wpinq::Plan;
+use wpinq_expr::{Json, PlanSpec, WireError};
+
+use crate::release::release_records_from_json;
+use crate::service::{response_output_type, MeasureRequest, MeasurementService};
+
+/// A typed view of a successful measurement response.
+#[derive(Debug)]
+pub struct TypedRelease<T: ExprRecord> {
+    /// The measurement ε.
+    pub epsilon: f64,
+    /// Noisy counts in sorted record order.
+    pub records: Vec<(T, f64)>,
+    /// Per-dataset ε charged.
+    pub charged: Vec<(String, f64)>,
+    /// Per-dataset budget remaining after the charge.
+    pub remaining: Vec<(String, f64)>,
+    /// The analyst-visible plan the service logged.
+    pub explain: String,
+    /// The raw response bytes (useful for byte-equality assertions).
+    pub raw: String,
+}
+
+impl<T: ExprRecord> TypedRelease<T> {
+    /// The noisy count of `record`, `0.0`-centred noise excluded — absent records were
+    /// simply not observed (query the service again at the record's key if needed).
+    pub fn get(&self, record: &T) -> Option<f64> {
+        self.records
+            .iter()
+            .find(|(r, _)| r == record)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// Why a client-side measurement failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// The plan carries closure-built payloads and cannot be serialized.
+    NotSerializable,
+    /// The service rejected the request (message from the response envelope).
+    Rejected(String),
+    /// The response could not be decoded.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::NotSerializable => write!(
+                f,
+                "plan contains closure-built payloads; build it with the *_expr \
+                 constructors to ship it"
+            ),
+            ClientError::Rejected(msg) => write!(f, "service rejected the request: {msg}"),
+            ClientError::Wire(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// An in-process client bound to one service and one analyst identity.
+pub struct ServiceClient<'a> {
+    service: &'a MeasurementService,
+    analyst: String,
+}
+
+impl<'a> ServiceClient<'a> {
+    /// A client speaking for `analyst`.
+    pub fn new(service: &'a MeasurementService, analyst: impl Into<String>) -> Self {
+        ServiceClient {
+            service,
+            analyst: analyst.into(),
+        }
+    }
+
+    /// Serializes `plan`, submits it at `epsilon`, and decodes the typed release.
+    ///
+    /// `rng` is the **service's** noise source; in production it lives on the trusted
+    /// side and is never shared with analysts (tests pin it for reproducibility).
+    pub fn measure<T: ExprRecord, R: Rng + ?Sized>(
+        &self,
+        plan: &Plan<T>,
+        epsilon: f64,
+        rng: &mut R,
+    ) -> Result<TypedRelease<T>, ClientError> {
+        let spec = plan.to_spec().ok_or(ClientError::NotSerializable)?;
+        self.measure_spec(spec, epsilon, rng)
+    }
+
+    /// [`measure`](Self::measure) for an already-serialized plan.
+    pub fn measure_spec<T: ExprRecord, R: Rng + ?Sized>(
+        &self,
+        spec: PlanSpec,
+        epsilon: f64,
+        rng: &mut R,
+    ) -> Result<TypedRelease<T>, ClientError> {
+        let request = MeasureRequest {
+            analyst: self.analyst.clone(),
+            epsilon,
+            spec,
+        };
+        let raw = self.service.handle_json(&request.to_json_string(), rng);
+        let response = Json::parse(&raw).map_err(|e| WireError::new(e.to_string()))?;
+        if response.get("ok").and_then(Json::as_bool) != Some(true) {
+            let message = response
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("malformed error response")
+                .to_string();
+            return Err(ClientError::Rejected(message));
+        }
+        let output_type = response_output_type(&response)?;
+        if output_type != T::value_type() {
+            return Err(ClientError::Wire(WireError::new(format!(
+                "response records have type {output_type}, expected {}",
+                T::value_type()
+            ))));
+        }
+        let release = response
+            .get("release")
+            .ok_or_else(|| WireError::new("response missing 'release'"))?;
+        let records = release_records_from_json(release, &output_type)?
+            .into_iter()
+            .map(|(value, noisy)| {
+                T::from_value(&value)
+                    .map(|record| (record, noisy))
+                    .ok_or_else(|| WireError::new("release record does not fit the plan type"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let pairs = |key: &str| -> Result<Vec<(String, f64)>, WireError> {
+            response
+                .get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| WireError::new(format!("response missing '{key}'")))?
+                .iter()
+                .map(|pair| {
+                    let pair = pair
+                        .as_arr()
+                        .filter(|p| p.len() == 2)
+                        .ok_or_else(|| WireError::new(format!("malformed '{key}' entry")))?;
+                    let name = pair[0]
+                        .as_str()
+                        .ok_or_else(|| WireError::new(format!("malformed '{key}' name")))?;
+                    let eps = pair[1]
+                        .as_f64()
+                        .ok_or_else(|| WireError::new(format!("malformed '{key}' value")))?;
+                    Ok((name.to_string(), eps))
+                })
+                .collect()
+        };
+        Ok(TypedRelease {
+            epsilon,
+            records,
+            charged: pairs("charged")?,
+            remaining: pairs("remaining")?,
+            explain: response
+                .get("explain")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            raw,
+        })
+    }
+}

@@ -1,0 +1,41 @@
+//! # wpinq-service — the measurement service of PINQ's agent model
+//!
+//! wPINQ (like PINQ before it) separates two roles: the **analyst**, who authors
+//! queries, and the **trusted curator**, who owns the sensitive data and the privacy
+//! budgets and is the only party that ever evaluates anything. Inside one process the
+//! [`Queryable`](wpinq::Queryable) front end plays both roles; this crate splits them
+//! across a process boundary, which the first-order expression language
+//! (`wpinq-expr`) makes possible: expression-built plans serialize to the
+//! [`PlanSpec`](wpinq_expr::PlanSpec) wire format, so the analyst ships *plan text* and
+//! receives *noisy text* back — compiled code never crosses, raw data never leaves.
+//!
+//! * [`MeasurementService`] — the trusted side: registered datasets, per-analyst
+//!   [`AnalystBudgets`](wpinq::budget::AnalystBudgets) grants, plan validation,
+//!   optimizer-deduplicated `k·ε` accounting, execution under a configurable
+//!   [`Executor`](wpinq::plan::Executor), an audit log of every admitted plan, and a
+//!   JSON front door ([`MeasurementService::handle_json`]).
+//! * [`ServiceClient`] — the analyst side: typed `Plan<T>` in, typed release out, with
+//!   only JSON strings in between (the same bytes a socket transport would carry; the
+//!   `wpinq-service` binary serves exactly these envelopes over stdin/stdout).
+//! * [`release`] — the canonical, bit-exact release encoding shared by both sides.
+//!
+//! **Determinism guarantee** (property-tested in `tests/`): for a fixed RNG state, a
+//! plan measured through the service — serialize, parse, validate, rebuild dynamically,
+//! optimize, evaluate, release — produces a byte-identical release to the same plan
+//! measured locally in its typed form, under every executor (sequential, 2-shard,
+//! 8-shard) and optimize level. Releases are a pure function of (plan, data, ε, RNG
+//! state); transport and representation leave no fingerprint.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod release;
+pub mod service;
+
+pub use client::{ClientError, ServiceClient, TypedRelease};
+pub use release::{release_records_json, release_to_json, release_values_to_json};
+pub use service::{
+    MeasureRequest, MeasureResponse, MeasurementService, ServiceError, REQUEST_HEADER,
+    REQUEST_VERSION,
+};

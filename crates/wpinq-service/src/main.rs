@@ -1,0 +1,146 @@
+//! The `wpinq-service` binary: a measurement server speaking newline-delimited JSON.
+//!
+//! Modes:
+//!
+//! * `wpinq-service --demo` (default) — registers a small built-in graph, grants the
+//!   `demo` analyst a budget, measures the degree-CCDF workload through the JSON front
+//!   door, and prints the request, the response, and the audit log. Deterministic
+//!   (fixed seed), so it doubles as a CI smoke test of the whole service path.
+//! * `wpinq-service --serve` — reads one [`MeasureRequest`](wpinq_service::MeasureRequest)
+//!   envelope per stdin line and writes one response envelope per stdout line. Datasets
+//!   and grants come from `--demo`-style built-ins; a production deployment would load
+//!   them from its own storage. The noise RNG is seeded from `/dev/urandom` — the seed
+//!   is the curator's secret and never leaves the process (the server refuses to start
+//!   without an entropy source).
+
+use std::io::{BufRead, Write};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use wpinq::plan::executor_for_threads;
+use wpinq::{Expr, Plan, PrivacyBudget, WeightedDataset};
+use wpinq_service::MeasurementService;
+
+/// The built-in demo graph: a triangle with a tail plus a 4-cycle, as symmetric
+/// directed edges.
+fn demo_edges() -> WeightedDataset<(u32, u32)> {
+    let undirected = [
+        (0u32, 1u32),
+        (1, 2),
+        (0, 2),
+        (2, 3),
+        (4, 5),
+        (5, 6),
+        (6, 7),
+        (7, 4),
+    ];
+    WeightedDataset::from_records(undirected.iter().flat_map(|&(a, b)| [(a, b), (b, a)]))
+}
+
+/// The degree-CCDF workload in expression form (the same definition
+/// `wpinq_analyses::degree::degree_ccdf_plan_expr` builds).
+fn degree_ccdf_plan() -> Plan<u64> {
+    let edges = Plan::<(u32, u32)>::source_expr("edges");
+    edges
+        .select_expr::<u32>(Expr::input().field(0))
+        .shave_const(1.0)
+        .select_expr::<u64>(Expr::input().field(1))
+}
+
+fn build_service() -> MeasurementService {
+    let mut service = MeasurementService::new()
+        .with_executor(executor_for_threads(wpinq::plan::available_threads()));
+    service
+        .register("edges", &demo_edges())
+        .expect("demo dataset registers");
+    service
+        .grant("demo", "edges", PrivacyBudget::new(10.0))
+        .expect("demo grant");
+    service
+}
+
+fn run_demo() {
+    let service = build_service();
+    let plan = degree_ccdf_plan();
+    let spec = plan.to_spec().expect("expression-built plan serializes");
+    let request = wpinq_service::MeasureRequest {
+        analyst: "demo".into(),
+        epsilon: 0.5,
+        spec,
+    };
+    let request_json = request.to_json_string();
+    println!("--- request ---");
+    println!("{request_json}");
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let response = service.handle_json(&request_json, &mut rng);
+    println!("--- response ---");
+    println!("{response}");
+
+    println!("--- audit log ---");
+    for entry in service.audit_log() {
+        println!("{entry}");
+    }
+    println!(
+        "--- budget remaining for demo@edges: {} ---",
+        service.remaining("demo", "edges").unwrap_or(f64::NAN)
+    );
+    assert!(
+        response.contains("\"ok\":true"),
+        "demo measurement must succeed"
+    );
+}
+
+/// An unpredictable noise seed from the OS entropy pool. Differential privacy stands or
+/// falls with this: a guessable seed (e.g. the wall clock) would let an analyst replay
+/// the Laplace stream and de-noise every release.
+fn entropy_seed() -> u64 {
+    use std::io::Read;
+    let mut bytes = [0u8; 8];
+    match std::fs::File::open("/dev/urandom").and_then(|mut f| f.read_exact(&mut bytes)) {
+        Ok(()) => u64::from_le_bytes(bytes),
+        Err(e) => {
+            // No entropy device (non-unix dev box): refuse to serve rather than hand
+            // out breakable noise.
+            eprintln!("cannot read /dev/urandom for the noise seed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_serve() {
+    let service = build_service();
+    let mut rng = StdRng::seed_from_u64(entropy_seed());
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = service.handle_json(&line, &mut rng);
+        if writeln!(out, "{response}")
+            .and_then(|_| out.flush())
+            .is_err()
+        {
+            break;
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None | Some("--demo") => run_demo(),
+        Some("--serve") => run_serve(),
+        Some(other) => {
+            eprintln!("unknown mode '{other}'; use --demo (default) or --serve");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Canonical encoding of noisy releases.
+//!
+//! Releases cross the trust boundary as JSON: a sorted array of `[record, value]` pairs.
+//! Records encode through [`value_to_json`]; noisy values print with Rust's
+//! shortest-round-trip float formatter, so the encoding is **deterministic and
+//! bit-exact**: two releases are byte-equal iff every noisy value matches bitwise. The
+//! byte-identical-release property tests (typed plan vs. wire-shipped plan, sequential
+//! vs. sharded executors) compare exactly these strings.
+
+use wpinq::value::{ExprRecord, Value, ValueType};
+use wpinq::NoisyCounts;
+use wpinq_expr::{value_from_json, value_to_json, Json, WireError};
+
+/// Encodes the observed part of a typed release (sorted record order).
+pub fn release_to_json<T: ExprRecord>(counts: &NoisyCounts<T>) -> String {
+    let records: Vec<(Value, f64)> = counts
+        .sorted_observed()
+        .into_iter()
+        .map(|(record, value)| (record.to_value(), value))
+        .collect();
+    release_records_json(&records).to_compact()
+}
+
+/// Encodes the observed part of a dynamic release (sorted record order).
+pub fn release_values_to_json(counts: &NoisyCounts<Value>) -> String {
+    release_records_json(&counts.sorted_observed()).to_compact()
+}
+
+/// The release array document for already-sorted `(record, noisy value)` pairs.
+pub fn release_records_json(records: &[(Value, f64)]) -> Json {
+    Json::Arr(
+        records
+            .iter()
+            .map(|(record, value)| Json::Arr(vec![value_to_json(record), Json::f64(*value)]))
+            .collect(),
+    )
+}
+
+/// Decodes a release array against the expected record type.
+pub fn release_records_from_json(
+    json: &Json,
+    ty: &ValueType,
+) -> Result<Vec<(Value, f64)>, WireError> {
+    json.as_arr()
+        .ok_or_else(|| WireError::new("release must be a JSON array"))?
+        .iter()
+        .map(|pair| {
+            let pair = pair
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| WireError::new("release entry must be a [record, value] pair"))?;
+            let record = value_from_json(&pair[0], ty)?;
+            let value = pair[1]
+                .as_f64()
+                .ok_or_else(|| WireError::new("release value must be a number"))?;
+            Ok((record, value))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wpinq::WeightedDataset;
+
+    #[test]
+    fn typed_and_dynamic_encodings_agree_byte_for_byte() {
+        let typed: WeightedDataset<(u32, u64)> =
+            WeightedDataset::from_pairs([((3, 1), 2.0), ((1, 9), 0.5), ((2, 2), -1.25)]);
+        let dynamic = wpinq::plan::dataset_to_values(&typed);
+        let a = release_to_json(&NoisyCounts::measure(
+            &typed,
+            0.5,
+            &mut StdRng::seed_from_u64(7),
+        ));
+        let b = release_values_to_json(&NoisyCounts::measure(
+            &dynamic,
+            0.5,
+            &mut StdRng::seed_from_u64(7),
+        ));
+        assert_eq!(a, b);
+
+        // And the encoding round-trips exactly.
+        let ty = <(u32, u64)>::value_type();
+        let parsed = Json::parse(&a).unwrap();
+        let records = release_records_from_json(&parsed, &ty).unwrap();
+        assert_eq!(release_records_json(&records).to_compact(), a);
+    }
+}

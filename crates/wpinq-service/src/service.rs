@@ -1,0 +1,473 @@
+//! The measurement service: the trusted side of PINQ's agent model, across a process
+//! boundary.
+//!
+//! A [`MeasurementService`] **owns** the protected datasets and every privacy budget;
+//! analysts own nothing but plan text. One request ([`MeasureRequest`]) carries a
+//! [`PlanSpec`] plus a measurement ε; the service
+//!
+//! 1. **validates** the spec (wire version, topology, expression types) and rebuilds an
+//!    executable [`Plan<Value>`](wpinq::Plan) from it,
+//! 2. **binds** each named source to its registered dataset (declared types must match),
+//! 3. **optimizes** the plan (the same rewrite pass local `Queryable`s run — so a
+//!    redundantly expressed request is charged for the deduplicated plan),
+//! 4. **debits** the analyst's per-dataset [`AnalystBudgets`] grant by
+//!    `multiplicity × ε`, all-or-nothing, rejecting unaffordable requests before any
+//!    noise is drawn,
+//! 5. **evaluates** under the configured [`Executor`] and returns only the noisy
+//!    release — never raw weights — together with the analyst-visible plan rendering,
+//!    which is also appended to the service's audit log.
+//!
+//! Determinism: for a fixed RNG state the response bytes are identical across executors
+//! and optimize levels, and identical to a local typed release of the same plan (see the
+//! crate docs for why).
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use rand::Rng;
+
+use wpinq::budget::AnalystBudgets;
+use wpinq::plan::{default_executor, plan_from_spec, DynPlan, Executor, OptimizeLevel};
+use wpinq::value::{Value, ValueType};
+use wpinq::{BudgetError, NoisyCounts, PrivacyBudget, WeightedDataset};
+use wpinq_expr::{value_type_from_json, value_type_to_json, Json, PlanSpec, WireError};
+
+use crate::release::release_records_json;
+
+/// Version stamp of the request/response JSON envelope.
+pub const REQUEST_VERSION: u32 = 1;
+
+/// The top-level key of a measurement request document.
+pub const REQUEST_HEADER: &str = "wpinq_measure_request";
+
+/// A measurement request: who is asking, at what ε, and the plan as data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasureRequest {
+    /// The requesting analyst (budget grants are keyed per analyst).
+    pub analyst: String,
+    /// The `NoisyCount` measurement parameter.
+    pub epsilon: f64,
+    /// The plan to measure.
+    pub spec: PlanSpec,
+}
+
+impl MeasureRequest {
+    /// The JSON envelope (`{"wpinq_measure_request":1,"analyst":…,"epsilon":…,"plan":…}`).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (REQUEST_HEADER.into(), Json::num(REQUEST_VERSION)),
+            ("analyst".into(), Json::str(self.analyst.clone())),
+            ("epsilon".into(), Json::f64(self.epsilon)),
+            ("plan".into(), self.spec.to_json()),
+        ])
+    }
+
+    /// Serializes the request to compact JSON.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_compact()
+    }
+
+    /// Parses a request envelope.
+    pub fn from_json(text: &str) -> Result<MeasureRequest, WireError> {
+        let json = Json::parse(text).map_err(|e| WireError::new(e.to_string()))?;
+        let version = json
+            .get(REQUEST_HEADER)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| WireError::new(format!("missing '{REQUEST_HEADER}' header")))?;
+        if version != u64::from(REQUEST_VERSION) {
+            return Err(WireError::new(format!(
+                "unsupported request version {version}"
+            )));
+        }
+        let analyst = json
+            .get("analyst")
+            .and_then(Json::as_str)
+            .ok_or_else(|| WireError::new("missing 'analyst'"))?
+            .to_string();
+        let epsilon = json
+            .get("epsilon")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| WireError::new("missing or non-finite 'epsilon'"))?;
+        let plan = json
+            .get("plan")
+            .ok_or_else(|| WireError::new("missing 'plan'"))?;
+        let spec = PlanSpec::from_json(&plan.to_compact())?;
+        Ok(MeasureRequest {
+            analyst,
+            epsilon,
+            spec,
+        })
+    }
+}
+
+/// A successful measurement: the noisy release plus accounting facts the analyst is
+/// allowed to see.
+#[derive(Debug)]
+pub struct MeasureResponse {
+    /// The measurement ε.
+    pub epsilon: f64,
+    /// Record type of the released counts.
+    pub output_type: ValueType,
+    /// The noisy release, in sorted record order (never raw weights).
+    pub release: Vec<(Value, f64)>,
+    /// Per-dataset ε charged by this request (`multiplicity × ε`), sorted by name.
+    pub charged: Vec<(String, f64)>,
+    /// Per-dataset budget remaining for this analyst after the charge, sorted by name.
+    pub remaining: Vec<(String, f64)>,
+    /// The analyst-visible plan: the optimized plan rendering plus multiplicity report.
+    pub explain: String,
+}
+
+impl MeasureResponse {
+    /// The JSON envelope (`{"ok":true, …}`), deterministic byte-for-byte.
+    pub fn to_json(&self) -> Json {
+        let pairs = |items: &[(String, f64)]| {
+            Json::Arr(
+                items
+                    .iter()
+                    .map(|(name, eps)| Json::Arr(vec![Json::str(name.clone()), Json::f64(*eps)]))
+                    .collect(),
+            )
+        };
+        Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            ("epsilon".into(), Json::f64(self.epsilon)),
+            ("output_type".into(), value_type_to_json(&self.output_type)),
+            ("release".into(), release_records_json(&self.release)),
+            ("charged".into(), pairs(&self.charged)),
+            ("remaining".into(), pairs(&self.remaining)),
+            ("explain".into(), Json::str(self.explain.clone())),
+        ])
+    }
+
+    /// Serializes the response to compact JSON.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_compact()
+    }
+}
+
+/// Why a measurement request was rejected. No error variant ever reveals protected
+/// data — rejections happen before noise is drawn and charge nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The request or plan document was malformed or failed type checking.
+    Wire(WireError),
+    /// The plan references a dataset this service does not host.
+    UnknownDataset(String),
+    /// The plan declared a source at a type other than the registered one.
+    TypeMismatch {
+        /// The dataset name.
+        dataset: String,
+        /// The type the plan declared.
+        declared: ValueType,
+        /// The type the dataset was registered at.
+        registered: ValueType,
+    },
+    /// The analyst holds no budget grant for a dataset the plan touches.
+    NoGrant {
+        /// The requesting analyst.
+        analyst: String,
+        /// The dataset without a grant.
+        dataset: String,
+    },
+    /// A grant cannot afford the request (nothing was charged).
+    BudgetExceeded {
+        /// The dataset whose grant is short.
+        dataset: String,
+        /// The underlying budget arithmetic.
+        error: BudgetError,
+    },
+    /// A request parameter was invalid (e.g. non-positive ε).
+    InvalidParameter(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Wire(e) => write!(f, "{e}"),
+            ServiceError::UnknownDataset(name) => write!(f, "unknown dataset '{name}'"),
+            ServiceError::TypeMismatch {
+                dataset,
+                declared,
+                registered,
+            } => write!(
+                f,
+                "dataset '{dataset}' declared as {declared} but registered as {registered}"
+            ),
+            ServiceError::NoGrant { analyst, dataset } => {
+                write!(f, "analyst '{analyst}' has no budget grant for '{dataset}'")
+            }
+            ServiceError::BudgetExceeded { dataset, error } => {
+                write!(f, "budget for '{dataset}' exceeded: {error}")
+            }
+            ServiceError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<WireError> for ServiceError {
+    fn from(e: WireError) -> Self {
+        ServiceError::Wire(e)
+    }
+}
+
+struct RegisteredDataset {
+    ty: ValueType,
+    data: Rc<WeightedDataset<Value>>,
+}
+
+/// The measurement service: protected datasets, per-analyst budget grants, an executor,
+/// and an audit log of every plan it agreed to measure.
+pub struct MeasurementService {
+    datasets: HashMap<String, RegisteredDataset>,
+    budgets: AnalystBudgets,
+    executor: Arc<dyn Executor>,
+    optimize: OptimizeLevel,
+    audit: RefCell<Vec<String>>,
+}
+
+impl Default for MeasurementService {
+    fn default() -> Self {
+        MeasurementService::new()
+    }
+}
+
+impl MeasurementService {
+    /// An empty service with the process-default executor (`WPINQ_THREADS`) and optimize
+    /// level (`WPINQ_OPTIMIZE`).
+    pub fn new() -> Self {
+        MeasurementService {
+            datasets: HashMap::new(),
+            budgets: AnalystBudgets::new(),
+            executor: default_executor(),
+            optimize: OptimizeLevel::from_env(),
+            audit: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Replaces the evaluation strategy (bitwise-neutral: releases do not change).
+    pub fn with_executor(mut self, executor: Arc<dyn Executor>) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Replaces the optimize level used for accounting and evaluation.
+    pub fn with_optimize_level(mut self, level: OptimizeLevel) -> Self {
+        self.optimize = level;
+        self
+    }
+
+    /// Registers a protected dataset of dynamic records under `name`. Every record must
+    /// match `ty`; re-registering a name replaces its data (grants are unaffected).
+    pub fn register_values(
+        &mut self,
+        name: &str,
+        ty: ValueType,
+        data: WeightedDataset<Value>,
+    ) -> Result<(), ServiceError> {
+        if name.is_empty() {
+            return Err(ServiceError::InvalidParameter(
+                "dataset name must be non-empty".into(),
+            ));
+        }
+        for (record, _) in data.iter() {
+            let got = record.type_of();
+            if got != ty {
+                return Err(ServiceError::TypeMismatch {
+                    dataset: name.to_string(),
+                    declared: ty,
+                    registered: got,
+                });
+            }
+        }
+        self.datasets.insert(
+            name.to_string(),
+            RegisteredDataset {
+                ty,
+                data: Rc::new(data),
+            },
+        );
+        Ok(())
+    }
+
+    /// Registers a typed protected dataset under `name` (converted to dynamic records;
+    /// support, weights, and sorted order are preserved exactly).
+    pub fn register<T: wpinq::ExprRecord>(
+        &mut self,
+        name: &str,
+        data: &WeightedDataset<T>,
+    ) -> Result<(), ServiceError> {
+        self.register_values(name, T::value_type(), wpinq::plan::dataset_to_values(data))
+    }
+
+    /// Grants `analyst` a fresh privacy budget for `dataset`.
+    pub fn grant(
+        &self,
+        analyst: &str,
+        dataset: &str,
+        budget: PrivacyBudget,
+    ) -> Result<(), ServiceError> {
+        if !self.datasets.contains_key(dataset) {
+            return Err(ServiceError::UnknownDataset(dataset.to_string()));
+        }
+        self.budgets.grant(analyst, dataset, budget);
+        Ok(())
+    }
+
+    /// Remaining budget of `(analyst, dataset)`, when a grant exists.
+    pub fn remaining(&self, analyst: &str, dataset: &str) -> Option<f64> {
+        self.budgets.remaining(analyst, dataset)
+    }
+
+    /// The audit log: one rendered, analyst-visible plan per admitted measurement.
+    pub fn audit_log(&self) -> Vec<String> {
+        self.audit.borrow().clone()
+    }
+
+    /// Serves one measurement request. See the module docs for the pipeline; on any
+    /// error nothing is charged and no noise is drawn.
+    pub fn measure<R: Rng + ?Sized>(
+        &self,
+        request: &MeasureRequest,
+        rng: &mut R,
+    ) -> Result<MeasureResponse, ServiceError> {
+        if !(request.epsilon.is_finite() && request.epsilon > 0.0) {
+            return Err(ServiceError::InvalidParameter(format!(
+                "epsilon must be positive and finite, got {}",
+                request.epsilon
+            )));
+        }
+        let output_type = request.spec.output_type()?;
+        let DynPlan { plan, sources } = plan_from_spec(&request.spec)?;
+
+        // Bind every named source to its registered dataset.
+        let mut bindings = wpinq::PlanBindings::new();
+        for source in &sources {
+            let registered = self
+                .datasets
+                .get(&source.name)
+                .ok_or_else(|| ServiceError::UnknownDataset(source.name.clone()))?;
+            if registered.ty != source.ty {
+                return Err(ServiceError::TypeMismatch {
+                    dataset: source.name.clone(),
+                    declared: source.ty.clone(),
+                    registered: registered.ty.clone(),
+                });
+            }
+            bindings.bind_shared(&source.plan, registered.data.clone());
+        }
+
+        // Accounting runs on the optimized plan, exactly like a local Queryable: a
+        // redundantly expressed request is charged for the deduplicated plan. One
+        // optimizer pass (bindings-aware, so join input ordering applies) serves
+        // accounting, the audit report, and evaluation.
+        let optimized = plan.optimize_for_bindings(self.optimize, &bindings);
+        let multiplicities = optimized.multiplicities();
+        let mut per_dataset: BTreeMap<&str, u32> = BTreeMap::new();
+        for source in &sources {
+            if let Some(id) = source.plan.input_id() {
+                let mult = multiplicities.get(&id).copied().unwrap_or(0);
+                if mult > 0 {
+                    *per_dataset.entry(source.name.as_str()).or_insert(0) += mult;
+                }
+            }
+        }
+
+        // All-or-nothing debit: verify affordability of every grant, then charge.
+        let mut charges: Vec<(String, wpinq::budget::BudgetHandle, f64)> = Vec::new();
+        for (dataset, mult) in &per_dataset {
+            let handle = self
+                .budgets
+                .lookup(&request.analyst, dataset)
+                .ok_or_else(|| ServiceError::NoGrant {
+                    analyst: request.analyst.clone(),
+                    dataset: dataset.to_string(),
+                })?;
+            charges.push((dataset.to_string(), handle, *mult as f64 * request.epsilon));
+        }
+        for (dataset, handle, cost) in &charges {
+            if !handle.can_afford(*cost) {
+                return Err(ServiceError::BudgetExceeded {
+                    dataset: dataset.clone(),
+                    error: BudgetError {
+                        requested: *cost,
+                        remaining: handle.remaining(),
+                    },
+                });
+            }
+        }
+        for (dataset, handle, cost) in &charges {
+            handle.charge(*cost).map_err(|error| {
+                // Unreachable unless the grant is shared and raced; keep it sound anyway.
+                ServiceError::BudgetExceeded {
+                    dataset: dataset.clone(),
+                    error,
+                }
+            })?;
+        }
+
+        // Evaluate and release — the plan is already fully rewritten, so evaluation runs
+        // at level None. Only the noisy counts leave this function.
+        let measurement = optimized.noisy_count(request.epsilon);
+        let counts: NoisyCounts<Value> =
+            measurement.release_opt(&bindings, &*self.executor, OptimizeLevel::None, rng);
+
+        let report = wpinq::plan::PlanExplain {
+            level: self.optimize,
+            nodes_before: plan.node_count(),
+            nodes_after: optimized.node_count(),
+            before: plan.multiplicities(),
+            after: multiplicities,
+            tree: optimized.render(),
+        };
+        let explain = format!(
+            "analyst {} measured at epsilon {}:\n{report}",
+            request.analyst, request.epsilon
+        );
+        self.audit.borrow_mut().push(explain.clone());
+
+        Ok(MeasureResponse {
+            epsilon: request.epsilon,
+            output_type,
+            release: counts.sorted_observed(),
+            charged: charges
+                .iter()
+                .map(|(dataset, _, cost)| (dataset.clone(), *cost))
+                .collect(),
+            remaining: charges
+                .iter()
+                .map(|(dataset, handle, _)| (dataset.clone(), handle.remaining()))
+                .collect(),
+            explain,
+        })
+    }
+
+    /// The JSON front door: parses a request envelope, serves it, and encodes the
+    /// outcome — errors come back as `{"ok":false,"error":…}` instead of panicking.
+    pub fn handle_json<R: Rng + ?Sized>(&self, request_json: &str, rng: &mut R) -> String {
+        let outcome = MeasureRequest::from_json(request_json)
+            .map_err(ServiceError::from)
+            .and_then(|request| self.measure(&request, rng));
+        match outcome {
+            Ok(response) => response.to_json_string(),
+            Err(error) => Json::Obj(vec![
+                ("ok".into(), Json::Bool(false)),
+                ("error".into(), Json::str(error.to_string())),
+            ])
+            .to_compact(),
+        }
+    }
+}
+
+/// Parses the `output_type` field of a successful response envelope.
+pub fn response_output_type(response: &Json) -> Result<ValueType, WireError> {
+    value_type_from_json(
+        response
+            .get("output_type")
+            .ok_or_else(|| WireError::new("response missing 'output_type'"))?,
+    )
+}

@@ -1,0 +1,263 @@
+//! Property test: random expression-built plans survive the full wire round trip
+//! `Plan → PlanSpec → bytes → PlanSpec → Plan` and release **byte-identical** noisy
+//! outputs for a fixed seed, across executors {sequential, 2 shards, 8 shards} and
+//! optimize levels {none, full}.
+//!
+//! The reconstructed plan runs over dynamic `Value` records while the original runs over
+//! typed `(u64, u64)` records, so this property pins the whole chain at once: encoding
+//! canonicality, parser fidelity, expression-interpreter ≡ typed-closure agreement,
+//! order-preservation of the `Value` conversion, canonical float accumulation, and
+//! sorted-order noise assignment.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use wpinq::plan::{
+    dataset_to_values, plan_from_spec, OptimizeLevel, PlanBindings, SequentialExecutor,
+    ShardedExecutor,
+};
+use wpinq::{Expr, NoisyCounts, Plan, PlanSpec, ReduceSpec, WeightedDataset};
+use wpinq_service::{release_to_json, release_values_to_json};
+
+type Rec = (u64, u64);
+
+/// A random delta-built dataset of pair records.
+fn pair_dataset() -> impl Strategy<Value = WeightedDataset<Rec>> {
+    proptest::collection::vec(((0u64..12, 0u64..6), -2.0f64..2.0), 1..40).prop_map(|deltas| {
+        let mut data = WeightedDataset::new();
+        for (record, delta) in deltas {
+            data.add_weight(record, delta);
+        }
+        data
+    })
+}
+
+/// One instruction of the random expression-plan builder (stack machine over
+/// `Plan<(u64, u64)>`, every payload an expression).
+#[derive(Debug, Clone)]
+enum ExprOp {
+    PushSource,
+    Dup,
+    Swap,
+    AddConst(u64),
+    Filter(u64),
+    SelectMany,
+    GroupBy(u64),
+    Shave,
+    Join(u64),
+    Union,
+    Intersect,
+    Concat,
+    Except,
+}
+
+fn expr_op() -> impl Strategy<Value = ExprOp> {
+    (0u8..13, 1u64..5).prop_map(|(op, k)| match op {
+        0 => ExprOp::PushSource,
+        1 => ExprOp::Dup,
+        2 => ExprOp::Swap,
+        3 => ExprOp::AddConst(k),
+        4 => ExprOp::Filter(k),
+        5 => ExprOp::SelectMany,
+        6 => ExprOp::GroupBy(k),
+        7 => ExprOp::Shave,
+        8 => ExprOp::Join(k),
+        9 => ExprOp::Union,
+        10 => ExprOp::Intersect,
+        11 => ExprOp::Concat,
+        _ => ExprOp::Except,
+    })
+}
+
+fn build_plan(source: &Plan<Rec>, program: &[ExprOp]) -> Plan<Rec> {
+    let x = Expr::input;
+    let mut stack: Vec<Plan<Rec>> = vec![source.clone()];
+    for op in program {
+        match op {
+            ExprOp::PushSource => stack.push(source.clone()),
+            ExprOp::Dup => {
+                let top = stack.last().expect("stack never empties").clone();
+                stack.push(top);
+            }
+            ExprOp::Swap => {
+                let top = stack.pop().unwrap();
+                stack.push(top.select_expr::<Rec>(Expr::tuple(vec![x().field(1), x().field(0)])));
+            }
+            ExprOp::AddConst(k) => {
+                let top = stack.pop().unwrap();
+                stack.push(top.select_expr::<Rec>(Expr::tuple(vec![
+                    x().field(0).add(Expr::u64(*k)),
+                    x().field(1),
+                ])));
+            }
+            ExprOp::Filter(k) => {
+                let top = stack.pop().unwrap();
+                stack.push(top.filter_expr(x().field(0).rem(Expr::u64(1 + *k)).ne(Expr::u64(0))));
+            }
+            ExprOp::SelectMany => {
+                let top = stack.pop().unwrap();
+                stack.push(top.select_many_unit_expr::<Rec>(vec![
+                    Expr::tuple(vec![x().field(0), Expr::u64(0)]),
+                    Expr::tuple(vec![x().field(1), Expr::u64(1)]),
+                ]));
+            }
+            ExprOp::GroupBy(k) => {
+                let top = stack.pop().unwrap();
+                stack.push(top.group_by_expr::<u64, u64>(
+                    x().field(0).rem(Expr::u64(1 + *k)),
+                    ReduceSpec::CountThen(Expr::input()),
+                ));
+            }
+            ExprOp::Shave => {
+                let top = stack.pop().unwrap();
+                stack.push(
+                    top.shave_const(0.5)
+                        .select_expr::<Rec>(Expr::tuple(vec![x().field(0).field(0), x().field(1)])),
+                );
+            }
+            ExprOp::Join(k) => {
+                if stack.len() < 2 {
+                    continue;
+                }
+                let right = stack.pop().unwrap();
+                let left = stack.pop().unwrap();
+                stack.push(left.join_expr::<Rec, u64, Rec>(
+                    &right,
+                    x().field(0).rem(Expr::u64(1 + *k)),
+                    x().field(0).rem(Expr::u64(1 + *k)),
+                    Expr::tuple(vec![x().field(0).field(0), x().field(1).field(1)]),
+                ));
+            }
+            ExprOp::Union | ExprOp::Intersect | ExprOp::Concat | ExprOp::Except => {
+                if stack.len() < 2 {
+                    continue;
+                }
+                let right = stack.pop().unwrap();
+                let left = stack.pop().unwrap();
+                stack.push(match op {
+                    ExprOp::Union => left.union(&right),
+                    ExprOp::Intersect => left.intersect(&right),
+                    ExprOp::Concat => left.concat(&right),
+                    _ => left.except(&right),
+                });
+            }
+        }
+    }
+    stack.pop().expect("stack never empties")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn random_expr_plans_round_trip_bytes_and_release_byte_identically(
+        program in proptest::collection::vec(expr_op(), 1..10),
+        data in pair_dataset(),
+    ) {
+        const SEED: u64 = 99;
+        const EPSILON: f64 = 0.75;
+
+        let source = Plan::<Rec>::source_expr("records");
+        let plan = build_plan(&source, &program);
+
+        // Plan → PlanSpec → bytes → PlanSpec, canonically.
+        let spec = plan.to_spec().expect("expression-built plans serialize");
+        let bytes = spec.to_json_string();
+        let reparsed = PlanSpec::from_json(&bytes).expect("bytes parse back");
+        prop_assert_eq!(&reparsed, &spec);
+        prop_assert_eq!(reparsed.to_json_string(), bytes);
+
+        // PlanSpec → Plan (dynamic records).
+        let rebuilt = plan_from_spec(&reparsed).expect("validated spec rebuilds");
+        let mut typed_bindings = PlanBindings::new();
+        typed_bindings.bind(&source, data.clone());
+        let mut dyn_bindings = PlanBindings::new();
+        for dyn_source in &rebuilt.sources {
+            prop_assert_eq!(dyn_source.name.as_str(), "records");
+            dyn_bindings.bind_shared(
+                &dyn_source.plan,
+                std::rc::Rc::new(dataset_to_values(&data)),
+            );
+        }
+
+        // Byte-identical releases across executors × optimize levels.
+        let sharded2 = ShardedExecutor::new(2);
+        let sharded8 = ShardedExecutor::new(8);
+        let executors: [&dyn wpinq::plan::Executor; 3] =
+            [&SequentialExecutor, &sharded2, &sharded8];
+        let reference = {
+            let out = plan.eval_opt(&typed_bindings, &SequentialExecutor, OptimizeLevel::None);
+            release_to_json(&NoisyCounts::measure(
+                &out,
+                EPSILON,
+                &mut StdRng::seed_from_u64(SEED),
+            ))
+        };
+        for executor in executors {
+            for level in [OptimizeLevel::None, OptimizeLevel::Full] {
+                let typed = plan.eval_opt(&typed_bindings, executor, level);
+                let typed_release = release_to_json(&NoisyCounts::measure(
+                    &typed,
+                    EPSILON,
+                    &mut StdRng::seed_from_u64(SEED),
+                ));
+                prop_assert_eq!(
+                    &typed_release, &reference,
+                    "typed release drifted ({} shards, {level})", executor.shard_count()
+                );
+                let dynamic = rebuilt.plan.eval_opt(&dyn_bindings, executor, level);
+                let dyn_release = release_values_to_json(&NoisyCounts::measure(
+                    &dynamic,
+                    EPSILON,
+                    &mut StdRng::seed_from_u64(SEED),
+                ));
+                prop_assert_eq!(
+                    &dyn_release, &reference,
+                    "dynamic release drifted ({} shards, {level})", executor.shard_count()
+                );
+            }
+        }
+    }
+}
+
+/// Rebuilt plans are themselves re-serializable: the dynamic reconstruction's
+/// pair-repacking adapters (after GroupBy/Shave) carry the value-level identity
+/// expression, so a service can persist or forward a received plan.
+#[test]
+fn rebuilt_plans_re_serialize_and_render_without_opaque_nodes() {
+    let x = Expr::input;
+    let source = Plan::<Rec>::source_expr("records");
+    let plan = source
+        .group_by_expr::<u64, u64>(x().field(0), ReduceSpec::CountThen(Expr::input()))
+        .shave_const(0.5)
+        .select_expr::<Rec>(Expr::tuple(vec![x().field(0).field(0), x().field(1)]));
+    let spec = plan.to_spec().unwrap();
+    let rebuilt = plan_from_spec(&spec).unwrap();
+
+    let respec = rebuilt
+        .plan
+        .to_spec()
+        .expect("dynamically rebuilt plans must stay serializable");
+    assert!(respec.validate().is_ok());
+    assert!(
+        !rebuilt.plan.render().contains("<fn>"),
+        "audit renders must not show nodes the analyst never authored:\n{}",
+        rebuilt.plan.render()
+    );
+
+    // And the re-serialized plan still evaluates identically.
+    let data: WeightedDataset<Rec> =
+        WeightedDataset::from_pairs((0u64..10).map(|i| ((i % 4, i), 1.0 + i as f64)));
+    let mut dyn_bindings = PlanBindings::new();
+    dyn_bindings.bind(&rebuilt.sources[0].plan, dataset_to_values(&data));
+    let first = rebuilt.plan.eval(&dyn_bindings);
+    let again = plan_from_spec(&respec).unwrap();
+    let mut again_bindings = PlanBindings::new();
+    again_bindings.bind(&again.sources[0].plan, dataset_to_values(&data));
+    let second = again.plan.eval(&again_bindings);
+    assert_eq!(first.len(), second.len());
+    for (record, weight) in first.iter() {
+        assert_eq!(weight.to_bits(), second.weight(record).to_bits());
+    }
+}

@@ -4,7 +4,12 @@
 //! budget; every differentially-private aggregation debits `k·ε` from the budget of every
 //! source it touches, where `k` is the number of times the query plan uses that source
 //! (Section 2.3 of the paper). Once the budget is exhausted, further measurements fail.
+//!
+//! For the multi-tenant measurement-service scenario, [`AnalystBudgets`] keys budgets by
+//! *(analyst, dataset)*: each analyst receives an independent grant per protected
+//! dataset, so one analyst exhausting their allowance never blocks another.
 
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use crate::error::BudgetError;
@@ -134,6 +139,48 @@ impl BudgetHandle {
     }
 }
 
+/// A registry of per-analyst, per-dataset budget grants — the accounting table of a
+/// multi-tenant measurement service.
+///
+/// Grants are independent [`BudgetHandle`]s: measuring against dataset `D` as analyst
+/// `a` debits only the `(a, D)` grant. An analyst with no grant for a dataset cannot
+/// measure it at all (the lookup fails before any evaluation happens).
+#[derive(Debug, Default)]
+pub struct AnalystBudgets {
+    grants: Mutex<HashMap<(String, String), BudgetHandle>>,
+}
+
+impl AnalystBudgets {
+    /// Creates an empty grant table.
+    pub fn new() -> Self {
+        AnalystBudgets::default()
+    }
+
+    /// Grants (or replaces) `analyst`'s budget for `dataset`, returning its handle.
+    pub fn grant(&self, analyst: &str, dataset: &str, budget: PrivacyBudget) -> BudgetHandle {
+        let handle = BudgetHandle::new(budget, format!("{analyst}@{dataset}"));
+        self.grants
+            .lock()
+            .expect("grant table poisoned")
+            .insert((analyst.to_string(), dataset.to_string()), handle.clone());
+        handle
+    }
+
+    /// The grant for `(analyst, dataset)`, when one exists.
+    pub fn lookup(&self, analyst: &str, dataset: &str) -> Option<BudgetHandle> {
+        self.grants
+            .lock()
+            .expect("grant table poisoned")
+            .get(&(analyst.to_string(), dataset.to_string()))
+            .cloned()
+    }
+
+    /// Remaining budget for `(analyst, dataset)`; `None` when no grant exists.
+    pub fn remaining(&self, analyst: &str, dataset: &str) -> Option<f64> {
+        self.lookup(analyst, dataset).map(|h| h.remaining())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,5 +249,33 @@ mod tests {
 
         let other = BudgetHandle::new(PrivacyBudget::new(1.0), "other");
         assert!(!h.same_budget(&other));
+    }
+
+    #[test]
+    fn analyst_grants_are_independent() {
+        let table = AnalystBudgets::new();
+        table.grant("alice", "edges", PrivacyBudget::new(1.0));
+        table.grant("bob", "edges", PrivacyBudget::new(2.0));
+        assert!(table.lookup("carol", "edges").is_none());
+        assert!(table.lookup("alice", "nodes").is_none());
+
+        table
+            .lookup("alice", "edges")
+            .unwrap()
+            .charge(0.75)
+            .unwrap();
+        assert!(crate::weights::approx_eq(
+            table.remaining("alice", "edges").unwrap(),
+            0.25
+        ));
+        // Bob's grant is untouched by Alice's spending.
+        assert!(crate::weights::approx_eq(
+            table.remaining("bob", "edges").unwrap(),
+            2.0
+        ));
+        assert_eq!(
+            table.lookup("alice", "edges").unwrap().label(),
+            "alice@edges"
+        );
     }
 }

@@ -58,11 +58,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub use wpinq_core::{aggregation, dataset, noise, operators, record, weights};
+pub use wpinq_core::{aggregation, dataset, noise, operators, record, value, weights};
 
 /// The incremental execution engine, re-exported so plan consumers can name its types
 /// (e.g. [`dataflow::Stream`] when binding a plan source to a delta stream).
 pub use wpinq_dataflow as dataflow;
+
+/// The first-order expression language and the `PlanSpec` wire format, re-exported so
+/// plan authors can build serializable plans (`Plan::select_expr` and friends) without a
+/// separate dependency.
+pub use wpinq_expr as expr;
 
 pub mod budget;
 pub mod error;
@@ -78,6 +83,8 @@ pub use plan::{Plan, PlanBindings, StreamBindings};
 pub use protected::ProtectedDataset;
 pub use queryable::Queryable;
 pub use record::Record;
+pub use value::{ExprRecord, Value, ValueType};
+pub use wpinq_expr::{Expr, PlanSpec, ReduceSpec};
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
@@ -94,5 +101,7 @@ pub mod prelude {
     pub use crate::protected::ProtectedDataset;
     pub use crate::queryable::Queryable;
     pub use crate::record::Record;
+    pub use crate::value::{ExprRecord, Value, ValueType};
     pub use crate::weights;
+    pub use wpinq_expr::{Expr, PlanSpec, ReduceSpec};
 }

@@ -33,6 +33,25 @@
 //! hand-wired graphs did. Source *references*, by contrast, are counted once per use, which
 //! is what makes a self-join cost `2ε` per measurement (Section 2.3 of the paper).
 //!
+//! ## Expression-built plans
+//!
+//! Operator payloads are ordinarily opaque Rust closures. Plans built through the
+//! `*_expr` constructors ([`Plan::source_expr`], [`Plan::select_expr`],
+//! [`Plan::filter_expr`], [`Plan::select_many_unit_expr`], [`Plan::group_by_expr`],
+//! [`Plan::join_expr`]) instead carry their payloads as first-order
+//! [`Expr`]essions — same evaluation, byte-identical releases — which makes them
+//!
+//! * **serializable**: [`Plan::to_spec`] emits the versioned `PlanSpec` wire format and
+//!   [`plan_from_spec`] rebuilds an executable plan over dynamic
+//!   [`Value`](wpinq_core::value::Value) records (the `wpinq-service` crate's
+//!   measurement server is built on this);
+//! * **readable**: [`Plan::render`] and [`Plan::explain`] pretty-print expression
+//!   payloads (`Where((x.0 != x.2))`) where closures show an opaque `<fn>`;
+//! * **more optimizable**: expression payloads have stable cross-process identities
+//!   (CSE deduplicates equal plans regardless of where they were built) and license the
+//!   key-preservation Where-into-`Join`/`SelectMany` pushdowns plus the
+//!   `Except(X, X) → ∅` collapse onto the free [`Plan::empty`] constant.
+//!
 //! ```
 //! use wpinq::plan::{Plan, PlanBindings};
 //! use wpinq::WeightedDataset;
@@ -57,15 +76,19 @@ mod executor;
 mod measurement;
 mod nodes;
 mod optimize;
+mod wire;
 
 use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use wpinq_core::dataset::WeightedDataset;
 use wpinq_core::record::Record;
 use wpinq_core::shard::ShardedDataset;
+use wpinq_core::value::{ExprRecord, Value, ValueType};
 use wpinq_dataflow::Stream;
+use wpinq_expr::{Expr, PlanSpec, ReduceSpec};
 
 pub use bindings::{PlanBindings, StreamBindings};
 pub use executor::{
@@ -74,12 +97,15 @@ pub use executor::{
 };
 pub use measurement::Measurement;
 pub use optimize::{OptimizeLevel, PlanExplain, OPTIMIZE_ENV};
+pub use wire::{dataset_to_values, plan_from_spec, DynPlan, DynSource};
 
 use nodes::{
-    BatchCtx, BinaryKind, BinaryNode, FilterNode, GroupByNode, InputNode, JoinNode, LowerCtx,
-    MultCtx, PlanNode, PredFn, SelectManyNode, SelectNode, ShardCtx, ShaveNode,
+    BatchCtx, BinaryKind, BinaryNode, EmptyNode, FilterNode, GroupByNode, InputNode, JoinExprs,
+    JoinNode, LowerCtx, MultCtx, PlanNode, PredFn, RenderCtx, SelectManyExprs, SelectManyNode,
+    SelectNode, ShardCtx, ShaveNode,
 };
 use optimize::{ClosureId, RefCounts, RewriteCtx};
+use wire::{decode_record, SpecCtx};
 
 /// Identifies one source (input) of a plan.
 ///
@@ -140,6 +166,13 @@ impl<T: Record> Plan<T> {
     /// [`StreamBindings::bind`] before lowering.
     pub fn source() -> Plan<T> {
         Plan::from_node(Rc::new(InputNode::new(InputId::fresh())))
+    }
+
+    /// The empty-dataset constant: evaluates to no records under any binding and has
+    /// multiplicity 0 against every source, so measuring it is free. The optimizer's
+    /// `Except(X, X) → ∅` rewrite produces this node.
+    pub fn empty() -> Plan<T> {
+        Plan::from_node(Rc::new(EmptyNode::new(None)))
     }
 
     /// The input id when this plan is a bare source, `None` otherwise.
@@ -290,6 +323,44 @@ impl<T: Record> Plan<T> {
             other.clone(),
             BinaryKind::Except,
         )))
+    }
+
+    // ---- serialization and rendering --------------------------------------------------
+
+    /// Serializes this plan into the [`PlanSpec`] wire format.
+    ///
+    /// Returns `None` when any reachable node carries a closure-only payload (plain
+    /// `select`, `filter`, … calls): only plans built from expressions
+    /// ([`source_expr`](Self::source_expr), [`select_expr`](Self::select_expr), …, plus
+    /// the always-serializable `shave_const` and set operations) can cross a process
+    /// boundary. Shared subplans serialize once, so the spec preserves the DAG.
+    pub fn to_spec(&self) -> Option<PlanSpec> {
+        let mut ctx = SpecCtx::new();
+        let root = self.spec_node(&mut ctx)?;
+        Some(ctx.finish(root))
+    }
+
+    pub(crate) fn spec_node(&self, ctx: &mut SpecCtx) -> Option<u32> {
+        if let Some(hit) = ctx.lookup(self.node_key()) {
+            return hit;
+        }
+        let result = self.node.to_spec(ctx);
+        ctx.store(self.node_key(), result);
+        result
+    }
+
+    /// Pretty-prints the plan tree. Expression-built payloads render as readable
+    /// expressions (`Where((x.0 != x.2))`); closure-built payloads as `<fn>`. Shared
+    /// subplans are labelled and rendered once.
+    pub fn render(&self) -> String {
+        let mut ctx = RenderCtx::new();
+        self.render_node(&mut ctx);
+        ctx.finish()
+    }
+
+    pub(crate) fn render_node(&self, ctx: &mut RenderCtx) {
+        let node: &dyn PlanNode<T> = &*self.node;
+        ctx.node(self.node_key(), &node);
     }
 
     // ---- sinks ------------------------------------------------------------------------
@@ -462,12 +533,11 @@ impl<T: Record> Plan<T> {
 
     /// Rewrites the plan for batch evaluation over `bindings`: like
     /// [`optimize_at`](Self::optimize_at), plus join input ordering from the bound source
-    /// cardinalities.
-    pub(crate) fn optimize_for_bindings(
-        &self,
-        level: OptimizeLevel,
-        bindings: &PlanBindings,
-    ) -> Plan<T> {
+    /// cardinalities (which never changes multiplicities). Callers that go on to
+    /// evaluate the returned plan should do so at [`OptimizeLevel::None`] — it is
+    /// already fully rewritten (this is what the measurement service does to pay for
+    /// the optimizer pass exactly once per request).
+    pub fn optimize_for_bindings(&self, level: OptimizeLevel, bindings: &PlanBindings) -> Plan<T> {
         optimize::rewrite_plan(self, level, Some(bindings.source_sizes()))
     }
 
@@ -488,6 +558,7 @@ impl<T: Record> Plan<T> {
             nodes_after: optimized.node_count(),
             before: self.multiplicities(),
             after: optimized.multiplicities(),
+            tree: optimized.render(),
         }
     }
 
@@ -521,15 +592,22 @@ impl<T: Record> Plan<T> {
         &self,
         pred: &PredFn<T>,
         pred_id: &ClosureId,
+        pred_expr: Option<&Expr>,
         ctx: &mut RewriteCtx<'_>,
     ) -> Plan<T> {
         if ctx.level().pushdown() && ctx.consumers(self.node_key()) <= 1 {
-            if let Some(pushed) = self.node.absorb_filter(pred, pred_id, ctx) {
+            if let Some(pushed) = self.node.absorb_filter(pred, pred_id, pred_expr, ctx) {
                 return pushed;
             }
         }
         let parent = self.rewrite_node(ctx);
-        nodes::cons_filter(ctx, parent, pred.clone(), pred_id.clone())
+        nodes::cons_filter(
+            ctx,
+            parent,
+            pred.clone(),
+            pred_id.clone(),
+            pred_expr.cloned(),
+        )
     }
 
     /// Whether a filter pushed at this plan would actually sink somewhere useful (see
@@ -559,6 +637,221 @@ impl<T: Record> Plan<T> {
         let computed = Rc::new(self.node.multiplicities(ctx));
         ctx.store(self.node_key(), computed.clone());
         computed
+    }
+}
+
+/// Expression-built plan construction, available for record types the expression
+/// language can represent (`ExprRecord`: integers, `bool`, `()`, and nested tuples).
+///
+/// These constructors mirror the closure-based operators but take [`Expr`] payloads:
+/// the built nodes evaluate identically (the closure interprets the expression over the
+/// record's [`Value`] form, releasing byte-identical measurements), while additionally
+/// being **serializable** ([`Plan::to_spec`]), **pretty-printable** ([`Plan::render`]),
+/// and **analysable** — carrying stable expression-derived closure identities, so the
+/// optimizer deduplicates structurally equal plans across call sites *and processes*,
+/// detects join-key equivalence, and runs the key-preservation filter pushdowns through
+/// `Join`/`SelectMany`.
+///
+/// Every constructor type-checks its expressions against the typed signature eagerly
+/// and panics on mismatch — the same failure mode as binding a plan source at the wrong
+/// type, caught at plan-construction time instead of evaluation time.
+impl<T: ExprRecord> Plan<T> {
+    fn conv() -> nodes::ToValueFn<T> {
+        Arc::new(|t: &T| t.to_value())
+    }
+
+    fn check(context: &str, expr: &Expr, input: &ValueType, expected: &ValueType) {
+        let inferred = expr
+            .infer(input)
+            .unwrap_or_else(|e| panic!("{context}: ill-typed expression {expr}: {e}"));
+        assert!(
+            inferred == *expected,
+            "{context}: expression {expr} has type {inferred}, expected {expected}"
+        );
+    }
+
+    /// A fresh **named** source: like [`Plan::source`], but carrying the stable name and
+    /// declared record type that identify it in the [`PlanSpec`] wire format (a
+    /// measurement service binds its protected dataset of this name).
+    pub fn source_expr(name: &str) -> Plan<T> {
+        Plan::from_node(Rc::new(InputNode::named(
+            InputId::fresh(),
+            name,
+            T::value_type(),
+        )))
+    }
+
+    /// The empty constant with its record type attached (serializable, unlike
+    /// [`Plan::empty`]).
+    pub fn empty_expr() -> Plan<T> {
+        Plan::from_node(Rc::new(EmptyNode::new(Some(T::value_type()))))
+    }
+
+    /// Expression-built [`select`](Plan::select): per-record transformation by `expr`.
+    pub fn select_expr<U: ExprRecord>(&self, expr: Expr) -> Plan<U> {
+        Self::check("select_expr", &expr, &T::value_type(), &U::value_type());
+        let conv = Self::conv();
+        let f = {
+            let expr = expr.clone();
+            Arc::new(move |t: &T| decode_record::<U>(expr.eval(&conv(t))))
+        };
+        Plan::from_node(Rc::new(SelectNode::from_expr(self.clone(), f, expr)))
+    }
+
+    /// Expression-built [`filter`](Plan::filter): `expr` must be a boolean predicate.
+    pub fn filter_expr(&self, expr: Expr) -> Plan<T> {
+        Self::check("filter_expr", &expr, &T::value_type(), &ValueType::Bool);
+        let conv = Self::conv();
+        let predicate = {
+            let expr = expr.clone();
+            Arc::new(move |t: &T| expr.eval_bool(&conv(t)))
+        };
+        Plan::from_node(Rc::new(FilterNode::from_expr(
+            self.clone(),
+            predicate,
+            expr,
+        )))
+    }
+
+    /// Expression-built [`select_many_unit`](Plan::select_many_unit): each expression
+    /// produces one unit-weight record per input record.
+    pub fn select_many_unit_expr<U: ExprRecord>(&self, exprs: Vec<Expr>) -> Plan<U> {
+        assert!(
+            !exprs.is_empty(),
+            "select_many_unit_expr needs at least one production"
+        );
+        for expr in &exprs {
+            Self::check(
+                "select_many_unit_expr",
+                expr,
+                &T::value_type(),
+                &U::value_type(),
+            );
+        }
+        let conv = Self::conv();
+        let produce = {
+            let exprs = exprs.clone();
+            let conv = conv.clone();
+            Arc::new(move |t: &T| {
+                let value = conv(t);
+                WeightedDataset::from_records(
+                    exprs.iter().map(|e| decode_record::<U>(e.eval(&value))),
+                )
+            })
+        };
+        let payload = SelectManyExprs {
+            exprs: Rc::new(exprs),
+            conv,
+        };
+        Plan::from_node(Rc::new(SelectManyNode::from_exprs(
+            self.clone(),
+            produce,
+            payload,
+        )))
+    }
+
+    /// Expression-built [`group_by`](Plan::group_by): an expression key and a
+    /// [`ReduceSpec`] reducer.
+    pub fn group_by_expr<K: ExprRecord, R: ExprRecord>(
+        &self,
+        key: Expr,
+        reduce: ReduceSpec,
+    ) -> Plan<(K, R)> {
+        Self::check(
+            "group_by_expr key",
+            &key,
+            &T::value_type(),
+            &K::value_type(),
+        );
+        let reduce_ty = reduce
+            .infer()
+            .unwrap_or_else(|e| panic!("group_by_expr reducer: {e}"));
+        assert!(
+            reduce_ty == R::value_type(),
+            "group_by_expr: reducer has type {reduce_ty}, expected {}",
+            R::value_type()
+        );
+        let conv = Self::conv();
+        let key_fn = {
+            let key = key.clone();
+            Arc::new(move |t: &T| decode_record::<K>(key.eval(&conv(t))))
+        };
+        let reduce_fn = {
+            let reduce = reduce.clone();
+            Arc::new(move |group: &[T]| decode_record::<R>(reduce.eval_count(group.len() as u64)))
+        };
+        Plan::from_node(Rc::new(GroupByNode::from_expr(
+            self.clone(),
+            key_fn,
+            reduce_fn,
+            key,
+            reduce,
+        )))
+    }
+
+    /// Expression-built [`join`](Plan::join): expression keys over each input and an
+    /// expression result selector over the matched pair `(self_record, other_record)`.
+    pub fn join_expr<U, K, R>(
+        &self,
+        other: &Plan<U>,
+        key_self: Expr,
+        key_other: Expr,
+        result: Expr,
+    ) -> Plan<R>
+    where
+        U: ExprRecord,
+        K: ExprRecord,
+        R: ExprRecord,
+    {
+        Self::check(
+            "join_expr left key",
+            &key_self,
+            &T::value_type(),
+            &K::value_type(),
+        );
+        Self::check(
+            "join_expr right key",
+            &key_other,
+            &U::value_type(),
+            &K::value_type(),
+        );
+        let pair_ty = ValueType::Tuple(vec![T::value_type(), U::value_type()]);
+        Self::check("join_expr result", &result, &pair_ty, &R::value_type());
+        let conv_left = Self::conv();
+        let conv_right: nodes::ToValueFn<U> = Arc::new(|u: &U| u.to_value());
+        let key_left_fn = {
+            let e = key_self.clone();
+            let conv = conv_left.clone();
+            Arc::new(move |t: &T| decode_record::<K>(e.eval(&conv(t))))
+        };
+        let key_right_fn = {
+            let e = key_other.clone();
+            let conv = conv_right.clone();
+            Arc::new(move |u: &U| decode_record::<K>(e.eval(&conv(u))))
+        };
+        let result_fn = {
+            let e = result.clone();
+            let conv_left = conv_left.clone();
+            let conv_right = conv_right.clone();
+            Arc::new(move |t: &T, u: &U| {
+                decode_record::<R>(e.eval(&Value::Tuple(vec![conv_left(t), conv_right(u)])))
+            })
+        };
+        let payload = JoinExprs {
+            key_left: key_self,
+            key_right: key_other,
+            result,
+            conv_left,
+            conv_right,
+        };
+        Plan::from_node(Rc::new(JoinNode::from_expr(
+            self.clone(),
+            other.clone(),
+            key_left_fn,
+            key_right_fn,
+            result_fn,
+            payload,
+        )))
     }
 }
 
@@ -730,6 +1023,84 @@ mod tests {
         assert!((scorer.distance() - 3.0).abs() < 1e-12);
         input.push(&[(4, 1.0), (6, 1.0), (3, 1.0)]);
         assert!(scorer.distance().abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_plans_cost_nothing_under_both_engines() {
+        let edges = Plan::<(u32, u32)>::source();
+        let plan = edges.select(|e| e.0).concat(&Plan::empty());
+        assert_eq!(plan.multiplicity_of(edges.input_id().unwrap()), 1);
+
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&edges, edge_data());
+        let batch = plan.eval(&bindings);
+        assert_eq!(batch.len(), 4);
+
+        // The empty constant lowers to a delta-less stream; the rest flows normally.
+        let (input, stream) = DataflowInput::new();
+        let mut streams = StreamBindings::new();
+        streams.bind(&edges, stream);
+        let collected = plan.lower(&streams).collect();
+        input.push_dataset(&edge_data());
+        assert!(collected.snapshot().approx_eq(&batch, 1e-9));
+
+        // A bare empty plan evaluates (and lowers) to nothing at all.
+        let bare = Plan::<u32>::empty();
+        assert!(bare.eval(&PlanBindings::new()).is_empty());
+        assert!(bare.multiplicities().is_empty());
+        assert!(bare
+            .lower(&StreamBindings::new())
+            .collect()
+            .snapshot()
+            .is_empty());
+    }
+
+    #[test]
+    fn expression_plans_render_and_serialize() {
+        use wpinq_core::value::ExprRecord;
+
+        let edges = Plan::<(u32, u32)>::source_expr("edges");
+        let paths = edges.join_expr::<(u32, u32), u32, (u32, u32, u32)>(
+            &edges,
+            Expr::input().field(1),
+            Expr::input().field(0),
+            Expr::tuple(vec![
+                Expr::input().field(0).field(0),
+                Expr::input().field(0).field(1),
+                Expr::input().field(1).field(1),
+            ]),
+        );
+        let filtered = paths.filter_expr(Expr::input().field(0).ne(Expr::input().field(2)));
+
+        let tree = filtered.render();
+        assert!(tree.contains("Where((x.0 != x.2))"), "{tree}");
+        assert!(tree.contains("Source(\"edges\""), "{tree}");
+        assert!(tree.contains("shared, rendered above"), "{tree}");
+
+        // Round trip: spec → bytes → spec → dynamic plan, equal data.
+        let spec = filtered.to_spec().expect("expr plan serializes");
+        let spec2 = PlanSpec::from_json(&spec.to_json_string()).unwrap();
+        let rebuilt = plan_from_spec(&spec2).unwrap();
+        let mut typed = PlanBindings::new();
+        typed.bind(&edges, edge_data());
+        let mut dynamic = PlanBindings::new();
+        dynamic.bind(&rebuilt.sources[0].plan, dataset_to_values(&edge_data()));
+        let a = filtered.eval(&typed);
+        let b = rebuilt.plan.eval(&dynamic);
+        assert_eq!(a.len(), b.len());
+        for (record, weight) in a.iter() {
+            assert_eq!(weight.to_bits(), b.weight(&record.to_value()).to_bits());
+        }
+
+        // Closure plans refuse to serialize.
+        assert!(filtered.filter(|p| p.1 > 0).to_spec().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "has type u64, expected bool")]
+    fn ill_typed_expressions_are_rejected_at_construction() {
+        let source = Plan::<(u32, u32)>::source_expr("edges");
+        let _ = source.filter_expr(Expr::input().field(0)); // not a boolean
     }
 
     #[test]

@@ -166,7 +166,13 @@ impl std::fmt::Display for OptimizeLevel {
 ///   reused while they matter.)
 /// * known adapters (`shave_const`) are identified by their constant parameters, and
 ///   optimizer-built closures (fused predicates, swapped join selectors) by the
-///   identities they were derived from.
+///   identities they were derived from;
+/// * expression-built payloads (`select_expr` and friends) are identified by the
+///   expression's canonical byte string — a *stable* identity: equal expressions built
+///   in different calls, different compilations, or different **processes** compare
+///   equal, so CSE deduplicates wire-shipped plans exactly like locally built ones
+///   (this is also what makes join-key equivalence detectable: two joins whose key
+///   expressions serialize identically provably key on the same function).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) enum ClosureId {
     /// A zero-sized closure: behaviour fully determined by its type.
@@ -177,6 +183,9 @@ pub(crate) enum ClosureId {
     Const(&'static str, u64),
     /// A closure the optimizer derived from others (fused predicate, swapped selector).
     Derived(&'static str, Rc<Vec<ClosureId>>),
+    /// An expression-built payload: the expression's canonical serialization, stable
+    /// across call sites and processes.
+    Expr(Rc<str>),
 }
 
 impl ClosureId {
@@ -198,6 +207,11 @@ impl ClosureId {
     pub(crate) fn derived(tag: &'static str, parts: Vec<ClosureId>) -> ClosureId {
         ClosureId::Derived(tag, Rc::new(parts))
     }
+
+    /// The stable identity of an expression-built payload.
+    pub(crate) fn expr(canonical: String) -> ClosureId {
+        ClosureId::Expr(Rc::from(canonical))
+    }
 }
 
 // ---------------------------------------------------------------------------------------
@@ -218,6 +232,7 @@ pub(crate) enum OpTag {
     Intersect,
     Concat,
     Except,
+    Empty,
 }
 
 /// The structural identity of one rewritten node: operator kind, output record type,
@@ -430,6 +445,11 @@ pub struct PlanExplain {
     pub before: BTreeMap<InputId, u32>,
     /// Per-source reference counts after rewriting.
     pub after: BTreeMap<InputId, u32>,
+    /// The rewritten plan, pretty-printed: expression-built predicates/keys/selectors
+    /// render as readable expressions (`Where((x.0 != x.2))`); closure-built payloads as
+    /// an opaque `<fn>` placeholder. This is the analyst-visible plan a measurement
+    /// service logs alongside each request.
+    pub tree: String,
 }
 
 impl PlanExplain {
@@ -462,12 +482,13 @@ impl std::fmt::Display for PlanExplain {
                  (measurement at epsilon costs {before}e -> {after}e)"
             )?;
         }
-        write!(
+        writeln!(
             f,
             "  total source multiplicity: {} -> {}",
             self.total_before(),
             self.total_after()
-        )
+        )?;
+        write!(f, "{}", self.tree)
     }
 }
 

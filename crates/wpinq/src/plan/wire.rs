@@ -1,0 +1,274 @@
+//! Plan ↔ wire-format conversion: serializing expression-built plans and rebuilding
+//! executable plans from received [`PlanSpec`]s.
+//!
+//! Serialization ([`Plan::to_spec`]) walks the DAG and emits one [`SpecNode`] per
+//! distinct node (shared subplans serialize once, preserving the DAG), provided every
+//! payload on the way carries an expression form; a single closure-built payload makes
+//! the plan non-serializable and `to_spec` returns `None`.
+//!
+//! Deserialization ([`plan_from_spec`]) cannot conjure the analyst's monomorphised Rust
+//! types, so it rebuilds the plan over the **dynamic** record representation: every node
+//! is a `Plan<Value>` whose operator closures interpret the wire expressions. Because
+//! [`Value`] conversion preserves record identity and ordering (see
+//! [`wpinq_core::value`]), and operator kernels accumulate canonically, a dynamic
+//! evaluation releases **byte-identical** noisy measurements to the typed plan it was
+//! serialized from — under every executor and optimize level. This is what lets a
+//! measurement service own the data while analysts own only plan text.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use wpinq_core::dataset::WeightedDataset;
+use wpinq_core::value::{ExprRecord, Value, ValueType};
+use wpinq_expr::{PlanSpec, SpecNode, WireError};
+
+use super::nodes::{
+    EmptyNode, FilterNode, GroupByNode, InputNode, JoinExprs, JoinNode, SelectManyExprs,
+    SelectManyNode, SelectNode,
+};
+use super::{InputId, Plan};
+
+/// State of one plan serialization: the spec nodes emitted so far plus a memo from plan
+/// node identity to spec index (`None` memoizes "not serializable" so shared failures are
+/// not re-walked).
+pub(crate) struct SpecCtx {
+    nodes: Vec<SpecNode>,
+    memo: HashMap<usize, Option<u32>>,
+}
+
+impl SpecCtx {
+    pub(crate) fn new() -> Self {
+        SpecCtx {
+            nodes: Vec::new(),
+            memo: HashMap::new(),
+        }
+    }
+
+    /// Appends a spec node, returning its index.
+    pub(crate) fn push(&mut self, node: SpecNode) -> u32 {
+        self.nodes.push(node);
+        (self.nodes.len() - 1) as u32
+    }
+
+    pub(crate) fn lookup(&self, key: usize) -> Option<Option<u32>> {
+        self.memo.get(&key).copied()
+    }
+
+    pub(crate) fn store(&mut self, key: usize, index: Option<u32>) {
+        self.memo.insert(key, index);
+    }
+
+    pub(crate) fn finish(self, root: u32) -> PlanSpec {
+        PlanSpec {
+            nodes: self.nodes,
+            root,
+        }
+    }
+}
+
+/// Decodes an expression result into a typed record, with a diagnosable panic on
+/// mismatch (typed expression constructors type-check eagerly, so this only fires on an
+/// internal inconsistency).
+pub(crate) fn decode_record<R: ExprRecord>(value: Value) -> R {
+    R::from_value(&value).unwrap_or_else(|| {
+        panic!(
+            "expression produced {value:?}, which does not decode as {}",
+            std::any::type_name::<R>()
+        )
+    })
+}
+
+/// One named source of a dynamically rebuilt plan.
+pub struct DynSource {
+    /// The dataset name the executing side must bind.
+    pub name: String,
+    /// The declared record type.
+    pub ty: ValueType,
+    /// The source plan (bind a `WeightedDataset<Value>` of shape `ty` to it).
+    pub plan: Plan<Value>,
+}
+
+/// A plan rebuilt from a [`PlanSpec`], executable over dynamic [`Value`] records.
+pub struct DynPlan {
+    /// The root (output) plan.
+    pub plan: Plan<Value>,
+    /// The named sources, in spec order (one entry per `Source` node).
+    pub sources: Vec<DynSource>,
+}
+
+/// Converts a typed dataset to its dynamic representation (same support, same weights,
+/// same sorted order).
+pub fn dataset_to_values<T: ExprRecord>(data: &WeightedDataset<T>) -> WeightedDataset<Value> {
+    let mut out = WeightedDataset::with_capacity(data.len());
+    for (record, weight) in data.iter() {
+        out.set_weight(record.to_value(), weight);
+    }
+    out
+}
+
+/// The value-level identity `(x.0, x.1)` the dynamic rebuild attaches to its
+/// pair-repacking adapters (see the GroupBy/ShaveConst arms of [`plan_from_spec`]).
+fn pair_repack_expr() -> wpinq_expr::Expr {
+    use wpinq_expr::Expr;
+    Expr::tuple(vec![Expr::input().field(0), Expr::input().field(1)])
+}
+
+/// Rebuilds an executable [`Plan<Value>`] from a validated wire-format plan.
+///
+/// The spec is [`validate`](PlanSpec::validate)d first, so the returned plan's
+/// interpreter closures can never hit a type error at evaluation time.
+pub fn plan_from_spec(spec: &PlanSpec) -> Result<DynPlan, WireError> {
+    spec.validate()?;
+    let identity: super::nodes::ToValueFn<Value> = Arc::new(|v: &Value| v.clone());
+    let mut plans: Vec<Plan<Value>> = Vec::with_capacity(spec.nodes.len());
+    let mut sources = Vec::new();
+    for node in &spec.nodes {
+        let built = match node {
+            SpecNode::Source { name, ty } => {
+                let plan = Plan::from_node(Rc::new(InputNode::<Value>::named(
+                    InputId::fresh(),
+                    name,
+                    ty.clone(),
+                )));
+                sources.push(DynSource {
+                    name: name.clone(),
+                    ty: ty.clone(),
+                    plan: plan.clone(),
+                });
+                plan
+            }
+            SpecNode::Select { input, expr } => {
+                let parent = plans[*input as usize].clone();
+                let f = {
+                    let expr = expr.clone();
+                    Arc::new(move |v: &Value| expr.eval(v))
+                };
+                Plan::from_node(Rc::new(SelectNode::from_expr(parent, f, expr.clone())))
+            }
+            SpecNode::Where { input, expr } => {
+                let parent = plans[*input as usize].clone();
+                let predicate = {
+                    let expr = expr.clone();
+                    Arc::new(move |v: &Value| expr.eval_bool(v))
+                };
+                Plan::from_node(Rc::new(FilterNode::from_expr(
+                    parent,
+                    predicate,
+                    expr.clone(),
+                )))
+            }
+            SpecNode::SelectManyUnit { input, exprs } => {
+                let parent = plans[*input as usize].clone();
+                let produce = {
+                    let exprs = exprs.clone();
+                    Arc::new(move |v: &Value| {
+                        WeightedDataset::from_records(exprs.iter().map(|e| e.eval(v)))
+                    })
+                };
+                let payload = SelectManyExprs {
+                    exprs: Rc::new(exprs.clone()),
+                    conv: identity.clone(),
+                };
+                Plan::from_node(Rc::new(SelectManyNode::from_exprs(
+                    parent, produce, payload,
+                )))
+            }
+            SpecNode::GroupBy { input, key, reduce } => {
+                let parent = plans[*input as usize].clone();
+                let key_fn = {
+                    let key = key.clone();
+                    Arc::new(move |v: &Value| key.eval(v))
+                };
+                let reduce_fn = {
+                    let reduce = reduce.clone();
+                    Arc::new(move |group: &[Value]| reduce.eval_count(group.len() as u64))
+                };
+                let grouped: Plan<(Value, Value)> = Plan::from_node(Rc::new(
+                    GroupByNode::from_expr(parent, key_fn, reduce_fn, key.clone(), reduce.clone()),
+                ));
+                // Repack the typed pair as a dynamic tuple so downstream expressions see
+                // the same shape the typed plan's records convert to. The mapping is a
+                // bijection that preserves sorted order, so releases stay byte-aligned.
+                // At the value level it is the identity `(x.0, x.1)`, and carrying that
+                // expression keeps rebuilt plans re-serializable and audit renders free
+                // of `<fn>` nodes the analyst never authored.
+                let repack =
+                    Arc::new(|(k, r): &(Value, Value)| Value::Tuple(vec![k.clone(), r.clone()]));
+                Plan::from_node(Rc::new(SelectNode::from_expr(
+                    grouped,
+                    repack,
+                    pair_repack_expr(),
+                )))
+            }
+            SpecNode::ShaveConst { input, step } => {
+                let parent = plans[*input as usize].clone();
+                // Same repacking argument as GroupBy for the (record, slice) pair.
+                let repack =
+                    Arc::new(|(v, i): &(Value, u64)| Value::Tuple(vec![v.clone(), Value::U64(*i)]));
+                Plan::from_node(Rc::new(SelectNode::from_expr(
+                    parent.shave_const(*step),
+                    repack,
+                    pair_repack_expr(),
+                )))
+            }
+            SpecNode::Join {
+                left,
+                right,
+                key_left,
+                key_right,
+                result,
+            } => {
+                let left = plans[*left as usize].clone();
+                let right = plans[*right as usize].clone();
+                let key_left_fn = {
+                    let e = key_left.clone();
+                    Arc::new(move |v: &Value| e.eval(v))
+                };
+                let key_right_fn = {
+                    let e = key_right.clone();
+                    Arc::new(move |v: &Value| e.eval(v))
+                };
+                let result_fn = {
+                    let e = result.clone();
+                    Arc::new(move |a: &Value, b: &Value| {
+                        e.eval(&Value::Tuple(vec![a.clone(), b.clone()]))
+                    })
+                };
+                let payload = JoinExprs {
+                    key_left: key_left.clone(),
+                    key_right: key_right.clone(),
+                    result: result.clone(),
+                    conv_left: identity.clone(),
+                    conv_right: identity.clone(),
+                };
+                Plan::from_node(Rc::new(JoinNode::from_expr(
+                    left,
+                    right,
+                    key_left_fn,
+                    key_right_fn,
+                    result_fn,
+                    payload,
+                )))
+            }
+            SpecNode::Union { left, right } => plans[*left as usize].union(&plans[*right as usize]),
+            SpecNode::Intersect { left, right } => {
+                plans[*left as usize].intersect(&plans[*right as usize])
+            }
+            SpecNode::Concat { left, right } => {
+                plans[*left as usize].concat(&plans[*right as usize])
+            }
+            SpecNode::Except { left, right } => {
+                plans[*left as usize].except(&plans[*right as usize])
+            }
+            SpecNode::Empty { ty } => {
+                Plan::from_node(Rc::new(EmptyNode::<Value>::new(Some(ty.clone()))))
+            }
+        };
+        plans.push(built);
+    }
+    Ok(DynPlan {
+        plan: plans[spec.root as usize].clone(),
+        sources,
+    })
+}

@@ -28,6 +28,8 @@ use crate::plan::{
 };
 use crate::protected::SourceId;
 use crate::record::Record;
+use crate::value::ExprRecord;
+use wpinq_expr::{Expr, ReduceSpec};
 
 /// One protected source feeding the query plan.
 #[derive(Debug, Clone)]
@@ -476,6 +478,56 @@ impl<T: Record> Queryable<T> {
         let data = self.materialize().clone();
         self.charge_all(epsilon)?;
         Ok(crate::aggregation::noisy_sum(&data, f, epsilon, rng))
+    }
+}
+
+/// Expression-built transformations (see the [`Plan`] expression constructors): same
+/// accounting and bitwise-identical measurements as the closure forms, but the derived
+/// query stays serializable and its payloads render readably in
+/// [`explain`](Queryable::explain) output.
+impl<T: ExprRecord> Queryable<T> {
+    /// Expression-built [`select`](Self::select).
+    pub fn select_expr<U: ExprRecord>(&self, expr: Expr) -> Queryable<U> {
+        self.derived(self.plan.select_expr(expr))
+    }
+
+    /// Expression-built [`filter`](Self::filter).
+    pub fn filter_expr(&self, expr: Expr) -> Queryable<T> {
+        self.derived(self.plan.filter_expr(expr))
+    }
+
+    /// Expression-built [`select_many_unit`](Self::select_many_unit).
+    pub fn select_many_unit_expr<U: ExprRecord>(&self, exprs: Vec<Expr>) -> Queryable<U> {
+        self.derived(self.plan.select_many_unit_expr(exprs))
+    }
+
+    /// Expression-built [`group_by`](Self::group_by).
+    pub fn group_by_expr<K: ExprRecord, R: ExprRecord>(
+        &self,
+        key: Expr,
+        reduce: ReduceSpec,
+    ) -> Queryable<(K, R)> {
+        self.derived(self.plan.group_by_expr(key, reduce))
+    }
+
+    /// Expression-built [`join`](Self::join).
+    pub fn join_expr<U, K, R>(
+        &self,
+        other: &Queryable<U>,
+        key_self: Expr,
+        key_other: Expr,
+        result: Expr,
+    ) -> Queryable<R>
+    where
+        U: ExprRecord,
+        K: ExprRecord,
+        R: ExprRecord,
+    {
+        self.combined(
+            other,
+            self.plan
+                .join_expr::<U, K, R>(&other.plan, key_self, key_other, result),
+        )
     }
 }
 

@@ -307,3 +307,274 @@ fn workload_release_bytes_are_pinned_across_levels() {
         );
     }
 }
+
+/// `Except(X, X) → ∅`: the collapse zeroes the charged ε (the released function is the
+/// constant empty dataset) while the evaluation stays bitwise identical — the
+/// element-wise kernel cancels every weight to exactly 0.0 and prunes it, so the
+/// unoptimized plan evaluates to the empty dataset too.
+#[test]
+fn except_of_identical_branches_collapses_to_the_free_empty_plan() {
+    let edges = Plan::<(u32, u32)>::source();
+    let id = edges.input_id().unwrap();
+    fn chain(edges: &Plan<(u32, u32)>) -> Plan<u64> {
+        edges.select(|e| e.0).shave_const(1.0).select(|(_, i)| *i)
+    }
+    // Two separately built, structurally equal chains: CSE merges them first, then the
+    // Except collapse sees one node on both sides.
+    let plan = chain(&edges).except(&chain(&edges));
+    assert_eq!(plan.multiplicity_of(id), 2);
+    let optimized = plan.optimize_at(OptimizeLevel::Full);
+    assert_eq!(
+        optimized.multiplicity_of(id),
+        0,
+        "the empty constant references no source"
+    );
+    let explain = plan.explain_at(OptimizeLevel::Full);
+    assert!(explain.epsilon_saved());
+    assert_eq!(explain.total_after(), 0);
+    assert!(explain.tree.contains("Empty"), "{}", explain.tree);
+
+    let mut bindings = PlanBindings::new();
+    bindings.bind(
+        &edges,
+        WeightedDataset::from_records([(1u32, 2u32), (2, 1), (2, 3), (3, 2)]),
+    );
+    let reference = plan.eval_opt(&bindings, &SequentialExecutor, OptimizeLevel::None);
+    assert!(reference.is_empty(), "X − X cancels exactly");
+    for n in SHARD_COUNTS {
+        let sharded = plan.eval_opt(&bindings, &ShardedExecutor::new(n), OptimizeLevel::Full);
+        assert!(sharded.is_empty());
+    }
+
+    // An authored empty plan also costs nothing and survives both engines.
+    let authored = Plan::<u64>::empty().concat(&chain(&edges));
+    assert_eq!(authored.multiplicity_of(id), 1);
+    let out = authored.eval_opt(&bindings, &SequentialExecutor, OptimizeLevel::Full);
+    let direct = chain(&edges).eval_opt(&bindings, &SequentialExecutor, OptimizeLevel::None);
+    assert_eq!(out.len(), direct.len(), "empty ++ chain record set");
+    for (record, weight) in direct.iter() {
+        assert_eq!(
+            weight.to_bits(),
+            out.weight(record).to_bits(),
+            "empty ++ chain weight of {record:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random tails stacked on `Except(X, X)` stay bitwise identical between the
+    /// unoptimized evaluation and the empty-collapsed plan, under every executor.
+    #[test]
+    fn except_collapse_is_bitwise_neutral_under_random_tails(
+        program in proptest::collection::vec(plan_op(), 0..6),
+        tail in proptest::collection::vec(plan_op(), 0..6),
+        data in delta_dataset(),
+    ) {
+        let source = Plan::<u32>::source();
+        let shared = build_plan(&source, &program);
+        let plan = build_plan(&shared.except(&shared), &tail);
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&source, data);
+        let reference = plan.eval_opt(&bindings, &SequentialExecutor, OptimizeLevel::None);
+        for n in SHARD_COUNTS {
+            let sharded = plan.eval_opt(&bindings, &ShardedExecutor::new(n), OptimizeLevel::Full);
+            assert_bitwise_eq(&sharded, &reference, &format!("{n}-shard except-collapse"));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Expression-enabled pushdowns (Where into Join / SelectMany)
+// ---------------------------------------------------------------------------------------
+
+mod expr_pushdown {
+    use super::*;
+    use wpinq::{Expr, ReduceSpec};
+
+    fn edge_data() -> WeightedDataset<(u32, u32)> {
+        WeightedDataset::from_records([
+            (1u32, 2u32),
+            (2, 1),
+            (2, 3),
+            (3, 2),
+            (1, 3),
+            (3, 1),
+            (3, 4),
+            (4, 3),
+            (4, 5),
+            (5, 4),
+        ])
+    }
+
+    /// The expression form of the paper's length-two-paths query with a key-determined
+    /// filter on top: `p.1` *is* the join key, so the predicate provably factors through
+    /// it and sinks into **both** join inputs — the rewrite opaque closures could never
+    /// license. Weights are untouched: surviving key groups keep both sides intact, so
+    /// the per-key norms the join divides by are identical.
+    #[test]
+    fn key_determined_filters_sink_into_both_join_inputs() {
+        let x = Expr::input;
+        let edges = Plan::<(u32, u32)>::source_expr("edges");
+        let paths = edges.join_expr::<(u32, u32), u32, (u32, u32, u32)>(
+            &edges,
+            x().field(1),
+            x().field(0),
+            Expr::tuple(vec![
+                x().field(0).field(0),
+                x().field(0).field(1),
+                x().field(1).field(1),
+            ]),
+        );
+        // Keep only paths whose middle vertex is 3 — a function of the join key alone.
+        let filtered = paths.filter_expr(x().field(1).eq(Expr::u64(3)));
+        let optimized = filtered.optimize_at(OptimizeLevel::Full);
+
+        // Structure: the filter is gone from above the join and sits on the inputs.
+        let tree = optimized.render();
+        let root_line = tree.lines().next().unwrap();
+        assert!(
+            root_line.contains("Join"),
+            "root must be the join after pushdown:\n{tree}"
+        );
+        assert!(
+            tree.contains("Where((x.1 == 3))") && tree.contains("Where((x.0 == 3))"),
+            "both inputs must carry the keyed predicate:\n{tree}"
+        );
+
+        // Semantics: bitwise identical to the unoptimized evaluation, every executor.
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&edges, edge_data());
+        let reference = filtered.eval_opt(&bindings, &SequentialExecutor, OptimizeLevel::None);
+        assert!(reference.iter().all(|(p, _)| p.1 == 3));
+        assert!(!reference.is_empty());
+        for n in SHARD_COUNTS {
+            let sharded =
+                filtered.eval_opt(&bindings, &ShardedExecutor::new(n), OptimizeLevel::Full);
+            assert_eq!(sharded.len(), reference.len());
+            for (record, weight) in reference.iter() {
+                assert_eq!(
+                    weight.to_bits(),
+                    sharded.weight(record).to_bits(),
+                    "{n}-shard weight of {record:?} differs"
+                );
+            }
+        }
+    }
+
+    /// A predicate that reads a non-key field must *not* cross the join (it would change
+    /// the per-key norms); the filter stays above.
+    #[test]
+    fn non_key_predicates_stay_above_the_join() {
+        let x = Expr::input;
+        let edges = Plan::<(u32, u32)>::source_expr("edges");
+        let paths = edges.join_expr::<(u32, u32), u32, (u32, u32, u32)>(
+            &edges,
+            x().field(1),
+            x().field(0),
+            Expr::tuple(vec![
+                x().field(0).field(0),
+                x().field(0).field(1),
+                x().field(1).field(1),
+            ]),
+        );
+        let filtered = paths.filter_expr(x().field(0).ne(x().field(2)));
+        let optimized = filtered.optimize_at(OptimizeLevel::Full);
+        let root_line = optimized.render().lines().next().unwrap().to_string();
+        assert!(
+            root_line.contains("Where"),
+            "endpoint predicate reads non-key fields and must stay put: {root_line}"
+        );
+
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&edges, edge_data());
+        let reference = filtered.eval_opt(&bindings, &SequentialExecutor, OptimizeLevel::None);
+        let optimized_out = filtered.eval_opt(&bindings, &SequentialExecutor, OptimizeLevel::Full);
+        assert_eq!(reference.len(), optimized_out.len());
+        for (record, weight) in reference.iter() {
+            assert_eq!(weight.to_bits(), optimized_out.weight(record).to_bits());
+        }
+    }
+
+    /// Where-into-SelectMany: when every production agrees on the predicate (here both
+    /// produced records copy the decided field unchanged), survival is a function of the
+    /// input record, so the filter hops below the renormalising operator bitwise-safely.
+    #[test]
+    fn production_agreeing_filters_sink_below_select_many() {
+        let x = Expr::input;
+        let source = Plan::<(u64, u64)>::source_expr("records");
+        // Each record produces (key, 0) and (key, 1): the first field is preserved.
+        let spread = source.select_many_unit_expr::<(u64, u64)>(vec![
+            Expr::tuple(vec![x().field(0), Expr::u64(0)]),
+            Expr::tuple(vec![x().field(0), Expr::u64(1)]),
+        ]);
+        let filtered = spread.filter_expr(x().field(0).rem(Expr::u64(3)).ne(Expr::u64(0)));
+        let optimized = filtered.optimize_at(OptimizeLevel::Full);
+        let tree = optimized.render();
+        assert!(
+            tree.lines().next().unwrap().contains("SelectMany"),
+            "filter must sink below the SelectMany:\n{tree}"
+        );
+
+        let mut bindings = PlanBindings::new();
+        bindings.bind(
+            &source,
+            WeightedDataset::from_pairs((0u64..20).map(|i| ((i, i % 4), 0.5 + i as f64))),
+        );
+        let reference = filtered.eval_opt(&bindings, &SequentialExecutor, OptimizeLevel::None);
+        for n in SHARD_COUNTS {
+            let sharded =
+                filtered.eval_opt(&bindings, &ShardedExecutor::new(n), OptimizeLevel::Full);
+            assert_eq!(sharded.len(), reference.len());
+            for (record, weight) in reference.iter() {
+                assert_eq!(
+                    weight.to_bits(),
+                    sharded.weight(record).to_bits(),
+                    "{n}-shard weight of {record:?} differs"
+                );
+            }
+        }
+
+        // A predicate over the *varying* field must stay above (productions disagree).
+        let disagreeing = spread.filter_expr(x().field(1).eq(Expr::u64(0)));
+        let kept = disagreeing.optimize_at(OptimizeLevel::Full);
+        assert!(
+            kept.render().lines().next().unwrap().contains("Where"),
+            "slice-index predicate must not sink:\n{}",
+            kept.render()
+        );
+        let ref2 = disagreeing.eval_opt(&bindings, &SequentialExecutor, OptimizeLevel::None);
+        let opt2 = disagreeing.eval_opt(&bindings, &SequentialExecutor, OptimizeLevel::Full);
+        assert_eq!(ref2.len(), opt2.len());
+        for (record, weight) in ref2.iter() {
+            assert_eq!(weight.to_bits(), opt2.weight(record).to_bits());
+        }
+    }
+
+    /// The degree workload's bucketed lookup: expression identity lets a filter fused
+    /// through a select land on a group-by input it could never reach before — and the
+    /// whole pipeline stays serializable after optimization.
+    #[test]
+    fn optimized_expression_plans_stay_serializable() {
+        let x = Expr::input;
+        let edges = Plan::<(u32, u32)>::source_expr("edges");
+        let degrees = edges.group_by_expr::<u32, u64>(
+            x().field(0),
+            ReduceSpec::CountThen(Expr::input().div(Expr::u64(2))),
+        );
+        let filtered = degrees.filter_expr(x().field(1).gt(Expr::u64(0)));
+        let optimized = filtered.optimize_at(OptimizeLevel::Full);
+        let spec = optimized.to_spec().expect("optimized expr plan serializes");
+        assert!(spec.validate().is_ok());
+
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&edges, edge_data());
+        let reference = filtered.eval_opt(&bindings, &SequentialExecutor, OptimizeLevel::None);
+        let optimized_out = optimized.eval_opt(&bindings, &SequentialExecutor, OptimizeLevel::None);
+        assert_eq!(reference.len(), optimized_out.len());
+        for (record, weight) in reference.iter() {
+            assert_eq!(weight.to_bits(), optimized_out.weight(record).to_bits());
+        }
+    }
+}
