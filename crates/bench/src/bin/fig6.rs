@@ -47,6 +47,7 @@ fn main() {
             triangle_query: TriangleQuery::TbI,
             score_degrees: false,
             threads: args.threads_or_env(),
+            inc_shards: 0,
         };
         let (result, growth) = measure_growth(|| {
             wpinq_mcmc::synthesis::synthesize(&entry.graph, &config, &mut rng)
@@ -88,6 +89,7 @@ fn main() {
                 triangle_query: TriangleQuery::TbI,
                 score_degrees: false,
                 threads: args.threads_or_env(),
+                inc_shards: 0,
             };
             wpinq_mcmc::synthesis::synthesize(graph, &config, &mut rng)
                 .expect("synthesis within budget")

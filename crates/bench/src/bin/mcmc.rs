@@ -1,0 +1,225 @@
+//! MCMC incremental-engine benchmark: edge-swap throughput per backend × shard count.
+//!
+//! Runs the Metropolis–Hastings edge-swap walk (the synthesis loop's dominant cost)
+//! against TbI + degree-sequence scorers lowered onto each incremental engine — the
+//! sequential `Stream` graph and the sharded engine at 1/2/4/8 shards — and records
+//! steps/sec into `BENCH_mcmc.json`. Along the way it asserts the engines stay
+//! **bitwise identical**: every backend walks the identical seeded trajectory (energies
+//! and final graphs equal to the last bit), so the numbers compare like for like.
+//!
+//! Rows use the same `(workload, executor, shards, wall_ms)` schema as
+//! `BENCH_parallel.json`, so `bench --bin gate` gates this file unchanged
+//! (`--baseline BENCH_mcmc.json --fresh BENCH_mcmc_fresh.json`). Each backend emits
+//! **two** workload rows — `mcmc-load` (scorer lowering + initial bulk dataset load)
+//! and `mcmc-swaps` (the walk itself) — so the gate's per-(executor, shards) relative
+//! normalisation has intra-group contrast: one of the pair regressing against the other
+//! trips the per-row threshold, and a whole group regressing together trips the
+//! group-median allowance.
+//!
+//! Flags: `--scale full` for the full-size stand-ins, `--steps N` (default 2000 quick /
+//! 10000 full), `--seed N`, `--out PATH`.
+//!
+//! Speedups depend on the hardware: per-operator workers run on `std::thread::scope`
+//! threads, so a single-core container (`hardware_threads` in the JSON) cannot show
+//! wall-clock wins — and small swap batches run inline below the engine's parallel
+//! cutover regardless. Bitwise equality must (and does) hold either way.
+
+use std::time::Instant;
+
+use bench::report::{fmt_f, heading, Table};
+use bench::{smallsets, HarnessArgs};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wpinq::plan::IncrementalEngine;
+use wpinq::PrivacyBudget;
+use wpinq_analyses::degree::degree_sequence_query;
+use wpinq_analyses::edges::GraphEdges;
+use wpinq_analyses::tbi::TbiMeasurement;
+use wpinq_mcmc::scorers::{degree_sequence_scorer, tbi_scorer};
+use wpinq_mcmc::{GraphCandidate, MetropolisHastings, StepOutcome};
+
+struct Row {
+    workload: &'static str,
+    executor: &'static str,
+    shards: usize,
+    wall_ms: f64,
+    steps_per_sec: f64,
+    accepted: u64,
+    final_energy: f64,
+}
+
+fn run_walk(
+    secret: &wpinq_graph::Graph,
+    seed_graph: &wpinq_graph::Graph,
+    engine: IncrementalEngine,
+    steps: u64,
+    seed: u64,
+) -> (Row, Row, Vec<(u32, u32)>) {
+    let edges = GraphEdges::new(secret, PrivacyBudget::unlimited());
+    let mut measure_rng = StdRng::seed_from_u64(seed);
+    let tbi = TbiMeasurement::measure(&edges.queryable(), 1e5, &mut measure_rng)
+        .expect("unlimited budget");
+    let seq = degree_sequence_query(&edges.queryable())
+        .noisy_count(1e5, &mut measure_rng)
+        .expect("unlimited budget");
+    let (executor, shards) = match engine {
+        IncrementalEngine::Sequential => ("seq-inc", 1),
+        IncrementalEngine::Sharded(n) => ("sharded-inc", n),
+    };
+
+    // Workload 1: lower the scorers and bulk-load the seed graph through the engine.
+    let started = Instant::now();
+    let mut candidate = GraphCandidate::with_engine(seed_graph.clone(), engine, |flow| {
+        vec![tbi_scorer(flow, &tbi), degree_sequence_scorer(flow, &seq)]
+    });
+    let load_ms = started.elapsed().as_secs_f64() * 1e3;
+    let load_row = Row {
+        workload: "mcmc-load",
+        executor,
+        shards,
+        wall_ms: load_ms,
+        steps_per_sec: 0.0,
+        accepted: 0,
+        final_energy: wpinq_mcmc::CandidateState::energy(&candidate),
+    };
+
+    // Workload 2: the edge-swap walk.
+    let driver = MetropolisHastings::new(0.1, 10_000.0);
+    let mut walk_rng = StdRng::seed_from_u64(seed + 1);
+    let started = Instant::now();
+    let mut accepted = 0u64;
+    for _ in 0..steps {
+        if driver.step(&mut candidate, &mut walk_rng) == StepOutcome::Accepted {
+            accepted += 1;
+        }
+    }
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let drift = candidate.scorer_drift();
+    assert!(drift < 1e-6, "scorer drift {drift} on {executor}/{shards}");
+    let swaps_row = Row {
+        workload: "mcmc-swaps",
+        executor,
+        shards,
+        wall_ms,
+        steps_per_sec: steps as f64 / (wall_ms / 1e3).max(1e-9),
+        accepted,
+        final_energy: wpinq_mcmc::CandidateState::energy(&candidate),
+    };
+    (load_row, swaps_row, candidate.graph().sorted_edges())
+}
+
+fn write_json(path: &str, mode: &str, steps: u64, rows: &[Row]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"generated_by\": \"bench::mcmc\",")?;
+    writeln!(f, "  \"mode\": \"{mode}\",")?;
+    writeln!(f, "  \"steps\": {steps},")?;
+    writeln!(
+        f,
+        "  \"hardware_threads\": {},",
+        wpinq::plan::available_threads()
+    )?;
+    writeln!(f, "  \"results\": [")?;
+    for (i, row) in rows.iter().enumerate() {
+        writeln!(
+            f,
+            "    {{\"workload\": \"{}\", \"executor\": \"{}\", \"shards\": {}, \
+             \"wall_ms\": {:.3}, \"steps_per_sec\": {:.3}, \"accepted\": {}}}{}",
+            row.workload,
+            row.executor,
+            row.shards,
+            row.wall_ms,
+            row.steps_per_sec,
+            row.accepted,
+            if i + 1 == rows.len() { "" } else { "," }
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let mode = if args.full_scale { "full" } else { "quick" };
+    let steps = args.steps_or(if args.full_scale { 10_000 } else { 2_000 });
+    let secret = if args.full_scale {
+        wpinq_datasets::ca_grqc()
+    } else {
+        smallsets::grqc_small()
+    };
+    let seed_graph = smallsets::randomized(&secret, args.seed);
+    heading(&format!(
+        "MCMC edge-swap throughput per incremental backend ({mode} GrQc stand-in: {} nodes, \
+         {} edges; {steps} steps)",
+        secret.num_nodes(),
+        secret.num_edges()
+    ));
+
+    let engines = [
+        IncrementalEngine::Sequential,
+        IncrementalEngine::Sharded(1),
+        IncrementalEngine::Sharded(2),
+        IncrementalEngine::Sharded(4),
+        IncrementalEngine::Sharded(8),
+    ];
+    /// The reference trajectory outcome every backend must reproduce bitwise:
+    /// `(final sorted edges, final energy, accepted swaps)`.
+    type Reference = (Vec<(u32, u32)>, f64, u64);
+    let mut rows: Vec<Row> = Vec::new();
+    let mut reference: Option<Reference> = None;
+    let mut table = Table::new([
+        "backend",
+        "shards",
+        "load ms",
+        "walk ms",
+        "steps/s",
+        "accepted",
+        "final energy",
+    ]);
+    for engine in engines {
+        let (load_row, row, final_edges) = run_walk(&secret, &seed_graph, engine, steps, args.seed);
+        match &reference {
+            None => reference = Some((final_edges, row.final_energy, row.accepted)),
+            Some((ref_edges, ref_energy, ref_accepted)) => {
+                assert_eq!(
+                    &final_edges, ref_edges,
+                    "{}/{} walked a different trajectory",
+                    row.executor, row.shards
+                );
+                assert_eq!(
+                    row.final_energy.to_bits(),
+                    ref_energy.to_bits(),
+                    "{}/{} final energy diverged",
+                    row.executor,
+                    row.shards
+                );
+                assert_eq!(row.accepted, *ref_accepted);
+            }
+        }
+        table.row([
+            row.executor.to_string(),
+            row.shards.to_string(),
+            fmt_f(load_row.wall_ms, 1),
+            fmt_f(row.wall_ms, 1),
+            fmt_f(row.steps_per_sec, 0),
+            row.accepted.to_string(),
+            format!("{:.6}", row.final_energy),
+        ]);
+        rows.push(load_row);
+        rows.push(row);
+    }
+    table.print();
+    println!();
+
+    let path = args.out.as_deref().unwrap_or("BENCH_mcmc.json");
+    match write_json(path, mode, steps, &rows) {
+        Ok(()) => println!("wrote {path} ({} rows)", rows.len()),
+        Err(err) => {
+            eprintln!("failed to write {path}: {err}");
+            std::process::exit(1);
+        }
+    }
+    println!("All backends walked the identical seeded trajectory (bitwise energies; asserted).");
+}

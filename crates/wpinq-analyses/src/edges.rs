@@ -9,8 +9,8 @@
 //! SbD 12ε, TbI 4ε).
 
 use wpinq::budget::BudgetHandle;
-use wpinq::dataflow::Stream;
-use wpinq::plan::{Plan, PlanBindings, StreamBindings};
+use wpinq::dataflow::{ShardedStream, Stream};
+use wpinq::plan::{Plan, PlanBindings, ShardedStreamBindings, StreamBindings};
 use wpinq::{Expr, PrivacyBudget, ProtectedDataset, Queryable, WeightedDataset};
 use wpinq_graph::Graph;
 
@@ -100,6 +100,14 @@ impl EdgeSource {
     pub fn bind_stream(&self, stream: Stream<Edge>) -> StreamBindings {
         let mut bindings = StreamBindings::new();
         bindings.bind(&self.source, stream.clone());
+        bindings
+    }
+
+    /// Sharded-stream bindings mapping this source to a candidate's hash-partitioned
+    /// edge delta stream (the sharded incremental engine).
+    pub fn bind_sharded_stream(&self, stream: ShardedStream<Edge>) -> ShardedStreamBindings {
+        let mut bindings = ShardedStreamBindings::new(stream.num_shards());
+        bindings.bind(&self.source, stream);
         bindings
     }
 }

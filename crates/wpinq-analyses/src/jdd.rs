@@ -10,7 +10,7 @@ use std::collections::HashMap;
 
 use rand::Rng;
 
-use wpinq::{NoisyCounts, Plan, Queryable, WpinqError};
+use wpinq::{Expr, NoisyCounts, Plan, Queryable, ReduceSpec, WpinqError};
 
 use crate::edges::Edge;
 
@@ -27,6 +27,33 @@ pub fn jdd_plan(edges: &Plan<Edge>) -> Plan<(u64, u64)> {
     let temp = degrees.join(edges, |d| d.0, |e| e.0, |d, e| (*e, d.1));
     // (d_a, d_b) for each directed edge (a, b), weight 1/(2 + 2 d_a + 2 d_b).
     temp.join(&temp, |t| t.0, |t| (t.0 .1, t.0 .0), |x, y| (x.1, y.1))
+}
+
+/// [`jdd_plan`] in expression form: the same query (byte-identical weights), but
+/// serializable to a [`PlanSpec`](wpinq::PlanSpec) and shippable to a measurement
+/// service. Privacy multiplicity: 4.
+pub fn jdd_plan_expr(edges: &Plan<Edge>) -> Plan<(u64, u64)> {
+    let x = Expr::input();
+    // (a, d_a) for each vertex a, weight ½.
+    let degrees =
+        edges.group_by_expr::<u32, u64>(x.clone().field(0), ReduceSpec::CountThen(Expr::input()));
+    // ((a, b), d_a) for each directed edge (a, b): pair = (degree record, edge record).
+    let temp = degrees.join_expr::<Edge, u32, ((u32, u32), u64)>(
+        edges,
+        x.clone().field(0),
+        x.clone().field(0),
+        Expr::tuple(vec![x.clone().field(1), x.clone().field(0).field(1)]),
+    );
+    // (d_a, d_b): each annotated edge matched against its own reversal.
+    temp.join_expr::<((u32, u32), u64), (u32, u32), (u64, u64)>(
+        &temp,
+        x.clone().field(0),
+        Expr::tuple(vec![
+            x.clone().field(0).field(1),
+            x.clone().field(0).field(0),
+        ]),
+        Expr::tuple(vec![x.clone().field(0).field(1), x.field(1).field(1)]),
+    )
 }
 
 /// [`jdd_plan`] applied to a protected edge dataset.
@@ -131,6 +158,36 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         q.noisy_count(0.1, &mut rng).unwrap();
         assert!((edges.budget().spent() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jdd_expr_form_matches_closure_form_bitwise_and_serializes() {
+        use wpinq::plan::PlanBindings;
+        let mut rng = StdRng::seed_from_u64(19);
+        let g = wpinq_graph::generators::powerlaw_cluster(30, 3, 0.5, &mut rng);
+        let source = wpinq::Plan::<crate::edges::Edge>::source_expr("edges");
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&source, crate::edges::symmetric_edge_dataset(&g));
+
+        let a = jdd_plan(&source).eval(&bindings);
+        let b = jdd_plan_expr(&source).eval(&bindings);
+        assert_eq!(a.len(), b.len());
+        for (record, weight) in a.iter() {
+            assert_eq!(
+                weight.to_bits(),
+                b.weight(record).to_bits(),
+                "JDD expr form differs at {record:?}"
+            );
+        }
+
+        let expr_plan = jdd_plan_expr(&source);
+        assert!(expr_plan.to_spec().is_some(), "JDD expr form serializes");
+        assert_eq!(
+            expr_plan.multiplicity_of(source.input_id().unwrap()),
+            4,
+            "JDD uses the edges source four times"
+        );
+        assert!(jdd_plan(&source).to_spec().is_none());
     }
 
     #[test]

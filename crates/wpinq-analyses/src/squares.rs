@@ -6,10 +6,10 @@
 
 use rand::Rng;
 
-use wpinq::{NoisyCounts, Plan, Queryable, WpinqError};
+use wpinq::{Expr, NoisyCounts, Plan, Queryable, WpinqError};
 
 use crate::edges::Edge;
-use crate::triangles::paths_with_middle_degree_plan;
+use crate::triangles::{paths_with_middle_degree_plan, paths_with_middle_degree_plan_expr};
 
 /// A length-three path `(a, b, c, d)` annotated with its two interior degrees
 /// `(d_b, d_c)`.
@@ -46,6 +46,68 @@ pub fn sbd_plan(edges: &Plan<Edge>) -> Plan<(u64, u64, u64, u64)> {
         q.sort_unstable();
         (q[0], q[1], q[2], q[3])
     })
+}
+
+/// [`length_three_paths_plan`] in expression form (serializable; byte-identical
+/// weights). Privacy multiplicity: 6.
+pub fn length_three_paths_plan_expr(edges: &Plan<Edge>) -> Plan<AnnotatedLengthThreePath> {
+    let x = Expr::input();
+    let abc = paths_with_middle_degree_plan_expr(edges, 1);
+    abc.join_expr::<((u32, u32, u32), u64), (u32, u32), AnnotatedLengthThreePath>(
+        &abc,
+        Expr::tuple(vec![
+            x.clone().field(0).field(1),
+            x.clone().field(0).field(2),
+        ]),
+        Expr::tuple(vec![
+            x.clone().field(0).field(0),
+            x.clone().field(0).field(1),
+        ]),
+        Expr::tuple(vec![
+            Expr::tuple(vec![
+                x.clone().field(0).field(0).field(0),
+                x.clone().field(0).field(0).field(1),
+                x.clone().field(0).field(0).field(2),
+                x.clone().field(1).field(0).field(2),
+            ]),
+            x.clone().field(0).field(1),
+            x.clone().field(1).field(1),
+        ]),
+    )
+    .filter_expr(x.clone().field(0).field(0).ne(x.field(0).field(3)))
+}
+
+/// [`sbd_plan`] in expression form: the full 12-multiplicity Squares-by-Degree query as
+/// pure data — annotated length-three paths matched against their double rotation, the
+/// degree quadruple sorted by the expression language's `sort` — shippable to a
+/// measurement service.
+pub fn sbd_plan_expr(edges: &Plan<Edge>) -> Plan<(u64, u64, u64, u64)> {
+    let x = Expr::input();
+    let abcd = length_three_paths_plan_expr(edges);
+    // Double rotation (a,b,c,d) → (c,d,a,b); attached degrees stay put.
+    let cdab = abcd.select_expr::<AnnotatedLengthThreePath>(Expr::tuple(vec![
+        Expr::tuple(vec![
+            x.clone().field(0).field(2),
+            x.clone().field(0).field(3),
+            x.clone().field(0).field(0),
+            x.clone().field(0).field(1),
+        ]),
+        x.clone().field(1),
+        x.clone().field(2),
+    ]));
+    let squares = abcd
+        .join_expr::<AnnotatedLengthThreePath, (u32, u32, u32, u32), (u64, u64, u64, u64)>(
+            &cdab,
+            x.clone().field(0),
+            x.clone().field(0),
+            Expr::tuple(vec![
+                x.clone().field(1).field(1),
+                x.clone().field(1).field(2),
+                x.clone().field(0).field(1),
+                x.clone().field(0).field(2),
+            ]),
+        );
+    squares.select_expr::<(u64, u64, u64, u64)>(x.sort())
 }
 
 /// [`length_three_paths_plan`] applied to a protected edge dataset.
@@ -186,6 +248,40 @@ mod tests {
         assert!((w - expected).abs() < 1e-9, "weight {w} vs {expected}");
         assert!((sbd_square_weight(3, 3, 3, 3) - 8.0 / 144.0).abs() < 1e-12);
         assert_eq!(stats::square_count(&g), 3);
+    }
+
+    #[test]
+    fn sbd_expr_form_matches_closure_form_bitwise_and_serializes() {
+        use wpinq::plan::PlanBindings;
+        let mut rng = StdRng::seed_from_u64(29);
+        let g = wpinq_graph::generators::powerlaw_cluster(24, 3, 0.6, &mut rng);
+        let source = wpinq::Plan::<Edge>::source_expr("edges");
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&source, crate::edges::symmetric_edge_dataset(&g));
+
+        let a = sbd_plan(&source).eval(&bindings);
+        let b = sbd_plan_expr(&source).eval(&bindings);
+        assert_eq!(a.len(), b.len());
+        for (record, weight) in a.iter() {
+            assert_eq!(
+                weight.to_bits(),
+                b.weight(record).to_bits(),
+                "SbD expr form differs at {record:?}"
+            );
+        }
+
+        let expr_plan = sbd_plan_expr(&source);
+        assert!(expr_plan.to_spec().is_some(), "SbD expr form serializes");
+        assert_eq!(
+            expr_plan.multiplicity_of(source.input_id().unwrap()),
+            12,
+            "SbD uses the edges source twelve times"
+        );
+        assert_eq!(
+            length_three_paths_plan_expr(&source).multiplicity_of(source.input_id().unwrap()),
+            6
+        );
+        assert!(sbd_plan(&source).to_spec().is_none());
     }
 
     #[test]

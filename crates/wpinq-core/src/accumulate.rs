@@ -36,23 +36,31 @@ pub fn canonical_norm<I: IntoIterator<Item = f64>>(weights: I) -> f64 {
     canonical_sum(&mut magnitudes)
 }
 
-/// The per-record contribution list: almost all records receive exactly one contribution,
-/// so the single-element case avoids a heap allocation.
+/// The contribution list of one record: almost all records receive exactly one
+/// contribution, so the single-element case avoids a heap allocation.
+///
+/// Public so callers that keep their own record maps (e.g. the incremental engines'
+/// delta consolidation) can resolve per-record totals in the same canonical order as
+/// [`Contributions`].
 #[derive(Debug, Clone)]
-enum Contribution {
+pub enum Contribution {
+    /// Exactly one contribution so far.
     One(f64),
+    /// Two or more contributions, resolved canonically by [`finish`](Contribution::finish).
     Many(Vec<f64>),
 }
 
 impl Contribution {
-    fn push(&mut self, weight: f64) {
+    /// Adds one more contribution.
+    pub fn push(&mut self, weight: f64) {
         match self {
             Contribution::One(first) => *self = Contribution::Many(vec![*first, weight]),
             Contribution::Many(values) => values.push(weight),
         }
     }
 
-    fn finish(self) -> f64 {
+    /// Resolves the total in canonical ([`canonical_sum`]) order.
+    pub fn finish(self) -> f64 {
         match self {
             Contribution::One(w) => w,
             Contribution::Many(mut values) => canonical_sum(&mut values),
@@ -66,9 +74,15 @@ impl Contribution {
 ///
 /// Feeding the same contributions in any order yields a bitwise-identical dataset, which
 /// is what lets the sharded executor guarantee exact equality with sequential evaluation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Contributions<T: Record> {
     entries: FxHashMap<T, Contribution>,
+}
+
+impl<T: Record> Default for Contributions<T> {
+    fn default() -> Self {
+        Contributions::new()
+    }
 }
 
 impl<T: Record> Contributions<T> {

@@ -156,7 +156,7 @@ impl<T: Record> WeightedDataset<T> {
     }
 
     /// Iterates over `(record, weight)` pairs in unspecified order.
-    pub fn iter(&self) -> impl Iterator<Item = (&T, f64)> {
+    pub fn iter(&self) -> impl Iterator<Item = (&T, f64)> + Clone {
         self.weights.iter().map(|(r, w)| (r, *w))
     }
 

@@ -12,9 +12,22 @@ use crate::record::Record;
 ///
 /// `Join(A, B) = Σ_k (A_k × B_kᵀ) / (‖A_k‖ + ‖B_k‖)`   (equation (1) of the paper).
 ///
-/// Both the per-key norms and the accumulation of colliding output contributions use the
-/// canonical summation order of [`crate::accumulate`], so the result is bitwise
-/// independent of input iteration order — the property the sharded executor relies on.
+/// The kernel is **asymmetric**: only the smaller input is materialised as a key-indexed
+/// hash table; the larger input is streamed past it twice (once to collect per-key norms,
+/// once to emit matches). This is what makes the optimizer's cardinality-driven join
+/// input ordering pay off proportionally — the hash-build cost follows the small side.
+///
+/// Accumulation is **two-level canonical**: contributions are first resolved per key
+/// (each key's colliding output contributions summed in the canonical order of
+/// [`crate::accumulate`], negligible per-key totals pruned), then the per-key totals of
+/// records matched under several keys are summed canonically across keys. The per-match
+/// weight `w_a·w_b / (‖A_k‖ + ‖B_k‖)` is built from commutative float operations, so the
+/// result is bitwise independent of input iteration order *and* of which side is the
+/// build side — the property the sharded executor relies on. The per-key grouping
+/// additionally makes a batch join bitwise equal to loading the same data into the
+/// *incremental* join (whose delta outputs are inherently per-key), which is what lets
+/// the equivalence property tests pin batch ≡ incremental exactly rather than to a
+/// tolerance.
 ///
 /// Unlike the standard relational join (where one record can produce unboundedly many
 /// matches and the transformation is unstable), this data-dependent rescaling makes the
@@ -35,39 +48,117 @@ where
     KB: Fn(&B) -> K,
     RF: Fn(&A, &B) -> R,
 {
-    // Partition both inputs by key; norms are computed canonically per part.
-    let mut parts_a: FxHashMap<K, Vec<(&A, f64)>> = FxHashMap::default();
-    for (record, weight) in a.iter() {
-        parts_a
-            .entry(key_a(record))
-            .or_default()
-            .push((record, weight));
+    let mut per_key: FxHashMap<K, crate::accumulate::Contributions<R>> = FxHashMap::default();
+    if a.len() <= b.len() {
+        join_build_probe(
+            a.iter(),
+            b.iter(),
+            &key_a,
+            &key_b,
+            |key, part, rb, w_probe, denominator| {
+                let acc = key_accumulator(&mut per_key, key);
+                for (ra, w_build) in part {
+                    acc.push(result(ra, rb), w_build * w_probe / denominator);
+                }
+            },
+        );
+    } else {
+        join_build_probe(
+            b.iter(),
+            a.iter(),
+            &key_b,
+            &key_a,
+            |key, part, ra, w_probe, denominator| {
+                let acc = key_accumulator(&mut per_key, key);
+                for (rb, w_build) in part {
+                    acc.push(result(ra, rb), w_build * w_probe / denominator);
+                }
+            },
+        );
     }
-    let mut parts_b: FxHashMap<K, Vec<(&B, f64)>> = FxHashMap::default();
-    for (record, weight) in b.iter() {
-        parts_b
-            .entry(key_b(record))
-            .or_default()
-            .push((record, weight));
-    }
-
     let mut out = crate::accumulate::Contributions::new();
-    for (key, recs_a) in &parts_a {
-        let Some(recs_b) = parts_b.get(key) else {
-            continue;
-        };
-        let denominator = crate::accumulate::canonical_norm(recs_a.iter().map(|(_, w)| *w))
-            + crate::accumulate::canonical_norm(recs_b.iter().map(|(_, w)| *w));
-        if denominator <= 0.0 {
-            continue;
-        }
-        for (ra, wa) in recs_a {
-            for (rb, wb) in recs_b {
-                out.push(result(ra, rb), wa * wb / denominator);
-            }
+    for (_, contributions) in per_key {
+        for (record, total) in contributions.into_dataset() {
+            out.push(record, total);
         }
     }
     out.into_dataset()
+}
+
+/// The per-key output accumulator for `key`, cloning the key only on first sight (the
+/// callers sit on the join's per-match path, so this runs once per probe record rather
+/// than once per match).
+pub(crate) fn key_accumulator<'m, K, R>(
+    per_key: &'m mut FxHashMap<K, crate::accumulate::Contributions<R>>,
+    key: &K,
+) -> &'m mut crate::accumulate::Contributions<R>
+where
+    K: Clone + Eq + Hash,
+    R: Record,
+{
+    if !per_key.contains_key(key) {
+        per_key.insert(key.clone(), crate::accumulate::Contributions::new());
+    }
+    per_key.get_mut(key).expect("present or just inserted")
+}
+
+/// The asymmetric core shared by the batch and sharded join kernels: hash-index the
+/// (smaller) `build` side by key, stream the (larger) `probe` side past it — one pass to
+/// collect per-key probe norms, one to emit matches.
+/// `emit_matches(key, build_part, probe_record, probe_weight, denominator)` is called
+/// once per matching probe record with the key's entire build part; each match's weight
+/// is `w_build·w_probe / denominator` with `denominator = ‖build_k‖ + ‖probe_k‖`,
+/// bitwise identical whichever input plays the build role (float `+` and `·` are
+/// commutative, and the norms are canonical).
+pub(crate) fn join_build_probe<'s, 'l, S, L, K, KS, KL>(
+    build: impl Iterator<Item = (&'s S, f64)>,
+    probe: impl Iterator<Item = (&'l L, f64)> + Clone,
+    key_build: &KS,
+    key_probe: &KL,
+    mut emit_matches: impl FnMut(&K, &[(&'s S, f64)], &'l L, f64, f64),
+) where
+    S: 's,
+    L: 'l,
+    K: Clone + Eq + Hash,
+    KS: Fn(&S) -> K + ?Sized,
+    KL: Fn(&L) -> K + ?Sized,
+{
+    let mut parts: FxHashMap<K, Vec<(&S, f64)>> = FxHashMap::default();
+    for (record, weight) in build {
+        parts
+            .entry(key_build(record))
+            .or_default()
+            .push((record, weight));
+    }
+    if parts.is_empty() {
+        return;
+    }
+    // Pass 1 over the probe side: per-key weight multisets, only for keys the build side
+    // can match (the probe side is never materialised record-by-record).
+    let mut probe_weights: FxHashMap<K, Vec<f64>> = FxHashMap::default();
+    for (record, weight) in probe.clone() {
+        let key = key_probe(record);
+        if parts.contains_key(&key) {
+            probe_weights.entry(key).or_default().push(weight);
+        }
+    }
+    let denominators: FxHashMap<K, f64> = probe_weights
+        .into_iter()
+        .filter_map(|(key, weights)| {
+            let build_part = &parts[&key];
+            let denominator = crate::accumulate::canonical_norm(build_part.iter().map(|(_, w)| *w))
+                + crate::accumulate::canonical_norm(weights);
+            (denominator > 0.0).then_some((key, denominator))
+        })
+        .collect();
+    // Pass 2: hand each matching probe record its key's build part.
+    for (record, weight) in probe {
+        let key = key_probe(record);
+        let Some(denominator) = denominators.get(&key) else {
+            continue;
+        };
+        emit_matches(&key, &parts[&key], record, weight, *denominator);
+    }
 }
 
 /// [`join`] with the identity result selector: emits `(a, b)` pairs.

@@ -19,6 +19,7 @@ mod shave;
 
 pub use group_by::{group_by, group_by_with_key};
 pub use join::{join, join_pairs};
+pub(crate) use join::{join_build_probe, key_accumulator};
 pub use select::{filter, select};
 pub use select_many::{select_many, select_many_unit};
 pub use set_ops::{concat, except, intersect, union};

@@ -27,7 +27,7 @@ use std::hash::{Hash, Hasher};
 
 use rustc_hash::FxHasher;
 
-use crate::accumulate::{canonical_norm, Contributions};
+use crate::accumulate::Contributions;
 use crate::dataset::WeightedDataset;
 use crate::operators as batch;
 use crate::record::Record;
@@ -119,7 +119,10 @@ impl<T: Record> ShardedDataset<T> {
 
 /// Runs `f(shard_index, input)` for every input on scoped worker threads, returning the
 /// results in shard order. Single-shard calls run inline to skip the spawn cost.
-fn map_shards<I: Send, R: Send>(inputs: Vec<I>, f: impl Fn(usize, I) -> R + Sync) -> Vec<R> {
+///
+/// Public because the sharded *incremental* engine in `wpinq-dataflow` drives its
+/// per-operator delta kernels through the same worker scaffolding.
+pub fn map_shards<I: Send, R: Send>(inputs: Vec<I>, f: impl Fn(usize, I) -> R + Sync) -> Vec<R> {
     if inputs.len() == 1 {
         let input = inputs.into_iter().next().expect("one input");
         return vec![f(0, input)];
@@ -139,7 +142,7 @@ fn map_shards<I: Send, R: Send>(inputs: Vec<I>, f: impl Fn(usize, I) -> R + Sync
 }
 
 /// Runs `f(shard_index)` for `0..n` on scoped worker threads.
-fn for_each_shard<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+pub fn for_each_shard<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
     map_shards((0..n).collect::<Vec<_>>(), |_, index| f(index))
 }
 
@@ -356,36 +359,45 @@ where
     let produced = map_shards(
         a_by_key.into_iter().zip(b_by_key).collect::<Vec<_>>(),
         |_, (recs_a, recs_b)| {
+            // Each worker owns complete key groups; the asymmetric build-small/probe-large
+            // core (shared with the batch kernel) emits bitwise-identical contributions
+            // whichever side is indexed, so the per-worker choice is purely a cost call.
+            // Matching the sequential kernel's two-level accumulation, contributions are
+            // resolved per key *before* routing; the exchange then canonically sums the
+            // per-key totals of records matched under keys on different workers.
             use rustc_hash::FxHashMap;
-            let mut parts_a: FxHashMap<K, Vec<(A, f64)>> = FxHashMap::default();
-            for (record, weight) in recs_a {
-                parts_a
-                    .entry(key_a(&record))
-                    .or_default()
-                    .push((record, weight));
-            }
-            let mut parts_b: FxHashMap<K, Vec<(B, f64)>> = FxHashMap::default();
-            for (record, weight) in recs_b {
-                parts_b
-                    .entry(key_b(&record))
-                    .or_default()
-                    .push((record, weight));
+            let mut per_key: FxHashMap<K, Contributions<R>> = FxHashMap::default();
+            if recs_a.len() <= recs_b.len() {
+                batch::join_build_probe(
+                    recs_a.iter().map(|(r, w)| (r, *w)),
+                    recs_b.iter().map(|(r, w)| (r, *w)),
+                    key_a,
+                    key_b,
+                    |key, part, rb, w_probe, denominator| {
+                        let acc = batch::key_accumulator(&mut per_key, key);
+                        for (ra, w_build) in part {
+                            acc.push(result(ra, rb), w_build * w_probe / denominator);
+                        }
+                    },
+                );
+            } else {
+                batch::join_build_probe(
+                    recs_b.iter().map(|(r, w)| (r, *w)),
+                    recs_a.iter().map(|(r, w)| (r, *w)),
+                    key_b,
+                    key_a,
+                    |key, part, ra, w_probe, denominator| {
+                        let acc = batch::key_accumulator(&mut per_key, key);
+                        for (rb, w_build) in part {
+                            acc.push(result(ra, rb), w_build * w_probe / denominator);
+                        }
+                    },
+                );
             }
             let mut routes = empty_routes(n);
-            for (key, part_a) in &parts_a {
-                let Some(part_b) = parts_b.get(key) else {
-                    continue;
-                };
-                let denominator = canonical_norm(part_a.iter().map(|(_, w)| *w))
-                    + canonical_norm(part_b.iter().map(|(_, w)| *w));
-                if denominator <= 0.0 {
-                    continue;
-                }
-                for (ra, wa) in part_a {
-                    for (rb, wb) in part_b {
-                        let out = result(ra, rb);
-                        routes[shard_of(&out, n)].push((out, wa * wb / denominator));
-                    }
+            for (_, contributions) in per_key {
+                for (record, total) in contributions.into_dataset() {
+                    routes[shard_of(&record, n)].push((record, total));
                 }
             }
             routes

@@ -2,6 +2,7 @@
 
 use rustc_hash::{FxBuildHasher, FxHashMap};
 
+use wpinq_core::accumulate::Contribution;
 use wpinq_core::{weights, Record, WeightedDataset};
 
 /// A change to the weight of one record. Positive deltas add weight, negative deltas
@@ -10,17 +11,23 @@ pub type Delta<T> = (T, f64);
 
 /// Merges deltas that touch the same record and drops negligible residue, preserving the
 /// first-seen order of records for determinism.
+///
+/// Colliding deltas are summed in the **canonical** order of
+/// [`wpinq_core::accumulate`], so the merged totals depend only on the multiset of
+/// contributions — never on the order they were listed in. This is what lets the sharded
+/// incremental engine (which collects the same contributions bucket-by-bucket) propagate
+/// delta batches bitwise identical to the sequential [`Stream`](crate::Stream) graph.
 pub fn consolidate<T: Record>(deltas: Vec<Delta<T>>) -> Vec<Delta<T>> {
     let mut order: Vec<T> = Vec::with_capacity(deltas.len());
-    let mut acc: FxHashMap<T, f64> =
+    let mut acc: FxHashMap<T, Contribution> =
         FxHashMap::with_capacity_and_hasher(deltas.len(), FxBuildHasher::default());
     for (record, weight) in deltas {
         match acc.entry(record.clone()) {
             std::collections::hash_map::Entry::Occupied(mut e) => {
-                *e.get_mut() += weight;
+                e.get_mut().push(weight);
             }
             std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(weight);
+                e.insert(Contribution::One(weight));
                 order.push(record);
             }
         }
@@ -28,7 +35,10 @@ pub fn consolidate<T: Record>(deltas: Vec<Delta<T>>) -> Vec<Delta<T>> {
     order
         .into_iter()
         .filter_map(|record| {
-            let w = acc[&record];
+            let w = acc
+                .remove(&record)
+                .expect("every ordered record was inserted")
+                .finish();
             if weights::is_negligible(w) {
                 None
             } else {

@@ -18,6 +18,12 @@
 //!   operators into a DAG mirroring a wPINQ query, with [`CollectedOutput`] sinks and
 //!   [`L1Scorer`] sinks that maintain `‖Q(A) − m‖₁` incrementally (the quantity the MCMC
 //!   acceptance test needs).
+//! * [`sharded`] — the hash-partitioned parallel twin of [`stream`]: [`ShardedStream`]
+//!   carries delta batches partitioned by record hash, stateful operators shard their
+//!   state by key hash and recompute affected keys on `std::thread::scope` workers, and
+//!   deltas are exchanged only at `GroupBy`/`Join` boundaries. Propagation is **bitwise
+//!   identical** to the sequential graph (canonical consolidation at every exchange,
+//!   canonical `L1Scorer` batch merges), so the MCMC walk can switch engines freely.
 //!
 //! Correctness contract: pushing any sequence of deltas through a dataflow leaves every
 //! sink equal to the corresponding *batch* operator applied to the accumulated input. The
@@ -36,8 +42,10 @@
 pub mod delta;
 pub mod operators;
 pub mod scorer;
+pub mod sharded;
 pub mod stream;
 
 pub use delta::{consolidate, diff_datasets, Delta};
 pub use scorer::L1Scorer;
+pub use sharded::{ShardedDeltas, ShardedInput, ShardedStream};
 pub use stream::{CollectedOutput, DataflowInput, ScorerHandle, Stream};

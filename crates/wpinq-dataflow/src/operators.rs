@@ -51,6 +51,19 @@ where
     U: Record,
     F: Fn(&T) -> WeightedDataset<U>,
 {
+    consolidate(inc_select_many_raw(f, deltas))
+}
+
+/// [`inc_select_many`] without the final consolidation — the single home of the paper's
+/// data-dependent normalisation rule (`scale = weight / max(‖production‖, 1)`; empty
+/// productions contribute nothing). The sharded engine routes these raw contributions
+/// and consolidates once at the destination shard, so the rule is never duplicated.
+pub fn inc_select_many_raw<T, U, F>(f: &F, deltas: &[Delta<T>]) -> Vec<Delta<U>>
+where
+    T: Record,
+    U: Record,
+    F: Fn(&T) -> WeightedDataset<U>,
+{
     let mut out = Vec::new();
     for (record, weight) in deltas {
         let produced = f(record);
@@ -63,7 +76,7 @@ where
             out.push((u.clone(), w * scale));
         }
     }
-    consolidate(out)
+    out
 }
 
 /// Incremental `SelectMany` where each produced record has unit weight.
@@ -158,6 +171,14 @@ where
 
     /// Feeds deltas into the left input, returning the induced output deltas.
     pub fn push_left(&mut self, deltas: &[Delta<A>]) -> Vec<Delta<R>> {
+        consolidate(self.push_left_raw(deltas))
+    }
+
+    /// [`push_left`](Self::push_left) without the final consolidation: the returned
+    /// contributions may repeat records (collisions across keys). The sharded engine
+    /// uses this so contributions from every key shard are consolidated exactly *once*
+    /// at their destination, in the same canonical pass the sequential operator runs.
+    pub fn push_left_raw(&mut self, deltas: &[Delta<A>]) -> Vec<Delta<R>> {
         let mut by_key: FxHashMap<K, Vec<Delta<A>>> = FxHashMap::default();
         for (record, weight) in deltas {
             by_key
@@ -178,11 +199,17 @@ where
             let after = self.recompute_key(&key);
             out.extend(diff_datasets(&after, &before));
         }
-        consolidate(out)
+        out
     }
 
     /// Feeds deltas into the right input, returning the induced output deltas.
     pub fn push_right(&mut self, deltas: &[Delta<B>]) -> Vec<Delta<R>> {
+        consolidate(self.push_right_raw(deltas))
+    }
+
+    /// [`push_right`](Self::push_right) without the final consolidation (see
+    /// [`push_left_raw`](Self::push_left_raw)).
+    pub fn push_right_raw(&mut self, deltas: &[Delta<B>]) -> Vec<Delta<R>> {
         let mut by_key: FxHashMap<K, Vec<Delta<B>>> = FxHashMap::default();
         for (record, weight) in deltas {
             by_key
@@ -203,7 +230,7 @@ where
             let after = self.recompute_key(&key);
             out.extend(diff_datasets(&after, &before));
         }
-        consolidate(out)
+        out
     }
 }
 
@@ -247,6 +274,13 @@ where
 
     /// Feeds deltas into the grouped input, returning the induced output deltas.
     pub fn push(&mut self, deltas: &[Delta<T>]) -> Vec<Delta<(K, R)>> {
+        consolidate(self.push_raw(deltas))
+    }
+
+    /// [`push`](Self::push) without the final consolidation: contributions may repeat
+    /// records (collisions across keys); the sharded engine consolidates them once at
+    /// their destination shard.
+    pub fn push_raw(&mut self, deltas: &[Delta<T>]) -> Vec<Delta<(K, R)>> {
         let mut by_key: FxHashMap<K, Vec<Delta<T>>> = FxHashMap::default();
         for (record, weight) in deltas {
             by_key
@@ -267,7 +301,7 @@ where
             let after = self.recompute_key(&key);
             out.extend(diff_datasets(&after, &before));
         }
-        consolidate(out)
+        out
     }
 
     /// Number of groups currently indexed.
@@ -312,6 +346,13 @@ where
 
     /// Feeds deltas into the shaved input, returning the induced output deltas.
     pub fn push(&mut self, deltas: &[Delta<T>]) -> Vec<Delta<(T, u64)>> {
+        consolidate(self.push_raw(deltas))
+    }
+
+    /// [`push`](Self::push) without the final consolidation (outputs `(record, index)`
+    /// are unique per input record, so the values are already final; the sharded engine
+    /// consolidates once at the destination shard).
+    pub fn push_raw(&mut self, deltas: &[Delta<T>]) -> Vec<Delta<(T, u64)>> {
         let mut out = Vec::new();
         for (record, weight) in consolidate(deltas.to_vec()) {
             let old_weight = self.current.weight(&record);
@@ -320,7 +361,7 @@ where
             let after = self.slice_record(&record, self.current.weight(&record));
             out.extend(diff_datasets(&after, &before));
         }
-        consolidate(out)
+        out
     }
 }
 

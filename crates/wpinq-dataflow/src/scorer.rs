@@ -2,9 +2,10 @@
 
 use std::collections::HashMap;
 
+use wpinq_core::accumulate::canonical_sum;
 use wpinq_core::{NoisyCounts, Record, WeightedDataset};
 
-use crate::delta::Delta;
+use crate::delta::{consolidate, Delta};
 
 /// Maintains the L1 distance between a query's (incrementally updated) output `Q(A)` and a
 /// fixed vector of released noisy measurements `m`.
@@ -26,9 +27,11 @@ pub struct L1Scorer<T: Record> {
 impl<T: Record> L1Scorer<T> {
     /// Creates a scorer against an explicit target map (record → measured noisy weight).
     ///
-    /// The initial query output is empty, so the initial distance is `Σ |m(x)|`.
+    /// The initial query output is empty, so the initial distance is `Σ |m(x)|` — summed
+    /// in canonical order, so two scorers over equal targets start bitwise identical no
+    /// matter how their maps happen to iterate.
     pub fn new(target: HashMap<T, f64>) -> Self {
-        let distance = target.values().map(|v| v.abs()).sum();
+        let distance = canonical_sum(&mut target.values().map(|v| v.abs()).collect::<Vec<_>>());
         L1Scorer {
             target,
             current: WeightedDataset::new(),
@@ -51,14 +54,24 @@ impl<T: Record> L1Scorer<T> {
     }
 
     /// Applies output deltas of the query, updating the maintained distance.
+    ///
+    /// The batch is consolidated first and the per-record distance changes are summed in
+    /// canonical order, so the maintained distance after a push depends only on the
+    /// *multiset* of `(record, change)` pairs in the batch — never on their listed order.
+    /// This is the "merged in canonical order" guarantee that keeps a scorer fed by the
+    /// sharded engine (whose batches arrive bucket-by-bucket) bitwise identical to one
+    /// fed by the sequential `Stream` graph.
     pub fn push(&mut self, deltas: &[Delta<T>]) {
-        for (record, change) in deltas {
-            let target = self.target_of(record);
-            let old = self.current.weight(record);
+        let batch = consolidate(deltas.to_vec());
+        let mut changes: Vec<f64> = Vec::with_capacity(batch.len());
+        for (record, change) in batch {
+            let target = self.target_of(&record);
+            let old = self.current.weight(&record);
             let new = old + change;
-            self.distance += (new - target).abs() - (old - target).abs();
-            self.current.add_weight(record.clone(), *change);
+            changes.push((new - target).abs() - (old - target).abs());
+            self.current.add_weight(record, change);
         }
+        self.distance += canonical_sum(&mut changes);
     }
 
     /// The maintained `‖Q(A) − m‖₁`.
@@ -66,18 +79,19 @@ impl<T: Record> L1Scorer<T> {
         self.distance
     }
 
-    /// Recomputes the distance from scratch (used by tests and as a drift guard).
+    /// Recomputes the distance from scratch (used by tests and as a drift guard),
+    /// summing the per-record terms canonically so the result is iteration-order-free.
     pub fn recompute_distance(&self) -> f64 {
-        let mut total = 0.0;
+        let mut terms = Vec::with_capacity(self.target.len() + self.current.len());
         for (record, target) in &self.target {
-            total += (self.current.weight(record) - target).abs();
+            terms.push((self.current.weight(record) - target).abs());
         }
         for (record, weight) in self.current.iter() {
             if !self.target.contains_key(record) {
-                total += weight.abs();
+                terms.push(weight.abs());
             }
         }
-        total
+        canonical_sum(&mut terms)
     }
 
     /// The current (incrementally accumulated) query output.

@@ -15,7 +15,7 @@ use std::rc::Rc;
 
 use wpinq_core::{Record, WeightedDataset};
 
-use crate::delta::Delta;
+use crate::delta::{consolidate, Delta};
 use crate::operators::{
     inc_concat, inc_filter, inc_negate, inc_select, inc_select_many, inc_select_many_unit,
     IncrementalGroupBy, IncrementalJoin, IncrementalMinMax, IncrementalShave,
@@ -59,8 +59,12 @@ impl<T: Record> DataflowInput<T> {
     }
 
     /// Pushes a batch of deltas into the dataflow.
+    ///
+    /// The batch is consolidated (canonically, per record) before it propagates, so every
+    /// operator sees at most one delta per record per push — the invariant the sharded
+    /// engine's bitwise-equivalence guarantee is stated against.
     pub fn push(&self, deltas: &[Delta<T>]) {
-        broadcast(&self.node, deltas);
+        broadcast(&self.node, &consolidate(deltas.to_vec()));
     }
 
     /// Pushes an entire dataset as insertions (the initial load of a candidate dataset).
@@ -309,6 +313,12 @@ pub struct CollectedOutput<T: Record> {
 }
 
 impl<T: Record> CollectedOutput<T> {
+    /// Wraps an externally-maintained accumulator (the sharded engine's collect sink
+    /// shares this handle type so downstream consumers are engine-agnostic).
+    pub(crate) fn from_shared(data: Rc<RefCell<WeightedDataset<T>>>) -> Self {
+        CollectedOutput { data }
+    }
+
     /// A snapshot of the accumulated output.
     pub fn snapshot(&self) -> WeightedDataset<T> {
         self.data.borrow().clone()
@@ -342,6 +352,11 @@ pub struct ScorerHandle<T: Record> {
 }
 
 impl<T: Record> ScorerHandle<T> {
+    /// Wraps an externally-maintained scorer (shared with the sharded engine's sink).
+    pub(crate) fn from_shared(scorer: Rc<RefCell<L1Scorer<T>>>) -> Self {
+        ScorerHandle { scorer }
+    }
+
     /// The maintained `‖Q(A) − m‖₁`.
     pub fn distance(&self) -> f64 {
         self.scorer.borrow().distance()

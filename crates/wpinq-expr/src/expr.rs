@@ -382,11 +382,28 @@ impl Expr {
         }
     }
 
-    /// Structural simplification: recursively rewrites `Field(Tuple(e₁…eₙ), i)` to
-    /// `eᵢ₊₁`. Semantics-preserving for every input (expressions are pure and total), and
-    /// essential before [`factor_through`](Self::factor_through): composing a predicate
-    /// with a tuple-building result selector produces exactly these redexes, and the
-    /// factoring match is structural.
+    /// Structural simplification. Semantics-preserving for every input (expressions are
+    /// pure and total) and essential before
+    /// [`factor_through`](Self::factor_through): composing a predicate with a
+    /// tuple-building result selector produces projection redexes, and the factoring
+    /// match is structural. The rewrite catalogue:
+    ///
+    /// * **projection reduction** — `Field(Tuple(e₁…eₙ), i) → eᵢ₊₁`;
+    /// * **constant folding** — scalar arithmetic, comparisons, and connectives over
+    ///   literals evaluate at simplification time (with the interpreter's exact
+    ///   wrapping / division-by-zero semantics), and the arithmetic identities
+    ///   `e + 0`, `e − 0`, `e·1`, `e / 1` → `e`, `e·0` → `0`;
+    /// * **boolean canonicalisation** — `!!e → e`, `¬` pushed through comparisons
+    ///   (`!(a < b) → a ≥ b`), connectives with a constant side collapse
+    ///   (`true ∧ e → e`, `false ∧ e → false`, …);
+    /// * **comparison canonicalisation** — `a > b → b < a` and `a ≥ b → b ≤ a`, plus
+    ///   reflexive folds (`e == e → true`, `e < e → false`), so predicates authored with
+    ///   mirrored operators become structurally equal.
+    ///
+    /// Canonicalising this way widens the optimizer's pushdown analyses: two predicates
+    /// (or `SelectMany` production compositions) that differ only in orientation or a
+    /// foldable constant now compare equal, so more filters qualify for the
+    /// Where-into-Join/SelectMany rewrites.
     pub fn simplify(&self) -> Expr {
         match self {
             Expr::Input | Expr::Unit | Expr::Bool(_) | Expr::U64(_) | Expr::I64(_) => self.clone(),
@@ -395,9 +412,39 @@ impl Expr {
                 simplified => Expr::Field(Box::new(simplified), *i),
             },
             Expr::Tuple(items) => Expr::Tuple(items.iter().map(Expr::simplify).collect()),
-            Expr::Bin(op, l, r) => Expr::Bin(*op, Box::new(l.simplify()), Box::new(r.simplify())),
-            Expr::Not(e) => Expr::Not(Box::new(e.simplify())),
+            Expr::Bin(op, l, r) => simplify_bin(*op, l.simplify(), r.simplify()),
+            Expr::Not(e) => match e.simplify() {
+                Expr::Bool(b) => Expr::Bool(!b),
+                // ¬¬e → e.
+                Expr::Not(inner) => *inner,
+                // ¬ pushed through a comparison (total orders complement exactly).
+                Expr::Bin(op, l, r) if op.is_cmp() => {
+                    let negated = match op {
+                        BinOp::Eq => BinOp::Ne,
+                        BinOp::Ne => BinOp::Eq,
+                        BinOp::Lt => BinOp::Ge,
+                        BinOp::Le => BinOp::Gt,
+                        BinOp::Gt => BinOp::Le,
+                        BinOp::Ge => BinOp::Lt,
+                        _ => unreachable!(),
+                    };
+                    simplify_bin(negated, *l, *r)
+                }
+                simplified => Expr::Not(Box::new(simplified)),
+            },
             Expr::Sort(e) => Expr::Sort(Box::new(e.simplify())),
+        }
+    }
+
+    /// The ordering of two matching scalar literals (`None` when either side is not a
+    /// literal or their types differ) — the constant-comparison probe of `simplify`.
+    fn literal_ord(left: &Expr, right: &Expr) -> Option<std::cmp::Ordering> {
+        match (left, right) {
+            (Expr::U64(a), Expr::U64(b)) => Some(a.cmp(b)),
+            (Expr::I64(a), Expr::I64(b)) => Some(a.cmp(b)),
+            (Expr::Bool(a), Expr::Bool(b)) => Some(a.cmp(b)),
+            (Expr::Unit, Expr::Unit) => Some(std::cmp::Ordering::Equal),
+            _ => None,
         }
     }
 
@@ -562,6 +609,100 @@ impl Expr {
     }
 }
 
+/// Simplifies one binary node over already-simplified operands (the [`Expr::simplify`]
+/// work-horse). Every rewrite preserves the interpreter's exact semantics on well-typed
+/// expressions; operands are pure, so dropping one (constant connectives, `e·0`) is
+/// always sound.
+fn simplify_bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+    use std::cmp::Ordering;
+
+    // Arithmetic over matching integer literals folds with the interpreter's exact
+    // wrapping / division-by-zero semantics.
+    if op.is_arith() {
+        match (&l, &r) {
+            (Expr::U64(a), Expr::U64(b)) => {
+                return Expr::U64(match op {
+                    BinOp::Add => a.wrapping_add(*b),
+                    BinOp::Sub => a.wrapping_sub(*b),
+                    BinOp::Mul => a.wrapping_mul(*b),
+                    BinOp::Div => a.checked_div(*b).unwrap_or(0),
+                    BinOp::Rem => a.checked_rem(*b).unwrap_or(0),
+                    _ => unreachable!(),
+                })
+            }
+            (Expr::I64(a), Expr::I64(b)) => {
+                return Expr::I64(match op {
+                    BinOp::Add => a.wrapping_add(*b),
+                    BinOp::Sub => a.wrapping_sub(*b),
+                    BinOp::Mul => a.wrapping_mul(*b),
+                    BinOp::Div => a.checked_div(*b).unwrap_or(0),
+                    BinOp::Rem => a.checked_rem(*b).unwrap_or(0),
+                    _ => unreachable!(),
+                })
+            }
+            _ => {}
+        }
+        // Identities (sound under wrapping arithmetic; `e` is well-typed to the
+        // literal's type, so replacing `e·0` by the literal zero keeps the type).
+        match (op, &l, &r) {
+            (BinOp::Add, _, Expr::U64(0) | Expr::I64(0))
+            | (BinOp::Sub, _, Expr::U64(0) | Expr::I64(0))
+            | (BinOp::Mul, _, Expr::U64(1) | Expr::I64(1))
+            | (BinOp::Div, _, Expr::U64(1) | Expr::I64(1)) => return l,
+            (BinOp::Add, Expr::U64(0) | Expr::I64(0), _)
+            | (BinOp::Mul, Expr::U64(1) | Expr::I64(1), _) => return r,
+            (BinOp::Mul, Expr::U64(0), _) | (BinOp::Mul, _, Expr::U64(0)) => return Expr::U64(0),
+            (BinOp::Mul, Expr::I64(0), _) | (BinOp::Mul, _, Expr::I64(0)) => return Expr::I64(0),
+            _ => {}
+        }
+    }
+
+    if op.is_cmp() {
+        let decide = |ord: Ordering| {
+            Expr::Bool(match op {
+                BinOp::Eq => ord.is_eq(),
+                BinOp::Ne => ord.is_ne(),
+                BinOp::Lt => ord.is_lt(),
+                BinOp::Le => ord.is_le(),
+                BinOp::Gt => ord.is_gt(),
+                BinOp::Ge => ord.is_ge(),
+                _ => unreachable!(),
+            })
+        };
+        if let Some(ord) = Expr::literal_ord(&l, &r) {
+            return decide(ord);
+        }
+        // Reflexive folds: a pure expression always evaluates equal to itself.
+        if l == r {
+            return decide(Ordering::Equal);
+        }
+        // Orientation canonicalisation: `a > b → b < a`, `a ≥ b → b ≤ a`, so mirrored
+        // spellings of one predicate become structurally equal.
+        match op {
+            BinOp::Gt => return Expr::Bin(BinOp::Lt, Box::new(r), Box::new(l)),
+            BinOp::Ge => return Expr::Bin(BinOp::Le, Box::new(r), Box::new(l)),
+            _ => {}
+        }
+    }
+
+    // Connectives with a constant side collapse (operands are pure).
+    match (op, &l, &r) {
+        (BinOp::And, Expr::Bool(true), _) => return r,
+        (BinOp::And, _, Expr::Bool(true)) => return l,
+        (BinOp::And, Expr::Bool(false), _) | (BinOp::And, _, Expr::Bool(false)) => {
+            return Expr::Bool(false)
+        }
+        (BinOp::Or, Expr::Bool(false), _) => return r,
+        (BinOp::Or, _, Expr::Bool(false)) => return l,
+        (BinOp::Or, Expr::Bool(true), _) | (BinOp::Or, _, Expr::Bool(true)) => {
+            return Expr::Bool(true)
+        }
+        _ => {}
+    }
+
+    Expr::Bin(op, Box::new(l), Box::new(r))
+}
+
 macro_rules! bin_op_method {
     ($($(#[$doc:meta])* $name:ident => $op:ident),*) => {$(
         impl Expr {
@@ -716,6 +857,109 @@ mod tests {
         // Simplification preserves evaluation on well-typed expressions.
         let v = Value::Tuple(vec![pair(7, 5), Value::U64(9)]);
         assert_eq!(composed.eval(&v), composed.simplify().eval(&v));
+    }
+
+    #[test]
+    fn simplify_folds_constants_with_interpreter_semantics() {
+        let x = Expr::input;
+        // Arithmetic folds, including wrapping and division by zero.
+        assert_eq!(Expr::u64(2).add(Expr::u64(3)).simplify(), Expr::u64(5));
+        assert_eq!(
+            Expr::u64(u64::MAX).add(Expr::u64(1)).simplify(),
+            Expr::u64(0)
+        );
+        assert_eq!(Expr::u64(7).div(Expr::u64(0)).simplify(), Expr::u64(0));
+        assert_eq!(Expr::i64(-4).mul(Expr::i64(3)).simplify(), Expr::i64(-12));
+        // Identities.
+        assert_eq!(x().add(Expr::u64(0)).simplify(), x());
+        assert_eq!(x().sub(Expr::u64(0)).simplify(), x());
+        assert_eq!(x().mul(Expr::u64(1)).simplify(), x());
+        assert_eq!(x().div(Expr::u64(1)).simplify(), x());
+        assert_eq!(x().mul(Expr::u64(0)).simplify(), Expr::u64(0));
+        // Comparisons over literals and reflexive comparisons.
+        assert_eq!(Expr::u64(2).lt(Expr::u64(3)).simplify(), Expr::bool(true));
+        assert_eq!(x().field(1).eq(x().field(1)).simplify(), Expr::bool(true));
+        assert_eq!(x().field(1).lt(x().field(1)).simplify(), Expr::bool(false));
+        // Connectives with constant sides, and double negation.
+        assert_eq!(
+            x().eq(Expr::u64(1)).and(Expr::bool(true)).simplify(),
+            x().eq(Expr::u64(1))
+        );
+        assert_eq!(
+            x().eq(Expr::u64(1)).and(Expr::bool(false)).simplify(),
+            Expr::bool(false)
+        );
+        assert_eq!(
+            Expr::bool(false).or(x().eq(Expr::u64(1))).simplify(),
+            x().eq(Expr::u64(1))
+        );
+        assert_eq!(
+            x().eq(Expr::u64(1)).not().not().simplify(),
+            x().eq(Expr::u64(1))
+        );
+        // ¬ pushes through comparisons.
+        assert_eq!(x().lt(Expr::u64(5)).not().simplify(), Expr::u64(5).le(x()));
+    }
+
+    #[test]
+    fn simplify_canonicalises_comparison_orientation() {
+        let x = Expr::input;
+        // `a > b` and `b < a` become the same expression…
+        assert_eq!(
+            x().field(0).gt(x().field(1)).simplify(),
+            x().field(1).lt(x().field(0))
+        );
+        assert_eq!(
+            x().field(0).ge(x().field(1)).simplify(),
+            x().field(1).le(x().field(0))
+        );
+        // …which widens the factoring analysis: a predicate authored with `>` factors
+        // through a key pattern authored with `<`.
+        let key = x().field(0).field(1);
+        let authored = Expr::u64(3)
+            .lt(key.clone())
+            .and(key.clone().le(Expr::u64(40)));
+        let mirrored = key
+            .clone()
+            .gt(Expr::u64(3))
+            .and(Expr::u64(40).ge(key.clone()));
+        assert_eq!(authored.simplify(), mirrored.simplify());
+        let q = mirrored
+            .simplify()
+            .factor_through(&[&key])
+            .expect("canonicalised predicate factors through the key");
+        assert!(q.eval_bool(&Value::U64(4)));
+        assert!(!q.eval_bool(&Value::U64(3)));
+        assert!(!q.eval_bool(&Value::U64(41)));
+    }
+
+    #[test]
+    fn simplify_preserves_evaluation_on_random_well_typed_predicates() {
+        let x = Expr::input;
+        let exprs = [
+            x().field(0)
+                .add(Expr::u64(2))
+                .mul(Expr::u64(1))
+                .gt(x().field(1)),
+            x().field(0)
+                .ge(x().field(0))
+                .and(x().field(1).rem(Expr::u64(0)).eq(Expr::u64(0))),
+            x().field(0).lt(Expr::u64(3)).or(Expr::bool(false)).not(),
+            Expr::u64(4).sub(Expr::u64(6)).eq(x().field(1)),
+        ];
+        for expr in exprs {
+            let simplified = expr.simplify();
+            for a in 0..6u64 {
+                for b in 0..6u64 {
+                    let v = pair(a, b);
+                    assert_eq!(
+                        expr.eval(&v),
+                        simplified.eval(&v),
+                        "{expr} vs {simplified} at ({a}, {b})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -2,12 +2,13 @@
 //! by incremental query pipelines.
 
 use rand::Rng;
+use wpinq::plan::IncrementalEngine;
 use wpinq_analyses::edges::symmetric_edge_dataset;
-use wpinq_dataflow::{DataflowInput, Delta, Stream};
+use wpinq_dataflow::Delta;
 use wpinq_graph::{EdgeSwap, Graph};
 
 use crate::metropolis::CandidateState;
-use crate::scorers::{DistanceSink, Edge};
+use crate::scorers::{DistanceSink, Edge, EdgeFlow, EdgeInput};
 
 /// A synthetic candidate graph, its incremental dataflow, and the scorers binding it to the
 /// released measurements.
@@ -16,28 +17,47 @@ use crate::scorers::{DistanceSink, Edge};
 /// `(a, b)` and `(c, d)` by `(a, d)` and `(c, b)`. Each applied swap pushes eight directed
 /// edge deltas through the dataflow (four removals and four insertions, counting both
 /// orientations), and the scorer sinks update `‖Q(A) − m‖₁` incrementally.
+///
+/// The dataflow runs on either incremental engine — the sequential `Stream` graph or the
+/// hash-partitioned sharded engine ([`IncrementalEngine`]); both propagate swaps bitwise
+/// identically, so a trajectory's accept/reject decisions are engine-independent.
 pub struct GraphCandidate {
     graph: Graph,
-    input: DataflowInput<Edge>,
+    engine: IncrementalEngine,
+    input: EdgeInput,
     sinks: Vec<Box<dyn DistanceSink>>,
 }
 
 impl GraphCandidate {
-    /// Builds a candidate from a seed graph. `build_scorers` receives the candidate's edge
-    /// stream and attaches whatever measurement scorers the workflow needs; afterwards the
-    /// seed graph's edges are loaded into the dataflow.
+    /// Builds a candidate over the sequential engine. `build_scorers` receives the
+    /// candidate's edge flow and attaches whatever measurement scorers the workflow
+    /// needs; afterwards the seed graph's edges are loaded into the dataflow.
     pub fn new<F>(seed: Graph, build_scorers: F) -> Self
     where
-        F: FnOnce(&Stream<Edge>) -> Vec<Box<dyn DistanceSink>>,
+        F: FnOnce(&EdgeFlow) -> Vec<Box<dyn DistanceSink>>,
     {
-        let (input, stream) = DataflowInput::<Edge>::new();
-        let sinks = build_scorers(&stream);
+        Self::with_engine(seed, IncrementalEngine::Sequential, build_scorers)
+    }
+
+    /// [`new`](Self::new) over an explicit incremental engine.
+    pub fn with_engine<F>(seed: Graph, engine: IncrementalEngine, build_scorers: F) -> Self
+    where
+        F: FnOnce(&EdgeFlow) -> Vec<Box<dyn DistanceSink>>,
+    {
+        let (input, flow) = EdgeFlow::create(engine);
+        let sinks = build_scorers(&flow);
         input.push_dataset(&symmetric_edge_dataset(&seed));
         GraphCandidate {
             graph: seed,
+            engine,
             input,
             sinks,
         }
+    }
+
+    /// The incremental engine this candidate's dataflow runs on.
+    pub fn engine(&self) -> IncrementalEngine {
+        self.engine
     }
 
     /// The current synthetic graph.
@@ -132,17 +152,23 @@ mod tests {
     use wpinq_graph::{generators, stats};
 
     fn measured_candidate(secret: &Graph, seed: Graph, epsilon: f64) -> GraphCandidate {
+        measured_candidate_on(secret, seed, epsilon, IncrementalEngine::Sequential)
+    }
+
+    fn measured_candidate_on(
+        secret: &Graph,
+        seed: Graph,
+        epsilon: f64,
+        engine: IncrementalEngine,
+    ) -> GraphCandidate {
         let edges = GraphEdges::new(secret, PrivacyBudget::unlimited());
         let mut rng = StdRng::seed_from_u64(7);
         let tbi = TbiMeasurement::measure(&edges.queryable(), epsilon, &mut rng).unwrap();
         let seq = degree_sequence_query(&edges.queryable())
             .noisy_count(epsilon, &mut rng)
             .unwrap();
-        GraphCandidate::new(seed, |stream| {
-            vec![
-                tbi_scorer(stream, &tbi),
-                degree_sequence_scorer(stream, &seq),
-            ]
+        GraphCandidate::with_engine(seed, engine, |flow| {
+            vec![tbi_scorer(flow, &tbi), degree_sequence_scorer(flow, &seq)]
         })
     }
 
@@ -200,6 +226,44 @@ mod tests {
             stats::degree_sequence(candidate.graph()),
             stats::degree_sequence(&secret)
         );
+    }
+
+    #[test]
+    fn seeded_trajectories_are_bitwise_identical_across_engines() {
+        // The acceptance test compares exact floats, so bitwise-equal energies imply the
+        // engines accept and reject the very same swaps — the whole seeded trajectory,
+        // graph included, is engine-independent.
+        let mut rng = StdRng::seed_from_u64(9);
+        let secret = generators::powerlaw_cluster(40, 3, 0.7, &mut rng);
+        let mut seed = secret.clone();
+        generators::degree_preserving_rewire(&mut seed, 150, &mut rng);
+        let engines = [
+            IncrementalEngine::Sequential,
+            IncrementalEngine::Sharded(1),
+            IncrementalEngine::Sharded(2),
+            IncrementalEngine::Sharded(8),
+        ];
+        let mut results = Vec::new();
+        for engine in engines {
+            let mut candidate = measured_candidate_on(&secret, seed.clone(), 1e5, engine);
+            assert_eq!(candidate.engine(), engine);
+            let driver = MetropolisHastings::new(0.1, 10_000.0);
+            let mut walk_rng = StdRng::seed_from_u64(42);
+            let mut energies = Vec::with_capacity(300);
+            for _ in 0..300 {
+                driver.step(&mut candidate, &mut walk_rng);
+                energies.push(candidate.energy());
+            }
+            assert!(candidate.scorer_drift() < 1e-6);
+            results.push((energies, candidate.graph().sorted_edges()));
+        }
+        let (reference_energies, reference_edges) = &results[0];
+        for (energies, edges) in &results[1..] {
+            assert_eq!(edges, reference_edges, "trajectory graphs diverged");
+            for (step, (a, b)) in energies.iter().zip(reference_energies).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "energy diverged at step {step}");
+            }
+        }
     }
 
     #[test]

@@ -27,10 +27,65 @@ use wpinq_analyses::edges::EdgeSource;
 use wpinq_analyses::jdd::{jdd_plan, jdd_record_weight};
 use wpinq_analyses::tbi::{tbi_plan, TbiMeasurement};
 use wpinq_analyses::triangles::{tbd_plan, TbdMeasurement};
-use wpinq_dataflow::{ScorerHandle, Stream};
+use wpinq_dataflow::{ScorerHandle, ShardedInput, ShardedStream, Stream};
 
 /// A directed edge record, matching `wpinq_analyses::edges::Edge`.
 pub type Edge = (u32, u32);
+
+/// A candidate graph's edge delta flow under either incremental engine — the seam the
+/// scorers lower analysis plans onto. Built by
+/// [`GraphCandidate::with_engine`](crate::GraphCandidate::with_engine) from a
+/// [`wpinq::plan::IncrementalEngine`] choice; both variants score bitwise identically.
+pub enum EdgeFlow {
+    /// The sequential `Stream` graph.
+    Sequential(Stream<Edge>),
+    /// The hash-partitioned sharded engine.
+    Sharded(ShardedStream<Edge>),
+}
+
+impl EdgeFlow {
+    /// Creates the flow (input handle + stream) for the given engine.
+    pub fn create(engine: wpinq::plan::IncrementalEngine) -> (EdgeInput, EdgeFlow) {
+        use wpinq::plan::IncrementalEngine;
+        match engine {
+            IncrementalEngine::Sequential => {
+                let (input, stream) = wpinq_dataflow::DataflowInput::new();
+                (EdgeInput::Sequential(input), EdgeFlow::Sequential(stream))
+            }
+            IncrementalEngine::Sharded(_) => {
+                let (input, stream) = ShardedInput::new(engine.shard_count());
+                (EdgeInput::Sharded(input), EdgeFlow::Sharded(stream))
+            }
+        }
+    }
+}
+
+/// The writable end of an [`EdgeFlow`]: edge deltas pushed here propagate through every
+/// scorer lowered onto the flow.
+pub enum EdgeInput {
+    /// Input of the sequential `Stream` graph.
+    Sequential(wpinq_dataflow::DataflowInput<Edge>),
+    /// Input of the sharded engine.
+    Sharded(ShardedInput<Edge>),
+}
+
+impl EdgeInput {
+    /// Pushes a batch of edge deltas into the flow.
+    pub fn push(&self, deltas: &[wpinq_dataflow::Delta<Edge>]) {
+        match self {
+            EdgeInput::Sequential(input) => input.push(deltas),
+            EdgeInput::Sharded(input) => input.push(deltas),
+        }
+    }
+
+    /// Pushes an entire edge dataset as insertions.
+    pub fn push_dataset(&self, data: &wpinq::WeightedDataset<Edge>) {
+        match self {
+            EdgeInput::Sequential(input) => input.push_dataset(data),
+            EdgeInput::Sharded(input) => input.push_dataset(data),
+        }
+    }
+}
 
 /// Anything that reports an incrementally maintained distance to its measurement target.
 pub trait DistanceSink {
@@ -69,10 +124,10 @@ fn observed_targets<T: Record>(counts: &NoisyCounts<T>) -> HashMap<T, f64> {
         .collect()
 }
 
-/// Lowers an analysis plan onto the candidate's edge stream and scores it against explicit
-/// measurement targets.
+/// Lowers an analysis plan onto the candidate's edge flow (either engine) and scores it
+/// against explicit measurement targets.
 fn plan_scorer<T, F>(
-    edges: &Stream<Edge>,
+    edges: &EdgeFlow,
     epsilon: f64,
     targets: HashMap<T, f64>,
     build: F,
@@ -84,7 +139,13 @@ where
 {
     let source = EdgeSource::new();
     let measurement = build(source.plan()).noisy_count(epsilon);
-    let handle = measurement.lower_scorer_targets(&source.bind_stream(edges.clone()), targets);
+    let handle = match edges {
+        EdgeFlow::Sequential(stream) => {
+            measurement.lower_scorer_targets(&source.bind_stream(stream.clone()), targets)
+        }
+        EdgeFlow::Sharded(stream) => measurement
+            .lower_scorer_targets_sharded(&source.bind_sharded_stream(stream.clone()), targets),
+    };
     Box::new(LabelledScorer {
         handle,
         label: label.to_string(),
@@ -93,7 +154,7 @@ where
 
 /// Scores the candidate's degree CCDF against a released noisy CCDF.
 pub fn degree_ccdf_scorer(
-    edges: &Stream<Edge>,
+    edges: &EdgeFlow,
     measurement: &NoisyCounts<u64>,
 ) -> Box<dyn DistanceSink> {
     plan_scorer(
@@ -107,7 +168,7 @@ pub fn degree_ccdf_scorer(
 
 /// Scores the candidate's (non-increasing) degree sequence against a released measurement.
 pub fn degree_sequence_scorer(
-    edges: &Stream<Edge>,
+    edges: &EdgeFlow,
     measurement: &NoisyCounts<u64>,
 ) -> Box<dyn DistanceSink> {
     plan_scorer(
@@ -120,7 +181,7 @@ pub fn degree_sequence_scorer(
 }
 
 /// Scores the candidate's Triangles-by-Intersect signal against a released [`TbiMeasurement`].
-pub fn tbi_scorer(edges: &Stream<Edge>, measurement: &TbiMeasurement) -> Box<dyn DistanceSink> {
+pub fn tbi_scorer(edges: &EdgeFlow, measurement: &TbiMeasurement) -> Box<dyn DistanceSink> {
     plan_scorer(
         edges,
         measurement.epsilon,
@@ -132,7 +193,7 @@ pub fn tbi_scorer(edges: &Stream<Edge>, measurement: &TbiMeasurement) -> Box<dyn
 
 /// Scores the candidate's (bucketed) Triangles-by-Degree weights against a released
 /// [`TbdMeasurement`].
-pub fn tbd_scorer(edges: &Stream<Edge>, measurement: &TbdMeasurement) -> Box<dyn DistanceSink> {
+pub fn tbd_scorer(edges: &EdgeFlow, measurement: &TbdMeasurement) -> Box<dyn DistanceSink> {
     let bucket = measurement.bucket().max(1);
     plan_scorer(
         edges,
@@ -145,7 +206,7 @@ pub fn tbd_scorer(edges: &Stream<Edge>, measurement: &TbdMeasurement) -> Box<dyn
 
 /// Scores the candidate's joint degree distribution against released noisy JDD counts.
 pub fn jdd_scorer(
-    edges: &Stream<Edge>,
+    edges: &EdgeFlow,
     measurement: &NoisyCounts<(u64, u64)>,
 ) -> Box<dyn DistanceSink> {
     plan_scorer(
@@ -186,7 +247,7 @@ mod tests {
         let measurement = TbiMeasurement::measure(&edges.queryable(), 1e6, &mut rng).unwrap();
 
         let (input, stream) = DataflowInput::<Edge>::new();
-        let sink = tbi_scorer(&stream, &measurement);
+        let sink = tbi_scorer(&EdgeFlow::Sequential(stream), &measurement);
         // Before loading anything the distance is the full measured signal.
         assert!((sink.distance() - measurement.noisy_signal.abs()).abs() < 1e-9);
         input.push_dataset(&symmetric_edge_dataset(&g));
@@ -208,7 +269,7 @@ mod tests {
             .unwrap();
 
         let (input, stream) = DataflowInput::<Edge>::new();
-        let sink = degree_ccdf_scorer(&stream, &measurement);
+        let sink = degree_ccdf_scorer(&EdgeFlow::Sequential(stream), &measurement);
         input.push_dataset(&symmetric_edge_dataset(&g));
         // The candidate equals the measured graph, so the distance equals the total noise.
         let expected = measurement.l1_distance(degree_ccdf_query(&edges.queryable()).inspect());
@@ -227,7 +288,7 @@ mod tests {
         let measurement = TbdMeasurement::measure(&edges.queryable(), 1e6, 1, &mut rng).unwrap();
 
         let (input, stream) = DataflowInput::<Edge>::new();
-        let sink = tbd_scorer(&stream, &measurement);
+        let sink = tbd_scorer(&EdgeFlow::Sequential(stream), &measurement);
         input.push_dataset(&symmetric_edge_dataset(&g));
         let with_truth = sink.distance();
         assert!(with_truth < 1e-3);
@@ -246,7 +307,7 @@ mod tests {
             .noisy_count(1e6, &mut rng)
             .unwrap();
         let (input, stream) = DataflowInput::<Edge>::new();
-        let sink = jdd_scorer(&stream, &measurement);
+        let sink = jdd_scorer(&EdgeFlow::Sequential(stream), &measurement);
         assert!(sink.distance() > 0.0);
         input.push_dataset(&symmetric_edge_dataset(&g));
         assert!(sink.distance() < 1e-3);
@@ -286,6 +347,102 @@ mod tests {
             (handles[1].distance() - handles[1].recompute_distance()).abs() < 1e-9,
             "optimized lowering drifted from its own recomputation"
         );
+    }
+
+    #[test]
+    fn scorers_agree_bitwise_across_incremental_engines() {
+        use wpinq::plan::IncrementalEngine;
+        let g = toy_graph();
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let mut rng = StdRng::seed_from_u64(21);
+        let measurement = TbdMeasurement::measure(&edges.queryable(), 1e4, 1, &mut rng).unwrap();
+        let engines = [
+            IncrementalEngine::Sequential,
+            IncrementalEngine::Sharded(1),
+            IncrementalEngine::Sharded(2),
+            IncrementalEngine::Sharded(8),
+        ];
+        let mut flows = Vec::new();
+        for engine in engines {
+            let (input, flow) = EdgeFlow::create(engine);
+            let sink = tbd_scorer(&flow, &measurement);
+            input.push_dataset(&symmetric_edge_dataset(&g));
+            flows.push((input, sink));
+        }
+        let reference = flows[0].1.distance();
+        for (_, sink) in &flows[1..] {
+            assert_eq!(reference.to_bits(), sink.distance().to_bits());
+        }
+        // Remove the triangle-closing edge everywhere: the engines move in lock-step.
+        for (input, _) in &flows {
+            input.push(&[((0, 2), -1.0), ((2, 0), -1.0)]);
+        }
+        let reference = flows[0].1.distance();
+        assert!(reference > 0.1);
+        for (_, sink) in &flows[1..] {
+            assert_eq!(reference.to_bits(), sink.distance().to_bits());
+        }
+    }
+
+    #[test]
+    fn optimizer_level_and_engine_choice_commute_on_scorer_distances() {
+        // The satellite guarantee: seeded scoring is identical across
+        // `OptimizeLevel::{None, Full}` × incremental engine {sequential, sharded}.
+        use wpinq::plan::{IncrementalEngine, OptimizeLevel};
+        use wpinq_analyses::tbi::tbi_plan;
+        use wpinq_dataflow::ShardedInput;
+
+        let g = toy_graph();
+        let edges = GraphEdges::new(&g, PrivacyBudget::unlimited());
+        let mut rng = StdRng::seed_from_u64(23);
+        let measurement = TbiMeasurement::measure(&edges.queryable(), 1e4, &mut rng).unwrap();
+        let targets = HashMap::from([((), measurement.noisy_signal)]);
+
+        let mut handles = Vec::new();
+        let mut push_truth: Vec<Box<dyn Fn()>> = Vec::new();
+        for level in [OptimizeLevel::None, OptimizeLevel::Full] {
+            for engine in [IncrementalEngine::Sequential, IncrementalEngine::Sharded(2)] {
+                let source = EdgeSource::new();
+                let annotated = tbi_plan(source.plan()).noisy_count(measurement.epsilon);
+                match engine {
+                    IncrementalEngine::Sequential => {
+                        let (input, stream) = DataflowInput::<Edge>::new();
+                        let handle = annotated
+                            .plan()
+                            .lower_opt(&source.bind_stream(stream), level)
+                            .l1_scorer(targets.clone());
+                        handles.push(handle);
+                        let g = g.clone();
+                        push_truth.push(Box::new(move || {
+                            input.push_dataset(&symmetric_edge_dataset(&g))
+                        }));
+                    }
+                    IncrementalEngine::Sharded(n) => {
+                        let (input, stream) = ShardedInput::<Edge>::new(n);
+                        let handle = annotated
+                            .plan()
+                            .lower_sharded_opt(&source.bind_sharded_stream(stream), level)
+                            .l1_scorer(targets.clone());
+                        handles.push(handle);
+                        let g = g.clone();
+                        push_truth.push(Box::new(move || {
+                            input.push_dataset(&symmetric_edge_dataset(&g))
+                        }));
+                    }
+                }
+            }
+        }
+        for push in &push_truth {
+            push();
+        }
+        let reference = handles[0].distance();
+        for handle in &handles[1..] {
+            assert_eq!(
+                reference.to_bits(),
+                handle.distance().to_bits(),
+                "scorer distance depends on optimize level × engine"
+            );
+        }
     }
 
     #[test]

@@ -15,7 +15,9 @@ use wpinq_analyses::degree::{
 use wpinq_analyses::edges::{
     edge_count_plan, edge_count_plan_expr, symmetric_edge_dataset, EDGES_DATASET,
 };
+use wpinq_analyses::jdd::{jdd_plan, jdd_plan_expr};
 use wpinq_analyses::nodes::{node_count_plan, node_count_plan_expr, nodes_plan, nodes_plan_expr};
+use wpinq_analyses::squares::{sbd_plan, sbd_plan_expr};
 use wpinq_analyses::triangles::{tbd_plan, tbd_plan_expr};
 use wpinq_expr::Json;
 use wpinq_graph::Graph;
@@ -104,6 +106,8 @@ fn every_builtin_analysis_round_trips_byte_identically_with_correct_debits() {
         ("node_count", 1),
         ("edge_count", 1),
         ("tbd", 9),
+        ("jdd", 4),
+        ("sbd", 12),
     ];
 
     for (name, multiplicity) in cases {
@@ -135,6 +139,14 @@ fn every_builtin_analysis_round_trips_byte_identically_with_correct_debits() {
             "tbd" => (
                 local_release(&tbd_plan(&source, 2), &source, &graph),
                 service_release(&service, &tbd_plan_expr(&source, 2), &analyst),
+            ),
+            "jdd" => (
+                local_release(&jdd_plan(&source), &source, &graph),
+                service_release(&service, &jdd_plan_expr(&source), &analyst),
+            ),
+            "sbd" => (
+                local_release(&sbd_plan(&source), &source, &graph),
+                service_release(&service, &sbd_plan_expr(&source), &analyst),
             ),
             _ => unreachable!(),
         };

@@ -43,7 +43,7 @@
 //!
 //! * **serializable**: [`Plan::to_spec`] emits the versioned `PlanSpec` wire format and
 //!   [`plan_from_spec`] rebuilds an executable plan over dynamic
-//!   [`Value`](wpinq_core::value::Value) records (the `wpinq-service` crate's
+//!   [`Value`] records (the `wpinq-service` crate's
 //!   measurement server is built on this);
 //! * **readable**: [`Plan::render`] and [`Plan::explain`] pretty-print expression
 //!   payloads (`Where((x.0 != x.2))`) where closures show an opaque `<fn>`;
@@ -90,10 +90,11 @@ use wpinq_core::value::{ExprRecord, Value, ValueType};
 use wpinq_dataflow::Stream;
 use wpinq_expr::{Expr, PlanSpec, ReduceSpec};
 
-pub use bindings::{PlanBindings, StreamBindings};
+pub use bindings::{PlanBindings, ShardedStreamBindings, StreamBindings};
 pub use executor::{
-    available_threads, default_executor, executor_for_threads, Executor, SequentialExecutor,
-    ShardedExecutor, MAX_SHARDS, THREADS_ENV,
+    available_threads, default_backend, default_executor, executor_for_threads, Backend, Executor,
+    IncrementalEngine, PairedBackend, SequentialExecutor, ShardedExecutor, INC_SHARDS_ENV,
+    MAX_SHARDS, THREADS_ENV,
 };
 pub use measurement::Measurement;
 pub use optimize::{OptimizeLevel, PlanExplain, OPTIMIZE_ENV};
@@ -101,8 +102,8 @@ pub use wire::{dataset_to_values, plan_from_spec, DynPlan, DynSource};
 
 use nodes::{
     BatchCtx, BinaryKind, BinaryNode, EmptyNode, FilterNode, GroupByNode, InputNode, JoinExprs,
-    JoinNode, LowerCtx, MultCtx, PlanNode, PredFn, RenderCtx, SelectManyExprs, SelectManyNode,
-    SelectNode, ShardCtx, ShaveNode,
+    JoinNode, LowerCtx, LowerShardedCtx, MultCtx, PlanNode, PredFn, RenderCtx, SelectManyExprs,
+    SelectManyNode, SelectNode, ShardCtx, ShaveNode,
 };
 use optimize::{ClosureId, RefCounts, RewriteCtx};
 use wire::{decode_record, SpecCtx};
@@ -513,6 +514,45 @@ impl<T: Record> Plan<T> {
             return hit;
         }
         let lowered = self.node.lower(ctx);
+        ctx.store::<T>(self.node_key(), lowered.clone());
+        lowered
+    }
+
+    /// Compiles the plan onto the **sharded** incremental engine
+    /// ([`wpinq_dataflow::sharded`]): like [`lower`](Self::lower), but sources are bound
+    /// to [`ShardedStream`](wpinq_dataflow::ShardedStream)s and every compiled operator keeps hash-partitioned state,
+    /// processing delta batches on worker threads. Propagation is bitwise identical to
+    /// the sequential lowering for every shard count.
+    ///
+    /// # Panics
+    /// Panics if a source reached by the plan is unbound or bound at a different record
+    /// type.
+    pub fn lower_sharded(
+        &self,
+        bindings: &ShardedStreamBindings,
+    ) -> wpinq_dataflow::ShardedStream<T> {
+        self.lower_sharded_opt(bindings, OptimizeLevel::from_env())
+    }
+
+    /// [`lower_sharded`](Self::lower_sharded) at an explicit [`OptimizeLevel`].
+    pub fn lower_sharded_opt(
+        &self,
+        bindings: &ShardedStreamBindings,
+        level: OptimizeLevel,
+    ) -> wpinq_dataflow::ShardedStream<T> {
+        let plan = optimize::rewrite_plan(self, level, None);
+        let mut ctx = LowerShardedCtx::new(bindings);
+        plan.lower_sharded_node(&mut ctx)
+    }
+
+    pub(crate) fn lower_sharded_node(
+        &self,
+        ctx: &mut LowerShardedCtx<'_>,
+    ) -> wpinq_dataflow::ShardedStream<T> {
+        if let Some(hit) = ctx.lookup::<T>(self.node_key()) {
+            return hit;
+        }
+        let lowered = self.node.lower_sharded(ctx);
         ctx.store::<T>(self.node_key(), lowered.clone());
         lowered
     }

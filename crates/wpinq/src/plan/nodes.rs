@@ -21,10 +21,10 @@ use wpinq_core::operators as batch;
 use wpinq_core::record::Record;
 use wpinq_core::shard::{self, ShardedDataset};
 use wpinq_core::value::{Value, ValueType};
-use wpinq_dataflow::{DataflowInput, Stream};
+use wpinq_dataflow::{DataflowInput, ShardedInput, ShardedStream, Stream};
 use wpinq_expr::{Expr, ReduceSpec, SpecNode};
 
-use super::bindings::{PlanBindings, StreamBindings};
+use super::bindings::{PlanBindings, ShardedStreamBindings, StreamBindings};
 use super::optimize::{ClosureId, NodeShape, OpTag, RefCounts, RewriteCtx};
 use super::wire::SpecCtx;
 use super::{InputId, Plan};
@@ -103,6 +103,10 @@ pub(crate) trait PlanNode<T: Record> {
 
     /// Lowers this node onto the incremental dataflow graph.
     fn lower(&self, ctx: &mut LowerCtx<'_>) -> Stream<T>;
+
+    /// Lowers this node onto the **sharded** incremental dataflow graph (the parallel
+    /// engine in `wpinq_dataflow::sharded`; parents via `Plan::lower_sharded_node`).
+    fn lower_sharded(&self, ctx: &mut LowerShardedCtx<'_>) -> ShardedStream<T>;
 
     /// Sums the source multiplicities of this node's parents (one per reference).
     fn multiplicities(&self, ctx: &mut MultCtx) -> BTreeMap<InputId, u32>;
@@ -340,6 +344,42 @@ impl<'a> LowerCtx<'a> {
     }
 }
 
+/// Context of one sharded lowering: sharded source streams plus a memo of
+/// already-lowered nodes (all co-sharded over the binding set's shard count).
+pub(crate) struct LowerShardedCtx<'a> {
+    bindings: &'a ShardedStreamBindings,
+    memo: HashMap<usize, Box<dyn Any>>,
+}
+
+impl<'a> LowerShardedCtx<'a> {
+    pub(crate) fn new(bindings: &'a ShardedStreamBindings) -> Self {
+        LowerShardedCtx {
+            bindings,
+            memo: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn lookup<T: Record>(&self, key: usize) -> Option<ShardedStream<T>> {
+        self.memo.get(&key).map(|any| {
+            any.downcast_ref::<ShardedStream<T>>()
+                .expect("plan memo entry has the node's record type")
+                .clone()
+        })
+    }
+
+    pub(crate) fn store<T: Record>(&mut self, key: usize, value: ShardedStream<T>) {
+        self.memo.insert(key, Box::new(value));
+    }
+
+    fn input<T: Record>(&self, id: InputId) -> ShardedStream<T> {
+        self.bindings.get::<T>(id)
+    }
+
+    fn nshards(&self) -> usize {
+        self.bindings.num_shards()
+    }
+}
+
 /// Context of one multiplicity computation.
 pub(crate) struct MultCtx {
     memo: HashMap<usize, Rc<BTreeMap<InputId, u32>>>,
@@ -450,6 +490,10 @@ impl<T: Record> PlanNode<T> for InputNode<T> {
         ctx.input::<T>(self.id)
     }
 
+    fn lower_sharded(&self, ctx: &mut LowerShardedCtx<'_>) -> ShardedStream<T> {
+        ctx.input::<T>(self.id)
+    }
+
     fn multiplicities(&self, _ctx: &mut MultCtx) -> BTreeMap<InputId, u32> {
         BTreeMap::from([(self.id, 1)])
     }
@@ -521,6 +565,12 @@ impl<T: Record> PlanNode<T> for EmptyNode<T> {
         // A fresh input stream whose handle is dropped immediately: no delta ever flows,
         // so the lowered node is permanently empty.
         let (_input, stream) = DataflowInput::new();
+        stream
+    }
+
+    fn lower_sharded(&self, ctx: &mut LowerShardedCtx<'_>) -> ShardedStream<T> {
+        // Same trick, co-sharded with the rest of the graph.
+        let (_input, stream) = ShardedInput::new(ctx.nshards());
         stream
     }
 
@@ -626,6 +676,11 @@ impl<T: Record, U: Record> PlanNode<U> for SelectNode<T, U> {
     fn lower(&self, ctx: &mut LowerCtx<'_>) -> Stream<U> {
         let f = self.f.clone();
         self.parent.lower_node(ctx).select(move |r| f(r))
+    }
+
+    fn lower_sharded(&self, ctx: &mut LowerShardedCtx<'_>) -> ShardedStream<U> {
+        let f = self.f.clone();
+        self.parent.lower_sharded_node(ctx).select(move |r| f(r))
     }
 
     fn multiplicities(&self, ctx: &mut MultCtx) -> BTreeMap<InputId, u32> {
@@ -769,6 +824,13 @@ impl<T: Record> PlanNode<T> for FilterNode<T> {
     fn lower(&self, ctx: &mut LowerCtx<'_>) -> Stream<T> {
         let predicate = self.predicate.clone();
         self.parent.lower_node(ctx).filter(move |r| predicate(r))
+    }
+
+    fn lower_sharded(&self, ctx: &mut LowerShardedCtx<'_>) -> ShardedStream<T> {
+        let predicate = self.predicate.clone();
+        self.parent
+            .lower_sharded_node(ctx)
+            .filter(move |r| predicate(r))
     }
 
     fn multiplicities(&self, ctx: &mut MultCtx) -> BTreeMap<InputId, u32> {
@@ -941,6 +1003,13 @@ impl<T: Record, U: Record> PlanNode<U> for SelectManyNode<T, U> {
     fn lower(&self, ctx: &mut LowerCtx<'_>) -> Stream<U> {
         let f = self.f.clone();
         self.parent.lower_node(ctx).select_many(move |r| f(r))
+    }
+
+    fn lower_sharded(&self, ctx: &mut LowerShardedCtx<'_>) -> ShardedStream<U> {
+        let f = self.f.clone();
+        self.parent
+            .lower_sharded_node(ctx)
+            .select_many(move |r| f(r))
     }
 
     fn multiplicities(&self, ctx: &mut MultCtx) -> BTreeMap<InputId, u32> {
@@ -1119,6 +1188,14 @@ impl<T: Record, K: Record, R: Record> PlanNode<(K, R)> for GroupByNode<T, K, R> 
             .group_by(move |r| key(r), move |g| reduce(g))
     }
 
+    fn lower_sharded(&self, ctx: &mut LowerShardedCtx<'_>) -> ShardedStream<(K, R)> {
+        let key = self.key.clone();
+        let reduce = self.reduce.clone();
+        self.parent
+            .lower_sharded_node(ctx)
+            .group_by(move |r| key(r), move |g| reduce(g))
+    }
+
     fn multiplicities(&self, ctx: &mut MultCtx) -> BTreeMap<InputId, u32> {
         (*self.parent.mult_node(ctx)).clone()
     }
@@ -1242,6 +1319,13 @@ impl<T: Record> PlanNode<(T, u64)> for ShaveNode<T> {
     fn lower(&self, ctx: &mut LowerCtx<'_>) -> Stream<(T, u64)> {
         let schedule = self.schedule.clone();
         self.parent.lower_node(ctx).shave(move |r| schedule(r))
+    }
+
+    fn lower_sharded(&self, ctx: &mut LowerShardedCtx<'_>) -> ShardedStream<(T, u64)> {
+        let schedule = self.schedule.clone();
+        self.parent
+            .lower_sharded_node(ctx)
+            .shave(move |r| schedule(r))
     }
 
     fn multiplicities(&self, ctx: &mut MultCtx) -> BTreeMap<InputId, u32> {
@@ -1520,6 +1604,20 @@ impl<A: Record, B: Record, K: Record, R: Record> PlanNode<R> for JoinNode<A, B, 
         )
     }
 
+    fn lower_sharded(&self, ctx: &mut LowerShardedCtx<'_>) -> ShardedStream<R> {
+        let left = self.left.lower_sharded_node(ctx);
+        let right = self.right.lower_sharded_node(ctx);
+        let key_left = self.key_left.clone();
+        let key_right = self.key_right.clone();
+        let result = self.result.clone();
+        left.join(
+            &right,
+            move |a| key_left(a),
+            move |b| key_right(b),
+            move |a, b| result(a, b),
+        )
+    }
+
     fn multiplicities(&self, ctx: &mut MultCtx) -> BTreeMap<InputId, u32> {
         let left = self.left.mult_node(ctx);
         let right = self.right.mult_node(ctx);
@@ -1740,6 +1838,17 @@ impl<T: Record> PlanNode<T> for BinaryNode<T> {
     fn lower(&self, ctx: &mut LowerCtx<'_>) -> Stream<T> {
         let left = self.left.lower_node(ctx);
         let right = self.right.lower_node(ctx);
+        match self.kind {
+            BinaryKind::Union => left.union(&right),
+            BinaryKind::Intersect => left.intersect(&right),
+            BinaryKind::Concat => left.concat(&right),
+            BinaryKind::Except => left.except(&right),
+        }
+    }
+
+    fn lower_sharded(&self, ctx: &mut LowerShardedCtx<'_>) -> ShardedStream<T> {
+        let left = self.left.lower_sharded_node(ctx);
+        let right = self.right.lower_sharded_node(ctx);
         match self.kind {
             BinaryKind::Union => left.union(&right),
             BinaryKind::Intersect => left.intersect(&right),

@@ -36,6 +36,7 @@ fn main() {
         triangle_query: TriangleQuery::TbI,
         score_degrees: false,
         threads: 0,
+        inc_shards: 0,
     };
     println!(
         "measuring with epsilon = {} (total privacy cost {:.1}), then running {} MCMC steps…",
