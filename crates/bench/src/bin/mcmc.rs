@@ -19,10 +19,17 @@
 //! Flags: `--scale full` for the full-size stand-ins, `--steps N` (default 2000 quick /
 //! 10000 full), `--seed N`, `--out PATH`.
 //!
-//! Speedups depend on the hardware: per-operator workers run on `std::thread::scope`
-//! threads, so a single-core container (`hardware_threads` in the JSON) cannot show
-//! wall-clock wins — and small swap batches run inline below the engine's parallel
-//! cutover regardless. Bitwise equality must (and does) hold either way.
+//! Each row also snapshots the engine's instrumentation counters — OS threads spawned
+//! (`wpinq::shard::threads_spawned`), worker-pool dispatches
+//! (`wpinq::shard::pool_dispatches`), and consolidating exchanges
+//! (`wpinq_dataflow::exchange_count`) — as deltas over the phase. The sharded engine's
+//! persistent worker pool is spawned once at load; the walk itself must spawn **zero**
+//! threads (asserted below), which is the whole point of the pool.
+//!
+//! Speedups depend on the hardware: pool workers are OS threads, so a single-core
+//! container (`hardware_threads` in the JSON) cannot show wall-clock wins — and small
+//! swap batches run inline below each operator's calibrated cutover regardless. Bitwise
+//! equality must (and does) hold either way.
 
 use std::time::Instant;
 
@@ -46,6 +53,40 @@ struct Row {
     steps_per_sec: f64,
     accepted: u64,
     final_energy: f64,
+    /// OS threads spawned during this phase (delta of [`wpinq::shard::threads_spawned`]).
+    spawns: u64,
+    /// Worker-pool dispatches during this phase (delta of
+    /// [`wpinq::shard::pool_dispatches`]).
+    dispatches: u64,
+    /// Consolidating exchanges during this phase (delta of
+    /// [`wpinq_dataflow::exchange_count`]).
+    exchanges: u64,
+}
+
+/// Snapshot of the engine instrumentation counters, for per-phase deltas.
+struct Counters {
+    spawns: u64,
+    dispatches: u64,
+    exchanges: u64,
+}
+
+impl Counters {
+    fn now() -> Counters {
+        Counters {
+            spawns: wpinq::shard::threads_spawned(),
+            dispatches: wpinq::shard::pool_dispatches(),
+            exchanges: wpinq_dataflow::exchange_count(),
+        }
+    }
+
+    fn delta(&self) -> Counters {
+        let now = Counters::now();
+        Counters {
+            spawns: now.spawns - self.spawns,
+            dispatches: now.dispatches - self.dispatches,
+            exchanges: now.exchanges - self.exchanges,
+        }
+    }
 }
 
 fn run_walk(
@@ -68,11 +109,15 @@ fn run_walk(
     };
 
     // Workload 1: lower the scorers and bulk-load the seed graph through the engine.
+    // The sharded engine's persistent worker pool is (lazily) created here, so any
+    // thread spawns land on this row.
+    let before = Counters::now();
     let started = Instant::now();
     let mut candidate = GraphCandidate::with_engine(seed_graph.clone(), engine, |flow| {
         vec![tbi_scorer(flow, &tbi), degree_sequence_scorer(flow, &seq)]
     });
     let load_ms = started.elapsed().as_secs_f64() * 1e3;
+    let load_counters = before.delta();
     let load_row = Row {
         workload: "mcmc-load",
         executor,
@@ -81,11 +126,15 @@ fn run_walk(
         steps_per_sec: 0.0,
         accepted: 0,
         final_energy: wpinq_mcmc::CandidateState::energy(&candidate),
+        spawns: load_counters.spawns,
+        dispatches: load_counters.dispatches,
+        exchanges: load_counters.exchanges,
     };
 
     // Workload 2: the edge-swap walk.
     let driver = MetropolisHastings::new(0.1, 10_000.0);
     let mut walk_rng = StdRng::seed_from_u64(seed + 1);
+    let before = Counters::now();
     let started = Instant::now();
     let mut accepted = 0u64;
     for _ in 0..steps {
@@ -94,8 +143,16 @@ fn run_walk(
         }
     }
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let walk_counters = before.delta();
     let drift = candidate.scorer_drift();
     assert!(drift < 1e-6, "scorer drift {drift} on {executor}/{shards}");
+    // Steady state: the walk reuses the pool spawned at load time — zero thread spawns
+    // per swap, on every engine.
+    assert_eq!(
+        walk_counters.spawns, 0,
+        "{executor}/{shards} spawned {} threads during the walk",
+        walk_counters.spawns
+    );
     let swaps_row = Row {
         workload: "mcmc-swaps",
         executor,
@@ -104,6 +161,9 @@ fn run_walk(
         steps_per_sec: steps as f64 / (wall_ms / 1e3).max(1e-9),
         accepted,
         final_energy: wpinq_mcmc::CandidateState::energy(&candidate),
+        spawns: walk_counters.spawns,
+        dispatches: walk_counters.dispatches,
+        exchanges: walk_counters.exchanges,
     };
     (load_row, swaps_row, candidate.graph().sorted_edges())
 }
@@ -125,13 +185,17 @@ fn write_json(path: &str, mode: &str, steps: u64, rows: &[Row]) -> std::io::Resu
         writeln!(
             f,
             "    {{\"workload\": \"{}\", \"executor\": \"{}\", \"shards\": {}, \
-             \"wall_ms\": {:.3}, \"steps_per_sec\": {:.3}, \"accepted\": {}}}{}",
+             \"wall_ms\": {:.3}, \"steps_per_sec\": {:.3}, \"accepted\": {}, \
+             \"spawns\": {}, \"pool_dispatches\": {}, \"exchanges\": {}}}{}",
             row.workload,
             row.executor,
             row.shards,
             row.wall_ms,
             row.steps_per_sec,
             row.accepted,
+            row.spawns,
+            row.dispatches,
+            row.exchanges,
             if i + 1 == rows.len() { "" } else { "," }
         )?;
     }
@@ -176,6 +240,8 @@ fn main() {
         "walk ms",
         "steps/s",
         "accepted",
+        "walk spawns",
+        "walk exchanges",
         "final energy",
     ]);
     for engine in engines {
@@ -205,6 +271,8 @@ fn main() {
             fmt_f(row.wall_ms, 1),
             fmt_f(row.steps_per_sec, 0),
             row.accepted.to_string(),
+            row.spawns.to_string(),
+            row.exchanges.to_string(),
             format!("{:.6}", row.final_energy),
         ]);
         rows.push(load_row);
@@ -222,4 +290,5 @@ fn main() {
         }
     }
     println!("All backends walked the identical seeded trajectory (bitwise energies; asserted).");
+    println!("Zero threads were spawned during every walk (steady-state pool reuse; asserted).");
 }

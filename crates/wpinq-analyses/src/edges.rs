@@ -110,6 +110,20 @@ impl EdgeSource {
         bindings.bind(&self.source, stream);
         bindings
     }
+
+    /// [`bind_sharded_stream`](Self::bind_sharded_stream) plus the expected number of
+    /// directed edge records the stream will carry (e.g. 2·|E| of a candidate graph).
+    /// The lowering calibrates each operator's inline/parallel cutover from this hint;
+    /// it never affects results.
+    pub fn bind_sharded_stream_sized(
+        &self,
+        stream: ShardedStream<Edge>,
+        expected_edges: usize,
+    ) -> ShardedStreamBindings {
+        let mut bindings = ShardedStreamBindings::new(stream.num_shards());
+        bindings.bind_with_size(&self.source, stream, expected_edges);
+        bindings
+    }
 }
 
 /// A graph's protected edge dataset together with its privacy budget — the starting point

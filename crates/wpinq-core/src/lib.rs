@@ -11,9 +11,9 @@
 //!   keys with these same kernels, and the `wpinq` plan layer's batch evaluator calls them
 //!   directly, so there is exactly one definition of each operator's weight arithmetic.
 //! * [`shard`] — hash-partitioned [`ShardedDataset`]s plus shard-parallel variants of every
-//!   batch kernel (`std::thread::scope` workers, exchanges at GroupBy/Join boundaries),
-//!   bitwise-identical to the sequential kernels thanks to the canonical accumulation
-//!   order in [`accumulate`].
+//!   batch kernel (long-lived [`shard::WorkerPool`] workers or scoped threads, selected by
+//!   [`shard::ShardRunner`]; exchanges at GroupBy/Join boundaries), bitwise-identical to
+//!   the sequential kernels thanks to the canonical accumulation order in [`accumulate`].
 //! * [`noise`] and [`aggregation`] — Laplace sampling and the `NoisyCount`/`NoisySum`
 //!   measurement primitives (no privacy accounting here; budgets live in `wpinq`).
 //! * [`weights`] — tolerances and the pruning threshold for real-valued record weights.
@@ -22,7 +22,10 @@
 //! `wpinq` (privacy accounting + query-plan IR) depends on both and re-exports everything
 //! here, so analysts normally import `wpinq::prelude::*` and never see `wpinq-core`.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: `shard::WorkerPool::map` needs exactly one `unsafe` lifetime
+// erasure (OS worker threads force `'static` job types; the call blocks until every
+// reply arrives, which is what makes it sound). Every other module stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod accumulate;

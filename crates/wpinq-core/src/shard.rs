@@ -3,9 +3,8 @@
 //! [`ShardedDataset<T>`] splits a [`WeightedDataset`] into `n` shards by a stable hash of
 //! the record, with the invariant that **every record lives in the shard
 //! `shard_of(record, n)` with its full, exactly-accumulated weight**. Each operator here
-//! mirrors one sequential kernel in [`crate::operators`], evaluating shard-wise on
-//! `std::thread::scope` workers and *exchanging* (re-routing) records only where the
-//! operator requires it:
+//! mirrors one sequential kernel in [`crate::operators`], evaluating shard-wise on worker
+//! threads and *exchanging* (re-routing) records only where the operator requires it:
 //!
 //! * `Where` preserves record identity, so it runs shard-local with no exchange.
 //! * The element-wise binary operators (`Union`, `Intersect`, `Concat`, `Except`) consume
@@ -16,14 +15,30 @@
 //!   *key* hash so each worker sees every record of its keys, then outputs are routed by
 //!   output-record hash.
 //!
-//! Where contributions from different shards can collide on one output record (`Select`,
-//! `SelectMany`, `Join`), they are resolved through the canonical accumulation order of
-//! [`crate::accumulate`], and the sequential kernels use the same canonicalisation — so a
-//! sharded evaluation is **bitwise identical** to a sequential one, for every shard count.
-//! This is checked operator-by-operator by the tests below and end-to-end by the plan
-//! property tests in the `wpinq` crate.
+//! Two worker strategies exist behind the same `map_shards`-shaped API, selected by
+//! [`ShardRunner`]:
+//!
+//! * **Scoped** ([`map_shards`]) spawns fresh `std::thread::scope` workers per call — the
+//!   original strategy, kept as the reference implementation.
+//! * **Pooled** ([`WorkerPool`]) keeps N long-lived workers, each owning its shard index,
+//!   fed lifetime-erased closures over `std::sync::mpsc` channels with results returned on
+//!   per-call reply channels. Steady-state dispatch spawns **zero** threads, which is what
+//!   makes sharding profitable for the tiny delta batches of the MCMC walk.
+//!
+//! Both strategies run the identical per-shard computation in the identical shard order,
+//! so outputs are bitwise interchangeable. Where contributions from different shards can
+//! collide on one output record (`Select`, `SelectMany`, `Join`), they are resolved
+//! through the canonical accumulation order of [`crate::accumulate`], and the sequential
+//! kernels use the same canonicalisation — so a sharded evaluation is **bitwise
+//! identical** to a sequential one, for every shard count and either runner. This is
+//! checked operator-by-operator by the tests below and end-to-end by the plan property
+//! tests in the `wpinq` crate.
 
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
 
 use rustc_hash::FxHasher;
 
@@ -117,8 +132,32 @@ impl<T: Record> ShardedDataset<T> {
 // Worker scaffolding
 // ---------------------------------------------------------------------------------------
 
+/// OS threads spawned by this module, cumulative over the process (scoped workers and
+/// pool construction both count; pool *dispatches* do not).
+static THREADS_SPAWNED: AtomicU64 = AtomicU64::new(0);
+
+/// Multi-shard batches dispatched onto a [`WorkerPool`] (single-shard batches run inline
+/// and are not counted), cumulative over the process.
+static POOL_DISPATCHES: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative count of OS threads spawned by shard workers (scoped per-call spawns plus
+/// pool construction). The MCMC bench snapshots this to prove the pooled engine spawns
+/// zero threads per step in steady state.
+pub fn threads_spawned() -> u64 {
+    THREADS_SPAWNED.load(Ordering::Relaxed)
+}
+
+/// Cumulative count of multi-shard batches dispatched onto [`WorkerPool`]s.
+pub fn pool_dispatches() -> u64 {
+    POOL_DISPATCHES.load(Ordering::Relaxed)
+}
+
 /// Runs `f(shard_index, input)` for every input on scoped worker threads, returning the
 /// results in shard order. Single-shard calls run inline to skip the spawn cost.
+///
+/// This is the reference strategy: it spawns `inputs.len()` fresh OS threads on every
+/// call. Steady-state workloads should prefer a [`WorkerPool`] (via [`ShardRunner`]),
+/// which is bitwise interchangeable.
 ///
 /// Public because the sharded *incremental* engine in `wpinq-dataflow` drives its
 /// per-operator delta kernels through the same worker scaffolding.
@@ -127,6 +166,7 @@ pub fn map_shards<I: Send, R: Send>(inputs: Vec<I>, f: impl Fn(usize, I) -> R + 
         let input = inputs.into_iter().next().expect("one input");
         return vec![f(0, input)];
     }
+    THREADS_SPAWNED.fetch_add(inputs.len() as u64, Ordering::Relaxed);
     std::thread::scope(|scope| {
         let f = &f;
         let handles: Vec<_> = inputs
@@ -146,6 +186,208 @@ pub fn for_each_shard<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R
     map_shards((0..n).collect::<Vec<_>>(), |_, index| f(index))
 }
 
+/// A work item shipped to a pool worker. Jobs constructed by [`WorkerPool::map`] catch
+/// their own panics and always answer on their reply channel, so workers never die.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A pool of long-lived shard workers fed over `mpsc` channels.
+///
+/// Worker `i` owns shard index `i` (batch `k` of a dispatch runs on worker
+/// `k % workers`), so repeated dispatches touch the same per-shard state from the same
+/// OS thread. Results come back on per-call reply channels; [`map`](Self::map) blocks
+/// until every reply has arrived, which is also what makes shipping non-`'static`
+/// closures to the workers sound. Dropping the pool closes the job channels and joins
+/// every worker.
+///
+/// A panic inside `f` is caught on the worker, shipped back, and re-raised from
+/// [`map`](Self::map) on the calling thread *after* all other replies have been drained —
+/// so the pool itself survives and stays usable.
+pub struct WorkerPool {
+    senders: Vec<mpsc::Sender<Job>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `workers` (clamped to ≥ 1) long-lived shard workers.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for index in 0..workers {
+            let (sender, receiver) = mpsc::channel::<Job>();
+            THREADS_SPAWNED.fetch_add(1, Ordering::Relaxed);
+            let handle = std::thread::Builder::new()
+                .name(format!("wpinq-shard-{index}"))
+                .spawn(move || {
+                    while let Ok(job) = receiver.recv() {
+                        // Jobs built by `map` catch panics internally; this outer guard
+                        // keeps the worker alive even for future job kinds that do not.
+                        let _ = catch_unwind(AssertUnwindSafe(job));
+                    }
+                })
+                .expect("failed to spawn shard worker");
+            senders.push(sender);
+            handles.push(handle);
+        }
+        WorkerPool { senders, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The process-wide shared pool for a given worker count, created on first use.
+    ///
+    /// Pools live for the rest of the process (like a global thread pool), so every
+    /// executor, dataflow graph and MCMC trajectory asking for the same shard count
+    /// shares one set of workers and the spawn count stays flat after warm-up.
+    pub fn shared(workers: usize) -> Arc<WorkerPool> {
+        static SHARED: OnceLock<Mutex<HashMap<usize, Arc<WorkerPool>>>> = OnceLock::new();
+        let workers = workers.max(1);
+        let registry = SHARED.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut pools = registry.lock().expect("worker-pool registry poisoned");
+        pools
+            .entry(workers)
+            .or_insert_with(|| Arc::new(WorkerPool::new(workers)))
+            .clone()
+    }
+
+    /// Pool twin of [`map_shards`]: runs `f(shard_index, input)` for every input on the
+    /// pool's workers (batch `k` on worker `k % workers`), returning results in shard
+    /// order. Single-input calls run inline, bitwise-identically and without touching
+    /// the channels.
+    #[allow(unsafe_code)]
+    pub fn map<I: Send, R: Send>(
+        &self,
+        inputs: Vec<I>,
+        f: impl Fn(usize, I) -> R + Sync,
+    ) -> Vec<R> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        if inputs.len() == 1 {
+            let input = inputs.into_iter().next().expect("one input");
+            return vec![f(0, input)];
+        }
+        POOL_DISPATCHES.fetch_add(1, Ordering::Relaxed);
+        let f = &f;
+        let workers = self.senders.len();
+        let mut replies = Vec::with_capacity(inputs.len());
+        for (index, input) in inputs.into_iter().enumerate() {
+            let (reply_tx, reply_rx) = mpsc::channel::<std::thread::Result<R>>();
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| f(index, input)));
+                // The caller may already be unwinding a panic from an earlier batch and
+                // have dropped the receiver; that is not this job's problem.
+                let _ = reply_tx.send(result);
+            });
+            // SAFETY: the job borrows `f` from this stack frame, which is not `'static`,
+            // but the channel (and the worker thread's signature) require `'static`.
+            // Erasing the lifetime is sound because this function does not return until
+            // the loop below has received on EVERY reply channel, and a reply channel
+            // only yields (a value or a disconnect) once its job has run to completion
+            // — or been destroyed unexecuted — on the worker. Either way no borrow held
+            // by any job outlives this call.
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+            self.senders[index % workers]
+                .send(job)
+                .expect("shard worker pool has shut down");
+            replies.push(reply_rx);
+        }
+        let mut results = Vec::with_capacity(replies.len());
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for reply in replies {
+            match reply.recv() {
+                Ok(Ok(value)) => results.push(Some(value)),
+                Ok(Err(payload)) => {
+                    results.push(None);
+                    panic.get_or_insert(payload);
+                }
+                // The job was dropped without running (worker shut down mid-call); every
+                // remaining reply channel is drained all the same before raising.
+                Err(mpsc::RecvError) => {
+                    results.push(None);
+                    panic.get_or_insert(Box::new("shard worker dropped a job without running it"));
+                }
+            }
+        }
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every worker replied"))
+            .collect()
+    }
+
+    /// Pool twin of [`for_each_shard`].
+    pub fn for_each<R: Send>(&self, n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+        self.map((0..n).collect::<Vec<_>>(), |_, index| f(index))
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the job channels makes every worker's `recv` fail, ending its loop.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            // Workers only exit via channel disconnect; a join error would mean a job
+            // escaped both catch_unwind guards. Never double-panic inside drop.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WorkerPool({} workers)", self.workers())
+    }
+}
+
+/// The worker strategy a sharded batch kernel runs on.
+///
+/// Both strategies execute the identical per-shard computation in the identical shard
+/// order, so their outputs are bitwise identical; the choice is purely about spawn cost.
+#[derive(Clone, Copy)]
+pub enum ShardRunner<'p> {
+    /// Fresh `std::thread::scope` workers per call ([`map_shards`]).
+    Scoped,
+    /// Long-lived workers from a [`WorkerPool`].
+    Pooled(&'p WorkerPool),
+}
+
+impl ShardRunner<'_> {
+    /// Runs `f(shard_index, input)` for every input on this strategy's workers.
+    pub fn map<I: Send, R: Send>(
+        &self,
+        inputs: Vec<I>,
+        f: impl Fn(usize, I) -> R + Sync,
+    ) -> Vec<R> {
+        match self {
+            ShardRunner::Scoped => map_shards(inputs, f),
+            ShardRunner::Pooled(pool) => pool.map(inputs, f),
+        }
+    }
+
+    /// Runs `f(shard_index)` for `0..n` on this strategy's workers.
+    pub fn for_each<R: Send>(&self, n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+        self.map((0..n).collect::<Vec<_>>(), |_, index| f(index))
+    }
+}
+
+impl std::fmt::Debug for ShardRunner<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardRunner::Scoped => write!(f, "ShardRunner::Scoped"),
+            ShardRunner::Pooled(pool) => {
+                write!(f, "ShardRunner::Pooled({} workers)", pool.workers())
+            }
+        }
+    }
+}
+
 /// Routing buffers produced by one worker: one `(record, weight)` bucket per destination.
 type Routed<T> = Vec<Vec<(T, f64)>>;
 
@@ -156,7 +398,7 @@ fn empty_routes<T>(n: usize) -> Routed<T> {
 /// Transposes per-producer routing buffers and canonically accumulates each destination
 /// shard in parallel. Collisions between contributions (same output record reached from
 /// several producers, or several times from one) are resolved in canonical order.
-fn exchange<U: Record>(routed: Vec<Routed<U>>) -> ShardedDataset<U> {
+fn exchange<U: Record>(routed: Vec<Routed<U>>, runner: ShardRunner<'_>) -> ShardedDataset<U> {
     let n = routed.first().map(Vec::len).expect("at least one producer");
     let mut by_dest: Vec<Vec<Vec<(U, f64)>>> = (0..n).map(|_| Vec::new()).collect();
     for producer in routed {
@@ -165,7 +407,7 @@ fn exchange<U: Record>(routed: Vec<Routed<U>>) -> ShardedDataset<U> {
             by_dest[dest].push(bucket);
         }
     }
-    let shards = map_shards(by_dest, |_, buckets| {
+    let shards = runner.map(by_dest, |_, buckets| {
         let mut acc = Contributions::new();
         for bucket in buckets {
             for (record, weight) in bucket {
@@ -191,14 +433,18 @@ fn route_dataset<U: Record>(data: WeightedDataset<U>, n: usize) -> Routed<U> {
 // ---------------------------------------------------------------------------------------
 
 /// Shard-parallel `Select` (see [`batch::select`]).
-pub fn select<T, U, F>(data: &ShardedDataset<T>, f: &F) -> ShardedDataset<U>
+pub fn select<T, U, F>(
+    data: &ShardedDataset<T>,
+    f: &F,
+    runner: ShardRunner<'_>,
+) -> ShardedDataset<U>
 where
     T: Record,
     U: Record,
     F: Fn(&T) -> U + Sync + ?Sized,
 {
     let n = data.num_shards();
-    let routed = for_each_shard(n, |index| {
+    let routed = runner.for_each(n, |index| {
         let mut routes = empty_routes(n);
         for (record, weight) in data.shards[index].iter() {
             let out = f(record);
@@ -206,31 +452,39 @@ where
         }
         routes
     });
-    exchange(routed)
+    exchange(routed, runner)
 }
 
 /// Shard-parallel `Where` (see [`batch::filter`]); record identity is preserved, so the
 /// partitioning survives and no exchange happens.
-pub fn filter<T, P>(data: &ShardedDataset<T>, predicate: &P) -> ShardedDataset<T>
+pub fn filter<T, P>(
+    data: &ShardedDataset<T>,
+    predicate: &P,
+    runner: ShardRunner<'_>,
+) -> ShardedDataset<T>
 where
     T: Record,
     P: Fn(&T) -> bool + Sync + ?Sized,
 {
-    let shards = for_each_shard(data.num_shards(), |index| {
+    let shards = runner.for_each(data.num_shards(), |index| {
         batch::filter(&data.shards[index], predicate)
     });
     ShardedDataset::from_shards(shards)
 }
 
 /// Shard-parallel `SelectMany` (see [`batch::select_many`]).
-pub fn select_many<T, U, F>(data: &ShardedDataset<T>, f: &F) -> ShardedDataset<U>
+pub fn select_many<T, U, F>(
+    data: &ShardedDataset<T>,
+    f: &F,
+    runner: ShardRunner<'_>,
+) -> ShardedDataset<U>
 where
     T: Record,
     U: Record,
     F: Fn(&T) -> WeightedDataset<U> + Sync + ?Sized,
 {
     let n = data.num_shards();
-    let routed = for_each_shard(n, |index| {
+    let routed = runner.for_each(n, |index| {
         let mut routes = empty_routes(n);
         for (record, weight) in data.shards[index].iter() {
             let produced = f(record);
@@ -245,22 +499,26 @@ where
         }
         routes
     });
-    exchange(routed)
+    exchange(routed, runner)
 }
 
 /// Shard-parallel `Shave` (see [`batch::shave`]). Outputs `(record, index)` are unique per
 /// input record, so the exchange only re-routes — no cross-shard collisions exist.
-pub fn shave<T, F, I>(data: &ShardedDataset<T>, schedule: &F) -> ShardedDataset<(T, u64)>
+pub fn shave<T, F, I>(
+    data: &ShardedDataset<T>,
+    schedule: &F,
+    runner: ShardRunner<'_>,
+) -> ShardedDataset<(T, u64)>
 where
     T: Record,
     F: Fn(&T) -> I + Sync + ?Sized,
     I: IntoIterator<Item = f64>,
 {
     let n = data.num_shards();
-    let routed = for_each_shard(n, |index| {
+    let routed = runner.for_each(n, |index| {
         route_dataset(batch::shave(&data.shards[index], schedule), n)
     });
-    exchange(routed)
+    exchange(routed, runner)
 }
 
 /// Shard-parallel `GroupBy` (see [`batch::group_by`]): records are exchanged by **key**
@@ -270,6 +528,7 @@ pub fn group_by<T, K, R, KF, RF>(
     data: &ShardedDataset<T>,
     key: &KF,
     reduce: &RF,
+    runner: ShardRunner<'_>,
 ) -> ShardedDataset<(K, R)>
 where
     T: Record,
@@ -281,7 +540,7 @@ where
     let n = data.num_shards();
     // Exchange inputs by key hash (each record moves with its exact weight; records are
     // globally unique, so no accumulation happens).
-    let routed = for_each_shard(n, |index| {
+    let routed = runner.for_each(n, |index| {
         let mut routes = empty_routes(n);
         for (record, weight) in data.shards[index].iter() {
             routes[shard_of(&key(record), n)].push((record.clone(), weight));
@@ -295,11 +554,11 @@ where
         }
     }
     // Each worker reduces its complete key groups, then routes outputs by record hash.
-    let produced = map_shards(by_dest, |_, records| {
+    let produced = runner.map(by_dest, |_, records| {
         let part = WeightedDataset::from_pairs(records);
         route_dataset(batch::group_by(&part, key, reduce), n)
     });
-    exchange(produced)
+    exchange(produced, runner)
 }
 
 /// Shard-parallel weight-rescaling `Join` (see [`batch::join`]): both inputs are exchanged
@@ -311,6 +570,7 @@ pub fn join<A, B, K, R, KA, KB, RF>(
     key_a: &KA,
     key_b: &KB,
     result: &RF,
+    runner: ShardRunner<'_>,
 ) -> ShardedDataset<R>
 where
     A: Record,
@@ -332,12 +592,13 @@ where
         data: &ShardedDataset<T>,
         key: &KF,
         n: usize,
+        runner: ShardRunner<'_>,
     ) -> Vec<Vec<(T, f64)>>
     where
         KF: Fn(&T) -> K + Sync + ?Sized,
         K: Hash,
     {
-        let routed = for_each_shard(n, |index| {
+        let routed = runner.for_each(n, |index| {
             let mut routes = empty_routes(n);
             for (record, weight) in data.shards[index].iter() {
                 routes[shard_of(&key(record), n)].push((record.clone(), weight));
@@ -353,10 +614,10 @@ where
         by_dest
     }
 
-    let a_by_key = route_by_key(a, key_a, n);
-    let b_by_key = route_by_key(b, key_b, n);
+    let a_by_key = route_by_key(a, key_a, n, runner);
+    let b_by_key = route_by_key(b, key_b, n, runner);
 
-    let produced = map_shards(
+    let produced = runner.map(
         a_by_key.into_iter().zip(b_by_key).collect::<Vec<_>>(),
         |_, (recs_a, recs_b)| {
             // Each worker owns complete key groups; the asymmetric build-small/probe-large
@@ -403,40 +664,57 @@ where
             routes
         },
     );
-    exchange(produced)
+    exchange(produced, runner)
 }
 
 /// Shard-parallel element-wise `Union` (co-sharded inputs, shard-local, no exchange).
-pub fn union<T: Record>(a: &ShardedDataset<T>, b: &ShardedDataset<T>) -> ShardedDataset<T> {
-    binary(a, b, batch::union)
+pub fn union<T: Record>(
+    a: &ShardedDataset<T>,
+    b: &ShardedDataset<T>,
+    runner: ShardRunner<'_>,
+) -> ShardedDataset<T> {
+    binary(a, b, batch::union, runner)
 }
 
 /// Shard-parallel element-wise `Intersect` (co-sharded inputs, shard-local, no exchange).
-pub fn intersect<T: Record>(a: &ShardedDataset<T>, b: &ShardedDataset<T>) -> ShardedDataset<T> {
-    binary(a, b, batch::intersect)
+pub fn intersect<T: Record>(
+    a: &ShardedDataset<T>,
+    b: &ShardedDataset<T>,
+    runner: ShardRunner<'_>,
+) -> ShardedDataset<T> {
+    binary(a, b, batch::intersect, runner)
 }
 
 /// Shard-parallel element-wise `Concat` (co-sharded inputs, shard-local, no exchange).
-pub fn concat<T: Record>(a: &ShardedDataset<T>, b: &ShardedDataset<T>) -> ShardedDataset<T> {
-    binary(a, b, batch::concat)
+pub fn concat<T: Record>(
+    a: &ShardedDataset<T>,
+    b: &ShardedDataset<T>,
+    runner: ShardRunner<'_>,
+) -> ShardedDataset<T> {
+    binary(a, b, batch::concat, runner)
 }
 
 /// Shard-parallel element-wise `Except` (co-sharded inputs, shard-local, no exchange).
-pub fn except<T: Record>(a: &ShardedDataset<T>, b: &ShardedDataset<T>) -> ShardedDataset<T> {
-    binary(a, b, batch::except)
+pub fn except<T: Record>(
+    a: &ShardedDataset<T>,
+    b: &ShardedDataset<T>,
+    runner: ShardRunner<'_>,
+) -> ShardedDataset<T> {
+    binary(a, b, batch::except, runner)
 }
 
 fn binary<T: Record>(
     a: &ShardedDataset<T>,
     b: &ShardedDataset<T>,
     op: impl Fn(&WeightedDataset<T>, &WeightedDataset<T>) -> WeightedDataset<T> + Sync,
+    runner: ShardRunner<'_>,
 ) -> ShardedDataset<T> {
     assert_eq!(
         a.num_shards(),
         b.num_shards(),
         "element-wise operators require co-sharded inputs (same shard count)"
     );
-    let shards = for_each_shard(a.num_shards(), |index| {
+    let shards = runner.for_each(a.num_shards(), |index| {
         op(&a.shards[index], &b.shards[index])
     });
     ShardedDataset::from_shards(shards)
@@ -462,6 +740,16 @@ mod tests {
                 merged.weight(record).to_bits(),
                 "weight of {record:?} differs bitwise"
             );
+        }
+    }
+
+    /// Runs `check` under both worker strategies for shard counts {1, 2, 8}.
+    fn for_all_runners(check: impl Fn(usize, ShardRunner<'_>)) {
+        for n in [1usize, 2, 8] {
+            let pool = WorkerPool::shared(n);
+            for runner in [ShardRunner::Scoped, ShardRunner::Pooled(&pool)] {
+                check(n, runner);
+            }
         }
     }
 
@@ -494,10 +782,10 @@ mod tests {
         // Deliberately collapse many records onto few outputs to force collisions.
         let f = |r: &(u32, u32)| r.0 % 5;
         let sequential = batch::select(&data, f);
-        for n in [1, 2, 8] {
-            let sharded = select(&ShardedDataset::partition(&data, n), &f);
+        for_all_runners(|n, runner| {
+            let sharded = select(&ShardedDataset::partition(&data, n), &f, runner);
             assert_bitwise_eq(&sharded, &sequential);
-        }
+        });
     }
 
     #[test]
@@ -505,10 +793,10 @@ mod tests {
         let data = sample();
         let p = |r: &(u32, u32)| !(r.0 + r.1).is_multiple_of(3);
         let sequential = batch::filter(&data, p);
-        for n in [1, 2, 8] {
-            let sharded = filter(&ShardedDataset::partition(&data, n), &p);
+        for_all_runners(|n, runner| {
+            let sharded = filter(&ShardedDataset::partition(&data, n), &p, runner);
             assert_bitwise_eq(&sharded, &sequential);
-        }
+        });
     }
 
     #[test]
@@ -517,10 +805,10 @@ mod tests {
         let f =
             |r: &(u32, u32)| WeightedDataset::from_records((0..(r.0 % 4)).map(|k| (r.0 + k) % 9));
         let sequential = batch::select_many(&data, f);
-        for n in [1, 2, 8] {
-            let sharded = select_many(&ShardedDataset::partition(&data, n), &f);
+        for_all_runners(|n, runner| {
+            let sharded = select_many(&ShardedDataset::partition(&data, n), &f, runner);
             assert_bitwise_eq(&sharded, &sequential);
-        }
+        });
     }
 
     #[test]
@@ -528,10 +816,10 @@ mod tests {
         let data = sample();
         let schedule = |_: &(u32, u32)| std::iter::repeat(0.4);
         let sequential = batch::shave(&data, schedule);
-        for n in [1, 2, 8] {
-            let sharded = shave(&ShardedDataset::partition(&data, n), &schedule);
+        for_all_runners(|n, runner| {
+            let sharded = shave(&ShardedDataset::partition(&data, n), &schedule, runner);
             assert_bitwise_eq(&sharded, &sequential);
-        }
+        });
     }
 
     #[test]
@@ -540,10 +828,10 @@ mod tests {
         let key = |r: &(u32, u32)| r.0 % 6;
         let reduce = |group: &[(u32, u32)]| group.len() as u64;
         let sequential = batch::group_by(&data, key, reduce);
-        for n in [1, 2, 8] {
-            let sharded = group_by(&ShardedDataset::partition(&data, n), &key, &reduce);
+        for_all_runners(|n, runner| {
+            let sharded = group_by(&ShardedDataset::partition(&data, n), &key, &reduce, runner);
             assert_bitwise_eq(&sharded, &sequential);
-        }
+        });
     }
 
     #[test]
@@ -554,24 +842,126 @@ mod tests {
         // Collapse outputs so contributions collide across keys.
         let res = |x: &(u32, u32), y: &(u32, u32)| (x.1 % 3, y.1 % 3);
         let sequential = batch::join(&data, &data, ka, kb, res);
-        for n in [1, 2, 8] {
+        for_all_runners(|n, runner| {
             let sharded_data = ShardedDataset::partition(&data, n);
-            let sharded = join(&sharded_data, &sharded_data, &ka, &kb, &res);
+            let sharded = join(&sharded_data, &sharded_data, &ka, &kb, &res, runner);
             assert_bitwise_eq(&sharded, &sequential);
-        }
+        });
     }
 
     #[test]
     fn set_operators_match_sequential_bitwise() {
         let a = sample();
         let b = batch::select(&a, |r: &(u32, u32)| ((r.0 + 1) % 13, r.1));
-        for n in [1, 2, 8] {
+        for_all_runners(|n, runner| {
             let sa = ShardedDataset::partition(&a, n);
             let sb = ShardedDataset::partition(&b, n);
-            assert_bitwise_eq(&union(&sa, &sb), &batch::union(&a, &b));
-            assert_bitwise_eq(&intersect(&sa, &sb), &batch::intersect(&a, &b));
-            assert_bitwise_eq(&concat(&sa, &sb), &batch::concat(&a, &b));
-            assert_bitwise_eq(&except(&sa, &sb), &batch::except(&a, &b));
+            assert_bitwise_eq(&union(&sa, &sb, runner), &batch::union(&a, &b));
+            assert_bitwise_eq(&intersect(&sa, &sb, runner), &batch::intersect(&a, &b));
+            assert_bitwise_eq(&concat(&sa, &sb, runner), &batch::concat(&a, &b));
+            assert_bitwise_eq(&except(&sa, &sb, runner), &batch::except(&a, &b));
+        });
+    }
+
+    // -----------------------------------------------------------------------------------
+    // WorkerPool behaviour
+    // -----------------------------------------------------------------------------------
+
+    #[test]
+    fn pool_map_matches_scoped_map_including_oversubscription() {
+        let pool = WorkerPool::new(2);
+        for len in [0usize, 1, 2, 3, 8, 17] {
+            let inputs: Vec<u64> = (0..len as u64).collect();
+            let scoped = map_shards(inputs.clone(), |i, x| (i as u64) * 1000 + x * 3);
+            let pooled = pool.map(inputs, |i, x| (i as u64) * 1000 + x * 3);
+            assert_eq!(scoped, pooled, "length {len}");
         }
+    }
+
+    #[test]
+    fn pool_construction_counts_spawns_and_dispatches() {
+        let spawned_before = threads_spawned();
+        let pool = WorkerPool::new(3);
+        assert!(threads_spawned() >= spawned_before + 3);
+        let dispatches_before = pool_dispatches();
+        let _ = pool.map(vec![1, 2, 3], |_, x| x);
+        assert!(pool_dispatches() > dispatches_before);
+        // Single-input batches run inline: no dispatch is recorded by *this* call
+        // (other tests may dispatch concurrently, so only the monotone bound is exact).
+        let _ = pool.map(vec![7], |_, x| x);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_stays_usable() {
+        let pool = WorkerPool::new(2);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            pool.map(vec![0u32, 1, 2, 3], |_, x| {
+                if x == 2 {
+                    panic!("boom in shard worker");
+                }
+                x
+            })
+        }));
+        assert!(outcome.is_err(), "panic must propagate to the caller");
+        // All four jobs were drained, so the pool is clean and reusable.
+        let again = pool.map(vec![10u32, 20, 30], |_, x| x + 1);
+        assert_eq!(again, vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn pool_drops_cleanly_even_twice_through_shared_handles() {
+        // Dropping an owned pool joins its workers without hanging or panicking.
+        let owned = WorkerPool::new(2);
+        let _ = owned.map(vec![1, 2], |_, x| x);
+        drop(owned);
+
+        // Two handles to one shared pool: dropping both must be safe, and the pool
+        // itself keeps serving other handles for the rest of the process.
+        let first = WorkerPool::shared(2);
+        let second = WorkerPool::shared(2);
+        assert!(Arc::ptr_eq(&first, &second), "registry must share pools");
+        let _ = first.map(vec![1, 2, 3], |_, x| x);
+        drop(first);
+        drop(second);
+        let third = WorkerPool::shared(2);
+        assert_eq!(third.map(vec![5, 6], |_, x| x * 2), vec![10, 12]);
+    }
+
+    #[test]
+    fn pool_survives_panic_then_drops_cleanly() {
+        let pool = WorkerPool::new(2);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            pool.map(vec![0u32, 1], |_, _| -> u32 {
+                panic!("both workers blow up")
+            })
+        }));
+        assert!(outcome.is_err());
+        drop(pool); // must join, not hang or double-panic
+    }
+
+    #[test]
+    fn runner_kernels_share_one_pool_across_calls() {
+        let data = sample();
+        let pool = WorkerPool::shared(8);
+        let spawned_after_warmup = {
+            // Warm the pool, then prove repeated kernel dispatches spawn nothing more
+            // *from this pool* (global counter may move if other tests spawn — use the
+            // dispatch counter, which only pools bump, as the steady-state signal).
+            let _ = filter(
+                &ShardedDataset::partition(&data, 8),
+                &|_: &(u32, u32)| true,
+                ShardRunner::Pooled(&pool),
+            );
+            pool_dispatches()
+        };
+        let _ = select(
+            &ShardedDataset::partition(&data, 8),
+            &|r: &(u32, u32)| r.0,
+            ShardRunner::Pooled(&pool),
+        );
+        assert!(
+            pool_dispatches() > spawned_after_warmup,
+            "select dispatched on the pool"
+        );
     }
 }

@@ -20,10 +20,14 @@
 //!   acceptance test needs).
 //! * [`sharded`] — the hash-partitioned parallel twin of [`stream`]: [`ShardedStream`]
 //!   carries delta batches partitioned by record hash, stateful operators shard their
-//!   state by key hash and recompute affected keys on `std::thread::scope` workers, and
-//!   deltas are exchanged only at `GroupBy`/`Join` boundaries. Propagation is **bitwise
-//!   identical** to the sequential graph (canonical consolidation at every exchange,
-//!   canonical `L1Scorer` batch merges), so the MCMC walk can switch engines freely.
+//!   state by key hash and recompute affected keys on the long-lived
+//!   [`wpinq_core::shard::WorkerPool`] (channel-fed workers; zero thread spawns in steady
+//!   state), and deltas are exchanged only at `GroupBy`/`Join` boundaries. Batches below
+//!   a per-operator cutover ([`sharded::DEFAULT_INLINE_CUTOVER`], calibrated by the plan
+//!   lowering, overridable via [`sharded::INLINE_CUTOVER_ENV`]) run inline. Propagation
+//!   is **bitwise identical** to the sequential graph (canonical consolidation at every
+//!   exchange, canonical `L1Scorer` batch merges), so the MCMC walk can switch engines
+//!   freely.
 //!
 //! Correctness contract: pushing any sequence of deltas through a dataflow leaves every
 //! sink equal to the corresponding *batch* operator applied to the accumulated input. The
@@ -47,5 +51,8 @@ pub mod stream;
 
 pub use delta::{consolidate, diff_datasets, Delta};
 pub use scorer::L1Scorer;
-pub use sharded::{ShardedDeltas, ShardedInput, ShardedStream};
+pub use sharded::{
+    exchange_count, ShardedDeltas, ShardedInput, ShardedStream, DEFAULT_INLINE_CUTOVER,
+    INLINE_CUTOVER_ENV,
+};
 pub use stream::{CollectedOutput, DataflowInput, ScorerHandle, Stream};

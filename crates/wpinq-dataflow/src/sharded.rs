@@ -3,9 +3,10 @@
 //! [`ShardedStream`] mirrors the operator vocabulary of the sequential [`Stream`](crate::Stream) graph,
 //! but every delta batch travels **partitioned by record hash** ([`ShardedDeltas`]:
 //! bucket `i` holds exactly the records with `shard_of(record, n) == i`) and every
-//! stateful operator keeps its state split into `n` key-hash shards, processed on
-//! `std::thread::scope` workers (via [`wpinq_core::shard::map_shards`], the same worker
-//! scaffolding as the batch sharded executor). Deltas are *exchanged* (re-routed) only
+//! stateful operator keeps its state split into `n` key-hash shards, processed on the
+//! graph's long-lived [`WorkerPool`] (the process-shared pool for the graph's shard
+//! count, the same worker scaffolding as the batch sharded executor — so steady-state
+//! delta propagation spawns **zero** threads). Deltas are *exchanged* (re-routed) only
 //! where an operator requires it:
 //!
 //! * `Where`, `Concat`, `Except`, `Union`, `Intersect` preserve record identity: the
@@ -35,16 +36,21 @@
 //!
 //! Workers only ever see disjoint buckets of one batch, so the parallel/inline cutover
 //! (small MCMC swap batches run inline; bulk loads fan out) cannot affect results. The
-//! property tests in `tests/equivalence.rs` and `crates/wpinq/tests/` enforce the
-//! equivalence operator-by-operator, over random plans, and along seeded edge-swap
-//! trajectories.
+//! cutover is **per-operator**: every stream carries a configured cutover
+//! ([`DEFAULT_INLINE_CUTOVER`] unless [`ShardedStream::with_cutover`] set one — the plan
+//! lowering calibrates it from its cardinality estimates), and the
+//! [`INLINE_CUTOVER_ENV`] environment variable overrides every operator at once (`0` =
+//! always dispatch on the pool, the deterministic CI axis). The property tests in
+//! `tests/equivalence.rs` and `crates/wpinq/tests/` enforce the equivalence
+//! operator-by-operator, over random plans, and along seeded edge-swap trajectories.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
-use wpinq_core::shard::{map_shards, shard_of};
+use wpinq_core::shard::{shard_of, WorkerPool};
 use wpinq_core::{Record, WeightedDataset};
 
 use crate::delta::{consolidate, Delta};
@@ -58,31 +64,66 @@ use crate::stream::{CollectedOutput, ScorerHandle};
 /// [`shard_of`]`(record, n) == i`, each appearing at most once (batches are consolidated).
 pub type ShardedDeltas<T> = Vec<Vec<Delta<T>>>;
 
-/// Total delta count below which a push is processed inline instead of on scoped worker
-/// threads: thread-spawn costs dwarf an eight-delta MCMC swap batch. The computation is
-/// identical either way (workers own disjoint buckets), so the cutover cannot affect
-/// results — only wall-clock time.
-const INLINE_DELTA_THRESHOLD: usize = 256;
+/// Default total delta count below which a push is processed inline instead of being
+/// dispatched on the worker pool: channel round-trips still dwarf an eight-delta MCMC
+/// swap batch. The computation is identical either way (workers own disjoint buckets), so
+/// the cutover cannot affect results — only wall-clock time. Operators constructed from a
+/// [`ShardedStream::with_cutover`] handle use that handle's value instead (the plan
+/// lowering calibrates one per operator from its cardinality estimates).
+pub const DEFAULT_INLINE_CUTOVER: usize = 256;
+
+/// Environment variable overriding every operator's inline/parallel cutover at once:
+/// parsed once per process, `0` forces every non-empty batch onto the worker pool (the
+/// deterministic CI axis), any other number replaces the configured cutovers. Unset or
+/// unparsable leaves the per-operator values in force.
+pub const INLINE_CUTOVER_ENV: &str = "WPINQ_INLINE_CUTOVER";
+
+/// Delta exchanges executed by sharded graphs, cumulative over the process (one count per
+/// consolidating record-hash exchange). The MCMC bench snapshots this alongside the
+/// thread-spawn counter to characterise steady-state propagation.
+static EXCHANGES: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative count of consolidating exchanges executed by sharded dataflow graphs.
+pub fn exchange_count() -> u64 {
+    EXCHANGES.load(Ordering::Relaxed)
+}
+
+fn cutover_override() -> Option<usize> {
+    static OVERRIDE: OnceLock<Option<usize>> = OnceLock::new();
+    *OVERRIDE.get_or_init(|| {
+        std::env::var(INLINE_CUTOVER_ENV)
+            .ok()
+            .and_then(|raw| raw.trim().parse::<usize>().ok())
+    })
+}
+
+/// The cutover an operator should actually use: the [`INLINE_CUTOVER_ENV`] override when
+/// set, the configured (possibly calibrated) per-stream value otherwise.
+fn effective_cutover(configured: usize) -> usize {
+    cutover_override().unwrap_or(configured)
+}
 
 fn batch_work<T>(batches: &[Vec<Delta<T>>]) -> usize {
     batches.iter().map(Vec::len).sum()
 }
 
-/// Runs `f(bucket_index, input)` over every bucket — inline for small batches, on scoped
-/// worker threads otherwise.
+/// Runs `f(bucket_index, input)` over every bucket — inline below the cutover, on the
+/// graph's worker pool otherwise.
 fn run_buckets<I: Send, R: Send>(
+    pool: &WorkerPool,
+    cutover: usize,
     inputs: Vec<I>,
     work: usize,
     f: impl Fn(usize, I) -> R + Sync,
 ) -> Vec<R> {
-    if work < INLINE_DELTA_THRESHOLD {
+    if work < cutover {
         inputs
             .into_iter()
             .enumerate()
             .map(|(index, input)| f(index, input))
             .collect()
     } else {
-        map_shards(inputs, f)
+        pool.map(inputs, f)
     }
 }
 
@@ -122,10 +163,18 @@ fn combine<T: Record>(routed: Vec<ShardedDeltas<T>>, n: usize) -> ShardedDeltas<
 /// exactly once (canonically), in parallel. This is the single float-summation point of
 /// an exchange: the per-record totals are canonical sums over *all* contributions, the
 /// same sums the sequential operator's one `consolidate` call produces.
-fn exchange<T: Record>(routed: Vec<ShardedDeltas<T>>, n: usize) -> ShardedDeltas<T> {
+fn exchange<T: Record>(
+    routed: Vec<ShardedDeltas<T>>,
+    n: usize,
+    pool: &WorkerPool,
+    cutover: usize,
+) -> ShardedDeltas<T> {
+    EXCHANGES.fetch_add(1, Ordering::Relaxed);
     let by_dest = combine(routed, n);
     let work = batch_work(&by_dest);
-    run_buckets(by_dest, work, |_, contributions| consolidate(contributions))
+    run_buckets(pool, cutover, by_dest, work, |_, contributions| {
+        consolidate(contributions)
+    })
 }
 
 type Listener<T> = Box<dyn FnMut(&ShardedDeltas<T>)>;
@@ -161,7 +210,10 @@ pub struct ShardedInput<T: Record> {
 
 impl<T: Record> ShardedInput<T> {
     /// Creates an input and the sharded stream carrying its deltas. `nshards` is clamped
-    /// to at least 1; a one-shard graph runs the full sharded machinery inline.
+    /// to at least 1; a one-shard graph runs the full sharded machinery inline. The
+    /// stream holds the process-shared [`WorkerPool`] for `nshards`, so building a graph
+    /// never spawns threads beyond the first graph at that shard count, and pushing
+    /// deltas through it never spawns any.
     pub fn new(nshards: usize) -> (ShardedInput<T>, ShardedStream<T>) {
         let nshards = nshards.max(1);
         let node = NodeInner::new();
@@ -170,7 +222,12 @@ impl<T: Record> ShardedInput<T> {
                 node: node.clone(),
                 nshards,
             },
-            ShardedStream { node, nshards },
+            ShardedStream {
+                node,
+                nshards,
+                pool: WorkerPool::shared(nshards),
+                cutover: DEFAULT_INLINE_CUTOVER,
+            },
         )
     }
 
@@ -197,6 +254,8 @@ impl<T: Record> ShardedInput<T> {
 pub struct ShardedStream<T: Record> {
     node: Rc<RefCell<NodeInner<T>>>,
     nshards: usize,
+    pool: Arc<WorkerPool>,
+    cutover: usize,
 }
 
 impl<T: Record> Clone for ShardedStream<T> {
@@ -204,6 +263,8 @@ impl<T: Record> Clone for ShardedStream<T> {
         ShardedStream {
             node: self.node.clone(),
             nshards: self.nshards,
+            pool: self.pool.clone(),
+            cutover: self.cutover,
         }
     }
 }
@@ -214,13 +275,41 @@ impl<T: Record> ShardedStream<T> {
         self.nshards
     }
 
+    /// The inline/parallel cutover operators built from this handle will use (before the
+    /// [`INLINE_CUTOVER_ENV`] override, which wins at operator-construction time).
+    pub fn cutover(&self) -> usize {
+        self.cutover
+    }
+
+    /// Returns a handle to the **same** stream node whose downstream operators use
+    /// `cutover` as their inline/parallel threshold (total deltas per batch below which
+    /// the batch runs inline rather than on the worker pool; `0` = always on the pool).
+    /// Children inherit the value, so a calibrating lowering sets it right before
+    /// constructing each operator. The cutover never affects results — workers own
+    /// disjoint buckets either way — only wall-clock time.
+    pub fn with_cutover(&self, cutover: usize) -> ShardedStream<T> {
+        let mut handle = self.clone();
+        handle.cutover = cutover;
+        handle
+    }
+
     fn add_listener(&self, listener: impl FnMut(&ShardedDeltas<T>) + 'static) {
         self.node.borrow_mut().listeners.push(Box::new(listener));
     }
 
-    fn child<U: Record>(nshards: usize) -> (Rc<RefCell<NodeInner<U>>>, ShardedStream<U>) {
+    /// A fresh downstream node inheriting this stream's shard count, pool handle, and
+    /// configured cutover.
+    fn child<U: Record>(&self) -> (Rc<RefCell<NodeInner<U>>>, ShardedStream<U>) {
         let node = NodeInner::new();
-        (node.clone(), ShardedStream { node, nshards })
+        (
+            node.clone(),
+            ShardedStream {
+                node,
+                nshards: self.nshards,
+                pool: self.pool.clone(),
+                cutover: self.cutover,
+            },
+        )
     }
 
     /// Incremental `Select`: per-bucket map in parallel, outputs exchanged by output
@@ -231,10 +320,14 @@ impl<T: Record> ShardedStream<T> {
         F: Fn(&T) -> U + Send + Sync + 'static,
     {
         let n = self.nshards;
-        let (node, stream) = Self::child::<U>(n);
+        let (node, stream) = self.child::<U>();
+        let pool = self.pool.clone();
+        let cutover = effective_cutover(self.cutover);
         self.add_listener(move |batches| {
             let work = batch_work(batches);
             let routed = run_buckets(
+                &pool,
+                cutover,
                 batches.iter().collect(),
                 work,
                 |_, bucket: &Vec<Delta<T>>| {
@@ -246,7 +339,7 @@ impl<T: Record> ShardedStream<T> {
                     routes
                 },
             );
-            broadcast(&node, &exchange(routed, n));
+            broadcast(&node, &exchange(routed, n, &pool, cutover));
         });
         stream
     }
@@ -257,11 +350,14 @@ impl<T: Record> ShardedStream<T> {
     where
         P: Fn(&T) -> bool + Send + Sync + 'static,
     {
-        let n = self.nshards;
-        let (node, stream) = Self::child::<T>(n);
+        let (node, stream) = self.child::<T>();
+        let pool = self.pool.clone();
+        let cutover = effective_cutover(self.cutover);
         self.add_listener(move |batches| {
             let work = batch_work(batches);
             let out: ShardedDeltas<T> = run_buckets(
+                &pool,
+                cutover,
                 batches.iter().collect(),
                 work,
                 |_, bucket: &Vec<Delta<T>>| {
@@ -285,15 +381,19 @@ impl<T: Record> ShardedStream<T> {
         F: Fn(&T) -> WeightedDataset<U> + Send + Sync + 'static,
     {
         let n = self.nshards;
-        let (node, stream) = Self::child::<U>(n);
+        let (node, stream) = self.child::<U>();
+        let pool = self.pool.clone();
+        let cutover = effective_cutover(self.cutover);
         self.add_listener(move |batches| {
             let work = batch_work(batches);
             let routed = run_buckets(
+                &pool,
+                cutover,
                 batches.iter().collect(),
                 work,
                 |_, bucket: &Vec<Delta<T>>| route_contributions(inc_select_many_raw(&f, bucket), n),
             );
-            broadcast(&node, &exchange(routed, n));
+            broadcast(&node, &exchange(routed, n, &pool, cutover));
         });
         stream
     }
@@ -316,7 +416,9 @@ impl<T: Record> ShardedStream<T> {
         I: IntoIterator<Item = f64> + 'static,
     {
         let n = self.nshards;
-        let (node, stream) = Self::child::<(T, u64)>(n);
+        let (node, stream) = self.child::<(T, u64)>();
+        let pool = self.pool.clone();
+        let cutover = effective_cutover(self.cutover);
         let schedule = Arc::new(schedule);
         let mut ops: Vec<_> = (0..n)
             .map(|_| {
@@ -327,10 +429,10 @@ impl<T: Record> ShardedStream<T> {
         self.add_listener(move |batches| {
             let work = batch_work(batches);
             let inputs: Vec<_> = ops.iter_mut().zip(batches.iter()).collect();
-            let routed = run_buckets(inputs, work, |_, (op, bucket)| {
+            let routed = run_buckets(&pool, cutover, inputs, work, |_, (op, bucket)| {
                 route_contributions(op.push_raw(bucket), n)
             });
-            broadcast(&node, &exchange(routed, n));
+            broadcast(&node, &exchange(routed, n, &pool, cutover));
         });
         stream
     }
@@ -354,7 +456,9 @@ impl<T: Record> ShardedStream<T> {
         RF: Fn(&[T]) -> R + Send + Sync + 'static,
     {
         let n = self.nshards;
-        let (node, stream) = Self::child::<(K, R)>(n);
+        let (node, stream) = self.child::<(K, R)>();
+        let pool = self.pool.clone();
+        let cutover = effective_cutover(self.cutover);
         let key = Arc::new(key);
         let reduce = Arc::new(reduce);
         let mut ops: Vec<_> = (0..n)
@@ -370,6 +474,8 @@ impl<T: Record> ShardedStream<T> {
             // Exchange inputs by key hash (records are unique within a batch — no
             // accumulation happens, so plain concatenation per destination is exact).
             let rerouted = run_buckets(
+                &pool,
+                cutover,
                 batches.iter().collect(),
                 work,
                 |_, bucket: &Vec<Delta<T>>| {
@@ -382,10 +488,10 @@ impl<T: Record> ShardedStream<T> {
             );
             let by_key = combine(rerouted, n);
             let inputs: Vec<_> = ops.iter_mut().zip(by_key.iter()).collect();
-            let routed = run_buckets(inputs, work, |_, (op, bucket)| {
+            let routed = run_buckets(&pool, cutover, inputs, work, |_, (op, bucket)| {
                 route_contributions(op.push_raw(bucket), n)
             });
-            broadcast(&node, &exchange(routed, n));
+            broadcast(&node, &exchange(routed, n, &pool, cutover));
         });
         stream
     }
@@ -413,7 +519,9 @@ impl<T: Record> ShardedStream<T> {
             n, other.nshards,
             "join requires co-sharded streams (same shard count)"
         );
-        let (node, stream) = Self::child::<R>(n);
+        let (node, stream) = self.child::<R>();
+        let pool = self.pool.clone();
+        let cutover = effective_cutover(self.cutover);
         let key_self = Arc::new(key_self);
         let key_other = Arc::new(key_other);
         let result = Arc::new(result);
@@ -432,9 +540,12 @@ impl<T: Record> ShardedStream<T> {
         let left_ops = ops.clone();
         let left_node = node.clone();
         let left_key = key_self;
+        let left_pool = pool.clone();
         self.add_listener(move |batches| {
             let work = batch_work(batches);
             let rerouted = run_buckets(
+                &left_pool,
+                cutover,
                 batches.iter().collect(),
                 work,
                 |_, bucket: &Vec<Delta<T>>| {
@@ -448,16 +559,19 @@ impl<T: Record> ShardedStream<T> {
             let by_key = combine(rerouted, n);
             let mut ops = left_ops.borrow_mut();
             let inputs: Vec<_> = ops.iter_mut().zip(by_key.iter()).collect();
-            let routed = run_buckets(inputs, work, |_, (op, bucket)| {
+            let routed = run_buckets(&left_pool, cutover, inputs, work, |_, (op, bucket)| {
                 route_contributions(op.push_left_raw(bucket), n)
             });
-            broadcast(&left_node, &exchange(routed, n));
+            broadcast(&left_node, &exchange(routed, n, &left_pool, cutover));
         });
 
         let right_key = key_other;
+        let right_cutover = effective_cutover(other.cutover);
         other.add_listener(move |batches| {
             let work = batch_work(batches);
             let rerouted = run_buckets(
+                &pool,
+                right_cutover,
                 batches.iter().collect(),
                 work,
                 |_, bucket: &Vec<Delta<U>>| {
@@ -471,10 +585,10 @@ impl<T: Record> ShardedStream<T> {
             let by_key = combine(rerouted, n);
             let mut ops = ops.borrow_mut();
             let inputs: Vec<_> = ops.iter_mut().zip(by_key.iter()).collect();
-            let routed = run_buckets(inputs, work, |_, (op, bucket)| {
+            let routed = run_buckets(&pool, right_cutover, inputs, work, |_, (op, bucket)| {
                 route_contributions(op.push_right_raw(bucket), n)
             });
-            broadcast(&node, &exchange(routed, n));
+            broadcast(&node, &exchange(routed, n, &pool, right_cutover));
         });
         stream
     }
@@ -496,7 +610,10 @@ impl<T: Record> ShardedStream<T> {
             n, other.nshards,
             "element-wise operators require co-sharded streams (same shard count)"
         );
-        let (node, stream) = Self::child::<T>(n);
+        let (node, stream) = self.child::<T>();
+        let pool = self.pool.clone();
+        let cutover = effective_cutover(self.cutover);
+        let right_cutover = effective_cutover(other.cutover);
         let ops: Vec<IncrementalMinMax<T>> = (0..n)
             .map(|_| {
                 if take_max {
@@ -509,18 +626,23 @@ impl<T: Record> ShardedStream<T> {
         let ops = Rc::new(RefCell::new(ops));
         let left_ops = ops.clone();
         let left_node = node.clone();
+        let left_pool = pool.clone();
         self.add_listener(move |batches| {
             let work = batch_work(batches);
             let mut ops = left_ops.borrow_mut();
             let inputs: Vec<_> = ops.iter_mut().zip(batches.iter()).collect();
-            let out = run_buckets(inputs, work, |_, (op, bucket)| op.push_left(bucket));
+            let out = run_buckets(&left_pool, cutover, inputs, work, |_, (op, bucket)| {
+                op.push_left(bucket)
+            });
             broadcast(&left_node, &out);
         });
         other.add_listener(move |batches| {
             let work = batch_work(batches);
             let mut ops = ops.borrow_mut();
             let inputs: Vec<_> = ops.iter_mut().zip(batches.iter()).collect();
-            let out = run_buckets(inputs, work, |_, (op, bucket)| op.push_right(bucket));
+            let out = run_buckets(&pool, right_cutover, inputs, work, |_, (op, bucket)| {
+                op.push_right(bucket)
+            });
             broadcast(&node, &out);
         });
         stream
@@ -543,7 +665,7 @@ impl<T: Record> ShardedStream<T> {
             n, other.nshards,
             "element-wise operators require co-sharded streams (same shard count)"
         );
-        let (node, stream) = Self::child::<T>(n);
+        let (node, stream) = self.child::<T>();
         let left_node = node.clone();
         self.add_listener(move |batches| {
             broadcast(&left_node, batches);
@@ -754,7 +876,7 @@ mod tests {
 
     #[test]
     fn bulk_loads_cross_the_parallel_threshold() {
-        // A load larger than INLINE_DELTA_THRESHOLD exercises the scoped-thread path.
+        // A load larger than DEFAULT_INLINE_CUTOVER exercises the worker-pool path.
         let big: Vec<Delta<(u32, u32)>> = (0u32..2_000)
             .map(|i| ((i % 97, (i * 7) % 89), 1.0 + (i % 3) as f64))
             .collect();
@@ -763,6 +885,56 @@ mod tests {
             |s| s.select(|e: &(u32, u32)| e.0 % 11).collect(),
             |s| s.select(|e: &(u32, u32)| e.0 % 11).collect(),
             4,
+        );
+    }
+
+    #[test]
+    fn forced_pool_dispatch_matches_sequential_bitwise() {
+        // with_cutover(0) pushes every non-empty batch — including single-delta MCMC-style
+        // swaps — through the worker pool; results must stay bitwise identical.
+        for n in [1usize, 2, 8] {
+            assert_bitwise_parity(
+                edge_updates(),
+                |s| {
+                    let grouped = s.group_by(|e: &(u32, u32)| e.0 % 2, |g| g.len() as u64);
+                    let mapped = s.select(|e| (e.1 % 2, e.0 as u64 % 3));
+                    grouped
+                        .join(&mapped, |g| g.0, |m| m.0, |g, m| (g.1, m.1))
+                        .shave_const(0.5)
+                        .collect()
+                },
+                |s| {
+                    let s = s.with_cutover(0);
+                    let grouped = s.group_by(|e: &(u32, u32)| e.0 % 2, |g| g.len() as u64);
+                    let mapped = s.select(|e| (e.1 % 2, e.0 as u64 % 3));
+                    grouped
+                        .join(&mapped, |g| g.0, |m| m.0, |g, m| (g.1, m.1))
+                        .shave_const(0.5)
+                        .collect()
+                },
+                n,
+            );
+        }
+    }
+
+    #[test]
+    fn with_cutover_is_inherited_and_counts_exchanges() {
+        let (_input, stream) = ShardedInput::<u32>::new(2);
+        assert_eq!(stream.cutover(), DEFAULT_INLINE_CUTOVER);
+        let tuned = stream.with_cutover(7);
+        assert_eq!(tuned.cutover(), 7);
+        // Children inherit the configured value from the handle that built them.
+        assert_eq!(tuned.filter(|_| true).cutover(), 7);
+        // The original handle (same node) is untouched.
+        assert_eq!(stream.cutover(), DEFAULT_INLINE_CUTOVER);
+
+        let before = exchange_count();
+        let (input, stream) = ShardedInput::<u32>::new(2);
+        let _out = stream.select(|x| x + 1).collect();
+        input.push(&[(1, 1.0), (2, 1.0)]);
+        assert!(
+            exchange_count() > before,
+            "a select push must execute at least one consolidating exchange"
         );
     }
 

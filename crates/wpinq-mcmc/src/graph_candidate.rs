@@ -44,9 +44,13 @@ impl GraphCandidate {
     where
         F: FnOnce(&EdgeFlow) -> Vec<Box<dyn DistanceSink>>,
     {
-        let (input, flow) = EdgeFlow::create(engine);
+        // Swaps preserve the edge count, so the seed's symmetric dataset size is the
+        // stream's cardinality for the whole walk — exactly the hint the sharded
+        // lowering wants for calibrating its inline/parallel cutovers.
+        let dataset = symmetric_edge_dataset(&seed);
+        let (input, flow) = EdgeFlow::create_sized(engine, Some(dataset.len()));
         let sinks = build_scorers(&flow);
-        input.push_dataset(&symmetric_edge_dataset(&seed));
+        input.push_dataset(&dataset);
         GraphCandidate {
             graph: seed,
             engine,

@@ -40,12 +40,29 @@ pub enum EdgeFlow {
     /// The sequential `Stream` graph.
     Sequential(Stream<Edge>),
     /// The hash-partitioned sharded engine.
-    Sharded(ShardedStream<Edge>),
+    Sharded {
+        /// The candidate's hash-partitioned edge delta stream.
+        stream: ShardedStream<Edge>,
+        /// Expected number of directed edge records, when known (2·|E| of the candidate).
+        /// Feeds the sharded lowering's inline/parallel cutover calibration; never
+        /// affects scorer values.
+        expected_edges: Option<usize>,
+    },
 }
 
 impl EdgeFlow {
     /// Creates the flow (input handle + stream) for the given engine.
     pub fn create(engine: wpinq::plan::IncrementalEngine) -> (EdgeInput, EdgeFlow) {
+        Self::create_sized(engine, None)
+    }
+
+    /// [`create`](Self::create) with the expected directed-edge count of the candidate,
+    /// when the caller knows it. The sharded engine calibrates its per-operator
+    /// inline/parallel cutovers from the hint; the sequential engine ignores it.
+    pub fn create_sized(
+        engine: wpinq::plan::IncrementalEngine,
+        expected_edges: Option<usize>,
+    ) -> (EdgeInput, EdgeFlow) {
         use wpinq::plan::IncrementalEngine;
         match engine {
             IncrementalEngine::Sequential => {
@@ -54,7 +71,13 @@ impl EdgeFlow {
             }
             IncrementalEngine::Sharded(_) => {
                 let (input, stream) = ShardedInput::new(engine.shard_count());
-                (EdgeInput::Sharded(input), EdgeFlow::Sharded(stream))
+                (
+                    EdgeInput::Sharded(input),
+                    EdgeFlow::Sharded {
+                        stream,
+                        expected_edges,
+                    },
+                )
             }
         }
     }
@@ -143,8 +166,16 @@ where
         EdgeFlow::Sequential(stream) => {
             measurement.lower_scorer_targets(&source.bind_stream(stream.clone()), targets)
         }
-        EdgeFlow::Sharded(stream) => measurement
-            .lower_scorer_targets_sharded(&source.bind_sharded_stream(stream.clone()), targets),
+        EdgeFlow::Sharded {
+            stream,
+            expected_edges,
+        } => {
+            let bindings = match expected_edges {
+                Some(n) => source.bind_sharded_stream_sized(stream.clone(), *n),
+                None => source.bind_sharded_stream(stream.clone()),
+            };
+            measurement.lower_scorer_targets_sharded(&bindings, targets)
+        }
     };
     Box::new(LabelledScorer {
         handle,

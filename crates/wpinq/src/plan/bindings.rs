@@ -1,11 +1,13 @@
 //! Bindings from plan sources to concrete inputs of the two engines.
 
 use std::any::Any;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
 use wpinq_core::dataset::WeightedDataset;
 use wpinq_core::record::Record;
+use wpinq_core::shard::ShardedDataset;
 use wpinq_dataflow::{ShardedStream, Stream};
 
 use super::{InputId, Plan};
@@ -27,6 +29,10 @@ pub struct PlanBindings {
     /// Record counts per bound source, captured at bind time (the datasets themselves are
     /// type-erased). The optimizer's join-ordering heuristic reads these.
     sizes: HashMap<InputId, usize>,
+    /// Lazily-built hash partitions of bound datasets, keyed by `(source, shard count)`.
+    /// The sharded batch executor partitions each source once per *binding* instead of
+    /// once per `eval_with` call; rebinding a source drops its cached partitions.
+    partitions: RefCell<HashMap<(InputId, usize), Rc<dyn Any>>>,
 }
 
 impl PlanBindings {
@@ -51,6 +57,10 @@ impl PlanBindings {
         let id = input_id_of(source, "PlanBindings");
         self.sizes.insert(id, data.len());
         self.datasets.insert(id, data);
+        // Any cached partitions of a previous binding for this source are stale.
+        self.partitions
+            .borrow_mut()
+            .retain(|(cached, _), _| *cached != id);
     }
 
     /// Returns `true` when the given input already has a dataset bound.
@@ -63,6 +73,9 @@ impl PlanBindings {
     pub fn merge(&mut self, other: &PlanBindings) {
         for (id, data) in &other.datasets {
             self.datasets.insert(*id, data.clone());
+            self.partitions
+                .borrow_mut()
+                .retain(|(cached, _), _| cached != id);
         }
         for (id, size) in &other.sizes {
             self.sizes.insert(*id, *size);
@@ -83,6 +96,28 @@ impl PlanBindings {
         entry
             .downcast::<WeightedDataset<T>>()
             .unwrap_or_else(|_| panic!("plan source {id:?} bound at a different record type"))
+    }
+
+    /// The bound dataset hash-partitioned over `nshards`, computed once per binding and
+    /// cached (repeated sharded evaluations against the same bindings reuse it).
+    pub(crate) fn get_partitioned<T: Record>(
+        &self,
+        id: InputId,
+        nshards: usize,
+    ) -> Rc<ShardedDataset<T>> {
+        if let Some(hit) = self.partitions.borrow().get(&(id, nshards)) {
+            return hit
+                .clone()
+                .downcast::<ShardedDataset<T>>()
+                .unwrap_or_else(|_| {
+                    panic!("plan source {id:?} partition cached at a different record type")
+                });
+        }
+        let partitioned = Rc::new(ShardedDataset::partition(&self.get::<T>(id), nshards));
+        self.partitions
+            .borrow_mut()
+            .insert((id, nshards), partitioned.clone());
+        partitioned
     }
 }
 
@@ -141,6 +176,10 @@ impl std::fmt::Debug for StreamBindings {
 pub struct ShardedStreamBindings {
     nshards: usize,
     streams: HashMap<InputId, Box<dyn Any>>,
+    /// Expected record counts per bound source, when the caller knows them. The sharded
+    /// lowering calibrates each operator's inline/parallel cutover from these (never
+    /// affects results — only which batches run on the worker pool).
+    sizes: HashMap<InputId, usize>,
 }
 
 impl ShardedStreamBindings {
@@ -149,6 +188,7 @@ impl ShardedStreamBindings {
         ShardedStreamBindings {
             nshards: nshards.max(1),
             streams: HashMap::new(),
+            sizes: HashMap::new(),
         }
     }
 
@@ -172,9 +212,27 @@ impl ShardedStreamBindings {
         self.streams.insert(id, Box::new(stream));
     }
 
+    /// [`bind`](Self::bind) plus an expected record count for the source, feeding the
+    /// lowering's cutover calibration (e.g. the edge count of an MCMC candidate graph).
+    pub fn bind_with_size<T: Record>(
+        &mut self,
+        source: &Plan<T>,
+        stream: ShardedStream<T>,
+        expected_records: usize,
+    ) {
+        self.bind(source, stream);
+        let id = input_id_of(source, "ShardedStreamBindings");
+        self.sizes.insert(id, expected_records);
+    }
+
     /// Returns `true` when the given input already has a stream bound.
     pub fn is_bound(&self, id: InputId) -> bool {
         self.streams.contains_key(&id)
+    }
+
+    /// Expected record counts per bound source (cutover-calibration statistics).
+    pub(crate) fn size_hints(&self) -> &HashMap<InputId, usize> {
+        &self.sizes
     }
 
     pub(crate) fn get<T: Record>(&self, id: InputId) -> ShardedStream<T> {

@@ -9,7 +9,8 @@
 //! * **Batch evaluation** plugs in through [`Executor`]:
 //!   [`SequentialExecutor`] (the reference single-threaded fold through
 //!   `wpinq_core::operators`) or [`ShardedExecutor`] (hash-partitioned shard-parallel
-//!   kernels on `std::thread::scope` workers, `wpinq_core::shard`).
+//!   kernels, `wpinq_core::shard`, dispatching on a long-lived shared [`WorkerPool`] by
+//!   default or fresh scoped workers via [`ShardedExecutor::scoped`]).
 //! * **Incremental lowering** plugs in through [`IncrementalEngine`]: the sequential
 //!   `wpinq_dataflow::Stream` graph, or the hash-partitioned
 //!   [`ShardedStream`](wpinq_dataflow::ShardedStream) engine whose per-operator delta
@@ -28,6 +29,8 @@
 //! [`IncrementalEngine::from_env`]); [`default_backend`] pairs both.
 
 use std::sync::Arc;
+
+use wpinq_core::shard::WorkerPool;
 
 /// Environment variable selecting the default shard/thread count (`1` = sequential).
 pub const THREADS_ENV: &str = "WPINQ_THREADS";
@@ -49,6 +52,13 @@ pub trait Executor: std::fmt::Debug + Send + Sync {
 
     /// Short human-readable strategy name for logs and diagnostics.
     fn name(&self) -> &'static str;
+
+    /// The long-lived worker pool shard kernels should dispatch on, when this strategy
+    /// owns one. `None` (the default) falls back to fresh scoped threads per exchange —
+    /// the reference strategy, bitwise identical but with per-call spawn cost.
+    fn pool(&self) -> Option<&WorkerPool> {
+        None
+    }
 }
 
 /// The single-threaded reference strategy: folds the operator DAG through the sequential
@@ -67,11 +77,18 @@ impl Executor for SequentialExecutor {
 }
 
 /// The shard-parallel strategy: hash-partitions sources into `n` shards and evaluates
-/// every operator on `n` scoped worker threads, producing bitwise-identical results to
+/// every operator on `n` worker threads, producing bitwise-identical results to
 /// [`SequentialExecutor`].
-#[derive(Debug, Clone, Copy)]
+///
+/// By default ([`new`](Self::new)) the executor holds a handle to the process-shared
+/// [`WorkerPool`] for its shard count, so every evaluation dispatches onto the same
+/// long-lived workers and steady-state query evaluation spawns zero threads. The
+/// [`scoped`](Self::scoped) constructor opts back into fresh `std::thread::scope` workers
+/// per exchange — the reference strategy the equivalence tests compare against.
+#[derive(Debug, Clone)]
 pub struct ShardedExecutor {
     shards: usize,
+    pool: Option<Arc<WorkerPool>>,
 }
 
 /// Upper bound on shard counts ([`ShardedExecutor::new`] clamps to it). Each shard is an
@@ -81,10 +98,23 @@ pub struct ShardedExecutor {
 pub const MAX_SHARDS: usize = 256;
 
 impl ShardedExecutor {
-    /// Creates an executor with the given shard count (clamped to `1..=`[`MAX_SHARDS`]).
+    /// Creates a pooled executor with the given shard count (clamped to
+    /// `1..=`[`MAX_SHARDS`]), sharing the process-wide [`WorkerPool`] for that count.
+    /// Single-shard executors take the sequential evaluation path and hold no pool.
     pub fn new(shards: usize) -> Self {
+        let shards = shards.clamp(1, MAX_SHARDS);
+        ShardedExecutor {
+            shards,
+            pool: (shards > 1).then(|| WorkerPool::shared(shards)),
+        }
+    }
+
+    /// Creates an executor that spawns fresh scoped workers per exchange instead of
+    /// pooling — the reference strategy, bitwise identical to the pooled one.
+    pub fn scoped(shards: usize) -> Self {
         ShardedExecutor {
             shards: shards.clamp(1, MAX_SHARDS),
+            pool: None,
         }
     }
 
@@ -109,6 +139,10 @@ impl Executor for ShardedExecutor {
 
     fn name(&self) -> &'static str {
         "sharded"
+    }
+
+    fn pool(&self) -> Option<&WorkerPool> {
+        self.pool.as_deref()
     }
 }
 
@@ -211,7 +245,7 @@ impl Backend for SequentialExecutor {
 
 impl Backend for ShardedExecutor {
     fn executor(&self) -> Arc<dyn Executor> {
-        Arc::new(*self)
+        Arc::new(self.clone())
     }
 
     fn incremental(&self) -> IncrementalEngine {
@@ -336,6 +370,28 @@ mod tests {
             IncrementalEngine::Sequential.name(),
             IncrementalEngine::Sharded(2).name()
         );
+    }
+
+    #[test]
+    fn pooled_and_scoped_executors_expose_their_strategy() {
+        // Multi-shard executors share the process pool for their shard count.
+        let a = ShardedExecutor::new(4);
+        let b = ShardedExecutor::new(4);
+        let pool_a = a.pool().expect("pooled by default");
+        let pool_b = b.pool().expect("pooled by default");
+        assert_eq!(pool_a.workers(), 4);
+        assert!(
+            std::ptr::eq(pool_a, pool_b),
+            "same shard count shares one pool"
+        );
+        // Single-shard evaluation is sequential, so no pool is held.
+        assert!(ShardedExecutor::new(1).pool().is_none());
+        // The scoped reference strategy never pools, and the default trait impl is None.
+        assert!(ShardedExecutor::scoped(4).pool().is_none());
+        assert!(Executor::pool(&SequentialExecutor).is_none());
+        // Cloning (as Backend::executor does) keeps the same pool handle.
+        let cloned = a.clone();
+        assert!(std::ptr::eq(a.pool().unwrap(), cloned.pool().unwrap()));
     }
 
     #[test]

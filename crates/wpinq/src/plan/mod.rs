@@ -85,7 +85,7 @@ use std::sync::Arc;
 
 use wpinq_core::dataset::WeightedDataset;
 use wpinq_core::record::Record;
-use wpinq_core::shard::ShardedDataset;
+use wpinq_core::shard::{ShardRunner, ShardedDataset};
 use wpinq_core::value::{ExprRecord, Value, ValueType};
 use wpinq_dataflow::Stream;
 use wpinq_expr::{Expr, PlanSpec, ReduceSpec};
@@ -101,9 +101,9 @@ pub use optimize::{OptimizeLevel, PlanExplain, OPTIMIZE_ENV};
 pub use wire::{dataset_to_values, plan_from_spec, DynPlan, DynSource};
 
 use nodes::{
-    BatchCtx, BinaryKind, BinaryNode, EmptyNode, FilterNode, GroupByNode, InputNode, JoinExprs,
-    JoinNode, LowerCtx, LowerShardedCtx, MultCtx, PlanNode, PredFn, RenderCtx, SelectManyExprs,
-    SelectManyNode, SelectNode, ShardCtx, ShaveNode,
+    BatchCtx, BinaryKind, BinaryNode, CardCtx, EmptyNode, FilterNode, GroupByNode, InputNode,
+    JoinExprs, JoinNode, LowerCtx, LowerShardedCtx, MultCtx, PlanNode, PredFn, RenderCtx,
+    SelectManyExprs, SelectManyNode, SelectNode, ShardCtx, ShaveNode,
 };
 use optimize::{ClosureId, RefCounts, RewriteCtx};
 use wire::{decode_record, SpecCtx};
@@ -423,7 +423,12 @@ impl<T: Record> Plan<T> {
             // reference and the dataset moves out without a copy.
             return Rc::try_unwrap(shared).unwrap_or_else(|rc| (*rc).clone());
         }
-        let mut ctx = ShardCtx::new(bindings, shards);
+        // Dispatch per-shard work on the executor's persistent worker pool when it has
+        // one; scoped threads remain the reference path (bitwise identical either way).
+        let runner = executor
+            .pool()
+            .map_or(ShardRunner::Scoped, ShardRunner::Pooled);
+        let mut ctx = ShardCtx::new(bindings, shards, runner);
         let sharded = plan.eval_shards_node(&mut ctx);
         drop(ctx);
         Rc::try_unwrap(sharded)
@@ -484,6 +489,17 @@ impl<T: Record> Plan<T> {
         let computed = self.node.eval_shards(ctx);
         ctx.store::<T>(self.node_key(), computed.clone());
         computed
+    }
+
+    /// The memoised cardinality-estimate walk (the sharded lowering's cutover
+    /// calibration input; heuristic only, never affects results).
+    pub(crate) fn card_node(&self, ctx: &mut CardCtx<'_>) -> f64 {
+        if let Some(hit) = ctx.lookup(self.node_key()) {
+            return hit;
+        }
+        let card = self.node.estimate_card(ctx);
+        ctx.store(self.node_key(), card);
+        card
     }
 
     /// Compiles the plan into the incremental dataflow graph rooted at the bound source

@@ -19,12 +19,13 @@ use std::sync::Arc;
 use wpinq_core::dataset::WeightedDataset;
 use wpinq_core::operators as batch;
 use wpinq_core::record::Record;
-use wpinq_core::shard::{self, ShardedDataset};
+use wpinq_core::shard::{self, ShardRunner, ShardedDataset};
 use wpinq_core::value::{Value, ValueType};
-use wpinq_dataflow::{DataflowInput, ShardedInput, ShardedStream, Stream};
+use wpinq_dataflow::{DataflowInput, ShardedInput, ShardedStream, Stream, DEFAULT_INLINE_CUTOVER};
 use wpinq_expr::{Expr, ReduceSpec, SpecNode};
 
 use super::bindings::{PlanBindings, ShardedStreamBindings, StreamBindings};
+use super::executor::available_threads;
 use super::optimize::{ClosureId, NodeShape, OpTag, RefCounts, RewriteCtx};
 use super::wire::SpecCtx;
 use super::{InputId, Plan};
@@ -90,6 +91,29 @@ impl<T> Clone for SelectManyExprs<T> {
 /// (join-ordering heuristic only; never affects results).
 const FANOUT_ESTIMATE: f64 = 4.0;
 
+/// Assumed record count of a source with no size hint when estimating cardinalities for
+/// the sharded lowering's cutover calibration (heuristic only; never affects results).
+const DEFAULT_SOURCE_CARD: f64 = 1024.0;
+
+/// Floor for a calibrated inline/parallel cutover. Keeps the small MCMC swap batches
+/// (8 deltas per edge swap) inline even under the most aggressive calibration — channel
+/// round-trips always dominate at that scale.
+const MIN_CALIBRATED_CUTOVER: usize = 32;
+
+/// Scales the default inline/parallel cutover by an operator's estimated per-delta cost:
+/// an operator expected to do `per_delta_cost`× the work of a plain map amortises the
+/// pool's dispatch overhead that much sooner, so its cutover drops proportionally
+/// (floored at [`MIN_CALIBRATED_CUTOVER`]). On effectively single-core hosts the default
+/// stays in force — fanning out earlier cannot help without parallel hardware. Purely a
+/// scheduling choice: results are bitwise identical on either side of the cutover.
+fn calibrated_cutover(per_delta_cost: f64) -> usize {
+    let base = DEFAULT_INLINE_CUTOVER;
+    if available_threads() <= 1 || !per_delta_cost.is_finite() || per_delta_cost <= 1.0 {
+        return base;
+    }
+    ((base as f64 / per_delta_cost).ceil() as usize).max(MIN_CALIBRATED_CUTOVER)
+}
+
 /// Behaviour of one plan node, dispatched through `Rc<dyn PlanNode<T>>`.
 pub(crate) trait PlanNode<T: Record> {
     /// Evaluates this node in batch (parents via `Plan::eval_node` for memoisation).
@@ -147,6 +171,11 @@ pub(crate) trait PlanNode<T: Record> {
     fn sinks_filters(&self, _ctx: &RewriteCtx<'_>) -> bool {
         false
     }
+
+    /// Estimates this node's output record count (parents via `Plan::card_node` for
+    /// memoisation). Drives the sharded lowering's per-operator inline/parallel cutover
+    /// calibration — a heuristic scheduling input that never affects results.
+    fn estimate_card(&self, ctx: &mut CardCtx<'_>) -> f64;
 
     /// The input id when this node is a source, `None` otherwise.
     fn as_input(&self) -> Option<InputId> {
@@ -281,16 +310,25 @@ impl<'a> BatchCtx<'a> {
 pub(crate) struct ShardCtx<'a> {
     bindings: &'a PlanBindings,
     nshards: usize,
+    /// How per-shard work is dispatched: on the executor's persistent [`WorkerPool`]
+    /// (`ShardRunner::Pooled`) or on freshly scoped threads (`ShardRunner::Scoped`, the
+    /// reference path). Both produce bitwise-identical results.
+    runner: ShardRunner<'a>,
     memo: HashMap<usize, Box<dyn Any>>,
 }
 
 impl<'a> ShardCtx<'a> {
-    pub(crate) fn new(bindings: &'a PlanBindings, nshards: usize) -> Self {
+    pub(crate) fn new(bindings: &'a PlanBindings, nshards: usize, runner: ShardRunner<'a>) -> Self {
         ShardCtx {
             bindings,
             nshards: nshards.max(1),
+            runner,
             memo: HashMap::new(),
         }
+    }
+
+    pub(crate) fn runner(&self) -> ShardRunner<'a> {
+        self.runner
     }
 
     pub(crate) fn lookup<T: Record>(&self, key: usize) -> Option<Rc<ShardedDataset<T>>> {
@@ -306,10 +344,10 @@ impl<'a> ShardCtx<'a> {
     }
 
     fn input<T: Record>(&self, id: InputId) -> Rc<ShardedDataset<T>> {
-        Rc::new(ShardedDataset::partition(
-            &self.bindings.get::<T>(id),
-            self.nshards,
-        ))
+        // Partitions are cached on the bindings per (source, shard count): repeated
+        // sharded evaluations against the same binding set reuse them instead of
+        // re-hashing every source record per `eval_with` call.
+        self.bindings.get_partitioned::<T>(id, self.nshards)
     }
 }
 
@@ -345,9 +383,11 @@ impl<'a> LowerCtx<'a> {
 }
 
 /// Context of one sharded lowering: sharded source streams plus a memo of
-/// already-lowered nodes (all co-sharded over the binding set's shard count).
+/// already-lowered nodes (all co-sharded over the binding set's shard count), and a
+/// cardinality-estimation context feeding the per-operator cutover calibration.
 pub(crate) struct LowerShardedCtx<'a> {
     bindings: &'a ShardedStreamBindings,
+    cards: CardCtx<'a>,
     memo: HashMap<usize, Box<dyn Any>>,
 }
 
@@ -355,8 +395,14 @@ impl<'a> LowerShardedCtx<'a> {
     pub(crate) fn new(bindings: &'a ShardedStreamBindings) -> Self {
         LowerShardedCtx {
             bindings,
+            cards: CardCtx::new(bindings.size_hints()),
             memo: HashMap::new(),
         }
+    }
+
+    /// The estimated record count flowing out of `plan` (memoised per node).
+    fn card_of<T: Record>(&mut self, plan: &Plan<T>) -> f64 {
+        plan.card_node(&mut self.cards)
     }
 
     pub(crate) fn lookup<T: Record>(&self, key: usize) -> Option<ShardedStream<T>> {
@@ -377,6 +423,40 @@ impl<'a> LowerShardedCtx<'a> {
 
     fn nshards(&self) -> usize {
         self.bindings.num_shards()
+    }
+}
+
+/// Context of one cardinality estimation: source size hints plus a memo of
+/// already-estimated nodes. Kept separate from the optimizer's `RewriteCtx` cardinality
+/// map on purpose: feeding source sizes into the rewrite would enable join input
+/// reordering for the sharded lowering only, and the two incremental engines must lower
+/// the *same* rewritten plan to stay bitwise comparable.
+pub(crate) struct CardCtx<'a> {
+    sizes: &'a HashMap<InputId, usize>,
+    memo: HashMap<usize, f64>,
+}
+
+impl<'a> CardCtx<'a> {
+    pub(crate) fn new(sizes: &'a HashMap<InputId, usize>) -> Self {
+        CardCtx {
+            sizes,
+            memo: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn lookup(&self, key: usize) -> Option<f64> {
+        self.memo.get(&key).copied()
+    }
+
+    pub(crate) fn store(&mut self, key: usize, card: f64) {
+        self.memo.insert(key, card);
+    }
+
+    fn source_size(&self, id: InputId) -> f64 {
+        self.sizes
+            .get(&id)
+            .map(|&n| n as f64)
+            .unwrap_or(DEFAULT_SOURCE_CARD)
     }
 }
 
@@ -507,6 +587,10 @@ impl<T: Record> PlanNode<T> for InputNode<T> {
         ctx.cons::<T>(shape, card, move || original)
     }
 
+    fn estimate_card(&self, ctx: &mut CardCtx<'_>) -> f64 {
+        ctx.source_size(self.id)
+    }
+
     fn as_input(&self) -> Option<InputId> {
         Some(self.id)
     }
@@ -584,6 +668,10 @@ impl<T: Record> PlanNode<T> for EmptyNode<T> {
         let shape = NodeShape::new::<T>(OpTag::Empty, Vec::new(), Vec::new(), 0);
         let original = this.clone();
         ctx.cons::<T>(shape, 0.0, move || original)
+    }
+
+    fn estimate_card(&self, _ctx: &mut CardCtx<'_>) -> f64 {
+        0.0
     }
 
     fn describe(&self) -> &'static str {
@@ -670,7 +758,8 @@ impl<T: Record, U: Record> PlanNode<U> for SelectNode<T, U> {
     }
 
     fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<U>> {
-        Rc::new(shard::select(&self.parent.eval_shards_node(ctx), &*self.f))
+        let parent = self.parent.eval_shards_node(ctx);
+        Rc::new(shard::select(&parent, &*self.f, ctx.runner()))
     }
 
     fn lower(&self, ctx: &mut LowerCtx<'_>) -> Stream<U> {
@@ -736,6 +825,10 @@ impl<T: Record, U: Record> PlanNode<U> for SelectNode<T, U> {
 
     fn sinks_filters(&self, ctx: &RewriteCtx<'_>) -> bool {
         self.parent.sinks_filters(ctx)
+    }
+
+    fn estimate_card(&self, ctx: &mut CardCtx<'_>) -> f64 {
+        self.parent.card_node(ctx)
     }
 
     fn describe(&self) -> &'static str {
@@ -815,10 +908,8 @@ impl<T: Record> PlanNode<T> for FilterNode<T> {
     }
 
     fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<T>> {
-        Rc::new(shard::filter(
-            &self.parent.eval_shards_node(ctx),
-            &*self.predicate,
-        ))
+        let parent = self.parent.eval_shards_node(ctx);
+        Rc::new(shard::filter(&parent, &*self.predicate, ctx.runner()))
     }
 
     fn lower(&self, ctx: &mut LowerCtx<'_>) -> Stream<T> {
@@ -874,6 +965,10 @@ impl<T: Record> PlanNode<T> for FilterNode<T> {
 
     fn sinks_filters(&self, _ctx: &RewriteCtx<'_>) -> bool {
         true
+    }
+
+    fn estimate_card(&self, ctx: &mut CardCtx<'_>) -> f64 {
+        self.parent.card_node(ctx)
     }
 
     fn describe(&self) -> &'static str {
@@ -994,10 +1089,8 @@ impl<T: Record, U: Record> PlanNode<U> for SelectManyNode<T, U> {
     }
 
     fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<U>> {
-        Rc::new(shard::select_many(
-            &self.parent.eval_shards_node(ctx),
-            &*self.f,
-        ))
+        let parent = self.parent.eval_shards_node(ctx);
+        Rc::new(shard::select_many(&parent, &*self.f, ctx.runner()))
     }
 
     fn lower(&self, ctx: &mut LowerCtx<'_>) -> Stream<U> {
@@ -1006,9 +1099,13 @@ impl<T: Record, U: Record> PlanNode<U> for SelectManyNode<T, U> {
     }
 
     fn lower_sharded(&self, ctx: &mut LowerShardedCtx<'_>) -> ShardedStream<U> {
+        // Each input delta expands into ~FANOUT_ESTIMATE productions, so the operator
+        // amortises pool dispatch sooner than a plain map: calibrate its cutover down.
+        let cutover = calibrated_cutover(FANOUT_ESTIMATE);
         let f = self.f.clone();
         self.parent
             .lower_sharded_node(ctx)
+            .with_cutover(cutover)
             .select_many(move |r| f(r))
     }
 
@@ -1065,6 +1162,10 @@ impl<T: Record, U: Record> PlanNode<U> for SelectManyNode<T, U> {
             .parent
             .rewrite_with_filter(&q_closure, &q_id, Some(&q), ctx);
         Some(self.cons_over(inner, None, ctx))
+    }
+
+    fn estimate_card(&self, ctx: &mut CardCtx<'_>) -> f64 {
+        self.parent.card_node(ctx) * FANOUT_ESTIMATE
     }
 
     fn describe(&self) -> &'static str {
@@ -1173,10 +1274,12 @@ impl<T: Record, K: Record, R: Record> PlanNode<(K, R)> for GroupByNode<T, K, R> 
     }
 
     fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<(K, R)>> {
+        let parent = self.parent.eval_shards_node(ctx);
         Rc::new(shard::group_by(
-            &self.parent.eval_shards_node(ctx),
+            &parent,
             &*self.key,
             &*self.reduce,
+            ctx.runner(),
         ))
     }
 
@@ -1189,10 +1292,15 @@ impl<T: Record, K: Record, R: Record> PlanNode<(K, R)> for GroupByNode<T, K, R> 
     }
 
     fn lower_sharded(&self, ctx: &mut LowerShardedCtx<'_>) -> ShardedStream<(K, R)> {
+        // A delta touching a group re-reduces the whole group: per-delta cost grows with
+        // the expected group population, estimated as sqrt of the input cardinality.
+        let cost = ctx.card_of(&self.parent).sqrt().max(1.0);
+        let cutover = calibrated_cutover(cost);
         let key = self.key.clone();
         let reduce = self.reduce.clone();
         self.parent
             .lower_sharded_node(ctx)
+            .with_cutover(cutover)
             .group_by(move |r| key(r), move |g| reduce(g))
     }
 
@@ -1224,6 +1332,10 @@ impl<T: Record, K: Record, R: Record> PlanNode<(K, R)> for GroupByNode<T, K, R> 
                 )))
             })
         })
+    }
+
+    fn estimate_card(&self, ctx: &mut CardCtx<'_>) -> f64 {
+        self.parent.card_node(ctx)
     }
 
     fn describe(&self) -> &'static str {
@@ -1310,10 +1422,8 @@ impl<T: Record> PlanNode<(T, u64)> for ShaveNode<T> {
     }
 
     fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<(T, u64)>> {
-        Rc::new(shard::shave(
-            &self.parent.eval_shards_node(ctx),
-            &*self.schedule,
-        ))
+        let parent = self.parent.eval_shards_node(ctx);
+        Rc::new(shard::shave(&parent, &*self.schedule, ctx.runner()))
     }
 
     fn lower(&self, ctx: &mut LowerCtx<'_>) -> Stream<(T, u64)> {
@@ -1322,9 +1432,12 @@ impl<T: Record> PlanNode<(T, u64)> for ShaveNode<T> {
     }
 
     fn lower_sharded(&self, ctx: &mut LowerShardedCtx<'_>) -> ShardedStream<(T, u64)> {
+        // Like SelectMany: each delta expands into ~FANOUT_ESTIMATE weight slices.
+        let cutover = calibrated_cutover(FANOUT_ESTIMATE);
         let schedule = self.schedule.clone();
         self.parent
             .lower_sharded_node(ctx)
+            .with_cutover(cutover)
             .shave(move |r| schedule(r))
     }
 
@@ -1358,6 +1471,10 @@ impl<T: Record> PlanNode<(T, u64)> for ShaveNode<T> {
                 )))
             })
         })
+    }
+
+    fn estimate_card(&self, ctx: &mut CardCtx<'_>) -> f64 {
+        self.parent.card_node(ctx) * FANOUT_ESTIMATE
     }
 
     fn describe(&self) -> &'static str {
@@ -1587,6 +1704,7 @@ impl<A: Record, B: Record, K: Record, R: Record> PlanNode<R> for JoinNode<A, B, 
             &*self.key_left,
             &*self.key_right,
             &*self.result,
+            ctx.runner(),
         ))
     }
 
@@ -1605,8 +1723,16 @@ impl<A: Record, B: Record, K: Record, R: Record> PlanNode<R> for JoinNode<A, B, 
     }
 
     fn lower_sharded(&self, ctx: &mut LowerShardedCtx<'_>) -> ShardedStream<R> {
-        let left = self.left.lower_sharded_node(ctx);
-        let right = self.right.lower_sharded_node(ctx);
+        // A delta re-joins its whole key group across both inputs: per-delta cost grows
+        // with the expected matched population, estimated as sqrt of the combined input
+        // cardinality. Both inputs get the same calibrated cutover (the operator reads
+        // the cutover of whichever stream a batch arrives on).
+        let cost = (ctx.card_of(&self.left) + ctx.card_of(&self.right))
+            .sqrt()
+            .max(1.0);
+        let cutover = calibrated_cutover(cost);
+        let left = self.left.lower_sharded_node(ctx).with_cutover(cutover);
+        let right = self.right.lower_sharded_node(ctx).with_cutover(cutover);
         let key_left = self.key_left.clone();
         let key_right = self.key_right.clone();
         let result = self.result.clone();
@@ -1691,6 +1817,10 @@ impl<A: Record, B: Record, K: Record, R: Record> PlanNode<R> for JoinNode<A, B, 
             self.right
                 .rewrite_with_filter(&right_closure, &right_id, Some(&right_pred), ctx);
         Some(self.cons_over(left, right, None, ctx))
+    }
+
+    fn estimate_card(&self, ctx: &mut CardCtx<'_>) -> f64 {
+        self.left.card_node(ctx) + self.right.card_node(ctx)
     }
 
     fn describe(&self) -> &'static str {
@@ -1827,11 +1957,12 @@ impl<T: Record> PlanNode<T> for BinaryNode<T> {
     fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<T>> {
         let left = self.left.eval_shards_node(ctx);
         let right = self.right.eval_shards_node(ctx);
+        let runner = ctx.runner();
         Rc::new(match self.kind {
-            BinaryKind::Union => shard::union(&left, &right),
-            BinaryKind::Intersect => shard::intersect(&left, &right),
-            BinaryKind::Concat => shard::concat(&left, &right),
-            BinaryKind::Except => shard::except(&left, &right),
+            BinaryKind::Union => shard::union(&left, &right, runner),
+            BinaryKind::Intersect => shard::intersect(&left, &right, runner),
+            BinaryKind::Concat => shard::concat(&left, &right, runner),
+            BinaryKind::Except => shard::except(&left, &right, runner),
         })
     }
 
@@ -1902,6 +2033,15 @@ impl<T: Record> PlanNode<T> for BinaryNode<T> {
 
     fn sinks_filters(&self, ctx: &RewriteCtx<'_>) -> bool {
         self.left.sinks_filters(ctx) || self.right.sinks_filters(ctx)
+    }
+
+    fn estimate_card(&self, ctx: &mut CardCtx<'_>) -> f64 {
+        let (card_l, card_r) = (self.left.card_node(ctx), self.right.card_node(ctx));
+        match self.kind {
+            BinaryKind::Intersect => card_l.min(card_r),
+            BinaryKind::Except => card_l,
+            BinaryKind::Union | BinaryKind::Concat => card_l + card_r,
+        }
     }
 
     fn describe(&self) -> &'static str {

@@ -208,6 +208,28 @@ proptest! {
         }
     }
 
+    /// The worker-pool dispatch path is bitwise-neutral: evaluating on a pooled executor
+    /// (`ShardedExecutor::new`, persistent channel-fed workers), a scoped executor
+    /// (`ShardedExecutor::scoped`, per-call `std::thread::scope` spawns), and the
+    /// sequential reference all produce the same bits for every shard count.
+    #[test]
+    fn pooled_scoped_and_sequential_executors_are_bitwise_identical(
+        program in proptest::collection::vec(plan_op(), 1..10),
+        data in delta_dataset(),
+    ) {
+        let source = Plan::<u32>::source();
+        let plan = build_plan(&source, &program);
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&source, data);
+        let sequential = plan.eval_with(&bindings, &SequentialExecutor);
+        for n in SHARD_COUNTS {
+            let pooled = plan.eval_with(&bindings, &ShardedExecutor::new(n));
+            let scoped = plan.eval_with(&bindings, &ShardedExecutor::scoped(n));
+            assert_bitwise_eq(&pooled, &sequential, n);
+            assert_bitwise_eq(&scoped, &sequential, n);
+        }
+    }
+
     /// The `==` operator agrees too (it compares weights exactly), and the executors are
     /// also self-consistent across repeated evaluations.
     #[test]
@@ -225,6 +247,34 @@ proptest! {
         let sequential = plan.eval_with(&bindings, &SequentialExecutor);
         prop_assert!(first == sequential, "sharded != sequential under ==");
     }
+}
+
+/// Repeated `eval_with` calls against the same bindings reuse the cached source
+/// partitions instead of re-hashing every record, and rebinding a source refreshes them.
+#[test]
+fn repeated_sharded_evaluations_reuse_cached_partitions() {
+    let source = Plan::<u32>::source();
+    let plan = source
+        .group_by(|x| x % 3, |g| g.len() as u64)
+        .select(|(k, c)| k + *c as u32);
+    let mut bindings = PlanBindings::new();
+    bindings.bind(
+        &source,
+        WeightedDataset::from_pairs([(1, 1.0), (2, 2.0), (5, 0.5)]),
+    );
+    let executor = ShardedExecutor::new(2);
+    let first = plan.eval_with(&bindings, &executor);
+    let second = plan.eval_with(&bindings, &executor);
+    assert!(first == second);
+    // Rebinding invalidates the cache: the new data (not a stale partition) is evaluated.
+    bindings.bind(&source, WeightedDataset::from_pairs([(7, 4.0)]));
+    let rebound = plan.eval_with(&bindings, &executor);
+    assert!(
+        rebound != first,
+        "rebound source still evaluated stale partitions"
+    );
+    let sequential = plan.eval_with(&bindings, &SequentialExecutor);
+    assert!(rebound == sequential);
 }
 
 /// `build_plan` with an empty program is the bare source: evaluation round-trips the
