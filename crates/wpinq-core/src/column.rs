@@ -1,0 +1,380 @@
+//! Columnar (struct-of-arrays) batches of dynamic [`Value`] records.
+//!
+//! The dynamic record representation that makes plans serializable stores every record as
+//! a heap-walking [`Value`] enum tree. For batch evaluation that layout wastes both memory
+//! bandwidth and branch predictions: every operator re-discovers the (single) shape of the
+//! dataset once per record. A [`ColumnBatch`] transposes a homogeneous run of records into
+//! one primitive vector per [`ValueType`] leaf — `Unit` carries no storage at all, `Bool`/
+//! `U64`/`I64` become flat `Vec`s, and tuples become nested column *groups* — plus the
+//! parallel weights vector.
+//!
+//! Two properties matter for privacy-relevant bitwise reproducibility and are guaranteed
+//! here:
+//!
+//! - **Order preservation.** [`ColumnBatch::from_pairs`] keeps the input iteration order:
+//!   row `i` of the batch is the `i`-th input record, and [`ColumnBatch::to_pairs`] yields
+//!   the rows back in exactly that order with bit-identical weights. The sorted-record
+//!   noise-assignment discipline of the release layer is therefore untouched by a columnar
+//!   detour.
+//! - **Shape totality.** Building verifies every record against the batch type and fails
+//!   (returns `None`) rather than coercing, so a columnar kernel can always fall back to
+//!   the row representation instead of guessing.
+//!
+//! The vectorized expression interpreter (`wpinq-expr`) evaluates register programs
+//! directly over [`ColumnData`], and the sharded columnar kernels exchange `ColumnBatch`
+//! segments instead of `Vec<(Value, f64)>` buckets.
+
+use std::cmp::Ordering;
+
+use crate::dataset::WeightedDataset;
+use crate::value::{Value, ValueType};
+
+/// The decomposed storage of one column of values, all sharing a single [`ValueType`].
+///
+/// `Unit` columns carry no per-row storage; their length is implied by the enclosing
+/// batch (or by the sibling columns of a tuple group). Tuple columns store one child
+/// column per field, each of the common row count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnData {
+    /// A column of `()` records: pure length, no bytes.
+    Unit,
+    /// A flat column of booleans.
+    Bool(Vec<bool>),
+    /// A flat column of unsigned integers.
+    U64(Vec<u64>),
+    /// A flat column of signed integers.
+    I64(Vec<i64>),
+    /// A column group: one child column per tuple field.
+    Tuple(Vec<ColumnData>),
+}
+
+impl ColumnData {
+    /// An empty column of shape `ty` with room for `capacity` rows.
+    pub fn with_capacity(ty: &ValueType, capacity: usize) -> ColumnData {
+        match ty {
+            ValueType::Unit => ColumnData::Unit,
+            ValueType::Bool => ColumnData::Bool(Vec::with_capacity(capacity)),
+            ValueType::U64 => ColumnData::U64(Vec::with_capacity(capacity)),
+            ValueType::I64 => ColumnData::I64(Vec::with_capacity(capacity)),
+            ValueType::Tuple(items) => ColumnData::Tuple(
+                items
+                    .iter()
+                    .map(|t| ColumnData::with_capacity(t, capacity))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// The shape of this column.
+    pub fn type_of(&self) -> ValueType {
+        match self {
+            ColumnData::Unit => ValueType::Unit,
+            ColumnData::Bool(_) => ValueType::Bool,
+            ColumnData::U64(_) => ValueType::U64,
+            ColumnData::I64(_) => ValueType::I64,
+            ColumnData::Tuple(cols) => {
+                ValueType::Tuple(cols.iter().map(ColumnData::type_of).collect())
+            }
+        }
+    }
+
+    /// Appends one value; returns `false` (leaving the column in an unspecified but safe
+    /// state) when the value does not match the column shape.
+    pub fn push_value(&mut self, value: &Value) -> bool {
+        match (self, value) {
+            (ColumnData::Unit, Value::Unit) => true,
+            (ColumnData::Bool(col), Value::Bool(b)) => {
+                col.push(*b);
+                true
+            }
+            (ColumnData::U64(col), Value::U64(n)) => {
+                col.push(*n);
+                true
+            }
+            (ColumnData::I64(col), Value::I64(n)) => {
+                col.push(*n);
+                true
+            }
+            (ColumnData::Tuple(cols), Value::Tuple(items)) => {
+                cols.len() == items.len()
+                    && cols
+                        .iter_mut()
+                        .zip(items)
+                        .all(|(col, item)| col.push_value(item))
+            }
+            _ => false,
+        }
+    }
+
+    /// Appends row `index` of `other` (a column of the same shape).
+    pub fn push_row_from(&mut self, other: &ColumnData, index: usize) {
+        match (self, other) {
+            (ColumnData::Unit, ColumnData::Unit) => {}
+            (ColumnData::Bool(col), ColumnData::Bool(src)) => col.push(src[index]),
+            (ColumnData::U64(col), ColumnData::U64(src)) => col.push(src[index]),
+            (ColumnData::I64(col), ColumnData::I64(src)) => col.push(src[index]),
+            (ColumnData::Tuple(cols), ColumnData::Tuple(src)) => {
+                debug_assert_eq!(cols.len(), src.len());
+                for (col, s) in cols.iter_mut().zip(src) {
+                    col.push_row_from(s, index);
+                }
+            }
+            (dst, src) => panic!(
+                "push_row_from between mismatched column shapes {} and {}",
+                dst.type_of(),
+                src.type_of()
+            ),
+        }
+    }
+
+    /// Materializes row `index` as a [`Value`].
+    pub fn value_at(&self, index: usize) -> Value {
+        match self {
+            ColumnData::Unit => Value::Unit,
+            ColumnData::Bool(col) => Value::Bool(col[index]),
+            ColumnData::U64(col) => Value::U64(col[index]),
+            ColumnData::I64(col) => Value::I64(col[index]),
+            ColumnData::Tuple(cols) => {
+                Value::Tuple(cols.iter().map(|c| c.value_at(index)).collect())
+            }
+        }
+    }
+}
+
+/// Compares row `ai` of `a` with row `bi` of `b` exactly as the materialized
+/// [`Value`]s would compare (columns of equal shape; same-shape comparison is all the
+/// type checker admits).
+pub fn cmp_rows(a: &ColumnData, ai: usize, b: &ColumnData, bi: usize) -> Ordering {
+    match (a, b) {
+        (ColumnData::Unit, ColumnData::Unit) => Ordering::Equal,
+        (ColumnData::Bool(x), ColumnData::Bool(y)) => x[ai].cmp(&y[bi]),
+        (ColumnData::U64(x), ColumnData::U64(y)) => x[ai].cmp(&y[bi]),
+        (ColumnData::I64(x), ColumnData::I64(y)) => x[ai].cmp(&y[bi]),
+        (ColumnData::Tuple(xs), ColumnData::Tuple(ys)) => {
+            // Lexicographic with length tie-break, matching `Vec<Value>`'s `Ord`.
+            for (x, y) in xs.iter().zip(ys) {
+                match cmp_rows(x, ai, y, bi) {
+                    Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            xs.len().cmp(&ys.len())
+        }
+        (a, b) => panic!(
+            "cmp_rows between mismatched column shapes {} and {}",
+            a.type_of(),
+            b.type_of()
+        ),
+    }
+}
+
+/// A homogeneous batch of weighted [`Value`] records in columnar layout: the decomposed
+/// record columns plus the parallel weights vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnBatch {
+    ty: ValueType,
+    columns: ColumnData,
+    weights: Vec<f64>,
+}
+
+impl ColumnBatch {
+    /// An empty batch of shape `ty`.
+    pub fn new(ty: ValueType) -> ColumnBatch {
+        ColumnBatch::with_capacity(ty, 0)
+    }
+
+    /// An empty batch of shape `ty` with room for `capacity` rows.
+    pub fn with_capacity(ty: ValueType, capacity: usize) -> ColumnBatch {
+        ColumnBatch {
+            columns: ColumnData::with_capacity(&ty, capacity),
+            weights: Vec::with_capacity(capacity),
+            ty,
+        }
+    }
+
+    /// Transposes `(record, weight)` pairs into columns, **preserving iteration order**:
+    /// row `i` is the `i`-th pair. Returns `None` when any record does not match `ty`.
+    pub fn from_pairs<'a, I>(ty: ValueType, pairs: I) -> Option<ColumnBatch>
+    where
+        I: IntoIterator<Item = (&'a Value, f64)>,
+    {
+        let pairs = pairs.into_iter();
+        let mut batch = ColumnBatch::with_capacity(ty, pairs.size_hint().0);
+        for (record, weight) in pairs {
+            if !batch.columns.push_value(record) {
+                return None;
+            }
+            batch.weights.push(weight);
+        }
+        Some(batch)
+    }
+
+    /// Transposes a dataset into columns (in the dataset's iteration order), inferring the
+    /// batch type from the first record. Returns `None` for an empty dataset (no shape to
+    /// infer) or a shape-inconsistent one.
+    pub fn from_dataset(data: &WeightedDataset<Value>) -> Option<ColumnBatch> {
+        let ty = data.records().next()?.type_of();
+        ColumnBatch::from_pairs(ty, data.iter())
+    }
+
+    /// Appends one row.
+    pub fn push(&mut self, record: &Value, weight: f64) -> bool {
+        if !self.columns.push_value(record) {
+            return false;
+        }
+        self.weights.push(weight);
+        true
+    }
+
+    /// Appends row `index` of `other` (a batch of the same shape).
+    pub fn push_row_from(&mut self, other: &ColumnBatch, index: usize) {
+        self.columns.push_row_from(&other.columns, index);
+        self.weights.push(other.weights[index]);
+    }
+
+    /// Appends row `index` of a free-standing column (of this batch's shape) with an
+    /// explicit weight — the gather primitive of the sharded columnar exchanges, which
+    /// move column segments instead of materialized `(Value, f64)` rows.
+    pub fn push_projected(&mut self, columns: &ColumnData, index: usize, weight: f64) {
+        self.columns.push_row_from(columns, index);
+        self.weights.push(weight);
+    }
+
+    /// The number of rows.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// The record shape.
+    pub fn ty(&self) -> &ValueType {
+        &self.ty
+    }
+
+    /// The record columns.
+    pub fn columns(&self) -> &ColumnData {
+        &self.columns
+    }
+
+    /// The parallel weights vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Materializes row `index`.
+    pub fn value_at(&self, index: usize) -> Value {
+        self.columns.value_at(index)
+    }
+
+    /// Transposes back to `(record, weight)` pairs in row order — the exact inverse of
+    /// [`from_pairs`](Self::from_pairs), bit-identical weights included.
+    pub fn to_pairs(&self) -> Vec<(Value, f64)> {
+        (0..self.len())
+            .map(|i| (self.value_at(i), self.weights[i]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rows() -> Vec<(Value, f64)> {
+        vec![
+            (
+                Value::Tuple(vec![Value::U64(3), Value::I64(-1), Value::Bool(true)]),
+                1.25,
+            ),
+            (
+                Value::Tuple(vec![Value::U64(0), Value::I64(7), Value::Bool(false)]),
+                -0.5,
+            ),
+            (
+                Value::Tuple(vec![Value::U64(9), Value::I64(0), Value::Bool(true)]),
+                3.0f64.sqrt(),
+            ),
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_order_values_and_weight_bits() {
+        let rows = sample_rows();
+        let ty = rows[0].0.type_of();
+        let batch = ColumnBatch::from_pairs(ty.clone(), rows.iter().map(|(v, w)| (v, *w))).unwrap();
+        assert_eq!(batch.len(), rows.len());
+        assert_eq!(batch.ty(), &ty);
+        let back = batch.to_pairs();
+        assert_eq!(back.len(), rows.len());
+        for ((v0, w0), (v1, w1)) in rows.iter().zip(&back) {
+            assert_eq!(v0, v1);
+            assert_eq!(w0.to_bits(), w1.to_bits());
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected_not_coerced() {
+        let ty = ValueType::Tuple(vec![ValueType::U64, ValueType::U64]);
+        let rows = [
+            (Value::Tuple(vec![Value::U64(1), Value::U64(2)]), 1.0),
+            (Value::U64(3), 1.0),
+        ];
+        assert!(ColumnBatch::from_pairs(ty, rows.iter().map(|(v, w)| (v, *w))).is_none());
+    }
+
+    #[test]
+    fn unit_columns_are_pure_length() {
+        let batch =
+            ColumnBatch::from_pairs(ValueType::Unit, [(&Value::Unit, 1.0), (&Value::Unit, 2.0)])
+                .unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.columns(), &ColumnData::Unit);
+        assert_eq!(batch.value_at(1), Value::Unit);
+    }
+
+    #[test]
+    fn from_dataset_infers_shape_and_none_on_empty() {
+        assert!(ColumnBatch::from_dataset(&WeightedDataset::new()).is_none());
+        let data = WeightedDataset::from_pairs([
+            (Value::Tuple(vec![Value::U64(1), Value::U64(2)]), 1.0),
+            (Value::Tuple(vec![Value::U64(3), Value::U64(4)]), 2.0),
+        ]);
+        let batch = ColumnBatch::from_dataset(&data).unwrap();
+        assert_eq!(batch.len(), 2);
+        let rebuilt = WeightedDataset::from_pairs(batch.to_pairs());
+        assert_eq!(rebuilt, data);
+    }
+
+    #[test]
+    fn cmp_rows_matches_materialized_value_order() {
+        let rows = sample_rows();
+        let ty = rows[0].0.type_of();
+        let batch = ColumnBatch::from_pairs(ty, rows.iter().map(|(v, w)| (v, *w))).unwrap();
+        for i in 0..rows.len() {
+            for j in 0..rows.len() {
+                assert_eq!(
+                    cmp_rows(batch.columns(), i, batch.columns(), j),
+                    rows[i].0.cmp(&rows[j].0),
+                    "row {i} vs row {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn push_row_from_gathers_rows() {
+        let rows = sample_rows();
+        let ty = rows[0].0.type_of();
+        let batch = ColumnBatch::from_pairs(ty.clone(), rows.iter().map(|(v, w)| (v, *w))).unwrap();
+        let mut segment = ColumnBatch::new(ty);
+        segment.push_row_from(&batch, 2);
+        segment.push_row_from(&batch, 0);
+        assert_eq!(segment.len(), 2);
+        assert_eq!(segment.value_at(0), rows[2].0);
+        assert_eq!(segment.value_at(1), rows[0].0);
+        assert_eq!(segment.weights()[0].to_bits(), rows[2].1.to_bits());
+    }
+}

@@ -30,6 +30,7 @@
 
 pub mod accumulate;
 pub mod aggregation;
+pub mod column;
 pub mod dataset;
 pub mod noise;
 pub mod operators;

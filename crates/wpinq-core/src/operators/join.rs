@@ -88,7 +88,7 @@ where
 /// The per-key output accumulator for `key`, cloning the key only on first sight (the
 /// callers sit on the join's per-match path, so this runs once per probe record rather
 /// than once per match).
-pub(crate) fn key_accumulator<'m, K, R>(
+pub fn key_accumulator<'m, K, R>(
     per_key: &'m mut FxHashMap<K, crate::accumulate::Contributions<R>>,
     key: &K,
 ) -> &'m mut crate::accumulate::Contributions<R>
@@ -110,7 +110,7 @@ where
 /// is `w_build·w_probe / denominator` with `denominator = ‖build_k‖ + ‖probe_k‖`,
 /// bitwise identical whichever input plays the build role (float `+` and `·` are
 /// commutative, and the norms are canonical).
-pub(crate) fn join_build_probe<'s, 'l, S, L, K, KS, KL>(
+pub fn join_build_probe<'s, 'l, S, L, K, KS, KL>(
     build: impl Iterator<Item = (&'s S, f64)>,
     probe: impl Iterator<Item = (&'l L, f64)> + Clone,
     key_build: &KS,

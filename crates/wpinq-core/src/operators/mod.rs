@@ -18,8 +18,7 @@ mod set_ops;
 mod shave;
 
 pub use group_by::{group_by, group_by_with_key};
-pub use join::{join, join_pairs};
-pub(crate) use join::{join_build_probe, key_accumulator};
+pub use join::{join, join_build_probe, join_pairs, key_accumulator};
 pub use select::{filter, select};
 pub use select_many::{select_many, select_many_unit};
 pub use set_ops::{concat, except, intersect, union};

@@ -79,7 +79,12 @@ impl<T: Record> ShardedDataset<T> {
         ShardedDataset { shards }
     }
 
-    fn from_shards(shards: Vec<WeightedDataset<T>>) -> Self {
+    /// Assembles a sharded dataset from already-partitioned shards.
+    ///
+    /// The caller owns the type invariant: record `r` must live only in shard
+    /// [`shard_of`]`(r, shards.len())`. Exposed for the columnar kernels in `wpinq-expr`,
+    /// whose exchanges produce per-destination shards directly.
+    pub fn from_shards(shards: Vec<WeightedDataset<T>>) -> Self {
         debug_assert!(!shards.is_empty());
         ShardedDataset { shards }
     }

@@ -1,0 +1,877 @@
+//! Columnar operator kernels for `Value`-typed datasets: batch-at-a-time twins of the
+//! row-at-a-time operator kernels in `wpinq-core`, driven by compiled [`ExprProgram`]s.
+//!
+//! Every kernel here is **bitwise-neutral by construction**: it produces exactly the same
+//! multiset of `(record, weight)` contributions as its row twin, and resolves them through
+//! the same canonical accumulation (`wpinq_core::accumulate`), whose results depend only
+//! on that multiset. Concretely:
+//!
+//! - [`select`] pushes one contribution per input row into a [`Contributions`] — the same
+//!   multiset `batch::select` pushes record-at-a-time.
+//! - [`filter`] re-adds the (globally unique) passing input rows with untouched weights.
+//! - [`select_many_unit`] reproduces the per-record production *dataset* of the row path:
+//!   productions are deduplicated per row and contribute `count · weight / max(1, k)`
+//!   (`k` productions sum to an exact integer norm, so the scale is bit-identical).
+//! - [`group_by`] evaluates keys columnar but keeps the row kernel's canonical group
+//!   order (weight-descending, record-ascending) and prefix-halving emission verbatim.
+//! - [`join`] evaluates both key columns columnar and reuses the row kernel's
+//!   asymmetric build/probe core and two-level canonical accumulation.
+//!
+//! The sharded variants mirror the exchange discipline of `wpinq_core::shard`, but move
+//! [`ColumnBatch`] segments (struct-of-arrays slices) between workers where the row path
+//! moves `Vec<(Value, f64)>` buckets; destinations fold segments into the same canonical
+//! accumulators, so shard results stay bitwise identical too.
+//!
+//! Kernels return `None` whenever the columnar representation cannot hold the data (an
+//! empty dataset with no shape to infer, a shape-inconsistent dataset, a compile
+//! failure); the caller falls back to the row path, so enabling the columnar path can
+//! change performance but never results.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use rustc_hash::FxHashMap;
+
+use wpinq_core::accumulate::Contributions;
+use wpinq_core::column::{cmp_rows, ColumnBatch, ColumnData};
+use wpinq_core::dataset::WeightedDataset;
+use wpinq_core::operators::{join_build_probe, key_accumulator};
+use wpinq_core::shard::{shard_of, ShardRunner, ShardedDataset};
+use wpinq_core::value::{Value, ValueType};
+use wpinq_core::weights;
+
+use crate::expr::Expr;
+use crate::program::ExprProgram;
+use crate::spec::ReduceSpec;
+
+/// Environment toggle for the columnar path: set to `0` to force row-at-a-time
+/// evaluation everywhere (any other value, or unset, leaves it on).
+pub const COLUMNAR_ENV: &str = "WPINQ_COLUMNAR";
+
+/// Process-wide override: 0 = defer to the environment, 1 = forced off, 2 = forced on.
+static COLUMNAR_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Overrides the [`COLUMNAR_ENV`] toggle for this process (`None` restores deference to
+/// the environment). Lets tests and benches flip paths without racing on `set_var`.
+pub fn set_columnar_override(enabled: Option<bool>) {
+    let code = match enabled {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    COLUMNAR_OVERRIDE.store(code, Ordering::Relaxed);
+}
+
+/// Whether `Value`-typed expression operators should try the columnar kernels.
+pub fn columnar_enabled() -> bool {
+    match COLUMNAR_OVERRIDE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => std::env::var(COLUMNAR_ENV).map_or(true, |v| v != "0"),
+    }
+}
+
+/// Compiles `expr` against the shape of `data`'s records. `None` when the dataset is
+/// empty (no shape), shape-inconsistent, or the expression does not type-check against
+/// the observed shape.
+fn batch_and_program(
+    data: &WeightedDataset<Value>,
+    expr: &Expr,
+) -> Option<(ColumnBatch, ExprProgram)> {
+    let batch = ColumnBatch::from_dataset(data)?;
+    let program = ExprProgram::compile(expr, batch.ty()).ok()?;
+    Some((batch, program))
+}
+
+// ---------------------------------------------------------------------------------------
+// Packed-key canonical merge
+// ---------------------------------------------------------------------------------------
+
+/// Maximum number of primitive leaves a record shape may have for the packed-key
+/// canonical merge; wider shapes fall back to hash-based accumulation.
+const MAX_PACKED_LEAVES: usize = 4;
+
+/// Number of packable leaves in `ty` (`Unit` leaves carry no data and pack to nothing);
+/// `None` when the shape is too wide to pack.
+fn packed_leaves(ty: &ValueType) -> Option<usize> {
+    let n = match ty {
+        ValueType::Unit => 0,
+        ValueType::Bool | ValueType::U64 | ValueType::I64 => 1,
+        ValueType::Tuple(items) => {
+            let mut total = 0usize;
+            for item in items {
+                total += packed_leaves(item)?;
+            }
+            total
+        }
+    };
+    (n <= MAX_PACKED_LEAVES).then_some(n)
+}
+
+/// Per-leaf scalar kind — the rebuild-side mirror of [`LeafCol`].
+#[derive(Clone, Copy)]
+enum LeafKind {
+    Bool,
+    U64,
+    I64,
+}
+
+/// Rebuilds one leaf `Value` from its packed key word (inverting the pack-side remap:
+/// `i64` ← offset binary, `bool` ← 0/1).
+fn leaf_value(kind: LeafKind, word: u64) -> Value {
+    match kind {
+        LeafKind::Bool => Value::Bool(word != 0),
+        LeafKind::U64 => Value::U64(word),
+        LeafKind::I64 => Value::I64((word ^ (1u64 << 63)) as i64),
+    }
+}
+
+/// Precomputed rebuild plan for one merge: flat shapes — a scalar, or a tuple of
+/// scalars, the norm on the wire path — turn each group key back into a `Value` with
+/// straight-line code; nested shapes fall back to the recursive [`unpack_row`].
+enum Rebuild<'a> {
+    Unit,
+    Scalar(LeafKind),
+    FlatTuple(Vec<LeafKind>),
+    General(&'a ValueType),
+}
+
+impl<'a> Rebuild<'a> {
+    fn of(ty: &'a ValueType) -> Self {
+        fn scalar_kind(ty: &ValueType) -> Option<LeafKind> {
+            match ty {
+                ValueType::Bool => Some(LeafKind::Bool),
+                ValueType::U64 => Some(LeafKind::U64),
+                ValueType::I64 => Some(LeafKind::I64),
+                ValueType::Unit | ValueType::Tuple(_) => None,
+            }
+        }
+        match ty {
+            ValueType::Unit => Rebuild::Unit,
+            ValueType::Tuple(items) => match items.iter().map(scalar_kind).collect() {
+                Some(kinds) => Rebuild::FlatTuple(kinds),
+                None => Rebuild::General(ty),
+            },
+            _ => match scalar_kind(ty) {
+                Some(kind) => Rebuild::Scalar(kind),
+                None => Rebuild::General(ty),
+            },
+        }
+    }
+
+    fn value(&self, key: &[u64]) -> Value {
+        match self {
+            Rebuild::Unit => Value::Unit,
+            Rebuild::Scalar(kind) => leaf_value(*kind, key[0]),
+            Rebuild::FlatTuple(kinds) => Value::Tuple(
+                kinds
+                    .iter()
+                    .zip(key)
+                    .map(|(&kind, &word)| leaf_value(kind, word))
+                    .collect(),
+            ),
+            Rebuild::General(ty) => {
+                let mut slot = 0;
+                unpack_row(ty, key, &mut slot)
+            }
+        }
+    }
+}
+
+/// `f64` bits remapped so ascending `u64` order is exactly [`f64::total_cmp`] order.
+fn weight_order_key(weight: f64) -> u64 {
+    let bits = weight.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1u64 << 63)
+    }
+}
+
+/// Inverse of [`weight_order_key`] — the remap is a bijection on the weight's bits, so
+/// the sort key carries the weight itself and the scan never indexes back into the
+/// (post-sort, randomly permuted) source segments.
+fn weight_from_order_key(key: u64) -> f64 {
+    if key >> 63 == 1 {
+        f64::from_bits(key ^ (1u64 << 63))
+    } else {
+        f64::from_bits(!key)
+    }
+}
+
+/// Rebuilds a record of shape `ty` from its packed preorder leaves — the inverse of
+/// the per-leaf pack loops in [`merge_packed`]. Every packable leaf round-trips
+/// exactly (`Unit` carries no bits).
+fn unpack_row(ty: &ValueType, key: &[u64], slot: &mut usize) -> Value {
+    match ty {
+        ValueType::Unit => Value::Unit,
+        ValueType::Bool => {
+            let v = key[*slot] != 0;
+            *slot += 1;
+            Value::Bool(v)
+        }
+        ValueType::U64 => {
+            let v = key[*slot];
+            *slot += 1;
+            Value::U64(v)
+        }
+        ValueType::I64 => {
+            let v = (key[*slot] ^ (1u64 << 63)) as i64;
+            *slot += 1;
+            Value::I64(v)
+        }
+        ValueType::Tuple(items) => Value::Tuple(
+            items
+                .iter()
+                .map(|item| unpack_row(item, key, slot))
+                .collect(),
+        ),
+    }
+}
+
+/// Canonically merges `(record, weight)` contributions held as column segments into a
+/// [`WeightedDataset`], bitwise-equal to pushing every row through [`Contributions`]:
+/// rows sort by packed record key then by weight in `total_cmp` order, so each
+/// equal-record run sums its weights starting from `0.0` in exactly the
+/// `canonical_sum` order, negligible totals are dropped exactly as `into_dataset`
+/// drops them, and only one `Value` materializes per distinct record — no per-row
+/// allocation or hashing. Both halves of the sort item are invertible, so the scan is a
+/// single sequential pass with no random access back into the segments. `None` when the
+/// shape is too wide to pack (the caller keeps the hash-based accumulator).
+fn merge_segments_canonical(
+    ty: &ValueType,
+    parts: &[(&ColumnData, &[f64])],
+) -> Option<WeightedDataset<Value>> {
+    let leaves = packed_leaves(ty)?;
+    let total: usize = parts.iter().map(|(_, weights)| weights.len()).sum();
+    // Monomorphize on the key width: most record shapes pack into one or two words, and
+    // narrow sort items roughly halve the dominant sort cost.
+    match leaves {
+        0 | 1 => Some(merge_packed::<1>(ty, parts, total)),
+        2 => Some(merge_packed::<2>(ty, parts, total)),
+        _ => Some(merge_packed::<MAX_PACKED_LEAVES>(ty, parts, total)),
+    }
+}
+
+/// One packable leaf column, flattened out of the nested [`ColumnData`] shape so the
+/// pack loop runs per-leaf over primitive slices instead of re-walking the shape tree
+/// per row. Leaves fill their key slots in preorder, each remapped so ascending `u64`
+/// order matches the leaf's `Value` order (`i64` → offset binary, `bool` → 0/1); all
+/// rows of a batch share one shape, so lexicographic comparison of packed keys orders
+/// records exactly and equal keys imply equal records.
+enum LeafCol<'a> {
+    Bool(&'a [bool]),
+    U64(&'a [u64]),
+    I64(&'a [i64]),
+}
+
+fn collect_leaf_cols<'a>(cols: &'a ColumnData, out: &mut Vec<LeafCol<'a>>) {
+    match cols {
+        ColumnData::Unit => {}
+        ColumnData::Bool(col) => out.push(LeafCol::Bool(col)),
+        ColumnData::U64(col) => out.push(LeafCol::U64(col)),
+        ColumnData::I64(col) => out.push(LeafCol::I64(col)),
+        ColumnData::Tuple(items) => {
+            for item in items {
+                collect_leaf_cols(item, out);
+            }
+        }
+    }
+}
+
+fn merge_packed<const N: usize>(
+    ty: &ValueType,
+    parts: &[(&ColumnData, &[f64])],
+    total: usize,
+) -> WeightedDataset<Value> {
+    let mut rows: Vec<([u64; N], u64)> = vec![([0u64; N], 0u64); total];
+    let mut leaves: Vec<LeafCol<'_>> = Vec::new();
+    let mut base = 0;
+    for (cols, weights) in parts {
+        leaves.clear();
+        collect_leaf_cols(cols, &mut leaves);
+        let segment = &mut rows[base..base + weights.len()];
+        for (slot, leaf) in leaves.iter().enumerate() {
+            match leaf {
+                LeafCol::Bool(col) => {
+                    for (row, &v) in segment.iter_mut().zip(*col) {
+                        row.0[slot] = v as u64;
+                    }
+                }
+                LeafCol::U64(col) => {
+                    for (row, &v) in segment.iter_mut().zip(*col) {
+                        row.0[slot] = v;
+                    }
+                }
+                LeafCol::I64(col) => {
+                    for (row, &v) in segment.iter_mut().zip(*col) {
+                        row.0[slot] = (v as u64) ^ (1u64 << 63);
+                    }
+                }
+            }
+        }
+        for (row, &weight) in segment.iter_mut().zip(*weights) {
+            row.1 = weight_order_key(weight);
+        }
+        base += weights.len();
+    }
+    rows.sort_unstable();
+    // Size the output table to the distinct-key count (one neighbor scan of the sorted
+    // rows): merging stages shrink the domain sharply, and a table sized to the input
+    // row count scatters its inserts across mostly-cold cache lines.
+    let groups = if rows.is_empty() {
+        0
+    } else {
+        1 + rows.windows(2).filter(|w| w[0].0 != w[1].0).count()
+    };
+    let rebuild = Rebuild::of(ty);
+    let mut out = WeightedDataset::with_capacity(groups);
+    let mut start = 0;
+    while start < rows.len() {
+        let key = rows[start].0;
+        let mut end = start;
+        let mut sum = 0.0f64;
+        while end < rows.len() && rows[end].0 == key {
+            sum += weight_from_order_key(rows[end].1);
+            end += 1;
+        }
+        // A single contribution resolves to its own bits (`Contribution::One` skips the
+        // `0.0`-seeded canonical fold; the two differ for `-0.0`, which is negligible
+        // anyway, but mirror the row path exactly).
+        if end == start + 1 {
+            sum = weight_from_order_key(rows[start].1);
+        }
+        if !weights::is_negligible(sum) {
+            out.set_weight(rebuild.value(&key), sum);
+        }
+        start = end;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------------------
+// Batch kernels
+// ---------------------------------------------------------------------------------------
+
+/// Columnar `Select` (see `wpinq_core::operators::select`).
+pub fn select(data: &WeightedDataset<Value>, expr: &Expr) -> Option<WeightedDataset<Value>> {
+    if data.is_empty() {
+        return Some(WeightedDataset::new());
+    }
+    let (batch, program) = batch_and_program(data, expr)?;
+    let out = program.eval_batch(&batch);
+    if let Some(merged) = merge_segments_canonical(program.out_ty(), &[(&out, batch.weights())]) {
+        return Some(merged);
+    }
+    let mut acc = Contributions::with_capacity(batch.len());
+    for (i, &weight) in batch.weights().iter().enumerate() {
+        acc.push(out.value_at(i), weight);
+    }
+    Some(acc.into_dataset())
+}
+
+/// Columnar `Where` (see `wpinq_core::operators::filter`): the predicate runs as a
+/// selection mask; passing rows keep their identity and weight.
+pub fn filter(data: &WeightedDataset<Value>, expr: &Expr) -> Option<WeightedDataset<Value>> {
+    if data.is_empty() {
+        return Some(WeightedDataset::new());
+    }
+    let (batch, program) = batch_and_program(data, expr)?;
+    let mask = program.eval_mask(batch.columns(), batch.len());
+    // Input records are distinct, so the output size is exactly the mask's pass count;
+    // sizing the table to the input would scatter inserts across mostly-cold lines.
+    let passing = mask.iter().filter(|&&keep| keep).count();
+    let mut out = WeightedDataset::with_capacity(passing);
+    for (i, &keep) in mask.iter().enumerate() {
+        if keep {
+            out.add_weight(batch.value_at(i), batch.weights()[i]);
+        }
+    }
+    Some(out)
+}
+
+/// Deduplicated productions of one row: for each distinct produced value, the index of
+/// its first producing program and its multiplicity.
+fn distinct_productions(out_cols: &[ColumnData], row: usize, scratch: &mut Vec<(usize, f64)>) {
+    scratch.clear();
+    'produced: for j in 0..out_cols.len() {
+        for &mut (first, ref mut count) in scratch.iter_mut() {
+            if cmp_rows(&out_cols[j], row, &out_cols[first], row).is_eq() {
+                *count += 1.0;
+                continue 'produced;
+            }
+        }
+        scratch.push((j, 1.0));
+    }
+}
+
+/// Columnar `SelectMany` over unit-weight productions (see
+/// `wpinq_core::operators::select_many_unit`): each of the `k` expressions produces one
+/// record per row; the row path builds a per-record dataset (deduplicating productions)
+/// of exact integer norm `k`, so each distinct production contributes
+/// `count · weight / max(1, k)` — reproduced here without materializing the dataset.
+pub fn select_many_unit(
+    data: &WeightedDataset<Value>,
+    exprs: &[Expr],
+) -> Option<WeightedDataset<Value>> {
+    if exprs.is_empty() {
+        // The row path normalises an empty production away entirely.
+        return Some(WeightedDataset::new());
+    }
+    if data.is_empty() {
+        return Some(WeightedDataset::new());
+    }
+    let batch = ColumnBatch::from_dataset(data)?;
+    let programs = exprs
+        .iter()
+        .map(|e| ExprProgram::compile(e, batch.ty()).ok())
+        .collect::<Option<Vec<_>>>()?;
+    let out_cols: Vec<ColumnData> = programs.iter().map(|p| p.eval_batch(&batch)).collect();
+    let norm = exprs.len() as f64;
+    let mut acc = Contributions::with_capacity(batch.len());
+    let mut distinct: Vec<(usize, f64)> = Vec::with_capacity(exprs.len());
+    for (i, &weight) in batch.weights().iter().enumerate() {
+        distinct_productions(&out_cols, i, &mut distinct);
+        let scale = weight / norm.max(1.0);
+        for &(j, count) in &distinct {
+            acc.push(out_cols[j].value_at(i), count * scale);
+        }
+    }
+    Some(acc.into_dataset())
+}
+
+/// Columnar `GroupBy` (see `wpinq_core::operators::group_by`): keys evaluate columnar;
+/// partitioning, the canonical within-group order, and the prefix-halving emission are
+/// verbatim the row kernel's. The dynamic reducer only inspects the prefix *length*, so
+/// no prefix records are materialized at all.
+pub fn group_by(
+    data: &WeightedDataset<Value>,
+    key: &Expr,
+    reduce: &ReduceSpec,
+) -> Option<WeightedDataset<(Value, Value)>> {
+    if data.is_empty() {
+        return Some(WeightedDataset::new());
+    }
+    let (batch, program) = batch_and_program(data, key)?;
+    let keys = program.eval_batch(&batch);
+    let mut parts: FxHashMap<Value, Vec<(usize, f64)>> = FxHashMap::default();
+    for (i, &weight) in batch.weights().iter().enumerate() {
+        if weight <= 0.0 {
+            continue;
+        }
+        parts.entry(keys.value_at(i)).or_default().push((i, weight));
+    }
+    let mut out = WeightedDataset::new();
+    for (k, mut members) in parts {
+        // Non-increasing weight order; ties broken by record order (compared in place).
+        members.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| cmp_rows(batch.columns(), a.0, batch.columns(), b.0))
+        });
+        for i in 0..members.len() {
+            let next_weight = members.get(i + 1).map(|m| m.1).unwrap_or(0.0);
+            let emitted = (members[i].1 - next_weight) / 2.0;
+            if emitted > 0.0 && !weights::is_negligible(emitted) {
+                let reduced = reduce.eval_count((i + 1) as u64);
+                out.add_weight((k.clone(), reduced), emitted);
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Columnar `Join` (see `wpinq_core::operators::join`): both key columns evaluate
+/// columnar; the asymmetric build/probe core, per-key canonical denominators, and
+/// two-level canonical accumulation are shared with the row kernel.
+pub fn join(
+    a: &WeightedDataset<Value>,
+    b: &WeightedDataset<Value>,
+    key_left: &Expr,
+    key_right: &Expr,
+    result: &Expr,
+) -> Option<WeightedDataset<Value>> {
+    if a.is_empty() || b.is_empty() {
+        return Some(WeightedDataset::new());
+    }
+    let (batch_a, prog_a) = batch_and_program(a, key_left)?;
+    let (batch_b, prog_b) = batch_and_program(b, key_right)?;
+    // The result expression is checked once here (against the pair shape) so the
+    // per-match scalar evaluation below can never fail.
+    result
+        .infer(&ValueType::Tuple(vec![
+            batch_a.ty().clone(),
+            batch_b.ty().clone(),
+        ]))
+        .ok()?;
+    let mut per_key: FxHashMap<Value, Contributions<Value>> = FxHashMap::default();
+    join_columnar_core(&batch_a, &prog_a, &batch_b, &prog_b, result, &mut per_key);
+    let mut out = Contributions::new();
+    for (_, contributions) in per_key {
+        for (record, total) in contributions.into_dataset() {
+            out.push(record, total);
+        }
+    }
+    Some(out.into_dataset())
+}
+
+/// The shared columnar join core: evaluates keys for both batches, picks the smaller
+/// side as the build side (exactly as the row kernels do), and emits every match through
+/// the row kernel's `join_build_probe` into per-key canonical accumulators.
+fn join_columnar_core(
+    batch_a: &ColumnBatch,
+    prog_a: &ExprProgram,
+    batch_b: &ColumnBatch,
+    prog_b: &ExprProgram,
+    result: &Expr,
+    per_key: &mut FxHashMap<Value, Contributions<Value>>,
+) {
+    let keys_a = materialize_rows(&prog_a.eval_batch(batch_a), batch_a.len());
+    let keys_b = materialize_rows(&prog_b.eval_batch(batch_b), batch_b.len());
+    let vals_a = materialize_rows(batch_a.columns(), batch_a.len());
+    let vals_b = materialize_rows(batch_b.columns(), batch_b.len());
+    let rows_a: Vec<usize> = (0..batch_a.len()).collect();
+    let rows_b: Vec<usize> = (0..batch_b.len()).collect();
+    let emit = |ra: usize, rb: usize| {
+        result.eval(&Value::Tuple(vec![vals_a[ra].clone(), vals_b[rb].clone()]))
+    };
+    if batch_a.len() <= batch_b.len() {
+        join_build_probe(
+            rows_a.iter().map(|i| (i, batch_a.weights()[*i])),
+            rows_b.iter().map(|i| (i, batch_b.weights()[*i])),
+            &|i: &usize| keys_a[*i].clone(),
+            &|i: &usize| keys_b[*i].clone(),
+            |key, part, rb, w_probe, denominator| {
+                let acc = key_accumulator(per_key, key);
+                for (ra, w_build) in part {
+                    acc.push(emit(**ra, *rb), w_build * w_probe / denominator);
+                }
+            },
+        );
+    } else {
+        join_build_probe(
+            rows_b.iter().map(|i| (i, batch_b.weights()[*i])),
+            rows_a.iter().map(|i| (i, batch_a.weights()[*i])),
+            &|i: &usize| keys_b[*i].clone(),
+            &|i: &usize| keys_a[*i].clone(),
+            |key, part, ra, w_probe, denominator| {
+                let acc = key_accumulator(per_key, key);
+                for (rb, w_build) in part {
+                    acc.push(emit(*ra, **rb), w_build * w_probe / denominator);
+                }
+            },
+        );
+    }
+}
+
+fn materialize_rows(col: &ColumnData, len: usize) -> Vec<Value> {
+    (0..len).map(|i| col.value_at(i)).collect()
+}
+
+// ---------------------------------------------------------------------------------------
+// Sharded kernels
+// ---------------------------------------------------------------------------------------
+
+/// The record shape of a sharded dataset, from its first record (`None` when empty).
+fn sharded_ty(data: &ShardedDataset<Value>) -> Option<ValueType> {
+    data.shards()
+        .iter()
+        .flat_map(|s| s.records())
+        .next()
+        .map(Value::type_of)
+}
+
+fn empty_shards<T: wpinq_core::Record>(n: usize) -> ShardedDataset<T> {
+    ShardedDataset::from_shards(vec![WeightedDataset::new(); n])
+}
+
+/// Builds one columnar batch per shard (in shard iteration order); `None` when any shard
+/// holds a record that does not match `ty`.
+fn shard_batches(data: &ShardedDataset<Value>, ty: &ValueType) -> Option<Vec<ColumnBatch>> {
+    data.shards()
+        .iter()
+        .map(|shard| ColumnBatch::from_pairs(ty.clone(), shard.iter()))
+        .collect()
+}
+
+/// Transposes per-producer column segments and canonically accumulates each destination
+/// shard — the columnar twin of the row exchange, fed by struct-of-arrays segments
+/// instead of `Vec<(Value, f64)>` buckets.
+fn exchange_segments(
+    routed: Vec<Vec<ColumnBatch>>,
+    runner: ShardRunner<'_>,
+) -> ShardedDataset<Value> {
+    let n = routed.first().map(Vec::len).expect("at least one producer");
+    let mut by_dest: Vec<Vec<ColumnBatch>> = (0..n).map(|_| Vec::new()).collect();
+    for producer in routed {
+        debug_assert_eq!(producer.len(), n);
+        for (dest, segment) in producer.into_iter().enumerate() {
+            by_dest[dest].push(segment);
+        }
+    }
+    let shards = runner.map(by_dest, |_, segments| {
+        if let Some(ty) = segments.first().map(|s| s.ty().clone()) {
+            let parts: Vec<(&ColumnData, &[f64])> = segments
+                .iter()
+                .map(|s| (s.columns(), s.weights()))
+                .collect();
+            if let Some(merged) = merge_segments_canonical(&ty, &parts) {
+                return merged;
+            }
+        }
+        let mut acc = Contributions::new();
+        for segment in &segments {
+            for i in 0..segment.len() {
+                acc.push(segment.value_at(i), segment.weights()[i]);
+            }
+        }
+        acc.into_dataset()
+    });
+    ShardedDataset::from_shards(shards)
+}
+
+/// Transposes per-producer row buckets and canonically accumulates each destination (the
+/// row exchange, for kernels whose outputs are not plain `Value` records).
+fn exchange_rows<T: wpinq_core::Record>(
+    routed: Vec<Vec<Vec<(T, f64)>>>,
+    runner: ShardRunner<'_>,
+) -> ShardedDataset<T> {
+    let n = routed.first().map(Vec::len).expect("at least one producer");
+    let mut by_dest: Vec<Vec<Vec<(T, f64)>>> = (0..n).map(|_| Vec::new()).collect();
+    for producer in routed {
+        debug_assert_eq!(producer.len(), n);
+        for (dest, bucket) in producer.into_iter().enumerate() {
+            by_dest[dest].push(bucket);
+        }
+    }
+    let shards = runner.map(by_dest, |_, buckets| {
+        let mut acc = Contributions::new();
+        for bucket in buckets {
+            for (record, weight) in bucket {
+                acc.push(record, weight);
+            }
+        }
+        acc.into_dataset()
+    });
+    ShardedDataset::from_shards(shards)
+}
+
+/// Sharded columnar `Select`: each worker evaluates its shard's program column, routes
+/// output rows by output-record hash into per-destination [`ColumnBatch`] segments, and
+/// the exchange folds segments into canonical accumulators.
+pub fn select_sharded(
+    data: &ShardedDataset<Value>,
+    expr: &Expr,
+    runner: ShardRunner<'_>,
+) -> Option<ShardedDataset<Value>> {
+    let n = data.num_shards();
+    let Some(ty) = sharded_ty(data) else {
+        return Some(empty_shards(n));
+    };
+    let program = ExprProgram::compile(expr, &ty).ok()?;
+    let batches = shard_batches(data, &ty)?;
+    let out_ty = program.out_ty().clone();
+    let routed = runner.for_each(n, |index| {
+        let batch = &batches[index];
+        let out = program.eval_batch(batch);
+        let mut segments: Vec<ColumnBatch> =
+            (0..n).map(|_| ColumnBatch::new(out_ty.clone())).collect();
+        for (i, &weight) in batch.weights().iter().enumerate() {
+            let value = out.value_at(i);
+            segments[shard_of(&value, n)].push_projected(&out, i, weight);
+        }
+        segments
+    });
+    Some(exchange_segments(routed, runner))
+}
+
+/// Sharded columnar `Where`: masks are shard-local (record identity survives), so the
+/// partitioning is preserved and no exchange happens — exactly like the row path.
+pub fn filter_sharded(
+    data: &ShardedDataset<Value>,
+    expr: &Expr,
+    runner: ShardRunner<'_>,
+) -> Option<ShardedDataset<Value>> {
+    let n = data.num_shards();
+    let Some(ty) = sharded_ty(data) else {
+        return Some(empty_shards(n));
+    };
+    let program = ExprProgram::compile(expr, &ty).ok()?;
+    let batches = shard_batches(data, &ty)?;
+    let shards = runner.for_each(n, |index| {
+        let batch = &batches[index];
+        let mask = program.eval_mask(batch.columns(), batch.len());
+        let mut out = WeightedDataset::with_capacity(batch.len());
+        for (i, &keep) in mask.iter().enumerate() {
+            if keep {
+                out.add_weight(batch.value_at(i), batch.weights()[i]);
+            }
+        }
+        out
+    });
+    Some(ShardedDataset::from_shards(shards))
+}
+
+/// Sharded columnar `SelectMany`: per-shard columnar production with per-row
+/// deduplication (see [`select_many_unit`]), routed by output hash as column segments.
+pub fn select_many_unit_sharded(
+    data: &ShardedDataset<Value>,
+    exprs: &[Expr],
+    runner: ShardRunner<'_>,
+) -> Option<ShardedDataset<Value>> {
+    let n = data.num_shards();
+    if exprs.is_empty() {
+        return Some(empty_shards(n));
+    }
+    let Some(ty) = sharded_ty(data) else {
+        return Some(empty_shards(n));
+    };
+    let programs = exprs
+        .iter()
+        .map(|e| ExprProgram::compile(e, &ty).ok())
+        .collect::<Option<Vec<_>>>()?;
+    let out_ty = programs[0].out_ty().clone();
+    if programs.iter().any(|p| p.out_ty() != &out_ty) {
+        return None;
+    }
+    let batches = shard_batches(data, &ty)?;
+    let norm = exprs.len() as f64;
+    let routed = runner.for_each(n, |index| {
+        let batch = &batches[index];
+        let out_cols: Vec<ColumnData> = programs.iter().map(|p| p.eval_batch(batch)).collect();
+        let mut segments: Vec<ColumnBatch> =
+            (0..n).map(|_| ColumnBatch::new(out_ty.clone())).collect();
+        let mut distinct: Vec<(usize, f64)> = Vec::with_capacity(programs.len());
+        for (i, &weight) in batch.weights().iter().enumerate() {
+            distinct_productions(&out_cols, i, &mut distinct);
+            let scale = weight / norm.max(1.0);
+            for &(j, count) in &distinct {
+                let value = out_cols[j].value_at(i);
+                segments[shard_of(&value, n)].push_projected(&out_cols[j], i, count * scale);
+            }
+        }
+        segments
+    });
+    Some(exchange_segments(routed, runner))
+}
+
+/// Sharded columnar `GroupBy`: inputs are exchanged by columnar-evaluated **key** hash as
+/// column segments, each destination runs the batch kernel on its complete key groups,
+/// and outputs are exchanged by record hash — the row path's discipline throughout.
+pub fn group_by_sharded(
+    data: &ShardedDataset<Value>,
+    key: &Expr,
+    reduce: &ReduceSpec,
+    runner: ShardRunner<'_>,
+) -> Option<ShardedDataset<(Value, Value)>> {
+    let n = data.num_shards();
+    let Some(ty) = sharded_ty(data) else {
+        return Some(empty_shards(n));
+    };
+    let program = ExprProgram::compile(key, &ty).ok()?;
+    let batches = shard_batches(data, &ty)?;
+    // Exchange inputs by key hash (each record moves with its exact weight; records are
+    // globally unique, so no accumulation happens and segments concatenate losslessly).
+    let routed = runner.for_each(n, |index| {
+        let batch = &batches[index];
+        let keys = program.eval_batch(batch);
+        let mut segments: Vec<ColumnBatch> = (0..n).map(|_| ColumnBatch::new(ty.clone())).collect();
+        for i in 0..batch.len() {
+            segments[shard_of(&keys.value_at(i), n)].push_row_from(batch, i);
+        }
+        segments
+    });
+    let mut by_dest: Vec<Vec<ColumnBatch>> = (0..n).map(|_| Vec::new()).collect();
+    for producer in routed {
+        for (dest, segment) in producer.into_iter().enumerate() {
+            by_dest[dest].push(segment);
+        }
+    }
+    // Each worker reduces its complete key groups, then routes outputs by record hash.
+    let produced = runner.map(by_dest, |_, segments| {
+        let part = WeightedDataset::from_pairs(
+            segments
+                .iter()
+                .flat_map(|s| (0..s.len()).map(move |i| (s.value_at(i), s.weights()[i]))),
+        );
+        let grouped = group_by(&part, key, reduce).expect("shape verified by segment build");
+        let mut routes: Vec<Vec<((Value, Value), f64)>> = (0..n).map(|_| Vec::new()).collect();
+        for (record, weight) in grouped {
+            routes[shard_of(&record, n)].push((record, weight));
+        }
+        routes
+    });
+    Some(exchange_rows(produced, runner))
+}
+
+/// Sharded columnar `Join`: both inputs are exchanged by columnar-evaluated key hash as
+/// column segments; each destination joins its complete key groups through the shared
+/// build/probe core; outputs are exchanged by record hash.
+pub fn join_sharded(
+    a: &ShardedDataset<Value>,
+    b: &ShardedDataset<Value>,
+    key_left: &Expr,
+    key_right: &Expr,
+    result: &Expr,
+    runner: ShardRunner<'_>,
+) -> Option<ShardedDataset<Value>> {
+    let n = a.num_shards();
+    if n != b.num_shards() {
+        return None;
+    }
+    if a.is_empty() || b.is_empty() {
+        return Some(empty_shards(n));
+    }
+    let (ty_a, ty_b) = (sharded_ty(a)?, sharded_ty(b)?);
+    let prog_a = ExprProgram::compile(key_left, &ty_a).ok()?;
+    let prog_b = ExprProgram::compile(key_right, &ty_b).ok()?;
+    result
+        .infer(&ValueType::Tuple(vec![ty_a.clone(), ty_b.clone()]))
+        .ok()?;
+
+    // Route one side's rows to destinations by key hash, as column segments.
+    let route_side = |data: &ShardedDataset<Value>,
+                      ty: &ValueType,
+                      program: &ExprProgram|
+     -> Option<Vec<ColumnBatch>> {
+        let batches = shard_batches(data, ty)?;
+        let routed = runner.for_each(n, |index| {
+            let batch = &batches[index];
+            let keys = program.eval_batch(batch);
+            let mut segments: Vec<ColumnBatch> =
+                (0..n).map(|_| ColumnBatch::new(ty.clone())).collect();
+            for i in 0..batch.len() {
+                segments[shard_of(&keys.value_at(i), n)].push_row_from(batch, i);
+            }
+            segments
+        });
+        // Concatenate per-destination segments (producer order, like the row path's
+        // bucket `extend`) into one batch per destination.
+        let mut by_dest: Vec<ColumnBatch> = (0..n).map(|_| ColumnBatch::new(ty.clone())).collect();
+        for producer in routed {
+            for (dest, segment) in producer.into_iter().enumerate() {
+                for i in 0..segment.len() {
+                    by_dest[dest].push_row_from(&segment, i);
+                }
+            }
+        }
+        Some(by_dest)
+    };
+    let a_by_key = route_side(a, &ty_a, &prog_a)?;
+    let b_by_key = route_side(b, &ty_b, &prog_b)?;
+
+    let produced = runner.map(
+        a_by_key.into_iter().zip(b_by_key).collect::<Vec<_>>(),
+        |_, (batch_a, batch_b)| {
+            let mut per_key: FxHashMap<Value, Contributions<Value>> = FxHashMap::default();
+            join_columnar_core(&batch_a, &prog_a, &batch_b, &prog_b, result, &mut per_key);
+            let mut routes: Vec<Vec<(Value, f64)>> = (0..n).map(|_| Vec::new()).collect();
+            for (_, contributions) in per_key {
+                for (record, total) in contributions.into_dataset() {
+                    routes[shard_of(&record, n)].push((record, total));
+                }
+            }
+            routes
+        },
+    );
+    Some(exchange_rows(produced, runner))
+}

@@ -20,6 +20,8 @@
 //! Arithmetic is total: integer operations wrap on overflow and division/remainder by
 //! zero yield zero, so a type-correct expression can never fail at evaluation time.
 
+use std::borrow::Cow;
+
 use wpinq_core::value::{Value, ValueType};
 
 use crate::json::Json;
@@ -100,7 +102,7 @@ impl BinOp {
         )
     }
 
-    fn is_cmp(self) -> bool {
+    pub(crate) fn is_cmp(self) -> bool {
         matches!(
             self,
             BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
@@ -222,35 +224,63 @@ impl Expr {
     /// Panics on a type error (field access on a non-tuple, arithmetic on mismatched
     /// types, …); run [`infer`](Self::infer) first to reject ill-typed expressions.
     pub fn eval(&self, input: &Value) -> Value {
+        self.eval_ref(input).into_owned()
+    }
+
+    /// Evaluates the expression, borrowing from `input` where possible.
+    ///
+    /// `Input` and chains of `Field` projections over it resolve to borrows of the input
+    /// record instead of cloning whole tuple sub-values — the dominant shapes in operator
+    /// payloads (`x`, `x.0`, `x.1.2`, …), and the reason scalar predicate evaluation
+    /// allocates nothing at all. Everything else materializes exactly as
+    /// [`eval`](Self::eval) and is handed back owned.
+    ///
+    /// # Panics
+    /// As [`eval`](Self::eval): panics on a type error.
+    pub fn eval_ref<'a>(&self, input: &'a Value) -> Cow<'a, Value> {
         match self {
-            Expr::Input => input.clone(),
-            Expr::Field(e, i) => e.eval(input).field(*i).clone(),
-            Expr::Unit => Value::Unit,
-            Expr::Bool(b) => Value::Bool(*b),
-            Expr::U64(n) => Value::U64(*n),
-            Expr::I64(n) => Value::I64(*n),
-            Expr::Tuple(items) => Value::Tuple(items.iter().map(|e| e.eval(input)).collect()),
-            Expr::Not(e) => Value::Bool(!e.eval(input).as_bool()),
-            Expr::Sort(e) => match e.eval(input) {
-                Value::Tuple(mut items) => {
+            Expr::Input => Cow::Borrowed(input),
+            Expr::Field(e, i) => match e.eval_ref(input) {
+                Cow::Borrowed(v) => Cow::Borrowed(v.field(*i)),
+                Cow::Owned(v) => Cow::Owned(v.field(*i).clone()),
+            },
+            Expr::Unit => Cow::Owned(Value::Unit),
+            Expr::Bool(b) => Cow::Owned(Value::Bool(*b)),
+            Expr::U64(n) => Cow::Owned(Value::U64(*n)),
+            Expr::I64(n) => Cow::Owned(Value::I64(*n)),
+            Expr::Tuple(items) => {
+                Cow::Owned(Value::Tuple(items.iter().map(|e| e.eval(input)).collect()))
+            }
+            Expr::Not(e) => Cow::Owned(Value::Bool(!e.eval_ref(input).as_bool())),
+            Expr::Sort(e) => match e.eval_ref(input) {
+                Cow::Owned(Value::Tuple(mut items)) => {
                     items.sort();
-                    Value::Tuple(items)
+                    Cow::Owned(Value::Tuple(items))
                 }
-                other => panic!("sort on non-tuple value {other:?}"),
+                Cow::Borrowed(Value::Tuple(items)) => {
+                    let mut items = items.clone();
+                    items.sort();
+                    Cow::Owned(Value::Tuple(items))
+                }
+                other => panic!("sort on non-tuple value {:?}", other.as_ref()),
             },
             Expr::Bin(op, l, r) => {
                 // Short-circuit the connectives, mirroring `&&`/`||` in authored closures.
                 if *op == BinOp::And {
-                    return Value::Bool(l.eval(input).as_bool() && r.eval(input).as_bool());
+                    return Cow::Owned(Value::Bool(
+                        l.eval_ref(input).as_bool() && r.eval_ref(input).as_bool(),
+                    ));
                 }
                 if *op == BinOp::Or {
-                    return Value::Bool(l.eval(input).as_bool() || r.eval(input).as_bool());
+                    return Cow::Owned(Value::Bool(
+                        l.eval_ref(input).as_bool() || r.eval_ref(input).as_bool(),
+                    ));
                 }
-                let left = l.eval(input);
-                let right = r.eval(input);
+                let left = l.eval_ref(input);
+                let right = r.eval_ref(input);
                 if op.is_cmp() {
-                    let ord = left.cmp(&right);
-                    return Value::Bool(match op {
+                    let ord = left.as_ref().cmp(right.as_ref());
+                    return Cow::Owned(Value::Bool(match op {
                         BinOp::Eq => ord.is_eq(),
                         BinOp::Ne => ord.is_ne(),
                         BinOp::Lt => ord.is_lt(),
@@ -258,37 +288,40 @@ impl Expr {
                         BinOp::Gt => ord.is_gt(),
                         BinOp::Ge => ord.is_ge(),
                         _ => unreachable!(),
-                    });
+                    }));
                 }
-                match (left, right) {
+                Cow::Owned(match (left.as_ref(), right.as_ref()) {
                     (Value::U64(a), Value::U64(b)) => Value::U64(match op {
-                        BinOp::Add => a.wrapping_add(b),
-                        BinOp::Sub => a.wrapping_sub(b),
-                        BinOp::Mul => a.wrapping_mul(b),
-                        BinOp::Div => a.checked_div(b).unwrap_or(0),
-                        BinOp::Rem => a.checked_rem(b).unwrap_or(0),
+                        BinOp::Add => a.wrapping_add(*b),
+                        BinOp::Sub => a.wrapping_sub(*b),
+                        BinOp::Mul => a.wrapping_mul(*b),
+                        BinOp::Div => a.checked_div(*b).unwrap_or(0),
+                        BinOp::Rem => a.checked_rem(*b).unwrap_or(0),
                         _ => unreachable!(),
                     }),
                     (Value::I64(a), Value::I64(b)) => Value::I64(match op {
-                        BinOp::Add => a.wrapping_add(b),
-                        BinOp::Sub => a.wrapping_sub(b),
-                        BinOp::Mul => a.wrapping_mul(b),
-                        BinOp::Div => a.checked_div(b).unwrap_or(0),
-                        BinOp::Rem => a.checked_rem(b).unwrap_or(0),
+                        BinOp::Add => a.wrapping_add(*b),
+                        BinOp::Sub => a.wrapping_sub(*b),
+                        BinOp::Mul => a.wrapping_mul(*b),
+                        BinOp::Div => a.checked_div(*b).unwrap_or(0),
+                        BinOp::Rem => a.checked_rem(*b).unwrap_or(0),
                         _ => unreachable!(),
                     }),
                     (l, r) => panic!("arithmetic {op:?} on non-integer values {l:?}, {r:?}"),
-                }
+                })
             }
         }
     }
 
     /// Evaluates a predicate expression with `x` bound to `input`.
     ///
+    /// Allocation-free for the common projection-and-compare predicates, via
+    /// [`eval_ref`](Self::eval_ref).
+    ///
     /// # Panics
     /// Panics when the expression does not evaluate to a boolean.
     pub fn eval_bool(&self, input: &Value) -> bool {
-        self.eval(input).as_bool()
+        self.eval_ref(input).as_bool()
     }
 
     // ---- type checking ----------------------------------------------------------------

@@ -29,12 +29,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod columnar;
 pub mod expr;
 pub mod json;
+pub mod program;
 pub mod spec;
 
+pub use columnar::{columnar_enabled, set_columnar_override, COLUMNAR_ENV};
 pub use expr::{BinOp, Expr};
 pub use json::Json;
+pub use program::ExprProgram;
 pub use spec::{
     value_from_json, value_to_json, value_type_from_json, value_type_to_json, PlanSpec, ReduceSpec,
     SpecNode, WIRE_HEADER, WIRE_VERSION,

@@ -1,0 +1,583 @@
+//! Compilation of type-checked [`Expr`]s into flat register programs evaluated
+//! column-at-a-time over [`ColumnBatch`]es.
+//!
+//! The scalar interpreter walks the expression tree once per record, re-discovering the
+//! (single) shape of the dataset every time and cloning tuple sub-values at `Field`
+//! projections. [`ExprProgram`] pays those costs once per *batch* instead: the tree is
+//! flattened into a post-order instruction list (one virtual register per node), and each
+//! instruction runs as a loop over whole columns —
+//!
+//! - `Field` projections **reborrow** the child column of a tuple column group (zero
+//!   copies while the chain bottoms out at the input),
+//! - comparisons and arithmetic over integer leaves run as tight loops over `&[u64]` /
+//!   `&[i64]` slices (monomorphized per opcode, auto-vectorizable),
+//! - predicates produce a selection mask (`Vec<bool>`) without materializing a single
+//!   [`Value`],
+//! - constants stay scalars until an instruction actually needs them broadcast.
+//!
+//! An [`Expr`] is a tree, not a DAG — every register is consumed by exactly one later
+//! instruction — so evaluation can *move* owned columns out of registers instead of
+//! copying them.
+//!
+//! Evaluation is defined to be value-equal to [`Expr::eval`] row by row; the eager
+//! `And`/`Or` here is indistinguishable from the interpreter's short-circuit because
+//! expression evaluation is total (wrapping arithmetic, zero on division by zero). This
+//! is property-tested in this module and at the plan level.
+
+use wpinq_core::column::{cmp_rows, ColumnBatch, ColumnData};
+use wpinq_core::value::{Value, ValueType};
+
+use crate::expr::{BinOp, Expr};
+use crate::WireError;
+
+/// One instruction; its position in the program is the register it defines.
+#[derive(Debug, Clone)]
+enum Inst {
+    /// The input column group.
+    Input,
+    /// Tuple field projection of a register.
+    Field { src: u32, index: usize },
+    /// A scalar constant (broadcast lazily).
+    Const(Value),
+    /// Tuple construction from registers.
+    Tuple(Vec<u32>),
+    /// Boolean negation of a register.
+    Not(u32),
+    /// Ascending sort of each row of a homogeneous tuple register.
+    Sort(u32),
+    /// A binary operation over two registers.
+    Bin { op: BinOp, lhs: u32, rhs: u32 },
+}
+
+/// A type-checked expression compiled to a flat register program (see the module docs).
+#[derive(Debug, Clone)]
+pub struct ExprProgram {
+    insts: Vec<Inst>,
+    input_ty: ValueType,
+    out_ty: ValueType,
+}
+
+/// A register value during evaluation: a borrow of the input (or a projection into it),
+/// an owned intermediate column, or a not-yet-broadcast scalar constant.
+enum Col<'a> {
+    Ref(&'a ColumnData),
+    Owned(ColumnData),
+    Const(Value),
+}
+
+/// A normalized view of a register operand for kernel dispatch.
+enum Operand<'c> {
+    Col(&'c ColumnData),
+    Scalar(&'c Value),
+}
+
+impl<'a> Col<'a> {
+    fn operand(&self) -> Operand<'_> {
+        match self {
+            Col::Ref(c) => Operand::Col(c),
+            Col::Owned(c) => Operand::Col(c),
+            Col::Const(v) => Operand::Scalar(v),
+        }
+    }
+
+    /// Materializes to an owned column of `len` rows (broadcasting constants).
+    fn materialize(self, len: usize) -> ColumnData {
+        match self {
+            Col::Ref(c) => c.clone(),
+            Col::Owned(c) => c,
+            Col::Const(v) => broadcast(&v, len),
+        }
+    }
+}
+
+/// Broadcasts a scalar to a column of `len` rows.
+fn broadcast(value: &Value, len: usize) -> ColumnData {
+    match value {
+        Value::Unit => ColumnData::Unit,
+        Value::Bool(b) => ColumnData::Bool(vec![*b; len]),
+        Value::U64(n) => ColumnData::U64(vec![*n; len]),
+        Value::I64(n) => ColumnData::I64(vec![*n; len]),
+        Value::Tuple(items) => ColumnData::Tuple(items.iter().map(|v| broadcast(v, len)).collect()),
+    }
+}
+
+fn zip_map<T: Copy, R>(a: &[T], b: &[T], f: impl Fn(T, T) -> R) -> Vec<R> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| f(*x, *y)).collect()
+}
+
+fn map_l<T: Copy, R>(a: T, b: &[T], f: impl Fn(T, T) -> R) -> Vec<R> {
+    b.iter().map(|y| f(a, *y)).collect()
+}
+
+fn map_r<T: Copy, R>(a: &[T], b: T, f: impl Fn(T, T) -> R) -> Vec<R> {
+    a.iter().map(|x| f(*x, b)).collect()
+}
+
+/// Dispatches an integer arithmetic opcode over the three column/scalar shapes, with the
+/// opcode resolved *before* the loop so each case monomorphizes to a tight slice loop.
+macro_rules! arith_kernel {
+    ($op:expr, $lhs:expr, $rhs:expr, $prim:ty, $variant:ident) => {{
+        type P = $prim;
+        let f: fn(P, P) -> P = match $op {
+            BinOp::Add => P::wrapping_add,
+            BinOp::Sub => P::wrapping_sub,
+            BinOp::Mul => P::wrapping_mul,
+            BinOp::Div => |a, b| a.checked_div(b).unwrap_or(0),
+            BinOp::Rem => |a, b| a.checked_rem(b).unwrap_or(0),
+            other => panic!("non-arithmetic opcode {other:?} in arithmetic kernel"),
+        };
+        // `f` is a fn pointer, so re-dispatch per shape with an inlinable closure.
+        match ($lhs, $rhs) {
+            (Operand::Col(ColumnData::$variant(a)), Operand::Col(ColumnData::$variant(b))) => {
+                Col::Owned(ColumnData::$variant(zip_map(a, b, |x, y| f(x, y))))
+            }
+            (Operand::Scalar(Value::$variant(a)), Operand::Col(ColumnData::$variant(b))) => {
+                Col::Owned(ColumnData::$variant(map_l(*a, b, |x, y| f(x, y))))
+            }
+            (Operand::Col(ColumnData::$variant(a)), Operand::Scalar(Value::$variant(b))) => {
+                Col::Owned(ColumnData::$variant(map_r(a, *b, |x, y| f(x, y))))
+            }
+            (Operand::Scalar(Value::$variant(a)), Operand::Scalar(Value::$variant(b))) => {
+                Col::Const(Value::$variant(f(*a, *b)))
+            }
+            _ => panic!("arithmetic {:?} on mismatched operand shapes", $op),
+        }
+    }};
+}
+
+impl ExprProgram {
+    /// Compiles `expr` against the given input record type, type-checking it first; a
+    /// compiled program never panics on a batch of that shape.
+    pub fn compile(expr: &Expr, input_ty: &ValueType) -> Result<ExprProgram, WireError> {
+        let out_ty = expr.infer(input_ty)?;
+        let mut insts = Vec::new();
+        emit(expr, &mut insts);
+        Ok(ExprProgram {
+            insts,
+            input_ty: input_ty.clone(),
+            out_ty,
+        })
+    }
+
+    /// The input record type the program was compiled against.
+    pub fn input_ty(&self) -> &ValueType {
+        &self.input_ty
+    }
+
+    /// The output record type.
+    pub fn out_ty(&self) -> &ValueType {
+        &self.out_ty
+    }
+
+    /// Evaluates over `len` rows of `input`, returning the materialized output column.
+    pub fn eval(&self, input: &ColumnData, len: usize) -> ColumnData {
+        self.run(input, len).materialize(len)
+    }
+
+    /// Evaluates the whole record column of a batch.
+    pub fn eval_batch(&self, batch: &ColumnBatch) -> ColumnData {
+        self.eval(batch.columns(), batch.len())
+    }
+
+    /// Evaluates a boolean program to a selection mask.
+    ///
+    /// # Panics
+    /// Panics when the program's output type is not [`ValueType::Bool`].
+    pub fn eval_mask(&self, input: &ColumnData, len: usize) -> Vec<bool> {
+        match self.run(input, len) {
+            Col::Const(Value::Bool(b)) => vec![b; len],
+            Col::Ref(ColumnData::Bool(mask)) => mask.clone(),
+            Col::Owned(ColumnData::Bool(mask)) => mask,
+            _ => panic!(
+                "eval_mask on a non-boolean program (output type {})",
+                self.out_ty
+            ),
+        }
+    }
+
+    /// Runs the register machine; every register is consumed exactly once (the source
+    /// expression is a tree), so owned intermediates move instead of copying.
+    fn run<'a>(&self, input: &'a ColumnData, len: usize) -> Col<'a> {
+        let mut regs: Vec<Option<Col<'a>>> = Vec::with_capacity(self.insts.len());
+        for inst in &self.insts {
+            let col = match inst {
+                Inst::Input => Col::Ref(input),
+                Inst::Const(v) => Col::Const(v.clone()),
+                Inst::Field { src, index } => match take(&mut regs, *src) {
+                    Col::Ref(ColumnData::Tuple(cols)) => Col::Ref(&cols[*index]),
+                    Col::Owned(ColumnData::Tuple(cols)) => Col::Owned(
+                        cols.into_iter()
+                            .nth(*index)
+                            .expect("type checker bounds field indices"),
+                    ),
+                    Col::Const(Value::Tuple(items)) => Col::Const(items[*index].clone()),
+                    _ => panic!("field access on a non-tuple register"),
+                },
+                Inst::Tuple(srcs) => {
+                    // Reborrow chains end here: each element becomes an owned column
+                    // (for `Ref`s a bulk memcpy of primitive vectors, not per-row clones).
+                    let cols = srcs
+                        .iter()
+                        .map(|s| take(&mut regs, *s).materialize(len))
+                        .collect();
+                    Col::Owned(ColumnData::Tuple(cols))
+                }
+                Inst::Not(src) => match take(&mut regs, *src) {
+                    Col::Const(Value::Bool(b)) => Col::Const(Value::Bool(!b)),
+                    col => match col.operand() {
+                        Operand::Col(ColumnData::Bool(mask)) => {
+                            Col::Owned(ColumnData::Bool(mask.iter().map(|b| !b).collect()))
+                        }
+                        _ => panic!("not on a non-boolean register"),
+                    },
+                },
+                Inst::Sort(src) => Col::Owned(sort_rows(take(&mut regs, *src), len)),
+                Inst::Bin { op, lhs, rhs } => {
+                    let lhs = take(&mut regs, *lhs);
+                    let rhs = take(&mut regs, *rhs);
+                    eval_bin(*op, &lhs, &rhs, len)
+                }
+            };
+            regs.push(Some(col));
+        }
+        take(&mut regs, (self.insts.len() - 1) as u32)
+    }
+}
+
+fn take<'a>(regs: &mut [Option<Col<'a>>], index: u32) -> Col<'a> {
+    regs[index as usize]
+        .take()
+        .expect("every register is defined before use and consumed once")
+}
+
+/// Emits post-order instructions for `expr`, returning the root register.
+fn emit(expr: &Expr, insts: &mut Vec<Inst>) -> u32 {
+    let inst = match expr {
+        Expr::Input => Inst::Input,
+        Expr::Field(e, i) => Inst::Field {
+            src: emit(e, insts),
+            index: *i,
+        },
+        Expr::Unit => Inst::Const(Value::Unit),
+        Expr::Bool(b) => Inst::Const(Value::Bool(*b)),
+        Expr::U64(n) => Inst::Const(Value::U64(*n)),
+        Expr::I64(n) => Inst::Const(Value::I64(*n)),
+        Expr::Tuple(items) => Inst::Tuple(items.iter().map(|e| emit(e, insts)).collect()),
+        Expr::Not(e) => Inst::Not(emit(e, insts)),
+        Expr::Sort(e) => Inst::Sort(emit(e, insts)),
+        Expr::Bin(op, l, r) => {
+            let lhs = emit(l, insts);
+            let rhs = emit(r, insts);
+            Inst::Bin { op: *op, lhs, rhs }
+        }
+    };
+    insts.push(inst);
+    (insts.len() - 1) as u32
+}
+
+fn eval_bin<'a>(op: BinOp, lhs: &Col<'a>, rhs: &Col<'a>, len: usize) -> Col<'a> {
+    if op == BinOp::And || op == BinOp::Or {
+        return eval_connective(op, lhs, rhs);
+    }
+    if op.is_cmp() {
+        return eval_cmp(op, lhs, rhs, len);
+    }
+    let l = lhs.operand();
+    let r = rhs.operand();
+    if matches!(
+        l,
+        Operand::Col(ColumnData::U64(_)) | Operand::Scalar(Value::U64(_))
+    ) {
+        arith_kernel!(op, &l, &r, u64, U64)
+    } else {
+        arith_kernel!(op, &l, &r, i64, I64)
+    }
+}
+
+/// Eager elementwise `And`/`Or` — observationally identical to the interpreter's
+/// short-circuit because evaluation is total.
+fn eval_connective<'a>(op: BinOp, lhs: &Col<'a>, rhs: &Col<'a>) -> Col<'a> {
+    let scalar = |v: &Value| match v {
+        Value::Bool(b) => *b,
+        other => panic!("connective {op:?} on non-boolean value {other:?}"),
+    };
+    let slice = |c: &ColumnData| match c {
+        ColumnData::Bool(mask) => mask.to_vec(),
+        other => panic!(
+            "connective {op:?} on non-boolean column {}",
+            other.type_of()
+        ),
+    };
+    let and = op == BinOp::And;
+    match (lhs.operand(), rhs.operand()) {
+        (Operand::Scalar(a), Operand::Scalar(b)) => {
+            let (a, b) = (scalar(a), scalar(b));
+            Col::Const(Value::Bool(if and { a && b } else { a || b }))
+        }
+        (Operand::Scalar(a), Operand::Col(b)) => {
+            let a = scalar(a);
+            let mut mask = slice(b);
+            if and {
+                mask.iter_mut().for_each(|m| *m = a && *m);
+            } else {
+                mask.iter_mut().for_each(|m| *m = a || *m);
+            }
+            Col::Owned(ColumnData::Bool(mask))
+        }
+        (Operand::Col(a), Operand::Scalar(b)) => {
+            let b = scalar(b);
+            let mut mask = slice(a);
+            if and {
+                mask.iter_mut().for_each(|m| *m = *m && b);
+            } else {
+                mask.iter_mut().for_each(|m| *m = *m || b);
+            }
+            Col::Owned(ColumnData::Bool(mask))
+        }
+        (Operand::Col(a), Operand::Col(b)) => {
+            let (a, b) = (slice(a), slice(b));
+            let mask = if and {
+                zip_map(&a, &b, |x, y| x && y)
+            } else {
+                zip_map(&a, &b, |x, y| x || y)
+            };
+            Col::Owned(ColumnData::Bool(mask))
+        }
+    }
+}
+
+fn eval_cmp<'a>(op: BinOp, lhs: &Col<'a>, rhs: &Col<'a>, len: usize) -> Col<'a> {
+    use std::cmp::Ordering;
+    let decide: fn(Ordering) -> bool = match op {
+        BinOp::Eq => Ordering::is_eq,
+        BinOp::Ne => Ordering::is_ne,
+        BinOp::Lt => Ordering::is_lt,
+        BinOp::Le => Ordering::is_le,
+        BinOp::Gt => Ordering::is_gt,
+        BinOp::Ge => Ordering::is_ge,
+        other => panic!("non-comparison opcode {other:?} in comparison kernel"),
+    };
+    // Tight loops for integer/boolean leaves (the overwhelmingly common predicates);
+    // everything else (tuple- or unit-typed operands, which the type checker guarantees
+    // compare same-shaped) goes through the generic row comparator.
+    let mask = match (lhs.operand(), rhs.operand()) {
+        (Operand::Scalar(a), Operand::Scalar(b)) => {
+            return Col::Const(Value::Bool(decide(a.cmp(b))));
+        }
+        (Operand::Col(ColumnData::U64(a)), Operand::Col(ColumnData::U64(b))) => {
+            zip_map(a, b, |x, y| decide(x.cmp(&y)))
+        }
+        (Operand::Col(ColumnData::U64(a)), Operand::Scalar(Value::U64(b))) => {
+            map_r(a, *b, |x, y| decide(x.cmp(&y)))
+        }
+        (Operand::Scalar(Value::U64(a)), Operand::Col(ColumnData::U64(b))) => {
+            map_l(*a, b, |x, y| decide(x.cmp(&y)))
+        }
+        (Operand::Col(ColumnData::I64(a)), Operand::Col(ColumnData::I64(b))) => {
+            zip_map(a, b, |x, y| decide(x.cmp(&y)))
+        }
+        (Operand::Col(ColumnData::I64(a)), Operand::Scalar(Value::I64(b))) => {
+            map_r(a, *b, |x, y| decide(x.cmp(&y)))
+        }
+        (Operand::Scalar(Value::I64(a)), Operand::Col(ColumnData::I64(b))) => {
+            map_l(*a, b, |x, y| decide(x.cmp(&y)))
+        }
+        (Operand::Col(ColumnData::Bool(a)), Operand::Col(ColumnData::Bool(b))) => {
+            zip_map(a, b, |x, y| decide(x.cmp(&y)))
+        }
+        (Operand::Col(ColumnData::Bool(a)), Operand::Scalar(Value::Bool(b))) => {
+            map_r(a, *b, |x, y| decide(x.cmp(&y)))
+        }
+        (Operand::Scalar(Value::Bool(a)), Operand::Col(ColumnData::Bool(b))) => {
+            map_l(*a, b, |x, y| decide(x.cmp(&y)))
+        }
+        _ => {
+            let a = materialize_operand(lhs, len);
+            let b = materialize_operand(rhs, len);
+            (0..len).map(|i| decide(cmp_rows(&a, i, &b, i))).collect()
+        }
+    };
+    Col::Owned(ColumnData::Bool(mask))
+}
+
+/// A borrowed-or-broadcast view of an operand for the generic comparison path.
+fn materialize_operand<'c>(col: &'c Col<'_>, len: usize) -> std::borrow::Cow<'c, ColumnData> {
+    match col.operand() {
+        Operand::Col(c) => std::borrow::Cow::Borrowed(c),
+        Operand::Scalar(v) => std::borrow::Cow::Owned(broadcast(v, len)),
+    }
+}
+
+/// Sorts each row of a homogeneous tuple column ascending, matching
+/// `Value::Tuple(items).sort()` row by row.
+fn sort_rows(col: Col<'_>, len: usize) -> ColumnData {
+    let cols = match col.materialize(len) {
+        ColumnData::Tuple(cols) => cols,
+        other => panic!("sort on non-tuple column {}", other.type_of()),
+    };
+    // Fast path: homogeneous integer tuples (sorted edge/path endpoints) sort small
+    // primitive arrays per row without materializing a Value.
+    if cols.iter().all(|c| matches!(c, ColumnData::U64(_))) {
+        let sorted = sort_rows_prim(&cols, len, |c, i| match c {
+            ColumnData::U64(v) => v[i],
+            _ => unreachable!(),
+        });
+        return ColumnData::Tuple(sorted.into_iter().map(ColumnData::U64).collect());
+    }
+    if cols.iter().all(|c| matches!(c, ColumnData::I64(_))) {
+        let sorted = sort_rows_prim(&cols, len, |c, i| match c {
+            ColumnData::I64(v) => v[i],
+            _ => unreachable!(),
+        });
+        return ColumnData::Tuple(sorted.into_iter().map(ColumnData::I64).collect());
+    }
+    // Generic path (booleans, units, nested tuples): per-row Value gather/sort.
+    let mut out: Vec<ColumnData> = cols
+        .iter()
+        .map(|c| ColumnData::with_capacity(&c.type_of(), len))
+        .collect();
+    let mut row: Vec<Value> = Vec::with_capacity(cols.len());
+    for i in 0..len {
+        row.clear();
+        row.extend(cols.iter().map(|c| c.value_at(i)));
+        row.sort();
+        for (dst, v) in out.iter_mut().zip(&row) {
+            let ok = dst.push_value(v);
+            debug_assert!(ok, "sorted homogeneous tuple keeps its shape");
+        }
+    }
+    ColumnData::Tuple(out)
+}
+
+/// Transposed per-row sort over primitive leaves: gathers each row into a scratch
+/// buffer, sorts, and scatters back into fresh columns.
+fn sort_rows_prim<P: Ord + Copy>(
+    cols: &[ColumnData],
+    len: usize,
+    get: impl Fn(&ColumnData, usize) -> P,
+) -> Vec<Vec<P>> {
+    let k = cols.len();
+    let mut out: Vec<Vec<P>> = (0..k).map(|_| Vec::with_capacity(len)).collect();
+    let mut row: Vec<P> = Vec::with_capacity(k);
+    for i in 0..len {
+        row.clear();
+        row.extend(cols.iter().map(|c| get(c, i)));
+        row.sort_unstable();
+        for (dst, p) in out.iter_mut().zip(&row) {
+            dst.push(*p);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_inputs() -> Vec<Value> {
+        let mut inputs = Vec::new();
+        for a in [0u64, 1, 2, 5, u64::MAX] {
+            for b in [-3i64, 0, 7, i64::MAX] {
+                for c in [false, true] {
+                    inputs.push(Value::Tuple(vec![
+                        Value::U64(a),
+                        Value::I64(b),
+                        Value::Bool(c),
+                        Value::Tuple(vec![Value::U64(a.wrapping_mul(3)), Value::U64(b as u64)]),
+                    ]));
+                }
+            }
+        }
+        inputs
+    }
+
+    fn sample_exprs() -> Vec<Expr> {
+        let x = Expr::input;
+        vec![
+            x(),
+            Expr::unit(),
+            x().field(0),
+            x().field(3).field(1),
+            Expr::tuple(vec![x().field(1), x().field(0)]),
+            x().field(0).add(Expr::u64(7)),
+            Expr::u64(3).mul(x().field(0)),
+            x().field(0).sub(x().field(3).field(0)),
+            x().field(0).div(Expr::u64(0)),
+            x().field(1).rem(Expr::i64(3)),
+            x().field(0).lt(x().field(3).field(1)),
+            x().field(0).eq(Expr::u64(2)),
+            Expr::i64(0).le(x().field(1)),
+            x().field(2).not(),
+            x().field(2).and(x().field(0).gt(Expr::u64(1))),
+            x().field(2).or(Expr::bool(false)),
+            Expr::bool(true).and(Expr::bool(false)),
+            x().field(3).sort(),
+            Expr::tuple(vec![x().field(1), x().field(1).mul(Expr::i64(-1))]).sort(),
+            Expr::tuple(vec![x().field(2), x().field(2).not()]).sort(),
+            Expr::tuple(vec![
+                x().field(3).sort(),
+                Expr::tuple(vec![x().field(0).ge(Expr::u64(5)), x().field(2)]),
+            ]),
+            x().field(3)
+                .eq(Expr::tuple(vec![Expr::u64(3), Expr::u64(0)])),
+            x().field(3).le(x().field(3).sort()),
+        ]
+    }
+
+    #[test]
+    fn program_matches_interpreter_on_every_expr_and_row() {
+        let inputs = sample_inputs();
+        let input_ty = inputs[0].type_of();
+        let batch = wpinq_core::column::ColumnBatch::from_pairs(
+            input_ty.clone(),
+            inputs.iter().map(|v| (v, 1.0)),
+        )
+        .unwrap();
+        for expr in sample_exprs() {
+            let program = ExprProgram::compile(&expr, &input_ty).unwrap();
+            assert_eq!(program.out_ty(), &expr.infer(&input_ty).unwrap());
+            let out = program.eval_batch(&batch);
+            for (i, input) in inputs.iter().enumerate() {
+                assert_eq!(
+                    out.value_at(i),
+                    expr.eval(input),
+                    "expr {expr:?} diverged on row {i} ({input:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masks_match_interpreter_predicates() {
+        let inputs = sample_inputs();
+        let input_ty = inputs[0].type_of();
+        let batch = wpinq_core::column::ColumnBatch::from_pairs(
+            input_ty.clone(),
+            inputs.iter().map(|v| (v, 1.0)),
+        )
+        .unwrap();
+        let x = Expr::input;
+        for predicate in [
+            x().field(0).ne(Expr::u64(1)),
+            x().field(2).and(x().field(1).lt(Expr::i64(5))),
+            Expr::bool(true),
+            x().field(3).field(0).eq(x().field(3).field(1)),
+        ] {
+            let program = ExprProgram::compile(&predicate, &input_ty).unwrap();
+            let mask = program.eval_mask(batch.columns(), batch.len());
+            for (i, input) in inputs.iter().enumerate() {
+                assert_eq!(mask[i], predicate.eval_bool(input), "{predicate:?} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn ill_typed_expressions_do_not_compile() {
+        let x = Expr::input;
+        let ty = ValueType::Tuple(vec![ValueType::U64, ValueType::I64]);
+        assert!(ExprProgram::compile(&x().field(0).add(x().field(1)), &ty).is_err());
+        assert!(ExprProgram::compile(&x().field(5), &ty).is_err());
+        assert!(ExprProgram::compile(&x().sort(), &ty).is_err());
+    }
+}

@@ -72,6 +72,7 @@
 //! ```
 
 mod bindings;
+mod columnar;
 mod executor;
 mod measurement;
 mod nodes;

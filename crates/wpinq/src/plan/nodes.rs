@@ -25,6 +25,7 @@ use wpinq_dataflow::{DataflowInput, ShardedInput, ShardedStream, Stream, DEFAULT
 use wpinq_expr::{Expr, ReduceSpec, SpecNode};
 
 use super::bindings::{PlanBindings, ShardedStreamBindings, StreamBindings};
+use super::columnar;
 use super::executor::available_threads;
 use super::optimize::{ClosureId, NodeShape, OpTag, RefCounts, RewriteCtx};
 use super::wire::SpecCtx;
@@ -754,11 +755,22 @@ impl<T: Record, U: Record> SelectNode<T, U> {
 
 impl<T: Record, U: Record> PlanNode<U> for SelectNode<T, U> {
     fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<U>> {
-        Rc::new(batch::select(&self.parent.eval_node(ctx), &*self.f))
+        let parent = self.parent.eval_node(ctx);
+        if let Some(expr) = &self.expr {
+            if let Some(out) = columnar::try_select(&parent, expr) {
+                return Rc::new(out);
+            }
+        }
+        Rc::new(batch::select(&parent, &*self.f))
     }
 
     fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<U>> {
         let parent = self.parent.eval_shards_node(ctx);
+        if let Some(expr) = &self.expr {
+            if let Some(out) = columnar::try_select_shards(&parent, expr, ctx.runner()) {
+                return Rc::new(out);
+            }
+        }
         Rc::new(shard::select(&parent, &*self.f, ctx.runner()))
     }
 
@@ -904,11 +916,22 @@ impl<T: Record> FilterNode<T> {
 
 impl<T: Record> PlanNode<T> for FilterNode<T> {
     fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<T>> {
-        Rc::new(batch::filter(&self.parent.eval_node(ctx), &*self.predicate))
+        let parent = self.parent.eval_node(ctx);
+        if let Some(expr) = &self.expr {
+            if let Some(out) = columnar::try_filter(&parent, expr) {
+                return Rc::new(out);
+            }
+        }
+        Rc::new(batch::filter(&parent, &*self.predicate))
     }
 
     fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<T>> {
         let parent = self.parent.eval_shards_node(ctx);
+        if let Some(expr) = &self.expr {
+            if let Some(out) = columnar::try_filter_shards(&parent, expr, ctx.runner()) {
+                return Rc::new(out);
+            }
+        }
         Rc::new(shard::filter(&parent, &*self.predicate, ctx.runner()))
     }
 
@@ -1085,11 +1108,24 @@ fn select_many_canonical(exprs: &[Expr]) -> String {
 
 impl<T: Record, U: Record> PlanNode<U> for SelectManyNode<T, U> {
     fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<U>> {
-        Rc::new(batch::select_many(&self.parent.eval_node(ctx), &*self.f))
+        let parent = self.parent.eval_node(ctx);
+        if let Some(payload) = &self.exprs {
+            if let Some(out) = columnar::try_select_many_unit(&parent, &payload.exprs) {
+                return Rc::new(out);
+            }
+        }
+        Rc::new(batch::select_many(&parent, &*self.f))
     }
 
     fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<U>> {
         let parent = self.parent.eval_shards_node(ctx);
+        if let Some(payload) = &self.exprs {
+            if let Some(out) =
+                columnar::try_select_many_unit_shards(&parent, &payload.exprs, ctx.runner())
+            {
+                return Rc::new(out);
+            }
+        }
         Rc::new(shard::select_many(&parent, &*self.f, ctx.runner()))
     }
 
@@ -1266,15 +1302,22 @@ impl<T: Record, K: Record, R: Record> GroupByNode<T, K, R> {
 
 impl<T: Record, K: Record, R: Record> PlanNode<(K, R)> for GroupByNode<T, K, R> {
     fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<(K, R)>> {
-        Rc::new(batch::group_by(
-            &self.parent.eval_node(ctx),
-            &*self.key,
-            &*self.reduce,
-        ))
+        let parent = self.parent.eval_node(ctx);
+        if let Some((key, reduce)) = &self.exprs {
+            if let Some(out) = columnar::try_group_by(&parent, key, reduce) {
+                return Rc::new(out);
+            }
+        }
+        Rc::new(batch::group_by(&parent, &*self.key, &*self.reduce))
     }
 
     fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<(K, R)>> {
         let parent = self.parent.eval_shards_node(ctx);
+        if let Some((key, reduce)) = &self.exprs {
+            if let Some(out) = columnar::try_group_by_shards(&parent, key, reduce, ctx.runner()) {
+                return Rc::new(out);
+            }
+        }
         Rc::new(shard::group_by(
             &parent,
             &*self.key,
@@ -1686,6 +1729,17 @@ impl<A: Record, B: Record, K: Record, R: Record> PlanNode<R> for JoinNode<A, B, 
     fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<R>> {
         let left = self.left.eval_node(ctx);
         let right = self.right.eval_node(ctx);
+        if let Some(payload) = &self.exprs {
+            if let Some(out) = columnar::try_join(
+                &left,
+                &right,
+                &payload.key_left,
+                &payload.key_right,
+                &payload.result,
+            ) {
+                return Rc::new(out);
+            }
+        }
         Rc::new(batch::join(
             &left,
             &right,
@@ -1698,6 +1752,18 @@ impl<A: Record, B: Record, K: Record, R: Record> PlanNode<R> for JoinNode<A, B, 
     fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<R>> {
         let left = self.left.eval_shards_node(ctx);
         let right = self.right.eval_shards_node(ctx);
+        if let Some(payload) = &self.exprs {
+            if let Some(out) = columnar::try_join_shards(
+                &left,
+                &right,
+                &payload.key_left,
+                &payload.key_right,
+                &payload.result,
+                ctx.runner(),
+            ) {
+                return Rc::new(out);
+            }
+        }
         Rc::new(shard::join(
             &left,
             &right,
