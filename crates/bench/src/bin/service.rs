@@ -1,0 +1,275 @@
+//! Measurement-service throughput benchmark: concurrent analysts over both transports.
+//!
+//! Times the whole serving path of the concurrent measurement server — envelope parse,
+//! session budget debit, plan optimisation, batch evaluation, noise, and encode — at
+//! 1/2/4/8 concurrent analyst threads, over the in-process transport and real TCP
+//! loopback connections, cold (every request is a fresh ε-charged measurement) and
+//! cached (identical repeats answered from the cross-request measurement cache with
+//! zero extra ε). Along the way it asserts the service invariants the numbers depend
+//! on: cached repeats come back byte-identical and the cold path charges exactly the
+//! ε it was asked for.
+//!
+//! Results are printed as a table and written to `BENCH_service.json` as
+//! machine-readable rows keyed `(workload, executor, shards)` — `svc-cold`/`svc-cached`
+//! × `inproc`/`tcp` × analyst count — which `bench --bin gate` compares against the
+//! committed baseline. `wall_ms` is the gated figure; `req_per_s` rides along for the
+//! human reader.
+//!
+//! Flags: `--scale full` for more requests per cell, `--seed N` for the noise seed,
+//! `--out PATH` to write the JSON somewhere other than the committed baseline (CI
+//! writes a fresh file and feeds both to the gate).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bench::report::{fmt_f, heading, Table};
+use bench::HarnessArgs;
+use wpinq::{Expr, Plan, PrivacyBudget, WeightedDataset};
+use wpinq_service::{serve_tcp, Client, InProcess, MeasurementService, Tcp, Transport};
+
+/// One measured cell of the matrix.
+struct Row {
+    workload: &'static str,
+    transport: &'static str,
+    analysts: usize,
+    wall_ms: f64,
+    requests: usize,
+    req_per_s: f64,
+}
+
+/// A graph big enough that evaluation dominates envelope overhead in the cold rows: a
+/// deterministic circulant graph (each node links to its next `DEGREE` neighbours).
+fn bench_edges(nodes: u32, degree: u32) -> WeightedDataset<(u32, u32)> {
+    WeightedDataset::from_records((0..nodes).flat_map(|a| {
+        (1..=degree).flat_map(move |k| {
+            let b = (a + k) % nodes;
+            [(a, b), (b, a)]
+        })
+    }))
+}
+
+/// The measured workload: the degree-CCDF plan (multiplicity 1 over the edge source).
+fn degree_plan() -> Plan<u64> {
+    Plan::<(u32, u32)>::source_expr("edges")
+        .select_expr::<u32>(Expr::input().field(0))
+        .shave_const(1.0)
+        .select_expr::<u64>(Expr::input().field(1))
+}
+
+/// A fresh service with one registered dataset and an ample per-analyst grant for each
+/// of `analysts` client threads (`analyst-0` … `analyst-{n-1}`).
+fn build_service(
+    analysts: usize,
+    seed: u64,
+    edges: &WeightedDataset<(u32, u32)>,
+) -> Arc<MeasurementService> {
+    let service = Arc::new(MeasurementService::new().with_noise_seed(seed));
+    service.register("edges", edges).expect("dataset registers");
+    for a in 0..analysts {
+        service
+            .grant(&format!("analyst-{a}"), "edges", PrivacyBudget::new(1e9))
+            .expect("grant");
+    }
+    service
+}
+
+/// Runs `requests` measurements per analyst thread through `make_transport` and returns
+/// the wall time of the whole concurrent burst.
+///
+/// Cold mode gives every request its own ε (a distinct cache key, so each one is a
+/// genuine fresh evaluation and debit); cached mode primes one entry per analyst first,
+/// then times identical repeats, asserting every repeat is byte-identical to the prime.
+fn run_cell<T, F>(
+    service: &Arc<MeasurementService>,
+    analysts: usize,
+    requests: usize,
+    cached: bool,
+    make_transport: F,
+) -> f64
+where
+    T: Transport + 'static,
+    F: Fn() -> T + Sync,
+{
+    let plan = degree_plan();
+    let spent_before: f64 = (0..analysts)
+        .map(|a| 1e9 - service.remaining(&format!("analyst-{a}"), "edges").unwrap())
+        .sum();
+    let primes: Vec<Option<String>> = (0..analysts)
+        .map(|a| {
+            if !cached {
+                return None;
+            }
+            let client = Client::new(make_transport(), format!("analyst-{a}"));
+            let release = client
+                .measure_with_id::<u64>(&plan, 0.5, Some("bench".into()))
+                .expect("prime measurement");
+            Some(release.raw)
+        })
+        .collect();
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let threads: Vec<_> = (0..analysts)
+            .map(|a| {
+                let plan = &plan;
+                let primes = &primes;
+                let make_transport = &make_transport;
+                scope.spawn(move || {
+                    let client = Client::new(make_transport(), format!("analyst-{a}"));
+                    for k in 0..requests {
+                        if cached {
+                            let release = client
+                                .measure_with_id::<u64>(plan, 0.5, Some("bench".into()))
+                                .expect("cached measurement");
+                            assert_eq!(
+                                Some(&release.raw),
+                                primes[a].as_ref(),
+                                "cached repeat must be byte-identical"
+                            );
+                        } else {
+                            // A distinct ε per request ⇒ a distinct cache key ⇒ a
+                            // genuine cold evaluation and debit every time.
+                            let epsilon = 0.5 + (k as f64 + 1.0) * 1e-6;
+                            client
+                                .measure_with_id::<u64>(plan, epsilon, None)
+                                .expect("cold measurement");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("analyst thread");
+        }
+    });
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let spent_after: f64 = (0..analysts)
+        .map(|a| 1e9 - service.remaining(&format!("analyst-{a}"), "edges").unwrap())
+        .sum();
+    let burst_spent = spent_after - spent_before;
+    let expected = if cached {
+        // The primes paid 0.5 each; the timed repeats are free.
+        0.5 * analysts as f64
+    } else {
+        (0..requests)
+            .map(|k| 0.5 + (k as f64 + 1.0) * 1e-6)
+            .sum::<f64>()
+            * analysts as f64
+    };
+    assert!(
+        (burst_spent - expected).abs() < 1e-6,
+        "unexpected ε accounting: spent {burst_spent}, expected {expected}"
+    );
+    wall_ms
+}
+
+fn write_json(path: &str, mode: &str, rows: &[Row]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"generated_by\": \"bench::service\",")?;
+    writeln!(f, "  \"mode\": \"{mode}\",")?;
+    writeln!(
+        f,
+        "  \"hardware_threads\": {},",
+        wpinq::plan::available_threads()
+    )?;
+    writeln!(f, "  \"results\": [")?;
+    for (i, row) in rows.iter().enumerate() {
+        writeln!(
+            f,
+            "    {{\"workload\": \"{}\", \"executor\": \"{}\", \"shards\": {}, \
+             \"wall_ms\": {:.3}, \"requests\": {}, \"req_per_s\": {:.1}}}{}",
+            row.workload,
+            row.transport,
+            row.analysts,
+            row.wall_ms,
+            row.requests,
+            row.req_per_s,
+            if i + 1 == rows.len() { "" } else { "," }
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let mode = if args.full_scale { "full" } else { "quick" };
+    let requests = if args.full_scale { 200 } else { 40 };
+    let edges = if args.full_scale {
+        bench_edges(2_000, 8)
+    } else {
+        bench_edges(500, 4)
+    };
+    heading(&format!(
+        "Measurement-service throughput ({mode}: {} weighted edge records, {requests} \
+         requests per analyst)",
+        edges.len()
+    ));
+
+    let analyst_counts = [1usize, 2, 4, 8];
+    let mut rows: Vec<Row> = Vec::new();
+    let mut table = Table::new([
+        "workload".to_string(),
+        "transport".to_string(),
+        "analysts".to_string(),
+        "wall ms".to_string(),
+        "req/s".to_string(),
+    ]);
+
+    for workload in ["svc-cold", "svc-cached"] {
+        let cached = workload == "svc-cached";
+        for transport in ["inproc", "tcp"] {
+            for &analysts in &analyst_counts {
+                // A fresh service per cell: cache state and budgets never leak between
+                // cells, so every cold row is genuinely cold.
+                let service = build_service(analysts, args.seed, &edges);
+                let wall_ms = if transport == "inproc" {
+                    let svc = service.clone();
+                    run_cell(&service, analysts, requests, cached, move || {
+                        InProcess::new(svc.clone())
+                    })
+                } else {
+                    let server = serve_tcp(service.clone(), "127.0.0.1:0", analysts.max(2))
+                        .expect("loopback server");
+                    let addr = server.local_addr().to_string();
+                    let wall = run_cell(&service, analysts, requests, cached, move || {
+                        Tcp::new(addr.clone())
+                    });
+                    server.shutdown();
+                    wall
+                };
+                let total = analysts * requests;
+                let req_per_s = total as f64 / (wall_ms / 1e3);
+                table.row([
+                    workload.to_string(),
+                    transport.to_string(),
+                    analysts.to_string(),
+                    fmt_f(wall_ms, 2),
+                    fmt_f(req_per_s, 1),
+                ]);
+                rows.push(Row {
+                    workload,
+                    transport,
+                    analysts,
+                    wall_ms,
+                    requests: total,
+                    req_per_s,
+                });
+            }
+        }
+    }
+    table.print();
+
+    let out = args.out.as_deref().unwrap_or("BENCH_service.json");
+    match write_json(out, mode, &rows) {
+        Ok(()) => println!("\nwrote {out}"),
+        Err(e) => {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -15,7 +15,7 @@
 //! `BENCH_vector.json` baseline (CI writes a fresh file and feeds both to
 //! `bench --bin gate`).
 
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 use bench::report::{fmt_f, heading, Table};
@@ -65,7 +65,7 @@ fn workload(
     let mut typed_bindings = PlanBindings::new();
     typed_bindings.bind(&source, data.clone());
     let mut dyn_bindings = PlanBindings::new();
-    let values = Rc::new(dataset_to_values(data));
+    let values = Arc::new(dataset_to_values(data));
     for dyn_source in &dynamic.sources {
         dyn_bindings.bind_shared(&dyn_source.plan, values.clone());
     }

@@ -364,6 +364,21 @@ impl PlanSpec {
         self.to_json().to_pretty()
     }
 
+    /// A **process-stable** 64-bit FNV-1a hash of the canonical compact encoding
+    /// ([`to_json_string`](Self::to_json_string)). Unlike `DefaultHasher`, the value does
+    /// not vary per process, so services can use it to label plans in audit logs and
+    /// cache diagnostics. Equal canonical bytes always hash equal; a hash is *not* a
+    /// substitute for the bytes where collisions would matter (cache keys compare full
+    /// encodings).
+    pub fn canonical_hash(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in self.to_json_string().bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
     /// Parses (and version-checks) a plan document. The plan is **not** type-checked
     /// here; call [`validate`](Self::validate) before executing it.
     pub fn from_json(text: &str) -> Result<PlanSpec, WireError> {

@@ -1,0 +1,218 @@
+//! The cross-request measurement cache: "protect once, reuse forever" at the service
+//! boundary.
+//!
+//! Section 2 of the paper makes noisy releases **post-processable**: once a measurement
+//! has been paid for, anything derived from its bytes — including handing the same bytes
+//! out again — costs no further privacy. [`MeasurementCache`] lifts that guarantee to
+//! the service front door: a repeated identical request (same analyst, same ε, same
+//! canonical optimized plan) returns the memoized release byte-identically, without
+//! re-touching the protected data and without a second ε charge.
+//!
+//! The cache is **single-flight**: each key owns a slot whose lock is held for the
+//! duration of the first computation, so N identical requests racing on a cold key
+//! serialize behind one evaluation and one budget debit — the remaining N−1 get the
+//! memoized value. Distinct keys never contend beyond the brief map lookup. A failed
+//! computation evicts its slot, so a rejected request (say, over budget) is retried
+//! from scratch once the analyst tops up.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Hit/miss counters of a [`MeasurementCache`], read via [`MeasurementCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests answered from a memoized value (zero ε charged).
+    pub hits: u64,
+    /// Requests that computed (and paid for) a fresh value.
+    pub misses: u64,
+}
+
+struct Slot<V> {
+    cell: Mutex<Option<V>>,
+}
+
+impl<V> Default for Slot<V> {
+    fn default() -> Self {
+        Slot {
+            cell: Mutex::new(None),
+        }
+    }
+}
+
+/// A single-flight memoization table keyed by `K` (for the measurement service:
+/// analyst × ε-bits × canonical optimized plan encoding).
+pub struct MeasurementCache<K, V> {
+    slots: Mutex<HashMap<K, Arc<Slot<V>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Default for MeasurementCache<K, V> {
+    fn default() -> Self {
+        MeasurementCache::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> MeasurementCache<K, V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        MeasurementCache {
+            slots: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the memoized value for `key`, or runs `compute` to fill it. The boolean
+    /// is `true` on a hit (the value came from the cache; `compute` did not run).
+    ///
+    /// The slot lock is held across `compute`, so concurrent callers with the *same* key
+    /// block until the first finishes and then hit; callers with different keys proceed
+    /// in parallel. An `Err` from `compute` evicts the slot and propagates — nothing is
+    /// memoized, and the error is observed only by callers that raced this attempt.
+    pub fn get_or_compute<E>(
+        &self,
+        key: K,
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> Result<(V, bool), E> {
+        let slot = self
+            .slots
+            .lock()
+            .expect("cache map poisoned")
+            .entry(key.clone())
+            .or_default()
+            .clone();
+        let mut cell = slot.cell.lock().expect("cache slot poisoned");
+        if let Some(value) = cell.as_ref() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((value.clone(), true));
+        }
+        match compute() {
+            Ok(value) => {
+                *cell = Some(value.clone());
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Ok((value, false))
+            }
+            Err(error) => {
+                drop(cell);
+                // Evict only our own slot: a racing success may already have replaced it.
+                let mut slots = self.slots.lock().expect("cache map poisoned");
+                if let Some(current) = slots.get(&key) {
+                    if Arc::ptr_eq(current, &slot) {
+                        slots.remove(&key);
+                    }
+                }
+                Err(error)
+            }
+        }
+    }
+
+    /// Hit/miss counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of keys currently resident (filled or in flight).
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("cache map poisoned").len()
+    }
+
+    /// `true` when no key is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K, V> std::fmt::Debug for MeasurementCache<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MeasurementCache(hits={}, misses={})",
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_lookup_hits_without_recomputing() {
+        let cache: MeasurementCache<String, u64> = MeasurementCache::new();
+        let mut runs = 0;
+        let (v, hit) = cache
+            .get_or_compute::<()>("k".to_string(), || {
+                runs += 1;
+                Ok(7)
+            })
+            .unwrap();
+        assert_eq!((v, hit, runs), (7, false, 1));
+        let (v, hit) = cache
+            .get_or_compute::<()>("k".to_string(), || {
+                runs += 1;
+                Ok(99)
+            })
+            .unwrap();
+        assert_eq!((v, hit, runs), (7, true, 1), "hit must not recompute");
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn errors_evict_and_allow_retry() {
+        let cache: MeasurementCache<String, u64> = MeasurementCache::new();
+        assert!(cache
+            .get_or_compute("k".to_string(), || Err::<u64, &str>("nope"))
+            .is_err());
+        assert!(
+            cache.is_empty(),
+            "failed computation must not stay resident"
+        );
+        let (v, hit) = cache
+            .get_or_compute::<()>("k".to_string(), || Ok(5))
+            .unwrap();
+        assert_eq!((v, hit), (5, false));
+    }
+
+    #[test]
+    fn racing_identical_keys_compute_exactly_once() {
+        let cache: Arc<MeasurementCache<u32, u64>> = Arc::new(MeasurementCache::new());
+        let runs = Arc::new(AtomicU64::new(0));
+        let values: Vec<u64> = std::thread::scope(|scope| {
+            let threads: Vec<_> = (0..8)
+                .map(|_| {
+                    let cache = cache.clone();
+                    let runs = runs.clone();
+                    scope.spawn(move || {
+                        let (v, _) = cache
+                            .get_or_compute::<()>(1, || {
+                                runs.fetch_add(1, Ordering::Relaxed);
+                                // Widen the race window: the slot lock must still
+                                // serialize every identical request behind this compute.
+                                std::thread::sleep(std::time::Duration::from_millis(20));
+                                Ok(42)
+                            })
+                            .unwrap();
+                        v
+                    })
+                })
+                .collect();
+            threads.into_iter().map(|t| t.join().unwrap()).collect()
+        });
+        assert!(values.iter().all(|&v| v == 42));
+        assert_eq!(
+            runs.load(Ordering::Relaxed),
+            1,
+            "single-flight: one compute"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 7);
+    }
+}

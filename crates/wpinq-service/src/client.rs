@@ -1,12 +1,17 @@
 //! The analyst-side client: typed plans in, typed noisy releases out, with **only JSON
 //! text** crossing the boundary in between.
 //!
-//! [`ServiceClient::measure`] serializes a typed expression-built [`Plan<T>`] to its
-//! [`PlanSpec`] wire form, submits the request through the service's JSON front door
-//! ([`MeasurementService::handle_json`] — the same code path a network transport would
-//! call), and decodes the response back into typed records. Running the round trip
-//! through strings in-process is deliberate: every test that passes here would pass
-//! unchanged over a socket.
+//! [`Client`] is generic over a [`Transport`]: the same typed `measure::<T>` code drives
+//! an in-process service ([`InProcess`](crate::transport::InProcess)) and a network one
+//! ([`Tcp`](crate::transport::Tcp)) — every test that passes in-process passes unchanged
+//! over a socket, because the transport carries the very same envelope bytes. Each
+//! request is stamped with a correlation id (echoed by a v2 server) unless the caller
+//! supplies or suppresses one via [`Client::measure_with_id`].
+//!
+//! The pre-transport [`ServiceClient`] remains as a deprecated shim for callers that
+//! drive the service with their own noise RNG (the deterministic replay path).
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use rand::Rng;
 
@@ -16,6 +21,7 @@ use wpinq_expr::{Json, PlanSpec, WireError};
 
 use crate::release::release_records_from_json;
 use crate::service::{response_output_type, MeasureRequest, MeasurementService};
+use crate::transport::Transport;
 
 /// A typed view of a successful measurement response.
 #[derive(Debug)]
@@ -26,10 +32,13 @@ pub struct TypedRelease<T: ExprRecord> {
     pub records: Vec<(T, f64)>,
     /// Per-dataset ε charged.
     pub charged: Vec<(String, f64)>,
-    /// Per-dataset budget remaining after the charge.
+    /// Per-dataset budget remaining after the charge (as of first computation, when the
+    /// response was served from the measurement cache).
     pub remaining: Vec<(String, f64)>,
     /// The analyst-visible plan the service logged.
     pub explain: String,
+    /// The correlation id the server echoed, when the request carried one.
+    pub id: Option<String>,
     /// The raw response bytes (useful for byte-equality assertions).
     pub raw: String,
 }
@@ -50,8 +59,17 @@ impl<T: ExprRecord> TypedRelease<T> {
 pub enum ClientError {
     /// The plan carries closure-built payloads and cannot be serialized.
     NotSerializable,
-    /// The service rejected the request (message from the response envelope).
-    Rejected(String),
+    /// The service rejected the request. `code` is the stable machine-readable
+    /// [`ServiceError::code`](crate::ServiceError::code) (`"unknown"` for a pre-v2
+    /// server that sent only a message).
+    Rejected {
+        /// The stable error code from the response envelope.
+        code: String,
+        /// The human-readable message from the response envelope.
+        message: String,
+    },
+    /// The transport failed to deliver the request or the response.
+    Transport(String),
     /// The response could not be decoded.
     Wire(WireError),
 }
@@ -64,7 +82,10 @@ impl std::fmt::Display for ClientError {
                 "plan contains closure-built payloads; build it with the *_expr \
                  constructors to ship it"
             ),
-            ClientError::Rejected(msg) => write!(f, "service rejected the request: {msg}"),
+            ClientError::Rejected { code, message } => {
+                write!(f, "service rejected the request [{code}]: {message}")
+            }
+            ClientError::Transport(msg) => write!(f, "transport failure: {msg}"),
             ClientError::Wire(e) => write!(f, "{e}"),
         }
     }
@@ -78,7 +99,163 @@ impl From<WireError> for ClientError {
     }
 }
 
-/// An in-process client bound to one service and one analyst identity.
+/// Decodes one response envelope into a typed release. Understands both the v2 error
+/// shape (`"error":{"code":…,"message":…}`) and the legacy v1 plain-string form.
+pub(crate) fn decode_response<T: ExprRecord>(
+    raw: String,
+    epsilon: f64,
+) -> Result<TypedRelease<T>, ClientError> {
+    let response = Json::parse(&raw).map_err(|e| WireError::new(e.to_string()))?;
+    if response.get("ok").and_then(Json::as_bool) != Some(true) {
+        let error = response.get("error");
+        let code = error
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        let message = error
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .or_else(|| error.and_then(Json::as_str))
+            .unwrap_or("malformed error response")
+            .to_string();
+        return Err(ClientError::Rejected { code, message });
+    }
+    let output_type = response_output_type(&response)?;
+    if output_type != T::value_type() {
+        return Err(ClientError::Wire(WireError::new(format!(
+            "response records have type {output_type}, expected {}",
+            T::value_type()
+        ))));
+    }
+    let release = response
+        .get("release")
+        .ok_or_else(|| WireError::new("response missing 'release'"))?;
+    let records = release_records_from_json(release, &output_type)?
+        .into_iter()
+        .map(|(value, noisy)| {
+            T::from_value(&value)
+                .map(|record| (record, noisy))
+                .ok_or_else(|| WireError::new("release record does not fit the plan type"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let pairs = |key: &str| -> Result<Vec<(String, f64)>, WireError> {
+        response
+            .get(key)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| WireError::new(format!("response missing '{key}'")))?
+            .iter()
+            .map(|pair| {
+                let pair = pair
+                    .as_arr()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| WireError::new(format!("malformed '{key}' entry")))?;
+                let name = pair[0]
+                    .as_str()
+                    .ok_or_else(|| WireError::new(format!("malformed '{key}' name")))?;
+                let eps = pair[1]
+                    .as_f64()
+                    .ok_or_else(|| WireError::new(format!("malformed '{key}' value")))?;
+                Ok((name.to_string(), eps))
+            })
+            .collect()
+    };
+    Ok(TypedRelease {
+        epsilon,
+        records,
+        charged: pairs("charged")?,
+        remaining: pairs("remaining")?,
+        explain: response
+            .get("explain")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string(),
+        id: response
+            .get("id")
+            .and_then(Json::as_str)
+            .map(str::to_string),
+        raw,
+    })
+}
+
+/// A transport-agnostic analyst client bound to one analyst identity.
+///
+/// Cheap per-call state only: plans serialize to [`PlanSpec`] envelopes, the transport
+/// carries the bytes, and responses decode back to typed records. The client is
+/// `Send + Sync` whenever its transport is, so one client can serve many analyst
+/// threads (each request is independent).
+pub struct Client<T: Transport> {
+    transport: T,
+    analyst: String,
+    next_id: AtomicU64,
+}
+
+impl<T: Transport> Client<T> {
+    /// A client speaking for `analyst` over `transport`.
+    pub fn new(transport: T, analyst: impl Into<String>) -> Self {
+        Client {
+            transport,
+            analyst: analyst.into(),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// The underlying transport.
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Serializes `plan`, submits it at `epsilon`, and decodes the typed release. The
+    /// request is stamped with a fresh `analyst-N` correlation id.
+    pub fn measure<R: ExprRecord>(
+        &self,
+        plan: &Plan<R>,
+        epsilon: f64,
+    ) -> Result<TypedRelease<R>, ClientError> {
+        let id = format!(
+            "{}-{}",
+            self.analyst,
+            self.next_id.fetch_add(1, Ordering::Relaxed)
+        );
+        self.measure_with_id(plan, epsilon, Some(id))
+    }
+
+    /// [`measure`](Self::measure) with an explicit correlation id (or none). Replaying
+    /// the *same* plan, ε, and id produces byte-identical request lines — and, against
+    /// a caching service, byte-identical response lines.
+    pub fn measure_with_id<R: ExprRecord>(
+        &self,
+        plan: &Plan<R>,
+        epsilon: f64,
+        id: Option<String>,
+    ) -> Result<TypedRelease<R>, ClientError> {
+        let spec = plan.to_spec().ok_or(ClientError::NotSerializable)?;
+        self.measure_spec_with_id(spec, epsilon, id)
+    }
+
+    /// [`measure_with_id`](Self::measure_with_id) for an already-serialized plan.
+    pub fn measure_spec_with_id<R: ExprRecord>(
+        &self,
+        spec: PlanSpec,
+        epsilon: f64,
+        id: Option<String>,
+    ) -> Result<TypedRelease<R>, ClientError> {
+        let request = MeasureRequest {
+            analyst: self.analyst.clone(),
+            epsilon,
+            spec,
+            id,
+        };
+        let raw = self.transport.roundtrip(&request.to_json_string())?;
+        decode_response(raw, epsilon)
+    }
+}
+
+/// An in-process client bound to one service and one analyst identity, driving the
+/// service with a **caller-supplied** noise RNG (the deterministic, cache-bypassing
+/// path). Superseded by [`Client`] over an
+/// [`InProcess`](crate::transport::InProcess) transport for everything except replay
+/// tests that must pin the noise stream.
 pub struct ServiceClient<'a> {
     service: &'a MeasurementService,
     analyst: String,
@@ -86,6 +263,11 @@ pub struct ServiceClient<'a> {
 
 impl<'a> ServiceClient<'a> {
     /// A client speaking for `analyst`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Client::new(InProcess::new(service), analyst)` unless the caller \
+                must control the noise RNG"
+    )]
     pub fn new(service: &'a MeasurementService, analyst: impl Into<String>) -> Self {
         ServiceClient {
             service,
@@ -118,67 +300,9 @@ impl<'a> ServiceClient<'a> {
             analyst: self.analyst.clone(),
             epsilon,
             spec,
+            id: None,
         };
         let raw = self.service.handle_json(&request.to_json_string(), rng);
-        let response = Json::parse(&raw).map_err(|e| WireError::new(e.to_string()))?;
-        if response.get("ok").and_then(Json::as_bool) != Some(true) {
-            let message = response
-                .get("error")
-                .and_then(Json::as_str)
-                .unwrap_or("malformed error response")
-                .to_string();
-            return Err(ClientError::Rejected(message));
-        }
-        let output_type = response_output_type(&response)?;
-        if output_type != T::value_type() {
-            return Err(ClientError::Wire(WireError::new(format!(
-                "response records have type {output_type}, expected {}",
-                T::value_type()
-            ))));
-        }
-        let release = response
-            .get("release")
-            .ok_or_else(|| WireError::new("response missing 'release'"))?;
-        let records = release_records_from_json(release, &output_type)?
-            .into_iter()
-            .map(|(value, noisy)| {
-                T::from_value(&value)
-                    .map(|record| (record, noisy))
-                    .ok_or_else(|| WireError::new("release record does not fit the plan type"))
-            })
-            .collect::<Result<Vec<_>, _>>()?;
-        let pairs = |key: &str| -> Result<Vec<(String, f64)>, WireError> {
-            response
-                .get(key)
-                .and_then(Json::as_arr)
-                .ok_or_else(|| WireError::new(format!("response missing '{key}'")))?
-                .iter()
-                .map(|pair| {
-                    let pair = pair
-                        .as_arr()
-                        .filter(|p| p.len() == 2)
-                        .ok_or_else(|| WireError::new(format!("malformed '{key}' entry")))?;
-                    let name = pair[0]
-                        .as_str()
-                        .ok_or_else(|| WireError::new(format!("malformed '{key}' name")))?;
-                    let eps = pair[1]
-                        .as_f64()
-                        .ok_or_else(|| WireError::new(format!("malformed '{key}' value")))?;
-                    Ok((name.to_string(), eps))
-                })
-                .collect()
-        };
-        Ok(TypedRelease {
-            epsilon,
-            records,
-            charged: pairs("charged")?,
-            remaining: pairs("remaining")?,
-            explain: response
-                .get("explain")
-                .and_then(Json::as_str)
-                .unwrap_or_default()
-                .to_string(),
-            raw,
-        })
+        decode_response(raw, epsilon)
     }
 }

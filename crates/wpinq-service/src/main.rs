@@ -7,20 +7,26 @@
 //!   door, and prints the request, the response, and the audit log. Deterministic
 //!   (fixed seed), so it doubles as a CI smoke test of the whole service path.
 //! * `wpinq-service --serve` — reads one [`MeasureRequest`](wpinq_service::MeasureRequest)
-//!   envelope per stdin line and writes one response envelope per stdout line. Datasets
-//!   and grants come from `--demo`-style built-ins; a production deployment would load
-//!   them from its own storage. The noise RNG is seeded from `/dev/urandom` — the seed
-//!   is the curator's secret and never leaves the process (the server refuses to start
-//!   without an entropy source).
+//!   envelope per stdin line and writes one response envelope per stdout line.
+//! * `wpinq-service --listen <addr>` — the same envelopes over TCP: an accept loop and
+//!   a worker threadpool share one `MeasurementService`, so concurrent analysts are
+//!   served in parallel (budget debits stay all-or-nothing; identical repeats hit the
+//!   measurement cache). `<addr>` like `127.0.0.1:7878`.
+//! * `wpinq-service --tcp-demo` — starts a loopback server on an OS-chosen port, runs
+//!   the demo workload through a real TCP client twice, and asserts the repeat came
+//!   back byte-identical with zero extra ε charged. The CI TCP smoke step.
+//!
+//! Datasets and grants come from `--demo`-style built-ins; a production deployment
+//! would load them from its own storage. The serving modes seed the noise RNG from
+//! `/dev/urandom` — the seed is the curator's secret and never leaves the process (the
+//! server refuses to start without an entropy source).
 
 use std::io::{BufRead, Write};
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use std::sync::Arc;
 
 use wpinq::plan::executor_for_threads;
 use wpinq::{Expr, Plan, PrivacyBudget, WeightedDataset};
-use wpinq_service::MeasurementService;
+use wpinq_service::{Client, MeasurementService, Tcp};
 
 /// The built-in demo graph: a triangle with a tail plus a 4-cycle, as symmetric
 /// directed edges.
@@ -48,9 +54,12 @@ fn degree_ccdf_plan() -> Plan<u64> {
         .select_expr::<u64>(Expr::input().field(1))
 }
 
-fn build_service() -> MeasurementService {
+fn build_service(noise_seed: Option<u64>) -> MeasurementService {
     let mut service = MeasurementService::new()
         .with_executor(executor_for_threads(wpinq::plan::available_threads()));
+    if let Some(seed) = noise_seed {
+        service = service.with_noise_seed(seed);
+    }
     service
         .register("edges", &demo_edges())
         .expect("demo dataset registers");
@@ -61,20 +70,20 @@ fn build_service() -> MeasurementService {
 }
 
 fn run_demo() {
-    let service = build_service();
+    let service = build_service(Some(42));
     let plan = degree_ccdf_plan();
     let spec = plan.to_spec().expect("expression-built plan serializes");
     let request = wpinq_service::MeasureRequest {
         analyst: "demo".into(),
         epsilon: 0.5,
         spec,
+        id: Some("demo-1".into()),
     };
     let request_json = request.to_json_string();
     println!("--- request ---");
     println!("{request_json}");
 
-    let mut rng = StdRng::seed_from_u64(42);
-    let response = service.handle_json(&request_json, &mut rng);
+    let response = service.handle_line(&request_json);
     println!("--- response ---");
     println!("{response}");
 
@@ -89,6 +98,10 @@ fn run_demo() {
     assert!(
         response.contains("\"ok\":true"),
         "demo measurement must succeed"
+    );
+    assert!(
+        response.contains("\"id\":\"demo-1\""),
+        "response must echo the request id"
     );
 }
 
@@ -110,8 +123,7 @@ fn entropy_seed() -> u64 {
 }
 
 fn run_serve() {
-    let service = build_service();
-    let mut rng = StdRng::seed_from_u64(entropy_seed());
+    let service = build_service(Some(entropy_seed()));
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -123,7 +135,7 @@ fn run_serve() {
         if line.trim().is_empty() {
             continue;
         }
-        let response = service.handle_json(&line, &mut rng);
+        let response = service.handle_line(&line);
         if writeln!(out, "{response}")
             .and_then(|_| out.flush())
             .is_err()
@@ -133,13 +145,77 @@ fn run_serve() {
     }
 }
 
+fn run_listen(addr: &str) {
+    let service = Arc::new(build_service(Some(entropy_seed())));
+    let workers = wpinq::plan::available_threads().max(2);
+    let handle = match wpinq_service::serve_tcp(service, addr, workers) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("cannot listen on {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {} ({workers} workers)", handle.local_addr());
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn run_tcp_demo() {
+    let service = Arc::new(build_service(Some(entropy_seed())));
+    let handle =
+        wpinq_service::serve_tcp(service.clone(), "127.0.0.1:0", 4).expect("loopback server");
+    let addr = handle.local_addr();
+    println!("tcp-demo server on {addr}");
+
+    let client = Client::new(Tcp::new(addr.to_string()), "demo");
+    let plan = degree_ccdf_plan();
+    let first = client
+        .measure_with_id(&plan, 0.5, Some("smoke".into()))
+        .expect("first TCP measurement");
+    let spent_after_first = 10.0 - service.remaining("demo", "edges").expect("grant exists");
+    let second = client
+        .measure_with_id(&plan, 0.5, Some("smoke".into()))
+        .expect("repeated TCP measurement");
+    let spent_after_second = 10.0 - service.remaining("demo", "edges").expect("grant exists");
+
+    assert_eq!(
+        first.raw, second.raw,
+        "identical repeat must be byte-identical"
+    );
+    assert!(
+        (spent_after_second - spent_after_first).abs() < 1e-12,
+        "cached repeat must charge zero epsilon"
+    );
+    println!(
+        "ok: {} released records, {} epsilon charged once, repeat byte-identical from cache \
+         (hits={})",
+        first.records.len(),
+        spent_after_first,
+        service.cache_stats().hits
+    );
+    handle.shutdown();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         None | Some("--demo") => run_demo(),
         Some("--serve") => run_serve(),
+        Some("--listen") => match args.get(1) {
+            Some(addr) => run_listen(addr),
+            None => {
+                eprintln!("--listen needs an address, e.g. --listen 127.0.0.1:7878");
+                std::process::exit(2);
+            }
+        },
+        Some("--tcp-demo") => run_tcp_demo(),
         Some(other) => {
-            eprintln!("unknown mode '{other}'; use --demo (default) or --serve");
+            eprintln!(
+                "unknown mode '{other}'; use --demo (default), --serve, --listen <addr>, \
+                 or --tcp-demo"
+            );
             std::process::exit(2);
         }
     }

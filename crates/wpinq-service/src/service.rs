@@ -17,27 +17,59 @@
 //!    release — never raw weights — together with the analyst-visible plan rendering,
 //!    which is also appended to the service's audit log.
 //!
+//! # Concurrency
+//!
+//! The service is `Send + Sync` (compile-time asserted below) and every entry point
+//! takes `&self`: one `Arc<MeasurementService>` serves any number of request threads.
+//! Interior state is partitioned into independent leaf locks — the dataset table
+//! (`RwLock`, read-mostly), the audit log, the noise generator, and each budget grant —
+//! none of which is ever held while another is acquired, so the service cannot deadlock
+//! with itself.
+//!
+//! Multi-dataset debits are **two-phase and all-or-nothing**: the service first
+//! *reserves* `multiplicity × ε` against every grant the optimized plan touches, walking
+//! grants in canonical dataset order, then evaluates, then *commits* every reservation.
+//! Reservations are RAII guards ([`wpinq::budget::BudgetReservation`]) that roll back on
+//! drop, so any failure after the first hold — an unaffordable later grant, even an
+//! evaluation panic — returns every held ε to its grant. Racing requests can neither
+//! double-spend a grant (the check-and-hold is atomic under the grant's own lock) nor
+//! deadlock (each reserve touches exactly one lock at a time).
+//!
+//! # The measurement cache
+//!
+//! [`serve`](MeasurementService::serve) memoizes responses by **(analyst, ε, canonical
+//! optimized plan)**: a repeated identical request returns the first response
+//! byte-identically, without re-touching data and *without a second ε charge*. This is
+//! the paper's protection-once/reuse-forever guarantee lifted to the service boundary —
+//! a noisy release is post-processable, so replaying its bytes is free. The replay is
+//! recorded in the audit log; the response's `remaining` field reflects budgets *at
+//! first computation* (the release is a sealed artifact — re-quoting live budgets would
+//! make it non-identical). [`measure`](MeasurementService::measure), the caller-supplied
+//! RNG path used by deterministic replay tests, bypasses the cache.
+//!
 //! Determinism: for a fixed RNG state the response bytes are identical across executors
 //! and optimize levels, and identical to a local typed release of the same plan (see the
 //! crate docs for why).
 
-use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-use wpinq::budget::AnalystBudgets;
+use wpinq::budget::{AnalystBudgets, BudgetReservation};
 use wpinq::plan::{default_executor, plan_from_spec, DynPlan, Executor, OptimizeLevel};
 use wpinq::value::{Value, ValueType};
 use wpinq::{BudgetError, NoisyCounts, PrivacyBudget, WeightedDataset};
 use wpinq_expr::{value_type_from_json, value_type_to_json, Json, PlanSpec, WireError};
 
+use crate::cache::{CacheStats, MeasurementCache};
 use crate::release::release_records_json;
 
-/// Version stamp of the request/response JSON envelope.
-pub const REQUEST_VERSION: u32 = 1;
+/// Version stamp of the request/response JSON envelope. Version 2 adds the optional
+/// client-supplied `id` (echoed in every response — required for pipelined transports)
+/// and structured `{"code","message"}` errors; version-1 requests still parse.
+pub const REQUEST_VERSION: u32 = 2;
 
 /// The top-level key of a measurement request document.
 pub const REQUEST_HEADER: &str = "wpinq_measure_request";
@@ -51,17 +83,23 @@ pub struct MeasureRequest {
     pub epsilon: f64,
     /// The plan to measure.
     pub spec: PlanSpec,
+    /// Optional client-chosen correlation id, echoed verbatim in the response envelope
+    /// so pipelined clients can match responses to requests. Never interpreted.
+    pub id: Option<String>,
 }
 
 impl MeasureRequest {
-    /// The JSON envelope (`{"wpinq_measure_request":1,"analyst":…,"epsilon":…,"plan":…}`).
+    /// The JSON envelope
+    /// (`{"wpinq_measure_request":2,"id":…,"analyst":…,"epsilon":…,"plan":…}`).
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
-            (REQUEST_HEADER.into(), Json::num(REQUEST_VERSION)),
-            ("analyst".into(), Json::str(self.analyst.clone())),
-            ("epsilon".into(), Json::f64(self.epsilon)),
-            ("plan".into(), self.spec.to_json()),
-        ])
+        let mut fields = vec![(REQUEST_HEADER.to_string(), Json::num(REQUEST_VERSION))];
+        if let Some(id) = &self.id {
+            fields.push(("id".into(), Json::str(id.clone())));
+        }
+        fields.push(("analyst".into(), Json::str(self.analyst.clone())));
+        fields.push(("epsilon".into(), Json::f64(self.epsilon)));
+        fields.push(("plan".into(), self.spec.to_json()));
+        Json::Obj(fields)
     }
 
     /// Serializes the request to compact JSON.
@@ -69,16 +107,17 @@ impl MeasureRequest {
         self.to_json().to_compact()
     }
 
-    /// Parses a request envelope.
+    /// Parses a request envelope. Versions 1 and 2 are both accepted: version 1 is the
+    /// pre-`id` format, so a v1 request simply parses with `id: None`.
     pub fn from_json(text: &str) -> Result<MeasureRequest, WireError> {
         let json = Json::parse(text).map_err(|e| WireError::new(e.to_string()))?;
         let version = json
             .get(REQUEST_HEADER)
             .and_then(Json::as_u64)
             .ok_or_else(|| WireError::new(format!("missing '{REQUEST_HEADER}' header")))?;
-        if version != u64::from(REQUEST_VERSION) {
+        if !(1..=u64::from(REQUEST_VERSION)).contains(&version) {
             return Err(WireError::new(format!(
-                "unsupported request version {version}"
+                "unsupported request version {version} (this build speaks {REQUEST_VERSION})"
             )));
         }
         let analyst = json
@@ -90,6 +129,7 @@ impl MeasureRequest {
             .get("epsilon")
             .and_then(Json::as_f64)
             .ok_or_else(|| WireError::new("missing or non-finite 'epsilon'"))?;
+        let id = json.get("id").and_then(Json::as_str).map(str::to_string);
         let plan = json
             .get("plan")
             .ok_or_else(|| WireError::new("missing 'plan'"))?;
@@ -98,6 +138,7 @@ impl MeasureRequest {
             analyst,
             epsilon,
             spec,
+            id,
         })
     }
 }
@@ -115,14 +156,24 @@ pub struct MeasureResponse {
     /// Per-dataset ε charged by this request (`multiplicity × ε`), sorted by name.
     pub charged: Vec<(String, f64)>,
     /// Per-dataset budget remaining for this analyst after the charge, sorted by name.
+    /// On a cache replay this quotes the budgets as of the *first* computation.
     pub remaining: Vec<(String, f64)>,
     /// The analyst-visible plan: the optimized plan rendering plus multiplicity report.
     pub explain: String,
 }
 
 impl MeasureResponse {
-    /// The JSON envelope (`{"ok":true, …}`), deterministic byte-for-byte.
+    /// The JSON envelope (`{"ok":true, …}`), deterministic byte-for-byte. The response
+    /// itself carries no id — the envelope layer echoes the request's id via
+    /// [`to_json_with_id`](Self::to_json_with_id), which keeps cached responses
+    /// id-agnostic.
     pub fn to_json(&self) -> Json {
+        self.to_json_with_id(None)
+    }
+
+    /// [`to_json`](Self::to_json) with the request's correlation id spliced in right
+    /// after `"ok"` (omitted when the request carried none, preserving the v1 shape).
+    pub fn to_json_with_id(&self, id: Option<&str>) -> Json {
         let pairs = |items: &[(String, f64)]| {
             Json::Arr(
                 items
@@ -131,15 +182,19 @@ impl MeasureResponse {
                     .collect(),
             )
         };
-        Json::Obj(vec![
-            ("ok".into(), Json::Bool(true)),
-            ("epsilon".into(), Json::f64(self.epsilon)),
+        let mut fields = vec![("ok".to_string(), Json::Bool(true))];
+        if let Some(id) = id {
+            fields.push(("id".into(), Json::str(id.to_string())));
+        }
+        fields.extend([
+            ("epsilon".to_string(), Json::f64(self.epsilon)),
             ("output_type".into(), value_type_to_json(&self.output_type)),
             ("release".into(), release_records_json(&self.release)),
             ("charged".into(), pairs(&self.charged)),
             ("remaining".into(), pairs(&self.remaining)),
             ("explain".into(), Json::str(self.explain.clone())),
-        ])
+        ]);
+        Json::Obj(fields)
     }
 
     /// Serializes the response to compact JSON.
@@ -183,6 +238,39 @@ pub enum ServiceError {
     InvalidParameter(String),
 }
 
+impl ServiceError {
+    /// A stable machine-readable error code, carried in the response envelope alongside
+    /// the human-readable message. Codes are part of the wire contract (PROTOCOL.md):
+    /// clients may branch on them; messages may change freely.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServiceError::Wire(_) => "wire",
+            ServiceError::UnknownDataset(_) => "unknown_dataset",
+            ServiceError::TypeMismatch { .. } => "type_mismatch",
+            ServiceError::NoGrant { .. } => "no_grant",
+            ServiceError::BudgetExceeded { .. } => "budget_exceeded",
+            ServiceError::InvalidParameter(_) => "invalid_parameter",
+        }
+    }
+
+    /// The `{"ok":false,…}` envelope, with the request's correlation id echoed when the
+    /// request parsed far enough to reveal one.
+    pub fn to_json_with_id(&self, id: Option<&str>) -> Json {
+        let mut fields = vec![("ok".to_string(), Json::Bool(false))];
+        if let Some(id) = id {
+            fields.push(("id".into(), Json::str(id.to_string())));
+        }
+        fields.push((
+            "error".into(),
+            Json::Obj(vec![
+                ("code".into(), Json::str(self.code().to_string())),
+                ("message".into(), Json::str(self.to_string())),
+            ]),
+        ));
+        Json::Obj(fields)
+    }
+}
+
 impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -217,18 +305,44 @@ impl From<WireError> for ServiceError {
 
 struct RegisteredDataset {
     ty: ValueType,
-    data: Rc<WeightedDataset<Value>>,
+    data: Arc<WeightedDataset<Value>>,
+}
+
+/// Everything [`prepare`](MeasurementService::prepare) derives from a request before any
+/// budget is touched: the rebuilt plan, its bindings, the optimizer-deduplicated
+/// per-dataset multiplicities, and the canonical cache-key encoding.
+struct Prepared {
+    output_type: ValueType,
+    bindings: wpinq::PlanBindings,
+    plan: wpinq::Plan<Value>,
+    optimized: wpinq::Plan<Value>,
+    per_dataset: BTreeMap<String, u32>,
+    canonical: String,
 }
 
 /// The measurement service: protected datasets, per-analyst budget grants, an executor,
-/// and an audit log of every plan it agreed to measure.
+/// an audit log of every plan it agreed to measure, and the cross-request measurement
+/// cache. `Send + Sync`; share it as `Arc<MeasurementService>` across request threads.
 pub struct MeasurementService {
-    datasets: HashMap<String, RegisteredDataset>,
+    datasets: RwLock<HashMap<String, RegisteredDataset>>,
     budgets: AnalystBudgets,
     executor: Arc<dyn Executor>,
     optimize: OptimizeLevel,
-    audit: RefCell<Vec<String>>,
+    audit: Mutex<Vec<String>>,
+    /// The curator's noise source for [`serve`](Self::serve): each request draws a child
+    /// generator under a brief lock, so evaluation itself is never serialized on it.
+    noise: Mutex<StdRng>,
+    cache: MeasurementCache<(String, u64, String), Arc<MeasureResponse>>,
+    cache_enabled: bool,
 }
+
+// The whole point of this service is to be shared across request threads; make the
+// property a compile error to lose rather than a runtime surprise (it regressed silently
+// once, via `RefCell` audit state and `Rc` plan internals).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MeasurementService>();
+};
 
 impl Default for MeasurementService {
     fn default() -> Self {
@@ -236,16 +350,29 @@ impl Default for MeasurementService {
     }
 }
 
+/// A seed from OS entropy, without assuming a `/dev/urandom` (the std hasher keys are
+/// drawn from the OS entropy pool at first use).
+fn entropy_seed() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    std::collections::hash_map::RandomState::new()
+        .build_hasher()
+        .finish()
+}
+
 impl MeasurementService {
-    /// An empty service with the process-default executor (`WPINQ_THREADS`) and optimize
-    /// level (`WPINQ_OPTIMIZE`).
+    /// An empty service with the process-default executor (`WPINQ_THREADS`), optimize
+    /// level (`WPINQ_OPTIMIZE`), an entropy-seeded noise source, and the measurement
+    /// cache enabled.
     pub fn new() -> Self {
         MeasurementService {
-            datasets: HashMap::new(),
+            datasets: RwLock::new(HashMap::new()),
             budgets: AnalystBudgets::new(),
             executor: default_executor(),
             optimize: OptimizeLevel::from_env(),
-            audit: RefCell::new(Vec::new()),
+            audit: Mutex::new(Vec::new()),
+            noise: Mutex::new(StdRng::seed_from_u64(entropy_seed())),
+            cache: MeasurementCache::new(),
+            cache_enabled: true,
         }
     }
 
@@ -261,10 +388,28 @@ impl MeasurementService {
         self
     }
 
+    /// Pins the noise source of [`serve`](Self::serve) to a fixed seed.
+    ///
+    /// For tests and reproducible demos only: in production the seed is the curator's
+    /// secret — a guessable seed would let an analyst replay the Laplace stream and
+    /// de-noise every release.
+    pub fn with_noise_seed(mut self, seed: u64) -> Self {
+        self.noise = Mutex::new(StdRng::seed_from_u64(seed));
+        self
+    }
+
+    /// Enables or disables the cross-request measurement cache (enabled by default).
+    /// Disabling never changes any single response's bytes — it only makes a repeated
+    /// identical request draw fresh noise and pay again.
+    pub fn with_measurement_cache(mut self, enabled: bool) -> Self {
+        self.cache_enabled = enabled;
+        self
+    }
+
     /// Registers a protected dataset of dynamic records under `name`. Every record must
     /// match `ty`; re-registering a name replaces its data (grants are unaffected).
     pub fn register_values(
-        &mut self,
+        &self,
         name: &str,
         ty: ValueType,
         data: WeightedDataset<Value>,
@@ -284,20 +429,23 @@ impl MeasurementService {
                 });
             }
         }
-        self.datasets.insert(
-            name.to_string(),
-            RegisteredDataset {
-                ty,
-                data: Rc::new(data),
-            },
-        );
+        self.datasets
+            .write()
+            .expect("dataset table poisoned")
+            .insert(
+                name.to_string(),
+                RegisteredDataset {
+                    ty,
+                    data: Arc::new(data),
+                },
+            );
         Ok(())
     }
 
     /// Registers a typed protected dataset under `name` (converted to dynamic records;
     /// support, weights, and sorted order are preserved exactly).
     pub fn register<T: wpinq::ExprRecord>(
-        &mut self,
+        &self,
         name: &str,
         data: &WeightedDataset<T>,
     ) -> Result<(), ServiceError> {
@@ -311,7 +459,12 @@ impl MeasurementService {
         dataset: &str,
         budget: PrivacyBudget,
     ) -> Result<(), ServiceError> {
-        if !self.datasets.contains_key(dataset) {
+        if !self
+            .datasets
+            .read()
+            .expect("dataset table poisoned")
+            .contains_key(dataset)
+        {
             return Err(ServiceError::UnknownDataset(dataset.to_string()));
         }
         self.budgets.grant(analyst, dataset, budget);
@@ -323,18 +476,20 @@ impl MeasurementService {
         self.budgets.remaining(analyst, dataset)
     }
 
-    /// The audit log: one rendered, analyst-visible plan per admitted measurement.
+    /// The audit log: one rendered, analyst-visible plan per admitted measurement, plus
+    /// one line per cache replay.
     pub fn audit_log(&self) -> Vec<String> {
-        self.audit.borrow().clone()
+        self.audit.lock().expect("audit log poisoned").clone()
     }
 
-    /// Serves one measurement request. See the module docs for the pipeline; on any
-    /// error nothing is charged and no noise is drawn.
-    pub fn measure<R: Rng + ?Sized>(
-        &self,
-        request: &MeasureRequest,
-        rng: &mut R,
-    ) -> Result<MeasureResponse, ServiceError> {
+    /// Hit/miss counters of the measurement cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Steps 1–3 of the pipeline (validate, bind, optimize): everything derivable from
+    /// the request without touching a budget or drawing noise.
+    fn prepare(&self, request: &MeasureRequest) -> Result<Prepared, ServiceError> {
         if !(request.epsilon.is_finite() && request.epsilon > 0.0) {
             return Err(ServiceError::InvalidParameter(format!(
                 "epsilon must be positive and finite, got {}",
@@ -344,121 +499,229 @@ impl MeasurementService {
         let output_type = request.spec.output_type()?;
         let DynPlan { plan, sources } = plan_from_spec(&request.spec)?;
 
-        // Bind every named source to its registered dataset.
+        // Bind every named source to its registered dataset (a read lock held only for
+        // the lookups — binding shares the `Arc`, never copies records).
         let mut bindings = wpinq::PlanBindings::new();
-        for source in &sources {
-            let registered = self
-                .datasets
-                .get(&source.name)
-                .ok_or_else(|| ServiceError::UnknownDataset(source.name.clone()))?;
-            if registered.ty != source.ty {
-                return Err(ServiceError::TypeMismatch {
-                    dataset: source.name.clone(),
-                    declared: source.ty.clone(),
-                    registered: registered.ty.clone(),
-                });
+        {
+            let datasets = self.datasets.read().expect("dataset table poisoned");
+            for source in &sources {
+                let registered = datasets
+                    .get(&source.name)
+                    .ok_or_else(|| ServiceError::UnknownDataset(source.name.clone()))?;
+                if registered.ty != source.ty {
+                    return Err(ServiceError::TypeMismatch {
+                        dataset: source.name.clone(),
+                        declared: source.ty.clone(),
+                        registered: registered.ty.clone(),
+                    });
+                }
+                bindings.bind_shared(&source.plan, registered.data.clone());
             }
-            bindings.bind_shared(&source.plan, registered.data.clone());
         }
 
         // Accounting runs on the optimized plan, exactly like a local Queryable: a
         // redundantly expressed request is charged for the deduplicated plan. One
         // optimizer pass (bindings-aware, so join input ordering applies) serves
-        // accounting, the audit report, and evaluation.
+        // accounting, the audit report, evaluation, and the cache key.
         let optimized = plan.optimize_for_bindings(self.optimize, &bindings);
         let multiplicities = optimized.multiplicities();
-        let mut per_dataset: BTreeMap<&str, u32> = BTreeMap::new();
+        let mut per_dataset: BTreeMap<String, u32> = BTreeMap::new();
         for source in &sources {
             if let Some(id) = source.plan.input_id() {
                 let mult = multiplicities.get(&id).copied().unwrap_or(0);
                 if mult > 0 {
-                    *per_dataset.entry(source.name.as_str()).or_insert(0) += mult;
+                    *per_dataset.entry(source.name.clone()).or_insert(0) += mult;
                 }
             }
         }
 
-        // All-or-nothing debit: verify affordability of every grant, then charge.
-        let mut charges: Vec<(String, wpinq::budget::BudgetHandle, f64)> = Vec::new();
-        for (dataset, mult) in &per_dataset {
+        // The cache-key encoding: the canonical bytes of the *optimized* plan, so
+        // differently-phrased requests that optimize to the same plan share an entry.
+        // (Full bytes, not a hash — a hash collision would hand one analyst's plan the
+        // release of another, which no amount of improbability justifies.)
+        let canonical = optimized
+            .to_spec()
+            .map(|spec| spec.to_json_string())
+            .unwrap_or_else(|| request.spec.to_json_string());
+
+        Ok(Prepared {
+            output_type,
+            bindings,
+            plan,
+            optimized,
+            per_dataset,
+            canonical,
+        })
+    }
+
+    /// Steps 4–5 of the pipeline: the two-phase debit, evaluation, and release assembly.
+    fn charge_and_evaluate<R: Rng + ?Sized>(
+        &self,
+        request: &MeasureRequest,
+        prepared: &Prepared,
+        rng: &mut R,
+    ) -> Result<MeasureResponse, ServiceError> {
+        // Phase one: reserve against every grant in canonical dataset order (the
+        // BTreeMap iterates sorted). Each reserve is an atomic check-and-hold under the
+        // grant's own lock; a failure here drops the earlier guards, rolling every hold
+        // back — nothing is ever partially charged.
+        let mut held: Vec<(String, BudgetReservation)> = Vec::new();
+        for (dataset, mult) in &prepared.per_dataset {
             let handle = self
                 .budgets
                 .lookup(&request.analyst, dataset)
                 .ok_or_else(|| ServiceError::NoGrant {
                     analyst: request.analyst.clone(),
-                    dataset: dataset.to_string(),
+                    dataset: dataset.clone(),
                 })?;
-            charges.push((dataset.to_string(), handle, *mult as f64 * request.epsilon));
-        }
-        for (dataset, handle, cost) in &charges {
-            if !handle.can_afford(*cost) {
-                return Err(ServiceError::BudgetExceeded {
-                    dataset: dataset.clone(),
-                    error: BudgetError {
-                        requested: *cost,
-                        remaining: handle.remaining(),
-                    },
-                });
-            }
-        }
-        for (dataset, handle, cost) in &charges {
-            handle.charge(*cost).map_err(|error| {
-                // Unreachable unless the grant is shared and raced; keep it sound anyway.
-                ServiceError::BudgetExceeded {
-                    dataset: dataset.clone(),
-                    error,
-                }
-            })?;
+            let cost = f64::from(*mult) * request.epsilon;
+            let reservation =
+                handle
+                    .reserve(cost)
+                    .map_err(|error| ServiceError::BudgetExceeded {
+                        dataset: dataset.clone(),
+                        error,
+                    })?;
+            held.push((dataset.clone(), reservation));
         }
 
         // Evaluate and release — the plan is already fully rewritten, so evaluation runs
-        // at level None. Only the noisy counts leave this function.
-        let measurement = optimized.noisy_count(request.epsilon);
-        let counts: NoisyCounts<Value> =
-            measurement.release_opt(&bindings, &*self.executor, OptimizeLevel::None, rng);
+        // at level None. Only the noisy counts leave this function. Should evaluation
+        // panic, the `held` guards unwind with the stack and every hold rolls back.
+        let measurement = prepared.optimized.noisy_count(request.epsilon);
+        let counts: NoisyCounts<Value> = measurement.release_opt(
+            &prepared.bindings,
+            &*self.executor,
+            OptimizeLevel::None,
+            rng,
+        );
+
+        // Phase two: the release exists, so the charges stand. Commit every hold.
+        let charged: Vec<(String, f64)> = held
+            .iter()
+            .map(|(dataset, reservation)| (dataset.clone(), reservation.amount()))
+            .collect();
+        let mut remaining = Vec::with_capacity(held.len());
+        for (dataset, reservation) in held {
+            let handle = reservation.handle().clone();
+            reservation.commit();
+            remaining.push((dataset, handle.remaining()));
+        }
 
         let report = wpinq::plan::PlanExplain {
             level: self.optimize,
-            nodes_before: plan.node_count(),
-            nodes_after: optimized.node_count(),
-            before: plan.multiplicities(),
-            after: multiplicities,
-            tree: optimized.render(),
+            nodes_before: prepared.plan.node_count(),
+            nodes_after: prepared.optimized.node_count(),
+            before: prepared.plan.multiplicities(),
+            after: prepared.optimized.multiplicities(),
+            tree: prepared.optimized.render(),
         };
         let explain = format!(
             "analyst {} measured at epsilon {}:\n{report}",
             request.analyst, request.epsilon
         );
-        self.audit.borrow_mut().push(explain.clone());
+        self.audit
+            .lock()
+            .expect("audit log poisoned")
+            .push(explain.clone());
 
         Ok(MeasureResponse {
             epsilon: request.epsilon,
-            output_type,
+            output_type: prepared.output_type.clone(),
             release: counts.sorted_observed(),
-            charged: charges
-                .iter()
-                .map(|(dataset, _, cost)| (dataset.clone(), *cost))
-                .collect(),
-            remaining: charges
-                .iter()
-                .map(|(dataset, handle, _)| (dataset.clone(), handle.remaining()))
-                .collect(),
+            charged,
+            remaining,
             explain,
         })
     }
 
-    /// The JSON front door: parses a request envelope, serves it, and encodes the
-    /// outcome — errors come back as `{"ok":false,"error":…}` instead of panicking.
+    /// A child generator forked off the service noise source (brief lock; evaluation
+    /// itself never serializes on the RNG).
+    fn child_rng(&self) -> StdRng {
+        let mut noise = self.noise.lock().expect("noise rng poisoned");
+        StdRng::from_rng(&mut *noise)
+    }
+
+    /// Serves one measurement request with a **caller-supplied** noise source, bypassing
+    /// the measurement cache. This is the deterministic path — replay tests pin the RNG
+    /// and compare response bytes across executors. On any error nothing is charged and
+    /// no noise is drawn. Production transports use [`serve`](Self::serve) instead.
+    pub fn measure<R: Rng + ?Sized>(
+        &self,
+        request: &MeasureRequest,
+        rng: &mut R,
+    ) -> Result<MeasureResponse, ServiceError> {
+        let prepared = self.prepare(request)?;
+        self.charge_and_evaluate(request, &prepared, rng)
+    }
+
+    /// Serves one measurement request with the service's own noise source and the
+    /// cross-request cache: an identical repeat (same analyst, ε, and canonical
+    /// optimized plan) returns the memoized response — byte-identical, data untouched,
+    /// zero additional ε. Identical requests racing on a cold key single-flight behind
+    /// one evaluation and one debit.
+    pub fn serve(&self, request: &MeasureRequest) -> Result<Arc<MeasureResponse>, ServiceError> {
+        let prepared = self.prepare(request)?;
+        if !self.cache_enabled {
+            let mut rng = self.child_rng();
+            return self
+                .charge_and_evaluate(request, &prepared, &mut rng)
+                .map(Arc::new);
+        }
+        let key = (
+            request.analyst.clone(),
+            request.epsilon.to_bits(),
+            prepared.canonical.clone(),
+        );
+        let (response, hit) = self.cache.get_or_compute(key, || {
+            let mut rng = self.child_rng();
+            self.charge_and_evaluate(request, &prepared, &mut rng)
+                .map(Arc::new)
+        })?;
+        if hit {
+            self.audit.lock().expect("audit log poisoned").push(format!(
+                "analyst {} replayed cached measurement {:016x} at epsilon {} (0 epsilon charged)",
+                request.analyst,
+                request.spec.canonical_hash(),
+                request.epsilon
+            ));
+        }
+        Ok(response)
+    }
+
+    /// The concurrent JSON front door: parses a request envelope, serves it through
+    /// [`serve`](Self::serve) (service noise, measurement cache), and encodes the
+    /// outcome with the request's `id` echoed. Errors come back as
+    /// `{"ok":false,"id":…,"error":{"code":…,"message":…}}` instead of panicking. This
+    /// is the line handler every transport (stdin, TCP) calls.
+    pub fn handle_line(&self, request_json: &str) -> String {
+        let request = match MeasureRequest::from_json(request_json) {
+            Ok(request) => request,
+            Err(error) => {
+                // The envelope didn't parse far enough to trust an id.
+                return ServiceError::from(error).to_json_with_id(None).to_compact();
+            }
+        };
+        let id = request.id.as_deref();
+        match self.serve(&request) {
+            Ok(response) => response.to_json_with_id(id).to_compact(),
+            Err(error) => error.to_json_with_id(id).to_compact(),
+        }
+    }
+
+    /// [`handle_line`](Self::handle_line) with a caller-supplied noise source (cache
+    /// bypassed): the deterministic front door replay tests drive.
     pub fn handle_json<R: Rng + ?Sized>(&self, request_json: &str, rng: &mut R) -> String {
-        let outcome = MeasureRequest::from_json(request_json)
-            .map_err(ServiceError::from)
-            .and_then(|request| self.measure(&request, rng));
-        match outcome {
-            Ok(response) => response.to_json_string(),
-            Err(error) => Json::Obj(vec![
-                ("ok".into(), Json::Bool(false)),
-                ("error".into(), Json::str(error.to_string())),
-            ])
-            .to_compact(),
+        let request = match MeasureRequest::from_json(request_json) {
+            Ok(request) => request,
+            Err(error) => {
+                return ServiceError::from(error).to_json_with_id(None).to_compact();
+            }
+        };
+        let id = request.id.as_deref();
+        match self.measure(&request, rng) {
+            Ok(response) => response.to_json_with_id(id).to_compact(),
+            Err(error) => error.to_json_with_id(id).to_compact(),
         }
     }
 }

@@ -38,7 +38,7 @@ fn toy_graph() -> Graph {
 /// JSON plus the total ε charged.
 fn measure<T: ExprRecord>(graph: &Graph, plan: &Plan<T>) -> (String, f64) {
     let analyst = "analyst";
-    let mut service = MeasurementService::new();
+    let service = MeasurementService::new();
     service
         .register(EDGES_DATASET, &symmetric_edge_dataset(graph))
         .unwrap();
@@ -49,6 +49,7 @@ fn measure<T: ExprRecord>(graph: &Graph, plan: &Plan<T>) -> (String, f64) {
         analyst: analyst.to_string(),
         epsilon: EPSILON,
         spec: plan.to_spec().expect("expression plans serialize"),
+        id: None,
     };
     let response = service.handle_json(&request.to_json_string(), &mut StdRng::seed_from_u64(SEED));
     let parsed = Json::parse(&response).expect("response is JSON");

@@ -177,7 +177,7 @@ proptest! {
             prop_assert_eq!(dyn_source.name.as_str(), "records");
             dyn_bindings.bind_shared(
                 &dyn_source.plan,
-                std::rc::Rc::new(dataset_to_values(&data)),
+                std::sync::Arc::new(dataset_to_values(&data)),
             );
         }
 

@@ -3,6 +3,10 @@
 //! its closure-built twin — while the service debits exactly `multiplicity × ε` from the
 //! right analyst's grant. Error paths must reject without charging.
 
+// These tests pin the service's noise stream for byte-equality, which is exactly what
+// the deprecated caller-rng `ServiceClient` shim exists for.
+#![allow(deprecated)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -32,7 +36,7 @@ fn toy_graph() -> Graph {
 }
 
 fn service_with(graph: &Graph, analyst: &str, budget: f64) -> MeasurementService {
-    let mut service = MeasurementService::new();
+    let service = MeasurementService::new();
     service
         .register(EDGES_DATASET, &symmetric_edge_dataset(graph))
         .unwrap();
@@ -75,6 +79,7 @@ fn service_release<T: ExprRecord>(
         analyst: analyst.to_string(),
         epsilon: EPSILON,
         spec: reparsed,
+        id: None,
     };
     let response = service.handle_json(&request.to_json_string(), &mut StdRng::seed_from_u64(SEED));
     let parsed = Json::parse(&response).expect("response is JSON");
@@ -170,7 +175,7 @@ fn every_builtin_analysis_round_trips_byte_identically_with_correct_debits() {
 #[test]
 fn typed_client_round_trips_records() {
     let graph = toy_graph();
-    let mut service = MeasurementService::new();
+    let service = MeasurementService::new();
     service
         .register(EDGES_DATASET, &symmetric_edge_dataset(&graph))
         .unwrap();

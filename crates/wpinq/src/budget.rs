@@ -15,10 +15,19 @@ use std::sync::{Arc, Mutex};
 use crate::error::BudgetError;
 
 /// A finite differential-privacy budget with running expenditure.
+///
+/// Besides the plain [`charge`](Self::charge), the budget supports **two-phase** debits
+/// for multi-grant transactions: [`reserve`](Self::reserve) atomically checks
+/// affordability and holds the amount, and the hold is later either
+/// [`commit_reserved`](Self::commit_reserved)ed into `spent` or
+/// [`release_reserved`](Self::release_reserved)d back. A concurrent measurement service
+/// reserves against *every* grant a request touches before charging *any* of them, so
+/// racing requests can neither double-spend a grant nor leave a partial debit behind.
 #[derive(Debug, Clone)]
 pub struct PrivacyBudget {
     total: f64,
     spent: f64,
+    reserved: f64,
 }
 
 impl PrivacyBudget {
@@ -31,7 +40,11 @@ impl PrivacyBudget {
             total.is_finite() && total >= 0.0,
             "privacy budget must be non-negative and finite, got {total}"
         );
-        PrivacyBudget { total, spent: 0.0 }
+        PrivacyBudget {
+            total,
+            spent: 0.0,
+            reserved: 0.0,
+        }
     }
 
     /// An effectively unlimited budget, useful for non-private ground-truth computations
@@ -40,6 +53,7 @@ impl PrivacyBudget {
         PrivacyBudget {
             total: f64::MAX,
             spent: 0.0,
+            reserved: 0.0,
         }
     }
 
@@ -53,9 +67,14 @@ impl PrivacyBudget {
         self.spent
     }
 
-    /// Budget still available.
+    /// Budget still available (outstanding reservations count as unavailable).
     pub fn remaining(&self) -> f64 {
-        (self.total - self.spent).max(0.0)
+        (self.total - self.spent - self.reserved).max(0.0)
+    }
+
+    /// The amount currently held by uncommitted reservations.
+    pub fn reserved(&self) -> f64 {
+        self.reserved
     }
 
     /// Returns `true` when a charge of `epsilon` would be admitted.
@@ -65,6 +84,15 @@ impl PrivacyBudget {
 
     /// Debits `epsilon` from the budget, failing (and charging nothing) if it is unaffordable.
     pub fn charge(&mut self, epsilon: f64) -> Result<(), BudgetError> {
+        self.reserve(epsilon)?;
+        self.commit_reserved(epsilon);
+        Ok(())
+    }
+
+    /// Phase one of a two-phase debit: atomically checks affordability and holds
+    /// `epsilon` (other callers see the budget shrink immediately). Fails holding
+    /// nothing when the remaining budget cannot cover the request.
+    pub fn reserve(&mut self, epsilon: f64) -> Result<(), BudgetError> {
         assert!(
             epsilon.is_finite() && epsilon >= 0.0,
             "privacy charge must be non-negative and finite, got {epsilon}"
@@ -75,8 +103,35 @@ impl PrivacyBudget {
                 remaining: self.remaining(),
             });
         }
-        self.spent += epsilon;
+        self.reserved += epsilon;
         Ok(())
+    }
+
+    /// Phase two, success path: converts `epsilon` of held budget into spent budget.
+    ///
+    /// # Panics
+    /// Panics if more than the outstanding reservation would be committed.
+    pub fn commit_reserved(&mut self, epsilon: f64) {
+        assert!(
+            epsilon <= self.reserved + 1e-12,
+            "committing {epsilon} but only {} is reserved",
+            self.reserved
+        );
+        self.reserved = (self.reserved - epsilon).max(0.0);
+        self.spent += epsilon;
+    }
+
+    /// Phase two, failure path: returns `epsilon` of held budget untouched.
+    ///
+    /// # Panics
+    /// Panics if more than the outstanding reservation would be released.
+    pub fn release_reserved(&mut self, epsilon: f64) {
+        assert!(
+            epsilon <= self.reserved + 1e-12,
+            "releasing {epsilon} but only {} is reserved",
+            self.reserved
+        );
+        self.reserved = (self.reserved - epsilon).max(0.0);
     }
 }
 
@@ -115,6 +170,11 @@ impl BudgetHandle {
         self.inner.lock().expect("budget poisoned").spent()
     }
 
+    /// The amount currently held by uncommitted reservations.
+    pub fn reserved(&self) -> f64 {
+        self.inner.lock().expect("budget poisoned").reserved()
+    }
+
     /// Total budget granted at construction.
     pub fn total(&self) -> f64 {
         self.inner.lock().expect("budget poisoned").total()
@@ -133,9 +193,80 @@ impl BudgetHandle {
         self.inner.lock().expect("budget poisoned").charge(epsilon)
     }
 
+    /// Atomically checks affordability and holds `epsilon`, returning an RAII
+    /// reservation that **rolls the hold back on drop** unless
+    /// [`committed`](BudgetReservation::commit).
+    ///
+    /// This is the building block of all-or-nothing multi-grant debits: reserve against
+    /// every grant a transaction touches (in a canonical order), then commit them all —
+    /// any failure (including a panic) on the way drops the outstanding guards and every
+    /// held amount returns to its grant. The check-and-hold happens under the grant's
+    /// own lock, so two racing transactions can never both pass an affordability check
+    /// the budget cannot cover twice.
+    pub fn reserve(&self, epsilon: f64) -> Result<BudgetReservation, BudgetError> {
+        self.inner
+            .lock()
+            .expect("budget poisoned")
+            .reserve(epsilon)?;
+        Ok(BudgetReservation {
+            handle: self.clone(),
+            amount: epsilon,
+            open: true,
+        })
+    }
+
     /// Returns `true` when two handles refer to the same underlying budget.
     pub fn same_budget(&self, other: &BudgetHandle) -> bool {
         Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+/// An uncommitted hold on a [`BudgetHandle`], created by [`BudgetHandle::reserve`].
+///
+/// Dropping the guard releases the held amount back to the grant; calling
+/// [`commit`](Self::commit) converts it into a permanent debit. Exactly one of the two
+/// happens, so a multi-grant transaction that reserves N grants and then fails anywhere
+/// — an unaffordable later grant, an evaluation panic — leaves every budget exactly as
+/// it found them.
+#[derive(Debug)]
+#[must_use = "an unused reservation rolls back immediately"]
+pub struct BudgetReservation {
+    handle: BudgetHandle,
+    amount: f64,
+    open: bool,
+}
+
+impl BudgetReservation {
+    /// The held amount.
+    pub fn amount(&self) -> f64 {
+        self.amount
+    }
+
+    /// The grant this reservation holds against.
+    pub fn handle(&self) -> &BudgetHandle {
+        &self.handle
+    }
+
+    /// Converts the hold into a permanent debit.
+    pub fn commit(mut self) {
+        self.handle
+            .inner
+            .lock()
+            .expect("budget poisoned")
+            .commit_reserved(self.amount);
+        self.open = false;
+    }
+}
+
+impl Drop for BudgetReservation {
+    fn drop(&mut self) {
+        if self.open {
+            self.handle
+                .inner
+                .lock()
+                .expect("budget poisoned")
+                .release_reserved(self.amount);
+        }
     }
 }
 
@@ -249,6 +380,78 @@ mod tests {
 
         let other = BudgetHandle::new(PrivacyBudget::new(1.0), "other");
         assert!(!h.same_budget(&other));
+    }
+
+    #[test]
+    fn reservations_hold_commit_and_roll_back() {
+        let h = BudgetHandle::new(PrivacyBudget::new(1.0), "edges");
+
+        // A held amount is unavailable to others but not yet spent.
+        let r = h.reserve(0.6).unwrap();
+        assert!(crate::weights::approx_eq(h.remaining(), 0.4));
+        assert!(crate::weights::approx_eq(h.spent(), 0.0));
+        assert!(h.reserve(0.5).is_err(), "hold must block a second taker");
+
+        // Dropping the guard returns the hold untouched.
+        drop(r);
+        assert!(crate::weights::approx_eq(h.remaining(), 1.0));
+
+        // Committing converts the hold into expenditure.
+        let r = h.reserve(0.6).unwrap();
+        assert!(crate::weights::approx_eq(r.amount(), 0.6));
+        assert!(r.handle().same_budget(&h));
+        r.commit();
+        assert!(crate::weights::approx_eq(h.spent(), 0.6));
+        assert!(crate::weights::approx_eq(h.remaining(), 0.4));
+    }
+
+    #[test]
+    fn partial_multigrant_failure_rolls_every_hold_back() {
+        // Reserve across two grants; the second cannot afford, so the first's guard
+        // drops and both budgets end exactly where they started.
+        let a = BudgetHandle::new(PrivacyBudget::new(1.0), "a");
+        let b = BudgetHandle::new(PrivacyBudget::new(0.1), "b");
+        let all_or_nothing = |cost: f64| -> Result<(), BudgetError> {
+            let ra = a.reserve(cost)?;
+            let rb = b.reserve(cost)?;
+            ra.commit();
+            rb.commit();
+            Ok(())
+        };
+        assert!(all_or_nothing(0.5).is_err());
+        assert!(crate::weights::approx_eq(a.remaining(), 1.0));
+        assert!(crate::weights::approx_eq(b.remaining(), 0.1));
+        assert!(all_or_nothing(0.1).is_ok());
+        assert!(crate::weights::approx_eq(a.spent(), 0.1));
+        assert!(crate::weights::approx_eq(b.spent(), 0.1));
+    }
+
+    #[test]
+    fn concurrent_reserve_commit_never_over_debits() {
+        // 8 threads race 10 debits of 0.5 each against a 10.0 grant: exactly 20 can
+        // win, and the final expenditure is exactly the grant — never a cent more.
+        let h = BudgetHandle::new(PrivacyBudget::new(10.0), "hammer");
+        let successes: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        (0..10)
+                            .filter(|_| match h.reserve(0.5) {
+                                Ok(r) => {
+                                    r.commit();
+                                    true
+                                }
+                                Err(_) => false,
+                            })
+                            .count()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|t| t.join().unwrap()).sum()
+        });
+        assert_eq!(successes, 20, "exactly the affordable debits succeed");
+        assert!(crate::weights::approx_eq(h.spent(), 10.0));
+        assert!(crate::weights::approx_eq(h.reserved(), 0.0));
     }
 
     #[test]

@@ -1,9 +1,8 @@
 //! Bindings from plan sources to concrete inputs of the two engines.
 
 use std::any::Any;
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use wpinq_core::dataset::WeightedDataset;
 use wpinq_core::record::Record;
@@ -20,19 +19,30 @@ fn input_id_of<T: Record>(source: &Plan<T>, what: &str) -> InputId {
 
 /// Maps plan sources to the [`WeightedDataset`]s the batch evaluator reads.
 ///
-/// Datasets are stored behind `Rc`, so cloning bindings (as the plan-backed
+/// Datasets are stored behind `Arc`, so cloning bindings (as the plan-backed
 /// [`Queryable`](crate::Queryable) does when merging two query branches) never copies
-/// record data.
-#[derive(Clone, Default)]
+/// record data — and a binding set is `Send + Sync`, so a measurement service can bind
+/// its registered datasets from concurrent request threads without copying them either.
+#[derive(Default)]
 pub struct PlanBindings {
-    datasets: HashMap<InputId, Rc<dyn Any>>,
+    datasets: HashMap<InputId, Arc<dyn Any + Send + Sync>>,
     /// Record counts per bound source, captured at bind time (the datasets themselves are
     /// type-erased). The optimizer's join-ordering heuristic reads these.
     sizes: HashMap<InputId, usize>,
     /// Lazily-built hash partitions of bound datasets, keyed by `(source, shard count)`.
     /// The sharded batch executor partitions each source once per *binding* instead of
     /// once per `eval_with` call; rebinding a source drops its cached partitions.
-    partitions: RefCell<HashMap<(InputId, usize), Rc<dyn Any>>>,
+    partitions: Mutex<HashMap<(InputId, usize), Arc<dyn Any + Send + Sync>>>,
+}
+
+impl Clone for PlanBindings {
+    fn clone(&self) -> Self {
+        PlanBindings {
+            datasets: self.datasets.clone(),
+            sizes: self.sizes.clone(),
+            partitions: Mutex::new(self.partitions.lock().expect("partition cache").clone()),
+        }
+    }
 }
 
 impl PlanBindings {
@@ -46,20 +56,21 @@ impl PlanBindings {
     /// # Panics
     /// Panics if `source` is not a source plan.
     pub fn bind<T: Record>(&mut self, source: &Plan<T>, data: WeightedDataset<T>) {
-        self.bind_shared(source, Rc::new(data));
+        self.bind_shared(source, Arc::new(data));
     }
 
     /// Binds `source` to an already-shared dataset without copying it.
     ///
     /// # Panics
     /// Panics if `source` is not a source plan.
-    pub fn bind_shared<T: Record>(&mut self, source: &Plan<T>, data: Rc<WeightedDataset<T>>) {
+    pub fn bind_shared<T: Record>(&mut self, source: &Plan<T>, data: Arc<WeightedDataset<T>>) {
         let id = input_id_of(source, "PlanBindings");
         self.sizes.insert(id, data.len());
         self.datasets.insert(id, data);
         // Any cached partitions of a previous binding for this source are stale.
         self.partitions
-            .borrow_mut()
+            .lock()
+            .expect("partition cache")
             .retain(|(cached, _), _| *cached != id);
     }
 
@@ -74,7 +85,8 @@ impl PlanBindings {
         for (id, data) in &other.datasets {
             self.datasets.insert(*id, data.clone());
             self.partitions
-                .borrow_mut()
+                .lock()
+                .expect("partition cache")
                 .retain(|(cached, _), _| cached != id);
         }
         for (id, size) in &other.sizes {
@@ -87,7 +99,7 @@ impl PlanBindings {
         &self.sizes
     }
 
-    pub(crate) fn get<T: Record>(&self, id: InputId) -> Rc<WeightedDataset<T>> {
+    pub(crate) fn get<T: Record>(&self, id: InputId) -> Arc<WeightedDataset<T>> {
         let entry = self
             .datasets
             .get(&id)
@@ -104,8 +116,13 @@ impl PlanBindings {
         &self,
         id: InputId,
         nshards: usize,
-    ) -> Rc<ShardedDataset<T>> {
-        if let Some(hit) = self.partitions.borrow().get(&(id, nshards)) {
+    ) -> Arc<ShardedDataset<T>> {
+        if let Some(hit) = self
+            .partitions
+            .lock()
+            .expect("partition cache")
+            .get(&(id, nshards))
+        {
             return hit
                 .clone()
                 .downcast::<ShardedDataset<T>>()
@@ -113,9 +130,10 @@ impl PlanBindings {
                     panic!("plan source {id:?} partition cached at a different record type")
                 });
         }
-        let partitioned = Rc::new(ShardedDataset::partition(&self.get::<T>(id), nshards));
+        let partitioned = Arc::new(ShardedDataset::partition(&self.get::<T>(id), nshards));
         self.partitions
-            .borrow_mut()
+            .lock()
+            .expect("partition cache")
             .insert((id, nshards), partitioned.clone());
         partitioned
     }

@@ -80,7 +80,6 @@ mod optimize;
 mod wire;
 
 use std::collections::BTreeMap;
-use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -129,7 +128,7 @@ impl InputId {
 /// Plans are cheap to clone (shared-node DAG) and immutable; every operator method returns
 /// a new plan referencing its parents. See the [module docs](self) for the big picture.
 pub struct Plan<T: Record> {
-    node: Rc<dyn PlanNode<T>>,
+    node: Arc<dyn PlanNode<T>>,
 }
 
 impl<T: Record> Clone for Plan<T> {
@@ -152,13 +151,13 @@ impl<T: Record> std::fmt::Debug for Plan<T> {
 }
 
 impl<T: Record> Plan<T> {
-    fn from_node(node: Rc<dyn PlanNode<T>>) -> Self {
+    fn from_node(node: Arc<dyn PlanNode<T>>) -> Self {
         Plan { node }
     }
 
     /// The identity key of the root node, used for evaluation memoisation.
     pub(crate) fn node_key(&self) -> usize {
-        Rc::as_ptr(&self.node) as *const () as usize
+        Arc::as_ptr(&self.node) as *const () as usize
     }
 
     // ---- sources ----------------------------------------------------------------------
@@ -167,14 +166,14 @@ impl<T: Record> Plan<T> {
     /// [`PlanBindings::bind`] before batch evaluation, or to a stream with
     /// [`StreamBindings::bind`] before lowering.
     pub fn source() -> Plan<T> {
-        Plan::from_node(Rc::new(InputNode::new(InputId::fresh())))
+        Plan::from_node(Arc::new(InputNode::new(InputId::fresh())))
     }
 
     /// The empty-dataset constant: evaluates to no records under any binding and has
     /// multiplicity 0 against every source, so measuring it is free. The optimizer's
     /// `Except(X, X) → ∅` rewrite produces this node.
     pub fn empty() -> Plan<T> {
-        Plan::from_node(Rc::new(EmptyNode::new(None)))
+        Plan::from_node(Arc::new(EmptyNode::new(None)))
     }
 
     /// The input id when this plan is a bare source, `None` otherwise.
@@ -190,7 +189,7 @@ impl<T: Record> Plan<T> {
         U: Record,
         F: Fn(&T) -> U + Send + Sync + 'static,
     {
-        Plan::from_node(Rc::new(SelectNode::new(self.clone(), f)))
+        Plan::from_node(Arc::new(SelectNode::new(self.clone(), f)))
     }
 
     /// Per-record filtering (`Where`, Section 2.4).
@@ -198,7 +197,7 @@ impl<T: Record> Plan<T> {
     where
         P: Fn(&T) -> bool + Send + Sync + 'static,
     {
-        Plan::from_node(Rc::new(FilterNode::new(self.clone(), predicate)))
+        Plan::from_node(Arc::new(FilterNode::new(self.clone(), predicate)))
     }
 
     /// One-to-many transformation with data-dependent normalisation (Section 2.4).
@@ -207,7 +206,7 @@ impl<T: Record> Plan<T> {
         U: Record,
         F: Fn(&T) -> WeightedDataset<U> + Send + Sync + 'static,
     {
-        Plan::from_node(Rc::new(SelectManyNode::new(self.clone(), f)))
+        Plan::from_node(Arc::new(SelectManyNode::new(self.clone(), f)))
     }
 
     /// One-to-many transformation where each produced record carries unit weight.
@@ -229,7 +228,7 @@ impl<T: Record> Plan<T> {
         KF: Fn(&T) -> K + Send + Sync + 'static,
         RF: Fn(&[T]) -> R + Send + Sync + 'static,
     {
-        Plan::from_node(Rc::new(GroupByNode::new(self.clone(), key, reduce)))
+        Plan::from_node(Arc::new(GroupByNode::new(self.clone(), key, reduce)))
     }
 
     /// Decomposes heavy records into indexed slices following a per-record weight schedule
@@ -240,7 +239,7 @@ impl<T: Record> Plan<T> {
         I: IntoIterator<Item = f64>,
         I::IntoIter: 'static,
     {
-        Plan::from_node(Rc::new(ShaveNode::new(self.clone(), move |record: &T| {
+        Plan::from_node(Arc::new(ShaveNode::new(self.clone(), move |record: &T| {
             Box::new(schedule(record).into_iter()) as Box<dyn Iterator<Item = f64>>
         })))
     }
@@ -258,7 +257,7 @@ impl<T: Record> Plan<T> {
             step > 0.0 && step.is_finite(),
             "shave step must be positive and finite, got {step}"
         );
-        Plan::from_node(Rc::new(ShaveNode::with_const_id(
+        Plan::from_node(Arc::new(ShaveNode::with_const_id(
             self.clone(),
             move |_: &T| Box::new(std::iter::repeat(step)) as Box<dyn Iterator<Item = f64>>,
             step,
@@ -282,7 +281,7 @@ impl<T: Record> Plan<T> {
         KB: Fn(&U) -> K + Send + Sync + 'static,
         RF: Fn(&T, &U) -> R + Send + Sync + 'static,
     {
-        Plan::from_node(Rc::new(JoinNode::new(
+        Plan::from_node(Arc::new(JoinNode::new(
             self.clone(),
             other.clone(),
             key_self,
@@ -293,7 +292,7 @@ impl<T: Record> Plan<T> {
 
     /// Element-wise maximum (Section 2.6).
     pub fn union(&self, other: &Plan<T>) -> Plan<T> {
-        Plan::from_node(Rc::new(BinaryNode::new(
+        Plan::from_node(Arc::new(BinaryNode::new(
             self.clone(),
             other.clone(),
             BinaryKind::Union,
@@ -302,7 +301,7 @@ impl<T: Record> Plan<T> {
 
     /// Element-wise minimum (Section 2.6).
     pub fn intersect(&self, other: &Plan<T>) -> Plan<T> {
-        Plan::from_node(Rc::new(BinaryNode::new(
+        Plan::from_node(Arc::new(BinaryNode::new(
             self.clone(),
             other.clone(),
             BinaryKind::Intersect,
@@ -311,7 +310,7 @@ impl<T: Record> Plan<T> {
 
     /// Element-wise addition (Section 2.6).
     pub fn concat(&self, other: &Plan<T>) -> Plan<T> {
-        Plan::from_node(Rc::new(BinaryNode::new(
+        Plan::from_node(Arc::new(BinaryNode::new(
             self.clone(),
             other.clone(),
             BinaryKind::Concat,
@@ -320,7 +319,7 @@ impl<T: Record> Plan<T> {
 
     /// Element-wise subtraction (Section 2.6).
     pub fn except(&self, other: &Plan<T>) -> Plan<T> {
-        Plan::from_node(Rc::new(BinaryNode::new(
+        Plan::from_node(Arc::new(BinaryNode::new(
             self.clone(),
             other.clone(),
             BinaryKind::Except,
@@ -422,7 +421,7 @@ impl<T: Record> Plan<T> {
             let shared = plan.eval_shared_raw(bindings);
             // The memo table is gone by now, so for any non-source root this is the only
             // reference and the dataset moves out without a copy.
-            return Rc::try_unwrap(shared).unwrap_or_else(|rc| (*rc).clone());
+            return Arc::try_unwrap(shared).unwrap_or_else(|rc| (*rc).clone());
         }
         // Dispatch per-shard work on the executor's persistent worker pool when it has
         // one; scoped threads remain the reference path (bitwise identical either way).
@@ -432,14 +431,14 @@ impl<T: Record> Plan<T> {
         let mut ctx = ShardCtx::new(bindings, shards, runner);
         let sharded = plan.eval_shards_node(&mut ctx);
         drop(ctx);
-        Rc::try_unwrap(sharded)
+        Arc::try_unwrap(sharded)
             .map(ShardedDataset::into_merged)
             .unwrap_or_else(|rc| rc.merged())
     }
 
     /// [`eval`](Self::eval) returning a shared handle, for callers that keep the result
     /// alongside the bindings (avoids copying the dataset of source-rooted plans).
-    pub fn eval_shared(&self, bindings: &PlanBindings) -> Rc<WeightedDataset<T>> {
+    pub fn eval_shared(&self, bindings: &PlanBindings) -> Arc<WeightedDataset<T>> {
         self.eval_shared_opt(bindings, &SequentialExecutor, OptimizeLevel::from_env())
     }
 
@@ -448,7 +447,7 @@ impl<T: Record> Plan<T> {
         &self,
         bindings: &PlanBindings,
         executor: &dyn Executor,
-    ) -> Rc<WeightedDataset<T>> {
+    ) -> Arc<WeightedDataset<T>> {
         self.eval_shared_opt(bindings, executor, OptimizeLevel::from_env())
     }
 
@@ -458,23 +457,23 @@ impl<T: Record> Plan<T> {
         bindings: &PlanBindings,
         executor: &dyn Executor,
         level: OptimizeLevel,
-    ) -> Rc<WeightedDataset<T>> {
+    ) -> Arc<WeightedDataset<T>> {
         if executor.shard_count() <= 1 {
             return self
                 .optimize_for_bindings(level, bindings)
                 .eval_shared_raw(bindings);
         }
-        Rc::new(self.eval_opt(bindings, executor, level))
+        Arc::new(self.eval_opt(bindings, executor, level))
     }
 
     /// The un-optimized sequential fold (internal: callers go through the `*_opt`
     /// surface, which rewrites first).
-    fn eval_shared_raw(&self, bindings: &PlanBindings) -> Rc<WeightedDataset<T>> {
+    fn eval_shared_raw(&self, bindings: &PlanBindings) -> Arc<WeightedDataset<T>> {
         let mut ctx = BatchCtx::new(bindings);
         self.eval_node(&mut ctx)
     }
 
-    pub(crate) fn eval_node(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<T>> {
+    pub(crate) fn eval_node(&self, ctx: &mut BatchCtx<'_>) -> Arc<WeightedDataset<T>> {
         if let Some(hit) = ctx.lookup::<T>(self.node_key()) {
             return hit;
         }
@@ -483,7 +482,7 @@ impl<T: Record> Plan<T> {
         computed
     }
 
-    pub(crate) fn eval_shards_node(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<T>> {
+    pub(crate) fn eval_shards_node(&self, ctx: &mut ShardCtx<'_>) -> Arc<ShardedDataset<T>> {
         if let Some(hit) = ctx.lookup::<T>(self.node_key()) {
             return hit;
         }
@@ -687,11 +686,11 @@ impl<T: Record> Plan<T> {
         self.multiplicities().get(&id).copied().unwrap_or(0)
     }
 
-    pub(crate) fn mult_node(&self, ctx: &mut MultCtx) -> Rc<BTreeMap<InputId, u32>> {
+    pub(crate) fn mult_node(&self, ctx: &mut MultCtx) -> Arc<BTreeMap<InputId, u32>> {
         if let Some(hit) = ctx.lookup(self.node_key()) {
             return hit;
         }
-        let computed = Rc::new(self.node.multiplicities(ctx));
+        let computed = Arc::new(self.node.multiplicities(ctx));
         ctx.store(self.node_key(), computed.clone());
         computed
     }
@@ -731,7 +730,7 @@ impl<T: ExprRecord> Plan<T> {
     /// declared record type that identify it in the [`PlanSpec`] wire format (a
     /// measurement service binds its protected dataset of this name).
     pub fn source_expr(name: &str) -> Plan<T> {
-        Plan::from_node(Rc::new(InputNode::named(
+        Plan::from_node(Arc::new(InputNode::named(
             InputId::fresh(),
             name,
             T::value_type(),
@@ -741,7 +740,7 @@ impl<T: ExprRecord> Plan<T> {
     /// The empty constant with its record type attached (serializable, unlike
     /// [`Plan::empty`]).
     pub fn empty_expr() -> Plan<T> {
-        Plan::from_node(Rc::new(EmptyNode::new(Some(T::value_type()))))
+        Plan::from_node(Arc::new(EmptyNode::new(Some(T::value_type()))))
     }
 
     /// Expression-built [`select`](Plan::select): per-record transformation by `expr`.
@@ -752,7 +751,7 @@ impl<T: ExprRecord> Plan<T> {
             let expr = expr.clone();
             Arc::new(move |t: &T| decode_record::<U>(expr.eval(&conv(t))))
         };
-        Plan::from_node(Rc::new(SelectNode::from_expr(self.clone(), f, expr)))
+        Plan::from_node(Arc::new(SelectNode::from_expr(self.clone(), f, expr)))
     }
 
     /// Expression-built [`filter`](Plan::filter): `expr` must be a boolean predicate.
@@ -763,7 +762,7 @@ impl<T: ExprRecord> Plan<T> {
             let expr = expr.clone();
             Arc::new(move |t: &T| expr.eval_bool(&conv(t)))
         };
-        Plan::from_node(Rc::new(FilterNode::from_expr(
+        Plan::from_node(Arc::new(FilterNode::from_expr(
             self.clone(),
             predicate,
             expr,
@@ -797,10 +796,10 @@ impl<T: ExprRecord> Plan<T> {
             })
         };
         let payload = SelectManyExprs {
-            exprs: Rc::new(exprs),
+            exprs: Arc::new(exprs),
             conv,
         };
-        Plan::from_node(Rc::new(SelectManyNode::from_exprs(
+        Plan::from_node(Arc::new(SelectManyNode::from_exprs(
             self.clone(),
             produce,
             payload,
@@ -837,7 +836,7 @@ impl<T: ExprRecord> Plan<T> {
             let reduce = reduce.clone();
             Arc::new(move |group: &[T]| decode_record::<R>(reduce.eval_count(group.len() as u64)))
         };
-        Plan::from_node(Rc::new(GroupByNode::from_expr(
+        Plan::from_node(Arc::new(GroupByNode::from_expr(
             self.clone(),
             key_fn,
             reduce_fn,
@@ -901,7 +900,7 @@ impl<T: ExprRecord> Plan<T> {
             conv_left,
             conv_right,
         };
-        Plan::from_node(Rc::new(JoinNode::from_expr(
+        Plan::from_node(Arc::new(JoinNode::from_expr(
             self.clone(),
             other.clone(),
             key_left_fn,

@@ -13,7 +13,6 @@
 
 use std::any::Any;
 use std::collections::{BTreeMap, HashMap};
-use std::rc::Rc;
 use std::sync::Arc;
 
 use wpinq_core::dataset::WeightedDataset;
@@ -63,7 +62,7 @@ pub(crate) struct JoinExprs<A, B> {
 /// The expression payload of an expression-built `SelectMany` node (unit-weight
 /// productions, one record per expression).
 pub(crate) struct SelectManyExprs<T> {
-    pub(crate) exprs: Rc<Vec<Expr>>,
+    pub(crate) exprs: Arc<Vec<Expr>>,
     pub(crate) conv: ToValueFn<T>,
 }
 
@@ -115,16 +114,21 @@ fn calibrated_cutover(per_delta_cost: f64) -> usize {
     ((base as f64 / per_delta_cost).ceil() as usize).max(MIN_CALIBRATED_CUTOVER)
 }
 
-/// Behaviour of one plan node, dispatched through `Rc<dyn PlanNode<T>>`.
-pub(crate) trait PlanNode<T: Record> {
+/// Behaviour of one plan node, dispatched through `Arc<dyn PlanNode<T>>`.
+///
+/// `Send + Sync` is a supertrait so `Plan<T>` itself is `Send + Sync`: every payload a
+/// node stores is either plain data or an `Arc<dyn Fn … + Send + Sync>` closure, and the
+/// concurrent measurement service relies on plans (and cached optimized plans) crossing
+/// request threads freely.
+pub(crate) trait PlanNode<T: Record>: Send + Sync {
     /// Evaluates this node in batch (parents via `Plan::eval_node` for memoisation).
     ///
     /// Returns a shared dataset so source nodes can hand out their binding without
     /// copying and evaluation results can be memoised by reference.
-    fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<T>>;
+    fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Arc<WeightedDataset<T>>;
 
     /// Evaluates this node shard-parallel (parents via `Plan::eval_shards_node`).
-    fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<T>>;
+    fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Arc<ShardedDataset<T>>;
 
     /// Lowers this node onto the incremental dataflow graph.
     fn lower(&self, ctx: &mut LowerCtx<'_>) -> Stream<T>;
@@ -274,7 +278,7 @@ impl<T: Record> NodeRender for &dyn PlanNode<T> {
 // ---------------------------------------------------------------------------------------
 
 /// Context of one batch evaluation: source bindings plus a memo of already-evaluated
-/// nodes (`Rc<WeightedDataset<T>>`, type-erased).
+/// nodes (`Arc<WeightedDataset<T>>`, type-erased).
 pub(crate) struct BatchCtx<'a> {
     bindings: &'a PlanBindings,
     memo: HashMap<usize, Box<dyn Any>>,
@@ -288,25 +292,25 @@ impl<'a> BatchCtx<'a> {
         }
     }
 
-    pub(crate) fn lookup<T: Record>(&self, key: usize) -> Option<Rc<WeightedDataset<T>>> {
+    pub(crate) fn lookup<T: Record>(&self, key: usize) -> Option<Arc<WeightedDataset<T>>> {
         self.memo.get(&key).map(|any| {
-            any.downcast_ref::<Rc<WeightedDataset<T>>>()
+            any.downcast_ref::<Arc<WeightedDataset<T>>>()
                 .expect("plan memo entry has the node's record type")
                 .clone()
         })
     }
 
-    pub(crate) fn store<T: Record>(&mut self, key: usize, value: Rc<WeightedDataset<T>>) {
+    pub(crate) fn store<T: Record>(&mut self, key: usize, value: Arc<WeightedDataset<T>>) {
         self.memo.insert(key, Box::new(value));
     }
 
-    fn input<T: Record>(&self, id: InputId) -> Rc<WeightedDataset<T>> {
+    fn input<T: Record>(&self, id: InputId) -> Arc<WeightedDataset<T>> {
         self.bindings.get::<T>(id)
     }
 }
 
 /// Context of one sharded evaluation: source bindings, the shard count, and a memo of
-/// already-evaluated nodes (`Rc<ShardedDataset<T>>`, type-erased). All intermediate
+/// already-evaluated nodes (`Arc<ShardedDataset<T>>`, type-erased). All intermediate
 /// results of one evaluation are co-partitioned over the same `nshards`.
 pub(crate) struct ShardCtx<'a> {
     bindings: &'a PlanBindings,
@@ -332,19 +336,19 @@ impl<'a> ShardCtx<'a> {
         self.runner
     }
 
-    pub(crate) fn lookup<T: Record>(&self, key: usize) -> Option<Rc<ShardedDataset<T>>> {
+    pub(crate) fn lookup<T: Record>(&self, key: usize) -> Option<Arc<ShardedDataset<T>>> {
         self.memo.get(&key).map(|any| {
-            any.downcast_ref::<Rc<ShardedDataset<T>>>()
+            any.downcast_ref::<Arc<ShardedDataset<T>>>()
                 .expect("plan memo entry has the node's record type")
                 .clone()
         })
     }
 
-    pub(crate) fn store<T: Record>(&mut self, key: usize, value: Rc<ShardedDataset<T>>) {
+    pub(crate) fn store<T: Record>(&mut self, key: usize, value: Arc<ShardedDataset<T>>) {
         self.memo.insert(key, Box::new(value));
     }
 
-    fn input<T: Record>(&self, id: InputId) -> Rc<ShardedDataset<T>> {
+    fn input<T: Record>(&self, id: InputId) -> Arc<ShardedDataset<T>> {
         // Partitions are cached on the bindings per (source, shard count): repeated
         // sharded evaluations against the same binding set reuse them instead of
         // re-hashing every source record per `eval_with` call.
@@ -463,7 +467,7 @@ impl<'a> CardCtx<'a> {
 
 /// Context of one multiplicity computation.
 pub(crate) struct MultCtx {
-    memo: HashMap<usize, Rc<BTreeMap<InputId, u32>>>,
+    memo: HashMap<usize, Arc<BTreeMap<InputId, u32>>>,
 }
 
 impl MultCtx {
@@ -473,11 +477,11 @@ impl MultCtx {
         }
     }
 
-    pub(crate) fn lookup(&self, key: usize) -> Option<Rc<BTreeMap<InputId, u32>>> {
+    pub(crate) fn lookup(&self, key: usize) -> Option<Arc<BTreeMap<InputId, u32>>> {
         self.memo.get(&key).cloned()
     }
 
-    pub(crate) fn store(&mut self, key: usize, value: Rc<BTreeMap<InputId, u32>>) {
+    pub(crate) fn store(&mut self, key: usize, value: Arc<BTreeMap<InputId, u32>>) {
         self.memo.insert(key, value);
     }
 }
@@ -509,7 +513,7 @@ pub(crate) fn cons_filter<T: Record>(
         0,
     );
     ctx.cons::<T>(shape, card, move || {
-        Plan::from_node(Rc::new(FilterNode::from_parts(
+        Plan::from_node(Arc::new(FilterNode::from_parts(
             parent, pred, pred_id, pred_expr,
         )))
     })
@@ -519,7 +523,7 @@ pub(crate) fn cons_filter<T: Record>(
 pub(crate) fn cons_empty<T: Record>(ctx: &mut RewriteCtx<'_>, ty: Option<ValueType>) -> Plan<T> {
     let shape = NodeShape::new::<T>(OpTag::Empty, Vec::new(), Vec::new(), 0);
     ctx.cons::<T>(shape, 0.0, move || {
-        Plan::from_node(Rc::new(EmptyNode::new(ty)))
+        Plan::from_node(Arc::new(EmptyNode::new(ty)))
     })
 }
 
@@ -534,7 +538,7 @@ pub(crate) fn cons_empty<T: Record>(ctx: &mut RewriteCtx<'_>, ty: Option<ValueTy
 /// (process-local [`InputId`]s never leave the process).
 pub(crate) struct InputNode<T: Record> {
     id: InputId,
-    named: Option<(Rc<str>, ValueType)>,
+    named: Option<(Arc<str>, ValueType)>,
     _record: std::marker::PhantomData<fn() -> T>,
 }
 
@@ -550,18 +554,18 @@ impl<T: Record> InputNode<T> {
     pub(crate) fn named(id: InputId, name: &str, ty: ValueType) -> Self {
         InputNode {
             id,
-            named: Some((Rc::from(name), ty)),
+            named: Some((Arc::from(name), ty)),
             _record: std::marker::PhantomData,
         }
     }
 }
 
 impl<T: Record> PlanNode<T> for InputNode<T> {
-    fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<T>> {
+    fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Arc<WeightedDataset<T>> {
         ctx.input::<T>(self.id)
     }
 
-    fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<T>> {
+    fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Arc<ShardedDataset<T>> {
         // Partitioning is memoised per node by `Plan::eval_shards_node`, so each source is
         // sharded once per evaluation regardless of how many times the plan references it.
         ctx.input::<T>(self.id)
@@ -635,12 +639,12 @@ impl<T: Record> EmptyNode<T> {
 }
 
 impl<T: Record> PlanNode<T> for EmptyNode<T> {
-    fn eval_batch(&self, _ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<T>> {
-        Rc::new(WeightedDataset::new())
+    fn eval_batch(&self, _ctx: &mut BatchCtx<'_>) -> Arc<WeightedDataset<T>> {
+        Arc::new(WeightedDataset::new())
     }
 
-    fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<T>> {
-        Rc::new(ShardedDataset::partition(
+    fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Arc<ShardedDataset<T>> {
+        Arc::new(ShardedDataset::partition(
             &WeightedDataset::new(),
             ctx.nshards,
         ))
@@ -747,31 +751,31 @@ impl<T: Record, U: Record> SelectNode<T, U> {
         let expr = self.expr.clone();
         ctx.cons::<U>(shape, card, move || {
             original.unwrap_or_else(|| {
-                Plan::from_node(Rc::new(SelectNode::from_parts(parent, f, f_id, expr)))
+                Plan::from_node(Arc::new(SelectNode::from_parts(parent, f, f_id, expr)))
             })
         })
     }
 }
 
 impl<T: Record, U: Record> PlanNode<U> for SelectNode<T, U> {
-    fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<U>> {
+    fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Arc<WeightedDataset<U>> {
         let parent = self.parent.eval_node(ctx);
         if let Some(expr) = &self.expr {
             if let Some(out) = columnar::try_select(&parent, expr) {
-                return Rc::new(out);
+                return Arc::new(out);
             }
         }
-        Rc::new(batch::select(&parent, &*self.f))
+        Arc::new(batch::select(&parent, &*self.f))
     }
 
-    fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<U>> {
+    fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Arc<ShardedDataset<U>> {
         let parent = self.parent.eval_shards_node(ctx);
         if let Some(expr) = &self.expr {
             if let Some(out) = columnar::try_select_shards(&parent, expr, ctx.runner()) {
-                return Rc::new(out);
+                return Arc::new(out);
             }
         }
-        Rc::new(shard::select(&parent, &*self.f, ctx.runner()))
+        Arc::new(shard::select(&parent, &*self.f, ctx.runner()))
     }
 
     fn lower(&self, ctx: &mut LowerCtx<'_>) -> Stream<U> {
@@ -915,24 +919,24 @@ impl<T: Record> FilterNode<T> {
 }
 
 impl<T: Record> PlanNode<T> for FilterNode<T> {
-    fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<T>> {
+    fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Arc<WeightedDataset<T>> {
         let parent = self.parent.eval_node(ctx);
         if let Some(expr) = &self.expr {
             if let Some(out) = columnar::try_filter(&parent, expr) {
-                return Rc::new(out);
+                return Arc::new(out);
             }
         }
-        Rc::new(batch::filter(&parent, &*self.predicate))
+        Arc::new(batch::filter(&parent, &*self.predicate))
     }
 
-    fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<T>> {
+    fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Arc<ShardedDataset<T>> {
         let parent = self.parent.eval_shards_node(ctx);
         if let Some(expr) = &self.expr {
             if let Some(out) = columnar::try_filter_shards(&parent, expr, ctx.runner()) {
-                return Rc::new(out);
+                return Arc::new(out);
             }
         }
-        Rc::new(shard::filter(&parent, &*self.predicate, ctx.runner()))
+        Arc::new(shard::filter(&parent, &*self.predicate, ctx.runner()))
     }
 
     fn lower(&self, ctx: &mut LowerCtx<'_>) -> Stream<T> {
@@ -1088,7 +1092,7 @@ impl<T: Record, U: Record> SelectManyNode<T, U> {
         let exprs = self.exprs.clone();
         ctx.cons::<U>(shape, card, move || {
             original.unwrap_or_else(|| {
-                Plan::from_node(Rc::new(SelectManyNode::from_parts(parent, f, f_id, exprs)))
+                Plan::from_node(Arc::new(SelectManyNode::from_parts(parent, f, f_id, exprs)))
             })
         })
     }
@@ -1107,26 +1111,26 @@ fn select_many_canonical(exprs: &[Expr]) -> String {
 }
 
 impl<T: Record, U: Record> PlanNode<U> for SelectManyNode<T, U> {
-    fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<U>> {
+    fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Arc<WeightedDataset<U>> {
         let parent = self.parent.eval_node(ctx);
         if let Some(payload) = &self.exprs {
             if let Some(out) = columnar::try_select_many_unit(&parent, &payload.exprs) {
-                return Rc::new(out);
+                return Arc::new(out);
             }
         }
-        Rc::new(batch::select_many(&parent, &*self.f))
+        Arc::new(batch::select_many(&parent, &*self.f))
     }
 
-    fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<U>> {
+    fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Arc<ShardedDataset<U>> {
         let parent = self.parent.eval_shards_node(ctx);
         if let Some(payload) = &self.exprs {
             if let Some(out) =
                 columnar::try_select_many_unit_shards(&parent, &payload.exprs, ctx.runner())
             {
-                return Rc::new(out);
+                return Arc::new(out);
             }
         }
-        Rc::new(shard::select_many(&parent, &*self.f, ctx.runner()))
+        Arc::new(shard::select_many(&parent, &*self.f, ctx.runner()))
     }
 
     fn lower(&self, ctx: &mut LowerCtx<'_>) -> Stream<U> {
@@ -1301,24 +1305,24 @@ impl<T: Record, K: Record, R: Record> GroupByNode<T, K, R> {
 }
 
 impl<T: Record, K: Record, R: Record> PlanNode<(K, R)> for GroupByNode<T, K, R> {
-    fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<(K, R)>> {
+    fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Arc<WeightedDataset<(K, R)>> {
         let parent = self.parent.eval_node(ctx);
         if let Some((key, reduce)) = &self.exprs {
             if let Some(out) = columnar::try_group_by(&parent, key, reduce) {
-                return Rc::new(out);
+                return Arc::new(out);
             }
         }
-        Rc::new(batch::group_by(&parent, &*self.key, &*self.reduce))
+        Arc::new(batch::group_by(&parent, &*self.key, &*self.reduce))
     }
 
-    fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<(K, R)>> {
+    fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Arc<ShardedDataset<(K, R)>> {
         let parent = self.parent.eval_shards_node(ctx);
         if let Some((key, reduce)) = &self.exprs {
             if let Some(out) = columnar::try_group_by_shards(&parent, key, reduce, ctx.runner()) {
-                return Rc::new(out);
+                return Arc::new(out);
             }
         }
-        Rc::new(shard::group_by(
+        Arc::new(shard::group_by(
             &parent,
             &*self.key,
             &*self.reduce,
@@ -1370,7 +1374,7 @@ impl<T: Record, K: Record, R: Record> PlanNode<(K, R)> for GroupByNode<T, K, R> 
         let exprs = self.exprs.clone();
         ctx.cons::<(K, R)>(shape, card, move || {
             original.unwrap_or_else(|| {
-                Plan::from_node(Rc::new(GroupByNode::from_parts(
+                Plan::from_node(Arc::new(GroupByNode::from_parts(
                     parent, key, reduce, key_id, reduce_id, exprs,
                 )))
             })
@@ -1460,13 +1464,13 @@ impl<T: Record> ShaveNode<T> {
 }
 
 impl<T: Record> PlanNode<(T, u64)> for ShaveNode<T> {
-    fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<(T, u64)>> {
-        Rc::new(batch::shave(&self.parent.eval_node(ctx), &*self.schedule))
+    fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Arc<WeightedDataset<(T, u64)>> {
+        Arc::new(batch::shave(&self.parent.eval_node(ctx), &*self.schedule))
     }
 
-    fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<(T, u64)>> {
+    fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Arc<ShardedDataset<(T, u64)>> {
         let parent = self.parent.eval_shards_node(ctx);
-        Rc::new(shard::shave(&parent, &*self.schedule, ctx.runner()))
+        Arc::new(shard::shave(&parent, &*self.schedule, ctx.runner()))
     }
 
     fn lower(&self, ctx: &mut LowerCtx<'_>) -> Stream<(T, u64)> {
@@ -1506,7 +1510,7 @@ impl<T: Record> PlanNode<(T, u64)> for ShaveNode<T> {
         let step = self.step;
         ctx.cons::<(T, u64)>(shape, card, move || {
             original.unwrap_or_else(|| {
-                Plan::from_node(Rc::new(ShaveNode::from_parts(
+                Plan::from_node(Arc::new(ShaveNode::from_parts(
                     parent,
                     schedule,
                     schedule_id,
@@ -1552,7 +1556,7 @@ pub(crate) struct JoinNode<A: Record, B: Record, K: Record, R: Record> {
     key_left_id: ClosureId,
     key_right_id: ClosureId,
     result_id: ClosureId,
-    exprs: Option<Rc<JoinExprs<A, B>>>,
+    exprs: Option<Arc<JoinExprs<A, B>>>,
 }
 
 impl<A: Record, B: Record, K: Record, R: Record> JoinNode<A, B, K, R> {
@@ -1610,7 +1614,7 @@ impl<A: Record, B: Record, K: Record, R: Record> JoinNode<A, B, K, R> {
             key_left_id,
             key_right_id,
             result_id,
-            exprs: Some(Rc::new(exprs)),
+            exprs: Some(Arc::new(exprs)),
         }
     }
 
@@ -1624,7 +1628,7 @@ impl<A: Record, B: Record, K: Record, R: Record> JoinNode<A, B, K, R> {
         key_left_id: ClosureId,
         key_right_id: ClosureId,
         result_id: ClosureId,
-        exprs: Option<Rc<JoinExprs<A, B>>>,
+        exprs: Option<Arc<JoinExprs<A, B>>>,
     ) -> Self {
         JoinNode {
             left,
@@ -1687,7 +1691,7 @@ impl<A: Record, B: Record, K: Record, R: Record> JoinNode<A, B, K, R> {
                     let result = result.clone();
                     Arc::new(move |b, a| result(a, b))
                 };
-                Plan::from_node(Rc::new(JoinNode::from_parts(
+                Plan::from_node(Arc::new(JoinNode::from_parts(
                     right,
                     left,
                     key_right,
@@ -1696,7 +1700,7 @@ impl<A: Record, B: Record, K: Record, R: Record> JoinNode<A, B, K, R> {
                     kr_id,
                     kl_id,
                     swapped_result_id,
-                    swapped_exprs.map(Rc::new),
+                    swapped_exprs.map(Arc::new),
                 )))
             });
         }
@@ -1717,7 +1721,7 @@ impl<A: Record, B: Record, K: Record, R: Record> JoinNode<A, B, K, R> {
         let exprs = self.exprs.clone();
         ctx.cons::<R>(shape, card, move || {
             original.unwrap_or_else(|| {
-                Plan::from_node(Rc::new(JoinNode::from_parts(
+                Plan::from_node(Arc::new(JoinNode::from_parts(
                     left, right, key_left, key_right, result, kl_id, kr_id, result_id, exprs,
                 )))
             })
@@ -1726,7 +1730,7 @@ impl<A: Record, B: Record, K: Record, R: Record> JoinNode<A, B, K, R> {
 }
 
 impl<A: Record, B: Record, K: Record, R: Record> PlanNode<R> for JoinNode<A, B, K, R> {
-    fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<R>> {
+    fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Arc<WeightedDataset<R>> {
         let left = self.left.eval_node(ctx);
         let right = self.right.eval_node(ctx);
         if let Some(payload) = &self.exprs {
@@ -1737,10 +1741,10 @@ impl<A: Record, B: Record, K: Record, R: Record> PlanNode<R> for JoinNode<A, B, 
                 &payload.key_right,
                 &payload.result,
             ) {
-                return Rc::new(out);
+                return Arc::new(out);
             }
         }
-        Rc::new(batch::join(
+        Arc::new(batch::join(
             &left,
             &right,
             &*self.key_left,
@@ -1749,7 +1753,7 @@ impl<A: Record, B: Record, K: Record, R: Record> PlanNode<R> for JoinNode<A, B, 
         ))
     }
 
-    fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<R>> {
+    fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Arc<ShardedDataset<R>> {
         let left = self.left.eval_shards_node(ctx);
         let right = self.right.eval_shards_node(ctx);
         if let Some(payload) = &self.exprs {
@@ -1761,10 +1765,10 @@ impl<A: Record, B: Record, K: Record, R: Record> PlanNode<R> for JoinNode<A, B, 
                 &payload.result,
                 ctx.runner(),
             ) {
-                return Rc::new(out);
+                return Arc::new(out);
             }
         }
-        Rc::new(shard::join(
+        Arc::new(shard::join(
             &left,
             &right,
             &*self.key_left,
@@ -2003,16 +2007,17 @@ impl<T: Record> BinaryNode<T> {
         );
         let kind = self.kind;
         ctx.cons::<T>(shape, card, move || {
-            original.unwrap_or_else(|| Plan::from_node(Rc::new(BinaryNode::new(left, right, kind))))
+            original
+                .unwrap_or_else(|| Plan::from_node(Arc::new(BinaryNode::new(left, right, kind))))
         })
     }
 }
 
 impl<T: Record> PlanNode<T> for BinaryNode<T> {
-    fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Rc<WeightedDataset<T>> {
+    fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Arc<WeightedDataset<T>> {
         let left = self.left.eval_node(ctx);
         let right = self.right.eval_node(ctx);
-        Rc::new(match self.kind {
+        Arc::new(match self.kind {
             BinaryKind::Union => batch::union(&left, &right),
             BinaryKind::Intersect => batch::intersect(&left, &right),
             BinaryKind::Concat => batch::concat(&left, &right),
@@ -2020,11 +2025,11 @@ impl<T: Record> PlanNode<T> for BinaryNode<T> {
         })
     }
 
-    fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Rc<ShardedDataset<T>> {
+    fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Arc<ShardedDataset<T>> {
         let left = self.left.eval_shards_node(ctx);
         let right = self.right.eval_shards_node(ctx);
         let runner = ctx.runner();
-        Rc::new(match self.kind {
+        Arc::new(match self.kind {
             BinaryKind::Union => shard::union(&left, &right, runner),
             BinaryKind::Intersect => shard::intersect(&left, &right, runner),
             BinaryKind::Concat => shard::concat(&left, &right, runner),

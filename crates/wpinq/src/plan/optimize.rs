@@ -66,7 +66,6 @@
 
 use std::any::{Any, TypeId};
 use std::collections::{BTreeMap, HashMap};
-use std::rc::Rc;
 use std::sync::Arc;
 
 use wpinq_core::record::Record;
@@ -182,10 +181,10 @@ pub(crate) enum ClosureId {
     /// A known adapter parameterised by a constant (e.g. `shave_const`'s step bits).
     Const(&'static str, u64),
     /// A closure the optimizer derived from others (fused predicate, swapped selector).
-    Derived(&'static str, Rc<Vec<ClosureId>>),
+    Derived(&'static str, Arc<Vec<ClosureId>>),
     /// An expression-built payload: the expression's canonical serialization, stable
     /// across call sites and processes.
-    Expr(Rc<str>),
+    Expr(Arc<str>),
 }
 
 impl ClosureId {
@@ -205,12 +204,12 @@ impl ClosureId {
 
     /// The identity of an optimizer-derived closure.
     pub(crate) fn derived(tag: &'static str, parts: Vec<ClosureId>) -> ClosureId {
-        ClosureId::Derived(tag, Rc::new(parts))
+        ClosureId::Derived(tag, Arc::new(parts))
     }
 
     /// The stable identity of an expression-built payload.
     pub(crate) fn expr(canonical: String) -> ClosureId {
-        ClosureId::Expr(Rc::from(canonical))
+        ClosureId::Expr(Arc::from(canonical))
     }
 }
 

@@ -16,7 +16,6 @@
 //! measurement service own the data while analysts own only plan text.
 
 use std::collections::HashMap;
-use std::rc::Rc;
 use std::sync::Arc;
 
 use wpinq_core::dataset::WeightedDataset;
@@ -126,7 +125,7 @@ pub fn plan_from_spec(spec: &PlanSpec) -> Result<DynPlan, WireError> {
     for node in &spec.nodes {
         let built = match node {
             SpecNode::Source { name, ty } => {
-                let plan = Plan::from_node(Rc::new(InputNode::<Value>::named(
+                let plan = Plan::from_node(Arc::new(InputNode::<Value>::named(
                     InputId::fresh(),
                     name,
                     ty.clone(),
@@ -144,7 +143,7 @@ pub fn plan_from_spec(spec: &PlanSpec) -> Result<DynPlan, WireError> {
                     let expr = expr.clone();
                     Arc::new(move |v: &Value| expr.eval(v))
                 };
-                Plan::from_node(Rc::new(SelectNode::from_expr(parent, f, expr.clone())))
+                Plan::from_node(Arc::new(SelectNode::from_expr(parent, f, expr.clone())))
             }
             SpecNode::Where { input, expr } => {
                 let parent = plans[*input as usize].clone();
@@ -152,7 +151,7 @@ pub fn plan_from_spec(spec: &PlanSpec) -> Result<DynPlan, WireError> {
                     let expr = expr.clone();
                     Arc::new(move |v: &Value| expr.eval_bool(v))
                 };
-                Plan::from_node(Rc::new(FilterNode::from_expr(
+                Plan::from_node(Arc::new(FilterNode::from_expr(
                     parent,
                     predicate,
                     expr.clone(),
@@ -167,10 +166,10 @@ pub fn plan_from_spec(spec: &PlanSpec) -> Result<DynPlan, WireError> {
                     })
                 };
                 let payload = SelectManyExprs {
-                    exprs: Rc::new(exprs.clone()),
+                    exprs: Arc::new(exprs.clone()),
                     conv: identity.clone(),
                 };
-                Plan::from_node(Rc::new(SelectManyNode::from_exprs(
+                Plan::from_node(Arc::new(SelectManyNode::from_exprs(
                     parent, produce, payload,
                 )))
             }
@@ -184,7 +183,7 @@ pub fn plan_from_spec(spec: &PlanSpec) -> Result<DynPlan, WireError> {
                     let reduce = reduce.clone();
                     Arc::new(move |group: &[Value]| reduce.eval_count(group.len() as u64))
                 };
-                let grouped: Plan<(Value, Value)> = Plan::from_node(Rc::new(
+                let grouped: Plan<(Value, Value)> = Plan::from_node(Arc::new(
                     GroupByNode::from_expr(parent, key_fn, reduce_fn, key.clone(), reduce.clone()),
                 ));
                 // Repack the typed pair as a dynamic tuple so downstream expressions see
@@ -195,7 +194,7 @@ pub fn plan_from_spec(spec: &PlanSpec) -> Result<DynPlan, WireError> {
                 // of `<fn>` nodes the analyst never authored.
                 let repack =
                     Arc::new(|(k, r): &(Value, Value)| Value::Tuple(vec![k.clone(), r.clone()]));
-                Plan::from_node(Rc::new(SelectNode::from_expr(
+                Plan::from_node(Arc::new(SelectNode::from_expr(
                     grouped,
                     repack,
                     pair_repack_expr(),
@@ -206,7 +205,7 @@ pub fn plan_from_spec(spec: &PlanSpec) -> Result<DynPlan, WireError> {
                 // Same repacking argument as GroupBy for the (record, slice) pair.
                 let repack =
                     Arc::new(|(v, i): &(Value, u64)| Value::Tuple(vec![v.clone(), Value::U64(*i)]));
-                Plan::from_node(Rc::new(SelectNode::from_expr(
+                Plan::from_node(Arc::new(SelectNode::from_expr(
                     parent.shave_const(*step),
                     repack,
                     pair_repack_expr(),
@@ -242,7 +241,7 @@ pub fn plan_from_spec(spec: &PlanSpec) -> Result<DynPlan, WireError> {
                     conv_left: identity.clone(),
                     conv_right: identity.clone(),
                 };
-                Plan::from_node(Rc::new(JoinNode::from_expr(
+                Plan::from_node(Arc::new(JoinNode::from_expr(
                     left,
                     right,
                     key_left_fn,
@@ -262,7 +261,7 @@ pub fn plan_from_spec(spec: &PlanSpec) -> Result<DynPlan, WireError> {
                 plans[*left as usize].except(&plans[*right as usize])
             }
             SpecNode::Empty { ty } => {
-                Plan::from_node(Rc::new(EmptyNode::<Value>::new(Some(ty.clone()))))
+                Plan::from_node(Arc::new(EmptyNode::<Value>::new(Some(ty.clone()))))
             }
         };
         plans.push(built);

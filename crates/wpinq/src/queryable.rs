@@ -14,7 +14,6 @@
 
 use std::cell::OnceCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
 use std::sync::Arc;
 
 use rand::Rng;
@@ -57,7 +56,7 @@ pub struct Queryable<T: Record> {
     incremental: IncrementalEngine,
     optimize: OptimizeLevel,
     optimized: OnceCell<Plan<T>>,
-    materialized: OnceCell<Rc<WeightedDataset<T>>>,
+    materialized: OnceCell<Arc<WeightedDataset<T>>>,
 }
 
 impl<T: Record> std::fmt::Debug for Queryable<T> {
@@ -306,7 +305,7 @@ impl<T: Record> Queryable<T> {
             .unwrap_or(0)
     }
 
-    fn materialize(&self) -> &Rc<WeightedDataset<T>> {
+    fn materialize(&self) -> &Arc<WeightedDataset<T>> {
         self.materialized.get_or_init(|| {
             // The cached plan is already fully rewritten (bindings included), so
             // evaluate it as-is instead of paying a second optimizer pass.

@@ -191,7 +191,7 @@ proptest! {
         for dyn_source in &rebuilt.sources {
             dyn_bindings.bind_shared(
                 &dyn_source.plan,
-                std::rc::Rc::new(dataset_to_values(&data)),
+                std::sync::Arc::new(dataset_to_values(&data)),
             );
         }
 

@@ -12,6 +12,10 @@
 //! service returned are identical to a local, typed, closure-built measurement with the
 //! same seed, and that every grant was debited by exactly `multiplicity × ε`.
 
+// The caller-rng `ServiceClient` shim is exactly what this example needs: byte-equality
+// against a local run requires pinning the service's noise stream.
+#![allow(deprecated)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -37,7 +41,7 @@ fn main() {
     );
 
     // --- the trusted side -------------------------------------------------------------
-    let mut service = MeasurementService::new();
+    let service = MeasurementService::new();
     service.register(EDGES_DATASET, &edges).unwrap();
     service
         .grant("alice", EDGES_DATASET, PrivacyBudget::new(5.0))
