@@ -14,19 +14,33 @@
 //! memoized value. Distinct keys never contend beyond the brief map lookup. A failed
 //! computation evicts its slot, so a rejected request (say, over budget) is retried
 //! from scratch once the analyst tops up.
+//!
+//! Two robustness properties matter because analysts are untrusted:
+//!
+//! * **Bounded residency.** Keys can be minted at negligible ε cost (ε may be
+//!   arbitrarily small), so an unbounded cache would let an analyst grow server memory
+//!   without limit. The cache holds at most `capacity` keys and evicts the least
+//!   recently used resident entry to admit a new one. Evicting is always privacy-sound:
+//!   it only means a later identical repeat is a *fresh* measurement with a fresh
+//!   charge, exactly as if the cache were disabled for that key.
+//! * **Panic containment.** A computation that panics must not wedge its key: all locks
+//!   recover from poisoning (`PoisonError::into_inner`), and a panicked compute leaves
+//!   its slot empty, so the next request for that key simply retries.
 
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
-/// Hit/miss counters of a [`MeasurementCache`], read via [`MeasurementCache::stats`].
+/// Counters of a [`MeasurementCache`], read via [`MeasurementCache::stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Requests answered from a memoized value (zero ε charged).
     pub hits: u64,
     /// Requests that computed (and paid for) a fresh value.
     pub misses: u64,
+    /// Entries evicted to stay within the capacity bound.
+    pub evictions: u64,
 }
 
 struct Slot<V> {
@@ -41,12 +55,27 @@ impl<V> Default for Slot<V> {
     }
 }
 
-/// A single-flight memoization table keyed by `K` (for the measurement service:
-/// analyst × ε-bits × canonical optimized plan encoding).
+/// A resident cache entry: the single-flight slot plus its recency stamp.
+struct Entry<V> {
+    slot: Arc<Slot<V>>,
+    last_used: u64,
+}
+
+struct Table<K, V> {
+    entries: HashMap<K, Entry<V>>,
+    /// Monotonic recency clock, bumped on every touch.
+    tick: u64,
+}
+
+/// A single-flight, capacity-bounded memoization table keyed by `K` (for the
+/// measurement service: analyst × ε-bits × canonical optimized plan encoding ×
+/// dataset generations).
 pub struct MeasurementCache<K, V> {
-    slots: Mutex<HashMap<K, Arc<Slot<V>>>>,
+    table: Mutex<Table<K, V>>,
+    capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> Default for MeasurementCache<K, V> {
@@ -56,12 +85,25 @@ impl<K: Eq + Hash + Clone, V: Clone> Default for MeasurementCache<K, V> {
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> MeasurementCache<K, V> {
-    /// An empty cache.
+    /// An empty cache with no capacity bound (for call sites that bound keys
+    /// themselves); services facing untrusted analysts should use
+    /// [`with_capacity`](Self::with_capacity).
     pub fn new() -> Self {
+        MeasurementCache::with_capacity(usize::MAX)
+    }
+
+    /// An empty cache holding at most `capacity` keys (clamped to ≥ 1); admitting a key
+    /// beyond that evicts the least recently used resident entry.
+    pub fn with_capacity(capacity: usize) -> Self {
         MeasurementCache {
-            slots: Mutex::new(HashMap::new()),
+            table: Mutex::new(Table {
+                entries: HashMap::new(),
+                tick: 0,
+            }),
+            capacity: capacity.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -71,20 +113,37 @@ impl<K: Eq + Hash + Clone, V: Clone> MeasurementCache<K, V> {
     /// The slot lock is held across `compute`, so concurrent callers with the *same* key
     /// block until the first finishes and then hit; callers with different keys proceed
     /// in parallel. An `Err` from `compute` evicts the slot and propagates — nothing is
-    /// memoized, and the error is observed only by callers that raced this attempt.
+    /// memoized, and the error is observed only by callers that raced this attempt. A
+    /// *panic* from `compute` unwinds to the caller but leaves the slot empty and its
+    /// lock recoverable, so the next request for the key retries instead of wedging.
     pub fn get_or_compute<E>(
         &self,
         key: K,
         compute: impl FnOnce() -> Result<V, E>,
     ) -> Result<(V, bool), E> {
-        let slot = self
-            .slots
-            .lock()
-            .expect("cache map poisoned")
-            .entry(key.clone())
-            .or_default()
-            .clone();
-        let mut cell = slot.cell.lock().expect("cache slot poisoned");
+        let slot = {
+            let mut table = self.table.lock().unwrap_or_else(PoisonError::into_inner);
+            table.tick += 1;
+            let tick = table.tick;
+            if let Some(entry) = table.entries.get_mut(&key) {
+                entry.last_used = tick;
+                entry.slot.clone()
+            } else {
+                if table.entries.len() >= self.capacity {
+                    self.evict_lru(&mut table);
+                }
+                let slot = Arc::new(Slot::default());
+                table.entries.insert(
+                    key.clone(),
+                    Entry {
+                        slot: slot.clone(),
+                        last_used: tick,
+                    },
+                );
+                slot
+            }
+        };
+        let mut cell = slot.cell.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(value) = cell.as_ref() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok((value.clone(), true));
@@ -98,10 +157,10 @@ impl<K: Eq + Hash + Clone, V: Clone> MeasurementCache<K, V> {
             Err(error) => {
                 drop(cell);
                 // Evict only our own slot: a racing success may already have replaced it.
-                let mut slots = self.slots.lock().expect("cache map poisoned");
-                if let Some(current) = slots.get(&key) {
-                    if Arc::ptr_eq(current, &slot) {
-                        slots.remove(&key);
+                let mut table = self.table.lock().unwrap_or_else(PoisonError::into_inner);
+                if let Some(current) = table.entries.get(&key) {
+                    if Arc::ptr_eq(&current.slot, &slot) {
+                        table.entries.remove(&key);
                     }
                 }
                 Err(error)
@@ -109,17 +168,58 @@ impl<K: Eq + Hash + Clone, V: Clone> MeasurementCache<K, V> {
         }
     }
 
-    /// Hit/miss counters since construction.
+    /// Drops the least recently used entry, preferring one no request is currently
+    /// computing in (an in-flight slot still finishes — its racers hold the `Arc` — but
+    /// its value would never be served again, wasting the charge that produced it).
+    fn evict_lru(&self, table: &mut Table<K, V>) {
+        let victim = {
+            let idle = table
+                .entries
+                .iter()
+                .filter(|(_, entry)| Arc::strong_count(&entry.slot) == 1)
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(key, _)| key.clone());
+            idle.or_else(|| {
+                table
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, entry)| entry.last_used)
+                    .map(|(key, _)| key.clone())
+            })
+        };
+        if let Some(key) = victim {
+            table.entries.remove(&key);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops every entry whose key fails `keep`. The service calls this when a dataset
+    /// is re-registered: the generation stamp in the key already makes stale entries
+    /// unreachable, and `retain` additionally frees their memory right away.
+    pub fn retain(&self, mut keep: impl FnMut(&K) -> bool) {
+        self.table
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entries
+            .retain(|key, _| keep(key));
+    }
+
+    /// Hit/miss/eviction counters since construction.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
     /// Number of keys currently resident (filled or in flight).
     pub fn len(&self) -> usize {
-        self.slots.lock().expect("cache map poisoned").len()
+        self.table
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entries
+            .len()
     }
 
     /// `true` when no key is resident.
@@ -132,9 +232,10 @@ impl<K, V> std::fmt::Debug for MeasurementCache<K, V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "MeasurementCache(hits={}, misses={})",
+            "MeasurementCache(hits={}, misses={}, evictions={})",
             self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed)
+            self.misses.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed)
         )
     }
 }
@@ -161,7 +262,14 @@ mod tests {
             })
             .unwrap();
         assert_eq!((v, hit, runs), (7, true, 1), "hit must not recompute");
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
     }
 
     #[test]
@@ -178,6 +286,42 @@ mod tests {
             .get_or_compute::<()>("k".to_string(), || Ok(5))
             .unwrap();
         assert_eq!((v, hit), (5, false));
+    }
+
+    #[test]
+    fn panicking_compute_does_not_wedge_the_key() {
+        let cache: Arc<MeasurementCache<String, u64>> = Arc::new(MeasurementCache::new());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = cache.get_or_compute::<()>("k".to_string(), || panic!("boom"));
+        }));
+        assert!(result.is_err(), "the panic propagates to the caller");
+        // The key is not wedged: the next request recomputes and succeeds.
+        let (v, hit) = cache
+            .get_or_compute::<()>("k".to_string(), || Ok(5))
+            .unwrap();
+        assert_eq!((v, hit), (5, false), "retry recomputes after a panic");
+        // And from here on it caches normally.
+        let (v, hit) = cache
+            .get_or_compute::<()>("k".to_string(), || Ok(99))
+            .unwrap();
+        assert_eq!((v, hit), (5, true));
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recently_used() {
+        let cache: MeasurementCache<u32, u64> = MeasurementCache::with_capacity(2);
+        cache.get_or_compute::<()>(1, || Ok(10)).unwrap();
+        cache.get_or_compute::<()>(2, || Ok(20)).unwrap();
+        // Touch 1 so 2 becomes the LRU victim.
+        cache.get_or_compute::<()>(1, || Ok(0)).unwrap();
+        cache.get_or_compute::<()>(3, || Ok(30)).unwrap();
+        assert_eq!(cache.len(), 2, "capacity is a hard bound");
+        // 1 survived, 2 was evicted (a repeat recomputes), 3 is resident.
+        let (v, hit) = cache.get_or_compute::<()>(1, || Ok(0)).unwrap();
+        assert_eq!((v, hit), (10, true));
+        let (v, hit) = cache.get_or_compute::<()>(2, || Ok(21)).unwrap();
+        assert_eq!((v, hit), (21, false), "evicted key recomputes");
+        assert_eq!(cache.stats().evictions, 2, "admitting 3 and re-admitting 2");
     }
 
     #[test]

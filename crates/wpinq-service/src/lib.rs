@@ -48,7 +48,7 @@ pub use cache::{CacheStats, MeasurementCache};
 pub use client::{Client, ClientError, ServiceClient, TypedRelease};
 pub use release::{release_records_json, release_to_json, release_values_to_json};
 pub use service::{
-    MeasureRequest, MeasureResponse, MeasurementService, ServiceError, REQUEST_HEADER,
-    REQUEST_VERSION,
+    MeasureRequest, MeasureResponse, MeasurementService, ServiceError, DEFAULT_CACHE_CAPACITY,
+    REQUEST_HEADER, REQUEST_VERSION,
 };
 pub use transport::{serve_tcp, InProcess, ServerHandle, Tcp, Transport};

@@ -47,12 +47,18 @@
 //! make it non-identical). [`measure`](MeasurementService::measure), the caller-supplied
 //! RNG path used by deterministic replay tests, bypasses the cache.
 //!
+//! The cache is **bounded** ([`DEFAULT_CACHE_CAPACITY`] entries, LRU-evicted;
+//! [`with_cache_capacity`](MeasurementService::with_cache_capacity)) — keys can be
+//! minted at arbitrarily small ε, so residency must not scale with analyst behavior —
+//! and **generation-keyed**: re-registering a dataset bumps its generation, so entries
+//! computed over replaced data are invalidated rather than replayed.
+//!
 //! Determinism: for a fixed RNG state the response bytes are identical across executors
 //! and optimize levels, and identical to a local typed release of the same plan (see the
 //! crate docs for why).
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -306,7 +312,16 @@ impl From<WireError> for ServiceError {
 struct RegisteredDataset {
     ty: ValueType,
     data: Arc<WeightedDataset<Value>>,
+    /// Bumped every time the name is re-registered; part of the measurement-cache key,
+    /// so a release computed over replaced data is never replayed for the new data.
+    generation: u64,
 }
+
+/// The measurement-cache key: analyst × ε-bits × canonical optimized plan × the
+/// generation of every dataset the plan binds. The generations make entries computed
+/// over since-replaced data unreachable (and findable by
+/// [`MeasurementCache::retain`] for proactive invalidation).
+type CacheKey = (String, u64, String, Vec<(String, u64)>);
 
 /// Everything [`prepare`](MeasurementService::prepare) derives from a request before any
 /// budget is touched: the rebuilt plan, its bindings, the optimizer-deduplicated
@@ -318,6 +333,9 @@ struct Prepared {
     optimized: wpinq::Plan<Value>,
     per_dataset: BTreeMap<String, u32>,
     canonical: String,
+    /// (dataset, generation) of every bound source, sorted by name — the data snapshot
+    /// this preparation captured (the bindings hold the matching `Arc`s).
+    generations: Vec<(String, u64)>,
 }
 
 /// The measurement service: protected datasets, per-analyst budget grants, an executor,
@@ -332,9 +350,15 @@ pub struct MeasurementService {
     /// The curator's noise source for [`serve`](Self::serve): each request draws a child
     /// generator under a brief lock, so evaluation itself is never serialized on it.
     noise: Mutex<StdRng>,
-    cache: MeasurementCache<(String, u64, String), Arc<MeasureResponse>>,
+    cache: MeasurementCache<CacheKey, Arc<MeasureResponse>>,
     cache_enabled: bool,
 }
+
+/// Default bound on resident measurement-cache entries. Keys can be minted at
+/// negligible ε (ε may be arbitrarily small), so the cache must not grow with analyst
+/// behavior; beyond this many keys the least recently used entry is evicted. Tune with
+/// [`MeasurementService::with_cache_capacity`].
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 
 // The whole point of this service is to be shared across request threads; make the
 // property a compile error to lose rather than a runtime surprise (it regressed silently
@@ -371,7 +395,7 @@ impl MeasurementService {
             optimize: OptimizeLevel::from_env(),
             audit: Mutex::new(Vec::new()),
             noise: Mutex::new(StdRng::seed_from_u64(entropy_seed())),
-            cache: MeasurementCache::new(),
+            cache: MeasurementCache::with_capacity(DEFAULT_CACHE_CAPACITY),
             cache_enabled: true,
         }
     }
@@ -406,8 +430,22 @@ impl MeasurementService {
         self
     }
 
+    /// Replaces the measurement cache's capacity bound
+    /// ([`DEFAULT_CACHE_CAPACITY`] entries by default, clamped to ≥ 1). Evicting an
+    /// entry is always privacy-sound — a later identical repeat simply becomes a fresh
+    /// measurement with a fresh charge — so operators may size this purely by memory.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = MeasurementCache::with_capacity(capacity);
+        self
+    }
+
     /// Registers a protected dataset of dynamic records under `name`. Every record must
     /// match `ty`; re-registering a name replaces its data (grants are unaffected).
+    ///
+    /// Replacing data **invalidates** every measurement-cache entry whose plan bound the
+    /// old data: the dataset's generation (part of the cache key) is bumped, so a repeat
+    /// of an earlier request is a fresh measurement over the new data with a fresh ε
+    /// charge — never a replay of a release the new data took no part in.
     pub fn register_values(
         &self,
         name: &str,
@@ -429,16 +467,28 @@ impl MeasurementService {
                 });
             }
         }
-        self.datasets
-            .write()
-            .expect("dataset table poisoned")
-            .insert(
+        let replaced = {
+            let mut datasets = self
+                .datasets
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            let generation = datasets.get(name).map_or(0, |d| d.generation + 1);
+            datasets.insert(
                 name.to_string(),
                 RegisteredDataset {
                     ty,
                     data: Arc::new(data),
+                    generation,
                 },
             );
+            generation > 0
+        };
+        if replaced {
+            // Stale entries are already unreachable (their keys carry the old
+            // generation); dropping them now frees their memory too.
+            self.cache
+                .retain(|(_, _, _, generations)| generations.iter().all(|(n, _)| n != name));
+        }
         Ok(())
     }
 
@@ -462,7 +512,7 @@ impl MeasurementService {
         if !self
             .datasets
             .read()
-            .expect("dataset table poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .contains_key(dataset)
         {
             return Err(ServiceError::UnknownDataset(dataset.to_string()));
@@ -479,7 +529,10 @@ impl MeasurementService {
     /// The audit log: one rendered, analyst-visible plan per admitted measurement, plus
     /// one line per cache replay.
     pub fn audit_log(&self) -> Vec<String> {
-        self.audit.lock().expect("audit log poisoned").clone()
+        self.audit
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// Hit/miss counters of the measurement cache.
@@ -500,10 +553,13 @@ impl MeasurementService {
         let DynPlan { plan, sources } = plan_from_spec(&request.spec)?;
 
         // Bind every named source to its registered dataset (a read lock held only for
-        // the lookups — binding shares the `Arc`, never copies records).
+        // the lookups — binding shares the `Arc`, never copies records). The generation
+        // of each bound dataset is captured with its `Arc`, so the cache key and the
+        // data this preparation will evaluate always describe the same snapshot.
         let mut bindings = wpinq::PlanBindings::new();
+        let mut generation_by_name: BTreeMap<String, u64> = BTreeMap::new();
         {
-            let datasets = self.datasets.read().expect("dataset table poisoned");
+            let datasets = self.datasets.read().unwrap_or_else(PoisonError::into_inner);
             for source in &sources {
                 let registered = datasets
                     .get(&source.name)
@@ -516,6 +572,7 @@ impl MeasurementService {
                     });
                 }
                 bindings.bind_shared(&source.plan, registered.data.clone());
+                generation_by_name.insert(source.name.clone(), registered.generation);
             }
         }
 
@@ -535,6 +592,19 @@ impl MeasurementService {
             }
         }
 
+        // Reject a total cost that overflows f64 *here*, before any grant lock is
+        // taken: `reserve` would refuse a non-finite amount anyway, but the analyst
+        // deserves `invalid_parameter` (a malformed request), not `budget_exceeded`.
+        for (dataset, mult) in &per_dataset {
+            let cost = f64::from(*mult) * request.epsilon;
+            if !cost.is_finite() {
+                return Err(ServiceError::InvalidParameter(format!(
+                    "total cost {mult} x {} for dataset '{dataset}' is not representable",
+                    request.epsilon
+                )));
+            }
+        }
+
         // The cache-key encoding: the canonical bytes of the *optimized* plan, so
         // differently-phrased requests that optimize to the same plan share an entry.
         // (Full bytes, not a hash — a hash collision would hand one analyst's plan the
@@ -551,6 +621,7 @@ impl MeasurementService {
             optimized,
             per_dataset,
             canonical,
+            generations: generation_by_name.into_iter().collect(),
         })
     }
 
@@ -622,7 +693,7 @@ impl MeasurementService {
         );
         self.audit
             .lock()
-            .expect("audit log poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .push(explain.clone());
 
         Ok(MeasureResponse {
@@ -638,7 +709,7 @@ impl MeasurementService {
     /// A child generator forked off the service noise source (brief lock; evaluation
     /// itself never serializes on the RNG).
     fn child_rng(&self) -> StdRng {
-        let mut noise = self.noise.lock().expect("noise rng poisoned");
+        let mut noise = self.noise.lock().unwrap_or_else(PoisonError::into_inner);
         StdRng::from_rng(&mut *noise)
     }
 
@@ -672,6 +743,7 @@ impl MeasurementService {
             request.analyst.clone(),
             request.epsilon.to_bits(),
             prepared.canonical.clone(),
+            prepared.generations.clone(),
         );
         let (response, hit) = self.cache.get_or_compute(key, || {
             let mut rng = self.child_rng();
@@ -679,7 +751,10 @@ impl MeasurementService {
                 .map(Arc::new)
         })?;
         if hit {
-            self.audit.lock().expect("audit log poisoned").push(format!(
+            self.audit
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(format!(
                 "analyst {} replayed cached measurement {:016x} at epsilon {} (0 epsilon charged)",
                 request.analyst,
                 request.spec.canonical_hash(),

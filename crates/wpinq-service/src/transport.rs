@@ -213,11 +213,28 @@ pub fn serve_tcp(
                 .name(format!("wpinq-svc-worker-{index}"))
                 .spawn(move || loop {
                     // Senders dropped (acceptor exited) ⇒ recv errs ⇒ worker exits.
-                    let stream = match rx.lock().expect("connection queue poisoned").recv() {
+                    let stream = match rx
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .recv()
+                    {
                         Ok(stream) => stream,
                         Err(_) => break,
                     };
-                    handle_connection(&service, stream, &shutdown);
+                    // A panic escaping one connection (a request that trips a bug) must
+                    // not kill the worker — a fixed pool would otherwise drain to zero
+                    // while the acceptor keeps accepting connections nobody serves. The
+                    // service's locks all recover from poisoning, so unwinding past
+                    // them is safe to continue from.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        handle_connection(&service, stream, &shutdown);
+                    }));
+                    if outcome.is_err() {
+                        eprintln!(
+                            "wpinq-svc-worker-{index}: connection handler panicked; \
+                             connection dropped, worker continues"
+                        );
+                    }
                 })
                 .expect("spawn server worker")
         })

@@ -232,6 +232,112 @@ fn racing_identical_requests_charge_exactly_once() {
     server.shutdown();
 }
 
+/// A total cost that overflows f64 (`multiplicity × ε = ∞`) is a clean
+/// `invalid_parameter` rejection — not a panic that would poison the grant's lock,
+/// wedge the cache slot, and kill the serving worker. The server runs a *single*
+/// worker so a dead worker could not hide behind the pool.
+#[test]
+fn overflowing_total_cost_is_rejected_not_a_panic() {
+    let service = Arc::new(MeasurementService::new());
+    service.register("edges", &edge_data()).unwrap();
+    service
+        .grant("alice", "edges", PrivacyBudget::new(1.0))
+        .unwrap();
+    let server = serve_tcp(service.clone(), "127.0.0.1:0", 1).expect("loopback server");
+    let client = Client::new(Tcp::new(server.local_addr().to_string()), "alice");
+
+    // Two distinct chains over the same source: multiplicity 2, so 2 × 1e308 = ∞.
+    let edges = Plan::<(u32, u32)>::source_expr("edges");
+    let twice = edges
+        .select_expr::<u32>(Expr::input().field(0))
+        .union(&edges.select_expr::<u32>(Expr::input().field(1)));
+    let err = client.measure::<u32>(&twice, 1e308).unwrap_err();
+    assert!(
+        matches!(&err, ClientError::Rejected { code, .. } if code == "invalid_parameter"),
+        "overflowing cost must be a clean parameter rejection, got {err}"
+    );
+    assert!(
+        (service.remaining("alice", "edges").unwrap() - 1.0).abs() < 1e-12,
+        "nothing may be charged"
+    );
+
+    // The worker, the grant, and the cache key all survive: the same connection
+    // serves a normal measurement (and its cached repeat) afterwards.
+    let plan = degree_plan("edges");
+    let first = client
+        .measure_with_id::<u64>(&plan, 0.5, None)
+        .expect("service must stay healthy after the rejection");
+    let repeat = client
+        .measure_with_id::<u64>(&plan, 0.5, None)
+        .expect("cache must stay healthy too");
+    assert_eq!(first.raw, repeat.raw);
+    server.shutdown();
+}
+
+/// Re-registering a dataset invalidates its cache entries: the memoized release was
+/// computed over data that no longer exists, so the same request afterwards is a
+/// fresh — and freshly charged — measurement of the new data, and caching then
+/// resumes normally at the new generation.
+#[test]
+fn re_registering_a_dataset_invalidates_its_cache_entries() {
+    let service = Arc::new(MeasurementService::new());
+    service.register("edges", &edge_data()).unwrap();
+    service
+        .grant("alice", "edges", PrivacyBudget::new(5.0))
+        .unwrap();
+    let client = Client::new(InProcess::new(service.clone()), "alice");
+    let plan = degree_plan("edges");
+
+    let first = client.measure_with_id::<u64>(&plan, 0.5, None).unwrap();
+    let replay = client.measure_with_id::<u64>(&plan, 0.5, None).unwrap();
+    assert_eq!(first.raw, replay.raw, "same data: the repeat replays");
+    assert!((service.remaining("alice", "edges").unwrap() - 4.5).abs() < 1e-12);
+
+    let replaced = WeightedDataset::from_records([(0u32, 1u32), (1, 0), (1, 2), (2, 1)]);
+    service.register("edges", &replaced).unwrap();
+
+    let fresh = client.measure_with_id::<u64>(&plan, 0.5, None).unwrap();
+    assert!(
+        (service.remaining("alice", "edges").unwrap() - 4.0).abs() < 1e-12,
+        "a measurement of the replaced data must be charged like any fresh one"
+    );
+    let stats = service.cache_stats();
+    assert_eq!(
+        (stats.misses, stats.hits),
+        (2, 1),
+        "the repeat after re-registration recomputes"
+    );
+    // At the new generation the cache works as usual again.
+    let fresh_replay = client.measure_with_id::<u64>(&plan, 0.5, None).unwrap();
+    assert_eq!(fresh.raw, fresh_replay.raw);
+    assert!((service.remaining("alice", "edges").unwrap() - 4.0).abs() < 1e-12);
+}
+
+/// The cache's capacity bound holds at the service level: with room for one entry, a
+/// second distinct request evicts the first, whose repeat then recomputes (and pays
+/// again — eviction is privacy-neutral, it only forfeits the reuse discount).
+#[test]
+fn cache_capacity_bounds_residency() {
+    let service = Arc::new(MeasurementService::new().with_cache_capacity(1));
+    service.register("edges", &edge_data()).unwrap();
+    service
+        .grant("alice", "edges", PrivacyBudget::new(5.0))
+        .unwrap();
+    let client = Client::new(InProcess::new(service.clone()), "alice");
+    let plan = degree_plan("edges");
+
+    client.measure_with_id::<u64>(&plan, 0.5, None).unwrap();
+    client.measure_with_id::<u64>(&plan, 0.25, None).unwrap(); // distinct key: evicts
+    client.measure_with_id::<u64>(&plan, 0.5, None).unwrap(); // evicted: recomputes
+    let stats = service.cache_stats();
+    assert_eq!((stats.misses, stats.hits), (3, 0));
+    assert!(stats.evictions >= 1);
+    assert!(
+        (service.remaining("alice", "edges").unwrap() - 3.75).abs() < 1e-12,
+        "every recomputation pays"
+    );
+}
+
 /// Distinct cache keys stay distinct: a different analyst, a different ε, or a
 /// different plan each pays its own way (no cross-analyst or cross-ε leakage).
 #[test]

@@ -10,7 +10,7 @@
 //! dataset, so one analyst exhausting their allowance never blocks another.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::error::BudgetError;
 
@@ -91,12 +91,18 @@ impl PrivacyBudget {
 
     /// Phase one of a two-phase debit: atomically checks affordability and holds
     /// `epsilon` (other callers see the budget shrink immediately). Fails holding
-    /// nothing when the remaining budget cannot cover the request.
+    /// nothing when the remaining budget cannot cover the request, **or** when the
+    /// request itself is malformed (negative, NaN, or infinite — e.g. a cost that
+    /// overflowed upstream arithmetic). Malformed requests must be an `Err`, never a
+    /// panic: `reserve` runs under the grant's lock, and a panic there would poison the
+    /// grant for every later caller.
     pub fn reserve(&mut self, epsilon: f64) -> Result<(), BudgetError> {
-        assert!(
-            epsilon.is_finite() && epsilon >= 0.0,
-            "privacy charge must be non-negative and finite, got {epsilon}"
-        );
+        if !(epsilon.is_finite() && epsilon >= 0.0) {
+            return Err(BudgetError {
+                requested: epsilon,
+                remaining: self.remaining(),
+            });
+        }
         if !self.can_afford(epsilon) {
             return Err(BudgetError {
                 requested: epsilon,
@@ -162,35 +168,50 @@ impl BudgetHandle {
 
     /// Budget still available.
     pub fn remaining(&self) -> f64 {
-        self.inner.lock().expect("budget poisoned").remaining()
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remaining()
     }
 
     /// Privacy cost spent so far.
     pub fn spent(&self) -> f64 {
-        self.inner.lock().expect("budget poisoned").spent()
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .spent()
     }
 
     /// The amount currently held by uncommitted reservations.
     pub fn reserved(&self) -> f64 {
-        self.inner.lock().expect("budget poisoned").reserved()
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .reserved()
     }
 
     /// Total budget granted at construction.
     pub fn total(&self) -> f64 {
-        self.inner.lock().expect("budget poisoned").total()
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .total()
     }
 
     /// Returns `true` when a charge of `epsilon` would be admitted.
     pub fn can_afford(&self, epsilon: f64) -> bool {
         self.inner
             .lock()
-            .expect("budget poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .can_afford(epsilon)
     }
 
     /// Debits `epsilon`, failing (and charging nothing) if unaffordable.
     pub fn charge(&self, epsilon: f64) -> Result<(), BudgetError> {
-        self.inner.lock().expect("budget poisoned").charge(epsilon)
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .charge(epsilon)
     }
 
     /// Atomically checks affordability and holds `epsilon`, returning an RAII
@@ -206,7 +227,7 @@ impl BudgetHandle {
     pub fn reserve(&self, epsilon: f64) -> Result<BudgetReservation, BudgetError> {
         self.inner
             .lock()
-            .expect("budget poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .reserve(epsilon)?;
         Ok(BudgetReservation {
             handle: self.clone(),
@@ -252,7 +273,7 @@ impl BudgetReservation {
         self.handle
             .inner
             .lock()
-            .expect("budget poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .commit_reserved(self.amount);
         self.open = false;
     }
@@ -264,7 +285,7 @@ impl Drop for BudgetReservation {
             self.handle
                 .inner
                 .lock()
-                .expect("budget poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .release_reserved(self.amount);
         }
     }
@@ -292,7 +313,7 @@ impl AnalystBudgets {
         let handle = BudgetHandle::new(budget, format!("{analyst}@{dataset}"));
         self.grants
             .lock()
-            .expect("grant table poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert((analyst.to_string(), dataset.to_string()), handle.clone());
         handle
     }
@@ -301,7 +322,7 @@ impl AnalystBudgets {
     pub fn lookup(&self, analyst: &str, dataset: &str) -> Option<BudgetHandle> {
         self.grants
             .lock()
-            .expect("grant table poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(&(analyst.to_string(), dataset.to_string()))
             .cloned()
     }
@@ -362,10 +383,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn negative_charge_is_rejected() {
+    fn malformed_charges_are_errors_not_panics() {
+        // `reserve` runs under the grant's lock in the service; a panic there would
+        // poison the grant forever, so malformed amounts must come back as Err.
         let mut b = PrivacyBudget::new(1.0);
-        let _ = b.charge(-0.1);
+        assert!(b.charge(-0.1).is_err());
+        assert!(b.charge(f64::INFINITY).is_err());
+        assert!(b.charge(f64::NAN).is_err());
+        assert!(crate::weights::approx_eq(b.spent(), 0.0));
+        assert!(crate::weights::approx_eq(b.reserved(), 0.0));
+        // The grant is still fully usable afterwards.
+        assert!(b.charge(1.0).is_ok());
+    }
+
+    #[test]
+    fn handle_survives_non_finite_reserve() {
+        let h = BudgetHandle::new(PrivacyBudget::new(1.0), "edges");
+        assert!(h.reserve(f64::INFINITY).is_err());
+        assert!(h.reserve(f64::NAN).is_err());
+        // No hold was taken and the lock is not poisoned.
+        assert!(crate::weights::approx_eq(h.remaining(), 1.0));
+        h.reserve(0.5).unwrap().commit();
+        assert!(crate::weights::approx_eq(h.spent(), 0.5));
     }
 
     #[test]
