@@ -19,10 +19,11 @@
 //! Flags: `--scale full` for the full-size stand-ins, `--steps N` (default 2000 quick /
 //! 10000 full), `--seed N`, `--out PATH`.
 //!
-//! Each row also snapshots the engine's instrumentation counters — OS threads spawned
-//! (`wpinq::shard::threads_spawned`), worker-pool dispatches
-//! (`wpinq::shard::pool_dispatches`), and consolidating exchanges
-//! (`wpinq_dataflow::exchange_count`) — as deltas over the phase. The sharded engine's
+//! Each row also snapshots the engine's instrumentation counters from the
+//! `wpinq-telemetry` registry — OS threads spawned
+//! ([`wpinq::shard::THREADS_SPAWNED_METRIC`]), worker-pool dispatches
+//! ([`wpinq::shard::POOL_DISPATCHES_METRIC`]), and consolidating exchanges
+//! ([`wpinq_dataflow::EXCHANGES_METRIC`]) — as deltas over the phase. The sharded engine's
 //! persistent worker pool is spawned once at load; the walk itself must spawn **zero**
 //! threads (asserted below), which is the whole point of the pool.
 //!
@@ -53,17 +54,19 @@ struct Row {
     steps_per_sec: f64,
     accepted: u64,
     final_energy: f64,
-    /// OS threads spawned during this phase (delta of [`wpinq::shard::threads_spawned`]).
+    /// OS threads spawned during this phase (delta of
+    /// [`wpinq::shard::THREADS_SPAWNED_METRIC`]).
     spawns: u64,
     /// Worker-pool dispatches during this phase (delta of
-    /// [`wpinq::shard::pool_dispatches`]).
+    /// [`wpinq::shard::POOL_DISPATCHES_METRIC`]).
     dispatches: u64,
     /// Consolidating exchanges during this phase (delta of
-    /// [`wpinq_dataflow::exchange_count`]).
+    /// [`wpinq_dataflow::EXCHANGES_METRIC`]).
     exchanges: u64,
 }
 
-/// Snapshot of the engine instrumentation counters, for per-phase deltas.
+/// Snapshot of the engine instrumentation counters (read off the `wpinq-telemetry`
+/// registry), for per-phase deltas.
 struct Counters {
     spawns: u64,
     dispatches: u64,
@@ -72,10 +75,11 @@ struct Counters {
 
 impl Counters {
     fn now() -> Counters {
+        let registry = wpinq_telemetry::registry();
         Counters {
-            spawns: wpinq::shard::threads_spawned(),
-            dispatches: wpinq::shard::pool_dispatches(),
-            exchanges: wpinq_dataflow::exchange_count(),
+            spawns: registry.counter_value(wpinq::shard::THREADS_SPAWNED_METRIC),
+            dispatches: registry.counter_value(wpinq::shard::POOL_DISPATCHES_METRIC),
+            exchanges: registry.counter_value(wpinq_dataflow::EXCHANGES_METRIC),
         }
     }
 

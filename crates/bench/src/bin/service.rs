@@ -3,17 +3,23 @@
 //! Times the whole serving path of the concurrent measurement server — envelope parse,
 //! session budget debit, plan optimisation, batch evaluation, noise, and encode — at
 //! 1/2/4/8 concurrent analyst threads, over the in-process transport and real TCP
-//! loopback connections, cold (every request is a fresh ε-charged measurement) and
-//! cached (identical repeats answered from the cross-request measurement cache with
-//! zero extra ε). Along the way it asserts the service invariants the numbers depend
-//! on: cached repeats come back byte-identical and the cold path charges exactly the
-//! ε it was asked for.
+//! loopback connections, cold (every request is a fresh ε-charged measurement), traced
+//! (the cold workload with `"trace": true` on every request, so each response carries
+//! its per-request telemetry trace), and cached (identical repeats answered from the
+//! cross-request measurement cache with zero extra ε). Along the way it asserts the
+//! service invariants the numbers depend on: cached repeats come back byte-identical,
+//! the cold path charges exactly the ε it was asked for, and traced responses carry
+//! the trace.
 //!
 //! Results are printed as a table and written to `BENCH_service.json` as
-//! machine-readable rows keyed `(workload, executor, shards)` — `svc-cold`/`svc-cached`
-//! × `inproc`/`tcp` × analyst count — which `bench --bin gate` compares against the
-//! committed baseline. `wall_ms` is the gated figure; `req_per_s` rides along for the
-//! human reader.
+//! machine-readable rows keyed `(workload, executor, shards)` —
+//! `svc-cold`/`svc-traced`/`svc-cached` × `inproc`/`tcp` × analyst count — which
+//! `bench --bin gate` compares against the committed baseline. `wall_ms` is the gated
+//! figure; `req_per_s` rides along for the human reader. The `svc-cold` rows *are* the
+//! tracing-off leg: telemetry must be free when disabled, so the gate bounds any
+//! tracing-off overhead regression exactly like any other slowdown, while the
+//! `svc-traced` rows price the tracing-on path next to it (their traced/cold overhead
+//! ratio is printed per cell).
 //!
 //! Flags: `--scale full` for more requests per cell, `--seed N` for the noise seed,
 //! `--out PATH` to write the JSON somewhere other than the committed baseline (CI
@@ -79,11 +85,14 @@ fn build_service(
 /// Cold mode gives every request its own ε (a distinct cache key, so each one is a
 /// genuine fresh evaluation and debit); cached mode primes one entry per analyst first,
 /// then times identical repeats, asserting every repeat is byte-identical to the prime.
+/// Traced mode is cold mode with `"trace": true` stamped on every request (the
+/// tracing-on leg), asserting each response actually carries its trace.
 fn run_cell<T, F>(
     service: &Arc<MeasurementService>,
     analysts: usize,
     requests: usize,
     cached: bool,
+    traced: bool,
     make_transport: F,
 ) -> f64
 where
@@ -115,7 +124,8 @@ where
                 let primes = &primes;
                 let make_transport = &make_transport;
                 scope.spawn(move || {
-                    let client = Client::new(make_transport(), format!("analyst-{a}"));
+                    let client =
+                        Client::new(make_transport(), format!("analyst-{a}")).with_tracing(traced);
                     for k in 0..requests {
                         if cached {
                             let release = client
@@ -130,9 +140,15 @@ where
                             // A distinct ε per request ⇒ a distinct cache key ⇒ a
                             // genuine cold evaluation and debit every time.
                             let epsilon = 0.5 + (k as f64 + 1.0) * 1e-6;
-                            client
+                            let release = client
                                 .measure_with_id::<u64>(plan, epsilon, None)
                                 .expect("cold measurement");
+                            if traced && k == 0 {
+                                assert!(
+                                    release.raw.contains("\"trace\":"),
+                                    "traced response must carry the trace"
+                                );
+                            }
                         }
                     }
                 })
@@ -220,8 +236,9 @@ fn main() {
         "req/s".to_string(),
     ]);
 
-    for workload in ["svc-cold", "svc-cached"] {
+    for workload in ["svc-cold", "svc-traced", "svc-cached"] {
         let cached = workload == "svc-cached";
+        let traced = workload == "svc-traced";
         for transport in ["inproc", "tcp"] {
             for &analysts in &analyst_counts {
                 // A fresh service per cell: cache state and budgets never leak between
@@ -229,14 +246,14 @@ fn main() {
                 let service = build_service(analysts, args.seed, &edges);
                 let wall_ms = if transport == "inproc" {
                     let svc = service.clone();
-                    run_cell(&service, analysts, requests, cached, move || {
+                    run_cell(&service, analysts, requests, cached, traced, move || {
                         InProcess::new(svc.clone())
                     })
                 } else {
                     let server = serve_tcp(service.clone(), "127.0.0.1:0", analysts.max(2))
                         .expect("loopback server");
                     let addr = server.local_addr().to_string();
-                    let wall = run_cell(&service, analysts, requests, cached, move || {
+                    let wall = run_cell(&service, analysts, requests, cached, traced, move || {
                         Tcp::new(addr.clone())
                     });
                     server.shutdown();
@@ -263,6 +280,28 @@ fn main() {
         }
     }
     table.print();
+
+    // The traced/cold ratio per cell, for the human reader: what attaching the
+    // per-request trace costs on top of the identical cold workload. (The gate bounds
+    // both legs against the committed baseline; this is just the side-by-side view.)
+    println!("\ntracing-on overhead (svc-traced / svc-cold wall time):");
+    for transport in ["inproc", "tcp"] {
+        for &analysts in &analyst_counts {
+            let wall = |workload: &str| {
+                rows.iter()
+                    .find(|r| {
+                        r.workload == workload && r.transport == transport && r.analysts == analysts
+                    })
+                    .map(|r| r.wall_ms)
+            };
+            if let (Some(cold), Some(traced)) = (wall("svc-cold"), wall("svc-traced")) {
+                println!(
+                    "  {transport:<8} {analysts} analysts: {:.3}x",
+                    traced / cold
+                );
+            }
+        }
+    }
 
     let out = args.out.as_deref().unwrap_or("BENCH_service.json");
     match write_json(out, mode, &rows) {

@@ -37,8 +37,9 @@
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, OnceLock};
+
+use wpinq_telemetry::{registry, Counter};
 
 use rustc_hash::FxHasher;
 
@@ -137,24 +138,37 @@ impl<T: Record> ShardedDataset<T> {
 // Worker scaffolding
 // ---------------------------------------------------------------------------------------
 
-/// OS threads spawned by this module, cumulative over the process (scoped workers and
-/// pool construction both count; pool *dispatches* do not).
-static THREADS_SPAWNED: AtomicU64 = AtomicU64::new(0);
+/// Registry name of the counter of OS threads spawned by this module, cumulative over
+/// the process (scoped workers and pool construction both count; pool *dispatches* do
+/// not). The MCMC bench snapshots this series to prove the pooled engine spawns zero
+/// threads per step in steady state: read it with
+/// `wpinq_telemetry::registry().counter_value(THREADS_SPAWNED_METRIC)`.
+pub const THREADS_SPAWNED_METRIC: &str = "wpinq_threads_spawned_total";
 
-/// Multi-shard batches dispatched onto a [`WorkerPool`] (single-shard batches run inline
-/// and are not counted), cumulative over the process.
-static POOL_DISPATCHES: AtomicU64 = AtomicU64::new(0);
+/// Registry name of the counter of multi-shard batches dispatched onto [`WorkerPool`]s
+/// (single-shard batches run inline and are not counted), cumulative over the process.
+pub const POOL_DISPATCHES_METRIC: &str = "wpinq_pool_dispatches_total";
 
-/// Cumulative count of OS threads spawned by shard workers (scoped per-call spawns plus
-/// pool construction). The MCMC bench snapshots this to prove the pooled engine spawns
-/// zero threads per step in steady state.
-pub fn threads_spawned() -> u64 {
-    THREADS_SPAWNED.load(Ordering::Relaxed)
+fn threads_spawned_counter() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            THREADS_SPAWNED_METRIC,
+            &[],
+            "OS threads spawned by shard workers (scoped per-call spawns plus pool construction)",
+        )
+    })
 }
 
-/// Cumulative count of multi-shard batches dispatched onto [`WorkerPool`]s.
-pub fn pool_dispatches() -> u64 {
-    POOL_DISPATCHES.load(Ordering::Relaxed)
+fn pool_dispatches_counter() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            POOL_DISPATCHES_METRIC,
+            &[],
+            "Multi-shard batches dispatched onto worker pools",
+        )
+    })
 }
 
 /// Runs `f(shard_index, input)` for every input on scoped worker threads, returning the
@@ -171,7 +185,7 @@ pub fn map_shards<I: Send, R: Send>(inputs: Vec<I>, f: impl Fn(usize, I) -> R + 
         let input = inputs.into_iter().next().expect("one input");
         return vec![f(0, input)];
     }
-    THREADS_SPAWNED.fetch_add(inputs.len() as u64, Ordering::Relaxed);
+    threads_spawned_counter().add(inputs.len() as u64);
     std::thread::scope(|scope| {
         let f = &f;
         let handles: Vec<_> = inputs
@@ -220,7 +234,7 @@ impl WorkerPool {
         let mut handles = Vec::with_capacity(workers);
         for index in 0..workers {
             let (sender, receiver) = mpsc::channel::<Job>();
-            THREADS_SPAWNED.fetch_add(1, Ordering::Relaxed);
+            threads_spawned_counter().inc();
             let handle = std::thread::Builder::new()
                 .name(format!("wpinq-shard-{index}"))
                 .spawn(move || {
@@ -275,7 +289,7 @@ impl WorkerPool {
             let input = inputs.into_iter().next().expect("one input");
             return vec![f(0, input)];
         }
-        POOL_DISPATCHES.fetch_add(1, Ordering::Relaxed);
+        pool_dispatches_counter().inc();
         let f = &f;
         let workers = self.senders.len();
         let mut replies = Vec::with_capacity(inputs.len());
@@ -885,12 +899,12 @@ mod tests {
 
     #[test]
     fn pool_construction_counts_spawns_and_dispatches() {
-        let spawned_before = threads_spawned();
+        let spawned_before = registry().counter_value(THREADS_SPAWNED_METRIC);
         let pool = WorkerPool::new(3);
-        assert!(threads_spawned() >= spawned_before + 3);
-        let dispatches_before = pool_dispatches();
+        assert!(registry().counter_value(THREADS_SPAWNED_METRIC) >= spawned_before + 3);
+        let dispatches_before = registry().counter_value(POOL_DISPATCHES_METRIC);
         let _ = pool.map(vec![1, 2, 3], |_, x| x);
-        assert!(pool_dispatches() > dispatches_before);
+        assert!(registry().counter_value(POOL_DISPATCHES_METRIC) > dispatches_before);
         // Single-input batches run inline: no dispatch is recorded by *this* call
         // (other tests may dispatch concurrently, so only the monotone bound is exact).
         let _ = pool.map(vec![7], |_, x| x);
@@ -957,7 +971,7 @@ mod tests {
                 &|_: &(u32, u32)| true,
                 ShardRunner::Pooled(&pool),
             );
-            pool_dispatches()
+            registry().counter_value(POOL_DISPATCHES_METRIC)
         };
         let _ = select(
             &ShardedDataset::partition(&data, 8),
@@ -965,7 +979,7 @@ mod tests {
             ShardRunner::Pooled(&pool),
         );
         assert!(
-            pool_dispatches() > spawned_after_warmup,
+            registry().counter_value(POOL_DISPATCHES_METRIC) > spawned_after_warmup,
             "select dispatched on the pool"
         );
     }

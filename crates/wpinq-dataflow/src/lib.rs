@@ -52,7 +52,7 @@ pub mod stream;
 pub use delta::{consolidate, diff_datasets, Delta};
 pub use scorer::L1Scorer;
 pub use sharded::{
-    exchange_count, ShardedDeltas, ShardedInput, ShardedStream, DEFAULT_INLINE_CUTOVER,
+    ShardedDeltas, ShardedInput, ShardedStream, DEFAULT_INLINE_CUTOVER, EXCHANGES_METRIC,
     INLINE_CUTOVER_ENV,
 };
 pub use stream::{CollectedOutput, DataflowInput, ScorerHandle, Stream};

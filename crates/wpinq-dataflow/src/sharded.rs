@@ -47,11 +47,11 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use wpinq_core::shard::{shard_of, WorkerPool};
 use wpinq_core::{Record, WeightedDataset};
+use wpinq_telemetry::{registry, Counter};
 
 use crate::delta::{consolidate, Delta};
 use crate::operators::{
@@ -78,14 +78,22 @@ pub const DEFAULT_INLINE_CUTOVER: usize = 256;
 /// unparsable leaves the per-operator values in force.
 pub const INLINE_CUTOVER_ENV: &str = "WPINQ_INLINE_CUTOVER";
 
-/// Delta exchanges executed by sharded graphs, cumulative over the process (one count per
-/// consolidating record-hash exchange). The MCMC bench snapshots this alongside the
-/// thread-spawn counter to characterise steady-state propagation.
-static EXCHANGES: AtomicU64 = AtomicU64::new(0);
+/// Registry name of the counter of delta exchanges executed by sharded graphs,
+/// cumulative over the process (one count per consolidating record-hash exchange). The
+/// MCMC bench snapshots this series alongside the thread-spawn counter to characterise
+/// steady-state propagation: read it with
+/// `wpinq_telemetry::registry().counter_value(EXCHANGES_METRIC)`.
+pub const EXCHANGES_METRIC: &str = "wpinq_exchanges_total";
 
-/// Cumulative count of consolidating exchanges executed by sharded dataflow graphs.
-pub fn exchange_count() -> u64 {
-    EXCHANGES.load(Ordering::Relaxed)
+fn exchanges_counter() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            EXCHANGES_METRIC,
+            &[],
+            "Consolidating delta exchanges executed by sharded dataflow graphs",
+        )
+    })
 }
 
 fn cutover_override() -> Option<usize> {
@@ -169,7 +177,7 @@ fn exchange<T: Record>(
     pool: &WorkerPool,
     cutover: usize,
 ) -> ShardedDeltas<T> {
-    EXCHANGES.fetch_add(1, Ordering::Relaxed);
+    exchanges_counter().inc();
     let by_dest = combine(routed, n);
     let work = batch_work(&by_dest);
     run_buckets(pool, cutover, by_dest, work, |_, contributions| {
@@ -928,12 +936,12 @@ mod tests {
         // The original handle (same node) is untouched.
         assert_eq!(stream.cutover(), DEFAULT_INLINE_CUTOVER);
 
-        let before = exchange_count();
+        let before = registry().counter_value(EXCHANGES_METRIC);
         let (input, stream) = ShardedInput::<u32>::new(2);
         let _out = stream.select(|x| x + 1).collect();
         input.push(&[(1, 1.0), (2, 1.0)]);
         assert!(
-            exchange_count() > before,
+            registry().counter_value(EXCHANGES_METRIC) > before,
             "a select push must execute at least one consolidating exchange"
         );
     }

@@ -29,4 +29,7 @@ pub mod synthesis;
 
 pub use graph_candidate::GraphCandidate;
 pub use metropolis::{CandidateState, McmcStats, MetropolisHastings, StepOutcome};
-pub use synthesis::{SynthesisConfig, SynthesisResult, TrajectoryPoint, TriangleQuery};
+pub use synthesis::{
+    SynthesisConfig, SynthesisResult, TrajectoryPoint, TriangleQuery, MCMC_ACCEPTANCE_RATIO_METRIC,
+    MCMC_ACCEPTED_METRIC, MCMC_ENERGY_METRIC, MCMC_STEPS_METRIC, MCMC_STEPS_PER_SECOND_METRIC,
+};

@@ -220,6 +220,78 @@ pub fn synthesize<R: Rng + ?Sized>(
     Ok(result)
 }
 
+/// Registry name of the cumulative MCMC step counter.
+pub const MCMC_STEPS_METRIC: &str = "wpinq_mcmc_steps_total";
+/// Registry name of the cumulative accepted-swap counter.
+pub const MCMC_ACCEPTED_METRIC: &str = "wpinq_mcmc_accepted_total";
+/// Registry name of the scorer-distance (energy) gauge of the current walk.
+pub const MCMC_ENERGY_METRIC: &str = "wpinq_mcmc_energy";
+/// Registry name of the steps-per-second gauge of the current walk.
+pub const MCMC_STEPS_PER_SECOND_METRIC: &str = "wpinq_mcmc_steps_per_second";
+/// Registry name of the acceptance-ratio gauge of the current walk.
+pub const MCMC_ACCEPTANCE_RATIO_METRIC: &str = "wpinq_mcmc_acceptance_ratio";
+
+/// Publishes one MCMC progress report onto the telemetry registry. Called at the
+/// trajectory record points and once at run end — never per step, so the walk's hot
+/// loop carries zero telemetry cost. Counters take the *delta* since the previous
+/// report (they are process-global and outlive any one run); gauges describe the
+/// current walk. Metric handles are cached after first use.
+fn report_progress(
+    new_steps: u64,
+    new_accepted: u64,
+    step: u64,
+    accepted: u64,
+    energy: f64,
+    elapsed_secs: f64,
+) {
+    use std::sync::OnceLock;
+    use wpinq_telemetry::{registry, Counter, Gauge};
+    struct Handles {
+        steps: std::sync::Arc<Counter>,
+        accepted: std::sync::Arc<Counter>,
+        energy: std::sync::Arc<Gauge>,
+        steps_per_second: std::sync::Arc<Gauge>,
+        acceptance_ratio: std::sync::Arc<Gauge>,
+    }
+    static HANDLES: OnceLock<Handles> = OnceLock::new();
+    let handles = HANDLES.get_or_init(|| Handles {
+        steps: registry().counter(
+            MCMC_STEPS_METRIC,
+            &[],
+            "Metropolis-Hastings steps taken across all synthesis runs.",
+        ),
+        accepted: registry().counter(
+            MCMC_ACCEPTED_METRIC,
+            &[],
+            "Accepted swaps across all synthesis runs.",
+        ),
+        energy: registry().gauge(
+            MCMC_ENERGY_METRIC,
+            &[],
+            "Scorer distance (L1 energy) of the current candidate graph.",
+        ),
+        steps_per_second: registry().gauge(
+            MCMC_STEPS_PER_SECOND_METRIC,
+            &[],
+            "Throughput of the current MCMC walk.",
+        ),
+        acceptance_ratio: registry().gauge(
+            MCMC_ACCEPTANCE_RATIO_METRIC,
+            &[],
+            "Accepted fraction of proposals in the current MCMC walk so far.",
+        ),
+    });
+    handles.steps.add(new_steps);
+    handles.accepted.add(new_accepted);
+    handles.energy.set(energy);
+    if elapsed_secs > 0.0 {
+        handles.steps_per_second.set(step as f64 / elapsed_secs);
+    }
+    if step > 0 {
+        handles.acceptance_ratio.set(accepted as f64 / step as f64);
+    }
+}
+
 /// Runs the MCMC phase over an already-constructed candidate (used by [`synthesize`] and by
 /// benches that want to time the walk in isolation).
 pub fn run_mcmc<R: Rng + ?Sized>(
@@ -240,6 +312,7 @@ pub fn run_mcmc<R: Rng + ?Sized>(
 
     let mut accepted = 0u64;
     let mut rejected = 0u64;
+    let mut reported = (0u64, 0u64);
     let started = Instant::now();
     for step in 1..=config.mcmc_steps {
         match driver.step(&mut candidate, rng) {
@@ -253,9 +326,28 @@ pub fn run_mcmc<R: Rng + ?Sized>(
                 assortativity: stats::assortativity(candidate.graph()),
                 energy: candidate.energy(),
             });
+            // Telemetry rides the existing record cadence (the hot step loop itself
+            // stays untouched): progress counters plus walk-health gauges.
+            report_progress(
+                step - reported.0,
+                accepted - reported.1,
+                step,
+                accepted,
+                candidate.energy(),
+                started.elapsed().as_secs_f64(),
+            );
+            reported = (step, accepted);
         }
     }
     let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    report_progress(
+        config.mcmc_steps - reported.0,
+        accepted - reported.1,
+        config.mcmc_steps,
+        accepted,
+        candidate.energy(),
+        elapsed,
+    );
 
     let final_summary = stats::summary(candidate.graph());
     trajectory.push(TrajectoryPoint {

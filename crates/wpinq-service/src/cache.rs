@@ -30,7 +30,50 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+use wpinq_telemetry::{registry, Counter};
+
+/// Registry name of the process-wide cache-hit counter (per-instance counts stay on
+/// [`MeasurementCache::stats`]; these aggregate across every cache in the process).
+pub const CACHE_HITS_METRIC: &str = "wpinq_cache_hits_total";
+/// Registry name of the process-wide cache-miss counter.
+pub const CACHE_MISSES_METRIC: &str = "wpinq_cache_misses_total";
+/// Registry name of the process-wide cache-eviction counter.
+pub const CACHE_EVICTIONS_METRIC: &str = "wpinq_cache_evictions_total";
+
+fn hits_counter() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            CACHE_HITS_METRIC,
+            &[],
+            "Measurement-cache lookups answered from a memoized value (zero epsilon charged).",
+        )
+    })
+}
+
+fn misses_counter() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            CACHE_MISSES_METRIC,
+            &[],
+            "Measurement-cache lookups that computed (and paid for) a fresh value.",
+        )
+    })
+}
+
+fn evictions_counter() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            CACHE_EVICTIONS_METRIC,
+            &[],
+            "Measurement-cache entries evicted to stay within the capacity bound.",
+        )
+    })
+}
 
 /// Counters of a [`MeasurementCache`], read via [`MeasurementCache::stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -146,12 +189,14 @@ impl<K: Eq + Hash + Clone, V: Clone> MeasurementCache<K, V> {
         let mut cell = slot.cell.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(value) = cell.as_ref() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            hits_counter().inc();
             return Ok((value.clone(), true));
         }
         match compute() {
             Ok(value) => {
                 *cell = Some(value.clone());
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                misses_counter().inc();
                 Ok((value, false))
             }
             Err(error) => {
@@ -190,6 +235,7 @@ impl<K: Eq + Hash + Clone, V: Clone> MeasurementCache<K, V> {
         if let Some(key) = victim {
             table.entries.remove(&key);
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            evictions_counter().inc();
         }
     }
 

@@ -187,6 +187,7 @@ pub(crate) fn decode_response<T: ExprRecord>(
 pub struct Client<T: Transport> {
     transport: T,
     analyst: String,
+    trace: bool,
     next_id: AtomicU64,
 }
 
@@ -196,8 +197,18 @@ impl<T: Transport> Client<T> {
         Client {
             transport,
             analyst: analyst.into(),
+            trace: false,
             next_id: AtomicU64::new(1),
         }
+    }
+
+    /// Stamps every subsequent request with `"trace": true`, so the server attaches its
+    /// per-request trace to each response (readable off [`TypedRelease::raw`]). The flag
+    /// never perturbs the release: traced and untraced requests share one cache key and
+    /// release byte-identical payloads.
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
     }
 
     /// The underlying transport.
@@ -245,6 +256,7 @@ impl<T: Transport> Client<T> {
             epsilon,
             spec,
             id,
+            trace: self.trace,
         };
         let raw = self.transport.roundtrip(&request.to_json_string())?;
         decode_response(raw, epsilon)
@@ -301,6 +313,7 @@ impl<'a> ServiceClient<'a> {
             epsilon,
             spec,
             id: None,
+            trace: false,
         };
         let raw = self.service.handle_json(&request.to_json_string(), rng);
         decode_response(raw, epsilon)

@@ -15,6 +15,14 @@
 //! * `wpinq-service --tcp-demo` — starts a loopback server on an OS-chosen port, runs
 //!   the demo workload through a real TCP client twice, and asserts the repeat came
 //!   back byte-identical with zero extra ε charged. The CI TCP smoke step.
+//! * `wpinq-service --metrics-demo` — starts a loopback server *and* the Prometheus
+//!   metrics endpoint, drives a traced measurement and an `{"op":"stats"}` request
+//!   through TCP, scrapes the endpoint, and asserts the core metric families are
+//!   present. The CI observability smoke step.
+//!
+//! `--listen` additionally accepts `--metrics-addr <addr>` to serve the Prometheus
+//! text exposition endpoint on a second listener (e.g. `--metrics-addr
+//! 127.0.0.1:9090`).
 //!
 //! Datasets and grants come from `--demo`-style built-ins; a production deployment
 //! would load them from its own storage. The serving modes seed the noise RNG from
@@ -78,6 +86,7 @@ fn run_demo() {
         epsilon: 0.5,
         spec,
         id: Some("demo-1".into()),
+        trace: false,
     };
     let request_json = request.to_json_string();
     println!("--- request ---");
@@ -145,10 +154,10 @@ fn run_serve() {
     }
 }
 
-fn run_listen(addr: &str) {
+fn run_listen(addr: &str, metrics_addr: Option<&str>) {
     let service = Arc::new(build_service(Some(entropy_seed())));
     let workers = wpinq::plan::available_threads().max(2);
-    let handle = match wpinq_service::serve_tcp(service, addr, workers) {
+    let handle = match wpinq_service::serve_tcp(service.clone(), addr, workers) {
         Ok(handle) => handle,
         Err(e) => {
             eprintln!("cannot listen on {addr}: {e}");
@@ -156,10 +165,125 @@ fn run_listen(addr: &str) {
         }
     };
     println!("listening on {} ({workers} workers)", handle.local_addr());
+    let _metrics_handle = metrics_addr.map(|metrics_addr| {
+        match wpinq_service::serve_metrics(service, metrics_addr) {
+            Ok(handle) => {
+                println!("metrics on http://{}/metrics", handle.local_addr());
+                handle
+            }
+            Err(e) => {
+                eprintln!("cannot serve metrics on {metrics_addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
     // Serve until the process is killed.
     loop {
         std::thread::park();
     }
+}
+
+/// Scrapes `addr` once over plain HTTP and returns the exposition body.
+fn scrape_metrics(addr: std::net::SocketAddr) -> String {
+    use std::io::Read;
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to metrics endpoint");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")
+        .expect("send scrape");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read scrape response");
+    assert!(
+        response.starts_with("HTTP/1.1 200 OK"),
+        "metrics endpoint must answer 200, got: {}",
+        response.lines().next().unwrap_or("")
+    );
+    let body_start = response
+        .find("\r\n\r\n")
+        .expect("scrape response has a header/body split");
+    response[body_start + 4..].to_string()
+}
+
+fn run_metrics_demo() {
+    let service = Arc::new(build_service(Some(entropy_seed())));
+    let handle =
+        wpinq_service::serve_tcp(service.clone(), "127.0.0.1:0", 4).expect("loopback server");
+    let metrics = wpinq_service::serve_metrics(service.clone(), "127.0.0.1:0")
+        .expect("loopback metrics endpoint");
+    println!(
+        "metrics-demo server on {}, metrics on {}",
+        handle.local_addr(),
+        metrics.local_addr()
+    );
+
+    // One traced measurement through real TCP: the trace must ride the response.
+    let plan = degree_ccdf_plan();
+    let mut request = wpinq_service::MeasureRequest {
+        analyst: "demo".into(),
+        epsilon: 0.5,
+        spec: plan.to_spec().expect("expression-built plan serializes"),
+        id: Some("metrics-smoke".into()),
+        trace: true,
+    };
+    use wpinq_service::Transport;
+    let tcp = Tcp::new(handle.local_addr().to_string());
+    let traced = tcp
+        .roundtrip(&request.to_json_string())
+        .expect("traced measurement");
+    assert!(
+        traced.contains("\"ok\":true"),
+        "measurement failed: {traced}"
+    );
+    assert!(
+        traced.contains("\"trace\":") && traced.contains("\"spans\":"),
+        "trace:true response must carry the trace"
+    );
+    assert!(
+        traced.contains("\"analyze\""),
+        "the trace must embed the EXPLAIN ANALYZE report"
+    );
+    // The identical request without the flag must release the very same bytes (the
+    // flag is not part of the cache key, so this replays the cached measurement).
+    request.trace = false;
+    let untraced = tcp
+        .roundtrip(&request.to_json_string())
+        .expect("untraced repeat");
+    assert!(
+        !untraced.contains("\"trace\":"),
+        "untraced response stays clean"
+    );
+
+    // The stats sideband op answers with the registry as JSON.
+    let stats = tcp.roundtrip("{\"op\":\"stats\"}").expect("stats op");
+    assert!(
+        stats.contains("\"ok\":true") && stats.contains("\"stats\":"),
+        "stats op must answer with the registry: {stats}"
+    );
+    assert!(
+        stats.contains("wpinq_requests_total"),
+        "stats carries request counts"
+    );
+
+    // The Prometheus endpoint exposes every core family.
+    let body = scrape_metrics(metrics.local_addr());
+    for family in [
+        "# TYPE wpinq_requests_total counter",
+        "# TYPE wpinq_request_latency_ms histogram",
+        "wpinq_request_latency_ms_bucket{le=\"+Inf\"}",
+        "wpinq_cache_hits_total",
+        "wpinq_cache_misses_total",
+        "wpinq_budget_epsilon_spent",
+        "wpinq_budget_epsilon_remaining",
+    ] {
+        assert!(
+            body.contains(family),
+            "scrape is missing '{family}':\n{body}"
+        );
+    }
+    println!("ok: traced response, stats op, and Prometheus scrape all check out");
+    metrics.shutdown();
+    handle.shutdown();
 }
 
 fn run_tcp_demo() {
@@ -204,17 +328,25 @@ fn main() {
         None | Some("--demo") => run_demo(),
         Some("--serve") => run_serve(),
         Some("--listen") => match args.get(1) {
-            Some(addr) => run_listen(addr),
+            Some(addr) => {
+                let metrics_addr = args
+                    .iter()
+                    .position(|a| a == "--metrics-addr")
+                    .and_then(|i| args.get(i + 1))
+                    .map(String::as_str);
+                run_listen(addr, metrics_addr)
+            }
             None => {
                 eprintln!("--listen needs an address, e.g. --listen 127.0.0.1:7878");
                 std::process::exit(2);
             }
         },
         Some("--tcp-demo") => run_tcp_demo(),
+        Some("--metrics-demo") => run_metrics_demo(),
         Some(other) => {
             eprintln!(
-                "unknown mode '{other}'; use --demo (default), --serve, --listen <addr>, \
-                 or --tcp-demo"
+                "unknown mode '{other}'; use --demo (default), --serve, --listen <addr> \
+                 [--metrics-addr <addr>], --tcp-demo, or --metrics-demo"
             );
             std::process::exit(2);
         }

@@ -42,10 +42,11 @@
 //! byte-identically, without re-touching data and *without a second ε charge*. This is
 //! the paper's protection-once/reuse-forever guarantee lifted to the service boundary —
 //! a noisy release is post-processable, so replaying its bytes is free. The replay is
-//! recorded in the audit log; the response's `remaining` field reflects budgets *at
-//! first computation* (the release is a sealed artifact — re-quoting live budgets would
-//! make it non-identical). [`measure`](MeasurementService::measure), the caller-supplied
-//! RNG path used by deterministic replay tests, bypasses the cache.
+//! recorded in the audit log. The *release bytes* are a sealed artifact, but the
+//! `remaining` field of the JSON envelope is re-read from the live grants at assembly
+//! time ([`MeasurementService::live_remaining`]) — a replay must not quote budgets the
+//! analyst has since spent down. [`measure`](MeasurementService::measure), the
+//! caller-supplied RNG path used by deterministic replay tests, bypasses the cache.
 //!
 //! The cache is **bounded** ([`DEFAULT_CACHE_CAPACITY`] entries, LRU-evicted;
 //! [`with_cache_capacity`](MeasurementService::with_cache_capacity)) — keys can be
@@ -57,8 +58,9 @@
 //! and optimize levels, and identical to a local typed release of the same plan (see the
 //! crate docs for why).
 
-use std::collections::{BTreeMap, HashMap};
-use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -68,9 +70,65 @@ use wpinq::plan::{default_executor, plan_from_spec, DynPlan, Executor, OptimizeL
 use wpinq::value::{Value, ValueType};
 use wpinq::{BudgetError, NoisyCounts, PrivacyBudget, WeightedDataset};
 use wpinq_expr::{value_type_from_json, value_type_to_json, Json, PlanSpec, WireError};
+use wpinq_telemetry::{
+    emit_to_sink, registry, trace_sink_enabled, Counter, FieldValue, Histogram, Trace, Tracer,
+    LATENCY_BUCKETS_MS,
+};
 
 use crate::cache::{CacheStats, MeasurementCache};
 use crate::release::release_records_json;
+
+/// Registry name of the per-outcome request counter (label `outcome` ∈ `ok`/`error`).
+pub const REQUESTS_METRIC: &str = "wpinq_requests_total";
+/// Registry name of the front-door latency histogram (milliseconds per `handle_line`).
+pub const REQUEST_LATENCY_METRIC: &str = "wpinq_request_latency_ms";
+/// Registry name of the counter of audit entries dropped by the bounded audit ring.
+pub const AUDIT_DROPPED_METRIC: &str = "wpinq_audit_dropped_total";
+
+fn requests_ok_counter() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            REQUESTS_METRIC,
+            &[("outcome", "ok")],
+            "Front-door requests by outcome.",
+        )
+    })
+}
+
+fn requests_error_counter() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            REQUESTS_METRIC,
+            &[("outcome", "error")],
+            "Front-door requests by outcome.",
+        )
+    })
+}
+
+fn request_latency_histogram() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        registry().histogram(
+            REQUEST_LATENCY_METRIC,
+            &[],
+            "Wall time of one front-door request (parse through response encoding).",
+            &LATENCY_BUCKETS_MS,
+        )
+    })
+}
+
+fn audit_dropped_counter() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            AUDIT_DROPPED_METRIC,
+            &[],
+            "Oldest audit-log entries dropped to stay within the audit ring capacity.",
+        )
+    })
+}
 
 /// Version stamp of the request/response JSON envelope. Version 2 adds the optional
 /// client-supplied `id` (echoed in every response — required for pipelined transports)
@@ -92,6 +150,12 @@ pub struct MeasureRequest {
     /// Optional client-chosen correlation id, echoed verbatim in the response envelope
     /// so pipelined clients can match responses to requests. Never interpreted.
     pub id: Option<String>,
+    /// When `true`, the service records a structured trace of this request's pipeline
+    /// (spans for validate/bind/optimize/reserve/execute/commit plus the per-operator
+    /// EXPLAIN ANALYZE report) and attaches it to the response envelope as `"trace"`.
+    /// Tracing never changes the release: the bytes are identical with the flag on or
+    /// off (property-tested), and the flag is absent from the measurement-cache key.
+    pub trace: bool,
 }
 
 impl MeasureRequest {
@@ -104,6 +168,9 @@ impl MeasureRequest {
         }
         fields.push(("analyst".into(), Json::str(self.analyst.clone())));
         fields.push(("epsilon".into(), Json::f64(self.epsilon)));
+        if self.trace {
+            fields.push(("trace".into(), Json::Bool(true)));
+        }
         fields.push(("plan".into(), self.spec.to_json()));
         Json::Obj(fields)
     }
@@ -136,6 +203,7 @@ impl MeasureRequest {
             .and_then(Json::as_f64)
             .ok_or_else(|| WireError::new("missing or non-finite 'epsilon'"))?;
         let id = json.get("id").and_then(Json::as_str).map(str::to_string);
+        let trace = json.get("trace").and_then(Json::as_bool).unwrap_or(false);
         let plan = json
             .get("plan")
             .ok_or_else(|| WireError::new("missing 'plan'"))?;
@@ -145,6 +213,7 @@ impl MeasureRequest {
             epsilon,
             spec,
             id,
+            trace,
         })
     }
 }
@@ -162,7 +231,9 @@ pub struct MeasureResponse {
     /// Per-dataset ε charged by this request (`multiplicity × ε`), sorted by name.
     pub charged: Vec<(String, f64)>,
     /// Per-dataset budget remaining for this analyst after the charge, sorted by name.
-    /// On a cache replay this quotes the budgets as of the *first* computation.
+    /// This records the grants as of the charge; the JSON envelope layer re-reads the
+    /// live grants at assembly time ([`MeasurementService::live_remaining`]), so a
+    /// cache-replayed envelope never quotes budgets the analyst has since spent down.
     pub remaining: Vec<(String, f64)>,
     /// The analyst-visible plan: the optimized plan rendering plus multiplicity report.
     pub explain: String,
@@ -180,6 +251,20 @@ impl MeasureResponse {
     /// [`to_json`](Self::to_json) with the request's correlation id spliced in right
     /// after `"ok"` (omitted when the request carried none, preserving the v1 shape).
     pub fn to_json_with_id(&self, id: Option<&str>) -> Json {
+        self.to_json_envelope(id, None, None)
+    }
+
+    /// The full envelope assembly: [`to_json_with_id`](Self::to_json_with_id) plus the
+    /// per-request pieces a cached response must stay agnostic of — a live `remaining`
+    /// override (read from the grants at assembly time, see
+    /// [`MeasurementService::live_remaining`]) and the request's trace, spliced in as a
+    /// trailing `"trace"` field when the request asked for one.
+    pub fn to_json_envelope(
+        &self,
+        id: Option<&str>,
+        remaining: Option<&[(String, f64)]>,
+        trace: Option<&Trace>,
+    ) -> Json {
         let pairs = |items: &[(String, f64)]| {
             Json::Arr(
                 items
@@ -197,9 +282,17 @@ impl MeasureResponse {
             ("output_type".into(), value_type_to_json(&self.output_type)),
             ("release".into(), release_records_json(&self.release)),
             ("charged".into(), pairs(&self.charged)),
-            ("remaining".into(), pairs(&self.remaining)),
+            (
+                "remaining".into(),
+                pairs(remaining.unwrap_or(&self.remaining)),
+            ),
             ("explain".into(), Json::str(self.explain.clone())),
         ]);
+        if let Some(trace) = trace {
+            if let Ok(json) = Json::parse(&trace.to_json()) {
+                fields.push(("trace".into(), json));
+            }
+        }
         Json::Obj(fields)
     }
 
@@ -338,6 +431,35 @@ struct Prepared {
     generations: Vec<(String, u64)>,
 }
 
+/// The bounded audit log: a ring of the most recent entries. Analysts mint audit
+/// entries with every admitted request, so an unbounded log — like an unbounded cache —
+/// would let them grow server memory without limit; beyond `capacity` entries the
+/// oldest is dropped and counted (locally and on [`AUDIT_DROPPED_METRIC`]).
+struct AuditRing {
+    entries: VecDeque<String>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl AuditRing {
+    fn new(capacity: usize) -> Self {
+        AuditRing {
+            entries: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, entry: String) {
+        while self.entries.len() >= self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+            audit_dropped_counter().inc();
+        }
+        self.entries.push_back(entry);
+    }
+}
+
 /// The measurement service: protected datasets, per-analyst budget grants, an executor,
 /// an audit log of every plan it agreed to measure, and the cross-request measurement
 /// cache. `Send + Sync`; share it as `Arc<MeasurementService>` across request threads.
@@ -346,7 +468,7 @@ pub struct MeasurementService {
     budgets: AnalystBudgets,
     executor: Arc<dyn Executor>,
     optimize: OptimizeLevel,
-    audit: Mutex<Vec<String>>,
+    audit: Mutex<AuditRing>,
     /// The curator's noise source for [`serve`](Self::serve): each request draws a child
     /// generator under a brief lock, so evaluation itself is never serialized on it.
     noise: Mutex<StdRng>,
@@ -359,6 +481,11 @@ pub struct MeasurementService {
 /// behavior; beyond this many keys the least recently used entry is evicted. Tune with
 /// [`MeasurementService::with_cache_capacity`].
 pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// Default bound on resident audit-log entries (the ring keeps the most recent this
+/// many; older entries are dropped and counted). Tune with
+/// [`MeasurementService::with_audit_capacity`].
+pub const DEFAULT_AUDIT_CAPACITY: usize = 4096;
 
 // The whole point of this service is to be shared across request threads; make the
 // property a compile error to lose rather than a runtime surprise (it regressed silently
@@ -393,7 +520,7 @@ impl MeasurementService {
             budgets: AnalystBudgets::new(),
             executor: default_executor(),
             optimize: OptimizeLevel::from_env(),
-            audit: Mutex::new(Vec::new()),
+            audit: Mutex::new(AuditRing::new(DEFAULT_AUDIT_CAPACITY)),
             noise: Mutex::new(StdRng::seed_from_u64(entropy_seed())),
             cache: MeasurementCache::with_capacity(DEFAULT_CACHE_CAPACITY),
             cache_enabled: true,
@@ -436,6 +563,16 @@ impl MeasurementService {
     /// measurement with a fresh charge — so operators may size this purely by memory.
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
         self.cache = MeasurementCache::with_capacity(capacity);
+        self
+    }
+
+    /// Replaces the audit ring's capacity bound ([`DEFAULT_AUDIT_CAPACITY`] entries by
+    /// default, clamped to ≥ 1). The ring keeps the most recent entries; dropping an
+    /// old one only loses diagnostics, never accounting — budgets are the source of
+    /// truth for ε — and every drop is counted
+    /// ([`audit_dropped`](Self::audit_dropped), [`AUDIT_DROPPED_METRIC`]).
+    pub fn with_audit_capacity(mut self, capacity: usize) -> Self {
+        self.audit = Mutex::new(AuditRing::new(capacity));
         self
     }
 
@@ -527,12 +664,26 @@ impl MeasurementService {
     }
 
     /// The audit log: one rendered, analyst-visible plan per admitted measurement, plus
-    /// one line per cache replay.
+    /// one line per cache replay. Bounded — the ring keeps the most recent
+    /// [`DEFAULT_AUDIT_CAPACITY`] entries (see
+    /// [`with_audit_capacity`](Self::with_audit_capacity)); [`audit_dropped`](Self::audit_dropped)
+    /// counts what aged out.
     pub fn audit_log(&self) -> Vec<String> {
         self.audit
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .clone()
+            .entries
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of audit entries dropped by the ring's capacity bound since construction.
+    pub fn audit_dropped(&self) -> u64 {
+        self.audit
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .dropped
     }
 
     /// Hit/miss counters of the measurement cache.
@@ -542,15 +693,17 @@ impl MeasurementService {
 
     /// Steps 1–3 of the pipeline (validate, bind, optimize): everything derivable from
     /// the request without touching a budget or drawing noise.
-    fn prepare(&self, request: &MeasureRequest) -> Result<Prepared, ServiceError> {
+    fn prepare(&self, request: &MeasureRequest, tracer: &Tracer) -> Result<Prepared, ServiceError> {
         if !(request.epsilon.is_finite() && request.epsilon > 0.0) {
             return Err(ServiceError::InvalidParameter(format!(
                 "epsilon must be positive and finite, got {}",
                 request.epsilon
             )));
         }
+        let validate = tracer.span("validate");
         let output_type = request.spec.output_type()?;
         let DynPlan { plan, sources } = plan_from_spec(&request.spec)?;
+        drop(validate);
 
         // Bind every named source to its registered dataset (a read lock held only for
         // the lookups — binding shares the `Arc`, never copies records). The generation
@@ -559,6 +712,7 @@ impl MeasurementService {
         let mut bindings = wpinq::PlanBindings::new();
         let mut generation_by_name: BTreeMap<String, u64> = BTreeMap::new();
         {
+            let _bind = tracer.span("bind");
             let datasets = self.datasets.read().unwrap_or_else(PoisonError::into_inner);
             for source in &sources {
                 let registered = datasets
@@ -580,7 +734,9 @@ impl MeasurementService {
         // redundantly expressed request is charged for the deduplicated plan. One
         // optimizer pass (bindings-aware, so join input ordering applies) serves
         // accounting, the audit report, evaluation, and the cache key.
+        let optimize_span = tracer.span("optimize");
         let optimized = plan.optimize_for_bindings(self.optimize, &bindings);
+        drop(optimize_span);
         let multiplicities = optimized.multiplicities();
         let mut per_dataset: BTreeMap<String, u32> = BTreeMap::new();
         for source in &sources {
@@ -631,11 +787,13 @@ impl MeasurementService {
         request: &MeasureRequest,
         prepared: &Prepared,
         rng: &mut R,
+        tracer: &Tracer,
     ) -> Result<MeasureResponse, ServiceError> {
         // Phase one: reserve against every grant in canonical dataset order (the
         // BTreeMap iterates sorted). Each reserve is an atomic check-and-hold under the
         // grant's own lock; a failure here drops the earlier guards, rolling every hold
         // back — nothing is ever partially charged.
+        let reserve_span = tracer.span("reserve");
         let mut held: Vec<(String, BudgetReservation)> = Vec::new();
         for (dataset, mult) in &prepared.per_dataset {
             let handle = self
@@ -655,19 +813,40 @@ impl MeasurementService {
                     })?;
             held.push((dataset.clone(), reservation));
         }
+        drop(reserve_span);
 
         // Evaluate and release — the plan is already fully rewritten, so evaluation runs
         // at level None. Only the noisy counts leave this function. Should evaluation
         // panic, the `held` guards unwind with the stack and every hold rolls back.
+        //
+        // The traced and untraced arms run the *same* data path (the EXPLAIN ANALYZE
+        // collector only hooks the memoizing node wrappers) and make the same single
+        // `NoisyCounts::measure` call on the same rng, so the release bytes are
+        // identical either way (property-tested in `tests/`).
         let measurement = prepared.optimized.noisy_count(request.epsilon);
-        let counts: NoisyCounts<Value> = measurement.release_opt(
-            &prepared.bindings,
-            &*self.executor,
-            OptimizeLevel::None,
-            rng,
-        );
+        let execute_span = tracer.span("execute");
+        let counts: NoisyCounts<Value> = if tracer.is_enabled() {
+            let (counts, release_trace) = measurement.release_traced(
+                &prepared.bindings,
+                &*self.executor,
+                OptimizeLevel::None,
+                rng,
+            );
+            tracer.record_span_us("noise", release_trace.noise_us);
+            tracer.field("analyze", FieldValue::Raw(release_trace.analyze.to_json()));
+            counts
+        } else {
+            measurement.release_opt(
+                &prepared.bindings,
+                &*self.executor,
+                OptimizeLevel::None,
+                rng,
+            )
+        };
+        drop(execute_span);
 
         // Phase two: the release exists, so the charges stand. Commit every hold.
+        let _commit_span = tracer.span("commit");
         let charged: Vec<(String, f64)> = held
             .iter()
             .map(|(dataset, reservation)| (dataset.clone(), reservation.amount()))
@@ -722,8 +901,9 @@ impl MeasurementService {
         request: &MeasureRequest,
         rng: &mut R,
     ) -> Result<MeasureResponse, ServiceError> {
-        let prepared = self.prepare(request)?;
-        self.charge_and_evaluate(request, &prepared, rng)
+        let tracer = Tracer::disabled();
+        let prepared = self.prepare(request, &tracer)?;
+        self.charge_and_evaluate(request, &prepared, rng, &tracer)
     }
 
     /// Serves one measurement request with the service's own noise source and the
@@ -732,11 +912,53 @@ impl MeasurementService {
     /// zero additional ε. Identical requests racing on a cold key single-flight behind
     /// one evaluation and one debit.
     pub fn serve(&self, request: &MeasureRequest) -> Result<Arc<MeasureResponse>, ServiceError> {
-        let prepared = self.prepare(request)?;
+        self.serve_traced(request).map(|(response, _)| response)
+    }
+
+    /// [`serve`](Self::serve) plus the request's trace, when one was recorded.
+    ///
+    /// The tracer is live when the request set `"trace":true` (the trace comes back as
+    /// the second tuple element, for the envelope layer to attach) or when the
+    /// `WPINQ_TRACE` sink is configured (the trace goes to the sink; the response stays
+    /// clean unless the request also asked). With neither, the tracer is the inert
+    /// [`Tracer::disabled`] — no clock reads, no allocation — and `None` comes back.
+    /// Either way the release bytes are identical; only observation differs.
+    pub fn serve_traced(
+        &self,
+        request: &MeasureRequest,
+    ) -> Result<(Arc<MeasureResponse>, Option<Trace>), ServiceError> {
+        let tracer = if request.trace || trace_sink_enabled() {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        };
+        tracer.field("analyst", request.analyst.as_str());
+        tracer.field("epsilon", request.epsilon);
+
+        let result = self.serve_with_tracer(request, &tracer);
+        let trace = tracer.finish();
+        if let Some(trace) = &trace {
+            if trace_sink_enabled() {
+                emit_to_sink(trace);
+            }
+        }
+        result.map(|response| (response, if request.trace { trace } else { None }))
+    }
+
+    fn serve_with_tracer(
+        &self,
+        request: &MeasureRequest,
+        tracer: &Tracer,
+    ) -> Result<Arc<MeasureResponse>, ServiceError> {
+        let prepared = self.prepare(request, tracer)?;
+        for (dataset, _) in &prepared.generations {
+            tracer.field("dataset", dataset.as_str());
+        }
         if !self.cache_enabled {
+            tracer.field("cache", "bypass");
             let mut rng = self.child_rng();
             return self
-                .charge_and_evaluate(request, &prepared, &mut rng)
+                .charge_and_evaluate(request, &prepared, &mut rng, tracer)
                 .map(Arc::new);
         }
         let key = (
@@ -747,9 +969,10 @@ impl MeasurementService {
         );
         let (response, hit) = self.cache.get_or_compute(key, || {
             let mut rng = self.child_rng();
-            self.charge_and_evaluate(request, &prepared, &mut rng)
+            self.charge_and_evaluate(request, &prepared, &mut rng, tracer)
                 .map(Arc::new)
         })?;
+        tracer.field("cache", if hit { "hit" } else { "miss" });
         if hit {
             self.audit
                 .lock()
@@ -764,23 +987,112 @@ impl MeasurementService {
         Ok(response)
     }
 
+    /// The `remaining` quote for a response envelope, re-read from the live grants at
+    /// assembly time. Cached responses are sealed artifacts computed once; quoting
+    /// their stored `remaining` on a replay would report budgets the analyst has since
+    /// spent down. Datasets whose grant has vanished fall back to the stored value.
+    pub fn live_remaining(&self, analyst: &str, response: &MeasureResponse) -> Vec<(String, f64)> {
+        response
+            .remaining
+            .iter()
+            .map(|(dataset, stored)| {
+                let live = self.budgets.remaining(analyst, dataset).unwrap_or(*stored);
+                (dataset.clone(), live)
+            })
+            .collect()
+    }
+
+    /// Publishes service-level gauges onto the telemetry registry: per-grant ε spent
+    /// and remaining (labelled by analyst and dataset) and the measurement cache's
+    /// resident-entry count. Counters (requests, cache hits/misses/evictions, audit
+    /// drops, pool dispatches, exchanges) increment live and need no sync. Called by
+    /// the `stats` op and the Prometheus exposition endpoint before rendering.
+    pub fn sync_metrics(&self) {
+        for (analyst, dataset, spent, remaining) in self.budgets.snapshot() {
+            let labels = [("analyst", analyst.as_str()), ("dataset", dataset.as_str())];
+            registry()
+                .gauge(
+                    "wpinq_budget_epsilon_spent",
+                    &labels,
+                    "Privacy budget spent by one (analyst, dataset) grant.",
+                )
+                .set(spent);
+            registry()
+                .gauge(
+                    "wpinq_budget_epsilon_remaining",
+                    &labels,
+                    "Privacy budget remaining in one (analyst, dataset) grant.",
+                )
+                .set(remaining);
+        }
+        registry()
+            .gauge(
+                "wpinq_cache_resident_entries",
+                &[],
+                "Measurement-cache keys currently resident (filled or in flight).",
+            )
+            .set(self.cache.len() as f64);
+    }
+
+    /// The `{"op":"stats"}` response: every registry metric as deterministic JSON,
+    /// wrapped in an `{"ok":true,"stats":…}` envelope.
+    pub fn stats_json(&self) -> Json {
+        self.sync_metrics();
+        let stats =
+            Json::parse(&registry().render_json()).expect("the registry renders well-formed JSON");
+        Json::Obj(vec![
+            ("ok".to_string(), Json::Bool(true)),
+            ("stats".to_string(), stats),
+        ])
+    }
+
     /// The concurrent JSON front door: parses a request envelope, serves it through
-    /// [`serve`](Self::serve) (service noise, measurement cache), and encodes the
-    /// outcome with the request's `id` echoed. Errors come back as
-    /// `{"ok":false,"id":…,"error":{"code":…,"message":…}}` instead of panicking. This
-    /// is the line handler every transport (stdin, TCP) calls.
+    /// [`serve_traced`](Self::serve_traced) (service noise, measurement cache,
+    /// per-request tracing), and encodes the outcome with the request's `id` echoed.
+    /// Errors come back as `{"ok":false,"id":…,"error":{"code":…,"message":…}}` instead
+    /// of panicking. Also answers the sideband `{"op":"stats"}` request with the
+    /// telemetry registry as JSON. This is the line handler every transport (stdin,
+    /// TCP) calls; each call counts on [`REQUESTS_METRIC`] and observes its wall time
+    /// on [`REQUEST_LATENCY_METRIC`].
     pub fn handle_line(&self, request_json: &str) -> String {
+        let started = Instant::now();
+        let response = self.handle_line_inner(request_json);
+        request_latency_histogram().observe(started.elapsed().as_secs_f64() * 1e3);
+        response
+    }
+
+    fn handle_line_inner(&self, request_json: &str) -> String {
+        // The `stats` sideband op carries no measure-request header; only lines that
+        // cannot be measure requests pay the extra parse.
+        if !request_json.contains(REQUEST_HEADER) {
+            if let Ok(json) = Json::parse(request_json) {
+                if json.get("op").and_then(Json::as_str) == Some("stats") {
+                    requests_ok_counter().inc();
+                    return self.stats_json().to_compact();
+                }
+            }
+        }
         let request = match MeasureRequest::from_json(request_json) {
             Ok(request) => request,
             Err(error) => {
                 // The envelope didn't parse far enough to trust an id.
+                requests_error_counter().inc();
                 return ServiceError::from(error).to_json_with_id(None).to_compact();
             }
         };
         let id = request.id.as_deref();
-        match self.serve(&request) {
-            Ok(response) => response.to_json_with_id(id).to_compact(),
-            Err(error) => error.to_json_with_id(id).to_compact(),
+        match self.serve_traced(&request) {
+            Ok((response, trace)) => {
+                requests_ok_counter().inc();
+                let live = self.live_remaining(&request.analyst, &response);
+                response
+                    .to_json_envelope(id, Some(&live), trace.as_ref())
+                    .to_compact()
+            }
+            Err(error) => {
+                requests_error_counter().inc();
+                error.to_json_with_id(id).to_compact()
+            }
         }
     }
 

@@ -267,6 +267,76 @@ pub fn serve_tcp(
     })
 }
 
+/// Starts the Prometheus metrics endpoint on `addr`: a second, single-threaded
+/// listener answering every HTTP request with the telemetry registry in Prometheus
+/// text exposition format (`text/plain; version=0.0.4`). Deliberately minimal — the
+/// request line and headers are read and discarded (every path scrapes the same
+/// document), which is all a Prometheus scraper needs and keeps the endpoint free of
+/// any parsing an operator-side port would not want exposed. Bind to port 0 for an
+/// OS-chosen port; read it back from [`ServerHandle::local_addr`].
+///
+/// [`MeasurementService::sync_metrics`] runs before each render, so per-grant ε gauges
+/// and cache-residency are current as of the scrape.
+pub fn serve_metrics(
+    service: Arc<MeasurementService>,
+    addr: impl ToSocketAddrs,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let acceptor = {
+        let shutdown = shutdown.clone();
+        std::thread::Builder::new()
+            .name("wpinq-svc-metrics".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    serve_one_scrape(&service, stream);
+                }
+            })
+            .expect("spawn metrics acceptor")
+    };
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        acceptor: Some(acceptor),
+        workers: Vec::new(),
+    })
+}
+
+/// Answers one scrape: drain the HTTP request head (up to the blank line, bounded),
+/// write the exposition document, close.
+fn serve_one_scrape(service: &MeasurementService, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_nodelay(true);
+    let mut head: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 1024];
+    // A scraper sends a complete head promptly; cap it so a hostile peer cannot feed
+    // an unbounded header stream.
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 16 * 1024 {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    service.sync_metrics();
+    let body = wpinq_telemetry::registry().render_prometheus();
+    let response = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let _ = stream
+        .write_all(response.as_bytes())
+        .and_then(|()| stream.flush());
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
 /// Serves one connection: newline-delimited envelopes in, one response line each out.
 /// Reads with a short timeout so an idle connection never blocks server shutdown.
 fn handle_connection(service: &MeasurementService, stream: TcpStream, shutdown: &AtomicBool) {

@@ -50,6 +50,7 @@ fn measure<T: ExprRecord>(graph: &Graph, plan: &Plan<T>) -> (String, f64) {
         epsilon: EPSILON,
         spec: plan.to_spec().expect("expression plans serialize"),
         id: None,
+        trace: false,
     };
     let response = service.handle_json(&request.to_json_string(), &mut StdRng::seed_from_u64(SEED));
     let parsed = Json::parse(&response).expect("response is JSON");

@@ -80,6 +80,7 @@ fn service_release<T: ExprRecord>(
         epsilon: EPSILON,
         spec: reparsed,
         id: None,
+        trace: false,
     };
     let response = service.handle_json(&request.to_json_string(), &mut StdRng::seed_from_u64(SEED));
     let parsed = Json::parse(&response).expect("response is JSON");

@@ -1,0 +1,26 @@
+//! `wpinq-telemetry`: the observability layer of the wPINQ reproduction.
+//!
+//! Two halves, both dependency-free and `std`-only so every other workspace crate —
+//! including `wpinq-core` at the bottom of the graph — can depend on this one:
+//!
+//! * [`metrics`] — a process-wide registry of atomic counters, gauges, and
+//!   fixed-bucket histograms with labels. Handles are `Arc`s cached in `OnceLock`
+//!   statics at the call site, so the hot path is one relaxed atomic op; the
+//!   registry lock is only taken at registration and scrape time. Renders as
+//!   Prometheus exposition text (served by `wpinq-service`'s metrics listener) and
+//!   as deterministic JSON (the `{"op":"stats"}` envelope op).
+//! * [`trace`] — explicit [`Span`] guards recording wall time and structured fields
+//!   into a per-request [`Trace`]. A disabled [`Tracer`] is provably free: no clock
+//!   reads, no allocation, no lock. Finished traces serialize as deterministic JSON
+//!   and can be mirrored as JSONL to the `WPINQ_TRACE` sink (a file path, or
+//!   `stderr`).
+//!
+//! Nothing in this crate touches the privacy path: metrics and traces observe
+//! durations, cardinalities, and ε totals the service already accounts for, and the
+//! service's tests assert releases stay byte-identical with tracing on or off.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{registry, Counter, Gauge, Histogram, Registry, LATENCY_BUCKETS_MS};
+pub use trace::{emit_to_sink, trace_sink_enabled, FieldValue, Span, Trace, TraceSpan, Tracer};

@@ -1,0 +1,644 @@
+//! A lock-cheap process-wide metrics registry: counters, gauges, and fixed-bucket
+//! histograms, each addressed by a name plus a sorted label set.
+//!
+//! Registration (`counter` / `gauge` / `histogram`) takes a read lock on the fast
+//! path and hands back an `Arc` handle; callers cache the handle in a `OnceLock`
+//! static so the hot path is a single relaxed atomic operation with no lock at all.
+//! Values are read back either per series or summed across a name, and the whole
+//! registry renders as Prometheus exposition text or as deterministic JSON.
+//!
+//! Everything here is `std`-only so the crate can sit below `wpinq-core` in the
+//! dependency graph.
+
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// A monotonically increasing event count. `inc`/`add` are single relaxed atomics.
+#[derive(Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins float, stored as its bit pattern in an `AtomicU64`.
+#[derive(Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Replaces the current value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bound histogram: per-bucket atomic counters plus an atomic count and a
+/// CAS-maintained float sum. Bounds are upper-inclusive (`v <= bound`), Prometheus
+/// style, with an implicit `+Inf` bucket at the end.
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>, // one per bound, plus the trailing +Inf bucket
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        let mut sorted = bounds.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("histogram bounds must be finite"));
+        let buckets = (0..=sorted.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds: sorted,
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Cumulative bucket counts as `(upper_bound, count ≤ bound)` pairs; the final
+    /// `+Inf` bucket is represented with `f64::INFINITY`.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::with_capacity(self.bounds.len() + 1);
+        let mut running = 0u64;
+        for (i, &bound) in self.bounds.iter().enumerate() {
+            running += self.buckets[i].load(Ordering::Relaxed);
+            out.push((bound, running));
+        }
+        running += self.buckets[self.bounds.len()].load(Ordering::Relaxed);
+        out.push((f64::INFINITY, running));
+        out
+    }
+}
+
+/// Identity of one series: metric name plus its label set, kept sorted so the same
+/// logical series always maps to the same entry regardless of call-site ordering.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+struct MetricId {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricId {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// `name` or `name{k="v",...}` — the series key used in JSON rendering.
+    fn series_key(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let mut out = String::new();
+        out.push_str(&self.name);
+        out.push('{');
+        for (i, (k, v)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&prometheus_escape(v));
+            out.push('"');
+        }
+        out.push('}');
+        out
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// The registry: a sorted map of series behind an `RwLock`, taken only at
+/// registration and scrape time — never on the increment path.
+pub struct Registry {
+    metrics: RwLock<BTreeMap<MetricId, Metric>>,
+    help: RwLock<BTreeMap<String, String>>,
+}
+
+impl Registry {
+    fn new() -> Self {
+        Registry {
+            metrics: RwLock::new(BTreeMap::new()),
+            help: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    fn read(&self) -> RwLockReadGuard<'_, BTreeMap<MetricId, Metric>> {
+        self.metrics
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, BTreeMap<MetricId, Metric>> {
+        self.metrics
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn record_help(&self, name: &str, help: &str) {
+        let mut map = self
+            .help
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        map.entry(name.to_string())
+            .or_insert_with(|| help.to_string());
+    }
+
+    /// Registers (or finds) a counter series and returns its handle.
+    ///
+    /// Panics if `name` is already registered as a different metric type — that is a
+    /// programming error, not a runtime condition.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Counter> {
+        let id = MetricId::new(name, labels);
+        if let Some(Metric::Counter(c)) = self.read().get(&id) {
+            return c.clone();
+        }
+        let mut map = self.write();
+        match map.entry(id) {
+            Entry::Occupied(e) => match e.get() {
+                Metric::Counter(c) => c.clone(),
+                other => panic!(
+                    "metric {name} already registered as a {}, not a counter",
+                    other.kind()
+                ),
+            },
+            Entry::Vacant(v) => {
+                self.record_help(name, help);
+                let c = Arc::new(Counter::default());
+                v.insert(Metric::Counter(c.clone()));
+                c
+            }
+        }
+    }
+
+    /// Registers (or finds) a gauge series and returns its handle.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Gauge> {
+        let id = MetricId::new(name, labels);
+        if let Some(Metric::Gauge(g)) = self.read().get(&id) {
+            return g.clone();
+        }
+        let mut map = self.write();
+        match map.entry(id) {
+            Entry::Occupied(e) => match e.get() {
+                Metric::Gauge(g) => g.clone(),
+                other => panic!(
+                    "metric {name} already registered as a {}, not a gauge",
+                    other.kind()
+                ),
+            },
+            Entry::Vacant(v) => {
+                self.record_help(name, help);
+                let g = Arc::new(Gauge::default());
+                v.insert(Metric::Gauge(g.clone()));
+                g
+            }
+        }
+    }
+
+    /// Registers (or finds) a histogram series with the given upper bounds. The
+    /// bounds of an already-registered series win; later calls just get the handle.
+    pub fn histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        bounds: &[f64],
+    ) -> Arc<Histogram> {
+        let id = MetricId::new(name, labels);
+        if let Some(Metric::Histogram(h)) = self.read().get(&id) {
+            return h.clone();
+        }
+        let mut map = self.write();
+        match map.entry(id) {
+            Entry::Occupied(e) => match e.get() {
+                Metric::Histogram(h) => h.clone(),
+                other => panic!(
+                    "metric {name} already registered as a {}, not a histogram",
+                    other.kind()
+                ),
+            },
+            Entry::Vacant(v) => {
+                self.record_help(name, help);
+                let h = Arc::new(Histogram::new(bounds));
+                v.insert(Metric::Histogram(h.clone()));
+                h
+            }
+        }
+    }
+
+    /// Sum of a counter across every label set registered under `name`; 0 when the
+    /// name is unknown (a metric nobody has touched yet reads as zero, not an error).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.read()
+            .iter()
+            .filter(|(id, _)| id.name == name)
+            .map(|(_, m)| match m {
+                Metric::Counter(c) => c.value(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The value of one specific counter series, or `None` if it is unregistered.
+    pub fn counter_value_with(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.read().get(&MetricId::new(name, labels)) {
+            Some(Metric::Counter(c)) => Some(c.value()),
+            _ => None,
+        }
+    }
+
+    /// The value of one gauge series, or `None` if it is unregistered.
+    pub fn gauge_value_with(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        match self.read().get(&MetricId::new(name, labels)) {
+            Some(Metric::Gauge(g)) => Some(g.value()),
+            _ => None,
+        }
+    }
+
+    /// Total observation count of a histogram summed across label sets.
+    pub fn histogram_count(&self, name: &str) -> u64 {
+        self.read()
+            .iter()
+            .filter(|(id, _)| id.name == name)
+            .map(|(_, m)| match m {
+                Metric::Histogram(h) => h.count(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Renders every series in Prometheus text exposition format (version 0.0.4):
+    /// `# HELP` / `# TYPE` headers per metric name, one sample line per series,
+    /// histograms expanded into cumulative `_bucket{le=...}` / `_sum` / `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let metrics = self.read();
+        let help = self
+            .help
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for (id, metric) in metrics.iter() {
+            if last_name != Some(id.name.as_str()) {
+                let text = help.get(&id.name).map(String::as_str).unwrap_or("");
+                out.push_str(&format!("# HELP {} {}\n", id.name, text));
+                out.push_str(&format!("# TYPE {} {}\n", id.name, metric.kind()));
+                last_name = Some(id.name.as_str());
+            }
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("{} {}\n", id.series_key(), c.value()));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("{} {}\n", id.series_key(), fmt_f64(g.value())));
+                }
+                Metric::Histogram(h) => {
+                    for (bound, cum) in h.cumulative_buckets() {
+                        let le = if bound.is_finite() {
+                            fmt_f64(bound)
+                        } else {
+                            "+Inf".to_string()
+                        };
+                        let mut labels: Vec<(&str, &str)> = id
+                            .labels
+                            .iter()
+                            .map(|(k, v)| (k.as_str(), v.as_str()))
+                            .collect();
+                        labels.push(("le", &le));
+                        let bucket_id = MetricId::new(&format!("{}_bucket", id.name), &labels);
+                        out.push_str(&format!("{} {}\n", bucket_id.series_key(), cum));
+                    }
+                    let sum_id = MetricId::new(
+                        &format!("{}_sum", id.name),
+                        &id.labels
+                            .iter()
+                            .map(|(k, v)| (k.as_str(), v.as_str()))
+                            .collect::<Vec<_>>(),
+                    );
+                    out.push_str(&format!("{} {}\n", sum_id.series_key(), fmt_f64(h.sum())));
+                    let count_id = MetricId::new(
+                        &format!("{}_count", id.name),
+                        &id.labels
+                            .iter()
+                            .map(|(k, v)| (k.as_str(), v.as_str()))
+                            .collect::<Vec<_>>(),
+                    );
+                    out.push_str(&format!("{} {}\n", count_id.series_key(), h.count()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders every series as one deterministic JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{...}}`, keys sorted by
+    /// series, histogram buckets cumulative with a final `"+Inf"` bound.
+    pub fn render_json(&self) -> String {
+        let metrics = self.read();
+        let mut counters = String::new();
+        let mut gauges = String::new();
+        let mut histograms = String::new();
+        for (id, metric) in metrics.iter() {
+            let key = json_escape(&id.series_key());
+            match metric {
+                Metric::Counter(c) => {
+                    if !counters.is_empty() {
+                        counters.push(',');
+                    }
+                    counters.push_str(&format!("\"{}\":{}", key, c.value()));
+                }
+                Metric::Gauge(g) => {
+                    if !gauges.is_empty() {
+                        gauges.push(',');
+                    }
+                    gauges.push_str(&format!("\"{}\":{}", key, json_f64(g.value())));
+                }
+                Metric::Histogram(h) => {
+                    if !histograms.is_empty() {
+                        histograms.push(',');
+                    }
+                    let mut buckets = String::new();
+                    for (bound, cum) in h.cumulative_buckets() {
+                        if !buckets.is_empty() {
+                            buckets.push(',');
+                        }
+                        let le = if bound.is_finite() {
+                            json_f64(bound)
+                        } else {
+                            "\"+Inf\"".to_string()
+                        };
+                        buckets.push_str(&format!("{{\"le\":{},\"count\":{}}}", le, cum));
+                    }
+                    histograms.push_str(&format!(
+                        "\"{}\":{{\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+                        key,
+                        h.count(),
+                        json_f64(h.sum()),
+                        buckets
+                    ));
+                }
+            }
+        }
+        format!(
+            "{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}},\"histograms\":{{{histograms}}}}}"
+        )
+    }
+}
+
+/// The process-wide registry every wPINQ layer reports into.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// Default latency buckets, in milliseconds, for request-level histograms.
+pub const LATENCY_BUCKETS_MS: [f64; 11] = [
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0,
+];
+
+/// Formats a float the way Prometheus text exposition expects (shortest round-trip
+/// representation; non-finite values spelled out).
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Formats a float as a JSON value; non-finite values (which JSON cannot carry as
+/// numbers) become strings.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        format!("\"{}\"", fmt_f64(v))
+    }
+}
+
+/// Escapes a string for embedding inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a label value for Prometheus exposition (`\`, `"`, and newline).
+fn prometheus_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_exact_totals_under_contention() {
+        // The satellite-mandated hammer: 8 threads, exact totals.
+        let c = registry().counter("test_hammer_total", &[], "hammer test counter");
+        let h = registry().histogram(
+            "test_hammer_obs",
+            &[],
+            "hammer test histogram",
+            &[1.0, 10.0],
+        );
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let c = c.clone();
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        c.inc();
+                        if i % 10 == 0 {
+                            h.observe((t % 3) as f64 * 4.0); // 0, 4, or 8 — buckets 0 and 1
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 80_000);
+        assert_eq!(registry().counter_value("test_hammer_total"), 80_000);
+        assert_eq!(h.count(), 8_000);
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.len(), 3);
+        // Threads 0,3,6 observe 0.0 (≤1 bucket); the rest observe 4.0 or 8.0 (≤10).
+        assert_eq!(buckets[0].1, 3_000);
+        assert_eq!(buckets[1].1, 8_000);
+        assert_eq!(buckets[2].1, 8_000); // +Inf carries the full count
+        assert_eq!(registry().histogram_count("test_hammer_obs"), 8_000);
+    }
+
+    #[test]
+    fn labeled_series_are_distinct_and_order_insensitive() {
+        let a = registry().counter(
+            "test_labels_total",
+            &[("op", "read"), ("tier", "hot")],
+            "labels test",
+        );
+        let same = registry().counter(
+            "test_labels_total",
+            &[("tier", "hot"), ("op", "read")],
+            "labels test",
+        );
+        let other = registry().counter(
+            "test_labels_total",
+            &[("op", "write"), ("tier", "hot")],
+            "labels test",
+        );
+        a.add(5);
+        same.add(2);
+        other.inc();
+        assert_eq!(
+            registry().counter_value_with("test_labels_total", &[("op", "read"), ("tier", "hot")]),
+            Some(7)
+        );
+        assert_eq!(registry().counter_value("test_labels_total"), 8);
+    }
+
+    #[test]
+    fn gauge_set_and_read() {
+        let g = registry().gauge("test_gauge", &[("k", "v")], "gauge test");
+        g.set(2.5);
+        assert_eq!(
+            registry().gauge_value_with("test_gauge", &[("k", "v")]),
+            Some(2.5)
+        );
+        g.set(-1.0);
+        assert_eq!(g.value(), -1.0);
+    }
+
+    #[test]
+    fn prometheus_rendering_has_headers_and_histogram_expansion() {
+        let c = registry().counter("test_render_total", &[("who", "a")], "render test counter");
+        c.add(3);
+        let h = registry().histogram("test_render_ms", &[], "render test histogram", &[5.0]);
+        h.observe(1.0);
+        h.observe(100.0);
+        let text = registry().render_prometheus();
+        assert!(text.contains("# HELP test_render_total render test counter"));
+        assert!(text.contains("# TYPE test_render_total counter"));
+        assert!(text.contains("test_render_total{who=\"a\"} 3"));
+        assert!(text.contains("# TYPE test_render_ms histogram"));
+        assert!(text.contains("test_render_ms_bucket{le=\"5\"} 1"));
+        assert!(text.contains("test_render_ms_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("test_render_ms_sum 101"));
+        assert!(text.contains("test_render_ms_count 2"));
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let c = registry().counter("test_json_total", &[], "json test");
+        c.add(4);
+        let json = registry().render_json();
+        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.contains("\"test_json_total\":"));
+        assert!(json.ends_with("}"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_mismatch_panics() {
+        registry().counter("test_mismatch", &[], "mismatch test");
+        registry().gauge("test_mismatch", &[], "mismatch test");
+    }
+}

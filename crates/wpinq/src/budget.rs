@@ -331,6 +331,29 @@ impl AnalystBudgets {
     pub fn remaining(&self, analyst: &str, dataset: &str) -> Option<f64> {
         self.lookup(analyst, dataset).map(|h| h.remaining())
     }
+
+    /// A point-in-time view of every grant — `(analyst, dataset, spent, remaining)`,
+    /// sorted by analyst then dataset. The service's metrics exporter walks this to
+    /// publish per-grant ε gauges; values are read one grant lock at a time, so the
+    /// snapshot is per-grant (not cross-grant) consistent.
+    pub fn snapshot(&self) -> Vec<(String, String, f64, f64)> {
+        let handles: Vec<((String, String), BudgetHandle)> = self
+            .grants
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(key, handle)| (key.clone(), handle.clone()))
+            .collect();
+        let mut rows: Vec<(String, String, f64, f64)> = handles
+            .into_iter()
+            .map(|((analyst, dataset), handle)| {
+                let (spent, remaining) = (handle.spent(), handle.remaining());
+                (analyst, dataset, spent, remaining)
+            })
+            .collect();
+        rows.sort_by(|a, b| (a.0.as_str(), a.1.as_str()).cmp(&(b.0.as_str(), b.1.as_str())));
+        rows
+    }
 }
 
 #[cfg(test)]

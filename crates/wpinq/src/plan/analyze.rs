@@ -1,0 +1,218 @@
+//! EXPLAIN ANALYZE for plan evaluation: per-operator wall time, output cardinalities,
+//! and the kernel (columnar vs row) each expression operator chose, plus the worker-pool
+//! dispatch and exchange deltas folded in from the `wpinq-telemetry` registry.
+//!
+//! The collector rides inside the evaluation contexts ([`BatchCtx`](super::nodes) /
+//! [`ShardCtx`](super::nodes)) as an `Option`: a `None` collector adds one branch per
+//! node to the hot path and nothing else, which is what keeps analyzed and plain
+//! evaluations bitwise identical — the data path is the very same code either way.
+
+use std::time::Instant;
+
+use wpinq_telemetry::metrics::json_escape;
+use wpinq_telemetry::registry;
+
+/// Timing and cardinality of one evaluated plan node (one frame of the walk).
+#[derive(Clone, Debug)]
+pub struct NodeStats {
+    /// Operator name (`Select`, `Where`, `Join`, ...).
+    pub op: &'static str,
+    /// One-line operator detail (expression payloads render readably).
+    pub detail: String,
+    /// Wall time of this node's evaluation, children included, in microseconds.
+    /// Zero for memo hits.
+    pub total_us: u64,
+    /// Output record count (distinct records across all shards).
+    pub rows_out: u64,
+    /// The kernel an expression operator chose: `Some("columnar")` when the vectorized
+    /// path ran, `Some("row")` when it fell back, `None` for operators with no
+    /// columnar form.
+    pub kernel: Option<&'static str>,
+    /// Index of the consumer frame that triggered this evaluation, `None` at the root.
+    pub parent: Option<usize>,
+    /// Nesting depth (root = 0), for rendering.
+    pub depth: usize,
+    /// Whether this frame is a re-reference of an already-evaluated (memoized) node.
+    pub shared: bool,
+}
+
+/// The result of [`Plan::explain_analyze`](super::Plan::explain_analyze): one frame per
+/// node evaluation in walk order, plus evaluation-wide totals.
+#[derive(Clone, Debug)]
+pub struct AnalyzeReport {
+    /// Executor description: `"sequential"` or `"sharded(n)"`.
+    pub executor: String,
+    /// Per-node frames in walk (pre-)order: the root is first and every frame's
+    /// `parent` points at an earlier index.
+    pub nodes: Vec<NodeStats>,
+    /// Wall time of the whole evaluation (optimize pass included), microseconds.
+    pub total_us: u64,
+    /// Worker-pool dispatches during the evaluation (process-global registry delta;
+    /// concurrent evaluations in other threads bleed in).
+    pub pool_dispatches: u64,
+    /// Consolidating dataflow exchanges during the evaluation (same caveat).
+    pub exchanges: u64,
+}
+
+impl AnalyzeReport {
+    /// Renders the report as an indented text tree, one line per frame, root first.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "EXPLAIN ANALYZE ({}; total {} us; pool dispatches {}; exchanges {})\n",
+            self.executor, self.total_us, self.pool_dispatches, self.exchanges
+        );
+        // Frames are recorded in walk order (root first), which reads like
+        // `Plan::render`.
+        for stats in self.nodes.iter() {
+            for _ in 0..stats.depth {
+                out.push_str("  ");
+            }
+            out.push_str(&format!(
+                "{} [{} us, {} rows{}{}]\n",
+                stats.detail,
+                stats.total_us,
+                stats.rows_out,
+                stats
+                    .kernel
+                    .map(|k| format!(", kernel={k}"))
+                    .unwrap_or_default(),
+                if stats.shared { ", shared" } else { "" },
+            ));
+        }
+        out
+    }
+
+    /// Serializes the report as deterministic JSON with stable field names.
+    pub fn to_json(&self) -> String {
+        let mut nodes = String::new();
+        for (i, stats) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                nodes.push(',');
+            }
+            nodes.push_str(&format!(
+                "{{\"op\":\"{}\",\"detail\":\"{}\",\"total_us\":{},\"rows_out\":{},\
+                 \"kernel\":{},\"parent\":{},\"depth\":{},\"shared\":{}}}",
+                json_escape(stats.op),
+                json_escape(&stats.detail),
+                stats.total_us,
+                stats.rows_out,
+                stats
+                    .kernel
+                    .map(|k| format!("\"{k}\""))
+                    .unwrap_or_else(|| "null".to_string()),
+                stats
+                    .parent
+                    .map(|p| p.to_string())
+                    .unwrap_or_else(|| "null".to_string()),
+                stats.depth,
+                stats.shared,
+            ));
+        }
+        format!(
+            "{{\"executor\":\"{}\",\"total_us\":{},\"pool_dispatches\":{},\
+             \"exchanges\":{},\"nodes\":[{}]}}",
+            json_escape(&self.executor),
+            self.total_us,
+            self.pool_dispatches,
+            self.exchanges,
+            nodes
+        )
+    }
+}
+
+/// The in-flight collector carried by an evaluation context. Frames are appended when a
+/// node's evaluation *starts* (walk order: a consumer precedes its inputs), with an
+/// open-frame stack supplying parent indices and depths; `exit` back-fills duration
+/// and cardinality.
+pub(crate) struct AnalyzeCollector {
+    nodes: Vec<NodeStats>,
+    /// Indices into `nodes` of frames that are open (entered, not yet exited). An open
+    /// frame is already in `nodes` with a zero duration; `exit` fills it in.
+    stack: Vec<(usize, Instant)>,
+}
+
+impl AnalyzeCollector {
+    pub(crate) fn new() -> Self {
+        AnalyzeCollector {
+            nodes: Vec::new(),
+            stack: Vec::new(),
+        }
+    }
+
+    /// Opens a frame for a node about to evaluate; returns its index for `exit`.
+    pub(crate) fn enter(&mut self, op: &'static str, detail: String) -> usize {
+        let parent = self.stack.last().map(|&(i, _)| i);
+        let index = self.nodes.len();
+        self.nodes.push(NodeStats {
+            op,
+            detail,
+            total_us: 0,
+            rows_out: 0,
+            kernel: None,
+            parent,
+            depth: self.stack.len(),
+            shared: false,
+        });
+        self.stack.push((index, Instant::now()));
+        index
+    }
+
+    /// Closes the frame opened by the matching `enter`, recording duration and output
+    /// cardinality.
+    pub(crate) fn exit(&mut self, frame: usize, rows_out: u64) {
+        if let Some(pos) = self.stack.iter().rposition(|&(i, _)| i == frame) {
+            let (_, start) = self.stack.remove(pos);
+            self.nodes[frame].total_us = start.elapsed().as_micros() as u64;
+        }
+        self.nodes[frame].rows_out = rows_out;
+    }
+
+    /// Records a re-reference of an already-evaluated node: a zero-cost shared frame.
+    pub(crate) fn memo_hit(&mut self, op: &'static str, detail: String, rows_out: u64) {
+        let parent = self.stack.last().map(|&(i, _)| i);
+        self.nodes.push(NodeStats {
+            op,
+            detail,
+            total_us: 0,
+            rows_out,
+            kernel: None,
+            parent,
+            depth: self.stack.len(),
+            shared: true,
+        });
+    }
+
+    /// Tags the currently evaluating frame with the kernel its operator chose.
+    pub(crate) fn note_kernel(&mut self, kernel: &'static str) {
+        if let Some(&(index, _)) = self.stack.last() {
+            self.nodes[index].kernel = Some(kernel);
+        }
+    }
+
+    pub(crate) fn finish(self) -> Vec<NodeStats> {
+        self.nodes
+    }
+}
+
+/// Snapshot of the registry counters an [`AnalyzeReport`] folds in as deltas.
+pub(crate) struct CounterBaseline {
+    dispatches: u64,
+    exchanges: u64,
+}
+
+impl CounterBaseline {
+    pub(crate) fn take() -> Self {
+        CounterBaseline {
+            dispatches: registry().counter_value(wpinq_core::shard::POOL_DISPATCHES_METRIC),
+            exchanges: registry().counter_value(wpinq_dataflow::EXCHANGES_METRIC),
+        }
+    }
+
+    pub(crate) fn deltas(&self) -> (u64, u64) {
+        let now = CounterBaseline::take();
+        (
+            now.dispatches.saturating_sub(self.dispatches),
+            now.exchanges.saturating_sub(self.exchanges),
+        )
+    }
+}

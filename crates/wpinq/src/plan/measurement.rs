@@ -99,6 +99,32 @@ impl<T: Record> Measurement<T> {
         self.plan.explain()
     }
 
+    /// The instrumented twin of [`release_opt`](Self::release_opt): one evaluation pass
+    /// producing both the released measurement and its EXPLAIN ANALYZE report plus the
+    /// noise-application wall time.
+    ///
+    /// The data path is identical to `release_opt` — same optimizer pass, same
+    /// evaluation code, same single `NoisyCounts::measure` call on the same `rng` — so
+    /// for a fixed seed the released measurement is **byte-identical** with tracing on
+    /// or off (the service's tests assert this).
+    pub fn release_traced<R: Rng + ?Sized>(
+        &self,
+        bindings: &PlanBindings,
+        executor: &dyn crate::plan::Executor,
+        level: crate::plan::OptimizeLevel,
+        rng: &mut R,
+    ) -> (NoisyCounts<T>, ReleaseTrace) {
+        let (data, analyze) = self.plan.eval_analyzed(bindings, executor, level);
+        let noise_started = std::time::Instant::now();
+        let released = NoisyCounts::measure(&data, self.epsilon, rng);
+        let trace = ReleaseTrace {
+            eval_us: analyze.total_us,
+            noise_us: noise_started.elapsed().as_micros() as u64,
+            analyze,
+        };
+        (released, trace)
+    }
+
     /// Lowers the plan onto the bound candidate streams and attaches an incremental L1
     /// scorer against the observed part of a released measurement.
     pub fn lower_scorer(
@@ -151,6 +177,18 @@ impl<T: Record> Measurement<T> {
     ) -> ScorerHandle<T> {
         self.plan.lower_sharded(bindings).l1_scorer(targets)
     }
+}
+
+/// Timings of one traced release: the evaluation's EXPLAIN ANALYZE report plus the
+/// wall time of the Laplace noise application.
+#[derive(Clone, Debug)]
+pub struct ReleaseTrace {
+    /// Wall time of plan optimization + evaluation, microseconds.
+    pub eval_us: u64,
+    /// Wall time of the noise application, microseconds.
+    pub noise_us: u64,
+    /// The per-operator evaluation report.
+    pub analyze: crate::plan::AnalyzeReport,
 }
 
 impl<T: Record> std::fmt::Debug for Measurement<T> {

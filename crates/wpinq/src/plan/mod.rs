@@ -71,6 +71,7 @@
 //! assert_eq!(degrees.multiplicities().values().sum::<u32>(), 1);
 //! ```
 
+mod analyze;
 mod bindings;
 mod columnar;
 mod executor;
@@ -90,13 +91,14 @@ use wpinq_core::value::{ExprRecord, Value, ValueType};
 use wpinq_dataflow::Stream;
 use wpinq_expr::{Expr, PlanSpec, ReduceSpec};
 
+pub use analyze::{AnalyzeReport, NodeStats};
 pub use bindings::{PlanBindings, ShardedStreamBindings, StreamBindings};
 pub use executor::{
     available_threads, default_backend, default_executor, executor_for_threads, Backend, Executor,
     IncrementalEngine, PairedBackend, SequentialExecutor, ShardedExecutor, INC_SHARDS_ENV,
     MAX_SHARDS, THREADS_ENV,
 };
-pub use measurement::Measurement;
+pub use measurement::{Measurement, ReleaseTrace};
 pub use optimize::{OptimizeLevel, PlanExplain, OPTIMIZE_ENV};
 pub use wire::{dataset_to_values, plan_from_spec, DynPlan, DynSource};
 
@@ -473,20 +475,112 @@ impl<T: Record> Plan<T> {
         self.eval_node(&mut ctx)
     }
 
+    /// EXPLAIN ANALYZE: evaluates the plan with the sequential reference executor and
+    /// returns per-operator wall times, output cardinalities, the kernel (columnar vs
+    /// row) each expression operator chose, and the worker-pool dispatch / exchange
+    /// deltas over the evaluation. The evaluated data is discarded; callers that need
+    /// both go through [`Measurement::release_traced`](measurement::Measurement).
+    pub fn explain_analyze(&self, bindings: &PlanBindings) -> AnalyzeReport {
+        self.explain_analyze_with(bindings, &SequentialExecutor)
+    }
+
+    /// [`explain_analyze`](Self::explain_analyze) under an explicit [`Executor`].
+    pub fn explain_analyze_with(
+        &self,
+        bindings: &PlanBindings,
+        executor: &dyn Executor,
+    ) -> AnalyzeReport {
+        self.eval_analyzed(bindings, executor, OptimizeLevel::from_env())
+            .1
+    }
+
+    /// The instrumented twin of [`eval_shared_opt`](Self::eval_shared_opt): one
+    /// evaluation pass producing both the dataset and its [`AnalyzeReport`]. The data
+    /// path is the same code as the uninstrumented evaluation (the collector only hooks
+    /// the memoising node wrappers), so the returned dataset is bitwise identical to
+    /// what `eval_shared_opt` returns.
+    pub(crate) fn eval_analyzed(
+        &self,
+        bindings: &PlanBindings,
+        executor: &dyn Executor,
+        level: OptimizeLevel,
+    ) -> (Arc<WeightedDataset<T>>, AnalyzeReport) {
+        use std::time::Instant;
+        let started = Instant::now();
+        let baseline = analyze::CounterBaseline::take();
+        let plan = self.optimize_for_bindings(level, bindings);
+        let shards = executor.shard_count();
+        let (result, nodes) = if shards <= 1 {
+            let mut ctx = BatchCtx::with_analyze(bindings);
+            let out = plan.eval_node(&mut ctx);
+            let nodes = ctx.analyze.take().expect("analyze collector present");
+            (out, nodes.finish())
+        } else {
+            let runner = executor
+                .pool()
+                .map_or(ShardRunner::Scoped, ShardRunner::Pooled);
+            let mut ctx = ShardCtx::with_analyze(bindings, shards, runner);
+            let sharded = plan.eval_shards_node(&mut ctx);
+            let nodes = ctx.analyze.take().expect("analyze collector present");
+            drop(ctx);
+            let merged = Arc::try_unwrap(sharded)
+                .map(ShardedDataset::into_merged)
+                .unwrap_or_else(|rc| rc.merged());
+            (Arc::new(merged), nodes.finish())
+        };
+        let (pool_dispatches, exchanges) = baseline.deltas();
+        let report = AnalyzeReport {
+            executor: if shards <= 1 {
+                "sequential".to_string()
+            } else {
+                format!("sharded({shards})")
+            },
+            nodes,
+            total_us: started.elapsed().as_micros() as u64,
+            pool_dispatches,
+            exchanges,
+        };
+        (result, report)
+    }
+
     pub(crate) fn eval_node(&self, ctx: &mut BatchCtx<'_>) -> Arc<WeightedDataset<T>> {
         if let Some(hit) = ctx.lookup::<T>(self.node_key()) {
+            if let Some(collector) = ctx.analyze.as_mut() {
+                collector.memo_hit(self.node.describe(), self.node.detail(), hit.len() as u64);
+            }
             return hit;
         }
+        let frame = ctx
+            .analyze
+            .as_mut()
+            .map(|c| c.enter(self.node.describe(), self.node.detail()));
         let computed = self.node.eval_batch(ctx);
+        if let Some(frame) = frame {
+            if let Some(collector) = ctx.analyze.as_mut() {
+                collector.exit(frame, computed.len() as u64);
+            }
+        }
         ctx.store::<T>(self.node_key(), computed.clone());
         computed
     }
 
     pub(crate) fn eval_shards_node(&self, ctx: &mut ShardCtx<'_>) -> Arc<ShardedDataset<T>> {
         if let Some(hit) = ctx.lookup::<T>(self.node_key()) {
+            if let Some(collector) = ctx.analyze.as_mut() {
+                collector.memo_hit(self.node.describe(), self.node.detail(), hit.len() as u64);
+            }
             return hit;
         }
+        let frame = ctx
+            .analyze
+            .as_mut()
+            .map(|c| c.enter(self.node.describe(), self.node.detail()));
         let computed = self.node.eval_shards(ctx);
+        if let Some(frame) = frame {
+            if let Some(collector) = ctx.analyze.as_mut() {
+                collector.exit(frame, computed.len() as u64);
+            }
+        }
         ctx.store::<T>(self.node_key(), computed.clone());
         computed
     }

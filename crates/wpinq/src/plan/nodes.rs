@@ -23,6 +23,7 @@ use wpinq_core::value::{Value, ValueType};
 use wpinq_dataflow::{DataflowInput, ShardedInput, ShardedStream, Stream, DEFAULT_INLINE_CUTOVER};
 use wpinq_expr::{Expr, ReduceSpec, SpecNode};
 
+use super::analyze::AnalyzeCollector;
 use super::bindings::{PlanBindings, ShardedStreamBindings, StreamBindings};
 use super::columnar;
 use super::executor::available_threads;
@@ -278,10 +279,12 @@ impl<T: Record> NodeRender for &dyn PlanNode<T> {
 // ---------------------------------------------------------------------------------------
 
 /// Context of one batch evaluation: source bindings plus a memo of already-evaluated
-/// nodes (`Arc<WeightedDataset<T>>`, type-erased).
+/// nodes (`Arc<WeightedDataset<T>>`, type-erased). An optional EXPLAIN ANALYZE
+/// collector records per-node timings; `None` (the default) costs one branch per node.
 pub(crate) struct BatchCtx<'a> {
     bindings: &'a PlanBindings,
     memo: HashMap<usize, Box<dyn Any>>,
+    pub(crate) analyze: Option<AnalyzeCollector>,
 }
 
 impl<'a> BatchCtx<'a> {
@@ -289,6 +292,22 @@ impl<'a> BatchCtx<'a> {
         BatchCtx {
             bindings,
             memo: HashMap::new(),
+            analyze: None,
+        }
+    }
+
+    pub(crate) fn with_analyze(bindings: &'a PlanBindings) -> Self {
+        BatchCtx {
+            bindings,
+            memo: HashMap::new(),
+            analyze: Some(AnalyzeCollector::new()),
+        }
+    }
+
+    /// Tags the currently evaluating frame with the kernel chosen (no-op untraced).
+    pub(crate) fn note_kernel(&mut self, kernel: &'static str) {
+        if let Some(collector) = self.analyze.as_mut() {
+            collector.note_kernel(kernel);
         }
     }
 
@@ -320,6 +339,7 @@ pub(crate) struct ShardCtx<'a> {
     /// reference path). Both produce bitwise-identical results.
     runner: ShardRunner<'a>,
     memo: HashMap<usize, Box<dyn Any>>,
+    pub(crate) analyze: Option<AnalyzeCollector>,
 }
 
 impl<'a> ShardCtx<'a> {
@@ -329,6 +349,24 @@ impl<'a> ShardCtx<'a> {
             nshards: nshards.max(1),
             runner,
             memo: HashMap::new(),
+            analyze: None,
+        }
+    }
+
+    pub(crate) fn with_analyze(
+        bindings: &'a PlanBindings,
+        nshards: usize,
+        runner: ShardRunner<'a>,
+    ) -> Self {
+        let mut ctx = ShardCtx::new(bindings, nshards, runner);
+        ctx.analyze = Some(AnalyzeCollector::new());
+        ctx
+    }
+
+    /// Tags the currently evaluating frame with the kernel chosen (no-op untraced).
+    pub(crate) fn note_kernel(&mut self, kernel: &'static str) {
+        if let Some(collector) = self.analyze.as_mut() {
+            collector.note_kernel(kernel);
         }
     }
 
@@ -762,8 +800,10 @@ impl<T: Record, U: Record> PlanNode<U> for SelectNode<T, U> {
         let parent = self.parent.eval_node(ctx);
         if let Some(expr) = &self.expr {
             if let Some(out) = columnar::try_select(&parent, expr) {
+                ctx.note_kernel("columnar");
                 return Arc::new(out);
             }
+            ctx.note_kernel("row");
         }
         Arc::new(batch::select(&parent, &*self.f))
     }
@@ -772,8 +812,10 @@ impl<T: Record, U: Record> PlanNode<U> for SelectNode<T, U> {
         let parent = self.parent.eval_shards_node(ctx);
         if let Some(expr) = &self.expr {
             if let Some(out) = columnar::try_select_shards(&parent, expr, ctx.runner()) {
+                ctx.note_kernel("columnar");
                 return Arc::new(out);
             }
+            ctx.note_kernel("row");
         }
         Arc::new(shard::select(&parent, &*self.f, ctx.runner()))
     }
@@ -923,8 +965,10 @@ impl<T: Record> PlanNode<T> for FilterNode<T> {
         let parent = self.parent.eval_node(ctx);
         if let Some(expr) = &self.expr {
             if let Some(out) = columnar::try_filter(&parent, expr) {
+                ctx.note_kernel("columnar");
                 return Arc::new(out);
             }
+            ctx.note_kernel("row");
         }
         Arc::new(batch::filter(&parent, &*self.predicate))
     }
@@ -933,8 +977,10 @@ impl<T: Record> PlanNode<T> for FilterNode<T> {
         let parent = self.parent.eval_shards_node(ctx);
         if let Some(expr) = &self.expr {
             if let Some(out) = columnar::try_filter_shards(&parent, expr, ctx.runner()) {
+                ctx.note_kernel("columnar");
                 return Arc::new(out);
             }
+            ctx.note_kernel("row");
         }
         Arc::new(shard::filter(&parent, &*self.predicate, ctx.runner()))
     }
@@ -1115,8 +1161,10 @@ impl<T: Record, U: Record> PlanNode<U> for SelectManyNode<T, U> {
         let parent = self.parent.eval_node(ctx);
         if let Some(payload) = &self.exprs {
             if let Some(out) = columnar::try_select_many_unit(&parent, &payload.exprs) {
+                ctx.note_kernel("columnar");
                 return Arc::new(out);
             }
+            ctx.note_kernel("row");
         }
         Arc::new(batch::select_many(&parent, &*self.f))
     }
@@ -1127,8 +1175,10 @@ impl<T: Record, U: Record> PlanNode<U> for SelectManyNode<T, U> {
             if let Some(out) =
                 columnar::try_select_many_unit_shards(&parent, &payload.exprs, ctx.runner())
             {
+                ctx.note_kernel("columnar");
                 return Arc::new(out);
             }
+            ctx.note_kernel("row");
         }
         Arc::new(shard::select_many(&parent, &*self.f, ctx.runner()))
     }
@@ -1309,8 +1359,10 @@ impl<T: Record, K: Record, R: Record> PlanNode<(K, R)> for GroupByNode<T, K, R> 
         let parent = self.parent.eval_node(ctx);
         if let Some((key, reduce)) = &self.exprs {
             if let Some(out) = columnar::try_group_by(&parent, key, reduce) {
+                ctx.note_kernel("columnar");
                 return Arc::new(out);
             }
+            ctx.note_kernel("row");
         }
         Arc::new(batch::group_by(&parent, &*self.key, &*self.reduce))
     }
@@ -1319,8 +1371,10 @@ impl<T: Record, K: Record, R: Record> PlanNode<(K, R)> for GroupByNode<T, K, R> 
         let parent = self.parent.eval_shards_node(ctx);
         if let Some((key, reduce)) = &self.exprs {
             if let Some(out) = columnar::try_group_by_shards(&parent, key, reduce, ctx.runner()) {
+                ctx.note_kernel("columnar");
                 return Arc::new(out);
             }
+            ctx.note_kernel("row");
         }
         Arc::new(shard::group_by(
             &parent,
@@ -1741,8 +1795,10 @@ impl<A: Record, B: Record, K: Record, R: Record> PlanNode<R> for JoinNode<A, B, 
                 &payload.key_right,
                 &payload.result,
             ) {
+                ctx.note_kernel("columnar");
                 return Arc::new(out);
             }
+            ctx.note_kernel("row");
         }
         Arc::new(batch::join(
             &left,
@@ -1765,8 +1821,10 @@ impl<A: Record, B: Record, K: Record, R: Record> PlanNode<R> for JoinNode<A, B, 
                 &payload.result,
                 ctx.runner(),
             ) {
+                ctx.note_kernel("columnar");
                 return Arc::new(out);
             }
+            ctx.note_kernel("row");
         }
         Arc::new(shard::join(
             &left,

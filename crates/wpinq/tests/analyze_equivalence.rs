@@ -1,0 +1,237 @@
+//! Property tests: EXPLAIN ANALYZE observes evaluation without perturbing it.
+//!
+//! `Plan::explain_analyze` / `Measurement::release_traced` run the very same data path
+//! as the uninstrumented evaluation — the collector only hooks the memoising node
+//! wrappers — so a traced release must be **byte-identical** to an untraced one for the
+//! same seed, under every executor. These properties drive random multi-operator plans
+//! (same stack-program builder as `executor_equivalence.rs`) through both paths and
+//! compare released bits exactly, which is the "provably free when disabled" half of
+//! the telemetry contract at the plan layer.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wpinq::plan::{OptimizeLevel, Plan, PlanBindings, SequentialExecutor, ShardedExecutor};
+use wpinq::WeightedDataset;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn delta_dataset() -> impl Strategy<Value = WeightedDataset<u32>> {
+    proptest::collection::vec((0u32..16, -2.0f64..2.0), 1..40).prop_map(|deltas| {
+        let mut data = WeightedDataset::new();
+        for (record, delta) in deltas {
+            data.add_weight(record, delta);
+        }
+        data
+    })
+}
+
+#[derive(Debug, Clone)]
+enum PlanOp {
+    PushSource,
+    Select(u32),
+    Filter(u32),
+    GroupBy(u32),
+    Shave,
+    Join(u32),
+    Concat,
+    Except,
+}
+
+fn plan_op() -> impl Strategy<Value = PlanOp> {
+    (0u8..8, 1u32..6).prop_map(|(op, k)| match op {
+        0 => PlanOp::PushSource,
+        1 => PlanOp::Select(k),
+        2 => PlanOp::Filter(k),
+        3 => PlanOp::GroupBy(k),
+        4 => PlanOp::Shave,
+        5 => PlanOp::Join(k),
+        6 => PlanOp::Concat,
+        _ => PlanOp::Except,
+    })
+}
+
+fn build_plan(source: &Plan<u32>, program: &[PlanOp]) -> Plan<u32> {
+    let mut stack: Vec<Plan<u32>> = vec![source.clone()];
+    for op in program {
+        match op {
+            PlanOp::PushSource => stack.push(source.clone()),
+            PlanOp::Select(k) => {
+                let m = 2 + *k;
+                let top = stack.pop().unwrap();
+                stack.push(top.select(move |x| x % m));
+            }
+            PlanOp::Filter(k) => {
+                let m = 1 + *k;
+                let top = stack.pop().unwrap();
+                stack.push(top.filter(move |x| x % m != 0));
+            }
+            PlanOp::GroupBy(k) => {
+                let m = 1 + *k;
+                let top = stack.pop().unwrap();
+                stack.push(
+                    top.group_by(move |x| x % m, |g| g.len() as u64)
+                        .select(|(key, count)| key.wrapping_mul(31).wrapping_add(*count as u32)),
+                );
+            }
+            PlanOp::Shave => {
+                let top = stack.pop().unwrap();
+                stack.push(
+                    top.shave_const(1.0)
+                        .select(|(x, i)| x.wrapping_mul(17).wrapping_add(*i as u32)),
+                );
+            }
+            PlanOp::Join(k) => {
+                if stack.len() < 2 {
+                    continue;
+                }
+                let m = 1 + *k;
+                let right = stack.pop().unwrap();
+                let left = stack.pop().unwrap();
+                stack.push(left.join(
+                    &right,
+                    move |x| x % m,
+                    move |y| y % m,
+                    |x, y| x.wrapping_mul(7).wrapping_add(*y),
+                ));
+            }
+            PlanOp::Concat | PlanOp::Except => {
+                if stack.len() < 2 {
+                    continue;
+                }
+                let right = stack.pop().unwrap();
+                let left = stack.pop().unwrap();
+                stack.push(match op {
+                    PlanOp::Concat => left.concat(&right),
+                    _ => left.except(&right),
+                });
+            }
+        }
+    }
+    stack.pop().expect("stack never empties")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A traced release is byte-identical to an untraced one for the same seed, under
+    /// the sequential executor and every shard count.
+    #[test]
+    fn traced_releases_are_byte_identical_to_untraced(
+        program in proptest::collection::vec(plan_op(), 1..8),
+        data in delta_dataset(),
+        seed in 0u64..1000,
+    ) {
+        let source = Plan::<u32>::source();
+        let plan = build_plan(&source, &program);
+        let measurement = plan.noisy_count(0.5);
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&source, data);
+
+        let executors: Vec<Box<dyn wpinq::plan::Executor>> = {
+            let mut v: Vec<Box<dyn wpinq::plan::Executor>> = vec![Box::new(SequentialExecutor)];
+            for n in SHARD_COUNTS {
+                v.push(Box::new(ShardedExecutor::new(n)));
+            }
+            v
+        };
+        for executor in &executors {
+            let untraced = measurement.release_opt(
+                &bindings,
+                &**executor,
+                OptimizeLevel::from_env(),
+                &mut StdRng::seed_from_u64(seed),
+            );
+            let (traced, trace) = measurement.release_traced(
+                &bindings,
+                &**executor,
+                OptimizeLevel::from_env(),
+                &mut StdRng::seed_from_u64(seed),
+            );
+            for (record, value) in untraced.sorted_observed() {
+                prop_assert_eq!(
+                    value.to_bits(),
+                    traced.get(&record).to_bits(),
+                    "traced release differs at {:?}",
+                    record
+                );
+            }
+            prop_assert!(!trace.analyze.nodes.is_empty(), "report has at least the root frame");
+        }
+    }
+
+    /// The report's structure is coherent: the root frame is first (walk order), its
+    /// cardinality is the evaluated record count, and frame parents always point at
+    /// earlier-listed frames.
+    #[test]
+    fn analyze_reports_are_structurally_sound(
+        program in proptest::collection::vec(plan_op(), 1..8),
+        data in delta_dataset(),
+    ) {
+        let source = Plan::<u32>::source();
+        let plan = build_plan(&source, &program);
+        let mut bindings = PlanBindings::new();
+        bindings.bind(&source, data);
+        let expected_rows = plan.eval(&bindings).len() as u64;
+
+        let report = plan.explain_analyze(&bindings);
+        let root = report.nodes.first().expect("at least one frame");
+        prop_assert_eq!(root.parent, None, "root frame has no parent");
+        prop_assert_eq!(root.depth, 0usize);
+        prop_assert_eq!(root.rows_out, expected_rows);
+        for (i, frame) in report.nodes.iter().enumerate() {
+            if let Some(parent) = frame.parent {
+                prop_assert!(parent < i, "parents precede their frames in walk order");
+                prop_assert_eq!(
+                    report.nodes[parent].depth + 1,
+                    frame.depth,
+                    "frame {} depth inconsistent with its parent", i
+                );
+            }
+        }
+        // The JSON form parses the shape a consumer relies on.
+        let json = report.to_json();
+        prop_assert!(json.starts_with("{\"executor\":\""));
+        prop_assert!(json.contains("\"nodes\":["));
+    }
+}
+
+/// A deterministic end-to-end check on a built-in analysis shape (degree CCDF): the
+/// report names every operator, carries per-node wall times and cardinalities, and the
+/// kernel tag shows up on expression-built operators.
+#[test]
+fn degree_ccdf_report_names_operators_and_kernels() {
+    use wpinq_expr::Expr;
+
+    let edges = Plan::<(u32, u32)>::source_expr("edges");
+    let degrees = edges
+        .select_expr::<u32>(Expr::input().field(0))
+        .shave_const(1.0)
+        .select_expr::<u64>(Expr::input().field(1));
+    let mut bindings = PlanBindings::new();
+    bindings.bind(
+        &edges,
+        WeightedDataset::from_records([(0u32, 1u32), (0, 2), (1, 2), (2, 0)]),
+    );
+    let report = plan_report(&degrees, &bindings);
+    let ops: Vec<&str> = report.nodes.iter().map(|n| n.op).collect();
+    assert!(ops.contains(&"Source"), "{ops:?}");
+    assert!(ops.contains(&"Shave"), "{ops:?}");
+    assert!(ops.contains(&"Select"), "{ops:?}");
+    assert!(
+        report
+            .nodes
+            .iter()
+            .any(|n| n.op == "Select" && n.kernel.is_some()),
+        "expression selects report their kernel"
+    );
+    let root = report.nodes.first().unwrap();
+    assert_eq!(root.rows_out, degrees.eval(&bindings).len() as u64);
+    let rendered = report.render();
+    assert!(rendered.contains("EXPLAIN ANALYZE"), "{rendered}");
+    assert!(rendered.contains("rows"), "{rendered}");
+}
+
+fn plan_report(plan: &Plan<u64>, bindings: &PlanBindings) -> wpinq::plan::AnalyzeReport {
+    plan.explain_analyze(bindings)
+}
