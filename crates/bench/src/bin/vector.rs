@@ -20,7 +20,7 @@ use std::time::Instant;
 
 use bench::report::{fmt_f, heading, Table};
 use bench::HarnessArgs;
-use wpinq::expr::set_columnar_override;
+use wpinq::expr::{set_columnar_override, set_radix_override};
 use wpinq::plan::{
     dataset_to_values, plan_from_spec, DynPlan, OptimizeLevel, PlanBindings, SequentialExecutor,
 };
@@ -210,6 +210,46 @@ fn workloads(data: &WeightedDataset<Rec>) -> Vec<Workload> {
         out.push(workload("hash-join", data, source, typed, expr_form));
     }
 
+    // A hash join whose *result* records are five-leaf tuples — one leaf past the packed
+    // width — so the columnar path must take the borrowing-probe fallback (one reused
+    // scratch row per probe instead of a materialized `Value` per match attempt). A
+    // final projection folds the wide record back to a pair.
+    {
+        let source = Plan::<Rec>::source_expr("records");
+        let left = source.filter(|r: &Rec| r.0.is_multiple_of(2));
+        let left_e = source.filter_expr(x().field(0).rem(Expr::u64(2)).eq(Expr::u64(0)));
+        let right = source.filter(|r: &Rec| !r.1.is_multiple_of(2));
+        let right_e = source.filter_expr(x().field(1).rem(Expr::u64(2)).eq(Expr::u64(1)));
+        type Wide = ((u64, u64), (u64, u64, u64));
+        let typed = left
+            .join(
+                &right,
+                |a| a.0 % 4096,
+                |b| b.0 % 4096,
+                |a, b| ((a.0, a.1), (b.0, b.1, a.0.wrapping_add(b.1))),
+            )
+            .select(|r: &Wide| (r.0 .0.wrapping_add(r.1 .0), r.1 .2));
+        let expr_form = left_e
+            .join_expr::<Rec, u64, Wide>(
+                &right_e,
+                x().field(0).rem(Expr::u64(4096)),
+                x().field(0).rem(Expr::u64(4096)),
+                Expr::tuple(vec![
+                    Expr::tuple(vec![x().field(0).field(0), x().field(0).field(1)]),
+                    Expr::tuple(vec![
+                        x().field(1).field(0),
+                        x().field(1).field(1),
+                        x().field(0).field(0).add(x().field(1).field(1)),
+                    ]),
+                ]),
+            )
+            .select_expr::<Rec>(Expr::tuple(vec![
+                x().field(0).field(0).add(x().field(1).field(0)),
+                x().field(1).field(2),
+            ]));
+        out.push(workload("hash-join-wide", data, source, typed, expr_form));
+    }
+
     out
 }
 
@@ -272,6 +312,139 @@ fn write_json(path: &str, mode: &str, rows: &[Row]) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Kernel-granularity resolve microbench: one collapsing projection (the whole plan is a
+/// single merge of duplicate-heavy contributions), timed under each resolution strategy —
+/// hash accumulation (row interpreter), global packed sort-merge (`WPINQ_RADIX=0`), and
+/// radix partition + per-partition sort (the default). All three are asserted bitwise
+/// identical before timing is reported.
+fn resolve_microbench(data: &WeightedDataset<Rec>, reps: usize, rows: &mut Vec<Row>) {
+    let x = Expr::input;
+    let source = Plan::<Rec>::source_expr("records");
+    let expr_form = source.select_expr::<Rec>(Expr::tuple(vec![
+        x().field(0).rem(Expr::u64(512)),
+        x().field(1).rem(Expr::u64(64)),
+    ]));
+    let w = workload("resolve-merge", data, source.clone(), source, expr_form);
+
+    let leg = |columnar: bool, radix: bool| {
+        set_columnar_override(Some(columnar));
+        set_radix_override(Some(radix));
+        let mut best = f64::INFINITY;
+        let mut out = None;
+        for _ in 0..reps {
+            out = Some(timed(&mut best, || {
+                w.dynamic
+                    .plan
+                    .eval_opt(&w.dyn_bindings, &SequentialExecutor, OptimizeLevel::None)
+            }));
+        }
+        set_columnar_override(None);
+        set_radix_override(None);
+        (best, canon(&out.expect("at least one rep")))
+    };
+    let (hash_ms, hash_out) = leg(false, false);
+    let (sm_ms, sm_out) = leg(true, false);
+    let (radix_ms, radix_out) = leg(true, true);
+    assert_eq!(
+        sm_out, hash_out,
+        "resolve-merge: sort-merge diverged from hash"
+    );
+    assert_eq!(
+        radix_out, sm_out,
+        "resolve-merge: radix diverged from sort-merge"
+    );
+
+    let mut table = Table::new([
+        "resolve strategy".to_string(),
+        "wall ms".to_string(),
+        "speedup vs hash".to_string(),
+    ]);
+    for (name, ms) in [
+        ("hash", hash_ms),
+        ("sort-merge", sm_ms),
+        ("radix", radix_ms),
+    ] {
+        table.row(vec![
+            name.to_string(),
+            fmt_f(ms, 2),
+            format!("{:.2}x", hash_ms / ms),
+        ]);
+        rows.push(Row {
+            workload: "resolve-merge",
+            executor: match name {
+                "hash" => "hash",
+                "sort-merge" => "sort-merge",
+                _ => "radix",
+            },
+            wall_ms: ms,
+            speedup_vs_row: hash_ms / ms,
+        });
+    }
+    table.print();
+    println!();
+}
+
+/// Colwire codec microbench: encode and decode the whole dataset as one frame, reporting
+/// wall time and wire density (bytes per row; the JSON release form is ~an order of
+/// magnitude wider). The decode is asserted bit-exact against the input rows.
+fn colwire_microbench(data: &WeightedDataset<Rec>, reps: usize, rows: &mut Vec<Row>) {
+    let pairs: Vec<(Value, f64)> = dataset_to_values(data)
+        .iter()
+        .map(|(record, weight)| (record.clone(), weight))
+        .collect();
+    let mut encode_ms = f64::INFINITY;
+    let mut decode_ms = f64::INFINITY;
+    let (mut frame, mut back) = (None, None);
+    for _ in 0..reps {
+        frame = Some(timed(&mut encode_ms, || {
+            wpinq::colwire::encode_rows(&pairs).expect("shape-consistent rows encode")
+        }));
+        let bytes = frame.as_ref().unwrap();
+        back = Some(timed(&mut decode_ms, || {
+            wpinq::colwire::decode_rows(bytes).expect("self-decode")
+        }));
+    }
+    let frame = frame.expect("at least one rep");
+    let back = back.expect("at least one rep");
+    assert_eq!(back.len(), pairs.len(), "colwire dropped rows");
+    for ((v0, w0), (v1, w1)) in pairs.iter().zip(&back) {
+        assert_eq!(v0, v1, "colwire perturbed a record");
+        assert_eq!(w0.to_bits(), w1.to_bits(), "colwire perturbed weight bits");
+    }
+    let bytes_per_row = frame.len() as f64 / pairs.len() as f64;
+
+    let mut table = Table::new([
+        "colwire".to_string(),
+        "wall ms".to_string(),
+        "bytes/row".to_string(),
+    ]);
+    table.row(vec![
+        "encode".to_string(),
+        fmt_f(encode_ms, 2),
+        fmt_f(bytes_per_row, 1),
+    ]);
+    table.row(vec![
+        "decode".to_string(),
+        fmt_f(decode_ms, 2),
+        fmt_f(bytes_per_row, 1),
+    ]);
+    table.print();
+    println!();
+
+    rows.push(Row {
+        workload: "colwire-codec",
+        executor: "encode",
+        wall_ms: encode_ms,
+        speedup_vs_row: 1.0,
+    });
+    rows.push(Row {
+        workload: "colwire-codec",
+        executor: "decode",
+        wall_ms: decode_ms,
+        speedup_vs_row: 1.0,
+    });
+}
+
 fn main() {
     let args = HarnessArgs::from_env();
     let mode = if args.full_scale { "full" } else { "quick" };
@@ -288,18 +461,20 @@ fn main() {
         "workload".to_string(),
         "closure ms".to_string(),
         "expr-row ms".to_string(),
+        "sort-merge ms".to_string(),
         "expr-columnar ms".to_string(),
         "columnar speedup".to_string(),
     ]);
 
     for w in workloads(&data) {
-        // Interleave the three legs inside each rep so they sample the same machine
+        // Interleave the four legs inside each rep so they sample the same machine
         // state: per-leg best-of over sequential blocks lets a load spike during one
         // leg masquerade as a speedup (or regression) of another.
         let mut closure_ms = f64::INFINITY;
         let mut row_ms = f64::INFINITY;
+        let mut sm_ms = f64::INFINITY;
         let mut col_ms = f64::INFINITY;
-        let (mut typed_out, mut row_out, mut col_out) = (None, None, None);
+        let (mut typed_out, mut row_out, mut sm_out, mut col_out) = (None, None, None, None);
         for _ in 0..reps {
             typed_out = Some(timed(&mut closure_ms, || {
                 w.typed
@@ -312,16 +487,25 @@ fn main() {
                     .eval_opt(&w.dyn_bindings, &SequentialExecutor, OptimizeLevel::None)
             }));
             set_columnar_override(Some(true));
+            set_radix_override(Some(false));
+            sm_out = Some(timed(&mut sm_ms, || {
+                w.dynamic
+                    .plan
+                    .eval_opt(&w.dyn_bindings, &SequentialExecutor, OptimizeLevel::None)
+            }));
+            set_radix_override(Some(true));
             col_out = Some(timed(&mut col_ms, || {
                 w.dynamic
                     .plan
                     .eval_opt(&w.dyn_bindings, &SequentialExecutor, OptimizeLevel::None)
             }));
             set_columnar_override(None);
+            set_radix_override(None);
         }
-        let (typed_out, row_out, col_out) = (
+        let (typed_out, row_out, sm_out, col_out) = (
             typed_out.expect("at least one rep"),
             row_out.expect("at least one rep"),
+            sm_out.expect("at least one rep"),
             col_out.expect("at least one rep"),
         );
 
@@ -330,6 +514,12 @@ fn main() {
             canon(&row_out),
             reference,
             "{}: expr-row diverged from closures",
+            w.name
+        );
+        assert_eq!(
+            canon(&sm_out),
+            reference,
+            "{}: expr-columnar (sort-merge) diverged from closures",
             w.name
         );
         assert_eq!(
@@ -354,6 +544,12 @@ fn main() {
         });
         rows.push(Row {
             workload: w.name,
+            executor: "expr-columnar-sortmerge",
+            wall_ms: sm_ms,
+            speedup_vs_row: row_ms / sm_ms,
+        });
+        rows.push(Row {
+            workload: w.name,
             executor: "expr-columnar",
             wall_ms: col_ms,
             speedup_vs_row: speedup,
@@ -362,12 +558,16 @@ fn main() {
             w.name.to_string(),
             fmt_f(closure_ms, 2),
             fmt_f(row_ms, 2),
+            fmt_f(sm_ms, 2),
             fmt_f(col_ms, 2),
             format!("{speedup:.2}x"),
         ]);
     }
     table.print();
     println!();
+
+    resolve_microbench(&data, reps, &mut rows);
+    colwire_microbench(&data, reps, &mut rows);
 
     let path = args.out.as_deref().unwrap_or("BENCH_vector.json");
     match write_json(path, mode, &rows) {

@@ -127,6 +127,23 @@ impl ColumnData {
         }
     }
 
+    /// Drops every row while keeping the allocated capacity of every leaf vector — the
+    /// reuse primitive of per-operator scratch arenas, which gather into the same columns
+    /// chunk after chunk instead of reallocating.
+    pub fn clear(&mut self) {
+        match self {
+            ColumnData::Unit => {}
+            ColumnData::Bool(col) => col.clear(),
+            ColumnData::U64(col) => col.clear(),
+            ColumnData::I64(col) => col.clear(),
+            ColumnData::Tuple(cols) => {
+                for col in cols {
+                    col.clear();
+                }
+            }
+        }
+    }
+
     /// Materializes row `index` as a [`Value`].
     pub fn value_at(&self, index: usize) -> Value {
         match self {
@@ -207,6 +224,30 @@ impl ColumnBatch {
             batch.weights.push(weight);
         }
         Some(batch)
+    }
+
+    /// Reassembles a batch from decomposed columns and weights — the decode-side
+    /// constructor of the columnar wire format. Returns `None` unless every primitive
+    /// leaf holds exactly `weights.len()` rows (a shape of only `Unit` leaves carries no
+    /// storage and takes its length from the weights).
+    pub fn from_parts(columns: ColumnData, weights: Vec<f64>) -> Option<ColumnBatch> {
+        fn leaves_hold(cols: &ColumnData, rows: usize) -> bool {
+            match cols {
+                ColumnData::Unit => true,
+                ColumnData::Bool(col) => col.len() == rows,
+                ColumnData::U64(col) => col.len() == rows,
+                ColumnData::I64(col) => col.len() == rows,
+                ColumnData::Tuple(cols) => cols.iter().all(|c| leaves_hold(c, rows)),
+            }
+        }
+        if !leaves_hold(&columns, weights.len()) {
+            return None;
+        }
+        Some(ColumnBatch {
+            ty: columns.type_of(),
+            columns,
+            weights,
+        })
     }
 
     /// Transposes a dataset into columns (in the dataset's iteration order), inferring the

@@ -31,6 +31,7 @@
 pub mod accumulate;
 pub mod aggregation;
 pub mod column;
+pub mod colwire;
 pub mod dataset;
 pub mod noise;
 pub mod operators;

@@ -1,0 +1,118 @@
+//! Golden-fixture pin for the colwire version-1 frame layout.
+//!
+//! The hex string below is the committed byte-exact encoding of a fixed batch. If any
+//! structural change to the format lands without bumping [`COLWIRE_VERSION`] — a moved
+//! field, a changed width, a different tag — this test fails. To change the layout:
+//! bump the version, re-derive the fixture from the new encoder, and document the new
+//! frame in PROTOCOL.md.
+
+use wpinq_core::column::ColumnBatch;
+use wpinq_core::colwire::{decode_batch, encode_batch, from_base64, to_base64, COLWIRE_VERSION};
+use wpinq_core::value::{Value, ValueType};
+
+/// A fixed batch covering every leaf kind, integer extremes, and weights whose bit
+/// patterns are load-bearing (a quiet NaN, negative zero, a non-terminating fraction).
+fn golden_batch() -> ColumnBatch {
+    let rows = [
+        (
+            Value::Tuple(vec![
+                Value::U64(3),
+                Value::I64(-7),
+                Value::Bool(true),
+                Value::Unit,
+            ]),
+            1.25,
+        ),
+        (
+            Value::Tuple(vec![
+                Value::U64(u64::MAX),
+                Value::I64(i64::MIN),
+                Value::Bool(false),
+                Value::Unit,
+            ]),
+            f64::from_bits(0x7ff8_0000_0000_0000), // quiet NaN, fixed payload
+        ),
+        (
+            Value::Tuple(vec![
+                Value::U64(0),
+                Value::I64(0),
+                Value::Bool(true),
+                Value::Unit,
+            ]),
+            -0.0,
+        ),
+        (
+            Value::Tuple(vec![
+                Value::U64(42),
+                Value::I64(42),
+                Value::Bool(false),
+                Value::Unit,
+            ]),
+            1.0 / 3.0,
+        ),
+    ];
+    let ty = rows[0].0.type_of();
+    ColumnBatch::from_pairs(ty, rows.iter().map(|(v, w)| (v, *w))).unwrap()
+}
+
+/// The committed version-1 frame for [`golden_batch`], as lowercase hex.
+const GOLDEN_FRAME_HEX: &str = "7b00000057505143010000000404000203010004000000000000000300000000000000ffffffffffffffff00000000000000002a00000000000000f9ffffffffffffff000000000000008000000000000000002a0000000000000001000100000000000000f43f000000000000f87f0000000000000080555555555555d53f";
+
+fn to_hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn from_hex(text: &str) -> Vec<u8> {
+    assert!(text.len().is_multiple_of(2), "ragged hex fixture");
+    (0..text.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&text[i..i + 2], 16).expect("hex fixture"))
+        .collect()
+}
+
+/// Encoding the fixed batch must reproduce the committed frame byte for byte. A
+/// mismatch means the layout drifted without a version bump.
+#[test]
+fn encoder_reproduces_the_committed_frame() {
+    assert_eq!(
+        COLWIRE_VERSION, 1,
+        "layout version changed: regenerate GOLDEN_FRAME_HEX for the new version"
+    );
+    let frame = encode_batch(&golden_batch());
+    assert_eq!(
+        to_hex(&frame),
+        GOLDEN_FRAME_HEX,
+        "colwire frame bytes drifted without a COLWIRE_VERSION bump"
+    );
+}
+
+/// The committed frame must still decode to the exact batch — shape, integer bits,
+/// bool values, and weight bit patterns all intact.
+#[test]
+fn committed_frame_decodes_bit_exactly() {
+    let batch = golden_batch();
+    let decoded = decode_batch(&from_hex(GOLDEN_FRAME_HEX)).expect("golden frame decodes");
+    assert_eq!(decoded.ty(), batch.ty());
+    assert_eq!(decoded.columns(), batch.columns());
+    assert_eq!(decoded.len(), batch.len());
+    for (a, b) in batch.weights().iter().zip(decoded.weights()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "weight bits drifted");
+    }
+    assert_eq!(
+        decoded.ty(),
+        &ValueType::Tuple(vec![
+            ValueType::U64,
+            ValueType::I64,
+            ValueType::Bool,
+            ValueType::Unit
+        ])
+    );
+}
+
+/// The base64 form embedded in service envelopes is pinned transitively: encode → b64 →
+/// decode must land on the committed bytes.
+#[test]
+fn base64_projection_round_trips_the_committed_frame() {
+    let bytes = from_hex(GOLDEN_FRAME_HEX);
+    assert_eq!(from_base64(&to_base64(&bytes)).unwrap(), bytes);
+}

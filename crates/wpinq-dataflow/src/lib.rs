@@ -53,6 +53,6 @@ pub use delta::{consolidate, diff_datasets, Delta};
 pub use scorer::L1Scorer;
 pub use sharded::{
     ShardedDeltas, ShardedInput, ShardedStream, DEFAULT_INLINE_CUTOVER, EXCHANGES_METRIC,
-    INLINE_CUTOVER_ENV,
+    EXCHANGE_COLWIRE_BYTES_METRIC, EXCHANGE_COLWIRE_ROWS_METRIC, INLINE_CUTOVER_ENV,
 };
 pub use stream::{CollectedOutput, DataflowInput, ScorerHandle, Stream};

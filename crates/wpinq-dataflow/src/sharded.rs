@@ -44,12 +44,15 @@
 //! `tests/equivalence.rs` and `crates/wpinq/tests/` enforce the equivalence
 //! operator-by-operator, over random plans, and along seeded edge-swap trajectories.
 
+use std::any::Any;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::{Arc, OnceLock};
 
+use wpinq_core::colwire;
 use wpinq_core::shard::{shard_of, WorkerPool};
+use wpinq_core::value::Value;
 use wpinq_core::{Record, WeightedDataset};
 use wpinq_telemetry::{registry, Counter};
 
@@ -94,6 +97,72 @@ fn exchanges_counter() -> &'static Arc<Counter> {
             "Consolidating delta exchanges executed by sharded dataflow graphs",
         )
     })
+}
+
+/// Registry name of the counter of colwire frame bytes moved by pooled exchanges of
+/// dynamically typed (`Value`) delta buckets, cumulative over the process. Together with
+/// [`EXCHANGE_COLWIRE_ROWS_METRIC`] this yields the exchange format's bytes-per-row,
+/// which the vector bench reports as its `exchange-codec` leg.
+pub const EXCHANGE_COLWIRE_BYTES_METRIC: &str = "wpinq_exchange_colwire_bytes_total";
+
+/// Registry name of the counter of delta rows that crossed a pooled exchange as colwire
+/// frames (see [`EXCHANGE_COLWIRE_BYTES_METRIC`]).
+pub const EXCHANGE_COLWIRE_ROWS_METRIC: &str = "wpinq_exchange_colwire_rows_total";
+
+fn colwire_bytes_counter() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            EXCHANGE_COLWIRE_BYTES_METRIC,
+            &[],
+            "Colwire frame bytes moved by pooled Value-delta exchanges",
+        )
+    })
+}
+
+fn colwire_rows_counter() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        registry().counter(
+            EXCHANGE_COLWIRE_ROWS_METRIC,
+            &[],
+            "Delta rows moved through colwire frames by pooled Value-delta exchanges",
+        )
+    })
+}
+
+/// Moves one destination bucket across the exchange boundary. Dynamically typed
+/// (`Value`) buckets — the record type wire-built plans run on, and hence the only
+/// streams a remote deployment would exchange — travel as a compact colwire frame:
+/// column-contiguous fixed-width data instead of one boxed enum tree per row. The codec
+/// is bit-exact (`colwire` round-trips every `Value` and every `f64` weight, including
+/// NaN and -0.0, by raw bits), so the contributions handed to `consolidate` are
+/// identical to a by-ownership move and the release bytes cannot change. Statically
+/// typed buckets, and `Value` buckets whose records mix shapes (no single frame schema),
+/// move by ownership as before.
+fn ship_bucket<T: Record>(bucket: Vec<Delta<T>>) -> Vec<Delta<T>> {
+    if bucket.is_empty() {
+        return bucket;
+    }
+    let boxed: Box<dyn Any> = Box::new(bucket);
+    let rows = match boxed.downcast::<Vec<Delta<Value>>>() {
+        Ok(rows) => *rows,
+        Err(other) => {
+            return *other
+                .downcast::<Vec<Delta<T>>>()
+                .expect("identity downcast")
+        }
+    };
+    let shipped = match colwire::encode_rows(&rows) {
+        Some(frame) => {
+            colwire_bytes_counter().add(frame.len() as u64);
+            colwire_rows_counter().add(rows.len() as u64);
+            colwire::decode_rows(&frame).expect("colwire self-decode")
+        }
+        None => rows,
+    };
+    let back: Box<dyn Any> = Box::new(shipped);
+    *back.downcast::<Vec<Delta<T>>>().expect("identity downcast")
 }
 
 fn cutover_override() -> Option<usize> {
@@ -180,7 +249,16 @@ fn exchange<T: Record>(
     exchanges_counter().inc();
     let by_dest = combine(routed, n);
     let work = batch_work(&by_dest);
+    // Below the cutover the exchange is a local move and buckets are consolidated in
+    // place; at or above it (the branch a distributed deployment would put a network
+    // hop on) each bucket crosses the boundary as a colwire frame.
+    let pooled = work >= cutover;
     run_buckets(pool, cutover, by_dest, work, |_, contributions| {
+        let contributions = if pooled {
+            ship_bucket(contributions)
+        } else {
+            contributions
+        };
         consolidate(contributions)
     })
 }

@@ -27,17 +27,21 @@
 //! failure); the caller falls back to the row path, so enabling the columnar path can
 //! change performance but never results.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use rustc_hash::FxHashMap;
 
-use wpinq_core::accumulate::Contributions;
+use wpinq_core::accumulate::{canonical_norm, Contributions};
 use wpinq_core::column::{cmp_rows, ColumnBatch, ColumnData};
 use wpinq_core::dataset::WeightedDataset;
 use wpinq_core::operators::{join_build_probe, key_accumulator};
 use wpinq_core::shard::{shard_of, ShardRunner, ShardedDataset};
 use wpinq_core::value::{Value, ValueType};
 use wpinq_core::weights;
+use wpinq_telemetry::metrics::Counter;
+use wpinq_telemetry::registry;
 
 use crate::expr::Expr;
 use crate::program::ExprProgram;
@@ -67,6 +71,74 @@ pub fn columnar_enabled() -> bool {
         1 => false,
         2 => true,
         _ => std::env::var(COLUMNAR_ENV).map_or(true, |v| v != "0"),
+    }
+}
+
+/// Environment toggle for radix-partitioned packed-key resolution: set to `0` to keep
+/// the plain sort-merge everywhere (any other value, or unset, leaves radix on). Both
+/// paths resolve the identical canonical accumulation, so the toggle changes performance,
+/// never results.
+pub const RADIX_ENV: &str = "WPINQ_RADIX";
+
+/// Process-wide override: 0 = defer to the environment, 1 = forced off, 2 = forced on.
+static RADIX_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Overrides the [`RADIX_ENV`] toggle for this process (`None` restores deference to the
+/// environment). Lets tests and benches flip strategies without racing on `set_var`.
+pub fn set_radix_override(enabled: Option<bool>) {
+    let code = match enabled {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    RADIX_OVERRIDE.store(code, Ordering::Relaxed);
+}
+
+/// Whether packed-key resolution should radix-partition instead of sort-merging.
+pub fn radix_enabled() -> bool {
+    match RADIX_OVERRIDE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => std::env::var(RADIX_ENV).map_or(true, |v| v != "0"),
+    }
+}
+
+/// Registry name of the counter of `(record, weight)` contribution rows resolved into
+/// canonical per-record totals, labeled by `strategy="radix" | "sort_merge" | "hash"`.
+pub const RESOLVED_ROWS_METRIC: &str = "wpinq_resolved_rows_total";
+
+/// Resolution strategy label: radix partition + per-partition grouping.
+pub const STRATEGY_RADIX: &str = "radix";
+/// Resolution strategy label: full packed-key sort + run scan.
+pub const STRATEGY_SORT_MERGE: &str = "sort_merge";
+/// Resolution strategy label: hash-based `Contributions` accumulation (the fallback for
+/// shapes with no packed form).
+pub const STRATEGY_HASH: &str = "hash";
+
+/// The process-global counter handle for one `wpinq_resolved_rows_total` strategy
+/// series, created on first use. Exposed so per-operator tracing can snapshot the
+/// series with an atomic load instead of a locked registry lookup per frame.
+pub fn resolved_rows_counter(strategy: &'static str) -> &'static Arc<Counter> {
+    static RADIX: OnceLock<Arc<Counter>> = OnceLock::new();
+    static SORT_MERGE: OnceLock<Arc<Counter>> = OnceLock::new();
+    static HASH: OnceLock<Arc<Counter>> = OnceLock::new();
+    let slot = match strategy {
+        STRATEGY_RADIX => &RADIX,
+        STRATEGY_SORT_MERGE => &SORT_MERGE,
+        _ => &HASH,
+    };
+    slot.get_or_init(|| {
+        registry().counter(
+            RESOLVED_ROWS_METRIC,
+            &[("strategy", strategy)],
+            "Weighted contribution rows resolved into canonical record totals, by resolution strategy",
+        )
+    })
+}
+
+fn note_resolved_rows(strategy: &'static str, rows: usize) {
+    if rows > 0 {
+        resolved_rows_counter(strategy).add(rows as u64);
     }
 }
 
@@ -278,6 +350,147 @@ fn collect_leaf_cols<'a>(cols: &'a ColumnData, out: &mut Vec<LeafCol<'a>>) {
     }
 }
 
+/// Number of radix buckets the partitioner scatters packed rows into (2^11 keeps the
+/// whole bucket table in L1/L2 while cutting per-bucket sorts to ~rows/2048 elements).
+const RADIX_BUCKETS: usize = 1 << 11;
+
+/// Below this row count the counting pass plus bucket-table traversal costs more than
+/// the saved comparisons; small merges keep the plain sort.
+const RADIX_MIN_ROWS: usize = 4 * RADIX_BUCKETS;
+
+thread_local! {
+    /// Reused bucket tables of the radix partitioner (counts and the head/end cursors of
+    /// the in-place permutation): a per-thread scratch arena, so steady-state
+    /// partitioning allocates nothing.
+    static RADIX_SCRATCH: RefCell<RadixScratch> = RefCell::new(RadixScratch::default());
+}
+
+#[derive(Default)]
+struct RadixScratch {
+    counts: Vec<usize>,
+    heads: Vec<usize>,
+    ends: Vec<usize>,
+}
+
+/// The bucket of one packed key: a rotate-fold of all key words, masked to the **low**
+/// bits. Low bits because real key distributions (`x % 4096` bench keys, small graph
+/// node ids) often have constant high words, which would degenerate a high-bits digit
+/// into a single bucket; the fold keeps multi-word keys spread too. Equal keys fold
+/// equally, so a key group can never straddle buckets — the only property correctness
+/// needs.
+#[inline]
+fn radix_bucket<const N: usize>(key: &[u64; N]) -> usize {
+    let mut folded = 0u64;
+    let mut i = 0;
+    while i < N {
+        folded ^= key[i].rotate_left(23 * i as u32);
+        i += 1;
+    }
+    (folded as usize) & (RADIX_BUCKETS - 1)
+}
+
+/// Groups `rows` so that every equal-key run is contiguous and internally sorted by
+/// `(key, weight order key)` — exactly what the canonical scan consumes — without a full
+/// O(n log n) sort: one counting pass, one in-place American-flag permutation into
+/// [`RADIX_BUCKETS`] buckets, then an unstable sort of each (much shorter) bucket.
+///
+/// Cross-bucket order differs from a full sort (buckets are fold order, not key order),
+/// which is invisible downstream: groups are emitted into hash-keyed datasets and every
+/// consumer of dataset iteration order re-canonicalizes or sorts before anything is
+/// released, so released bytes depend only on the group *totals* — and those are
+/// bitwise identical because each group is resolved by the very same scan.
+fn radix_group<const N: usize>(rows: &mut [([u64; N], u64)]) {
+    RADIX_SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        let RadixScratch {
+            counts,
+            heads,
+            ends,
+        } = &mut *scratch;
+        counts.clear();
+        counts.resize(RADIX_BUCKETS, 0);
+        for row in rows.iter() {
+            counts[radix_bucket(&row.0)] += 1;
+        }
+        heads.clear();
+        ends.clear();
+        let mut offset = 0usize;
+        for &count in counts.iter() {
+            heads.push(offset);
+            offset += count;
+            ends.push(offset);
+        }
+        // In-place permutation: within bucket `b`, repeatedly route the row at the head
+        // cursor to its home bucket's head. Every swap finalizes one row, so the loop is
+        // O(n) swaps total; when bucket `b` completes, all earlier buckets already have.
+        for b in 0..RADIX_BUCKETS {
+            while heads[b] < ends[b] {
+                let i = heads[b];
+                let dest = radix_bucket(&rows[i].0);
+                if dest == b {
+                    heads[b] += 1;
+                } else {
+                    rows.swap(i, heads[dest]);
+                    heads[dest] += 1;
+                }
+            }
+        }
+        let mut start = 0usize;
+        for &end in ends.iter() {
+            if end - start > 1 {
+                rows[start..end].sort_unstable();
+            }
+            start = end;
+        }
+    });
+}
+
+/// Makes every equal-key run of `rows` contiguous and internally weight-ordered: the
+/// radix partitioner when enabled and the input is large enough to amortize its bucket
+/// table, the plain packed-key sort otherwise. Both orderings feed the scan identical
+/// groups with identical within-group weight order, so the choice is invisible in
+/// results.
+fn group_packed_rows<const N: usize>(rows: &mut [([u64; N], u64)]) {
+    if radix_enabled() && rows.len() >= RADIX_MIN_ROWS {
+        radix_group(rows);
+        note_resolved_rows(STRATEGY_RADIX, rows.len());
+    } else {
+        rows.sort_unstable();
+        note_resolved_rows(STRATEGY_SORT_MERGE, rows.len());
+    }
+}
+
+/// The canonical run scan over grouped packed rows: each equal-key run sums its weights
+/// starting from `0.0` in `total_cmp` order, a single contribution keeps its raw bits
+/// (mirroring `Contribution::One`), and negligible totals are dropped exactly as
+/// `Contributions::into_dataset` drops them. Calls `emit(key, total)` once per surviving
+/// group.
+fn scan_packed_groups<const N: usize>(
+    rows: &[([u64; N], u64)],
+    mut emit: impl FnMut(&[u64; N], f64),
+) {
+    let mut start = 0;
+    while start < rows.len() {
+        let key = rows[start].0;
+        let mut end = start;
+        let mut sum = 0.0f64;
+        while end < rows.len() && rows[end].0 == key {
+            sum += weight_from_order_key(rows[end].1);
+            end += 1;
+        }
+        // A single contribution resolves to its own bits (`Contribution::One` skips the
+        // `0.0`-seeded canonical fold; the two differ for `-0.0`, which is negligible
+        // anyway, but mirror the row path exactly).
+        if end == start + 1 {
+            sum = weight_from_order_key(rows[start].1);
+        }
+        if !weights::is_negligible(sum) {
+            emit(&key, sum);
+        }
+        start = end;
+    }
+}
+
 fn merge_packed<const N: usize>(
     ty: &ValueType,
     parts: &[(&ColumnData, &[f64])],
@@ -314,8 +527,8 @@ fn merge_packed<const N: usize>(
         }
         base += weights.len();
     }
-    rows.sort_unstable();
-    // Size the output table to the distinct-key count (one neighbor scan of the sorted
+    group_packed_rows(&mut rows);
+    // Size the output table to the distinct-key count (one neighbor scan of the grouped
     // rows): merging stages shrink the domain sharply, and a table sized to the input
     // row count scatters its inserts across mostly-cold cache lines.
     let groups = if rows.is_empty() {
@@ -325,26 +538,9 @@ fn merge_packed<const N: usize>(
     };
     let rebuild = Rebuild::of(ty);
     let mut out = WeightedDataset::with_capacity(groups);
-    let mut start = 0;
-    while start < rows.len() {
-        let key = rows[start].0;
-        let mut end = start;
-        let mut sum = 0.0f64;
-        while end < rows.len() && rows[end].0 == key {
-            sum += weight_from_order_key(rows[end].1);
-            end += 1;
-        }
-        // A single contribution resolves to its own bits (`Contribution::One` skips the
-        // `0.0`-seeded canonical fold; the two differ for `-0.0`, which is negligible
-        // anyway, but mirror the row path exactly).
-        if end == start + 1 {
-            sum = weight_from_order_key(rows[start].1);
-        }
-        if !weights::is_negligible(sum) {
-            out.set_weight(rebuild.value(&key), sum);
-        }
-        start = end;
-    }
+    scan_packed_groups(&rows, |key, sum| {
+        out.set_weight(rebuild.value(key), sum);
+    });
     out
 }
 
@@ -362,6 +558,7 @@ pub fn select(data: &WeightedDataset<Value>, expr: &Expr) -> Option<WeightedData
     if let Some(merged) = merge_segments_canonical(program.out_ty(), &[(&out, batch.weights())]) {
         return Some(merged);
     }
+    note_resolved_rows(STRATEGY_HASH, batch.len());
     let mut acc = Contributions::with_capacity(batch.len());
     for (i, &weight) in batch.weights().iter().enumerate() {
         acc.push(out.value_at(i), weight);
@@ -429,13 +626,16 @@ pub fn select_many_unit(
     let norm = exprs.len() as f64;
     let mut acc = Contributions::with_capacity(batch.len());
     let mut distinct: Vec<(usize, f64)> = Vec::with_capacity(exprs.len());
+    let mut pushed = 0usize;
     for (i, &weight) in batch.weights().iter().enumerate() {
         distinct_productions(&out_cols, i, &mut distinct);
         let scale = weight / norm.max(1.0);
         for &(j, count) in &distinct {
             acc.push(out_cols[j].value_at(i), count * scale);
         }
+        pushed += distinct.len();
     }
+    note_resolved_rows(STRATEGY_HASH, pushed);
     Some(acc.into_dataset())
 }
 
@@ -503,63 +703,369 @@ pub fn join(
             batch_b.ty().clone(),
         ]))
         .ok()?;
-    let mut per_key: FxHashMap<Value, Contributions<Value>> = FxHashMap::default();
-    join_columnar_core(&batch_a, &prog_a, &batch_b, &prog_b, result, &mut per_key);
     let mut out = Contributions::new();
-    for (_, contributions) in per_key {
-        for (record, total) in contributions.into_dataset() {
+    join_columnar_core(
+        &batch_a,
+        &prog_a,
+        &batch_b,
+        &prog_b,
+        result,
+        &mut |record, total| {
             out.push(record, total);
-        }
-    }
+        },
+    );
     Some(out.into_dataset())
 }
 
+/// Chunk size of the packed join's gather/eval loop: matches are buffered, gathered into
+/// reused pair columns, and evaluated this many rows at a time, so each match costs a few
+/// primitive pushes instead of a per-match `Value` tree build plus interpreter walk.
+const JOIN_CHUNK: usize = 4096;
+
 /// The shared columnar join core: evaluates keys for both batches, picks the smaller
-/// side as the build side (exactly as the row kernels do), and emits every match through
-/// the row kernel's `join_build_probe` into per-key canonical accumulators.
+/// side as the build side (exactly as the row kernels do), and feeds the resolved
+/// per-(key, record) canonical totals to `sink` — the row kernel's level-1 accumulation,
+/// with level 2 left to the caller.
+///
+/// When the key shape and the result shape both pack into `[u64]` words, the entire
+/// build/probe/accumulate pipeline runs over packed words ([`join_packed`]): the hash
+/// table is keyed by the words themselves and no `Value` materializes per probe or per
+/// match. Otherwise the borrowing-probe fallback ([`join_fallback`]) runs the row
+/// kernel's `join_build_probe` with one scratch row per matching probe record.
 fn join_columnar_core(
     batch_a: &ColumnBatch,
     prog_a: &ExprProgram,
     batch_b: &ColumnBatch,
     prog_b: &ExprProgram,
     result: &Expr,
-    per_key: &mut FxHashMap<Value, Contributions<Value>>,
+    sink: &mut dyn FnMut(Value, f64),
 ) {
-    let keys_a = materialize_rows(&prog_a.eval_batch(batch_a), batch_a.len());
-    let keys_b = materialize_rows(&prog_b.eval_batch(batch_b), batch_b.len());
-    let vals_a = materialize_rows(batch_a.columns(), batch_a.len());
-    let vals_b = materialize_rows(batch_b.columns(), batch_b.len());
-    let rows_a: Vec<usize> = (0..batch_a.len()).collect();
-    let rows_b: Vec<usize> = (0..batch_b.len()).collect();
-    let emit = |ra: usize, rb: usize| {
-        result.eval(&Value::Tuple(vec![vals_a[ra].clone(), vals_b[rb].clone()]))
-    };
-    if batch_a.len() <= batch_b.len() {
-        join_build_probe(
-            rows_a.iter().map(|i| (i, batch_a.weights()[*i])),
-            rows_b.iter().map(|i| (i, batch_b.weights()[*i])),
-            &|i: &usize| keys_a[*i].clone(),
-            &|i: &usize| keys_b[*i].clone(),
-            |key, part, rb, w_probe, denominator| {
-                let acc = key_accumulator(per_key, key);
-                for (ra, w_build) in part {
-                    acc.push(emit(**ra, *rb), w_build * w_probe / denominator);
-                }
-            },
-        );
+    let keys_a_cols = prog_a.eval_batch(batch_a);
+    let keys_b_cols = prog_b.eval_batch(batch_b);
+    let pair_ty = ValueType::Tuple(vec![batch_a.ty().clone(), batch_b.ty().clone()]);
+    // The caller type-checked `result` against the pair shape, so this cannot fail.
+    let result_prog =
+        ExprProgram::compile(result, &pair_ty).expect("result expression checked by caller");
+    let build_is_a = batch_a.len() <= batch_b.len();
+    let (build, probe) = if build_is_a {
+        (batch_a, batch_b)
     } else {
-        join_build_probe(
-            rows_b.iter().map(|i| (i, batch_b.weights()[*i])),
-            rows_a.iter().map(|i| (i, batch_a.weights()[*i])),
-            &|i: &usize| keys_b[*i].clone(),
-            &|i: &usize| keys_a[*i].clone(),
-            |key, part, ra, w_probe, denominator| {
-                let acc = key_accumulator(per_key, key);
-                for (rb, w_build) in part {
-                    acc.push(emit(*ra, **rb), w_build * w_probe / denominator);
-                }
-            },
+        (batch_b, batch_a)
+    };
+    // Packed keys are only sound when both sides key by the *same* shape (distinct
+    // shapes can collide after the order-preserving remap, where `Value`s never do).
+    let packed_keys = (prog_a.out_ty() == prog_b.out_ty())
+        .then(|| packed_leaves(prog_a.out_ty()))
+        .flatten();
+    if let Some(nk) = packed_keys {
+        let keys_a = pack_rows(&keys_a_cols, batch_a.len());
+        let keys_b = pack_rows(&keys_b_cols, batch_b.len());
+        let (keys_build, keys_probe) = if build_is_a {
+            (&keys_a, &keys_b)
+        } else {
+            (&keys_b, &keys_a)
+        };
+        if let Some(nr) = packed_leaves(result_prog.out_ty()) {
+            // Monomorphize on the combined (key ‖ result) width; unused trailing words
+            // stay zero and never perturb grouping.
+            match nk + nr {
+                0 | 1 => join_packed::<1>(
+                    build,
+                    keys_build,
+                    probe,
+                    keys_probe,
+                    nk,
+                    &result_prog,
+                    build_is_a,
+                    sink,
+                ),
+                2 => join_packed::<2>(
+                    build,
+                    keys_build,
+                    probe,
+                    keys_probe,
+                    nk,
+                    &result_prog,
+                    build_is_a,
+                    sink,
+                ),
+                3 | 4 => join_packed::<4>(
+                    build,
+                    keys_build,
+                    probe,
+                    keys_probe,
+                    nk,
+                    &result_prog,
+                    build_is_a,
+                    sink,
+                ),
+                _ => join_packed::<8>(
+                    build,
+                    keys_build,
+                    probe,
+                    keys_probe,
+                    nk,
+                    &result_prog,
+                    build_is_a,
+                    sink,
+                ),
+            }
+            return;
+        }
+        // Keys pack but the result shape does not: probe the packed words, evaluate
+        // results row-at-a-time through the borrowing probe.
+        join_fallback(
+            build, probe, keys_build, keys_probe, build_is_a, result, sink,
         );
+        return;
+    }
+    let keys_a = materialize_rows(&keys_a_cols, batch_a.len());
+    let keys_b = materialize_rows(&keys_b_cols, batch_b.len());
+    let (keys_build, keys_probe) = if build_is_a {
+        (&keys_a, &keys_b)
+    } else {
+        (&keys_b, &keys_a)
+    };
+    join_fallback(
+        build, probe, keys_build, keys_probe, build_is_a, result, sink,
+    );
+}
+
+/// Packs every row of a (≤ [`MAX_PACKED_LEAVES`]-leaf) column into fixed-width key words
+/// in the order-preserving leaf remap of [`merge_packed`]; unused slots stay zero.
+fn pack_rows(cols: &ColumnData, len: usize) -> Vec<[u64; MAX_PACKED_LEAVES]> {
+    let mut out = vec![[0u64; MAX_PACKED_LEAVES]; len];
+    let mut leaves: Vec<LeafCol<'_>> = Vec::new();
+    collect_leaf_cols(cols, &mut leaves);
+    for (slot, leaf) in leaves.iter().enumerate() {
+        match leaf {
+            LeafCol::Bool(col) => {
+                for (row, &v) in out.iter_mut().zip(*col) {
+                    row[slot] = v as u64;
+                }
+            }
+            LeafCol::U64(col) => {
+                for (row, &v) in out.iter_mut().zip(*col) {
+                    row[slot] = v;
+                }
+            }
+            LeafCol::I64(col) => {
+                for (row, &v) in out.iter_mut().zip(*col) {
+                    row[slot] = (v as u64) ^ (1u64 << 63);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The fully packed join pipeline. Replicates `join_build_probe` word-for-word — build
+/// side indexed by key, probe streamed twice, per-key canonical denominators
+/// `‖build_k‖ + ‖probe_k‖` kept only when positive, per-match weight
+/// `w_build · w_probe / denominator` — but the hash table probes the packed key words
+/// directly and matches accumulate as packed `(key ‖ result, weight)` rows resolved by
+/// the radix/sort scan, so grouping by packed row equals the row kernel's grouping by
+/// `(key, record)` and every group total comes out bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn join_packed<const NT: usize>(
+    build: &ColumnBatch,
+    keys_build: &[[u64; MAX_PACKED_LEAVES]],
+    probe: &ColumnBatch,
+    keys_probe: &[[u64; MAX_PACKED_LEAVES]],
+    nk: usize,
+    result_prog: &ExprProgram,
+    build_is_left: bool,
+    sink: &mut dyn FnMut(Value, f64),
+) {
+    let mut parts: FxHashMap<[u64; MAX_PACKED_LEAVES], Vec<u32>> = FxHashMap::default();
+    for (i, key) in keys_build.iter().enumerate() {
+        parts.entry(*key).or_default().push(i as u32);
+    }
+    if parts.is_empty() {
+        return;
+    }
+    // Pass 1 over the probe side: per-key weight multisets, only for keys the build side
+    // can match; then each key's canonical denominator.
+    let mut probe_weights: FxHashMap<[u64; MAX_PACKED_LEAVES], Vec<f64>> = FxHashMap::default();
+    for (i, key) in keys_probe.iter().enumerate() {
+        if parts.contains_key(key) {
+            probe_weights
+                .entry(*key)
+                .or_default()
+                .push(probe.weights()[i]);
+        }
+    }
+    let denominators: FxHashMap<[u64; MAX_PACKED_LEAVES], f64> = probe_weights
+        .into_iter()
+        .filter_map(|(key, weights)| {
+            let build_part = &parts[&key];
+            let denominator =
+                canonical_norm(build_part.iter().map(|&i| build.weights()[i as usize]))
+                    + canonical_norm(weights);
+            (denominator > 0.0).then_some((key, denominator))
+        })
+        .collect();
+    // Pass 2: chunked gather/eval. Each match appends one packed row up front (key words
+    // and weight; result words are back-filled per chunk), and one (build, probe) index
+    // pair into the chunk. At JOIN_CHUNK matches the pair columns gather from both
+    // batches into a reused scratch arena and the result program evaluates the whole
+    // chunk at once.
+    let pair_ty = ValueType::Tuple(vec![
+        if build_is_left { build } else { probe }.ty().clone(),
+        if build_is_left { probe } else { build }.ty().clone(),
+    ]);
+    let mut pair_cols = ColumnData::with_capacity(&pair_ty, JOIN_CHUNK);
+    let mut chunk: Vec<(u32, u32)> = Vec::with_capacity(JOIN_CHUNK);
+    let mut rows: Vec<([u64; NT], u64)> = Vec::new();
+    for (pi, key) in keys_probe.iter().enumerate() {
+        let Some(&denominator) = denominators.get(key) else {
+            continue;
+        };
+        let w_probe = probe.weights()[pi];
+        for &bi in &parts[key] {
+            let weight = build.weights()[bi as usize] * w_probe / denominator;
+            let mut row = [0u64; NT];
+            row[..nk].copy_from_slice(&key[..nk]);
+            rows.push((row, weight_order_key(weight)));
+            chunk.push((bi, pi as u32));
+            if chunk.len() == JOIN_CHUNK {
+                flush_join_chunk(
+                    build,
+                    probe,
+                    build_is_left,
+                    result_prog,
+                    nk,
+                    &mut chunk,
+                    &mut pair_cols,
+                    &mut rows,
+                );
+            }
+        }
+    }
+    flush_join_chunk(
+        build,
+        probe,
+        build_is_left,
+        result_prog,
+        nk,
+        &mut chunk,
+        &mut pair_cols,
+        &mut rows,
+    );
+    // Resolve per-(key, record) groups — level 1 of the row kernel's two-level canonical
+    // accumulation — and hand each surviving total to the caller (level 2).
+    group_packed_rows(&mut rows);
+    let rebuild = Rebuild::of(result_prog.out_ty());
+    scan_packed_groups(&rows, |key, sum| {
+        sink(rebuild.value(&key[nk..]), sum);
+    });
+}
+
+/// Gathers the buffered chunk's pair rows into the reused scratch columns, evaluates the
+/// result program over the whole chunk, and back-fills the packed result words of the
+/// chunk's tail of `rows`.
+#[allow(clippy::too_many_arguments)]
+fn flush_join_chunk<const NT: usize>(
+    build: &ColumnBatch,
+    probe: &ColumnBatch,
+    build_is_left: bool,
+    result_prog: &ExprProgram,
+    nk: usize,
+    chunk: &mut Vec<(u32, u32)>,
+    pair_cols: &mut ColumnData,
+    rows: &mut [([u64; NT], u64)],
+) {
+    if chunk.is_empty() {
+        return;
+    }
+    pair_cols.clear();
+    {
+        let ColumnData::Tuple(children) = &mut *pair_cols else {
+            unreachable!("pair columns are a two-field tuple group");
+        };
+        let (left, right) = children.split_at_mut(1);
+        let (left, right) = (&mut left[0], &mut right[0]);
+        for &(bi, pi) in chunk.iter() {
+            let (l_batch, li, r_batch, ri) = if build_is_left {
+                (build, bi as usize, probe, pi as usize)
+            } else {
+                (probe, pi as usize, build, bi as usize)
+            };
+            left.push_row_from(l_batch.columns(), li);
+            right.push_row_from(r_batch.columns(), ri);
+        }
+    }
+    let out = result_prog.eval(pair_cols, chunk.len());
+    let tail = rows.len() - chunk.len();
+    let segment = &mut rows[tail..];
+    let mut leaves: Vec<LeafCol<'_>> = Vec::new();
+    collect_leaf_cols(&out, &mut leaves);
+    for (offset, leaf) in leaves.iter().enumerate() {
+        let slot = nk + offset;
+        match leaf {
+            LeafCol::Bool(col) => {
+                for (row, &v) in segment.iter_mut().zip(*col) {
+                    row.0[slot] = v as u64;
+                }
+            }
+            LeafCol::U64(col) => {
+                for (row, &v) in segment.iter_mut().zip(*col) {
+                    row.0[slot] = v;
+                }
+            }
+            LeafCol::I64(col) => {
+                for (row, &v) in segment.iter_mut().zip(*col) {
+                    row.0[slot] = (v as u64) ^ (1u64 << 63);
+                }
+            }
+        }
+    }
+    chunk.clear();
+}
+
+/// The borrowing-probe fallback for shapes with no packed form: the row kernel's
+/// `join_build_probe` over precomputed keys, with only the (smaller) build side's values
+/// materialized up front. Each matching probe record materializes **one** scratch row,
+/// reused across all of that record's matches — never a full probe-side row
+/// materialization.
+fn join_fallback<K: Clone + Eq + std::hash::Hash>(
+    build: &ColumnBatch,
+    probe: &ColumnBatch,
+    keys_build: &[K],
+    keys_probe: &[K],
+    build_is_left: bool,
+    result: &Expr,
+    sink: &mut dyn FnMut(Value, f64),
+) {
+    let rows_build: Vec<usize> = (0..build.len()).collect();
+    let rows_probe: Vec<usize> = (0..probe.len()).collect();
+    let vals_build = materialize_rows(build.columns(), build.len());
+    let mut per_key: FxHashMap<K, Contributions<Value>> = FxHashMap::default();
+    let mut matches = 0usize;
+    join_build_probe(
+        rows_build.iter().map(|i| (i, build.weights()[*i])),
+        rows_probe.iter().map(|i| (i, probe.weights()[*i])),
+        &|i: &usize| keys_build[*i].clone(),
+        &|i: &usize| keys_probe[*i].clone(),
+        |key, part, pi, w_probe, denominator| {
+            let probe_val = probe.value_at(*pi);
+            let acc = key_accumulator(&mut per_key, key);
+            for (bi, w_build) in part {
+                let pair = if build_is_left {
+                    Value::Tuple(vec![vals_build[**bi].clone(), probe_val.clone()])
+                } else {
+                    Value::Tuple(vec![probe_val.clone(), vals_build[**bi].clone()])
+                };
+                acc.push(result.eval(&pair), w_build * w_probe / denominator);
+            }
+            matches += part.len();
+        },
+    );
+    note_resolved_rows(STRATEGY_HASH, matches);
+    for (_, contributions) in per_key {
+        for (record, total) in contributions.into_dataset() {
+            sink(record, total);
+        }
     }
 }
 
@@ -618,6 +1124,10 @@ fn exchange_segments(
                 return merged;
             }
         }
+        note_resolved_rows(
+            STRATEGY_HASH,
+            segments.iter().map(ColumnBatch::len).sum::<usize>(),
+        );
         let mut acc = Contributions::new();
         for segment in &segments {
             for i in 0..segment.len() {
@@ -862,14 +1372,17 @@ pub fn join_sharded(
     let produced = runner.map(
         a_by_key.into_iter().zip(b_by_key).collect::<Vec<_>>(),
         |_, (batch_a, batch_b)| {
-            let mut per_key: FxHashMap<Value, Contributions<Value>> = FxHashMap::default();
-            join_columnar_core(&batch_a, &prog_a, &batch_b, &prog_b, result, &mut per_key);
             let mut routes: Vec<Vec<(Value, f64)>> = (0..n).map(|_| Vec::new()).collect();
-            for (_, contributions) in per_key {
-                for (record, total) in contributions.into_dataset() {
+            join_columnar_core(
+                &batch_a,
+                &prog_a,
+                &batch_b,
+                &prog_b,
+                result,
+                &mut |record, total| {
                     routes[shard_of(&record, n)].push((record, total));
-                }
-            }
+                },
+            );
             routes
         },
     );

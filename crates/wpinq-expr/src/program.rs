@@ -114,8 +114,13 @@ fn map_r<T: Copy, R>(a: &[T], b: T, f: impl Fn(T, T) -> R) -> Vec<R> {
     a.iter().map(|x| f(*x, b)).collect()
 }
 
-/// Dispatches an integer arithmetic opcode over the three column/scalar shapes, with the
+/// Dispatches an integer arithmetic opcode over the column/scalar shapes, with the
 /// opcode resolved *before* the loop so each case monomorphizes to a tight slice loop.
+///
+/// Owned operands double as the **output buffer**: a chain of arithmetic instructions
+/// reuses one allocation end to end (the first op in a chain allocates, every later op
+/// mutates in place), which is what makes long expression chains allocation-free per
+/// batch.
 macro_rules! arith_kernel {
     ($op:expr, $lhs:expr, $rhs:expr, $prim:ty, $variant:ident) => {{
         type P = $prim;
@@ -129,19 +134,57 @@ macro_rules! arith_kernel {
         };
         // `f` is a fn pointer, so re-dispatch per shape with an inlinable closure.
         match ($lhs, $rhs) {
-            (Operand::Col(ColumnData::$variant(a)), Operand::Col(ColumnData::$variant(b))) => {
-                Col::Owned(ColumnData::$variant(zip_map(a, b, |x, y| f(x, y))))
+            (Col::Owned(ColumnData::$variant(mut a)), rhs) => {
+                match rhs.operand() {
+                    Operand::Col(ColumnData::$variant(b)) => {
+                        debug_assert_eq!(a.len(), b.len());
+                        for (x, y) in a.iter_mut().zip(b) {
+                            *x = f(*x, *y);
+                        }
+                    }
+                    Operand::Scalar(Value::$variant(b)) => {
+                        let b = *b;
+                        for x in a.iter_mut() {
+                            *x = f(*x, b);
+                        }
+                    }
+                    _ => panic!("arithmetic {:?} on mismatched operand shapes", $op),
+                }
+                Col::Owned(ColumnData::$variant(a))
             }
-            (Operand::Scalar(Value::$variant(a)), Operand::Col(ColumnData::$variant(b))) => {
-                Col::Owned(ColumnData::$variant(map_l(*a, b, |x, y| f(x, y))))
+            (lhs, Col::Owned(ColumnData::$variant(mut b))) => {
+                match lhs.operand() {
+                    Operand::Col(ColumnData::$variant(a)) => {
+                        debug_assert_eq!(a.len(), b.len());
+                        for (y, x) in b.iter_mut().zip(a) {
+                            *y = f(*x, *y);
+                        }
+                    }
+                    Operand::Scalar(Value::$variant(a)) => {
+                        let a = *a;
+                        for y in b.iter_mut() {
+                            *y = f(a, *y);
+                        }
+                    }
+                    _ => panic!("arithmetic {:?} on mismatched operand shapes", $op),
+                }
+                Col::Owned(ColumnData::$variant(b))
             }
-            (Operand::Col(ColumnData::$variant(a)), Operand::Scalar(Value::$variant(b))) => {
-                Col::Owned(ColumnData::$variant(map_r(a, *b, |x, y| f(x, y))))
-            }
-            (Operand::Scalar(Value::$variant(a)), Operand::Scalar(Value::$variant(b))) => {
-                Col::Const(Value::$variant(f(*a, *b)))
-            }
-            _ => panic!("arithmetic {:?} on mismatched operand shapes", $op),
+            (lhs, rhs) => match (lhs.operand(), rhs.operand()) {
+                (Operand::Col(ColumnData::$variant(a)), Operand::Col(ColumnData::$variant(b))) => {
+                    Col::Owned(ColumnData::$variant(zip_map(a, b, |x, y| f(x, y))))
+                }
+                (Operand::Scalar(Value::$variant(a)), Operand::Col(ColumnData::$variant(b))) => {
+                    Col::Owned(ColumnData::$variant(map_l(*a, b, |x, y| f(x, y))))
+                }
+                (Operand::Col(ColumnData::$variant(a)), Operand::Scalar(Value::$variant(b))) => {
+                    Col::Owned(ColumnData::$variant(map_r(a, *b, |x, y| f(x, y))))
+                }
+                (Operand::Scalar(Value::$variant(a)), Operand::Scalar(Value::$variant(b))) => {
+                    Col::Const(Value::$variant(f(*a, *b)))
+                }
+                _ => panic!("arithmetic {:?} on mismatched operand shapes", $op),
+            },
         }
     }};
 }
@@ -225,6 +268,13 @@ impl ExprProgram {
                 }
                 Inst::Not(src) => match take(&mut regs, *src) {
                     Col::Const(Value::Bool(b)) => Col::Const(Value::Bool(!b)),
+                    // An owned mask negates in place — no allocation.
+                    Col::Owned(ColumnData::Bool(mut mask)) => {
+                        for b in mask.iter_mut() {
+                            *b = !*b;
+                        }
+                        Col::Owned(ColumnData::Bool(mask))
+                    }
                     col => match col.operand() {
                         Operand::Col(ColumnData::Bool(mask)) => {
                             Col::Owned(ColumnData::Bool(mask.iter().map(|b| !b).collect()))
@@ -236,7 +286,7 @@ impl ExprProgram {
                 Inst::Bin { op, lhs, rhs } => {
                     let lhs = take(&mut regs, *lhs);
                     let rhs = take(&mut regs, *rhs);
-                    eval_bin(*op, &lhs, &rhs, len)
+                    eval_bin(*op, lhs, rhs, len)
                 }
             };
             regs.push(Some(col));
@@ -276,74 +326,125 @@ fn emit(expr: &Expr, insts: &mut Vec<Inst>) -> u32 {
     (insts.len() - 1) as u32
 }
 
-fn eval_bin<'a>(op: BinOp, lhs: &Col<'a>, rhs: &Col<'a>, len: usize) -> Col<'a> {
+fn eval_bin<'a>(op: BinOp, lhs: Col<'a>, rhs: Col<'a>, len: usize) -> Col<'a> {
     if op == BinOp::And || op == BinOp::Or {
         return eval_connective(op, lhs, rhs);
     }
     if op.is_cmp() {
-        return eval_cmp(op, lhs, rhs, len);
+        return eval_cmp(op, &lhs, &rhs, len);
     }
-    let l = lhs.operand();
-    let r = rhs.operand();
-    if matches!(
-        l,
+    let is_u64 = matches!(
+        lhs.operand(),
         Operand::Col(ColumnData::U64(_)) | Operand::Scalar(Value::U64(_))
-    ) {
-        arith_kernel!(op, &l, &r, u64, U64)
+    );
+    if is_u64 {
+        arith_kernel!(op, lhs, rhs, u64, U64)
     } else {
-        arith_kernel!(op, &l, &r, i64, I64)
+        arith_kernel!(op, lhs, rhs, i64, I64)
     }
 }
 
 /// Eager elementwise `And`/`Or` — observationally identical to the interpreter's
-/// short-circuit because evaluation is total.
-fn eval_connective<'a>(op: BinOp, lhs: &Col<'a>, rhs: &Col<'a>) -> Col<'a> {
+/// short-circuit because evaluation is total. An owned mask on either side doubles as
+/// the output buffer (a chain of connectives reuses one allocation); a borrowed mask is
+/// copied only when neither side owns one.
+fn eval_connective<'a>(op: BinOp, lhs: Col<'a>, rhs: Col<'a>) -> Col<'a> {
+    let and = op == BinOp::And;
     let scalar = |v: &Value| match v {
         Value::Bool(b) => *b,
         other => panic!("connective {op:?} on non-boolean value {other:?}"),
     };
-    let slice = |c: &ColumnData| match c {
-        ColumnData::Bool(mask) => mask.to_vec(),
-        other => panic!(
-            "connective {op:?} on non-boolean column {}",
-            other.type_of()
-        ),
-    };
-    let and = op == BinOp::And;
-    match (lhs.operand(), rhs.operand()) {
-        (Operand::Scalar(a), Operand::Scalar(b)) => {
-            let (a, b) = (scalar(a), scalar(b));
-            Col::Const(Value::Bool(if and { a && b } else { a || b }))
-        }
-        (Operand::Scalar(a), Operand::Col(b)) => {
-            let a = scalar(a);
-            let mut mask = slice(b);
-            if and {
-                mask.iter_mut().for_each(|m| *m = a && *m);
-            } else {
-                mask.iter_mut().for_each(|m| *m = a || *m);
+    match (lhs, rhs) {
+        (Col::Owned(ColumnData::Bool(mut a)), rhs) => {
+            match rhs.operand() {
+                Operand::Col(ColumnData::Bool(b)) => {
+                    debug_assert_eq!(a.len(), b.len());
+                    if and {
+                        for (x, y) in a.iter_mut().zip(b) {
+                            *x = *x && *y;
+                        }
+                    } else {
+                        for (x, y) in a.iter_mut().zip(b) {
+                            *x = *x || *y;
+                        }
+                    }
+                }
+                Operand::Scalar(v) => {
+                    let b = scalar(v);
+                    if and {
+                        for x in a.iter_mut() {
+                            *x = *x && b;
+                        }
+                    } else {
+                        for x in a.iter_mut() {
+                            *x = *x || b;
+                        }
+                    }
+                }
+                _ => panic!("connective {op:?} on a non-boolean column"),
             }
-            Col::Owned(ColumnData::Bool(mask))
+            Col::Owned(ColumnData::Bool(a))
         }
-        (Operand::Col(a), Operand::Scalar(b)) => {
-            let b = scalar(b);
-            let mut mask = slice(a);
-            if and {
-                mask.iter_mut().for_each(|m| *m = *m && b);
-            } else {
-                mask.iter_mut().for_each(|m| *m = *m || b);
+        (lhs, Col::Owned(ColumnData::Bool(mut b))) => {
+            match lhs.operand() {
+                Operand::Col(ColumnData::Bool(a)) => {
+                    debug_assert_eq!(a.len(), b.len());
+                    if and {
+                        for (y, x) in b.iter_mut().zip(a) {
+                            *y = *x && *y;
+                        }
+                    } else {
+                        for (y, x) in b.iter_mut().zip(a) {
+                            *y = *x || *y;
+                        }
+                    }
+                }
+                Operand::Scalar(v) => {
+                    let a = scalar(v);
+                    if and {
+                        for y in b.iter_mut() {
+                            *y = a && *y;
+                        }
+                    } else {
+                        for y in b.iter_mut() {
+                            *y = a || *y;
+                        }
+                    }
+                }
+                _ => panic!("connective {op:?} on a non-boolean column"),
             }
-            Col::Owned(ColumnData::Bool(mask))
+            Col::Owned(ColumnData::Bool(b))
         }
-        (Operand::Col(a), Operand::Col(b)) => {
-            let (a, b) = (slice(a), slice(b));
-            let mask = if and {
-                zip_map(&a, &b, |x, y| x && y)
-            } else {
-                zip_map(&a, &b, |x, y| x || y)
-            };
-            Col::Owned(ColumnData::Bool(mask))
-        }
+        (lhs, rhs) => match (lhs.operand(), rhs.operand()) {
+            (Operand::Scalar(a), Operand::Scalar(b)) => {
+                let (a, b) = (scalar(a), scalar(b));
+                Col::Const(Value::Bool(if and { a && b } else { a || b }))
+            }
+            (Operand::Scalar(a), Operand::Col(ColumnData::Bool(b))) => {
+                let a = scalar(a);
+                Col::Owned(ColumnData::Bool(if and {
+                    map_l(a, b, |x, y| x && y)
+                } else {
+                    map_l(a, b, |x, y| x || y)
+                }))
+            }
+            (Operand::Col(ColumnData::Bool(a)), Operand::Scalar(b)) => {
+                let b = scalar(b);
+                Col::Owned(ColumnData::Bool(if and {
+                    map_r(a, b, |x, y| x && y)
+                } else {
+                    map_r(a, b, |x, y| x || y)
+                }))
+            }
+            (Operand::Col(ColumnData::Bool(a)), Operand::Col(ColumnData::Bool(b))) => {
+                Col::Owned(ColumnData::Bool(if and {
+                    zip_map(a, b, |x, y| x && y)
+                } else {
+                    zip_map(a, b, |x, y| x || y)
+                }))
+            }
+            _ => panic!("connective {op:?} on a non-boolean column"),
+        },
     }
 }
 

@@ -19,8 +19,8 @@ use wpinq::value::ExprRecord;
 use wpinq::Plan;
 use wpinq_expr::{Json, PlanSpec, WireError};
 
-use crate::release::release_records_from_json;
-use crate::service::{response_output_type, MeasureRequest, MeasurementService};
+use crate::release::release_records_from_response;
+use crate::service::{response_output_type, MeasureRequest, MeasurementService, ResponseEncoding};
 use crate::transport::Transport;
 
 /// A typed view of a successful measurement response.
@@ -128,10 +128,7 @@ pub(crate) fn decode_response<T: ExprRecord>(
             T::value_type()
         ))));
     }
-    let release = response
-        .get("release")
-        .ok_or_else(|| WireError::new("response missing 'release'"))?;
-    let records = release_records_from_json(release, &output_type)?
+    let records = release_records_from_response(&response, &output_type)?
         .into_iter()
         .map(|(value, noisy)| {
             T::from_value(&value)
@@ -188,6 +185,7 @@ pub struct Client<T: Transport> {
     transport: T,
     analyst: String,
     trace: bool,
+    encoding: ResponseEncoding,
     next_id: AtomicU64,
 }
 
@@ -198,6 +196,7 @@ impl<T: Transport> Client<T> {
             transport,
             analyst: analyst.into(),
             trace: false,
+            encoding: ResponseEncoding::Json,
             next_id: AtomicU64::new(1),
         }
     }
@@ -208,6 +207,14 @@ impl<T: Transport> Client<T> {
     /// release byte-identical payloads.
     pub fn with_tracing(mut self, on: bool) -> Self {
         self.trace = on;
+        self
+    }
+
+    /// Selects the release encoding subsequent responses carry (the decoder understands
+    /// both, so this only changes the wire bytes — the decoded records are identical
+    /// under either encoding, and the cache key is unaffected).
+    pub fn with_encoding(mut self, encoding: ResponseEncoding) -> Self {
+        self.encoding = encoding;
         self
     }
 
@@ -257,6 +264,7 @@ impl<T: Transport> Client<T> {
             spec,
             id,
             trace: self.trace,
+            encoding: self.encoding,
         };
         let raw = self.transport.roundtrip(&request.to_json_string())?;
         decode_response(raw, epsilon)
@@ -314,6 +322,7 @@ impl<'a> ServiceClient<'a> {
             spec,
             id: None,
             trace: false,
+            encoding: ResponseEncoding::Json,
         };
         let raw = self.service.handle_json(&request.to_json_string(), rng);
         decode_response(raw, epsilon)

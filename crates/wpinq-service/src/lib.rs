@@ -48,10 +48,12 @@ pub use cache::{
     CacheStats, MeasurementCache, CACHE_EVICTIONS_METRIC, CACHE_HITS_METRIC, CACHE_MISSES_METRIC,
 };
 pub use client::{Client, ClientError, ServiceClient, TypedRelease};
-pub use release::{release_records_json, release_to_json, release_values_to_json};
+pub use release::{
+    release_records_from_response, release_records_json, release_to_json, release_values_to_json,
+};
 pub use service::{
-    MeasureRequest, MeasureResponse, MeasurementService, ServiceError, AUDIT_DROPPED_METRIC,
-    DEFAULT_AUDIT_CAPACITY, DEFAULT_CACHE_CAPACITY, REQUESTS_METRIC, REQUEST_HEADER,
-    REQUEST_LATENCY_METRIC, REQUEST_VERSION,
+    MeasureRequest, MeasureResponse, MeasurementService, ResponseEncoding, ServiceError,
+    AUDIT_DROPPED_METRIC, DEFAULT_AUDIT_CAPACITY, DEFAULT_CACHE_CAPACITY, REQUESTS_METRIC,
+    REQUEST_HEADER, REQUEST_LATENCY_METRIC, REQUEST_VERSION,
 };
 pub use transport::{serve_metrics, serve_tcp, InProcess, ServerHandle, Tcp, Transport};

@@ -87,6 +87,7 @@ fn run_demo() {
         spec,
         id: Some("demo-1".into()),
         trace: false,
+        encoding: wpinq_service::ResponseEncoding::Json,
     };
     let request_json = request.to_json_string();
     println!("--- request ---");
@@ -225,6 +226,7 @@ fn run_metrics_demo() {
         spec: plan.to_spec().expect("expression-built plan serializes"),
         id: Some("metrics-smoke".into()),
         trace: true,
+        encoding: wpinq_service::ResponseEncoding::Json,
     };
     use wpinq_service::Transport;
     let tcp = Tcp::new(handle.local_addr().to_string());

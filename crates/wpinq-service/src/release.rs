@@ -36,6 +36,34 @@ pub fn release_records_json(records: &[(Value, f64)]) -> Json {
     )
 }
 
+/// Extracts a successful envelope's release records under either negotiated encoding:
+/// the default `"release"` JSON array, or `"release_columnar"` — a base64 colwire frame
+/// whose decoded records must carry the envelope's `output_type`. Both paths are
+/// bit-exact, so the records are identical whichever encoding the request asked for.
+pub fn release_records_from_response(
+    response: &Json,
+    ty: &ValueType,
+) -> Result<Vec<(Value, f64)>, WireError> {
+    if let Some(release) = response.get("release") {
+        return release_records_from_json(release, ty);
+    }
+    let text = response
+        .get("release_columnar")
+        .and_then(Json::as_str)
+        .ok_or_else(|| WireError::new("response missing 'release' / 'release_columnar'"))?;
+    let frame = wpinq_core::colwire::from_base64(text)
+        .map_err(|e| WireError::new(format!("release_columnar: {e}")))?;
+    let batch = wpinq_core::colwire::decode_batch(&frame)
+        .map_err(|e| WireError::new(format!("release_columnar: {e}")))?;
+    if batch.ty() != ty {
+        return Err(WireError::new(format!(
+            "release_columnar records have type {}, expected {ty}",
+            batch.ty()
+        )));
+    }
+    Ok(batch.to_pairs())
+}
+
 /// Decodes a release array against the expected record type.
 pub fn release_records_from_json(
     json: &Json,

@@ -69,6 +69,8 @@ use wpinq::budget::{AnalystBudgets, BudgetReservation};
 use wpinq::plan::{default_executor, plan_from_spec, DynPlan, Executor, OptimizeLevel};
 use wpinq::value::{Value, ValueType};
 use wpinq::{BudgetError, NoisyCounts, PrivacyBudget, WeightedDataset};
+use wpinq_core::column::ColumnBatch;
+use wpinq_core::colwire;
 use wpinq_expr::{value_type_from_json, value_type_to_json, Json, PlanSpec, WireError};
 use wpinq_telemetry::{
     emit_to_sink, registry, trace_sink_enabled, Counter, FieldValue, Histogram, Trace, Tracer,
@@ -138,6 +140,20 @@ pub const REQUEST_VERSION: u32 = 2;
 /// The top-level key of a measurement request document.
 pub const REQUEST_HEADER: &str = "wpinq_measure_request";
 
+/// How a successful response carries its release records. Like `trace`, the encoding is
+/// an envelope-assembly concern: it is never part of the measurement-cache key and never
+/// perturbs the release — a columnar envelope decodes to the byte-identical records the
+/// JSON envelope prints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResponseEncoding {
+    /// The default: `"release"` as a JSON array of `[record, count]` pairs.
+    #[default]
+    Json,
+    /// `"release_columnar"`: a base64 colwire frame (see `wpinq_core::colwire` and the
+    /// PROTOCOL.md frame layout) holding the same records column-contiguously.
+    Columnar,
+}
+
 /// A measurement request: who is asking, at what ε, and the plan as data.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MeasureRequest {
@@ -156,6 +172,10 @@ pub struct MeasureRequest {
     /// Tracing never changes the release: the bytes are identical with the flag on or
     /// off (property-tested), and the flag is absent from the measurement-cache key.
     pub trace: bool,
+    /// The release encoding this client wants in the response envelope (JSON unless the
+    /// request says `"encoding":"columnar"`). Absent from the measurement-cache key;
+    /// cached results replay under either encoding.
+    pub encoding: ResponseEncoding,
 }
 
 impl MeasureRequest {
@@ -170,6 +190,9 @@ impl MeasureRequest {
         fields.push(("epsilon".into(), Json::f64(self.epsilon)));
         if self.trace {
             fields.push(("trace".into(), Json::Bool(true)));
+        }
+        if self.encoding == ResponseEncoding::Columnar {
+            fields.push(("encoding".into(), Json::str("columnar")));
         }
         fields.push(("plan".into(), self.spec.to_json()));
         Json::Obj(fields)
@@ -204,6 +227,18 @@ impl MeasureRequest {
             .ok_or_else(|| WireError::new("missing or non-finite 'epsilon'"))?;
         let id = json.get("id").and_then(Json::as_str).map(str::to_string);
         let trace = json.get("trace").and_then(Json::as_bool).unwrap_or(false);
+        let encoding = match json.get("encoding") {
+            None => ResponseEncoding::Json,
+            Some(value) => match value.as_str() {
+                Some("json") => ResponseEncoding::Json,
+                Some("columnar") => ResponseEncoding::Columnar,
+                _ => {
+                    return Err(WireError::new(
+                        "unknown 'encoding' (this build speaks \"json\" and \"columnar\")",
+                    ))
+                }
+            },
+        };
         let plan = json
             .get("plan")
             .ok_or_else(|| WireError::new("missing 'plan'"))?;
@@ -214,6 +249,7 @@ impl MeasureRequest {
             spec,
             id,
             trace,
+            encoding,
         })
     }
 }
@@ -251,19 +287,25 @@ impl MeasureResponse {
     /// [`to_json`](Self::to_json) with the request's correlation id spliced in right
     /// after `"ok"` (omitted when the request carried none, preserving the v1 shape).
     pub fn to_json_with_id(&self, id: Option<&str>) -> Json {
-        self.to_json_envelope(id, None, None)
+        self.to_json_envelope(id, None, None, ResponseEncoding::Json)
     }
 
     /// The full envelope assembly: [`to_json_with_id`](Self::to_json_with_id) plus the
     /// per-request pieces a cached response must stay agnostic of — a live `remaining`
     /// override (read from the grants at assembly time, see
-    /// [`MeasurementService::live_remaining`]) and the request's trace, spliced in as a
-    /// trailing `"trace"` field when the request asked for one.
+    /// [`MeasurementService::live_remaining`]), the request's trace (spliced in as a
+    /// trailing `"trace"` field when the request asked for one), and the release
+    /// encoding the request negotiated. Under [`ResponseEncoding::Columnar`] the
+    /// `"release"` array is replaced by `"release_columnar"`, a base64 colwire frame of
+    /// the same records; everything else in the envelope is unchanged, and a cached
+    /// response replays byte-identically under whichever encoding each request asks
+    /// for.
     pub fn to_json_envelope(
         &self,
         id: Option<&str>,
         remaining: Option<&[(String, f64)]>,
         trace: Option<&Trace>,
+        encoding: ResponseEncoding,
     ) -> Json {
         let pairs = |items: &[(String, f64)]| {
             Json::Arr(
@@ -277,10 +319,24 @@ impl MeasureResponse {
         if let Some(id) = id {
             fields.push(("id".into(), Json::str(id.to_string())));
         }
+        let release_field = match encoding {
+            ResponseEncoding::Json => ("release".to_string(), release_records_json(&self.release)),
+            ResponseEncoding::Columnar => {
+                let batch = ColumnBatch::from_pairs(
+                    self.output_type.clone(),
+                    self.release.iter().map(|(record, count)| (record, *count)),
+                )
+                .expect("release records all have the response's output type");
+                (
+                    "release_columnar".to_string(),
+                    Json::str(colwire::to_base64(&colwire::encode_batch(&batch))),
+                )
+            }
+        };
         fields.extend([
             ("epsilon".to_string(), Json::f64(self.epsilon)),
             ("output_type".into(), value_type_to_json(&self.output_type)),
-            ("release".into(), release_records_json(&self.release)),
+            release_field,
             ("charged".into(), pairs(&self.charged)),
             (
                 "remaining".into(),
@@ -1086,7 +1142,7 @@ impl MeasurementService {
                 requests_ok_counter().inc();
                 let live = self.live_remaining(&request.analyst, &response);
                 response
-                    .to_json_envelope(id, Some(&live), trace.as_ref())
+                    .to_json_envelope(id, Some(&live), trace.as_ref(), request.encoding)
                     .to_compact()
             }
             Err(error) => {
@@ -1107,7 +1163,9 @@ impl MeasurementService {
         };
         let id = request.id.as_deref();
         match self.measure(&request, rng) {
-            Ok(response) => response.to_json_with_id(id).to_compact(),
+            Ok(response) => response
+                .to_json_envelope(id, None, None, request.encoding)
+                .to_compact(),
             Err(error) => error.to_json_with_id(id).to_compact(),
         }
     }

@@ -1,0 +1,161 @@
+//! Release-encoding negotiation: `"encoding":"columnar"` swaps the envelope's JSON
+//! release array for a base64 colwire frame — and nothing else. The decoded frame must
+//! re-encode to the **byte-identical** release JSON the default envelope prints, the ε
+//! debit must be identical, and the encoding must be invisible to the measurement cache
+//! (a columnar request replays a JSON-filled cache entry and vice versa, charging
+//! nothing).
+
+use wpinq::plan::executor_for_threads;
+use wpinq::prelude::*;
+use wpinq_analyses::degree::degree_ccdf_plan_expr;
+use wpinq_analyses::edges::{symmetric_edge_dataset, EDGES_DATASET};
+use wpinq_expr::Json;
+use wpinq_graph::Graph;
+use wpinq_service::service::response_output_type;
+use wpinq_service::{
+    release_records_from_response, release_records_json, MeasureRequest, MeasurementService,
+    ResponseEncoding,
+};
+
+const SEED: u64 = 41;
+const EPSILON: f64 = 0.25;
+
+fn toy_graph() -> Graph {
+    Graph::from_edges([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5)])
+}
+
+fn service_for(threads: usize) -> MeasurementService {
+    let service = MeasurementService::new()
+        .with_executor(executor_for_threads(threads))
+        .with_noise_seed(SEED);
+    service
+        .register(EDGES_DATASET, &symmetric_edge_dataset(&toy_graph()))
+        .unwrap();
+    service
+        .grant("analyst", EDGES_DATASET, PrivacyBudget::new(10.0))
+        .unwrap();
+    service
+}
+
+fn ccdf_request(encoding: ResponseEncoding, id: &str) -> MeasureRequest {
+    MeasureRequest {
+        analyst: "analyst".into(),
+        epsilon: EPSILON,
+        spec: degree_ccdf_plan_expr(&Plan::source_expr(EDGES_DATASET))
+            .to_spec()
+            .expect("expression plans serialize"),
+        id: Some(id.into()),
+        trace: false,
+        encoding,
+    }
+}
+
+/// Decodes whichever release field the envelope carries and re-encodes it as the
+/// canonical release JSON (the byte-exact comparison form).
+fn canonical_release(response: &str) -> String {
+    let json = Json::parse(response).expect("response is JSON");
+    assert_eq!(
+        json.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{response}"
+    );
+    let ty = response_output_type(&json).expect("output_type present");
+    let records = release_records_from_response(&json, &ty).expect("release decodes");
+    release_records_json(&records).to_compact()
+}
+
+/// The columnar envelope decodes to the byte-identical release and identical ε debit as
+/// the JSON envelope, under the sequential, 2-shard, and 8-shard executors.
+#[test]
+fn columnar_envelope_matches_json_envelope_bytes_and_debits() {
+    for threads in [1usize, 2, 8] {
+        let json_service = service_for(threads);
+        let col_service = service_for(threads);
+
+        let json_response =
+            json_service.handle_line(&ccdf_request(ResponseEncoding::Json, "j").to_json_string());
+        let col_response = col_service
+            .handle_line(&ccdf_request(ResponseEncoding::Columnar, "c").to_json_string());
+
+        assert!(
+            json_response.contains("\"release\":") && !json_response.contains("release_columnar"),
+            "default envelope keeps the JSON release array ({threads} threads)"
+        );
+        assert!(
+            col_response.contains("\"release_columnar\":\"")
+                && !col_response.contains("\"release\":"),
+            "columnar envelope replaces the release array ({threads} threads): {col_response}"
+        );
+        assert_eq!(
+            canonical_release(&json_response),
+            canonical_release(&col_response),
+            "the two encodings must decode to identical release bytes ({threads} threads)"
+        );
+        let spent_json = 10.0 - json_service.remaining("analyst", EDGES_DATASET).unwrap();
+        let spent_col = 10.0 - col_service.remaining("analyst", EDGES_DATASET).unwrap();
+        assert_eq!(
+            spent_json.to_bits(),
+            spent_col.to_bits(),
+            "the encoding must not change the debit ({threads} threads)"
+        );
+    }
+}
+
+/// The encoding is not part of the measurement-cache key: a columnar repeat of a JSON
+/// request replays the cached release (zero extra ε) as a columnar frame that decodes to
+/// the same bytes.
+#[test]
+fn encoding_replays_the_cached_release() {
+    let service = service_for(1);
+    let first = service.handle_line(&ccdf_request(ResponseEncoding::Json, "a").to_json_string());
+    let spent = 10.0 - service.remaining("analyst", EDGES_DATASET).unwrap();
+    let second =
+        service.handle_line(&ccdf_request(ResponseEncoding::Columnar, "b").to_json_string());
+    assert!(second.contains("\"release_columnar\":\""), "{second}");
+    assert_eq!(
+        canonical_release(&first),
+        canonical_release(&second),
+        "the cached release replays byte-identically under the other encoding"
+    );
+    let spent_after = 10.0 - service.remaining("analyst", EDGES_DATASET).unwrap();
+    assert_eq!(
+        spent.to_bits(),
+        spent_after.to_bits(),
+        "replay charges nothing"
+    );
+}
+
+/// Unknown encodings are rejected up front — a wire error, before any budget moves.
+#[test]
+fn unknown_encoding_is_rejected_without_charging() {
+    let service = service_for(1);
+    let mut line = ccdf_request(ResponseEncoding::Json, "x").to_json_string();
+    line = line.replacen("\"analyst\":", "\"encoding\":\"arrow\",\"analyst\":", 1);
+    let response = service.handle_line(&line);
+    assert!(
+        response.contains("\"ok\":false") && response.contains("encoding"),
+        "{response}"
+    );
+    let remaining = service.remaining("analyst", EDGES_DATASET).unwrap();
+    assert_eq!(remaining.to_bits(), 10.0f64.to_bits(), "nothing charged");
+}
+
+/// The typed client round-trips identically under either negotiated encoding.
+#[test]
+fn typed_client_decodes_both_encodings_identically() {
+    use std::sync::Arc;
+    use wpinq_service::{Client, InProcess};
+    let json_service = Arc::new(service_for(1));
+    let col_service = Arc::new(service_for(1));
+    let source = Plan::<(u32, u32)>::source_expr(EDGES_DATASET);
+    let plan = degree_ccdf_plan_expr(&source);
+
+    let json_client = Client::new(InProcess::new(json_service), "analyst");
+    let col_client = Client::new(InProcess::new(col_service), "analyst")
+        .with_encoding(ResponseEncoding::Columnar);
+
+    let a = json_client.measure(&plan, EPSILON).unwrap();
+    let b = col_client.measure(&plan, EPSILON).unwrap();
+    assert_eq!(a.records, b.records, "typed records identical");
+    assert!(b.raw.contains("release_columnar"), "{}", b.raw);
+}

@@ -25,7 +25,9 @@ use wpinq_analyses::squares::{sbd_plan, sbd_plan_expr};
 use wpinq_analyses::triangles::{tbd_plan, tbd_plan_expr};
 use wpinq_expr::Json;
 use wpinq_graph::Graph;
-use wpinq_service::{release_to_json, MeasureRequest, MeasurementService, ServiceClient};
+use wpinq_service::{
+    release_to_json, MeasureRequest, MeasurementService, ResponseEncoding, ServiceClient,
+};
 
 const SEED: u64 = 2014;
 const EPSILON: f64 = 0.25;
@@ -81,6 +83,7 @@ fn service_release<T: ExprRecord>(
         spec: reparsed,
         id: None,
         trace: false,
+        encoding: ResponseEncoding::Json,
     };
     let response = service.handle_json(&request.to_json_string(), &mut StdRng::seed_from_u64(SEED));
     let parsed = Json::parse(&response).expect("response is JSON");

@@ -9,7 +9,7 @@ use wpinq_analyses::degree::degree_ccdf_plan_expr;
 use wpinq_analyses::edges::{symmetric_edge_dataset, EDGES_DATASET};
 use wpinq_expr::Json;
 use wpinq_graph::Graph;
-use wpinq_service::{MeasureRequest, MeasurementService};
+use wpinq_service::{MeasureRequest, MeasurementService, ResponseEncoding};
 
 const SEED: u64 = 77;
 const EPSILON: f64 = 0.25;
@@ -40,6 +40,7 @@ fn ccdf_request(trace: bool, id: &str) -> MeasureRequest {
             .expect("expression plans serialize"),
         id: Some(id.into()),
         trace,
+        encoding: ResponseEncoding::Json,
     }
 }
 

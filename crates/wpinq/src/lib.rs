@@ -58,7 +58,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub use wpinq_core::{aggregation, dataset, noise, operators, record, shard, value, weights};
+pub use wpinq_core::{
+    aggregation, column, colwire, dataset, noise, operators, record, shard, value, weights,
+};
 
 /// The incremental execution engine, re-exported so plan consumers can name its types
 /// (e.g. [`dataflow::Stream`] when binding a plan source to a delta stream).

@@ -7,10 +7,96 @@
 //! node to the hot path and nothing else, which is what keeps analyzed and plain
 //! evaluations bitwise identical — the data path is the very same code either way.
 
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-use wpinq_telemetry::metrics::json_escape;
+use wpinq_telemetry::metrics::{json_escape, Counter};
 use wpinq_telemetry::registry;
+
+/// Registry name of the counter of input rows processed by expression-operator kernels,
+/// labelled `kernel="columnar"` (vectorized path) or `kernel="row"` (interpreter
+/// fallback). Incremented on every evaluation, traced or not; read one series with
+/// `registry().counter_value_with(KERNEL_ROWS_METRIC, &[("kernel", "columnar")])`.
+pub const KERNEL_ROWS_METRIC: &str = "wpinq_kernel_rows_total";
+
+fn kernel_rows_counter(kernel: &'static str) -> &'static Arc<Counter> {
+    static COLUMNAR: OnceLock<Arc<Counter>> = OnceLock::new();
+    static ROW: OnceLock<Arc<Counter>> = OnceLock::new();
+    let slot = if kernel == "columnar" {
+        &COLUMNAR
+    } else {
+        &ROW
+    };
+    slot.get_or_init(|| {
+        registry().counter(
+            KERNEL_ROWS_METRIC,
+            &[("kernel", kernel)],
+            "Input rows processed by expression-operator kernels, by kernel",
+        )
+    })
+}
+
+/// Bumps the process-global kernel-rows series. Called by the evaluation contexts on
+/// every kernel decision, traced or not, so plain evaluations feed the metrics surface
+/// too.
+pub(crate) fn count_kernel_rows(kernel: &'static str, rows: u64) {
+    if rows > 0 {
+        kernel_rows_counter(kernel).add(rows);
+    }
+}
+
+/// Rows resolved into canonical totals during one span, by resolution strategy — the
+/// deltas of the `wpinq_resolved_rows_total` registry series (process-global: concurrent
+/// evaluations in other threads bleed in, same caveat as the pool/exchange counters).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResolveStats {
+    /// Rows resolved by the radix-partitioned packed-key accumulator.
+    pub radix: u64,
+    /// Rows resolved by the packed-key sort-merge accumulator.
+    pub sort_merge: u64,
+    /// Rows resolved by hash-map accumulation (unpacked shapes and join fallbacks).
+    pub hash: u64,
+}
+
+impl ResolveStats {
+    fn snapshot() -> ResolveStats {
+        // Cached series handles: three atomic loads. Traced evaluation snapshots on
+        // every frame enter and exit, so a locked registry lookup here is a measurable
+        // per-operator tax.
+        let read = |strategy: &'static str| wpinq_expr::resolved_rows_counter(strategy).value();
+        ResolveStats {
+            radix: read(wpinq_expr::STRATEGY_RADIX),
+            sort_merge: read(wpinq_expr::STRATEGY_SORT_MERGE),
+            hash: read(wpinq_expr::STRATEGY_HASH),
+        }
+    }
+
+    fn delta_since(&self, earlier: &ResolveStats) -> ResolveStats {
+        ResolveStats {
+            radix: self.radix.saturating_sub(earlier.radix),
+            sort_merge: self.sort_merge.saturating_sub(earlier.sort_merge),
+            hash: self.hash.saturating_sub(earlier.hash),
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        *self == ResolveStats::default()
+    }
+
+    fn render(&self) -> String {
+        format!(
+            "radix:{}/sort_merge:{}/hash:{}",
+            self.radix, self.sort_merge, self.hash
+        )
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            "{{\"radix\":{},\"sort_merge\":{},\"hash\":{}}}",
+            self.radix, self.sort_merge, self.hash
+        )
+    }
+}
 
 /// Timing and cardinality of one evaluated plan node (one frame of the walk).
 #[derive(Clone, Debug)]
@@ -28,6 +114,11 @@ pub struct NodeStats {
     /// path ran, `Some("row")` when it fell back, `None` for operators with no
     /// columnar form.
     pub kernel: Option<&'static str>,
+    /// Input rows the chosen kernel processed (zero when `kernel` is `None`).
+    pub kernel_rows: u64,
+    /// Rows resolved into canonical totals while this frame was open, by strategy.
+    /// Children included, like `total_us`.
+    pub resolved: ResolveStats,
     /// Index of the consumer frame that triggered this evaluation, `None` at the root.
     pub parent: Option<usize>,
     /// Nesting depth (root = 0), for rendering.
@@ -52,14 +143,21 @@ pub struct AnalyzeReport {
     pub pool_dispatches: u64,
     /// Consolidating dataflow exchanges during the evaluation (same caveat).
     pub exchanges: u64,
+    /// Rows resolved into canonical totals during the evaluation, by strategy
+    /// (same caveat).
+    pub resolved: ResolveStats,
 }
 
 impl AnalyzeReport {
     /// Renders the report as an indented text tree, one line per frame, root first.
     pub fn render(&self) -> String {
         let mut out = format!(
-            "EXPLAIN ANALYZE ({}; total {} us; pool dispatches {}; exchanges {})\n",
-            self.executor, self.total_us, self.pool_dispatches, self.exchanges
+            "EXPLAIN ANALYZE ({}; total {} us; pool dispatches {}; exchanges {}; resolved {})\n",
+            self.executor,
+            self.total_us,
+            self.pool_dispatches,
+            self.exchanges,
+            self.resolved.render()
         );
         // Frames are recorded in walk order (root first), which reads like
         // `Plan::render`.
@@ -68,14 +166,19 @@ impl AnalyzeReport {
                 out.push_str("  ");
             }
             out.push_str(&format!(
-                "{} [{} us, {} rows{}{}]\n",
+                "{} [{} us, {} rows{}{}{}]\n",
                 stats.detail,
                 stats.total_us,
                 stats.rows_out,
                 stats
                     .kernel
-                    .map(|k| format!(", kernel={k}"))
+                    .map(|k| format!(", kernel={k}({} rows)", stats.kernel_rows))
                     .unwrap_or_default(),
+                if stats.resolved.is_zero() {
+                    String::new()
+                } else {
+                    format!(", resolved {}", stats.resolved.render())
+                },
                 if stats.shared { ", shared" } else { "" },
             ));
         }
@@ -91,7 +194,8 @@ impl AnalyzeReport {
             }
             nodes.push_str(&format!(
                 "{{\"op\":\"{}\",\"detail\":\"{}\",\"total_us\":{},\"rows_out\":{},\
-                 \"kernel\":{},\"parent\":{},\"depth\":{},\"shared\":{}}}",
+                 \"kernel\":{},\"kernel_rows\":{},\"resolved\":{},\"parent\":{},\
+                 \"depth\":{},\"shared\":{}}}",
                 json_escape(stats.op),
                 json_escape(&stats.detail),
                 stats.total_us,
@@ -100,6 +204,8 @@ impl AnalyzeReport {
                     .kernel
                     .map(|k| format!("\"{k}\""))
                     .unwrap_or_else(|| "null".to_string()),
+                stats.kernel_rows,
+                stats.resolved.to_json(),
                 stats
                     .parent
                     .map(|p| p.to_string())
@@ -110,11 +216,12 @@ impl AnalyzeReport {
         }
         format!(
             "{{\"executor\":\"{}\",\"total_us\":{},\"pool_dispatches\":{},\
-             \"exchanges\":{},\"nodes\":[{}]}}",
+             \"exchanges\":{},\"resolved\":{},\"nodes\":[{}]}}",
             json_escape(&self.executor),
             self.total_us,
             self.pool_dispatches,
             self.exchanges,
+            self.resolved.to_json(),
             nodes
         )
     }
@@ -126,9 +233,16 @@ impl AnalyzeReport {
 /// and cardinality.
 pub(crate) struct AnalyzeCollector {
     nodes: Vec<NodeStats>,
-    /// Indices into `nodes` of frames that are open (entered, not yet exited). An open
-    /// frame is already in `nodes` with a zero duration; `exit` fills it in.
-    stack: Vec<(usize, Instant)>,
+    /// Frames that are open (entered, not yet exited). An open frame is already in
+    /// `nodes` with a zero duration; `exit` fills it in from the recorded start time and
+    /// resolution-counter snapshot.
+    stack: Vec<OpenFrame>,
+}
+
+struct OpenFrame {
+    index: usize,
+    start: Instant,
+    resolved: ResolveStats,
 }
 
 impl AnalyzeCollector {
@@ -141,7 +255,7 @@ impl AnalyzeCollector {
 
     /// Opens a frame for a node about to evaluate; returns its index for `exit`.
     pub(crate) fn enter(&mut self, op: &'static str, detail: String) -> usize {
-        let parent = self.stack.last().map(|&(i, _)| i);
+        let parent = self.stack.last().map(|f| f.index);
         let index = self.nodes.len();
         self.nodes.push(NodeStats {
             op,
@@ -149,43 +263,55 @@ impl AnalyzeCollector {
             total_us: 0,
             rows_out: 0,
             kernel: None,
+            kernel_rows: 0,
+            resolved: ResolveStats::default(),
             parent,
             depth: self.stack.len(),
             shared: false,
         });
-        self.stack.push((index, Instant::now()));
+        self.stack.push(OpenFrame {
+            index,
+            start: Instant::now(),
+            resolved: ResolveStats::snapshot(),
+        });
         index
     }
 
-    /// Closes the frame opened by the matching `enter`, recording duration and output
-    /// cardinality.
+    /// Closes the frame opened by the matching `enter`, recording duration, output
+    /// cardinality, and the resolution-counter deltas over the frame.
     pub(crate) fn exit(&mut self, frame: usize, rows_out: u64) {
-        if let Some(pos) = self.stack.iter().rposition(|&(i, _)| i == frame) {
-            let (_, start) = self.stack.remove(pos);
-            self.nodes[frame].total_us = start.elapsed().as_micros() as u64;
+        if let Some(pos) = self.stack.iter().rposition(|f| f.index == frame) {
+            let open = self.stack.remove(pos);
+            self.nodes[frame].total_us = open.start.elapsed().as_micros() as u64;
+            self.nodes[frame].resolved = ResolveStats::snapshot().delta_since(&open.resolved);
         }
         self.nodes[frame].rows_out = rows_out;
     }
 
     /// Records a re-reference of an already-evaluated node: a zero-cost shared frame.
     pub(crate) fn memo_hit(&mut self, op: &'static str, detail: String, rows_out: u64) {
-        let parent = self.stack.last().map(|&(i, _)| i);
+        let parent = self.stack.last().map(|f| f.index);
         self.nodes.push(NodeStats {
             op,
             detail,
             total_us: 0,
             rows_out,
             kernel: None,
+            kernel_rows: 0,
+            resolved: ResolveStats::default(),
             parent,
             depth: self.stack.len(),
             shared: true,
         });
     }
 
-    /// Tags the currently evaluating frame with the kernel its operator chose.
-    pub(crate) fn note_kernel(&mut self, kernel: &'static str) {
-        if let Some(&(index, _)) = self.stack.last() {
+    /// Tags the currently evaluating frame with the kernel its operator chose and the
+    /// input rows it processed.
+    pub(crate) fn note_kernel(&mut self, kernel: &'static str, rows: u64) {
+        if let Some(frame) = self.stack.last() {
+            let index = frame.index;
             self.nodes[index].kernel = Some(kernel);
+            self.nodes[index].kernel_rows += rows;
         }
     }
 
@@ -198,6 +324,7 @@ impl AnalyzeCollector {
 pub(crate) struct CounterBaseline {
     dispatches: u64,
     exchanges: u64,
+    resolved: ResolveStats,
 }
 
 impl CounterBaseline {
@@ -205,14 +332,16 @@ impl CounterBaseline {
         CounterBaseline {
             dispatches: registry().counter_value(wpinq_core::shard::POOL_DISPATCHES_METRIC),
             exchanges: registry().counter_value(wpinq_dataflow::EXCHANGES_METRIC),
+            resolved: ResolveStats::snapshot(),
         }
     }
 
-    pub(crate) fn deltas(&self) -> (u64, u64) {
+    pub(crate) fn deltas(&self) -> (u64, u64, ResolveStats) {
         let now = CounterBaseline::take();
         (
             now.dispatches.saturating_sub(self.dispatches),
             now.exchanges.saturating_sub(self.exchanges),
+            now.resolved.delta_since(&self.resolved),
         )
     }
 }

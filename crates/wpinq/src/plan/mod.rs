@@ -91,7 +91,7 @@ use wpinq_core::value::{ExprRecord, Value, ValueType};
 use wpinq_dataflow::Stream;
 use wpinq_expr::{Expr, PlanSpec, ReduceSpec};
 
-pub use analyze::{AnalyzeReport, NodeStats};
+pub use analyze::{AnalyzeReport, NodeStats, ResolveStats, KERNEL_ROWS_METRIC};
 pub use bindings::{PlanBindings, ShardedStreamBindings, StreamBindings};
 pub use executor::{
     available_threads, default_backend, default_executor, executor_for_threads, Backend, Executor,
@@ -528,7 +528,7 @@ impl<T: Record> Plan<T> {
                 .unwrap_or_else(|rc| rc.merged());
             (Arc::new(merged), nodes.finish())
         };
-        let (pool_dispatches, exchanges) = baseline.deltas();
+        let (pool_dispatches, exchanges, resolved) = baseline.deltas();
         let report = AnalyzeReport {
             executor: if shards <= 1 {
                 "sequential".to_string()
@@ -539,6 +539,7 @@ impl<T: Record> Plan<T> {
             total_us: started.elapsed().as_micros() as u64,
             pool_dispatches,
             exchanges,
+            resolved,
         };
         (result, report)
     }

@@ -23,7 +23,7 @@ use wpinq_core::value::{Value, ValueType};
 use wpinq_dataflow::{DataflowInput, ShardedInput, ShardedStream, Stream, DEFAULT_INLINE_CUTOVER};
 use wpinq_expr::{Expr, ReduceSpec, SpecNode};
 
-use super::analyze::AnalyzeCollector;
+use super::analyze::{self, AnalyzeCollector};
 use super::bindings::{PlanBindings, ShardedStreamBindings, StreamBindings};
 use super::columnar;
 use super::executor::available_threads;
@@ -304,10 +304,13 @@ impl<'a> BatchCtx<'a> {
         }
     }
 
-    /// Tags the currently evaluating frame with the kernel chosen (no-op untraced).
-    pub(crate) fn note_kernel(&mut self, kernel: &'static str) {
+    /// Records the kernel an expression operator chose and the input rows it processed:
+    /// bumps the process-global `wpinq_kernel_rows_total` series (always) and tags the
+    /// current EXPLAIN ANALYZE frame (when traced).
+    pub(crate) fn note_kernel(&mut self, kernel: &'static str, rows: u64) {
+        analyze::count_kernel_rows(kernel, rows);
         if let Some(collector) = self.analyze.as_mut() {
-            collector.note_kernel(kernel);
+            collector.note_kernel(kernel, rows);
         }
     }
 
@@ -363,10 +366,13 @@ impl<'a> ShardCtx<'a> {
         ctx
     }
 
-    /// Tags the currently evaluating frame with the kernel chosen (no-op untraced).
-    pub(crate) fn note_kernel(&mut self, kernel: &'static str) {
+    /// Records the kernel an expression operator chose and the input rows it processed:
+    /// bumps the process-global `wpinq_kernel_rows_total` series (always) and tags the
+    /// current EXPLAIN ANALYZE frame (when traced).
+    pub(crate) fn note_kernel(&mut self, kernel: &'static str, rows: u64) {
+        analyze::count_kernel_rows(kernel, rows);
         if let Some(collector) = self.analyze.as_mut() {
-            collector.note_kernel(kernel);
+            collector.note_kernel(kernel, rows);
         }
     }
 
@@ -799,11 +805,12 @@ impl<T: Record, U: Record> PlanNode<U> for SelectNode<T, U> {
     fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Arc<WeightedDataset<U>> {
         let parent = self.parent.eval_node(ctx);
         if let Some(expr) = &self.expr {
+            let rows = parent.len() as u64;
             if let Some(out) = columnar::try_select(&parent, expr) {
-                ctx.note_kernel("columnar");
+                ctx.note_kernel("columnar", rows);
                 return Arc::new(out);
             }
-            ctx.note_kernel("row");
+            ctx.note_kernel("row", rows);
         }
         Arc::new(batch::select(&parent, &*self.f))
     }
@@ -811,11 +818,12 @@ impl<T: Record, U: Record> PlanNode<U> for SelectNode<T, U> {
     fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Arc<ShardedDataset<U>> {
         let parent = self.parent.eval_shards_node(ctx);
         if let Some(expr) = &self.expr {
+            let rows = parent.len() as u64;
             if let Some(out) = columnar::try_select_shards(&parent, expr, ctx.runner()) {
-                ctx.note_kernel("columnar");
+                ctx.note_kernel("columnar", rows);
                 return Arc::new(out);
             }
-            ctx.note_kernel("row");
+            ctx.note_kernel("row", rows);
         }
         Arc::new(shard::select(&parent, &*self.f, ctx.runner()))
     }
@@ -964,11 +972,12 @@ impl<T: Record> PlanNode<T> for FilterNode<T> {
     fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Arc<WeightedDataset<T>> {
         let parent = self.parent.eval_node(ctx);
         if let Some(expr) = &self.expr {
+            let rows = parent.len() as u64;
             if let Some(out) = columnar::try_filter(&parent, expr) {
-                ctx.note_kernel("columnar");
+                ctx.note_kernel("columnar", rows);
                 return Arc::new(out);
             }
-            ctx.note_kernel("row");
+            ctx.note_kernel("row", rows);
         }
         Arc::new(batch::filter(&parent, &*self.predicate))
     }
@@ -976,11 +985,12 @@ impl<T: Record> PlanNode<T> for FilterNode<T> {
     fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Arc<ShardedDataset<T>> {
         let parent = self.parent.eval_shards_node(ctx);
         if let Some(expr) = &self.expr {
+            let rows = parent.len() as u64;
             if let Some(out) = columnar::try_filter_shards(&parent, expr, ctx.runner()) {
-                ctx.note_kernel("columnar");
+                ctx.note_kernel("columnar", rows);
                 return Arc::new(out);
             }
-            ctx.note_kernel("row");
+            ctx.note_kernel("row", rows);
         }
         Arc::new(shard::filter(&parent, &*self.predicate, ctx.runner()))
     }
@@ -1160,11 +1170,12 @@ impl<T: Record, U: Record> PlanNode<U> for SelectManyNode<T, U> {
     fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Arc<WeightedDataset<U>> {
         let parent = self.parent.eval_node(ctx);
         if let Some(payload) = &self.exprs {
+            let rows = parent.len() as u64;
             if let Some(out) = columnar::try_select_many_unit(&parent, &payload.exprs) {
-                ctx.note_kernel("columnar");
+                ctx.note_kernel("columnar", rows);
                 return Arc::new(out);
             }
-            ctx.note_kernel("row");
+            ctx.note_kernel("row", rows);
         }
         Arc::new(batch::select_many(&parent, &*self.f))
     }
@@ -1172,13 +1183,14 @@ impl<T: Record, U: Record> PlanNode<U> for SelectManyNode<T, U> {
     fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Arc<ShardedDataset<U>> {
         let parent = self.parent.eval_shards_node(ctx);
         if let Some(payload) = &self.exprs {
+            let rows = parent.len() as u64;
             if let Some(out) =
                 columnar::try_select_many_unit_shards(&parent, &payload.exprs, ctx.runner())
             {
-                ctx.note_kernel("columnar");
+                ctx.note_kernel("columnar", rows);
                 return Arc::new(out);
             }
-            ctx.note_kernel("row");
+            ctx.note_kernel("row", rows);
         }
         Arc::new(shard::select_many(&parent, &*self.f, ctx.runner()))
     }
@@ -1358,11 +1370,12 @@ impl<T: Record, K: Record, R: Record> PlanNode<(K, R)> for GroupByNode<T, K, R> 
     fn eval_batch(&self, ctx: &mut BatchCtx<'_>) -> Arc<WeightedDataset<(K, R)>> {
         let parent = self.parent.eval_node(ctx);
         if let Some((key, reduce)) = &self.exprs {
+            let rows = parent.len() as u64;
             if let Some(out) = columnar::try_group_by(&parent, key, reduce) {
-                ctx.note_kernel("columnar");
+                ctx.note_kernel("columnar", rows);
                 return Arc::new(out);
             }
-            ctx.note_kernel("row");
+            ctx.note_kernel("row", rows);
         }
         Arc::new(batch::group_by(&parent, &*self.key, &*self.reduce))
     }
@@ -1370,11 +1383,12 @@ impl<T: Record, K: Record, R: Record> PlanNode<(K, R)> for GroupByNode<T, K, R> 
     fn eval_shards(&self, ctx: &mut ShardCtx<'_>) -> Arc<ShardedDataset<(K, R)>> {
         let parent = self.parent.eval_shards_node(ctx);
         if let Some((key, reduce)) = &self.exprs {
+            let rows = parent.len() as u64;
             if let Some(out) = columnar::try_group_by_shards(&parent, key, reduce, ctx.runner()) {
-                ctx.note_kernel("columnar");
+                ctx.note_kernel("columnar", rows);
                 return Arc::new(out);
             }
-            ctx.note_kernel("row");
+            ctx.note_kernel("row", rows);
         }
         Arc::new(shard::group_by(
             &parent,
@@ -1788,6 +1802,7 @@ impl<A: Record, B: Record, K: Record, R: Record> PlanNode<R> for JoinNode<A, B, 
         let left = self.left.eval_node(ctx);
         let right = self.right.eval_node(ctx);
         if let Some(payload) = &self.exprs {
+            let rows = (left.len() + right.len()) as u64;
             if let Some(out) = columnar::try_join(
                 &left,
                 &right,
@@ -1795,10 +1810,10 @@ impl<A: Record, B: Record, K: Record, R: Record> PlanNode<R> for JoinNode<A, B, 
                 &payload.key_right,
                 &payload.result,
             ) {
-                ctx.note_kernel("columnar");
+                ctx.note_kernel("columnar", rows);
                 return Arc::new(out);
             }
-            ctx.note_kernel("row");
+            ctx.note_kernel("row", rows);
         }
         Arc::new(batch::join(
             &left,
@@ -1813,6 +1828,7 @@ impl<A: Record, B: Record, K: Record, R: Record> PlanNode<R> for JoinNode<A, B, 
         let left = self.left.eval_shards_node(ctx);
         let right = self.right.eval_shards_node(ctx);
         if let Some(payload) = &self.exprs {
+            let rows = (left.len() + right.len()) as u64;
             if let Some(out) = columnar::try_join_shards(
                 &left,
                 &right,
@@ -1821,10 +1837,10 @@ impl<A: Record, B: Record, K: Record, R: Record> PlanNode<R> for JoinNode<A, B, 
                 &payload.result,
                 ctx.runner(),
             ) {
-                ctx.note_kernel("columnar");
+                ctx.note_kernel("columnar", rows);
                 return Arc::new(out);
             }
-            ctx.note_kernel("row");
+            ctx.note_kernel("row", rows);
         }
         Arc::new(shard::join(
             &left,
